@@ -1,0 +1,140 @@
+//! Experiment H1 — the reactions database: ingest every preserved
+//! analysis's tables, include one search-analysis outlier with "a very
+//! large amount of information" (§2.3's ATLAS example), and report the
+//! record-size distribution plus query performance.
+
+use criterion::{criterion_group, Criterion};
+use daspos_bench::z_production;
+use daspos_detsim::Experiment;
+use daspos_hepdata::record::{DataTable, TableData};
+use daspos_hepdata::repository::Submission;
+use daspos_hepdata::HepDataRepository;
+use daspos_rivet::{AnalysisRegistry, RunHarness};
+use daspos_gen::{EventGenerator, GeneratorConfig};
+use daspos_hep::event::ProcessKind;
+
+fn populate() -> HepDataRepository {
+    let repo = HepDataRepository::new();
+    let registry = AnalysisRegistry::with_builtin();
+    // One record per preserved analysis, tables ingested from an actual
+    // truth-level run.
+    for (i, meta) in registry.list().into_iter().enumerate() {
+        let analysis = registry.get(&meta.key).expect("registered");
+        let process = match meta.key.as_str() {
+            "ZLL_2013_I0001" | "SEARCH_2013_I0006" => ProcessKind::ZBoson,
+            "DIJET_2013_I0002" => ProcessKind::QcdDijet,
+            "HGG_2013_I0003" => ProcessKind::Higgs,
+            "D0LIFE_2013_I0004" => ProcessKind::Charm,
+            _ => ProcessKind::Strange,
+        };
+        let gen = EventGenerator::new(GeneratorConfig::new(process, 70 + i as u64));
+        let result = RunHarness::run_owned(analysis.as_ref(), gen.events(300));
+        let tables: Vec<DataTable> = result
+            .histograms
+            .values()
+            .map(|h| DataTable {
+                name: h.name().to_string(),
+                description: meta.description.clone(),
+                data: TableData::from_hist(h),
+            })
+            .collect();
+        repo.insert(Submission {
+            title: meta.title.clone(),
+            experiment: meta.experiment.clone(),
+            reaction: format!("p p --> {} X", meta.key),
+            inspire_id: meta.inspire_id,
+            keywords: vec![meta.experiment.clone(), "2013".to_string()],
+            tables,
+        })
+        .expect("insert");
+    }
+    // The outlier: a search analysis uploading full acceptance grids.
+    let search = repo.search("dilepton");
+    if let Some(rec) = search.first() {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .flat_map(|i| (0..120).map(move |j| vec![f64::from(i) * 10.0, f64::from(j) * 10.0, 0.4]))
+            .collect();
+        repo.append_table(
+            rec.id,
+            DataTable {
+                name: "acceptance grid (m1, m2)".to_string(),
+                description: "full SUSY-style efficiency grid".to_string(),
+                data: TableData::Columns {
+                    names: vec!["m1".to_string(), "m2".to_string(), "eff".to_string()],
+                    rows,
+                },
+            },
+        )
+        .expect("append");
+    }
+    repo
+}
+
+fn print_report() {
+    let repo = populate();
+    println!("\n===== H1: reactions-database record sizes =====");
+    let dist = repo.size_distribution();
+    let mut sizes: Vec<usize> = dist.iter().map(|(_, s)| *s).collect();
+    sizes.sort_unstable();
+    let median = sizes[sizes.len() / 2];
+    let max = *sizes.last().unwrap_or(&0);
+    println!("{:>8} {:>12}", "record", "bytes");
+    for (id, size) in &dist {
+        println!("{:>8} {:>12}{}", id.to_string(), size, if *size == max { "  <-- search-analysis outlier" } else { "" });
+    }
+    println!(
+        "\nmedian record {median} bytes; largest {max} bytes ({:.0}x the median) — \
+         the 'very large amount of information' case §2.3 mentions",
+        max as f64 / median.max(1) as f64
+    );
+    println!(
+        "search('Z'): {} records; INSPIRE link 9006 -> {:?}",
+        repo.search("Z").len(),
+        repo.by_inspire(9_006).map(|r| r.title)
+    );
+    // And the multi-format claim: ingest CSV directly.
+    let csv = TableData::from_csv("mass,limit\n200,0.1\n400,0.02\n").expect("csv");
+    println!("CSV ingestion: {} values accepted", csv.value_count());
+    println!("===============================================\n");
+
+    // Cross-check against a real production too (exercises z_production
+    // fixtures for the detector-level table path).
+    let f = z_production(Experiment::Cms, 80, 40);
+    let det = &f.output.analysis_results["det:ZLL_2013_I0001"];
+    println!(
+        "(detector-level Z run produced {} histograms ready for ingestion)\n",
+        det.histograms.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let repo = populate();
+    c.bench_function("h1_search_keyword", |b| {
+        b.iter(|| repo.search("2013").len())
+    });
+    c.bench_function("h1_inspire_lookup", |b| {
+        b.iter(|| repo.by_inspire(9_004).map(|r| r.tables.len()))
+    });
+    c.bench_function("h1_size_distribution", |b| {
+        b.iter(|| repo.size_distribution().len())
+    });
+    c.bench_function("h1_csv_ingest_1000_rows", |b| {
+        let mut csv = String::from("mass,xsec,err\n");
+        for i in 0..1000 {
+            csv.push_str(&format!("{i},0.5,0.01\n"));
+        }
+        b.iter(|| TableData::from_csv(&csv).expect("csv").value_count())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

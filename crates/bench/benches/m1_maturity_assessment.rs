@@ -1,0 +1,92 @@
+//! Experiments M1–M4 — reproduce the Appendix A maturity rubrics (data
+//! management & disaster recovery, data description, preservation,
+//! sharing/access) and the data sharing grid, scored from the four
+//! experiments' interviews; measure assessment throughput.
+
+use criterion::{criterion_group, Criterion};
+use daspos_metadata::maturity::MaturityReport;
+use daspos_metadata::presets::{interview_for, sharing_grid_for};
+use daspos_metadata::sharing::PolicyStatus;
+
+fn print_report() {
+    println!("\n========= M1-M4: Appendix A maturity rubrics (levels 1-5) =========");
+    println!(
+        "{:>8} {:>10} {:>12} {:>13} {:>8} {:>26}",
+        "expt", "data-mgmt", "description", "preservation", "sharing", "open-data policy (§4)"
+    );
+    for name in ["alice", "atlas", "cms", "lhcb"] {
+        let interview = interview_for(name);
+        let policy = PolicyStatus::report_2014(name);
+        let r = MaturityReport::assess(&interview, policy);
+        println!(
+            "{name:>8} {:>10} {:>12} {:>13} {:>8} {:>26}",
+            r.data_management.to_string(),
+            r.description.to_string(),
+            r.preservation.to_string(),
+            r.sharing.to_string(),
+            policy.describe()
+        );
+    }
+    println!("\nlegacy experiments (§1: BaBar and Tevatron preservation overviews):");
+    for name in ["babar", "tevatron"] {
+        let r = MaturityReport::assess(&interview_for(name), PolicyStatus::report_2014(name));
+        println!(
+            "{name:>8} {:>10} {:>12} {:>13} {:>8} {:>26}",
+            r.data_management.to_string(),
+            r.description.to_string(),
+            r.preservation.to_string(),
+            r.sharing.to_string(),
+            "n/a (past data taking)"
+        );
+    }
+    println!("\ndata sharing grid (per experiment, stage x audience):");
+    for name in ["cms", "alice"] {
+        println!("--- {name} ---");
+        println!("{}", sharing_grid_for(name).render());
+    }
+    println!("lifecycle reduction factors (Appendix A Q2, declared):");
+    for name in ["alice", "atlas", "cms", "lhcb"] {
+        let iv = interview_for(name);
+        println!(
+            "  {name:>8}: {:>8.0}x  ({} formats across the lifecycle)",
+            iv.lifecycle_reduction().unwrap_or(0.0),
+            iv.distinct_formats().len()
+        );
+    }
+    println!("====================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let interviews: Vec<_> = ["alice", "atlas", "cms", "lhcb"]
+        .iter()
+        .map(|n| (interview_for(n), PolicyStatus::report_2014(n)))
+        .collect();
+    c.bench_function("m1_assess_all_experiments", |b| {
+        b.iter(|| {
+            interviews
+                .iter()
+                .map(|(iv, p)| MaturityReport::assess(iv, *p).overall())
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("m1_build_sharing_grids", |b| {
+        b.iter(|| {
+            ["alice", "atlas", "cms", "lhcb"]
+                .iter()
+                .map(|n| sharing_grid_for(n).render().len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

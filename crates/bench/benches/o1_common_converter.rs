@@ -1,0 +1,91 @@
+//! Experiment O1 — the "Finland converter" (§2.1): one thin AOD →
+//! simplified-format converter serving all four experiments onto a
+//! common display. Report conversion sizes per experiment and measure
+//! throughput, including the SVG render the common display performs.
+
+use criterion::{criterion_group, Criterion};
+use daspos_bench::z_production;
+use daspos_detsim::Experiment;
+use daspos_outreach::convert::convert_aod;
+use daspos_outreach::display::render_svg;
+use daspos_outreach::formats::OutreachFormat;
+use daspos_outreach::geometry::GeometryDescription;
+
+fn print_report() {
+    println!("\n===== O1: the common converter across all four experiments =====");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "expt", "events", "aod bytes", "ig bytes", "compact", "objects"
+    );
+    for experiment in Experiment::all() {
+        let f = z_production(experiment, 61, 60);
+        let aod_bytes: usize = f.output.aod_events.iter().map(|a| a.byte_size()).sum();
+        let simple: Vec<_> = f
+            .output
+            .aod_events
+            .iter()
+            .map(|a| convert_aod(a, experiment.name(), 12))
+            .collect();
+        let ig: usize = simple
+            .iter()
+            .map(|e| OutreachFormat::IgJson.write(e).len())
+            .sum();
+        let compact: usize = simple
+            .iter()
+            .map(|e| OutreachFormat::Compact.write(e).len())
+            .sum();
+        let objects: usize = simple.iter().map(|e| e.objects.len()).sum();
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            experiment.name(),
+            f.output.aod_events.len(),
+            aod_bytes,
+            ig,
+            compact,
+            objects
+        );
+    }
+    println!(
+        "(one converter, one carrier family, one display — against Table 1's four \
+         incompatible stacks; the self-documenting ig form trades bytes for \
+         browser-openability, the compact form stays near the binary size)"
+    );
+    println!("=================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let f = z_production(Experiment::Cms, 62, 100);
+    let aods = &f.output.aod_events;
+    let geometry = GeometryDescription::from_detector(&Experiment::Cms.detector());
+    c.bench_function("o1_convert_100_aods", |b| {
+        b.iter(|| {
+            aods.iter()
+                .map(|a| convert_aod(a, "cms", 12).objects.len())
+                .sum::<usize>()
+        })
+    });
+    let simple: Vec<_> = aods.iter().map(|a| convert_aod(a, "cms", 12)).collect();
+    c.bench_function("o1_write_ig_100_events", |b| {
+        b.iter(|| {
+            simple
+                .iter()
+                .map(|s| OutreachFormat::IgJson.write(s).len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("o1_render_svg_one_event", |b| {
+        b.iter(|| render_svg(&simple[0], &geometry, 600).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,97 @@
+//! Experiment P1 — platform-migration survival: the §2.4 RECAST risk
+//! (*"the full experimental code base must be migrated to new computing
+//! platforms"*) quantified over a fleet of archives, with the DESIGN.md
+//! ablation: declarative workflows survive a migration, opaque
+//! executables do not. Measures validation cost — the price of *proving*
+//! preservation.
+
+use criterion::{criterion_group, Criterion};
+use daspos::migrate::{make_opaque, Migrator};
+use daspos::prelude::*;
+
+fn make_archive(experiment: Experiment, seed: u64) -> PreservationArchive {
+    let wf = match experiment {
+        Experiment::Lhcb => PreservedWorkflow::standard_charm(seed, 25),
+        e => PreservedWorkflow::standard_z(e, seed, 25),
+    };
+    let ctx = ExecutionContext::fresh(&wf);
+    let out = wf.execute(&ctx).expect("production");
+    PreservationArchive::package(&format!("{}-{seed}", experiment.name()), &wf, &ctx, &out)
+        .expect("packaging")
+}
+
+fn print_report() {
+    let mut migrator = Migrator::new();
+    for (i, e) in Experiment::all().into_iter().enumerate() {
+        migrator.add(make_archive(e, 500 + i as u64));
+    }
+    migrator.add(make_opaque(make_archive(Experiment::Cms, 600)));
+    migrator.add(make_opaque(make_archive(Experiment::Atlas, 601)));
+
+    println!("\n===== P1: archive survival across a platform transition =====");
+    let on_current = migrator.validate_all(&Platform::current());
+    let alive_now = on_current.iter().filter(|r| r.passed()).count();
+    println!(
+        "on {}: {}/{} archives validate (opaque binaries cannot re-execute declaratively)",
+        Platform::current(),
+        alive_now,
+        on_current.len()
+    );
+
+    let unmigrated = migrator.validate_all(&Platform::successor());
+    let alive_unmigrated = unmigrated.iter().filter(|r| r.passed()).count();
+    println!(
+        "on {} WITHOUT migration: {}/{} survive",
+        Platform::successor(),
+        alive_unmigrated,
+        unmigrated.len()
+    );
+
+    let report = migrator.migrate_to(&Platform::successor());
+    println!(
+        "on {} AFTER stack rebuild: survival {:.0}% ({} declarative alive, {} opaque lost)",
+        Platform::successor(),
+        100.0 * report.survival_rate(),
+        report.outcomes.iter().filter(|r| r.passed()).count(),
+        report.unmigratable.len()
+    );
+    for o in &report.outcomes {
+        println!("  {:>14}: {}", o.archive, if o.passed() { "survived" } else { "LOST" });
+    }
+    for n in &report.unmigratable {
+        println!("  {n:>14}: LOST (opaque)");
+    }
+    println!("==============================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let archive = make_archive(Experiment::Cms, 700);
+    c.bench_function("p1_validate_25_event_archive", |b| {
+        b.iter(|| {
+            daspos::validate::validate(&archive, &Platform::current())
+                .expect("runs")
+                .passed()
+        })
+    });
+    c.bench_function("p1_archive_binary_round_trip", |b| {
+        b.iter(|| {
+            let bytes = archive.to_bytes();
+            PreservationArchive::from_bytes(&bytes).expect("decodes").byte_size()
+        })
+    });
+    c.bench_function("p1_integrity_check", |b| {
+        b.iter(|| archive.verify_integrity().is_ok())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,95 @@
+//! Experiment P2 — workshop goal (iii): *"identify a preliminary set of
+//! metadata that would serve the needs of the HEP community in accessing
+//! the various forms of archived data/algorithms"*. Build a catalog of
+//! archives, report which metadata each use case requires and whether the
+//! archives carry it, and measure the access paths.
+
+use criterion::{criterion_group, Criterion};
+use daspos::archive::sections;
+use daspos::prelude::*;
+use daspos::usecases;
+
+fn fleet() -> Vec<PreservationArchive> {
+    Experiment::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let wf = match e {
+                Experiment::Lhcb => PreservedWorkflow::standard_charm(800 + i as u64, 20),
+                e => PreservedWorkflow::standard_z(e, 800 + i as u64, 20),
+            };
+            let ctx = ExecutionContext::fresh(&wf);
+            let out = wf.execute(&ctx).expect("production");
+            PreservationArchive::package(&format!("{}-arc", e.name()), &wf, &ctx, &out)
+                .expect("packaging")
+        })
+        .collect()
+}
+
+fn print_report() {
+    let archives = fleet();
+    println!("\n===== P2: the metadata set and who needs it =====");
+    println!("{:>20} {:>16} {:>10} {:>40}", "use case", "actor", "level", "required sections");
+    for uc in usecases::registry() {
+        println!(
+            "{:>20} {:>16} {:>10} {:>40}",
+            uc.id,
+            format!("{:?}", uc.actor),
+            uc.required_level.to_string(),
+            uc.required_sections.join(",")
+        );
+    }
+    println!("\narchive coverage:");
+    for a in &archives {
+        let served = usecases::served_by(a);
+        println!(
+            "{:>12}: {} sections, {} bytes, serves {}/{} use cases",
+            a.name,
+            a.sections.len(),
+            a.byte_size(),
+            served.len(),
+            usecases::registry().len()
+        );
+    }
+    // Minimal-metadata query demonstration: everything a user needs to
+    // locate and interpret a section is in the container itself.
+    let a = &archives[0];
+    let workflow = a.section_text(sections::WORKFLOW).expect("text");
+    println!(
+        "\nself-describing access: archive '{}' workflow begins '{}...'",
+        a.name,
+        workflow.lines().next().unwrap_or("")
+    );
+    println!("=================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let archives = fleet();
+    c.bench_function("p2_use_case_matching_fleet", |b| {
+        b.iter(|| {
+            archives
+                .iter()
+                .map(|a| usecases::served_by(a).len())
+                .sum::<usize>()
+        })
+    });
+    let a = archives[0].clone();
+    c.bench_function("p2_section_fetch_with_checksum", |b| {
+        b.iter(|| a.section(sections::RESULTS).expect("intact").len())
+    });
+    c.bench_function("p2_software_stack_parse", |b| {
+        b.iter(|| a.software().expect("parses").packages.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,86 @@
+//! Experiment T1 — reproduce Table 1: the outreach feature matrix of the
+//! four experiments, and measure the per-format serialization cost that
+//! drives the "Root too heavy for classroom use" comment.
+
+use criterion::{criterion_group, Criterion};
+use daspos_bench::z_production;
+use daspos_detsim::Experiment;
+use daspos_outreach::convert::convert_aod;
+use daspos_outreach::experiments::render_table1;
+use daspos_outreach::formats::OutreachFormat;
+
+fn print_report() {
+    println!("\n================ T1: Table 1 — outreach feature matrix ================");
+    println!("{}", render_table1());
+
+    // Quantify the format-multiplicity cost the table implies: the same
+    // event in each experiment's primary format.
+    let fixture = z_production(Experiment::Cms, 11, 20);
+    if let Some(aod) = fixture.output.aod_events.first() {
+        let simple = convert_aod(aod, "cms", 0);
+        println!("one converted event, per carrier:");
+        for fmt in [
+            OutreachFormat::IgJson,
+            OutreachFormat::EventXml,
+            OutreachFormat::Compact,
+        ] {
+            let text = fmt.write(&simple);
+            println!(
+                "  {:>10}: {:>5} bytes  self-documenting: {}",
+                fmt.name(),
+                text.len(),
+                fmt.self_documenting()
+            );
+        }
+    }
+    println!("=======================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let fixture = z_production(Experiment::Atlas, 12, 50);
+    let events: Vec<_> = fixture
+        .output
+        .aod_events
+        .iter()
+        .map(|a| convert_aod(a, "atlas", 0))
+        .collect();
+    let mut group = c.benchmark_group("t1_outreach_matrix");
+    for fmt in [
+        OutreachFormat::IgJson,
+        OutreachFormat::EventXml,
+        OutreachFormat::Compact,
+    ] {
+        group.bench_function(format!("serialize_{}", fmt.name()), |b| {
+            b.iter(|| {
+                events
+                    .iter()
+                    .map(|e| fmt.write(e).len())
+                    .sum::<usize>()
+            })
+        });
+        let texts: Vec<String> = events.iter().map(|e| fmt.write(e)).collect();
+        group.bench_function(format!("parse_{}", fmt.name()), |b| {
+            b.iter(|| {
+                texts
+                    .iter()
+                    .map(|t| fmt.read(t).expect("round trip").objects.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,76 @@
+//! Experiment W1 — the data lifecycle: measured bytes/event and event
+//! counts at every tier (RAW → RECO → AOD → skim → ntuple) for all four
+//! experiments, reproducing the §3.2 / Appendix A Q2 claim that every
+//! step is a reduction; measures the skim/slim and codec throughput that
+//! perform the reductions.
+
+use criterion::{criterion_group, Criterion};
+use daspos_bench::z_production;
+use daspos_detsim::Experiment;
+use daspos_reco::objects::AodEvent;
+use daspos_tiers::codec::Encodable;
+use daspos_tiers::{skim::skim_slim, Selection, SlimSpec};
+
+fn print_report() {
+    println!("\n===== W1: total tier sizes along the lifecycle (measured) =====");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "expt", "raw", "reco", "aod", "skim", "ntuple", "raw/ntuple"
+    );
+    for experiment in Experiment::all() {
+        let f = z_production(experiment, 21, 120);
+        let get = |n: &str| {
+            f.output
+                .tier_bytes
+                .iter()
+                .find(|(name, _, _)| name == n)
+                .map(|(_, b, _)| *b)
+                .unwrap_or(0)
+        };
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>11.0}x",
+            experiment.name(),
+            get("raw"),
+            get("reco"),
+            get("aod"),
+            get("skim"),
+            get("ntuple"),
+            get("raw") as f64 / get("ntuple").max(1) as f64
+        );
+    }
+    println!(
+        "(total bytes shrink at every step: skimming drops events, slimming drops \
+         content; surviving skim events are individually richer, so per-event size \
+         can rise even as the total falls)"
+    );
+    println!("=======================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let f = z_production(Experiment::Cms, 23, 200);
+    let aods = &f.output.aod_events;
+    let sel = Selection::NLeptons { n: 2, pt: 10.0 };
+    let slim = SlimSpec::leptons_only();
+    c.bench_function("w1_skim_slim_200_events", |b| {
+        b.iter(|| skim_slim(aods, &sel, &slim).1.events_out)
+    });
+    c.bench_function("w1_encode_aod_200_events", |b| {
+        b.iter(|| AodEvent::encode_events(aods).len())
+    });
+    let encoded = AodEvent::encode_events(aods);
+    c.bench_function("w1_decode_aod_200_events", |b| {
+        b.iter(|| AodEvent::decode_events(&encoded).expect("decodes").len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,127 @@
+//! Experiment W2 — external-dependency profile per processing stage:
+//! §3.2 says reconstruction needs the conditions databases while later
+//! steps' dependencies "become much weaker"; and contrasts ALICE's
+//! ship-with-data text files against database access. Count the lookups
+//! per stage and measure both access modes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, Criterion};
+use daspos_conditions::{
+    ConditionsSource, ConditionsStore, DbSource, IovKey, ShippedFileSource, Snapshot,
+};
+use daspos_detsim::{DetectorSimulation, Experiment};
+use daspos_gen::{EventGenerator, GeneratorConfig};
+use daspos_hep::event::ProcessKind;
+use daspos_hep::SeedSequence;
+use daspos_reco::processor::{RecoConfig, RecoProcessor};
+use daspos_tiers::{skim::skim_slim, Selection, SlimSpec};
+
+const TAG: &str = "cms-mc-2013";
+
+fn store() -> Arc<ConditionsStore> {
+    let s = Arc::new(ConditionsStore::new());
+    daspos::workflow::populate_conditions(&s, TAG).expect("populate");
+    s
+}
+
+fn print_report() {
+    let n = 100u64;
+    let store = store();
+    let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 31));
+    let det = Experiment::Cms.detector();
+
+    let sim_src = Arc::new(DbSource::connect(Arc::clone(&store), TAG));
+    let sim = DetectorSimulation::new(
+        det.clone(),
+        Arc::clone(&sim_src) as Arc<dyn ConditionsSource>,
+        SeedSequence::new(31),
+    );
+    let reco_src = Arc::new(DbSource::connect(Arc::clone(&store), TAG));
+    let reco = RecoProcessor::new(
+        det,
+        RecoConfig::default(),
+        Arc::clone(&reco_src) as Arc<dyn ConditionsSource>,
+    );
+
+    let mut aods = Vec::new();
+    for i in 0..n {
+        let raw = sim.simulate(&gen.event(i), i).expect("sim");
+        aods.push(reco.process(&raw).expect("reco").1);
+    }
+    // Analysis stage: skim + ntuple — zero conditions lookups by design.
+    let (_, _report) = skim_slim(
+        &aods,
+        &Selection::NLeptons { n: 2, pt: 10.0 },
+        &SlimSpec::leptons_only(),
+    );
+
+    println!("\n===== W2: conditions-database lookups per stage ({n} events) =====");
+    println!("{:>16} {:>10} {:>14} {:>12}", "stage", "lookups", "round-trips", "bytes");
+    println!(
+        "{:>16} {:>10} {:>14} {:>12}",
+        "generation", 0, 0, 0
+    );
+    println!(
+        "{:>16} {:>10} {:>14} {:>12}",
+        "simulation",
+        sim_src.stats().lookups(),
+        sim_src.stats().remote_round_trips(),
+        sim_src.stats().bytes_read()
+    );
+    println!(
+        "{:>16} {:>10} {:>14} {:>12}",
+        "reconstruction",
+        reco_src.stats().lookups(),
+        reco_src.stats().remote_round_trips(),
+        reco_src.stats().bytes_read()
+    );
+    println!("{:>16} {:>10} {:>14} {:>12}", "skim+ntuple", 0, 0, 0);
+
+    // The ALICE mode: a shipped snapshot answers the same queries with
+    // zero remote round-trips.
+    let snapshot = Snapshot::capture(&store, TAG).expect("capture");
+    let shipped = ShippedFileSource::new(snapshot);
+    for run in 0..100 {
+        shipped.get(&IovKey::new("ecal/gain"), run).expect("resolve");
+    }
+    println!(
+        "\nshipped-file mode (ALICE-style): {} lookups, {} remote round-trips",
+        shipped.stats().lookups(),
+        shipped.stats().remote_round_trips()
+    );
+    println!("===================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let store = store();
+    let db = DbSource::connect(Arc::clone(&store), TAG);
+    let shipped = ShippedFileSource::new(Snapshot::capture(&store, TAG).expect("capture"));
+    let key = IovKey::new("ecal/gain");
+    c.bench_function("w2_resolve_db_mode", |b| {
+        b.iter(|| db.get(&key, 17).expect("resolve").as_scalar())
+    });
+    c.bench_function("w2_resolve_shipped_mode", |b| {
+        b.iter(|| shipped.get(&key, 17).expect("resolve").as_scalar())
+    });
+    c.bench_function("w2_snapshot_capture_and_text", |b| {
+        b.iter(|| {
+            Snapshot::capture(&store, TAG)
+                .expect("capture")
+                .to_text()
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

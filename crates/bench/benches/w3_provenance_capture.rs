@@ -1,0 +1,109 @@
+//! Experiment W3 — provenance retention in derived datasets: §3.2 warns
+//! that *"the parentage and computing (producer) description of a given
+//! file may not be included"* and calls for *"an external structure to
+//! capture that provenance chain"*. Compare a derivation campaign with
+//! and without the external capture structure, then measure graph
+//! operations.
+
+use criterion::{criterion_group, Criterion};
+use daspos_hep::ids::DatasetId;
+use daspos_provenance::graph::{StepBuilder, StepKind};
+use daspos_provenance::{ProvenanceGraph, SoftwareStack, SoftwareVersion};
+
+fn stack() -> SoftwareStack {
+    SoftwareStack::on_current(vec![SoftwareVersion::new("daspos-tiers", 1, 0, 0)])
+}
+
+/// Simulate a derivation campaign: `n_roots` raw datasets, each skimmed
+/// into `depth` successive derivations. With probability `loss` a
+/// processing system "forgets" to record the step and the output lands
+/// in the catalog with no parentage (the report's hazard).
+fn campaign(n_roots: u64, depth: u64, loss_every: u64) -> ProvenanceGraph {
+    let g = ProvenanceGraph::new();
+    let mut next_id = 1u64;
+    let mut counter = 0u64;
+    for _ in 0..n_roots {
+        let root = DatasetId(next_id);
+        next_id += 1;
+        g.declare_root(root);
+        let mut parent = root;
+        for d in 0..depth {
+            let child = DatasetId(next_id);
+            next_id += 1;
+            counter += 1;
+            if loss_every > 0 && counter.is_multiple_of(loss_every) {
+                // The processing system did not record parentage.
+                g.reference_unchecked(child);
+            } else {
+                g.record(
+                    StepBuilder::new(StepKind::SkimSlim, format!("derivation-{d}"), stack())
+                        .input(parent)
+                        .output(child),
+                )
+                .expect("records");
+            }
+            parent = child;
+        }
+    }
+    g
+}
+
+fn print_report() {
+    println!("\n===== W3: provenance completeness with/without external capture =====");
+    println!(
+        "{:>24} {:>10} {:>10} {:>14}",
+        "capture discipline", "datasets", "orphans", "completeness"
+    );
+    for (label, loss_every) in [
+        ("external capture (all)", 0),
+        ("1 in 10 steps lost", 10),
+        ("1 in 3 steps lost", 3),
+        ("no capture (all lost)", 1),
+    ] {
+        let g = campaign(50, 4, loss_every);
+        println!(
+            "{label:>24} {:>10} {:>10} {:>13.1}%",
+            g.dataset_count(),
+            g.orphans().len(),
+            100.0 * g.completeness()
+        );
+    }
+    // Lineage depth demonstration on the fully-captured graph.
+    let g = campaign(1, 6, 0);
+    let last = DatasetId(7);
+    let lineage = g.lineage(last).expect("lineage");
+    println!(
+        "\nfully-captured chain: lineage of {last} walks {} steps back to the root",
+        lineage.len()
+    );
+    println!("======================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("w3_record_200_steps", |b| {
+        b.iter(|| campaign(50, 4, 0).step_count())
+    });
+    let g = campaign(50, 8, 0);
+    let deep = DatasetId(9); // the 8th derivation of the first root
+    c.bench_function("w3_lineage_depth_8", |b| {
+        b.iter(|| g.lineage(deep).expect("lineage").len())
+    });
+    c.bench_function("w3_orphan_scan_450_datasets", |b| {
+        b.iter(|| g.orphans().len())
+    });
+    c.bench_function("w3_serialize_graph_text", |b| {
+        b.iter(|| daspos_provenance::text::to_text(&g).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = daspos_bench::criterion();
+    targets = bench
+}
+
+fn main() {
+    print_report();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

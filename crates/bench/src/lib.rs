@@ -1,0 +1,67 @@
+//! Shared fixtures for the experiment benches.
+//!
+//! Every bench regenerates one artifact of the DASPOS report (see
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded outcomes): it first *prints* the table/series the report
+//! shows qualitatively, then measures the operation that produces it.
+
+use std::sync::Arc;
+
+use daspos::prelude::*;
+use daspos_conditions::{ConditionsSource, ConditionsStore, DbSource};
+use daspos_rivet::AnalysisRegistry;
+
+/// A production context plus its output for one experiment.
+pub struct Fixture {
+    /// The workflow that ran.
+    pub workflow: PreservedWorkflow,
+    /// The context it ran in.
+    pub ctx: ExecutionContext,
+    /// What it produced.
+    pub output: daspos::workflow::ProductionOutput,
+}
+
+/// Run the standard Z workflow for an experiment.
+pub fn z_production(experiment: Experiment, seed: u64, n: u64) -> Fixture {
+    let workflow = PreservedWorkflow::standard_z(experiment, seed, n);
+    let ctx = ExecutionContext::fresh(&workflow);
+    let output = workflow.execute(&ctx).expect("production runs");
+    Fixture {
+        workflow,
+        ctx,
+        output,
+    }
+}
+
+/// Run the charm workflow (LHCb-like).
+pub fn charm_production(seed: u64, n: u64) -> Fixture {
+    let workflow = PreservedWorkflow::standard_charm(seed, n);
+    let ctx = ExecutionContext::fresh(&workflow);
+    let output = workflow.execute(&ctx).expect("production runs");
+    Fixture {
+        workflow,
+        ctx,
+        output,
+    }
+}
+
+/// A conditions source for the given tag over a fresh store.
+pub fn conditions_source(tag: &str) -> Arc<dyn ConditionsSource> {
+    let store = Arc::new(ConditionsStore::new());
+    daspos::workflow::populate_conditions(&store, tag).expect("populate");
+    Arc::new(DbSource::connect(store, tag))
+}
+
+/// The builtin analysis registry.
+pub fn registry() -> Arc<AnalysisRegistry> {
+    Arc::new(AnalysisRegistry::with_builtin())
+}
+
+/// Short criterion settings so the full suite stays fast.
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}

@@ -1,0 +1,96 @@
+//! Error type for the conditions database.
+
+use std::fmt;
+
+use crate::iov::RunRange;
+
+/// Errors raised by conditions-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionsError {
+    /// The requested global tag does not exist.
+    UnknownTag(String),
+    /// The requested condition key does not exist under the tag.
+    UnknownKey {
+        /// Tag that was queried.
+        tag: String,
+        /// Condition key that was not found.
+        key: String,
+    },
+    /// No payload covers the requested run.
+    NoValidPayload {
+        /// Tag that was queried.
+        tag: String,
+        /// Condition key that was queried.
+        key: String,
+        /// The run for which no interval of validity matched.
+        run: u32,
+    },
+    /// An insertion would overlap an existing interval of validity.
+    OverlappingIov {
+        /// Condition key being inserted.
+        key: String,
+        /// The interval that was being inserted.
+        inserted: RunRange,
+        /// The existing interval it collides with.
+        existing: RunRange,
+    },
+    /// A run range with `first > last` was supplied.
+    EmptyRange(RunRange),
+    /// A tag is frozen (locked for reproducibility) and cannot be modified.
+    TagFrozen(String),
+    /// A serialized snapshot could not be parsed.
+    ParseError {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConditionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConditionsError::UnknownTag(t) => write!(f, "unknown global tag '{t}'"),
+            ConditionsError::UnknownKey { tag, key } => {
+                write!(f, "unknown condition key '{key}' under tag '{tag}'")
+            }
+            ConditionsError::NoValidPayload { tag, key, run } => write!(
+                f,
+                "no payload valid for run {run} under tag '{tag}', key '{key}'"
+            ),
+            ConditionsError::OverlappingIov {
+                key,
+                inserted,
+                existing,
+            } => write!(
+                f,
+                "interval {inserted} for key '{key}' overlaps existing {existing}"
+            ),
+            ConditionsError::EmptyRange(r) => write!(f, "empty run range {r}"),
+            ConditionsError::TagFrozen(t) => {
+                write!(f, "global tag '{t}' is frozen and cannot be modified")
+            }
+            ConditionsError::ParseError { line, reason } => {
+                write!(f, "snapshot parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConditionsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = ConditionsError::NoValidPayload {
+            tag: "data-2013".to_string(),
+            key: "ecal/gain".to_string(),
+            run: 17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("data-2013") && s.contains("ecal/gain") && s.contains("17"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Intervals of validity.
+//!
+//! A conditions payload is valid for an inclusive range of runs. A
+//! condition's history is a set of non-overlapping ranges; resolution for
+//! a run picks the unique covering range.
+
+use std::fmt;
+
+use crate::error::ConditionsError;
+
+/// An inclusive run range `[first, last]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunRange {
+    /// First run covered.
+    pub first: u32,
+    /// Last run covered (inclusive). `u32::MAX` means open-ended.
+    pub last: u32,
+}
+
+impl RunRange {
+    /// A range covering `[first, last]`; errors when inverted.
+    pub fn new(first: u32, last: u32) -> Result<Self, ConditionsError> {
+        let r = RunRange { first, last };
+        if first > last {
+            Err(ConditionsError::EmptyRange(r))
+        } else {
+            Ok(r)
+        }
+    }
+
+    /// An open-ended range starting at `first`.
+    pub fn from(first: u32) -> Self {
+        RunRange {
+            first,
+            last: u32::MAX,
+        }
+    }
+
+    /// A range covering a single run.
+    pub fn single(run: u32) -> Self {
+        RunRange {
+            first: run,
+            last: run,
+        }
+    }
+
+    /// True when the range covers `run`.
+    #[inline]
+    pub fn contains(&self, run: u32) -> bool {
+        self.first <= run && run <= self.last
+    }
+
+    /// True when two ranges share at least one run.
+    #[inline]
+    pub fn overlaps(&self, other: &RunRange) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+
+    /// Number of runs covered (saturating for open-ended ranges).
+    pub fn len(&self) -> u64 {
+        u64::from(self.last) - u64::from(self.first) + 1
+    }
+
+    /// Ranges are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for RunRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.last == u32::MAX {
+            write!(f, "[{}..]", self.first)
+        } else {
+            write!(f, "[{}..{}]", self.first, self.last)
+        }
+    }
+}
+
+/// A condition key: a hierarchical path like `"tracker/alignment"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IovKey(pub String);
+
+impl IovKey {
+    /// Construct from any string-ish value.
+    pub fn new(path: impl Into<String>) -> Self {
+        IovKey(path.into())
+    }
+
+    /// The subsystem prefix (text before the first `/`), used to group
+    /// dependency reports per detector subsystem.
+    pub fn subsystem(&self) -> &str {
+        self.0.split('/').next().unwrap_or(&self.0)
+    }
+}
+
+impl fmt::Display for IovKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A sorted, non-overlapping sequence of `(RunRange, payload-index)`
+/// entries for one condition key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IovSequence {
+    entries: Vec<(RunRange, usize)>,
+}
+
+impl IovSequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        IovSequence::default()
+    }
+
+    /// Insert an interval pointing at `payload_index`; rejects overlaps.
+    pub fn insert(&mut self, range: RunRange, payload_index: usize) -> Result<(), ConditionsError> {
+        if let Some((existing, _)) = self.entries.iter().find(|(r, _)| r.overlaps(&range)) {
+            return Err(ConditionsError::OverlappingIov {
+                key: String::new(),
+                inserted: range,
+                existing: *existing,
+            });
+        }
+        let pos = self
+            .entries
+            .partition_point(|(r, _)| r.first < range.first);
+        self.entries.insert(pos, (range, payload_index));
+        Ok(())
+    }
+
+    /// Binary-search resolution of the payload index covering `run`.
+    pub fn resolve(&self, run: u32) -> Option<usize> {
+        let pos = self.entries.partition_point(|(r, _)| r.first <= run);
+        if pos == 0 {
+            return None;
+        }
+        let (range, idx) = self.entries[pos - 1];
+        range.contains(run).then_some(idx)
+    }
+
+    /// All entries in run order.
+    pub fn entries(&self) -> &[(RunRange, usize)] {
+        &self.entries
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no intervals exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_construction() {
+        assert!(RunRange::new(5, 3).is_err());
+        let r = RunRange::new(3, 5).unwrap();
+        assert!(r.contains(3) && r.contains(5) && !r.contains(6));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn open_ended_range() {
+        let r = RunRange::from(100);
+        assert!(r.contains(u32::MAX));
+        assert_eq!(r.to_string(), "[100..]");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = RunRange::new(1, 10).unwrap();
+        let b = RunRange::new(10, 20).unwrap();
+        let c = RunRange::new(11, 20).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn subsystem_prefix() {
+        assert_eq!(IovKey::new("tracker/alignment").subsystem(), "tracker");
+        assert_eq!(IovKey::new("beamspot").subsystem(), "beamspot");
+    }
+
+    #[test]
+    fn sequence_insert_and_resolve() {
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(1, 10).unwrap(), 0).unwrap();
+        seq.insert(RunRange::new(21, 30).unwrap(), 2).unwrap();
+        seq.insert(RunRange::new(11, 20).unwrap(), 1).unwrap();
+        assert_eq!(seq.resolve(5), Some(0));
+        assert_eq!(seq.resolve(11), Some(1));
+        assert_eq!(seq.resolve(30), Some(2));
+        assert_eq!(seq.resolve(31), None);
+        assert_eq!(seq.resolve(0), None);
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn sequence_rejects_overlap() {
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(1, 10).unwrap(), 0).unwrap();
+        let err = seq.insert(RunRange::new(5, 15).unwrap(), 1).unwrap_err();
+        assert!(matches!(err, ConditionsError::OverlappingIov { .. }));
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn resolve_in_gap_is_none() {
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(1, 5).unwrap(), 0).unwrap();
+        seq.insert(RunRange::new(10, 15).unwrap(), 1).unwrap();
+        assert_eq!(seq.resolve(7), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # daspos-conditions — conditions and calibration database
+//!
+//! The DASPOS report (§3.2) identifies the conditions database as the key
+//! external dependency of HEP processing: *"the Reconstruction step
+//! requires at least one and sometimes many different databases that store
+//! all manner of calibration constants, conditions data, etc."* — and notes
+//! that *"enumerating and potentially encapsulating these external
+//! dependencies will be an important ingredient in the analysis
+//! preservation process."*
+//!
+//! This crate implements that substrate:
+//!
+//! * [`iov`] — intervals of validity: every payload is valid for a
+//!   half-open run range,
+//! * [`store`] — the versioned store: global tags map condition keys to
+//!   IoV-resolved payloads,
+//! * [`access`] — the two access strategies the report contrasts:
+//!   database round-trips (ATLAS/CMS/LHCb style) versus text files shipped
+//!   with the data (ALICE style), plus the snapshot mechanism the
+//!   preservation archive uses to encapsulate the dependency,
+//! * [`text`] — the shippable text serialization of a snapshot.
+
+pub mod access;
+pub mod error;
+pub mod iov;
+pub mod store;
+pub mod text;
+
+pub use access::{AccessStats, ConditionsSource, DbSource, ShippedFileSource, Snapshot};
+pub use error::ConditionsError;
+pub use iov::{IovKey, RunRange};
+pub use store::{ConditionsStore, GlobalTag, Payload};

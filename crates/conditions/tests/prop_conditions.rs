@@ -1,0 +1,114 @@
+//! Property tests: IoV store semantics and snapshot round-trips.
+
+use daspos_conditions::{ConditionsStore, IovKey, Payload, RunRange, Snapshot};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        (-1.0e6..1.0e6f64).prop_map(Payload::Scalar),
+        prop::collection::vec(-1.0e3..1.0e3f64, 0..20).prop_map(Payload::Vector),
+        "[a-zA-Z0-9_.-]{1,24}".prop_map(Payload::Text),
+    ]
+}
+
+/// Non-overlapping ranges: consecutive windows of width w starting at
+/// multiples of w.
+fn arb_ranges(max_windows: u32) -> impl Strategy<Value = Vec<RunRange>> {
+    (1u32..50, 1u32..=max_windows).prop_map(|(width, n)| {
+        (0..n)
+            .map(|i| RunRange::new(i * width + 1, (i + 1) * width).expect("valid"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn resolution_returns_the_covering_interval(
+        ranges in arb_ranges(8),
+        probe in 0u32..500
+    ) {
+        let store = ConditionsStore::new();
+        store.create_tag("t").unwrap();
+        let key = IovKey::new("k");
+        for (i, r) in ranges.iter().enumerate() {
+            store
+                .insert("t", key.clone(), *r, Payload::Scalar(i as f64))
+                .expect("non-overlapping by construction");
+        }
+        match store.resolve("t", &key, probe) {
+            Ok(p) => {
+                let idx = p.as_scalar().unwrap() as usize;
+                prop_assert!(ranges[idx].contains(probe),
+                    "payload {idx} does not cover run {probe}");
+            }
+            Err(_) => {
+                prop_assert!(
+                    ranges.iter().all(|r| !r.contains(probe)),
+                    "resolution failed although run {probe} is covered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_insert_always_rejected(
+        first in 1u32..100, len in 0u32..50, offset in 0u32..40
+    ) {
+        let store = ConditionsStore::new();
+        store.create_tag("t").unwrap();
+        let key = IovKey::new("k");
+        let a = RunRange::new(first, first + len).unwrap();
+        store.insert("t", key.clone(), a, Payload::Scalar(1.0)).unwrap();
+        // Any range starting inside [first, first+len] overlaps.
+        let b_start = first + offset.min(len);
+        let b = RunRange::new(b_start, b_start + 5).unwrap();
+        prop_assert!(store.insert("t", key, b, Payload::Scalar(2.0)).is_err());
+    }
+
+    #[test]
+    fn snapshot_text_round_trip(
+        ranges in arb_ranges(5),
+        payloads in prop::collection::vec(arb_payload(), 5),
+        keys in prop::collection::btree_set("[a-z]{1,8}(/[a-z]{1,8})?", 1..4)
+    ) {
+        let store = ConditionsStore::new();
+        store.create_tag("t").unwrap();
+        for key in &keys {
+            for (r, p) in ranges.iter().zip(payloads.iter().cycle()) {
+                // Text payloads with spaces survive because they are the
+                // final field; arbitrary generated ones here are spaceless.
+                store
+                    .insert("t", IovKey::new(key.clone()), *r, p.clone())
+                    .expect("insert");
+            }
+        }
+        let snap = Snapshot::capture(&store, "t").expect("capture");
+        let restored = Snapshot::from_text(&snap.to_text()).expect("parse");
+        prop_assert_eq!(&restored, &snap);
+        // Restoring into a fresh store answers identically.
+        let fresh = ConditionsStore::new();
+        restored.restore_into(&fresh, "t2").expect("restore");
+        for key in &keys {
+            for r in &ranges {
+                let a = store.resolve("t", &IovKey::new(key.clone()), r.first).unwrap();
+                let b = fresh.resolve("t2", &IovKey::new(key.clone()), r.first).unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_tags_reject_all_writes(
+        key in "[a-z]{1,10}",
+        run0 in 1u32..1000
+    ) {
+        let store = ConditionsStore::new();
+        store.create_tag("t").unwrap();
+        store.freeze("t").unwrap();
+        prop_assert!(store
+            .insert("t", IovKey::new(key), RunRange::from(run0), Payload::Scalar(0.0))
+            .is_err());
+    }
+}

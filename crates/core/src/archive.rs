@@ -1,0 +1,395 @@
+//! The preservation archive container.
+//!
+//! A [`PreservationArchive`] is the self-contained unit DASPOS's goals
+//! call for: the declarative workflow, the conditions snapshot, the
+//! provenance graph, the software-stack descriptor, the interview
+//! metadata and the reference analysis results — everything a future
+//! system needs to re-run the chain and check the answer. Sections are
+//! checksummed so bit rot is detected, and the container itself has a
+//! versioned binary form.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use daspos_conditions::Snapshot;
+use daspos_metadata::maturity::MaturityReport;
+use daspos_metadata::presets;
+use daspos_metadata::sharing::PolicyStatus;
+use daspos_provenance::{text as prov_text, SoftwareStack};
+
+use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};
+
+/// Container format version.
+pub const ARCHIVE_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"DPAR";
+
+/// The well-known section names.
+pub mod sections {
+    /// The declarative workflow text.
+    pub const WORKFLOW: &str = "workflow";
+    /// The conditions snapshot (shippable text form).
+    pub const CONDITIONS: &str = "conditions";
+    /// The provenance graph text.
+    pub const PROVENANCE: &str = "provenance";
+    /// The software stack descriptor.
+    pub const SOFTWARE: &str = "software";
+    /// The reference analysis results (YODA-like text).
+    pub const RESULTS: &str = "results";
+    /// Interview/maturity metadata.
+    pub const METADATA: &str = "metadata";
+    /// Optional: ADL analysis descriptions carried with the archive
+    /// (Les Houches Rec. 1b — the analysis database entries themselves).
+    /// Multiple documents are separated by a line containing only `---`.
+    pub const ADL: &str = "adl";
+}
+
+/// One named, checksummed section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveSection {
+    /// Section name.
+    pub name: String,
+    /// Raw contents.
+    pub data: Bytes,
+    /// FNV-1a 64 checksum of the contents at packaging time.
+    pub checksum: u64,
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl ArchiveSection {
+    /// Create a section (computes the checksum).
+    pub fn new(name: &str, data: Bytes) -> ArchiveSection {
+        ArchiveSection {
+            name: name.to_string(),
+            checksum: fnv64(&data),
+            data,
+        }
+    }
+
+    /// True when the contents still match the checksum.
+    pub fn intact(&self) -> bool {
+        fnv64(&self.data) == self.checksum
+    }
+}
+
+/// Archive failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchiveError {
+    /// A required section is absent.
+    MissingSection(String),
+    /// A section's checksum no longer matches (bit rot / tampering).
+    CorruptSection(String),
+    /// The binary container could not be decoded.
+    Malformed(String),
+    /// The container version is not supported.
+    UnsupportedVersion(u16),
+    /// Packaging failed.
+    Packaging(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::MissingSection(s) => write!(f, "missing archive section '{s}'"),
+            ArchiveError::CorruptSection(s) => write!(f, "archive section '{s}' is corrupt"),
+            ArchiveError::Malformed(msg) => write!(f, "malformed archive: {msg}"),
+            ArchiveError::UnsupportedVersion(v) => {
+                write!(f, "unsupported archive version {v}")
+            }
+            ArchiveError::Packaging(msg) => write!(f, "packaging failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// The preservation archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreservationArchive {
+    /// Human name of the archive.
+    pub name: String,
+    /// Container version.
+    pub version: u16,
+    /// Named sections.
+    pub sections: BTreeMap<String, ArchiveSection>,
+}
+
+impl PreservationArchive {
+    /// Package a finished production run into an archive.
+    pub fn package(
+        name: &str,
+        workflow: &PreservedWorkflow,
+        ctx: &ExecutionContext,
+        output: &ProductionOutput,
+    ) -> Result<PreservationArchive, ArchiveError> {
+        let snapshot = Snapshot::capture(&ctx.conditions, &workflow.conditions_tag)
+            .map_err(|e| ArchiveError::Packaging(e.to_string()))?;
+        let experiment = workflow.experiment.name();
+        let interview = presets::interview_for(experiment);
+        let maturity =
+            MaturityReport::assess(&interview, PolicyStatus::report_2014(experiment));
+        let metadata_text = format!(
+            "experiment {experiment}\nmaturity data-management {}\nmaturity description {}\nmaturity preservation {}\nmaturity sharing {}\n",
+            maturity.data_management, maturity.description, maturity.preservation, maturity.sharing
+        );
+
+        let mut archive = PreservationArchive {
+            name: name.to_string(),
+            version: ARCHIVE_VERSION,
+            sections: BTreeMap::new(),
+        };
+        for (section, text) in [
+            (sections::WORKFLOW, workflow.to_text()),
+            (sections::CONDITIONS, snapshot.to_text()),
+            (sections::PROVENANCE, prov_text::to_text(&ctx.provenance)),
+            (sections::SOFTWARE, ctx.software.render()),
+            (sections::RESULTS, output.results_to_text()),
+            (sections::METADATA, metadata_text),
+        ] {
+            archive.insert(section, Bytes::from(text));
+        }
+        Ok(archive)
+    }
+
+    /// Insert (or replace) a section.
+    pub fn insert(&mut self, name: &str, data: Bytes) {
+        self.sections
+            .insert(name.to_string(), ArchiveSection::new(name, data));
+    }
+
+    /// Fetch a section's contents, verifying its checksum.
+    pub fn section(&self, name: &str) -> Result<&Bytes, ArchiveError> {
+        let s = self
+            .sections
+            .get(name)
+            .ok_or_else(|| ArchiveError::MissingSection(name.to_string()))?;
+        if !s.intact() {
+            return Err(ArchiveError::CorruptSection(name.to_string()));
+        }
+        Ok(&s.data)
+    }
+
+    /// Fetch a section as UTF-8 text.
+    pub fn section_text(&self, name: &str) -> Result<&str, ArchiveError> {
+        std::str::from_utf8(self.section(name)?)
+            .map_err(|_| ArchiveError::CorruptSection(name.to_string()))
+    }
+
+    /// The archived software stack.
+    pub fn software(&self) -> Result<SoftwareStack, ArchiveError> {
+        SoftwareStack::parse(self.section_text(sections::SOFTWARE)?)
+            .ok_or_else(|| ArchiveError::CorruptSection(sections::SOFTWARE.to_string()))
+    }
+
+    /// Replace the archived software stack (a migration rebuild).
+    pub fn set_software(&mut self, stack: &SoftwareStack) {
+        self.insert(sections::SOFTWARE, Bytes::from(stack.render()));
+    }
+
+    /// Verify every section's integrity.
+    pub fn verify_integrity(&self) -> Result<(), ArchiveError> {
+        for (name, s) in &self.sections {
+            if !s.intact() {
+                return Err(ArchiveError::CorruptSection(name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total archived bytes.
+    pub fn byte_size(&self) -> usize {
+        self.sections.values().map(|s| s.data.len()).sum()
+    }
+
+    /// Serialize the container to its binary form.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(self.version);
+        let name = self.name.as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        buf.put_u32_le(self.sections.len() as u32);
+        for s in self.sections.values() {
+            let sec_name = s.name.as_bytes();
+            buf.put_u32_le(sec_name.len() as u32);
+            buf.put_slice(sec_name);
+            buf.put_u64_le(s.checksum);
+            buf.put_u32_le(s.data.len() as u32);
+            buf.put_slice(&s.data);
+        }
+        buf.freeze()
+    }
+
+    /// Restore the container from its binary form. Checksums travel with
+    /// the data, so corruption after serialization is still detected by
+    /// [`PreservationArchive::verify_integrity`].
+    pub fn from_bytes(data: &Bytes) -> Result<PreservationArchive, ArchiveError> {
+        let mut b = data.clone();
+        let need = |b: &Bytes, n: usize| -> Result<(), ArchiveError> {
+            if b.remaining() < n {
+                Err(ArchiveError::Malformed("truncated".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        need(&b, 6)?;
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(ArchiveError::Malformed("bad magic".to_string()));
+        }
+        let version = b.get_u16_le();
+        if version != ARCHIVE_VERSION {
+            return Err(ArchiveError::UnsupportedVersion(version));
+        }
+        need(&b, 4)?;
+        let name_len = b.get_u32_le() as usize;
+        need(&b, name_len)?;
+        let name_bytes = b.split_to(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| ArchiveError::Malformed("bad name utf-8".to_string()))?
+            .to_string();
+        need(&b, 4)?;
+        let n_sections = b.get_u32_le();
+        if n_sections > 10_000 {
+            return Err(ArchiveError::Malformed("absurd section count".to_string()));
+        }
+        let mut sections = BTreeMap::new();
+        for _ in 0..n_sections {
+            need(&b, 4)?;
+            let len = b.get_u32_le() as usize;
+            need(&b, len)?;
+            let sec_name_bytes = b.split_to(len);
+            let sec_name = std::str::from_utf8(&sec_name_bytes)
+                .map_err(|_| ArchiveError::Malformed("bad section name".to_string()))?
+                .to_string();
+            need(&b, 12)?;
+            let checksum = b.get_u64_le();
+            let data_len = b.get_u32_le() as usize;
+            need(&b, data_len)?;
+            let data = b.split_to(data_len);
+            sections.insert(
+                sec_name.clone(),
+                ArchiveSection {
+                    name: sec_name,
+                    data,
+                    checksum,
+                },
+            );
+        }
+        if b.has_remaining() {
+            return Err(ArchiveError::Malformed("trailing bytes".to_string()));
+        }
+        Ok(PreservationArchive {
+            name,
+            version,
+            sections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daspos_detsim::Experiment;
+
+    fn sample_archive() -> PreservationArchive {
+        let wf = PreservedWorkflow::standard_z(Experiment::Cms, 3, 30);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf.execute(&ctx).expect("executes");
+        PreservationArchive::package("sample", &wf, &ctx, &out).expect("packages")
+    }
+
+    #[test]
+    fn package_creates_all_sections() {
+        let a = sample_archive();
+        for s in [
+            sections::WORKFLOW,
+            sections::CONDITIONS,
+            sections::PROVENANCE,
+            sections::SOFTWARE,
+            sections::RESULTS,
+            sections::METADATA,
+        ] {
+            assert!(a.section(s).is_ok(), "missing {s}");
+        }
+        assert!(a.verify_integrity().is_ok());
+        assert!(a.byte_size() > 500);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let a = sample_archive();
+        let bytes = a.to_bytes();
+        let back = PreservationArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert!(back.verify_integrity().is_ok());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let a = sample_archive();
+        let mut raw = a.to_bytes().to_vec();
+        // Flip a byte near the end (inside the last section's data).
+        let n = raw.len();
+        raw[n - 3] ^= 0xFF;
+        let tampered = PreservationArchive::from_bytes(&Bytes::from(raw)).unwrap();
+        assert!(matches!(
+            tampered.verify_integrity(),
+            Err(ArchiveError::CorruptSection(_))
+        ));
+    }
+
+    #[test]
+    fn missing_section_reported() {
+        let a = sample_archive();
+        assert!(matches!(
+            a.section("nonexistent"),
+            Err(ArchiveError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_container_rejected() {
+        assert!(PreservationArchive::from_bytes(&Bytes::from_static(b"junk")).is_err());
+        let a = sample_archive();
+        let bytes = a.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(PreservationArchive::from_bytes(&truncated).is_err());
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let a = sample_archive();
+        let mut raw = a.to_bytes().to_vec();
+        raw[4] = 9; // version low byte
+        assert!(matches!(
+            PreservationArchive::from_bytes(&Bytes::from(raw)),
+            Err(ArchiveError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn software_section_parses() {
+        let a = sample_archive();
+        let stack = a.software().unwrap();
+        assert!(stack.packages.iter().any(|p| p.name == "daspos-reco"));
+    }
+
+    #[test]
+    fn metadata_section_has_maturity_lines() {
+        let a = sample_archive();
+        let text = a.section_text(sections::METADATA).unwrap();
+        assert!(text.contains("experiment cms"));
+        assert!(text.contains("maturity preservation"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # daspos — data and software preservation for open science
+//!
+//! The core crate of the DASPOS toolkit: everything below it (event
+//! model, generator, detector simulation, reconstruction, data tiers,
+//! conditions, provenance, metadata, RIVET-like and RECAST-like
+//! frameworks, HepData-like repository, outreach formats) exists so this
+//! crate can do its job — **preserve a complete analysis workflow and
+//! prove, by re-execution, that it was preserved**.
+//!
+//! The workshop report this reproduces set three goals (§1.2): establish
+//! use cases for archived data ([`usecases`]), define what data and
+//! associated information supports them ([`workflow`], [`archive`]), and
+//! identify the metadata needed to access archives ([`archive`] +
+//! `daspos-metadata`). The toolkit closes the loop with [`validate`]
+//! (re-run a preserved workflow and compare) and [`migrate`] (simulate
+//! the platform transitions the report warns about).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use daspos::prelude::*;
+//!
+//! // Describe a workflow declaratively.
+//! let workflow = PreservedWorkflow::standard_z(Experiment::Cms, 42, 200);
+//! // Execute it: generate, simulate, reconstruct, skim, analyze.
+//! let ctx = ExecutionContext::fresh(&workflow);
+//! let production = workflow.execute(&ctx).expect("production runs");
+//! // Package the run into a self-contained archive...
+//! let archive = PreservationArchive::package("demo", &workflow, &ctx, &production)
+//!     .expect("packaging succeeds");
+//! // ...and prove it is preserved by re-running from the archive alone.
+//! let report = validate::validate(&archive, &Platform::current()).expect("validates");
+//! assert!(report.reproduced);
+//! ```
+
+pub mod archive;
+pub mod levels;
+pub mod migrate;
+pub mod usecases;
+pub mod validate;
+pub mod workflow;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::archive::{ArchiveSection, PreservationArchive};
+    pub use crate::levels::DphepLevel;
+    pub use crate::migrate::Migrator;
+    pub use crate::usecases::{Actor, UseCase};
+    pub use crate::validate::{self, ValidationReport};
+    pub use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};
+    pub use daspos_detsim::Experiment;
+    pub use daspos_provenance::Platform;
+}
+
+pub use archive::PreservationArchive;
+pub use workflow::{ExecutionContext, PreservedWorkflow};

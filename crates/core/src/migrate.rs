@@ -1,0 +1,213 @@
+//! Platform-migration simulation (experiment P1).
+//!
+//! The report's RECAST critique: *"the full experimental code base must be
+//! migrated to new computing platforms when such transitions become
+//! necessary. The entire set of processes must be kept functioning."*
+//! The [`Migrator`] holds a fleet of archives through a platform
+//! transition and reports who survives:
+//!
+//! * archives with **declarative** workflows survive once their software
+//!   stack is rebuilt for the new platform (majors unchanged, so the
+//!   preserved configuration still applies);
+//! * archives that preserved only an **opaque binary** (no workflow
+//!   section, just an executable blob — the "capturing an executable"
+//!   fallback §3.2 mentions for final plotting steps) cannot be rebuilt
+//!   and die with the old platform.
+
+use daspos_provenance::Platform;
+
+use crate::archive::{sections, PreservationArchive};
+use crate::validate::{self, ValidationReport};
+
+/// The outcome of a migration campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// The platform migrated to.
+    pub platform: Platform,
+    /// Per-archive validation outcomes after migration.
+    pub outcomes: Vec<ValidationReport>,
+    /// Archives that could not even be rebuilt (opaque binaries).
+    pub unmigratable: Vec<String>,
+}
+
+impl MigrationReport {
+    /// Fraction of the fleet that validates on the new platform.
+    pub fn survival_rate(&self) -> f64 {
+        let total = self.outcomes.len() + self.unmigratable.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let alive = self.outcomes.iter().filter(|r| r.passed()).count();
+        alive as f64 / total as f64
+    }
+}
+
+/// Holds archives through platform transitions.
+#[derive(Default)]
+pub struct Migrator {
+    archives: Vec<PreservationArchive>,
+}
+
+impl Migrator {
+    /// An empty migrator.
+    pub fn new() -> Self {
+        Migrator::default()
+    }
+
+    /// Take custody of an archive.
+    pub fn add(&mut self, archive: PreservationArchive) {
+        self.archives.push(archive);
+    }
+
+    /// Number of archives under custody.
+    pub fn len(&self) -> usize {
+        self.archives.len()
+    }
+
+    /// True when no archives are held.
+    pub fn is_empty(&self) -> bool {
+        self.archives.is_empty()
+    }
+
+    /// Validate the whole fleet on a platform *without* migrating —
+    /// the "do nothing" baseline.
+    pub fn validate_all(&self, platform: &Platform) -> Vec<ValidationReport> {
+        self.archives
+            .iter()
+            .map(|a| {
+                validate::validate(a, platform).unwrap_or_else(|e| ValidationReport {
+                    archive: a.name.clone(),
+                    integrity_ok: false,
+                    platform_ok: false,
+                    executed: false,
+                    reproduced: false,
+                    detail: e.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Migrate the fleet to a new platform (rebuild every declarative
+    /// archive's software stack), then revalidate everything.
+    pub fn migrate_to(&mut self, platform: &Platform) -> MigrationReport {
+        let mut unmigratable = Vec::new();
+        for archive in &mut self.archives {
+            let declarative = archive
+                .section_text(sections::WORKFLOW)
+                .map(|t| t.starts_with("# daspos-workflow"))
+                .unwrap_or(false);
+            if !declarative {
+                unmigratable.push(archive.name.clone());
+                continue;
+            }
+            if let Ok(stack) = archive.software() {
+                archive.set_software(&stack.migrated_to(platform.clone()));
+            }
+        }
+        let outcomes = self
+            .archives
+            .iter()
+            .filter(|a| !unmigratable.contains(&a.name))
+            .map(|a| {
+                validate::validate(a, platform).unwrap_or_else(|e| ValidationReport {
+                    archive: a.name.clone(),
+                    integrity_ok: false,
+                    platform_ok: false,
+                    executed: false,
+                    reproduced: false,
+                    detail: e.to_string(),
+                })
+            })
+            .collect();
+        MigrationReport {
+            platform: platform.clone(),
+            outcomes,
+            unmigratable,
+        }
+    }
+}
+
+/// Build an opaque-binary archive from a declarative one: the workflow
+/// section is replaced by an executable blob. Used by the P1 ablation.
+pub fn make_opaque(mut archive: PreservationArchive) -> PreservationArchive {
+    let fake_binary: Vec<u8> = (0..256u16).map(|i| (i % 251) as u8).collect();
+    archive.insert(sections::WORKFLOW, bytes::Bytes::from(fake_binary));
+    archive.name = format!("{}-opaque", archive.name);
+    archive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{ExecutionContext, PreservedWorkflow};
+    use daspos_detsim::Experiment;
+
+    fn archive(seed: u64) -> PreservationArchive {
+        let wf = PreservedWorkflow::standard_z(Experiment::Atlas, seed, 25);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf.execute(&ctx).unwrap();
+        PreservationArchive::package(&format!("arc-{seed}"), &wf, &ctx, &out).unwrap()
+    }
+
+    #[test]
+    fn fleet_validates_on_original_platform() {
+        let mut m = Migrator::new();
+        m.add(archive(1));
+        m.add(archive(2));
+        let reports = m.validate_all(&Platform::current());
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(ValidationReport::passed));
+    }
+
+    #[test]
+    fn unmigrated_fleet_dies_on_new_platform() {
+        let mut m = Migrator::new();
+        m.add(archive(3));
+        let reports = m.validate_all(&Platform::successor());
+        assert!(reports.iter().all(|r| !r.passed()));
+    }
+
+    #[test]
+    fn migration_restores_survival_for_declarative_archives() {
+        let mut m = Migrator::new();
+        m.add(archive(4));
+        m.add(archive(5));
+        let report = m.migrate_to(&Platform::successor());
+        assert_eq!(report.unmigratable.len(), 0);
+        assert!(
+            (report.survival_rate() - 1.0).abs() < 1e-12,
+            "survival {} ({:?})",
+            report.survival_rate(),
+            report.outcomes.iter().map(|o| &o.detail).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn opaque_archives_do_not_survive_migration() {
+        let mut m = Migrator::new();
+        m.add(archive(6));
+        m.add(make_opaque(archive(7)));
+        let report = m.migrate_to(&Platform::successor());
+        assert_eq!(report.unmigratable.len(), 1);
+        assert!(report.unmigratable[0].contains("opaque"));
+        assert!((report.survival_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opaque_archives_still_validate_on_original_platform_as_execution_failures() {
+        // On the original platform the opaque archive's sections are
+        // intact but the workflow cannot be re-executed declaratively.
+        let a = make_opaque(archive(8));
+        let report = validate::validate(&a, &Platform::current()).unwrap();
+        assert!(report.integrity_ok);
+        assert!(!report.executed);
+    }
+
+    #[test]
+    fn empty_fleet_survives_trivially() {
+        let mut m = Migrator::new();
+        assert!(m.is_empty());
+        let report = m.migrate_to(&Platform::successor());
+        assert_eq!(report.survival_rate(), 1.0);
+    }
+}

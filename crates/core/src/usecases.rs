@@ -1,0 +1,185 @@
+//! The use-case registry (workshop goal i).
+//!
+//! §1.2: the workshop set out to *"establish use cases for data access
+//! and re-use … define what data and associated information supports the
+//! use cases, and identify a preliminary set of metadata"*. Each use
+//! case here records its actor, the DPHEP level it needs, and the archive
+//! sections that must be present — so an archive can be checked against
+//! the use cases it claims to serve.
+
+use crate::archive::{sections, PreservationArchive};
+use crate::levels::DphepLevel;
+
+/// Who wants the archived data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// A theorist reinterpreting a search (the RECAST customer).
+    Theorist,
+    /// A collaboration member validating or extending an analysis.
+    Experimentalist,
+    /// A student or member of the public (outreach).
+    Student,
+    /// A historian of science.
+    Historian,
+}
+
+/// One use case for archived data and software.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UseCase {
+    /// Short identifier.
+    pub id: &'static str,
+    /// Human name.
+    pub name: &'static str,
+    /// Who drives it.
+    pub actor: Actor,
+    /// The report passage it comes from.
+    pub source: &'static str,
+    /// The minimum DPHEP level required.
+    pub required_level: DphepLevel,
+    /// Archive sections that must be present and intact.
+    pub required_sections: &'static [&'static str],
+}
+
+/// The use cases established by the workshop.
+pub fn registry() -> Vec<UseCase> {
+    vec![
+        UseCase {
+            id: "reinterpretation",
+            name: "Constrain a new-physics model against a preserved search",
+            actor: Actor::Theorist,
+            source: "§2.4: theorists wishing to re-run an analysis on a new model",
+            required_level: DphepLevel::FullCapability,
+            required_sections: &[
+                sections::WORKFLOW,
+                sections::CONDITIONS,
+                sections::SOFTWARE,
+                sections::RESULTS,
+            ],
+        },
+        UseCase {
+            id: "validation-rerun",
+            name: "Re-run a finished analysis to validate its result",
+            actor: Actor::Experimentalist,
+            source: "§2.4: outputs could be used for validation purposes",
+            required_level: DphepLevel::AnalysisData,
+            required_sections: &[
+                sections::WORKFLOW,
+                sections::CONDITIONS,
+                sections::SOFTWARE,
+                sections::RESULTS,
+            ],
+        },
+        UseCase {
+            id: "future-comparison",
+            name: "Repeat an analysis for comparison with a future dataset",
+            actor: Actor::Experimentalist,
+            source: "§2.4: preserving the ability to repeat an analysis for physics \
+                     comparisons with a future dataset",
+            required_level: DphepLevel::AnalysisData,
+            required_sections: &[sections::WORKFLOW, sections::CONDITIONS, sections::SOFTWARE],
+        },
+        UseCase {
+            id: "outreach",
+            name: "Masterclass exercises on simplified data",
+            actor: Actor::Student,
+            source: "§2.1–2.2: analyses captured in outreach efforts",
+            required_level: DphepLevel::SimplifiedFormats,
+            required_sections: &[sections::RESULTS],
+        },
+        UseCase {
+            id: "historical-record",
+            name: "Archival record of how a result was obtained",
+            actor: Actor::Historian,
+            source: "Appendix A Q8B: data would be of interest to historians of my field",
+            required_level: DphepLevel::Documentation,
+            required_sections: &[sections::METADATA, sections::PROVENANCE],
+        },
+    ]
+}
+
+/// Check whether an archive can serve a use case: every required section
+/// present and intact. (Level is a property of what the archive's
+/// workflow regenerates; a full declarative archive regenerates raw data,
+/// i.e. level 4.)
+pub fn archive_serves(archive: &PreservationArchive, use_case: &UseCase) -> bool {
+    use_case
+        .required_sections
+        .iter()
+        .all(|s| archive.section(s).is_ok())
+}
+
+/// The use cases an archive can serve.
+pub fn served_by(archive: &PreservationArchive) -> Vec<UseCase> {
+    registry()
+        .into_iter()
+        .filter(|uc| archive_serves(archive, uc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{ExecutionContext, PreservedWorkflow};
+    use daspos_detsim::Experiment;
+
+    fn archive() -> PreservationArchive {
+        let wf = PreservedWorkflow::standard_z(Experiment::Lhcb, 9, 25);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf.execute(&ctx).unwrap();
+        PreservationArchive::package("uc", &wf, &ctx, &out).unwrap()
+    }
+
+    #[test]
+    fn registry_covers_all_actors() {
+        let reg = registry();
+        assert_eq!(reg.len(), 5);
+        for actor in [
+            Actor::Theorist,
+            Actor::Experimentalist,
+            Actor::Student,
+            Actor::Historian,
+        ] {
+            assert!(
+                reg.iter().any(|uc| uc.actor == actor),
+                "no use case for {actor:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_archive_serves_everything() {
+        let a = archive();
+        assert_eq!(served_by(&a).len(), registry().len());
+    }
+
+    #[test]
+    fn stripped_archive_loses_use_cases() {
+        let mut a = archive();
+        a.sections.remove(crate::archive::sections::WORKFLOW);
+        let served = served_by(&a);
+        assert!(served.iter().all(|uc| uc.id != "reinterpretation"));
+        assert!(served.iter().any(|uc| uc.id == "outreach"));
+        assert!(served.iter().any(|uc| uc.id == "historical-record"));
+    }
+
+    #[test]
+    fn reinterpretation_needs_full_capability() {
+        let uc = registry()
+            .into_iter()
+            .find(|uc| uc.id == "reinterpretation")
+            .unwrap();
+        assert_eq!(uc.required_level, DphepLevel::FullCapability);
+        assert_eq!(uc.actor, Actor::Theorist);
+    }
+
+    #[test]
+    fn every_use_case_cites_the_report() {
+        for uc in registry() {
+            assert!(
+                uc.source.contains('§') || uc.source.contains("Appendix"),
+                "{} lacks a citation",
+                uc.id
+            );
+        }
+    }
+}

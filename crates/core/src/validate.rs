@@ -1,0 +1,482 @@
+//! The validation engine: prove preservation by re-execution.
+//!
+//! §2.4 notes that a RECAST-style preserved analysis *"can be re-run at
+//! any time … for example, for validation purposes"*. This engine
+//! operationalizes that for whole workflows: from the archive **alone**,
+//! restore the conditions, parse the workflow, re-execute the full chain
+//! on the stated platform, and compare the analysis results against the
+//! archived reference — bit-for-bit, since the chain is deterministic
+//! from its master seed.
+
+use std::sync::Arc;
+
+use daspos_conditions::{ConditionsStore, Snapshot};
+use daspos_provenance::Platform;
+
+use crate::archive::{sections, ArchiveError, PreservationArchive};
+use crate::workflow::{ExecutionContext, PreservedWorkflow};
+
+/// The outcome of validating one archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Archive name.
+    pub archive: String,
+    /// Every section present and checksum-intact.
+    pub integrity_ok: bool,
+    /// The archived software stack can run on the requested platform.
+    pub platform_ok: bool,
+    /// The workflow re-executed without error.
+    pub executed: bool,
+    /// The re-run results match the archived reference exactly.
+    pub reproduced: bool,
+    /// Human-readable detail for failures.
+    pub detail: String,
+}
+
+impl ValidationReport {
+    /// True when the archive fully validates.
+    pub fn passed(&self) -> bool {
+        self.integrity_ok && self.platform_ok && self.executed && self.reproduced
+    }
+
+    fn failure(archive: &str, stage: &str, detail: String) -> ValidationReport {
+        ValidationReport {
+            archive: archive.to_string(),
+            integrity_ok: stage != "integrity",
+            platform_ok: !matches!(stage, "integrity" | "platform"),
+            executed: false,
+            reproduced: false,
+            detail,
+        }
+    }
+}
+
+/// Split an ADL section into its documents (separated by `---` lines).
+pub fn split_adl_documents(text: &str) -> Vec<String> {
+    text.split("\n---\n")
+        .map(str::trim)
+        .filter(|d| !d.is_empty())
+        .map(|d| format!("{d}\n"))
+        .collect()
+}
+
+/// Validate an archive on the given platform.
+///
+/// Returns `Err` only for archives too damaged to even start (missing or
+/// corrupt sections are reported in the `Ok` report instead wherever
+/// possible).
+pub fn validate(
+    archive: &PreservationArchive,
+    platform: &Platform,
+) -> Result<ValidationReport, ArchiveError> {
+    // 1. Integrity.
+    if let Err(e) = archive.verify_integrity() {
+        return Ok(ValidationReport::failure(
+            &archive.name,
+            "integrity",
+            e.to_string(),
+        ));
+    }
+
+    // 2. Platform compatibility of the archived software.
+    let stack = match archive.software() {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(ValidationReport::failure(
+                &archive.name,
+                "integrity",
+                e.to_string(),
+            ))
+        }
+    };
+    if !stack.runs_on(platform) {
+        return Ok(ValidationReport::failure(
+            &archive.name,
+            "platform",
+            format!(
+                "archived stack targets {}, requested platform is {platform}",
+                stack.platform
+            ),
+        ));
+    }
+
+    // 3. Restore the environment from the archive alone. A workflow
+    // section that is missing entirely is a hard error; one that exists
+    // but is not declarative text (an opaque binary) is an execution
+    // failure — the archive is intact, it just cannot be re-run.
+    if !archive.sections.contains_key(sections::WORKFLOW) {
+        return Err(ArchiveError::MissingSection(sections::WORKFLOW.to_string()));
+    }
+    let workflow_text = match archive.section_text(sections::WORKFLOW) {
+        Ok(t) => t,
+        Err(_) => {
+            return Ok(ValidationReport::failure(
+                &archive.name,
+                "execute",
+                "workflow section is not declarative text (opaque binary)".to_string(),
+            ))
+        }
+    };
+    let workflow = match PreservedWorkflow::parse(workflow_text) {
+        Ok(w) => w,
+        Err(e) => {
+            return Ok(ValidationReport::failure(
+                &archive.name,
+                "execute",
+                format!("workflow unparsable: {e}"),
+            ))
+        }
+    };
+    let snapshot_text = archive.section_text(sections::CONDITIONS)?;
+    let snapshot = match Snapshot::from_text(snapshot_text) {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(ValidationReport::failure(
+                &archive.name,
+                "execute",
+                format!("conditions snapshot unparsable: {e}"),
+            ))
+        }
+    };
+    let conditions = Arc::new(ConditionsStore::new());
+    if let Err(e) = snapshot.restore_into(&conditions, &workflow.conditions_tag) {
+        return Ok(ValidationReport::failure(
+            &archive.name,
+            "execute",
+            format!("conditions restore failed: {e}"),
+        ));
+    }
+    let ctx = ExecutionContext::with_conditions(conditions, stack);
+
+    // 3b. Register any ADL analyses the archive carries (the Les Houches
+    // "analysis database" entries travel with the data they describe).
+    if archive.sections.contains_key(sections::ADL) {
+        let adl_text = match archive.section_text(sections::ADL) {
+            Ok(t) => t,
+            Err(e) => {
+                return Ok(ValidationReport::failure(
+                    &archive.name,
+                    "execute",
+                    e.to_string(),
+                ))
+            }
+        };
+        for doc in split_adl_documents(adl_text) {
+            match daspos_rivet::AdlAnalysis::parse(&doc) {
+                Ok(analysis) => ctx.registry.register(Box::new(analysis)),
+                Err(e) => {
+                    return Ok(ValidationReport::failure(
+                        &archive.name,
+                        "execute",
+                        format!("adl section unparsable: {e}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    // 4. Re-execute.
+    let output = match workflow.execute(&ctx) {
+        Ok(o) => o,
+        Err(e) => {
+            return Ok(ValidationReport::failure(&archive.name, "execute", e));
+        }
+    };
+
+    // 5. Compare against the archived reference, bit for bit.
+    let reference = archive.section_text(sections::RESULTS)?;
+    let rerun = output.results_to_text();
+    let reproduced = reference == rerun;
+    Ok(ValidationReport {
+        archive: archive.name.clone(),
+        integrity_ok: true,
+        platform_ok: true,
+        executed: true,
+        reproduced,
+        detail: if reproduced {
+            "bit-identical re-run".to_string()
+        } else {
+            format!(
+                "results differ: reference {} bytes, re-run {} bytes",
+                reference.len(),
+                rerun.len()
+            )
+        },
+    })
+}
+
+/// Parse a reference-results blob (`== key events=N ==` blocks of
+/// YODA-like text) into per-analysis histogram maps.
+pub fn parse_results_text(
+    text: &str,
+) -> Result<std::collections::BTreeMap<String, std::collections::BTreeMap<String, daspos_hep::Hist1D>>, String>
+{
+    let mut out = std::collections::BTreeMap::new();
+    let mut current_key: Option<String> = None;
+    let mut current_body = String::new();
+    let mut flush = |key: &mut Option<String>,
+                     body: &mut String,
+                     out: &mut std::collections::BTreeMap<_, _>|
+     -> Result<(), String> {
+        if let Some(k) = key.take() {
+            let hists = daspos_rivet::yoda::from_text(body).map_err(|e| e.to_string())?;
+            out.insert(k, hists);
+        }
+        body.clear();
+        Ok(())
+    };
+    for line in text.lines() {
+        if let Some(header) = line.strip_prefix("== ") {
+            flush(&mut current_key, &mut current_body, &mut out)?;
+            let key = header
+                .split_whitespace()
+                .next()
+                .ok_or("empty results block header")?;
+            current_key = Some(key.to_string());
+        } else if current_key.is_some() {
+            current_body.push_str(line);
+            current_body.push('\n');
+        }
+    }
+    flush(&mut current_key, &mut current_body, &mut out)?;
+    Ok(out)
+}
+
+/// Validate with a numerical tolerance instead of bit equality.
+///
+/// Bit-exact reproduction (the default [`validate`]) is the right
+/// criterion on the platform the archive was made on. After a *real*
+/// platform migration, floating-point drift (different FMA contraction,
+/// libm versions) can legitimately perturb results; this mode re-runs the
+/// workflow and accepts the archive when every histogram bin agrees with
+/// the reference within `rel_tolerance` (relative, floored at 1e-9
+/// absolute).
+pub fn validate_statistical(
+    archive: &PreservationArchive,
+    platform: &Platform,
+    rel_tolerance: f64,
+) -> Result<ValidationReport, ArchiveError> {
+    let mut report = validate(archive, platform)?;
+    if report.reproduced || !report.executed {
+        return Ok(report);
+    }
+    // Bit comparison failed but execution succeeded: compare numerically.
+    let reference = match parse_results_text(archive.section_text(sections::RESULTS)?) {
+        Ok(r) => r,
+        Err(e) => {
+            report.detail = format!("reference results unparsable: {e}");
+            return Ok(report);
+        }
+    };
+    // Re-run once more to obtain the histograms (validate() discarded
+    // them). The chain is deterministic, so this reproduces the same
+    // numbers the comparison above saw.
+    let workflow = PreservedWorkflow::parse(archive.section_text(sections::WORKFLOW)?)
+        .expect("validate() already parsed this");
+    let snapshot = Snapshot::from_text(archive.section_text(sections::CONDITIONS)?)
+        .expect("validate() already parsed this");
+    let conditions = Arc::new(ConditionsStore::new());
+    snapshot
+        .restore_into(&conditions, &workflow.conditions_tag)
+        .expect("validate() already restored this");
+    let ctx = ExecutionContext::with_conditions(conditions, archive.software()?);
+    if let Ok(adl_text) = archive.section_text(sections::ADL) {
+        for doc in split_adl_documents(adl_text) {
+            if let Ok(analysis) = daspos_rivet::AdlAnalysis::parse(&doc) {
+                ctx.registry.register(Box::new(analysis));
+            }
+        }
+    }
+    let output = match workflow.execute(&ctx) {
+        Ok(o) => o,
+        Err(e) => {
+            report.detail = e;
+            return Ok(report);
+        }
+    };
+    let rerun = match parse_results_text(&output.results_to_text()) {
+        Ok(r) => r,
+        Err(e) => {
+            report.detail = format!("re-run results unparsable: {e}");
+            return Ok(report);
+        }
+    };
+    let mut worst: f64 = 0.0;
+    let mut compatible = reference.len() == rerun.len();
+    'outer: for (key, ref_hists) in &reference {
+        let Some(new_hists) = rerun.get(key) else {
+            compatible = false;
+            break;
+        };
+        if ref_hists.len() != new_hists.len() {
+            compatible = false;
+            break;
+        }
+        for (path, ref_hist) in ref_hists {
+            let Some(new_hist) = new_hists.get(path) else {
+                compatible = false;
+                break 'outer;
+            };
+            for i in 0..ref_hist.binning().nbins() {
+                let a = ref_hist.bin(i);
+                let b = new_hist.bin(i);
+                let scale = a.abs().max(b.abs()).max(1e-9);
+                let rel = (a - b).abs() / scale;
+                worst = worst.max(rel);
+                if rel > rel_tolerance {
+                    compatible = false;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if compatible {
+        report.reproduced = true;
+        report.detail = format!(
+            "statistically reproduced (worst relative bin deviation {worst:.2e} <= {rel_tolerance:.2e})"
+        );
+    } else {
+        report.detail = format!(
+            "results incompatible beyond tolerance {rel_tolerance:.2e} (worst seen {worst:.2e})"
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::PreservationArchive;
+    use bytes::Bytes;
+    use daspos_detsim::Experiment;
+
+    fn archive_for(seed: u64) -> PreservationArchive {
+        let wf = PreservedWorkflow::standard_z(Experiment::Cms, seed, 30);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf.execute(&ctx).unwrap();
+        PreservationArchive::package("val-test", &wf, &ctx, &out).unwrap()
+    }
+
+    #[test]
+    fn intact_archive_validates_bit_exactly() {
+        let a = archive_for(1);
+        let report = validate(&a, &Platform::current()).unwrap();
+        assert!(report.passed(), "failed: {}", report.detail);
+        assert!(report.reproduced);
+    }
+
+    #[test]
+    fn wrong_platform_fails_cleanly() {
+        let a = archive_for(2);
+        let report = validate(&a, &Platform::successor()).unwrap();
+        assert!(!report.passed());
+        assert!(!report.platform_ok);
+        assert!(report.detail.contains("platform"));
+    }
+
+    #[test]
+    fn corrupt_section_fails_integrity() {
+        let mut a = archive_for(3);
+        // Tamper with the results section after packaging.
+        let s = a.sections.get_mut(sections::RESULTS).unwrap();
+        let mut data = s.data.to_vec();
+        data[0] ^= 0xFF;
+        s.data = Bytes::from(data);
+        let report = validate(&a, &Platform::current()).unwrap();
+        assert!(!report.integrity_ok);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn tampered_reference_is_caught_as_nonreproduction() {
+        let mut a = archive_for(4);
+        // Replace the reference with a *valid-checksum* but wrong text:
+        // the forger recomputes checksums, so only re-execution catches it.
+        a.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
+        let report = validate(&a, &Platform::current()).unwrap();
+        assert!(report.integrity_ok);
+        assert!(report.executed);
+        assert!(!report.reproduced);
+    }
+
+    #[test]
+    fn missing_workflow_section_fails() {
+        let mut a = archive_for(5);
+        a.sections.remove(sections::WORKFLOW);
+        assert!(validate(&a, &Platform::current()).is_err());
+    }
+
+    #[test]
+    fn unparsable_workflow_reports_execute_failure() {
+        let mut a = archive_for(6);
+        a.insert(sections::WORKFLOW, Bytes::from("garbage"));
+        let report = validate(&a, &Platform::current()).unwrap();
+        assert!(!report.executed);
+        assert!(report.detail.contains("unparsable"));
+    }
+
+    #[test]
+    fn statistical_validation_accepts_small_numeric_drift() {
+        // Forge a reference whose bins differ from the true re-run by a
+        // few parts in 1e6 — bit validation must fail, statistical must
+        // pass at 1e-3 and fail at 1e-9.
+        let a = archive_for(11);
+        let reference = a.section_text(sections::RESULTS).unwrap().to_string();
+        let drifted: String = reference
+            .lines()
+            .map(|line| {
+                if let Some(rest) = line.strip_prefix("bin ") {
+                    let parts: Vec<&str> = rest.split_whitespace().collect();
+                    let w: f64 = parts[1].parse().unwrap();
+                    format!("bin {} {} {}
+", parts[0], w * (1.0 + 3e-6), parts[2])
+                } else {
+                    format!("{line}
+")
+                }
+            })
+            .collect();
+        let mut forged = a.clone();
+        forged.insert(sections::RESULTS, Bytes::from(drifted));
+        let bitwise = validate(&forged, &Platform::current()).unwrap();
+        assert!(bitwise.executed && !bitwise.reproduced);
+        let loose = validate_statistical(&forged, &Platform::current(), 1e-3).unwrap();
+        assert!(loose.passed(), "{}", loose.detail);
+        assert!(loose.detail.contains("statistically"));
+        let strict = validate_statistical(&forged, &Platform::current(), 1e-9).unwrap();
+        assert!(!strict.passed());
+    }
+
+    #[test]
+    fn statistical_validation_rejects_gross_differences() {
+        let mut a = archive_for(12);
+        a.insert(
+            sections::RESULTS,
+            Bytes::from("== det:ZLL_2013_I0001 events=30 ==
+"),
+        );
+        let report = validate_statistical(&a, &Platform::current(), 0.1).unwrap();
+        assert!(!report.reproduced, "{}", report.detail);
+    }
+
+    #[test]
+    fn parse_results_text_round_trips_real_output() {
+        let wf = PreservedWorkflow::standard_z(Experiment::Cms, 13, 20);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf.execute(&ctx).unwrap();
+        let parsed = parse_results_text(&out.results_to_text()).unwrap();
+        assert_eq!(parsed.len(), out.analysis_results.len());
+        for (key, result) in &out.analysis_results {
+            let hists = &parsed[key];
+            assert_eq!(hists.len(), result.histograms.len());
+        }
+    }
+
+    #[test]
+    fn validation_works_after_binary_round_trip() {
+        let a = archive_for(7);
+        let b = PreservationArchive::from_bytes(&a.to_bytes()).unwrap();
+        let report = validate(&b, &Platform::current()).unwrap();
+        assert!(report.passed(), "{}", report.detail);
+    }
+}

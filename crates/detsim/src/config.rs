@@ -1,0 +1,381 @@
+//! Detector configurations for the four synthetic experiments.
+//!
+//! The parameters are caricatures of the real detectors, tuned so that
+//! each experiment's Table 1 masterclass physics is actually measurable
+//! with it: the ALICE-like detector has a compact central tracker that
+//! resolves V⁰s; the LHCb-like one is forward-only with a precision vertex
+//! detector for D⁰ lifetimes; the ATLAS/CMS-like ones have wide calorimeter
+//! and muon coverage for W/Z/H physics.
+
+/// Which synthetic experiment a configuration models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Experiment {
+    /// Central heavy-ion-style detector (V⁰/strangeness physics).
+    Alice,
+    /// General-purpose detector A (W/Z/H physics).
+    Atlas,
+    /// General-purpose detector B (W/Z/H physics).
+    Cms,
+    /// Forward spectrometer (charm/beauty lifetimes).
+    Lhcb,
+}
+
+impl Experiment {
+    /// All four experiments, in the report's Table 1 column order.
+    pub fn all() -> [Experiment; 4] {
+        [
+            Experiment::Alice,
+            Experiment::Atlas,
+            Experiment::Cms,
+            Experiment::Lhcb,
+        ]
+    }
+
+    /// Lower-case name used in dataset paths and provenance records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Experiment::Alice => "alice",
+            Experiment::Atlas => "atlas",
+            Experiment::Cms => "cms",
+            Experiment::Lhcb => "lhcb",
+        }
+    }
+
+    /// The detector configuration for this experiment.
+    pub fn detector(&self) -> DetectorConfig {
+        match self {
+            Experiment::Alice => DetectorConfig::alice(),
+            Experiment::Atlas => DetectorConfig::atlas(),
+            Experiment::Cms => DetectorConfig::cms(),
+            Experiment::Lhcb => DetectorConfig::lhcb(),
+        }
+    }
+}
+
+/// Tracking system parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackerConfig {
+    /// Pseudorapidity acceptance: tracks with `eta_min < η < eta_max`.
+    pub eta_min: f64,
+    /// Upper pseudorapidity bound.
+    pub eta_max: f64,
+    /// Minimum reconstructable transverse momentum (GeV).
+    pub pt_min: f64,
+    /// Radii of the silicon/gas layers (mm), innermost first.
+    pub layer_radii_mm: Vec<f64>,
+    /// Per-layer hit efficiency.
+    pub hit_efficiency: f64,
+    /// Hit position resolution (mm).
+    pub hit_resolution_mm: f64,
+    /// Momentum resolution: σ(pT)/pT = a ⊕ b·pT.
+    pub pt_resolution_a: f64,
+    /// The pT-proportional resolution term (1/GeV).
+    pub pt_resolution_b: f64,
+    /// Impact-parameter / vertex resolution (mm) — drives lifetime physics.
+    pub vertex_resolution_mm: f64,
+}
+
+/// Calorimeter parameters (EM + hadronic sharing one tower grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaloConfig {
+    /// Pseudorapidity coverage (symmetric unless forward spectrometer).
+    pub eta_min: f64,
+    /// Upper pseudorapidity bound.
+    pub eta_max: f64,
+    /// Tower granularity in η.
+    pub d_eta: f64,
+    /// Tower granularity in φ.
+    pub d_phi: f64,
+    /// EM resolution stochastic term: σ/E = a/√E ⊕ b.
+    pub em_stochastic: f64,
+    /// EM resolution constant term.
+    pub em_constant: f64,
+    /// Hadronic resolution stochastic term.
+    pub had_stochastic: f64,
+    /// Hadronic resolution constant term.
+    pub had_constant: f64,
+    /// Mean number of noise towers per event.
+    pub noise_towers: f64,
+    /// Mean noise tower energy (GeV).
+    pub noise_energy: f64,
+    /// Minimum recorded cell energy (zero suppression, GeV).
+    pub cell_threshold: f64,
+}
+
+/// Muon system parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuonConfig {
+    /// Pseudorapidity coverage.
+    pub eta_min: f64,
+    /// Upper pseudorapidity bound.
+    pub eta_max: f64,
+    /// Number of measurement stations.
+    pub stations: u8,
+    /// Per-station efficiency.
+    pub station_efficiency: f64,
+    /// Minimum muon momentum to reach the system (GeV).
+    pub p_min: f64,
+}
+
+/// The complete description of one synthetic detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Which experiment this models.
+    pub experiment: Experiment,
+    /// Tracking system.
+    pub tracker: TrackerConfig,
+    /// Calorimetry (absent for the ALICE-like configuration's forward
+    /// region — modelled by narrow coverage, not an Option).
+    pub calo: CaloConfig,
+    /// Muon system; `None` when the experiment has no dedicated one.
+    pub muon: Option<MuonConfig>,
+    /// Solenoid field (T) — recorded in conditions, used by displays.
+    pub field_tesla: f64,
+}
+
+impl DetectorConfig {
+    /// ALICE-like: compact central tracker with excellent low-pT tracking
+    /// and vertexing; modest calorimetry; no muon system modelled.
+    pub fn alice() -> Self {
+        DetectorConfig {
+            experiment: Experiment::Alice,
+            tracker: TrackerConfig {
+                eta_min: -0.9,
+                eta_max: 0.9,
+                pt_min: 0.15,
+                layer_radii_mm: vec![39.0, 76.0, 150.0, 239.0, 380.0, 430.0, 850.0],
+                hit_efficiency: 0.98,
+                hit_resolution_mm: 0.012,
+                pt_resolution_a: 0.01,
+                pt_resolution_b: 0.0008,
+                vertex_resolution_mm: 0.04,
+            },
+            calo: CaloConfig {
+                eta_min: -0.7,
+                eta_max: 0.7,
+                d_eta: 0.014,
+                d_phi: 0.014,
+                em_stochastic: 0.11,
+                em_constant: 0.017,
+                had_stochastic: 0.8,
+                had_constant: 0.1,
+                noise_towers: 4.0,
+                noise_energy: 0.15,
+                cell_threshold: 0.1,
+            },
+            muon: None,
+            field_tesla: 0.5,
+        }
+    }
+
+    /// ATLAS-like: wide coverage, fine calorimeter, large muon system.
+    pub fn atlas() -> Self {
+        DetectorConfig {
+            experiment: Experiment::Atlas,
+            tracker: TrackerConfig {
+                eta_min: -2.5,
+                eta_max: 2.5,
+                pt_min: 0.5,
+                layer_radii_mm: vec![33.0, 50.5, 88.5, 122.5, 299.0, 371.0, 443.0, 514.0],
+                hit_efficiency: 0.97,
+                hit_resolution_mm: 0.01,
+                pt_resolution_a: 0.015,
+                pt_resolution_b: 0.0004,
+                vertex_resolution_mm: 0.05,
+            },
+            calo: CaloConfig {
+                eta_min: -4.9,
+                eta_max: 4.9,
+                d_eta: 0.025,
+                d_phi: 0.025,
+                em_stochastic: 0.10,
+                em_constant: 0.007,
+                had_stochastic: 0.5,
+                had_constant: 0.03,
+                noise_towers: 12.0,
+                noise_energy: 0.2,
+                cell_threshold: 0.1,
+            },
+            muon: Some(MuonConfig {
+                eta_min: -2.7,
+                eta_max: 2.7,
+                stations: 3,
+                station_efficiency: 0.97,
+                p_min: 3.0,
+            }),
+            field_tesla: 2.0,
+        }
+    }
+
+    /// CMS-like: similar to ATLAS with a stronger field, crystal EM
+    /// resolution and a four-station muon system.
+    pub fn cms() -> Self {
+        DetectorConfig {
+            experiment: Experiment::Cms,
+            tracker: TrackerConfig {
+                eta_min: -2.5,
+                eta_max: 2.5,
+                pt_min: 0.5,
+                layer_radii_mm: vec![44.0, 73.0, 102.0, 255.0, 339.0, 418.5, 498.0, 580.0],
+                hit_efficiency: 0.98,
+                hit_resolution_mm: 0.009,
+                pt_resolution_a: 0.012,
+                pt_resolution_b: 0.0003,
+                vertex_resolution_mm: 0.045,
+            },
+            calo: CaloConfig {
+                eta_min: -5.0,
+                eta_max: 5.0,
+                d_eta: 0.0174,
+                d_phi: 0.0174,
+                em_stochastic: 0.028,
+                em_constant: 0.003,
+                had_stochastic: 0.85,
+                had_constant: 0.07,
+                noise_towers: 15.0,
+                noise_energy: 0.18,
+                cell_threshold: 0.1,
+            },
+            muon: Some(MuonConfig {
+                eta_min: -2.4,
+                eta_max: 2.4,
+                stations: 4,
+                station_efficiency: 0.98,
+                p_min: 3.0,
+            }),
+            field_tesla: 3.8,
+        }
+    }
+
+    /// LHCb-like: forward-only spectrometer with a precision vertex
+    /// locator — the D-lifetime machine.
+    pub fn lhcb() -> Self {
+        DetectorConfig {
+            experiment: Experiment::Lhcb,
+            tracker: TrackerConfig {
+                eta_min: 2.0,
+                eta_max: 5.0,
+                pt_min: 0.2,
+                layer_radii_mm: vec![8.2, 16.0, 24.0, 150.0, 300.0, 600.0],
+                hit_efficiency: 0.99,
+                hit_resolution_mm: 0.004,
+                pt_resolution_a: 0.005,
+                pt_resolution_b: 0.0002,
+                vertex_resolution_mm: 0.015,
+            },
+            calo: CaloConfig {
+                eta_min: 2.0,
+                eta_max: 4.5,
+                d_eta: 0.05,
+                d_phi: 0.05,
+                em_stochastic: 0.10,
+                em_constant: 0.015,
+                had_stochastic: 0.7,
+                had_constant: 0.1,
+                noise_towers: 6.0,
+                noise_energy: 0.2,
+                cell_threshold: 0.1,
+            },
+            muon: Some(MuonConfig {
+                eta_min: 2.0,
+                eta_max: 4.5,
+                stations: 5,
+                station_efficiency: 0.97,
+                p_min: 3.0,
+            }),
+            field_tesla: 1.1,
+        }
+    }
+
+    /// True when a pseudorapidity is inside the tracker acceptance.
+    pub fn in_tracker(&self, eta: f64) -> bool {
+        eta > self.tracker.eta_min && eta < self.tracker.eta_max
+    }
+
+    /// True when a pseudorapidity is inside the calorimeter acceptance.
+    pub fn in_calo(&self, eta: f64) -> bool {
+        eta > self.calo.eta_min && eta < self.calo.eta_max
+    }
+
+    /// σ(pT)/pT at the given pT.
+    pub fn pt_resolution(&self, pt: f64) -> f64 {
+        let a = self.tracker.pt_resolution_a;
+        let b = self.tracker.pt_resolution_b * pt;
+        (a * a + b * b).sqrt()
+    }
+
+    /// Relative EM energy resolution at energy `e`.
+    pub fn em_resolution(&self, e: f64) -> f64 {
+        let s = self.calo.em_stochastic / e.max(1e-3).sqrt();
+        let c = self.calo.em_constant;
+        (s * s + c * c).sqrt()
+    }
+
+    /// Relative hadronic energy resolution at energy `e`.
+    pub fn had_resolution(&self, e: f64) -> f64 {
+        let s = self.calo.had_stochastic / e.max(1e-3).sqrt();
+        let c = self.calo.had_constant;
+        (s * s + c * c).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_experiments_distinct_configs() {
+        let configs: Vec<_> = Experiment::all().iter().map(|e| e.detector()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(configs[i], configs[j]);
+            }
+            assert_eq!(configs[i].experiment, Experiment::all()[i]);
+        }
+    }
+
+    #[test]
+    fn lhcb_is_forward_only() {
+        let d = DetectorConfig::lhcb();
+        assert!(!d.in_tracker(0.0));
+        assert!(d.in_tracker(3.0));
+        assert!(!d.in_tracker(5.5));
+    }
+
+    #[test]
+    fn alice_is_central_only() {
+        let d = DetectorConfig::alice();
+        assert!(d.in_tracker(0.0));
+        assert!(!d.in_tracker(2.0));
+        assert!(d.muon.is_none());
+    }
+
+    #[test]
+    fn resolution_grows_with_pt() {
+        let d = DetectorConfig::atlas();
+        assert!(d.pt_resolution(500.0) > d.pt_resolution(10.0));
+    }
+
+    #[test]
+    fn em_resolution_improves_with_energy() {
+        let d = DetectorConfig::cms();
+        assert!(d.em_resolution(100.0) < d.em_resolution(1.0));
+        // CMS-like crystal resolution beats the ATLAS-like sampling calo at
+        // moderate energy.
+        assert!(d.em_resolution(10.0) < DetectorConfig::atlas().em_resolution(10.0));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Experiment::Alice.name(), "alice");
+        assert_eq!(Experiment::Lhcb.name(), "lhcb");
+    }
+
+    #[test]
+    fn lhcb_vertexing_is_best() {
+        let best = DetectorConfig::lhcb().tracker.vertex_resolution_mm;
+        for e in [Experiment::Alice, Experiment::Atlas, Experiment::Cms] {
+            assert!(best < e.detector().tracker.vertex_resolution_mm);
+        }
+    }
+}

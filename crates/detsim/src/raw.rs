@@ -1,0 +1,196 @@
+//! Raw detector data: the Level-4 tier in the DPHEP nomenclature.
+//!
+//! A [`RawEvent`] is what the detector "writes": unreconstructed hits and
+//! cells. It is the largest representation of an event, which is why the
+//! report's data lifecycle (Appendix A, Q2) starts here and every later
+//! stage shrinks.
+
+use daspos_hep::event::EventHeader;
+
+/// A position measurement in one tracker layer.
+///
+/// `stub` tags all hits left by the same charged particle; the
+/// reconstruction uses it as its pattern-recognition oracle (a documented
+/// simplification — see DESIGN.md) but still re-derives all kinematics
+/// from the smeared positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerHit {
+    /// Index into the configured layer radii.
+    pub layer: u8,
+    /// Measured x (mm).
+    pub x: f64,
+    /// Measured y (mm).
+    pub y: f64,
+    /// Measured z (mm).
+    pub z: f64,
+    /// Particle grouping key (pattern-recognition oracle).
+    pub stub: u32,
+}
+
+/// One calorimeter tower with separate EM and hadronic compartments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaloCell {
+    /// Tower index in η.
+    pub ieta: i32,
+    /// Tower index in φ.
+    pub iphi: i32,
+    /// Energy in the EM compartment (GeV).
+    pub em: f64,
+    /// Energy in the hadronic compartment (GeV).
+    pub had: f64,
+}
+
+impl CaloCell {
+    /// Total tower energy.
+    pub fn total(&self) -> f64 {
+        self.em + self.had
+    }
+
+    /// Fraction of the energy in the EM compartment.
+    pub fn em_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.em / t
+        }
+    }
+}
+
+/// A hit in one muon station.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuonHit {
+    /// Station number (1-based, innermost first).
+    pub station: u8,
+    /// Measured pseudorapidity at the station.
+    pub eta: f64,
+    /// Measured azimuth at the station.
+    pub phi: f64,
+    /// Particle grouping key.
+    pub stub: u32,
+}
+
+/// The raw event: everything the synthetic detector read out for one
+/// collision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawEvent {
+    /// Event coordinates (shared with every other tier).
+    pub header: EventHeader,
+    /// All tracker hits.
+    pub tracker_hits: Vec<TrackerHit>,
+    /// All calorimeter towers above threshold.
+    pub calo_cells: Vec<CaloCell>,
+    /// All muon-station hits.
+    pub muon_hits: Vec<MuonHit>,
+    /// MC-only: per-stub truth-particle index, parallel to stub values.
+    /// Real data carries an empty vector. Kept out of the physics path;
+    /// used for efficiency bookkeeping only.
+    pub truth_links: Vec<u32>,
+}
+
+impl RawEvent {
+    /// An empty raw event for the given coordinates.
+    pub fn new(header: EventHeader) -> Self {
+        RawEvent {
+            header,
+            tracker_hits: Vec::new(),
+            calo_cells: Vec::new(),
+            muon_hits: Vec::new(),
+            truth_links: Vec::new(),
+        }
+    }
+
+    /// Approximate readout size in bytes (drives tier accounting; matches
+    /// the binary codec layout in `daspos-tiers`).
+    pub fn byte_size(&self) -> usize {
+        16 // header
+            + self.tracker_hits.len() * (1 + 8 * 3 + 4)
+            + self.calo_cells.len() * (4 + 4 + 8 + 8)
+            + self.muon_hits.len() * (1 + 8 + 8 + 4)
+            + self.truth_links.len() * 4
+    }
+
+    /// Number of distinct track stubs present.
+    pub fn stub_count(&self) -> usize {
+        let mut stubs: Vec<u32> = self.tracker_hits.iter().map(|h| h.stub).collect();
+        stubs.sort_unstable();
+        stubs.dedup();
+        stubs.len()
+    }
+
+    /// Total calorimeter energy.
+    pub fn calo_energy(&self) -> f64 {
+        self.calo_cells.iter().map(CaloCell::total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> EventHeader {
+        EventHeader::new(1, 1, 1)
+    }
+
+    #[test]
+    fn empty_event_sizes() {
+        let ev = RawEvent::new(header());
+        assert_eq!(ev.byte_size(), 16);
+        assert_eq!(ev.stub_count(), 0);
+        assert_eq!(ev.calo_energy(), 0.0);
+    }
+
+    #[test]
+    fn stub_count_dedups() {
+        let mut ev = RawEvent::new(header());
+        for layer in 0..5 {
+            ev.tracker_hits.push(TrackerHit {
+                layer,
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                stub: 7,
+            });
+        }
+        ev.tracker_hits.push(TrackerHit {
+            layer: 0,
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+            stub: 9,
+        });
+        assert_eq!(ev.stub_count(), 2);
+    }
+
+    #[test]
+    fn cell_fractions() {
+        let c = CaloCell {
+            ieta: 0,
+            iphi: 0,
+            em: 3.0,
+            had: 1.0,
+        };
+        assert_eq!(c.total(), 4.0);
+        assert_eq!(c.em_fraction(), 0.75);
+        let z = CaloCell {
+            ieta: 0,
+            iphi: 0,
+            em: 0.0,
+            had: 0.0,
+        };
+        assert_eq!(z.em_fraction(), 0.0);
+    }
+
+    #[test]
+    fn byte_size_grows_with_content() {
+        let mut ev = RawEvent::new(header());
+        let empty = ev.byte_size();
+        ev.calo_cells.push(CaloCell {
+            ieta: 1,
+            iphi: 1,
+            em: 1.0,
+            had: 0.0,
+        });
+        assert!(ev.byte_size() > empty);
+    }
+}

@@ -1,0 +1,486 @@
+//! The detector simulation: truth particles → raw hits and cells.
+//!
+//! Calibration scales are resolved from the conditions database per event
+//! (keys `ecal/gain`, `hcal/gain`, `tracker/alignment-scale`), making the
+//! simulation the first stage with the external dependency the report
+//! flags. The *same* conditions tag used here must later be used by the
+//! reconstruction to undo the scales — losing the tag loses physics, which
+//! is exactly the preservation hazard DASPOS addresses.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use daspos_hep::event::TruthEvent;
+use daspos_hep::fourvec::FourVector;
+use daspos_hep::seq::SeedSequence;
+use daspos_hep::stats;
+use daspos_conditions::{ConditionsError, ConditionsSource, IovKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::DetectorConfig;
+use crate::raw::{CaloCell, MuonHit, RawEvent, TrackerHit};
+
+/// The detector simulation for one experiment.
+pub struct DetectorSimulation {
+    config: DetectorConfig,
+    conditions: Arc<dyn ConditionsSource>,
+    seeds: SeedSequence,
+}
+
+impl DetectorSimulation {
+    /// Build a simulation from a detector config, a conditions source and
+    /// the master seed (stage label `"detsim"` is derived internally).
+    pub fn new(
+        config: DetectorConfig,
+        conditions: Arc<dyn ConditionsSource>,
+        seeds: SeedSequence,
+    ) -> Self {
+        DetectorSimulation {
+            config,
+            conditions,
+            seeds,
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// A provenance label (detector + conditions source).
+    pub fn describe(&self) -> String {
+        format!(
+            "detsim({},conditions={})",
+            self.config.experiment.name(),
+            self.conditions.describe()
+        )
+    }
+
+    /// Simulate one truth event into a raw event.
+    ///
+    /// `event_index` selects the deterministic noise/smearing stream; it
+    /// should be the same index used to generate the truth event.
+    pub fn simulate(
+        &self,
+        truth: &TruthEvent,
+        event_index: u64,
+    ) -> Result<RawEvent, ConditionsError> {
+        let run = truth.header.run.0;
+        let ecal_gain = self
+            .conditions
+            .get(&IovKey::new("ecal/gain"), run)?
+            .as_scalar()
+            .unwrap_or(1.0);
+        let hcal_gain = self
+            .conditions
+            .get(&IovKey::new("hcal/gain"), run)?
+            .as_scalar()
+            .unwrap_or(1.0);
+        let align = self
+            .conditions
+            .get(&IovKey::new("tracker/alignment-scale"), run)?
+            .as_scalar()
+            .unwrap_or(1.0);
+
+        let mut rng = StdRng::seed_from_u64(self.seeds.event("detsim", event_index));
+        let mut raw = RawEvent::new(truth.header);
+        // Accumulate calo deposits per tower before smearing-threshold.
+        let mut towers: BTreeMap<(i32, i32), (f64, f64)> = BTreeMap::new();
+        let mut stub: u32 = 0;
+
+        for (truth_idx, p) in truth.particles.iter().enumerate() {
+            if p.status != daspos_hep::particle::ParticleStatus::Final || !p.pdg.is_visible() {
+                continue;
+            }
+            let mom = &p.momentum;
+            let eta = mom.eta();
+            if !eta.is_finite() {
+                continue;
+            }
+            let charge = p.pdg.charge().map(|c| c.0).unwrap_or(0);
+
+            // --- Tracker ---------------------------------------------------
+            if charge != 0
+                && self.config.in_tracker(eta)
+                && mom.pt() >= self.config.tracker.pt_min
+            {
+                let hits =
+                    self.trace_track(&mut rng, mom, &p.production_vertex, charge, stub, align);
+                if hits.len() >= 3 {
+                    raw.tracker_hits.extend(hits);
+                    raw.truth_links.push(truth_idx as u32);
+                    stub += 1;
+                }
+            }
+
+            // --- Calorimeter -----------------------------------------------
+            if self.config.in_calo(eta) {
+                let (em_dep, had_dep) = self.calo_deposit(&mut rng, p.pdg, mom);
+                if em_dep + had_dep > 0.0 {
+                    let key = self.tower_of(eta, mom.phi());
+                    let entry = towers.entry(key).or_insert((0.0, 0.0));
+                    entry.0 += em_dep * ecal_gain;
+                    entry.1 += had_dep * hcal_gain;
+                }
+            }
+
+            // --- Muon system -----------------------------------------------
+            if let Some(muon_cfg) = &self.config.muon {
+                if p.pdg.0.abs() == 13
+                    && eta > muon_cfg.eta_min
+                    && eta < muon_cfg.eta_max
+                    && mom.p() >= muon_cfg.p_min
+                {
+                    for station in 1..=muon_cfg.stations {
+                        if stats::accept(&mut rng, muon_cfg.station_efficiency) {
+                            raw.muon_hits.push(MuonHit {
+                                station,
+                                eta: eta + stats::standard_normal(&mut rng) * 0.002,
+                                phi: mom.phi() + stats::standard_normal(&mut rng) * 0.002,
+                                stub,
+                            });
+                        }
+                    }
+                    // Muons without tracker hits still consume a stub id so
+                    // muon hits group unambiguously.
+                    if raw.truth_links.len() < (stub + 1) as usize {
+                        raw.truth_links.push(truth_idx as u32);
+                        stub += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Noise ---------------------------------------------------------
+        let n_noise = stats::poisson(&mut rng, self.config.calo.noise_towers).unwrap_or(0);
+        for _ in 0..n_noise {
+            let eta = rng.gen_range(self.config.calo.eta_min..self.config.calo.eta_max);
+            let phi = stats::uniform_phi(&mut rng);
+            let e = stats::exponential(&mut rng, self.config.calo.noise_energy).unwrap_or(0.0);
+            let key = self.tower_of(eta, phi);
+            let entry = towers.entry(key).or_insert((0.0, 0.0));
+            if stats::accept(&mut rng, 0.5) {
+                entry.0 += e;
+            } else {
+                entry.1 += e;
+            }
+        }
+
+        for ((ieta, iphi), (em, had)) in towers {
+            if em + had >= self.config.calo.cell_threshold {
+                raw.calo_cells.push(CaloCell {
+                    ieta,
+                    iphi,
+                    em,
+                    had,
+                });
+            }
+        }
+        Ok(raw)
+    }
+
+    /// Hits for one charged particle: helix propagation through the layer
+    /// radii with per-layer efficiency and position smearing.
+    ///
+    /// The helix is exact in the transverse plane: a circle of signed
+    /// radius `R = pT / (0.3·q·B)` through the production point, with
+    /// `z` linear in arc length. Reconstruction later re-fits this circle
+    /// from the smeared hits, so momentum resolution *emerges* from hit
+    /// resolution and lever arm instead of being injected from truth.
+    fn trace_track(
+        &self,
+        rng: &mut StdRng,
+        mom: &FourVector,
+        origin: &FourVector,
+        charge_thirds: i8,
+        stub: u32,
+        align: f64,
+    ) -> Vec<TrackerHit> {
+        let mut hits = Vec::new();
+        let pt = mom.pt();
+        if pt <= 0.0 {
+            return hits;
+        }
+        let (ox, oy, oz) = if origin.px.is_finite() {
+            (origin.px, origin.py, origin.pz)
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        let q = f64::from(charge_thirds.signum());
+        // Signed curvature radius in mm (pT in GeV, B in T): R[m] = pT/(0.3 q B).
+        let r_curv = pt / (0.3 * self.config.field_tesla.max(1e-6)) * 1000.0;
+        let phi0 = mom.phi();
+        // Circle centre: perpendicular to the initial direction.
+        let cx = ox - q * r_curv * phi0.sin();
+        let cy = oy + q * r_curv * phi0.cos();
+        let cot_theta = mom.pz / pt;
+        let sigma = self.config.tracker.hit_resolution_mm;
+
+        for (i, &r_layer) in self.config.tracker.layer_radii_mm.iter().enumerate() {
+            let r0 = (ox * ox + oy * oy).sqrt();
+            // Particles born outside a layer (displaced V0 daughters) skip it.
+            if r_layer <= r0 {
+                continue;
+            }
+            // Intersect the helix circle with the layer cylinder: solve for
+            // the turning angle via fixed-point iteration on arc length.
+            let mut s = r_layer - r0;
+            let mut point = None;
+            for _ in 0..12 {
+                let alpha = q * s / r_curv;
+                let x = cx + q * r_curv * (phi0 + alpha).sin();
+                let y = cy - q * r_curv * (phi0 + alpha).cos();
+                let rho = (x * x + y * y).sqrt();
+                if (rho - r_layer).abs() < 1e-6 {
+                    point = Some((x, y));
+                    break;
+                }
+                s += r_layer - rho;
+                if s <= 0.0 || s > 4.0 * r_curv {
+                    // Curler: the track never reaches this layer.
+                    break;
+                }
+                point = Some((x, y));
+            }
+            let Some((x, y)) = point else { continue };
+            let rho = (x * x + y * y).sqrt();
+            if (rho - r_layer).abs() > 0.5 {
+                continue;
+            }
+            if !stats::accept(rng, self.config.tracker.hit_efficiency) {
+                continue;
+            }
+            hits.push(TrackerHit {
+                layer: i as u8,
+                x: x * align + stats::standard_normal(rng) * sigma,
+                y: y * align + stats::standard_normal(rng) * sigma,
+                z: oz + cot_theta * s + stats::standard_normal(rng) * sigma,
+                stub,
+            });
+        }
+        hits
+    }
+
+    /// Energy deposited in (EM, hadronic) compartments, after resolution
+    /// smearing.
+    fn calo_deposit(
+        &self,
+        rng: &mut StdRng,
+        pdg: daspos_hep::particle::PdgId,
+        mom: &FourVector,
+    ) -> (f64, f64) {
+        let e = mom.e;
+        let abs = pdg.0.abs();
+        match abs {
+            // Electrons and photons: full EM deposit.
+            11 | 22 => {
+                let res = self.config.em_resolution(e);
+                let smeared = e * (1.0 + stats::standard_normal(rng) * res);
+                (smeared.max(0.0), 0.0)
+            }
+            // Muons: minimum-ionizing deposit.
+            13 => (0.3, 1.7),
+            // pi0 decays to photons promptly: EM.
+            111 => {
+                let res = self.config.em_resolution(e);
+                let smeared = e * (1.0 + stats::standard_normal(rng) * res);
+                (smeared.max(0.0), 0.0)
+            }
+            // Long-lived neutrals and charged hadrons: hadronic shower
+            // with a small EM fraction.
+            _ => {
+                let res = self.config.had_resolution(e);
+                let smeared = (e * (1.0 + stats::standard_normal(rng) * res)).max(0.0);
+                let em_frac = rng.gen_range(0.1..0.4);
+                (smeared * em_frac, smeared * (1.0 - em_frac))
+            }
+        }
+    }
+
+    /// Tower indices for an (η, φ) direction.
+    fn tower_of(&self, eta: f64, phi: f64) -> (i32, i32) {
+        (
+            (eta / self.config.calo.d_eta).floor() as i32,
+            (phi / self.config.calo.d_phi).floor() as i32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Experiment;
+    use daspos_conditions::{ConditionsStore, DbSource, Payload, RunRange};
+    use daspos_gen::{EventGenerator, GeneratorConfig};
+    use daspos_hep::event::ProcessKind;
+
+    fn conditions() -> Arc<ConditionsStore> {
+        let s = Arc::new(ConditionsStore::new());
+        s.create_tag("mc").unwrap();
+        for (k, v) in [
+            ("ecal/gain", 1.0),
+            ("hcal/gain", 1.0),
+            ("tracker/alignment-scale", 1.0),
+        ] {
+            s.insert("mc", IovKey::new(k), RunRange::from(0), Payload::Scalar(v))
+                .unwrap();
+        }
+        s.freeze("mc").unwrap();
+        s
+    }
+
+    fn sim(exp: Experiment) -> DetectorSimulation {
+        let src = DbSource::connect(conditions(), "mc");
+        DetectorSimulation::new(exp.detector(), Arc::new(src), SeedSequence::new(99))
+    }
+
+    #[test]
+    fn z_event_leaves_tracks_and_calo_in_atlas() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 42));
+        let sim = sim(Experiment::Atlas);
+        let mut events_with_two_lepton_stubs = 0;
+        for i in 0..50 {
+            let truth = gen.event(i);
+            let raw = sim.simulate(&truth, i).unwrap();
+            assert!(raw.calo_cells.len() > 1, "event {i} has no calo activity");
+            if raw.stub_count() >= 2 {
+                events_with_two_lepton_stubs += 1;
+            }
+        }
+        assert!(
+            events_with_two_lepton_stubs > 30,
+            "{events_with_two_lepton_stubs}/50"
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::Higgs, 1));
+        let sim1 = sim(Experiment::Cms);
+        let sim2 = sim(Experiment::Cms);
+        let truth = gen.event(3);
+        assert_eq!(
+            sim1.simulate(&truth, 3).unwrap(),
+            sim2.simulate(&truth, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn central_event_invisible_to_lhcb() {
+        // A Z at central rapidity leaves nothing in a forward-only tracker
+        // most of the time; compare stub counts with ATLAS.
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 5));
+        let fwd = sim(Experiment::Lhcb);
+        let ctr = sim(Experiment::Atlas);
+        let mut fwd_stubs = 0;
+        let mut ctr_stubs = 0;
+        for i in 0..40 {
+            let truth = gen.event(i);
+            fwd_stubs += fwd.simulate(&truth, i).unwrap().stub_count();
+            ctr_stubs += ctr.simulate(&truth, i).unwrap().stub_count();
+        }
+        assert!(
+            ctr_stubs > 2 * fwd_stubs,
+            "central {ctr_stubs} vs forward {fwd_stubs}"
+        );
+    }
+
+    #[test]
+    fn muon_hits_only_in_detectors_with_muon_systems() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 6));
+        let alice = sim(Experiment::Alice);
+        let cms = sim(Experiment::Cms);
+        let mut alice_muons = 0;
+        let mut cms_muons = 0;
+        for i in 0..60 {
+            let truth = gen.event(i);
+            alice_muons += alice.simulate(&truth, i).unwrap().muon_hits.len();
+            cms_muons += cms.simulate(&truth, i).unwrap().muon_hits.len();
+        }
+        assert_eq!(alice_muons, 0);
+        assert!(cms_muons > 20, "cms muon hits {cms_muons}");
+    }
+
+    #[test]
+    fn conditions_gain_scales_calo_energy() {
+        let store = Arc::new(ConditionsStore::new());
+        store.create_tag("hot").unwrap();
+        for (k, v) in [
+            ("ecal/gain", 2.0),
+            ("hcal/gain", 2.0),
+            ("tracker/alignment-scale", 1.0),
+        ] {
+            store
+                .insert("hot", IovKey::new(k), RunRange::from(0), Payload::Scalar(v))
+                .unwrap();
+        }
+        let hot = DetectorSimulation::new(
+            Experiment::Atlas.detector(),
+            Arc::new(DbSource::connect(store, "hot")),
+            SeedSequence::new(99),
+        );
+        let nominal = sim(Experiment::Atlas);
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::Higgs, 8));
+        let mut e_hot = 0.0;
+        let mut e_nom = 0.0;
+        for i in 0..30 {
+            let truth = gen.event(i);
+            e_hot += hot.simulate(&truth, i).unwrap().calo_energy();
+            e_nom += nominal.simulate(&truth, i).unwrap().calo_energy();
+        }
+        let ratio = e_hot / e_nom;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn conditions_access_is_counted() {
+        let src = Arc::new(DbSource::connect(conditions(), "mc"));
+        let sim = DetectorSimulation::new(
+            Experiment::Atlas.detector(),
+            Arc::clone(&src) as Arc<dyn ConditionsSource>,
+            SeedSequence::new(1),
+        );
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 1));
+        for i in 0..10 {
+            sim.simulate(&gen.event(i), i).unwrap();
+        }
+        // Three condition keys per event.
+        assert_eq!(src.stats().lookups(), 30);
+    }
+
+    #[test]
+    fn missing_conditions_key_is_an_error() {
+        let store = Arc::new(ConditionsStore::new());
+        store.create_tag("empty").unwrap();
+        let sim = DetectorSimulation::new(
+            Experiment::Atlas.detector(),
+            Arc::new(DbSource::connect(store, "empty")),
+            SeedSequence::new(1),
+        );
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 1));
+        assert!(sim.simulate(&gen.event(0), 0).is_err());
+    }
+
+    #[test]
+    fn displaced_v0_daughters_skip_inner_layers() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::Strange, 77));
+        let sim = sim(Experiment::Alice);
+        let mut found_displaced_track = false;
+        for i in 0..200 {
+            let truth = gen.event(i);
+            let raw = sim.simulate(&truth, i).unwrap();
+            // Look for a stub whose innermost hit is beyond layer 1.
+            let mut min_layer: BTreeMap<u32, u8> = BTreeMap::new();
+            for h in &raw.tracker_hits {
+                let e = min_layer.entry(h.stub).or_insert(u8::MAX);
+                *e = (*e).min(h.layer);
+            }
+            if min_layer.values().any(|&l| l >= 2) {
+                found_displaced_track = true;
+                break;
+            }
+        }
+        assert!(found_displaced_track);
+    }
+}

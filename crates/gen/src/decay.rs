@@ -1,0 +1,228 @@
+//! Decay kinematics: two-body phase space and decay vertices.
+
+use daspos_hep::fourvec::FourVector;
+use daspos_hep::particle::PdgId;
+use daspos_hep::stats;
+use daspos_hep::units;
+use daspos_hep::HepError;
+use rand::Rng;
+
+/// Isotropic two-body decay of a parent with momentum `parent` into
+/// daughters of masses `m1`, `m2`. Returns the lab-frame daughter momenta.
+///
+/// Errors when the parent is below threshold (`M < m1 + m2`) or not
+/// timelike.
+pub fn two_body<R: Rng + ?Sized>(
+    rng: &mut R,
+    parent: &FourVector,
+    m1: f64,
+    m2: f64,
+) -> Result<(FourVector, FourVector), HepError> {
+    let m = parent.mass();
+    if m < m1 + m2 {
+        return Err(HepError::InvalidParameter {
+            name: "parent_mass",
+            value: m,
+        });
+    }
+    // Momentum of either daughter in the rest frame (Källén function).
+    let e1 = (m * m + m1 * m1 - m2 * m2) / (2.0 * m);
+    let p = (e1 * e1 - m1 * m1).max(0.0).sqrt();
+
+    let cos_theta = stats::uniform_cos_theta(rng);
+    let sin_theta = (1.0 - cos_theta * cos_theta).sqrt();
+    let phi = stats::uniform_phi(rng);
+
+    let d1_rest = FourVector::new(
+        p * sin_theta * phi.cos(),
+        p * sin_theta * phi.sin(),
+        p * cos_theta,
+        e1,
+    );
+    let d2_rest = FourVector::new(-d1_rest.px, -d1_rest.py, -d1_rest.pz, m - e1);
+
+    let d1 = d1_rest.boosted_from_rest_frame_of(parent)?;
+    let d2 = d2_rest.boosted_from_rest_frame_of(parent)?;
+    Ok((d1, d2))
+}
+
+/// Sample a decay vertex for a particle of species `pdg` produced at
+/// `production` with momentum `momentum`: draws a proper time from the
+/// species lifetime and propagates it along the flight direction.
+///
+/// Stable particles (infinite lifetime) return the production vertex far
+/// displaced; callers treat them as never decaying — use
+/// [`decays_within`] instead for acceptance decisions.
+pub fn decay_vertex<R: Rng + ?Sized>(
+    rng: &mut R,
+    pdg: PdgId,
+    momentum: &FourVector,
+    production: &FourVector,
+) -> Result<FourVector, HepError> {
+    let tau = pdg.lifetime_ns()?;
+    if !tau.is_finite() {
+        return Ok(FourVector::new(
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ));
+    }
+    let t_proper = stats::exponential(rng, tau)?;
+    flight_point(pdg, momentum, production, t_proper)
+}
+
+/// Deterministic flight endpoint after proper time `t_proper` (ns):
+/// `x = x0 + (p/m)·c·τ` per coordinate, with lab time dilation in `e`.
+pub fn flight_point(
+    pdg: PdgId,
+    momentum: &FourVector,
+    production: &FourVector,
+    t_proper: f64,
+) -> Result<FourVector, HepError> {
+    let m = pdg.mass()?;
+    if m <= 0.0 {
+        return Err(HepError::NotTimelike { m2: 0.0 });
+    }
+    // γβc·τ along each momentum component: (p_i/m)·c·τ.
+    let k = units::C_MM_PER_NS * t_proper / m;
+    Ok(FourVector::new(
+        production.px + momentum.px * k,
+        production.py + momentum.py * k,
+        production.pz + momentum.pz * k,
+        production.e + momentum.e * k / units::C_MM_PER_NS * units::C_MM_PER_NS,
+    ))
+}
+
+/// Transverse flight distance (mm) from origin to `vertex`.
+pub fn transverse_flight(vertex: &FourVector) -> f64 {
+    (vertex.px * vertex.px + vertex.py * vertex.py).sqrt()
+}
+
+/// True when a particle with the given decay vertex decays within a
+/// cylindrical detector volume of transverse radius `r_mm` and half-length
+/// `z_mm`.
+pub fn decays_within(vertex: &FourVector, r_mm: f64, z_mm: f64) -> bool {
+    vertex.px.is_finite()
+        && transverse_flight(vertex) <= r_mm
+        && vertex.pz.abs() <= z_mm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDECA7)
+    }
+
+    #[test]
+    fn two_body_conserves_four_momentum() {
+        let mut r = rng();
+        let parent = FourVector::from_pt_eta_phi_m(37.0, 0.9, -2.2, 91.1876);
+        let (d1, d2) = two_body(&mut r, &parent, 0.10566, 0.10566).unwrap();
+        let total = d1 + d2;
+        assert!((total.px - parent.px).abs() < 1e-9);
+        assert!((total.py - parent.py).abs() < 1e-9);
+        assert!((total.pz - parent.pz).abs() < 1e-9);
+        assert!((total.e - parent.e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_body_daughter_masses_correct() {
+        let mut r = rng();
+        let parent = FourVector::from_pt_eta_phi_m(12.0, -0.3, 0.4, 1.86484);
+        let (k, pi) = two_body(&mut r, &parent, 0.49368, 0.13957).unwrap();
+        assert!((k.mass() - 0.49368).abs() < 1e-6);
+        assert!((pi.mass() - 0.13957).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_body_below_threshold_errors() {
+        let mut r = rng();
+        let parent = FourVector::at_rest(0.1);
+        assert!(two_body(&mut r, &parent, 0.09, 0.09).is_err());
+    }
+
+    #[test]
+    fn two_body_is_isotropic_in_rest_frame() {
+        let mut r = rng();
+        let parent = FourVector::at_rest(91.1876);
+        let mut fwd = 0u32;
+        let mut bwd = 0u32;
+        for _ in 0..20_000 {
+            let (d1, _) = two_body(&mut r, &parent, 0.0, 0.0).unwrap();
+            if d1.pz > 0.0 {
+                fwd += 1;
+            } else {
+                bwd += 1;
+            }
+        }
+        let asym = (f64::from(fwd) - f64::from(bwd)).abs() / 20_000.0;
+        assert!(asym < 0.02, "asymmetry {asym}");
+    }
+
+    #[test]
+    fn decay_vertex_of_stable_particle_is_at_infinity() {
+        let mut r = rng();
+        let v = decay_vertex(
+            &mut r,
+            PdgId::PROTON,
+            &FourVector::from_pt_eta_phi_m(1.0, 0.0, 0.0, 0.938),
+            &FourVector::ZERO,
+        )
+        .unwrap();
+        assert!(!decays_within(&v, 1e6, 1e6));
+    }
+
+    #[test]
+    fn d0_mean_flight_matches_gamma_beta_ctau() {
+        let mut r = rng();
+        let p = FourVector::from_pt_eta_phi_m(10.0, 0.0, 0.0, 1.86484);
+        let mut s = daspos_hep::stats::RunningStats::new();
+        for _ in 0..20_000 {
+            let v = decay_vertex(&mut r, PdgId::D0, &p, &FourVector::ZERO).unwrap();
+            s.push(transverse_flight(&v));
+        }
+        // Expected mean transverse flight: (pT/m)·c·τ.
+        let expected = 10.0 / 1.86484 * units::C_MM_PER_NS * PdgId::D0.lifetime_ns().unwrap();
+        assert!(
+            (s.mean() - expected).abs() < 0.05 * expected,
+            "mean {} vs expected {expected}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn k0s_often_decays_inside_tracker() {
+        let mut r = rng();
+        let p = FourVector::from_pt_eta_phi_m(1.0, 0.0, 0.0, 0.49761);
+        let mut inside = 0;
+        for _ in 0..1000 {
+            let v = decay_vertex(&mut r, PdgId::K0_SHORT, &p, &FourVector::ZERO).unwrap();
+            if decays_within(&v, 800.0, 2000.0) {
+                inside += 1;
+            }
+        }
+        // cτ·γβ ≈ 54 mm at pT = 1 GeV: almost all decay within 800 mm.
+        assert!(inside > 900, "only {inside} decays inside");
+    }
+
+    #[test]
+    fn flight_point_zero_time_is_production() {
+        let prod = FourVector::new(1.0, 2.0, 3.0, 0.0);
+        let p = FourVector::from_pt_eta_phi_m(5.0, 0.5, 0.5, 1.86484);
+        let v = flight_point(PdgId::D0, &p, &prod, 0.0).unwrap();
+        assert!((v.px - 1.0).abs() < 1e-12);
+        assert!((v.py - 2.0).abs() < 1e-12);
+        assert!((v.pz - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flight_point_massless_errors() {
+        let p = FourVector::from_pt_eta_phi_m(5.0, 0.0, 0.0, 0.0);
+        assert!(flight_point(PdgId::PHOTON, &p, &FourVector::ZERO, 1.0).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Parton fragmentation: turning quarks and gluons into hadron sprays.
+//!
+//! A deliberately simple longitudinal string model: the parton's momentum
+//! is split into hadrons by repeatedly drawing a momentum fraction `z`
+//! from a fragmentation function, giving each hadron a small transverse
+//! kick relative to the parton axis. It produces collimated jets with
+//! realistic multiplicities — all the detector simulation and jet
+//! clustering downstream require.
+
+use daspos_hep::fourvec::FourVector;
+use daspos_hep::particle::{PdgId, TruthParticle};
+use daspos_hep::stats;
+use rand::Rng;
+
+/// Tunable fragmentation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentationParams {
+    /// Exponent of the `f(z) ∝ (1-z)^a` fragmentation function.
+    pub a: f64,
+    /// Width (GeV) of the Gaussian transverse kick per hadron.
+    pub pt_kick: f64,
+    /// Stop fragmenting when the remaining energy falls below this (GeV).
+    pub cutoff: f64,
+    /// Probability that a produced hadron is a kaon rather than a pion.
+    pub kaon_fraction: f64,
+    /// Probability that a pion is neutral.
+    pub neutral_fraction: f64,
+}
+
+impl Default for FragmentationParams {
+    fn default() -> Self {
+        FragmentationParams {
+            a: 1.3,
+            pt_kick: 0.35,
+            cutoff: 0.5,
+            kaon_fraction: 0.12,
+            neutral_fraction: 0.33,
+        }
+    }
+}
+
+/// Fragment a parton of momentum `parton` into hadrons appended as
+/// children of `parent_index`. Returns the produced [`TruthParticle`]s.
+pub fn fragment<R: Rng + ?Sized>(
+    rng: &mut R,
+    parton: &FourVector,
+    parent_index: u32,
+    params: &FragmentationParams,
+) -> Vec<TruthParticle> {
+    let mut hadrons = Vec::new();
+    let mut remaining = *parton;
+    // Unit vector along the parton for the transverse-kick basis.
+    let p_total = parton.p();
+    if p_total <= params.cutoff {
+        return hadrons;
+    }
+    let (ax, ay, az) = (
+        parton.px / p_total,
+        parton.py / p_total,
+        parton.pz / p_total,
+    );
+    // Two unit vectors orthogonal to the axis.
+    let (ux, uy, uz) = if az.abs() < 0.9 {
+        // axis × z
+        let n = (ax * ax + ay * ay).sqrt().max(1e-12);
+        (ay / n, -ax / n, 0.0)
+    } else {
+        // axis × x
+        let n = (ay * ay + az * az).sqrt().max(1e-12);
+        (0.0, az / n, -ay / n)
+    };
+    let (vx, vy, vz) = (
+        ay * uz - az * uy,
+        az * ux - ax * uz,
+        ax * uy - ay * ux,
+    );
+
+    while remaining.p() > params.cutoff && hadrons.len() < 200 {
+        // Draw z from f(z) ∝ (1+a)(1-z)^a via inverse CDF.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let z = 1.0 - (1.0 - u).powf(1.0 / (1.0 + params.a));
+        let z = z.clamp(0.05, 0.95);
+        let species = pick_species(rng, params);
+        let mass = species.mass().unwrap_or(0.13957);
+
+        let p_frag = remaining.p() * z;
+        let kick1 = stats::standard_normal(rng) * params.pt_kick;
+        let kick2 = stats::standard_normal(rng) * params.pt_kick;
+        let dir = remaining.p().max(1e-12);
+        let (rx, ry, rz) = (
+            remaining.px / dir,
+            remaining.py / dir,
+            remaining.pz / dir,
+        );
+        let px = rx * p_frag + ux * kick1 + vx * kick2;
+        let py = ry * p_frag + uy * kick1 + vy * kick2;
+        let pz = rz * p_frag + uz * kick1 + vz * kick2;
+        let e = (px * px + py * py + pz * pz + mass * mass).sqrt();
+        let hadron = FourVector::new(px, py, pz, e);
+
+        hadrons.push(TruthParticle::final_state(species, hadron).with_parent(parent_index));
+        remaining = FourVector::new(
+            remaining.px - hadron.px,
+            remaining.py - hadron.py,
+            remaining.pz - hadron.pz,
+            (remaining.e - hadron.e).max(0.0),
+        );
+    }
+    hadrons
+}
+
+fn pick_species<R: Rng + ?Sized>(rng: &mut R, params: &FragmentationParams) -> PdgId {
+    if stats::accept(rng, params.kaon_fraction) {
+        if stats::accept(rng, 0.5) {
+            PdgId::K_PLUS
+        } else {
+            PdgId::K_PLUS.antiparticle()
+        }
+    } else if stats::accept(rng, params.neutral_fraction) {
+        PdgId::PI_ZERO
+    } else if stats::accept(rng, 0.5) {
+        PdgId::PI_PLUS
+    } else {
+        PdgId::PI_PLUS.antiparticle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF4A6)
+    }
+
+    #[test]
+    fn fragmentation_produces_hadrons_for_hard_parton() {
+        let mut r = rng();
+        let parton = FourVector::from_pt_eta_phi_m(80.0, 0.3, 1.0, 0.0);
+        let hadrons = fragment(&mut r, &parton, 0, &FragmentationParams::default());
+        assert!(hadrons.len() >= 4, "got {} hadrons", hadrons.len());
+        assert!(hadrons.iter().all(|h| h.parent == Some(0)));
+        assert!(hadrons.iter().all(|h| h.pdg.is_hadron()));
+    }
+
+    #[test]
+    fn fragmentation_roughly_conserves_momentum_direction() {
+        let mut r = rng();
+        let parton = FourVector::from_pt_eta_phi_m(100.0, -0.7, 2.0, 0.0);
+        let hadrons = fragment(&mut r, &parton, 0, &FragmentationParams::default());
+        let total: FourVector = hadrons.iter().map(|h| h.momentum).sum();
+        // The jet axis should track the parton to well within the pT kick.
+        assert!(total.delta_r(&parton) < 0.15, "dR = {}", total.delta_r(&parton));
+        // And carry most of the energy (cutoff losses only).
+        assert!(total.e > 0.9 * parton.e, "E = {} of {}", total.e, parton.e);
+    }
+
+    #[test]
+    fn soft_parton_produces_nothing() {
+        let mut r = rng();
+        let parton = FourVector::from_pt_eta_phi_m(0.2, 0.0, 0.0, 0.0);
+        assert!(fragment(&mut r, &parton, 0, &FragmentationParams::default()).is_empty());
+    }
+
+    #[test]
+    fn multiplicity_grows_with_energy() {
+        let mut r = rng();
+        let avg = |pt: f64, r: &mut StdRng| {
+            let mut n = 0usize;
+            for _ in 0..200 {
+                let parton = FourVector::from_pt_eta_phi_m(pt, 0.0, 0.0, 0.0);
+                n += fragment(r, &parton, 0, &FragmentationParams::default()).len();
+            }
+            n as f64 / 200.0
+        };
+        let low = avg(20.0, &mut r);
+        let high = avg(200.0, &mut r);
+        assert!(high > low + 1.0, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn hadrons_are_kinematically_sane() {
+        let mut r = rng();
+        let parton = FourVector::from_pt_eta_phi_m(60.0, 1.2, -2.5, 0.0);
+        for h in fragment(&mut r, &parton, 3, &FragmentationParams::default()) {
+            assert!(h.momentum.is_finite());
+            assert!(h.momentum.e > 0.0);
+            assert!(h.momentum.e >= h.momentum.p() - 1e-9);
+        }
+    }
+}

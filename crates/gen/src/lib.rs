@@ -1,0 +1,33 @@
+//! # daspos-gen — synthetic Monte Carlo event generator
+//!
+//! The substitute for the LHC's collision data and the experiments' Monte
+//! Carlo production (see DESIGN.md §1, substitution table). It produces
+//! [`daspos_hep::TruthEvent`] records — the HepMC analogue the report's
+//! RIVET discussion relies on ("any Monte Carlo output can be juxtaposed
+//! with the data, as long as it can produce output in HepMC format").
+//!
+//! Physics content, chosen to drive every masterclass and analysis in the
+//! report's Table 1:
+//!
+//! * QCD dijets (the dominant background; steeply falling power-law pT),
+//! * W → ℓν and Z → ℓℓ (the ATLAS/CMS masterclasses),
+//! * H → γγ and H → 4ℓ (the Higgs masterclass),
+//! * open charm D⁰ → K⁻π⁺ with displaced vertices (the LHCb D-lifetime
+//!   masterclass),
+//! * strange V⁰s: K⁰s → π⁺π⁻ and Λ → pπ⁻ (the ALICE V⁰ masterclass),
+//! * minimum-bias pileup overlay,
+//! * a parameterized `NewPhysics` resonance for RECAST signal injection.
+//!
+//! Everything is deterministic from a [`daspos_hep::SeedSequence`]: the
+//! *i*-th event of a configuration is bit-identical on every re-run, which
+//! is what lets the preservation validator compare re-executions.
+
+pub mod decay;
+pub mod fragment;
+pub mod generator;
+pub mod process;
+pub mod xsec;
+
+pub use generator::{EventGenerator, GeneratorConfig, PileupConfig};
+pub use process::NewPhysicsParams;
+pub use xsec::CrossSectionTable;

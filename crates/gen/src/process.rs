@@ -1,0 +1,789 @@
+//! Hard-process implementations.
+//!
+//! Each process turns a random stream plus event coordinates into a
+//! [`TruthEvent`]. The set covers every analysis in the report's Table 1
+//! masterclass row plus the RECAST new-physics injection use case (§2.3).
+
+use daspos_hep::event::{EventHeader, ProcessKind, TruthEvent};
+use daspos_hep::fourvec::FourVector;
+use daspos_hep::particle::{PdgId, TruthParticle};
+use daspos_hep::stats;
+use rand::RngCore;
+
+use crate::decay;
+use crate::fragment::{self, FragmentationParams};
+
+/// A hard process: generates one truth event per call.
+pub trait HardProcess: Send + Sync {
+    /// The truth label this process stamps on its events.
+    fn kind(&self) -> ProcessKind;
+    /// Generate one event at the given coordinates.
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent;
+}
+
+/// Build a boson four-vector from (pT, rapidity, φ, m).
+fn from_pt_y_phi_m(pt: f64, y: f64, phi: f64, m: f64) -> FourVector {
+    let mt = (m * m + pt * pt).sqrt();
+    FourVector::new(pt * phi.cos(), pt * phi.sin(), mt * y.sinh(), mt * y.cosh())
+}
+
+/// Sample the transverse momentum of a produced heavy boson: an
+/// exponential with the given mean models the soft recoil spectrum.
+fn boson_pt(rng: &mut dyn RngCore, mean: f64) -> f64 {
+    stats::exponential(rng, mean).unwrap_or(0.0)
+}
+
+/// Uniform production rapidity in [-span, span].
+fn production_y(rng: &mut dyn RngCore, span: f64) -> f64 {
+    use rand::Rng;
+    rng.gen_range(-span..span)
+}
+
+/// Add a soft underlying event: `n_mean` Poisson-distributed soft pions.
+fn underlying_event(rng: &mut dyn RngCore, ev: &mut TruthEvent, n_mean: f64) {
+    use rand::Rng;
+    let n = stats::poisson(rng, n_mean).unwrap_or(0);
+    for _ in 0..n {
+        let pt = stats::exponential(rng, 0.6).unwrap_or(0.3);
+        let eta = rng.gen_range(-4.0..4.0);
+        let phi = stats::uniform_phi(rng);
+        let species = if stats::accept(rng, 0.5) {
+            PdgId::PI_PLUS
+        } else {
+            PdgId::PI_PLUS.antiparticle()
+        };
+        let mom = FourVector::from_pt_eta_phi_m(pt, eta, phi, 0.13957);
+        ev.push(TruthParticle::final_state(species, mom));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QCD dijets
+// ---------------------------------------------------------------------------
+
+/// QCD dijet production: two partons roughly back to back in φ with a
+/// steeply falling power-law pT spectrum, each fragmented into hadrons.
+#[derive(Debug, Clone)]
+pub struct DijetProcess {
+    /// Spectral index of `dN/dpT ∝ pT^(-n)`.
+    pub spectral_index: f64,
+    /// Minimum parton pT (GeV).
+    pub pt_min: f64,
+    /// Maximum parton pT (GeV).
+    pub pt_max: f64,
+    /// Fragmentation tuning.
+    pub frag: FragmentationParams,
+}
+
+impl Default for DijetProcess {
+    fn default() -> Self {
+        DijetProcess {
+            spectral_index: 5.0,
+            pt_min: 25.0,
+            pt_max: 800.0,
+            frag: FragmentationParams::default(),
+        }
+    }
+}
+
+impl HardProcess for DijetProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::QcdDijet
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        use rand::Rng;
+        let mut ev = TruthEvent::new(header, ProcessKind::QcdDijet);
+        let pt = stats::power_law(rng, self.spectral_index, self.pt_min, self.pt_max)
+            .unwrap_or(self.pt_min);
+        let phi = stats::uniform_phi(rng);
+        let eta1 = rng.gen_range(-3.0..3.0);
+        let eta2 = rng.gen_range(-3.0..3.0);
+        // Slight pT imbalance between the two partons (soft radiation).
+        let kt = stats::normal(rng, 0.0, 0.07 * pt).unwrap_or(0.0);
+        let p1 = FourVector::from_pt_eta_phi_m(pt, eta1, phi, 0.0);
+        let p2 = FourVector::from_pt_eta_phi_m(
+            (pt + kt).max(1.0),
+            eta2,
+            daspos_hep::fourvec::delta_phi(phi, std::f64::consts::PI),
+            0.0,
+        );
+        for parton in [p1, p2] {
+            let idx = ev.push(TruthParticle::intermediate(PdgId::GLUON, parton));
+            for h in fragment::fragment(rng, &parton, idx, &self.frag) {
+                ev.push(h);
+            }
+        }
+        underlying_event(rng, &mut ev, 8.0);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// W and Z bosons
+// ---------------------------------------------------------------------------
+
+/// W → ℓν production (the ATLAS/CMS W masterclass).
+#[derive(Debug, Clone, Default)]
+pub struct WProcess;
+
+impl HardProcess for WProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::WBoson
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        let mut ev = TruthEvent::new(header, ProcessKind::WBoson);
+        let m = stats::breit_wigner(rng, 80.379, 2.085).unwrap_or(80.379);
+        let plus = stats::accept(rng, 0.5);
+        let w_mom = from_pt_y_phi_m(
+            boson_pt(rng, 8.0),
+            production_y(rng, 2.5),
+            stats::uniform_phi(rng),
+            m,
+        );
+        let w_id = if plus {
+            PdgId::W_PLUS
+        } else {
+            PdgId::W_PLUS.antiparticle()
+        };
+        let w = ev.push(TruthParticle::intermediate(w_id, w_mom));
+        // ℓ = e or μ with equal probability.
+        let (lep, nu) = if stats::accept(rng, 0.5) {
+            (PdgId::ELECTRON, PdgId(12))
+        } else {
+            (PdgId::MUON, PdgId(14))
+        };
+        // W+ → ℓ+ ν;  W- → ℓ- ν̄.
+        let (lep_id, nu_id) = if plus {
+            (lep.antiparticle(), nu)
+        } else {
+            (lep, nu.antiparticle())
+        };
+        if let Ok((d1, d2)) = decay::two_body(
+            rng,
+            &w_mom,
+            lep_id.mass().unwrap_or(0.0),
+            0.0,
+        ) {
+            ev.push(TruthParticle::final_state(lep_id, d1).with_parent(w));
+            ev.push(TruthParticle::final_state(nu_id, d2).with_parent(w));
+        }
+        underlying_event(rng, &mut ev, 10.0);
+        ev
+    }
+}
+
+/// Z → ℓ⁺ℓ⁻ production (the Z masterclass and the RIVET demo analysis).
+#[derive(Debug, Clone, Default)]
+pub struct ZProcess;
+
+impl HardProcess for ZProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::ZBoson
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        let mut ev = TruthEvent::new(header, ProcessKind::ZBoson);
+        let m = stats::breit_wigner(rng, 91.1876, 2.4952).unwrap_or(91.1876);
+        let z_mom = from_pt_y_phi_m(
+            boson_pt(rng, 7.0),
+            production_y(rng, 2.5),
+            stats::uniform_phi(rng),
+            m,
+        );
+        let z = ev.push(TruthParticle::intermediate(PdgId::Z0, z_mom));
+        let lep = if stats::accept(rng, 0.5) {
+            PdgId::ELECTRON
+        } else {
+            PdgId::MUON
+        };
+        let ml = lep.mass().unwrap_or(0.0);
+        if let Ok((d1, d2)) = decay::two_body(rng, &z_mom, ml, ml) {
+            ev.push(TruthParticle::final_state(lep, d1).with_parent(z));
+            ev.push(TruthParticle::final_state(lep.antiparticle(), d2).with_parent(z));
+        }
+        underlying_event(rng, &mut ev, 10.0);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Higgs
+// ---------------------------------------------------------------------------
+
+/// H → γγ or H → ZZ* → 4ℓ production (the Higgs masterclass). The γγ
+/// branching is inflated to 50% so classroom-sized samples contain both
+/// channels, as the real masterclass samples do.
+#[derive(Debug, Clone)]
+pub struct HiggsProcess {
+    /// Probability of the γγ channel (remainder is 4ℓ).
+    pub diphoton_fraction: f64,
+}
+
+impl Default for HiggsProcess {
+    fn default() -> Self {
+        HiggsProcess {
+            diphoton_fraction: 0.5,
+        }
+    }
+}
+
+impl HardProcess for HiggsProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::Higgs
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        let mut ev = TruthEvent::new(header, ProcessKind::Higgs);
+        let m_h = stats::breit_wigner(rng, 125.25, 0.0041).unwrap_or(125.25);
+        let h_mom = from_pt_y_phi_m(
+            boson_pt(rng, 12.0),
+            production_y(rng, 2.2),
+            stats::uniform_phi(rng),
+            m_h,
+        );
+        let h = ev.push(TruthParticle::intermediate(PdgId::HIGGS, h_mom));
+        if stats::accept(rng, self.diphoton_fraction) {
+            if let Ok((g1, g2)) = decay::two_body(rng, &h_mom, 0.0, 0.0) {
+                ev.push(TruthParticle::final_state(PdgId::PHOTON, g1).with_parent(h));
+                ev.push(TruthParticle::final_state(PdgId::PHOTON, g2).with_parent(h));
+            }
+        } else {
+            // H → Z Z* → 4ℓ: one near-on-shell Z, one far off-shell.
+            let m1 = stats::breit_wigner(rng, 91.1876, 2.4952)
+                .unwrap_or(91.1876)
+                .clamp(40.0, m_h - 15.0);
+            let max_m2 = (m_h - m1 - 0.5).max(5.0);
+            let m2 = stats::breit_wigner(rng, 30.0, 10.0)
+                .unwrap_or(30.0)
+                .clamp(4.0, max_m2);
+            if let Ok((z1m, z2m)) = decay::two_body(rng, &h_mom, m1, m2) {
+                for (zmom, zmass) in [(z1m, m1), (z2m, m2)] {
+                    let _ = zmass;
+                    let z = ev.push(TruthParticle::intermediate(PdgId::Z0, zmom).with_parent(h));
+                    let lep = if stats::accept(rng, 0.5) {
+                        PdgId::ELECTRON
+                    } else {
+                        PdgId::MUON
+                    };
+                    let ml = lep.mass().unwrap_or(0.0);
+                    if let Ok((d1, d2)) = decay::two_body(rng, &zmom, ml, ml) {
+                        ev.push(TruthParticle::final_state(lep, d1).with_parent(z));
+                        ev.push(
+                            TruthParticle::final_state(lep.antiparticle(), d2).with_parent(z),
+                        );
+                    }
+                }
+            }
+        }
+        underlying_event(rng, &mut ev, 12.0);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Charm: D0 with displaced decay (the LHCb lifetime masterclass)
+// ---------------------------------------------------------------------------
+
+/// Open-charm production: a D⁰ (or D̄⁰) decaying to K∓π± at a displaced
+/// vertex whose flight distance encodes the lifetime being measured.
+#[derive(Debug, Clone)]
+pub struct CharmProcess {
+    /// Spectral index of the D⁰ pT spectrum.
+    pub spectral_index: f64,
+    /// Minimum D⁰ pT (GeV).
+    pub pt_min: f64,
+    /// Maximum D⁰ pT (GeV).
+    pub pt_max: f64,
+}
+
+impl Default for CharmProcess {
+    fn default() -> Self {
+        CharmProcess {
+            spectral_index: 4.0,
+            pt_min: 2.0,
+            pt_max: 30.0,
+        }
+    }
+}
+
+impl HardProcess for CharmProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::Charm
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        use rand::Rng;
+        let mut ev = TruthEvent::new(header, ProcessKind::Charm);
+        let pt = stats::power_law(rng, self.spectral_index, self.pt_min, self.pt_max)
+            .unwrap_or(self.pt_min);
+        // Forward production (LHCb-like) half the time, central otherwise,
+        // so all four synthetic experiments see some charm.
+        let eta = if stats::accept(rng, 0.5) {
+            rng.gen_range(2.0..4.5)
+        } else {
+            rng.gen_range(-2.0..2.0)
+        };
+        let anti = stats::accept(rng, 0.5);
+        let d0_id = if anti {
+            PdgId::D0.antiparticle()
+        } else {
+            PdgId::D0
+        };
+        let m_d = PdgId::D0.mass().expect("D0 in table");
+        let d_mom = FourVector::from_pt_eta_phi_m(pt, eta, stats::uniform_phi(rng), m_d);
+        let vertex = decay::decay_vertex(rng, PdgId::D0, &d_mom, &FourVector::ZERO)
+            .unwrap_or(FourVector::ZERO);
+        let d = ev.push(TruthParticle::intermediate(d0_id, d_mom));
+        // D0 → K- π+ (the Cabibbo-favored mode); conjugate for anti-D0.
+        let (k_id, pi_id) = if anti {
+            (PdgId::K_PLUS, PdgId::PI_PLUS.antiparticle())
+        } else {
+            (PdgId::K_PLUS.antiparticle(), PdgId::PI_PLUS)
+        };
+        if let Ok((k, pi)) = decay::two_body(
+            rng,
+            &d_mom,
+            PdgId::K_PLUS.mass().expect("K in table"),
+            PdgId::PI_PLUS.mass().expect("pi in table"),
+        ) {
+            ev.push(
+                TruthParticle::final_state(k_id, k)
+                    .with_parent(d)
+                    .with_vertex(vertex),
+            );
+            ev.push(
+                TruthParticle::final_state(pi_id, pi)
+                    .with_parent(d)
+                    .with_vertex(vertex),
+            );
+        }
+        underlying_event(rng, &mut ev, 15.0);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strange: V0 production (the ALICE masterclass)
+// ---------------------------------------------------------------------------
+
+/// Strange production: one to three V⁰s (K⁰s → π⁺π⁻ or Λ → pπ⁻) with
+/// centimetre-scale displaced vertices — the classic event-display
+/// signature the ALICE masterclass hunts for.
+#[derive(Debug, Clone)]
+pub struct StrangeProcess {
+    /// Fraction of V⁰s that are K⁰s (the rest are Λ).
+    pub k0s_fraction: f64,
+}
+
+impl Default for StrangeProcess {
+    fn default() -> Self {
+        StrangeProcess { k0s_fraction: 0.7 }
+    }
+}
+
+impl HardProcess for StrangeProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::Strange
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        use rand::Rng;
+        let mut ev = TruthEvent::new(header, ProcessKind::Strange);
+        let n_v0 = 1 + stats::poisson(rng, 0.8).unwrap_or(0).min(2);
+        for _ in 0..n_v0 {
+            let is_k0s = stats::accept(rng, self.k0s_fraction);
+            let (v0_id, d1_id, d2_id) = if is_k0s {
+                (PdgId::K0_SHORT, PdgId::PI_PLUS, PdgId::PI_PLUS.antiparticle())
+            } else if stats::accept(rng, 0.5) {
+                (PdgId::LAMBDA, PdgId::PROTON, PdgId::PI_PLUS.antiparticle())
+            } else {
+                (
+                    PdgId::LAMBDA.antiparticle(),
+                    PdgId::PROTON.antiparticle(),
+                    PdgId::PI_PLUS,
+                )
+            };
+            let pt = stats::power_law(rng, 3.5, 0.3, 10.0).unwrap_or(1.0);
+            let eta = rng.gen_range(-2.0..2.0);
+            let m = v0_id.mass().expect("V0 in table");
+            let v_mom = FourVector::from_pt_eta_phi_m(pt, eta, stats::uniform_phi(rng), m);
+            let vertex = decay::decay_vertex(rng, PdgId(v0_id.0.abs()), &v_mom, &FourVector::ZERO)
+                .unwrap_or(FourVector::ZERO);
+            let v = ev.push(TruthParticle::intermediate(v0_id, v_mom));
+            if let Ok((d1, d2)) = decay::two_body(
+                rng,
+                &v_mom,
+                d1_id.mass().unwrap_or(0.0),
+                d2_id.mass().unwrap_or(0.0),
+            ) {
+                ev.push(
+                    TruthParticle::final_state(d1_id, d1)
+                        .with_parent(v)
+                        .with_vertex(vertex),
+                );
+                ev.push(
+                    TruthParticle::final_state(d2_id, d2)
+                        .with_parent(v)
+                        .with_vertex(vertex),
+                );
+            }
+        }
+        underlying_event(rng, &mut ev, 18.0);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimum bias
+// ---------------------------------------------------------------------------
+
+/// Soft inelastic collisions: the pileup that overlays every triggered
+/// event.
+#[derive(Debug, Clone)]
+pub struct MinBiasProcess {
+    /// Mean charged multiplicity per collision.
+    pub mean_multiplicity: f64,
+}
+
+impl Default for MinBiasProcess {
+    fn default() -> Self {
+        MinBiasProcess {
+            mean_multiplicity: 25.0,
+        }
+    }
+}
+
+impl HardProcess for MinBiasProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::MinimumBias
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        let mut ev = TruthEvent::new(header, ProcessKind::MinimumBias);
+        underlying_event(rng, &mut ev, self.mean_multiplicity);
+        ev
+    }
+}
+
+// ---------------------------------------------------------------------------
+// New physics (RECAST signal injection)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the beyond-Standard-Model resonance used by RECAST
+/// requests (§2.3: "generate events from new physics models, then subject
+/// them to a simulation of the particle detector").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewPhysicsParams {
+    /// Resonance pole mass (GeV), e.g. a Z′ at 300 GeV.
+    pub mass: f64,
+    /// Resonance full width (GeV).
+    pub width: f64,
+    /// Signal cross-section in picobarns (drives expected yields).
+    pub cross_section_pb: f64,
+}
+
+impl Default for NewPhysicsParams {
+    fn default() -> Self {
+        NewPhysicsParams {
+            mass: 300.0,
+            width: 9.0,
+            cross_section_pb: 1.0,
+        }
+    }
+}
+
+/// A Z′-like dilepton resonance: the canonical reinterpretation target.
+#[derive(Debug, Clone)]
+pub struct NewPhysicsProcess {
+    /// Model parameters (mass, width, cross-section).
+    pub params: NewPhysicsParams,
+}
+
+impl NewPhysicsProcess {
+    /// A process for the given model point.
+    pub fn new(params: NewPhysicsParams) -> Self {
+        NewPhysicsProcess { params }
+    }
+}
+
+impl HardProcess for NewPhysicsProcess {
+    fn kind(&self) -> ProcessKind {
+        ProcessKind::NewPhysics
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore, header: EventHeader) -> TruthEvent {
+        let mut ev = TruthEvent::new(header, ProcessKind::NewPhysics);
+        let m = stats::breit_wigner(rng, self.params.mass, self.params.width)
+            .unwrap_or(self.params.mass);
+        let zp_mom = from_pt_y_phi_m(
+            boson_pt(rng, 10.0),
+            production_y(rng, 2.0),
+            stats::uniform_phi(rng),
+            m,
+        );
+        // Record the resonance with a sentinel BSM-style id (32 is unused
+        // by the SM table; status Documentation keeps it out of the
+        // visible final state).
+        let zp = ev.push(TruthParticle::intermediate(PdgId(32), zp_mom));
+        let lep = if stats::accept(rng, 0.5) {
+            PdgId::ELECTRON
+        } else {
+            PdgId::MUON
+        };
+        let ml = lep.mass().unwrap_or(0.0);
+        if let Ok((d1, d2)) = decay::two_body(rng, &zp_mom, ml, ml) {
+            ev.push(TruthParticle::final_state(lep, d1).with_parent(zp));
+            ev.push(TruthParticle::final_state(lep.antiparticle(), d2).with_parent(zp));
+        }
+        underlying_event(rng, &mut ev, 10.0);
+        ev
+    }
+}
+
+/// Instantiate the default process for a [`ProcessKind`].
+pub fn default_process(kind: ProcessKind) -> Box<dyn HardProcess> {
+    match kind {
+        ProcessKind::QcdDijet => Box::new(DijetProcess::default()),
+        ProcessKind::WBoson => Box::new(WProcess),
+        ProcessKind::ZBoson => Box::new(ZProcess),
+        ProcessKind::Higgs => Box::new(HiggsProcess::default()),
+        ProcessKind::Charm => Box::new(CharmProcess::default()),
+        ProcessKind::Strange => Box::new(StrangeProcess::default()),
+        ProcessKind::MinimumBias => Box::new(MinBiasProcess::default()),
+        ProcessKind::NewPhysics => Box::new(NewPhysicsProcess::new(NewPhysicsParams::default())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daspos_hep::fourvec::invariant_mass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9E0)
+    }
+
+    #[test]
+    fn all_processes_produce_valid_events() {
+        let mut r = rng();
+        for kind in ProcessKind::all() {
+            let proc = default_process(*kind);
+            assert_eq!(proc.kind(), *kind);
+            for i in 0..20 {
+                let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+                ev.validate()
+                    .unwrap_or_else(|e| panic!("{kind:?} event invalid: {e}"));
+                assert_eq!(ev.process, *kind);
+            }
+        }
+    }
+
+    #[test]
+    fn z_dilepton_mass_peaks_at_z() {
+        let mut r = rng();
+        let proc = ZProcess;
+        let mut s = daspos_hep::stats::RunningStats::new();
+        for i in 0..2000 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            let leps: Vec<_> = ev
+                .final_state()
+                .filter(|p| p.pdg.is_charged_lepton())
+                .map(|p| p.momentum)
+                .collect();
+            assert_eq!(leps.len(), 2, "Z event must have exactly 2 leptons");
+            s.push(invariant_mass(leps.iter()));
+        }
+        assert!((s.mean() - 91.19).abs() < 1.0, "mean m_ll = {}", s.mean());
+    }
+
+    #[test]
+    fn w_events_have_one_lepton_and_met() {
+        let mut r = rng();
+        let proc = WProcess;
+        for i in 0..200 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            let n_lep = ev
+                .final_state()
+                .filter(|p| p.pdg.is_charged_lepton())
+                .count();
+            let n_nu = ev.final_state().filter(|p| p.pdg.is_neutrino()).count();
+            assert_eq!(n_lep, 1);
+            assert_eq!(n_nu, 1);
+            assert!(ev.true_met() > 0.0);
+        }
+    }
+
+    #[test]
+    fn w_charge_conservation() {
+        let mut r = rng();
+        let proc = WProcess;
+        for i in 0..300 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            let w = &ev.particles[0];
+            let lep = ev
+                .final_state()
+                .find(|p| p.pdg.is_charged_lepton())
+                .expect("lepton");
+            assert_eq!(
+                w.pdg.charge().unwrap().0.signum(),
+                lep.pdg.charge().unwrap().0.signum(),
+                "event {i}: W and lepton charge disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn higgs_channels_both_occur() {
+        let mut r = rng();
+        let proc = HiggsProcess::default();
+        let mut diphoton = 0;
+        let mut four_lepton = 0;
+        for i in 0..300 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            let n_gamma = ev
+                .final_state()
+                .filter(|p| p.pdg == PdgId::PHOTON)
+                .count();
+            let n_lep = ev
+                .final_state()
+                .filter(|p| p.pdg.is_charged_lepton())
+                .count();
+            if n_gamma == 2 {
+                diphoton += 1;
+                let gg: Vec<_> = ev
+                    .final_state()
+                    .filter(|p| p.pdg == PdgId::PHOTON)
+                    .map(|p| p.momentum)
+                    .collect();
+                let m = invariant_mass(gg.iter());
+                assert!((m - 125.25).abs() < 1.0, "m_gg = {m}");
+            }
+            if n_lep == 4 {
+                four_lepton += 1;
+            }
+        }
+        assert!(diphoton > 50, "diphoton count {diphoton}");
+        assert!(four_lepton > 50, "4l count {four_lepton}");
+    }
+
+    #[test]
+    fn charm_d0_decays_to_k_pi_with_displacement() {
+        let mut r = rng();
+        let proc = CharmProcess::default();
+        let mut displaced = 0;
+        for i in 0..500 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            let kaons: Vec<_> = ev
+                .final_state()
+                .filter(|p| p.pdg.0.abs() == 321)
+                .collect();
+            assert_eq!(kaons.len(), 1, "one kaon per charm event");
+            if decay::transverse_flight(&kaons[0].production_vertex) > 0.05 {
+                displaced += 1;
+            }
+            // The K and its sibling pi reconstruct the D0 mass.
+            let d_children: Vec<_> = ev
+                .particles
+                .iter()
+                .filter(|p| p.parent == Some(0))
+                .map(|p| p.momentum)
+                .collect();
+            assert_eq!(d_children.len(), 2);
+            let m = invariant_mass(d_children.iter());
+            assert!((m - 1.86484).abs() < 1e-6, "m_Kpi = {m}");
+        }
+        assert!(displaced > 300, "too few displaced D0s: {displaced}");
+    }
+
+    #[test]
+    fn strange_v0_vertices_are_cm_scale() {
+        let mut r = rng();
+        let proc = StrangeProcess::default();
+        let mut s = daspos_hep::stats::RunningStats::new();
+        for i in 0..500 {
+            let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+            for p in ev.final_state() {
+                if p.parent.is_some() && p.production_vertex.is_finite() {
+                    let flight = decay::transverse_flight(&p.production_vertex);
+                    if flight > 0.0 {
+                        s.push(flight);
+                    }
+                }
+            }
+        }
+        // cτ(K0s) = 27 mm, boosted: mean transverse flight of tens of mm.
+        assert!(s.mean() > 5.0 && s.mean() < 500.0, "mean flight {}", s.mean());
+    }
+
+    #[test]
+    fn new_physics_mass_tracks_parameter() {
+        let mut r = rng();
+        for mass in [200.0, 500.0] {
+            let proc = NewPhysicsProcess::new(NewPhysicsParams {
+                mass,
+                width: mass * 0.03,
+                cross_section_pb: 1.0,
+            });
+            let mut s = daspos_hep::stats::RunningStats::new();
+            for i in 0..500 {
+                let ev = proc.generate(&mut r, EventHeader::new(1, 1, i));
+                let leps: Vec<_> = ev
+                    .final_state()
+                    .filter(|p| p.pdg.is_charged_lepton())
+                    .map(|p| p.momentum)
+                    .collect();
+                if leps.len() == 2 {
+                    s.push(invariant_mass(leps.iter()));
+                }
+            }
+            assert!(
+                (s.mean() - mass).abs() < 0.05 * mass,
+                "mass {mass}: mean {}",
+                s.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn minbias_multiplicity_scales() {
+        let mut r = rng();
+        let lo = MinBiasProcess {
+            mean_multiplicity: 5.0,
+        };
+        let hi = MinBiasProcess {
+            mean_multiplicity: 50.0,
+        };
+        let count = |p: &MinBiasProcess, r: &mut StdRng| {
+            let mut n = 0;
+            for i in 0..100 {
+                n += p.generate(r, EventHeader::new(1, 1, i)).particles.len();
+            }
+            n
+        };
+        assert!(count(&hi, &mut r) > 5 * count(&lo, &mut r));
+    }
+
+    #[test]
+    fn dijet_final_state_is_two_collimated_sprays() {
+        let mut r = rng();
+        let proc = DijetProcess::default();
+        let ev = proc.generate(&mut r, EventHeader::new(1, 1, 0));
+        // Two partons with children.
+        let partons: Vec<u32> = ev
+            .particles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.pdg == PdgId::GLUON)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(partons.len(), 2);
+        for &idx in &partons {
+            let n_children = ev.children_of(idx).count();
+            assert!(n_children >= 2, "parton {idx} has {n_children} hadrons");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the foundation crate.
+
+use std::fmt;
+
+/// Errors raised by the event-model and statistics primitives.
+///
+/// Library code never panics on user input; every fallible operation
+/// returns `Result<_, HepError>` with enough context to diagnose the
+/// failure without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HepError {
+    /// A histogram was constructed with invalid binning (non-positive bin
+    /// count, non-finite or inverted edges).
+    InvalidBinning {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// Two histograms with incompatible binning were combined.
+    BinningMismatch {
+        /// Bin count of the left operand.
+        left: usize,
+        /// Bin count of the right operand.
+        right: usize,
+    },
+    /// A distribution parameter was outside its domain (e.g. negative
+    /// width for a Gaussian, non-positive mean for a Poisson).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A four-vector operation required a timelike vector but received a
+    /// spacelike or lightlike one (e.g. boosting to the rest frame of a
+    /// massless particle).
+    NotTimelike {
+        /// The invariant mass-squared that was found.
+        m2: f64,
+    },
+    /// A particle identity lookup failed.
+    UnknownPdgId(i32),
+}
+
+impl fmt::Display for HepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HepError::InvalidBinning { reason } => {
+                write!(f, "invalid histogram binning: {reason}")
+            }
+            HepError::BinningMismatch { left, right } => write!(
+                f,
+                "histogram binning mismatch: {left} bins vs {right} bins"
+            ),
+            HepError::InvalidParameter { name, value } => {
+                write!(f, "invalid distribution parameter {name} = {value}")
+            }
+            HepError::NotTimelike { m2 } => {
+                write!(f, "four-vector is not timelike (m^2 = {m2})")
+            }
+            HepError::UnknownPdgId(id) => write!(f, "unknown PDG id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for HepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HepError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HepError>();
+    }
+}

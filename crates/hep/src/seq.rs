@@ -1,0 +1,131 @@
+//! Deterministic seed derivation.
+//!
+//! Reproducibility is the bedrock of preservation: a re-run of a preserved
+//! workflow must regenerate bit-identical events. [`SeedSequence`] derives
+//! statistically independent 64-bit seeds from a master seed plus stage
+//! labels and event indices via SplitMix64 over a label hash, so:
+//!
+//! * the generator, detector simulation and reconstruction each get their
+//!   own stream,
+//! * every event gets its own sub-stream, making skims order-independent,
+//! * the whole chain replays from a single archived integer.
+
+/// SplitMix64 step: the standard 64-bit mixing finalizer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, used to fold stage names into streams.
+#[inline]
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A deterministic seed source rooted at a master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Root a sequence at the archived master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSequence { master }
+    }
+
+    /// The master seed (recorded in provenance).
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Seed for a named processing stage (e.g. `"gen"`, `"detsim"`).
+    pub fn stage(&self, label: &str) -> u64 {
+        let mut state = self.master ^ fnv1a(label);
+        splitmix64(&mut state)
+    }
+
+    /// Seed for one event within a named stage. Independent events get
+    /// independent streams regardless of processing order.
+    pub fn event(&self, label: &str, event_index: u64) -> u64 {
+        let mut state = self.stage(label) ^ event_index.wrapping_mul(0xA24B_AED4_963E_E407);
+        splitmix64(&mut state)
+    }
+
+    /// A derived sub-sequence, e.g. for a RECAST request that must not
+    /// collide with the original production.
+    pub fn derive(&self, label: &str) -> SeedSequence {
+        SeedSequence {
+            master: self.stage(label),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stages_are_distinct() {
+        let s = SeedSequence::new(12345);
+        assert_ne!(s.stage("gen"), s.stage("detsim"));
+        assert_ne!(s.stage("gen"), s.stage("reco"));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = SeedSequence::new(7);
+        let b = SeedSequence::new(7);
+        assert_eq!(a.stage("gen"), b.stage("gen"));
+        assert_eq!(a.event("gen", 999), b.event("gen", 999));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(
+            SeedSequence::new(1).stage("gen"),
+            SeedSequence::new(2).stage("gen")
+        );
+    }
+
+    #[test]
+    fn event_seeds_have_no_collisions_in_bulk() {
+        let s = SeedSequence::new(42);
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(s.event("gen", i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn derived_sequences_are_independent() {
+        let s = SeedSequence::new(42);
+        let d1 = s.derive("recast-req-1");
+        let d2 = s.derive("recast-req-2");
+        assert_ne!(d1.master(), d2.master());
+        assert_ne!(d1.event("gen", 0), s.event("gen", 0));
+    }
+
+    #[test]
+    fn event_seed_bits_look_mixed() {
+        // Cheap avalanche check: flipping the event index flips ~half the
+        // output bits on average.
+        let s = SeedSequence::new(42);
+        let mut total = 0u32;
+        for i in 0..1000u64 {
+            total += (s.event("gen", i) ^ s.event("gen", i + 1)).count_ones();
+        }
+        let avg = f64::from(total) / 1000.0;
+        assert!((avg - 32.0).abs() < 3.0, "avg flipped bits = {avg}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Random distributions and running statistics.
+//!
+//! `rand` supplies the uniform source; every physics distribution
+//! (Gaussian, exponential, Breit–Wigner, Poisson, power law) is implemented
+//! here so the toolkit has no further sampling dependencies and the exact
+//! algorithms are preserved alongside the data they generated — itself a
+//! preservation requirement the report's Appendix A (software lifecycle)
+//! asks experiments to document.
+
+use rand::Rng;
+
+use crate::error::HepError;
+
+/// Draw from a unit Gaussian via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw from N(mean, sigma). `sigma` must be non-negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> Result<f64, HepError> {
+    if sigma < 0.0 || !sigma.is_finite() {
+        return Err(HepError::InvalidParameter {
+            name: "sigma",
+            value: sigma,
+        });
+    }
+    Ok(mean + sigma * standard_normal(rng))
+}
+
+/// Draw from an exponential with the given mean (e.g. a proper decay time
+/// with mean lifetime τ).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> Result<f64, HepError> {
+    if mean <= 0.0 || !mean.is_finite() {
+        return Err(HepError::InvalidParameter {
+            name: "mean",
+            value: mean,
+        });
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Ok(-mean * u.ln())
+}
+
+/// Draw a resonance mass from a (non-relativistic) Breit–Wigner with pole
+/// `mass` and full width `width`, truncated to `[mass - cut, mass + cut]`
+/// with `cut = 25·width` to keep pathological tails out of the generator.
+pub fn breit_wigner<R: Rng + ?Sized>(rng: &mut R, mass: f64, width: f64) -> Result<f64, HepError> {
+    if mass <= 0.0 {
+        return Err(HepError::InvalidParameter {
+            name: "mass",
+            value: mass,
+        });
+    }
+    if width < 0.0 {
+        return Err(HepError::InvalidParameter {
+            name: "width",
+            value: width,
+        });
+    }
+    if width == 0.0 {
+        return Ok(mass);
+    }
+    let cut = 25.0 * width;
+    loop {
+        // Inverse-CDF of the Cauchy distribution.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let m = mass + 0.5 * width * (std::f64::consts::PI * (u - 0.5)).tan();
+        if m > 0.0 && (m - mass).abs() <= cut {
+            return Ok(m);
+        }
+    }
+}
+
+/// Draw from a Poisson with the given mean (Knuth's algorithm below mean
+/// 30, Gaussian approximation above — adequate for pileup multiplicities).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> Result<u32, HepError> {
+    if mean < 0.0 || !mean.is_finite() {
+        return Err(HepError::InvalidParameter {
+            name: "mean",
+            value: mean,
+        });
+    }
+    if mean == 0.0 {
+        return Ok(0);
+    }
+    if mean > 30.0 {
+        let x = mean + mean.sqrt() * standard_normal(rng);
+        return Ok(x.round().max(0.0) as u32);
+    }
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return Ok(k);
+        }
+        k += 1;
+    }
+}
+
+/// Draw from a power-law spectrum `dN/dx ∝ x^(-n)` on `[xmin, xmax]`,
+/// the canonical QCD jet-pT shape.
+pub fn power_law<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: f64,
+    xmin: f64,
+    xmax: f64,
+) -> Result<f64, HepError> {
+    if xmin <= 0.0 || xmax <= xmin {
+        return Err(HepError::InvalidParameter {
+            name: "xmin",
+            value: xmin,
+        });
+    }
+    if n <= 1.0 {
+        return Err(HepError::InvalidParameter { name: "n", value: n });
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let a = 1.0 - n;
+    let x = (xmin.powf(a) + u * (xmax.powf(a) - xmin.powf(a))).powf(1.0 / a);
+    Ok(x)
+}
+
+/// Bernoulli trial with probability `p` (clamped to [0, 1]).
+pub fn accept<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen_range(0.0..1.0) < p
+    }
+}
+
+/// Uniform azimuthal angle in (−π, π].
+pub fn uniform_phi<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+}
+
+/// Uniform cos θ in [−1, 1], the isotropic polar distribution.
+pub fn uniform_cos_theta<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen_range(-1.0..1.0)
+}
+
+/// Numerically stable running mean/variance (Welford) with support for
+/// weighted entries and merging, used for ensemble summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    sum_w: f64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            sum_w: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add an unweighted observation.
+    pub fn push(&mut self, x: f64) {
+        self.push_weighted(x, 1.0);
+    }
+
+    /// Add a weighted observation (non-positive weights are ignored).
+    pub fn push_weighted(&mut self, x: f64, w: f64) {
+        if w <= 0.0 || !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.sum_w += w;
+        let delta = x - self.mean;
+        self.mean += (w / self.sum_w) * delta;
+        self.m2 += w * delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of weights.
+    pub fn sum_weights(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Weighted mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Weighted population variance (0 when fewer than 2 entries).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 || self.sum_w == 0.0 {
+            0.0
+        } else {
+            self.m2 / self.sum_w
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total_w = self.sum_w + other.sum_w;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * self.sum_w * other.sum_w / total_w;
+        self.mean += delta * other.sum_w / total_w;
+        self.sum_w = total_w;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Pearson χ² between two binned count vectors with the standard
+/// `expected + observed` variance estimate; bins empty in both are skipped.
+///
+/// Returns `(chi2, ndf)`.
+pub fn chi2_counts(observed: &[f64], expected: &[f64]) -> Result<(f64, usize), HepError> {
+    if observed.len() != expected.len() {
+        return Err(HepError::BinningMismatch {
+            left: observed.len(),
+            right: expected.len(),
+        });
+    }
+    let mut chi2 = 0.0;
+    let mut ndf = 0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        let var = o + e;
+        if var > 0.0 {
+            chi2 += (o - e) * (o - e) / var;
+            ndf += 1;
+        }
+    }
+    Ok((chi2, ndf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDA5_905)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let mut s = RunningStats::new();
+        for _ in 0..200_000 {
+            s.push(normal(&mut r, 5.0, 2.0).unwrap());
+        }
+        assert!((s.mean() - 5.0).abs() < 0.02, "mean = {}", s.mean());
+        assert!((s.std_dev() - 2.0).abs() < 0.02, "sd = {}", s.std_dev());
+    }
+
+    #[test]
+    fn normal_rejects_negative_sigma() {
+        let mut r = rng();
+        assert!(normal(&mut r, 0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let mut s = RunningStats::new();
+        for _ in 0..100_000 {
+            let x = exponential(&mut r, 0.41).unwrap();
+            assert!(x > 0.0);
+            s.push(x);
+        }
+        assert!((s.mean() - 0.41).abs() < 0.01, "mean = {}", s.mean());
+    }
+
+    #[test]
+    fn breit_wigner_peaks_at_pole() {
+        let mut r = rng();
+        let mut below = 0u32;
+        let mut above = 0u32;
+        for _ in 0..50_000 {
+            let m = breit_wigner(&mut r, 91.1876, 2.4952).unwrap();
+            assert!(m > 0.0);
+            assert!((m - 91.1876).abs() <= 25.0 * 2.4952 + 1e-9);
+            if m < 91.1876 {
+                below += 1;
+            } else {
+                above += 1;
+            }
+        }
+        // Symmetric around the pole.
+        let asym = (f64::from(below) - f64::from(above)).abs() / 50_000.0;
+        assert!(asym < 0.02, "asymmetry = {asym}");
+    }
+
+    #[test]
+    fn breit_wigner_zero_width_is_delta() {
+        let mut r = rng();
+        assert_eq!(breit_wigner(&mut r, 1.0, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for mean in [0.5, 4.0, 60.0] {
+            let mut s = RunningStats::new();
+            for _ in 0..50_000 {
+                s.push(f64::from(poisson(&mut r, mean).unwrap()));
+            }
+            assert!(
+                (s.mean() - mean).abs() < 0.05 * mean.max(1.0),
+                "mean {mean}: got {}",
+                s.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn power_law_respects_bounds_and_falls() {
+        let mut r = rng();
+        let mut low = 0u32;
+        let mut high = 0u32;
+        for _ in 0..50_000 {
+            let x = power_law(&mut r, 5.0, 20.0, 500.0).unwrap();
+            assert!((20.0..=500.0).contains(&x));
+            if x < 40.0 {
+                low += 1;
+            } else if x > 100.0 {
+                high += 1;
+            }
+        }
+        assert!(low > 10 * high, "spectrum not steeply falling: {low} vs {high}");
+    }
+
+    #[test]
+    fn accept_edges() {
+        let mut r = rng();
+        assert!(!accept(&mut r, 0.0));
+        assert!(accept(&mut r, 1.0));
+        assert!(!accept(&mut r, -0.5));
+        assert!(accept(&mut r, 1.5));
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..1000).map(|_| standard_normal(&mut r)).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..400] {
+            a.push(x);
+        }
+        for &x in &xs[400..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn running_stats_ignores_bad_input() {
+        let mut s = RunningStats::new();
+        s.push(f64::NAN);
+        s.push_weighted(1.0, -2.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn chi2_identical_is_zero() {
+        let a = [5.0, 10.0, 3.0];
+        let (chi2, ndf) = chi2_counts(&a, &a).unwrap();
+        assert_eq!(chi2, 0.0);
+        assert_eq!(ndf, 3);
+    }
+
+    #[test]
+    fn chi2_mismatched_lengths_error() {
+        assert!(chi2_counts(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn chi2_skips_empty_bins() {
+        let (chi2, ndf) = chi2_counts(&[0.0, 4.0], &[0.0, 4.0]).unwrap();
+        assert_eq!(ndf, 1);
+        assert_eq!(chi2, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for four-vector algebra and histograms.
+
+use daspos_hep::fourvec::{delta_phi, FourVector};
+use daspos_hep::hist::Hist1D;
+use daspos_hep::stats::RunningStats;
+use proptest::prelude::*;
+
+fn arb_fourvec() -> impl Strategy<Value = FourVector> {
+    (
+        1.0e-3..500.0f64,  // pt
+        -4.5..4.5f64,      // eta
+        -3.1..3.1f64,      // phi
+        0.0..200.0f64,     // mass
+    )
+        .prop_map(|(pt, eta, phi, m)| FourVector::from_pt_eta_phi_m(pt, eta, phi, m))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in arb_fourvec(), b in arb_fourvec()) {
+        let ab = a + b;
+        let ba = b + a;
+        prop_assert!((ab.px - ba.px).abs() < 1e-9);
+        prop_assert!((ab.e - ba.e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_is_nonnegative_and_matches_construction(
+        pt in 0.1..300.0f64, eta in -4.0..4.0f64, phi in -3.0..3.0f64, m in 0.0..150.0f64
+    ) {
+        let v = FourVector::from_pt_eta_phi_m(pt, eta, phi, m);
+        prop_assert!(v.mass() >= 0.0);
+        // Relative tolerance: the construction goes through large cancellations at high eta.
+        let scale = v.e.max(1.0);
+        prop_assert!((v.mass() - m).abs() < 1e-6 * scale, "m = {}, got {}", m, v.mass());
+    }
+
+    #[test]
+    fn boost_preserves_minkowski_norm(v in arb_fourvec(), bx in -0.9..0.9f64, by in -0.4..0.4f64) {
+        if bx * bx + by * by < 0.99 {
+            let b = v.boosted(bx, by, 0.0).unwrap();
+            let scale = v.e.max(1.0) * v.e.max(1.0);
+            prop_assert!((b.m2() - v.m2()).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn delta_phi_is_wrapped_and_antisymmetric(p1 in -10.0..10.0f64, p2 in -10.0..10.0f64) {
+        let d = delta_phi(p1, p2);
+        prop_assert!(d > -std::f64::consts::PI - 1e-12);
+        prop_assert!(d <= std::f64::consts::PI + 1e-12);
+        let r = delta_phi(p2, p1);
+        // Antisymmetric up to the branch point at exactly pi.
+        prop_assert!((d + r).abs() < 1e-9 || (d + r).abs() > 2.0 * std::f64::consts::PI - 1e-9);
+    }
+
+    #[test]
+    fn delta_r_triangle_inequality(a in arb_fourvec(), b in arb_fourvec(), c in arb_fourvec()) {
+        prop_assert!(a.delta_r(&c) <= a.delta_r(&b) + b.delta_r(&c) + 1e-9);
+    }
+
+    #[test]
+    fn hist_merge_commutes(xs in prop::collection::vec(-2.0..12.0f64, 0..200), split in 0usize..200) {
+        let mut h1 = Hist1D::new("a", 20, 0.0, 10.0).unwrap();
+        let mut h2 = Hist1D::new("a", 20, 0.0, 10.0).unwrap();
+        let split = split.min(xs.len());
+        for &x in &xs[..split] { h1.fill(x); }
+        for &x in &xs[split..] { h2.fill(x); }
+        let mut m12 = h1.clone();
+        m12.merge(&h2).unwrap();
+        let mut m21 = h2.clone();
+        m21.merge(&h1).unwrap();
+        prop_assert!(m12.identical_to(&m21));
+        prop_assert_eq!(m12.entries(), xs.len() as u64);
+    }
+
+    #[test]
+    fn hist_integral_counts_everything(xs in prop::collection::vec(-5.0..15.0f64, 0..300)) {
+        let mut h = Hist1D::new("all", 10, 0.0, 10.0).unwrap();
+        for &x in &xs { h.fill(x); }
+        prop_assert!((h.integral_with_flows() - xs.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential(
+        xs in prop::collection::vec(-100.0..100.0f64, 1..100),
+        ys in prop::collection::vec(-100.0..100.0f64, 1..100)
+    ) {
+        let mut whole = RunningStats::new();
+        for &x in xs.iter().chain(&ys) { whole.push(x); }
+        let mut a = RunningStats::new();
+        for &x in &xs { a.push(x); }
+        let mut b = RunningStats::new();
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seed_streams_independent_of_order(master in any::<u64>(), i in 0u64..10_000, j in 0u64..10_000) {
+        use daspos_hep::SeedSequence;
+        let s = SeedSequence::new(master);
+        let a_then_b = (s.event("gen", i), s.event("gen", j));
+        let b_then_a = (s.event("gen", j), s.event("gen", i));
+        prop_assert_eq!(a_then_b.0, b_then_a.1);
+        prop_assert_eq!(a_then_b.1, b_then_a.0);
+        if i != j {
+            prop_assert_ne!(a_then_b.0, a_then_b.1);
+        }
+    }
+}

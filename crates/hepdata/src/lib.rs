@@ -1,0 +1,22 @@
+//! # daspos-hepdata — the reactions database
+//!
+//! Reproduces the HepData archive as the report describes it (§2.3): *"Its
+//! main repository is the 'Reactions Database', which contains results
+//! from HEP experiments. The type of result can vary from total and
+//! differential cross section measurements to acceptance/efficiency grids
+//! in mass parameter spaces for Supersymmetry searches … but it does not
+//! usually preserve the code necessary to reproduce the analysis."*
+//!
+//! * [`record`] — records and their data tables; *"HepData can accept
+//!   data in many formats"*, so tables ingest from histograms, CSV text
+//!   and key-value lists,
+//! * [`repository`] — the archive: insert, fetch, keyword search,
+//!   INSPIRE-style cross links, and size statistics (the report remarks
+//!   on one ATLAS search analysis uploading "a very large amount of
+//!   information" — experiment H1 measures that outlier).
+
+pub mod record;
+pub mod repository;
+
+pub use record::{DataTable, HepDataRecord, TableData};
+pub use repository::{HepDataError, HepDataRepository, Submission};

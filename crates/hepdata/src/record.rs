@@ -1,0 +1,223 @@
+//! HepData records and data tables.
+
+use daspos_hep::hist::Hist1D;
+use daspos_hep::ids::RecordId;
+
+/// The payload of one data table — HepData accepts many formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableData {
+    /// A binned distribution (ingested from a histogram).
+    Binned {
+        /// Bin edges description: (nbins, lo, hi).
+        binning: (usize, f64, f64),
+        /// Bin values.
+        values: Vec<f64>,
+        /// Bin errors.
+        errors: Vec<f64>,
+    },
+    /// Column-oriented numbers (ingested from CSV).
+    Columns {
+        /// Column names.
+        names: Vec<String>,
+        /// Row-major values.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Scalar quantities (cross-sections, efficiencies…).
+    KeyValue(Vec<(String, f64)>),
+}
+
+impl TableData {
+    /// Ingest from a histogram.
+    pub fn from_hist(h: &Hist1D) -> TableData {
+        let b = h.binning();
+        TableData::Binned {
+            binning: (b.nbins(), b.lo(), b.hi()),
+            values: (0..b.nbins()).map(|i| h.bin(i)).collect(),
+            errors: (0..b.nbins()).map(|i| h.bin_error(i)).collect(),
+        }
+    }
+
+    /// Ingest from CSV text with a header line. Rejects ragged rows and
+    /// non-numeric cells.
+    pub fn from_csv(text: &str) -> Result<TableData, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty csv")?;
+        let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+        if names.is_empty() || names.iter().any(String::is_empty) {
+            return Err("bad header".to_string());
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let row: Vec<f64> = line
+                .split(',')
+                .map(|c| c.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| format!("non-numeric cell at data row {}", i + 1))?;
+            if row.len() != names.len() {
+                return Err(format!("ragged row {}", i + 1));
+            }
+            rows.push(row);
+        }
+        Ok(TableData::Columns { names, rows })
+    }
+
+    /// Approximate stored size in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            TableData::Binned { values, errors, .. } => 24 + 8 * (values.len() + errors.len()),
+            TableData::Columns { names, rows } => {
+                names.iter().map(String::len).sum::<usize>()
+                    + rows.iter().map(|r| r.len() * 8).sum::<usize>()
+            }
+            TableData::KeyValue(kv) => kv.iter().map(|(k, _)| k.len() + 8).sum(),
+        }
+    }
+
+    /// Number of numeric values stored.
+    pub fn value_count(&self) -> usize {
+        match self {
+            TableData::Binned { values, errors, .. } => values.len() + errors.len(),
+            TableData::Columns { rows, .. } => rows.iter().map(Vec::len).sum(),
+            TableData::KeyValue(kv) => kv.len(),
+        }
+    }
+}
+
+/// A named table within a record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataTable {
+    /// Table name (e.g. `"Table 3: m_ll spectrum"`).
+    pub name: String,
+    /// What the table contains.
+    pub description: String,
+    /// The payload.
+    pub data: TableData,
+}
+
+/// One record in the reactions database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HepDataRecord {
+    /// Repository id (assigned on insert).
+    pub id: RecordId,
+    /// Publication title.
+    pub title: String,
+    /// Publishing experiment.
+    pub experiment: String,
+    /// The reaction string, e.g. `"p p --> Z ( --> l+ l- ) X"`.
+    pub reaction: String,
+    /// INSPIRE record id for cross-linking.
+    pub inspire_id: u64,
+    /// Free keywords for search.
+    pub keywords: Vec<String>,
+    /// The data tables.
+    pub tables: Vec<DataTable>,
+}
+
+impl HepDataRecord {
+    /// Total stored bytes across tables.
+    pub fn byte_size(&self) -> usize {
+        self.tables.iter().map(|t| t.data.byte_size()).sum()
+    }
+
+    /// True when any searchable field contains `needle`
+    /// (case-insensitive).
+    pub fn matches(&self, needle: &str) -> bool {
+        let n = needle.to_lowercase();
+        self.title.to_lowercase().contains(&n)
+            || self.reaction.to_lowercase().contains(&n)
+            || self.experiment.to_lowercase().contains(&n)
+            || self.keywords.iter().any(|k| k.to_lowercase().contains(&n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hist_captures_bins() {
+        let mut h = Hist1D::new("m", 4, 0.0, 4.0).unwrap();
+        h.fill(0.5);
+        h.fill_weighted(2.5, 3.0);
+        let t = TableData::from_hist(&h);
+        match t {
+            TableData::Binned {
+                binning,
+                values,
+                errors,
+            } => {
+                assert_eq!(binning, (4, 0.0, 4.0));
+                assert_eq!(values, vec![1.0, 0.0, 3.0, 0.0]);
+                assert_eq!(errors[2], 3.0);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = TableData::from_csv("mass,xsec,err\n100,2.5,0.1\n200,1.0,0.05\n").unwrap();
+        match t {
+            TableData::Columns { names, rows } => {
+                assert_eq!(names, vec!["mass", "xsec", "err"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][0], 200.0);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_bad_input() {
+        assert!(TableData::from_csv("").is_err());
+        assert!(TableData::from_csv("a,b\n1\n").is_err());
+        assert!(TableData::from_csv("a,b\n1,x\n").is_err());
+        assert!(TableData::from_csv("a,,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn search_matching() {
+        let rec = HepDataRecord {
+            id: RecordId(1),
+            title: "Measurement of the Z lineshape".to_string(),
+            experiment: "atlas".to_string(),
+            reaction: "p p --> Z X".to_string(),
+            inspire_id: 9001,
+            keywords: vec!["drell-yan".to_string()],
+            tables: vec![],
+        };
+        assert!(rec.matches("lineshape"));
+        assert!(rec.matches("Z X"));
+        assert!(rec.matches("ATLAS"));
+        assert!(rec.matches("Drell"));
+        assert!(!rec.matches("supersymmetry"));
+    }
+
+    #[test]
+    fn sizes_count_all_tables() {
+        let rec = HepDataRecord {
+            id: RecordId(1),
+            title: String::new(),
+            experiment: String::new(),
+            reaction: String::new(),
+            inspire_id: 0,
+            keywords: vec![],
+            tables: vec![
+                DataTable {
+                    name: "t1".to_string(),
+                    description: String::new(),
+                    data: TableData::KeyValue(vec![("xsec".to_string(), 2.0)]),
+                },
+                DataTable {
+                    name: "t2".to_string(),
+                    description: String::new(),
+                    data: TableData::Columns {
+                        names: vec!["a".to_string()],
+                        rows: vec![vec![1.0], vec![2.0]],
+                    },
+                },
+            ],
+        };
+        assert_eq!(rec.byte_size(), (4 + 8) + (1 + 16));
+    }
+}

@@ -1,0 +1,30 @@
+//! # daspos-metadata — the Data Interview Template engine
+//!
+//! Appendix A of the DASPOS report is a questionnaire ("Data/Software
+//! Interview Template", derived from the Data Curation Toolkit) that each
+//! experiment filled in before the workshop. This crate turns that
+//! instrument into executable structures:
+//!
+//! * [`interview`] — the questionnaire itself as typed data: data
+//!   overview, lifecycle stages, tools, storage/backup practice, data and
+//!   software organization, curation intent, sharing,
+//! * [`maturity`] — the four 5-level maturity rubrics (data management &
+//!   disaster recovery, data description, preservation, sharing/access)
+//!   as scoring functions over an interview,
+//! * [`sharing`] — the data sharing grid (lifecycle stage × audience ×
+//!   when) plus the §4 open-data policy statuses (CMS and LHCb approved
+//!   in 2013; ALICE and ATLAS under discussion as of the 2014 update),
+//! * [`presets`] — filled-in interviews for the four synthetic
+//!   experiments, from which the M1–M4 experiments regenerate the
+//!   rubric tables.
+
+pub mod interview;
+pub mod maturity;
+pub mod presets;
+pub mod sharing;
+
+pub use interview::{
+    DataInterview, DataOrganization, Documentation, LifecycleStage, StoragePractice,
+};
+pub use maturity::{MaturityLevel, MaturityReport};
+pub use sharing::{Audience, DataSharingGrid, PolicyStatus, SharingTime};

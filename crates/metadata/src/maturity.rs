@@ -1,0 +1,279 @@
+//! The four maturity rubrics of Appendix A as scoring functions.
+//!
+//! Each rubric is a 1–5 scale whose level descriptions come verbatim from
+//! the report's tables. The scoring functions walk the scale from the top:
+//! an interview earns a level when it satisfies that level's description
+//! and all lower ones.
+
+use std::fmt;
+
+use crate::interview::{DataInterview, Documentation};
+use crate::sharing::PolicyStatus;
+
+/// A 1–5 maturity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MaturityLevel(u8);
+
+impl MaturityLevel {
+    /// Construct; clamps into 1..=5.
+    pub fn new(level: u8) -> Self {
+        MaturityLevel(level.clamp(1, 5))
+    }
+
+    /// The numeric level.
+    pub fn value(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for MaturityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/5", self.0)
+    }
+}
+
+/// Rubric F (Q5): data management and disaster recovery.
+///
+/// 1 — day-to-day focus; 2 — some risk awareness; 3 — policies and plans
+/// in place; 4 — plans with implementation procedures, loss unlikely;
+/// 5 — plans routinely tested, succession plans in place.
+pub fn data_management(iv: &DataInterview) -> MaturityLevel {
+    let s = &iv.storage;
+    let level = if s.recovery_tested && s.succession_plan {
+        5
+    } else if s.recovery_plan && s.recovery_procedures && s.backup_copies >= 2 {
+        4
+    } else if s.recovery_plan {
+        3
+    } else if s.backup_copies >= 1 {
+        2
+    } else {
+        1
+    };
+    MaturityLevel::new(level)
+}
+
+/// Rubric D (Q6): data description.
+///
+/// 1 — metadata unfamiliar; 2 — practices vary by individual; 3 —
+/// metadata understood, standards guidance provided; 4 — data well
+/// labeled and systematically organized; 5 — understandable by other
+/// researchers (outside the experiment).
+pub fn data_description(iv: &DataInterview) -> MaturityLevel {
+    let o = &iv.organization;
+    let level = if o.usable_outside && o.documentation >= Documentation::SelfDocumenting {
+        5
+    } else if o.usable_inside && o.documentation >= Documentation::Codebook {
+        4
+    } else if o.uniform_practice && o.documentation >= Documentation::Codebook {
+        3
+    } else if o.documentation > Documentation::None {
+        2
+    } else {
+        1
+    };
+    MaturityLevel::new(level)
+}
+
+/// Rubric E (Q8): preservation.
+///
+/// 1 — low awareness; 2 — data remains by chance; 3 — preservation
+/// understood and planned; 4 — data selected, repositories in place;
+/// 5 — efficiently preserved, infrastructure functions and is used
+/// (which requires demonstrated reproducibility).
+pub fn preservation(iv: &DataInterview) -> MaturityLevel {
+    let c = &iv.curation;
+    let level = if c.repository_in_place && c.reproducible && !c.preserved_tiers.is_empty() {
+        5
+    } else if c.repository_in_place && !c.preserved_tiers.is_empty() {
+        4
+    } else if !c.preserved_tiers.is_empty() && iv.software.stage_versions_recorded {
+        3
+    } else if !c.preserved_tiers.is_empty() || c.useful_years > 0 {
+        2
+    } else {
+        1
+    };
+    MaturityLevel::new(level)
+}
+
+/// Rubric F (Q9): sharing and access.
+///
+/// 1 — individuals manage access, low awareness; 2 — ad hoc sharing;
+/// 3 — sharing supported, infrastructure in place; 4 — data shared where
+/// legally/ethically possible (an approved open-data policy); 5 — a
+/// culture of openness, systems copied by others (approved policy plus
+/// public releases already made).
+pub fn sharing_access(iv: &DataInterview, policy: PolicyStatus) -> MaturityLevel {
+    let has_infra = iv.curation.repository_in_place;
+    let level = match policy {
+        PolicyStatus::ApprovedWithReleases if has_infra => 5,
+        PolicyStatus::Approved if has_infra => 4,
+        PolicyStatus::ApprovedWithReleases | PolicyStatus::Approved => 3,
+        PolicyStatus::UnderDiscussion if has_infra => 3,
+        PolicyStatus::UnderDiscussion => 2,
+        PolicyStatus::None => 1,
+    };
+    MaturityLevel::new(level)
+}
+
+/// The full maturity report for one experiment: the four rubric scores
+/// the M1–M4 experiments tabulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaturityReport {
+    /// Data management & disaster recovery (App. A Q5F).
+    pub data_management: MaturityLevel,
+    /// Data description (App. A Q6D).
+    pub description: MaturityLevel,
+    /// Preservation (App. A Q8E).
+    pub preservation: MaturityLevel,
+    /// Sharing/access (App. A Q9F).
+    pub sharing: MaturityLevel,
+}
+
+impl MaturityReport {
+    /// Score an interview under a given open-data policy status.
+    pub fn assess(iv: &DataInterview, policy: PolicyStatus) -> MaturityReport {
+        MaturityReport {
+            data_management: data_management(iv),
+            description: data_description(iv),
+            preservation: preservation(iv),
+            sharing: sharing_access(iv, policy),
+        }
+    }
+
+    /// Mean of the four scores.
+    pub fn overall(&self) -> f64 {
+        f64::from(
+            self.data_management.value()
+                + self.description.value()
+                + self.preservation.value()
+                + self.sharing.value(),
+        ) / 4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interview::{
+        CurationIntent, DataOrganization, LifecycleStage, SoftwareOrganization, StoragePractice,
+    };
+
+    fn baseline() -> DataInterview {
+        DataInterview {
+            experiment: "test".to_string(),
+            description: String::new(),
+            lifecycle: vec![LifecycleStage {
+                name: "raw".to_string(),
+                n_files: 1,
+                bytes: 100,
+                formats: vec!["fmt".to_string()],
+                software: vec![],
+                versions_documented: true,
+            }],
+            storage: StoragePractice {
+                backup_copies: 0,
+                recovery_plan: false,
+                recovery_procedures: false,
+                recovery_tested: false,
+                succession_plan: false,
+                dmp_required: false,
+            },
+            organization: DataOrganization {
+                documentation: Documentation::None,
+                standard_formats_everywhere: false,
+                usable_inside: false,
+                usable_outside: false,
+                uniform_practice: false,
+            },
+            software: SoftwareOrganization {
+                version_controlled: false,
+                tagged_releases: false,
+                stage_versions_recorded: false,
+            },
+            curation: CurationIntent {
+                preserved_tiers: vec![],
+                useful_years: 0,
+                reproducible: false,
+                repository_in_place: false,
+            },
+        }
+    }
+
+    #[test]
+    fn data_management_ladder() {
+        let mut iv = baseline();
+        assert_eq!(data_management(&iv).value(), 1);
+        iv.storage.backup_copies = 1;
+        assert_eq!(data_management(&iv).value(), 2);
+        iv.storage.recovery_plan = true;
+        assert_eq!(data_management(&iv).value(), 3);
+        iv.storage.recovery_procedures = true;
+        iv.storage.backup_copies = 2;
+        assert_eq!(data_management(&iv).value(), 4);
+        iv.storage.recovery_tested = true;
+        iv.storage.succession_plan = true;
+        assert_eq!(data_management(&iv).value(), 5);
+    }
+
+    #[test]
+    fn description_ladder() {
+        let mut iv = baseline();
+        assert_eq!(data_description(&iv).value(), 1);
+        iv.organization.documentation = Documentation::TransientWeb;
+        assert_eq!(data_description(&iv).value(), 2);
+        iv.organization.documentation = Documentation::Codebook;
+        iv.organization.uniform_practice = true;
+        assert_eq!(data_description(&iv).value(), 3);
+        iv.organization.usable_inside = true;
+        assert_eq!(data_description(&iv).value(), 4);
+        iv.organization.documentation = Documentation::SelfDocumenting;
+        iv.organization.usable_outside = true;
+        assert_eq!(data_description(&iv).value(), 5);
+    }
+
+    #[test]
+    fn preservation_ladder() {
+        let mut iv = baseline();
+        assert_eq!(preservation(&iv).value(), 1);
+        iv.curation.useful_years = 10;
+        assert_eq!(preservation(&iv).value(), 2);
+        iv.curation.preserved_tiers = vec!["aod".to_string()];
+        iv.software.stage_versions_recorded = true;
+        assert_eq!(preservation(&iv).value(), 3);
+        iv.curation.repository_in_place = true;
+        assert_eq!(preservation(&iv).value(), 4);
+        iv.curation.reproducible = true;
+        assert_eq!(preservation(&iv).value(), 5);
+    }
+
+    #[test]
+    fn sharing_depends_on_policy() {
+        let mut iv = baseline();
+        assert_eq!(sharing_access(&iv, PolicyStatus::None).value(), 1);
+        assert_eq!(sharing_access(&iv, PolicyStatus::UnderDiscussion).value(), 2);
+        assert_eq!(sharing_access(&iv, PolicyStatus::Approved).value(), 3);
+        iv.curation.repository_in_place = true;
+        assert_eq!(sharing_access(&iv, PolicyStatus::UnderDiscussion).value(), 3);
+        assert_eq!(sharing_access(&iv, PolicyStatus::Approved).value(), 4);
+        assert_eq!(
+            sharing_access(&iv, PolicyStatus::ApprovedWithReleases).value(),
+            5
+        );
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let iv = baseline();
+        let report = MaturityReport::assess(&iv, PolicyStatus::None);
+        assert_eq!(report.overall(), 1.0);
+        assert_eq!(report.data_management.to_string(), "1/5");
+    }
+
+    #[test]
+    fn level_clamps() {
+        assert_eq!(MaturityLevel::new(0).value(), 1);
+        assert_eq!(MaturityLevel::new(9).value(), 5);
+    }
+}

@@ -1,0 +1,233 @@
+//! The data sharing grid and open-data policy statuses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Who data is shared with (Appendix A Q9A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Audience {
+    /// No one outside the producing group.
+    NoOne,
+    /// Project collaborators.
+    Collaborators,
+    /// The host academic community.
+    HostCommunity,
+    /// Others in the field (disciplinary repositories).
+    Field,
+    /// The whole world (public web release).
+    World,
+}
+
+impl Audience {
+    /// All audiences in increasing openness.
+    pub fn all() -> [Audience; 5] {
+        [
+            Audience::NoOne,
+            Audience::Collaborators,
+            Audience::HostCommunity,
+            Audience::Field,
+            Audience::World,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Audience::NoOne => "no one",
+            Audience::Collaborators => "collaborators",
+            Audience::HostCommunity => "host community",
+            Audience::Field => "field",
+            Audience::World => "world",
+        }
+    }
+}
+
+/// When the data becomes available to an audience (Q9B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SharingTime {
+    /// Never shared.
+    Never,
+    /// After an embargo of the given number of months.
+    AfterMonths(u32),
+    /// Immediately.
+    Always,
+}
+
+impl fmt::Display for SharingTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharingTime::Never => f.write_str("never"),
+            SharingTime::AfterMonths(m) => write!(f, "after {m} months"),
+            SharingTime::Always => f.write_str("always"),
+        }
+    }
+}
+
+/// Status of an experiment's open-data policy (report §4, 2014 update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyStatus {
+    /// No policy.
+    None,
+    /// Under discussion (ALICE and ATLAS as of 2014).
+    UnderDiscussion,
+    /// Policy approved (CMS and LHCb, 2013).
+    Approved,
+    /// Approved and public releases already made.
+    ApprovedWithReleases,
+}
+
+impl PolicyStatus {
+    /// The §4 policy status for the four LHC experiments as recorded in
+    /// the report's 2014 update.
+    pub fn report_2014(experiment: &str) -> PolicyStatus {
+        match experiment {
+            // "CMS: Data policy and intent to release data to the public
+            //  was approved in 2013." — and the Finland outreach project
+            //  uses "the CMS public data release" (§2.1).
+            "cms" => PolicyStatus::ApprovedWithReleases,
+            // "LHCb: Data policy ... approved in 2013."
+            "lhcb" => PolicyStatus::Approved,
+            // "ALICE: under discussion (2014); ATLAS: under discussion".
+            "alice" | "atlas" => PolicyStatus::UnderDiscussion,
+            _ => PolicyStatus::None,
+        }
+    }
+
+    /// Display text matching the report's wording.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            PolicyStatus::None => "no policy",
+            PolicyStatus::UnderDiscussion => "under discussion",
+            PolicyStatus::Approved => "approved",
+            PolicyStatus::ApprovedWithReleases => "approved, public release made",
+        }
+    }
+}
+
+/// The data sharing grid: lifecycle stage → audience → when.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataSharingGrid {
+    cells: BTreeMap<(String, Audience), SharingTime>,
+}
+
+impl DataSharingGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        DataSharingGrid::default()
+    }
+
+    /// Set the sharing time for a (stage, audience) cell.
+    pub fn set(&mut self, stage: &str, audience: Audience, when: SharingTime) {
+        self.cells.insert((stage.to_string(), audience), when);
+    }
+
+    /// Read a cell; unset cells default to [`SharingTime::Never`].
+    pub fn get(&self, stage: &str, audience: Audience) -> SharingTime {
+        self.cells
+            .get(&(stage.to_string(), audience))
+            .copied()
+            .unwrap_or(SharingTime::Never)
+    }
+
+    /// The widest audience a stage is ever shared with.
+    pub fn widest_audience(&self, stage: &str) -> Audience {
+        Audience::all()
+            .into_iter()
+            .rev()
+            .find(|a| self.get(stage, *a) != SharingTime::Never)
+            .unwrap_or(Audience::NoOne)
+    }
+
+    /// All stages mentioned in the grid.
+    pub fn stages(&self) -> Vec<String> {
+        let mut stages: Vec<String> = self.cells.keys().map(|(s, _)| s.clone()).collect();
+        stages.sort();
+        stages.dedup();
+        stages
+    }
+
+    /// Render an ASCII table of the grid (stages × audiences).
+    pub fn render(&self) -> String {
+        let mut out = String::from("stage");
+        for a in Audience::all() {
+            out.push_str(&format!("\t{}", a.name()));
+        }
+        out.push('\n');
+        for stage in self.stages() {
+            out.push_str(&stage);
+            for a in Audience::all() {
+                out.push_str(&format!("\t{}", self.get(&stage, a)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_2014_statuses() {
+        assert_eq!(
+            PolicyStatus::report_2014("cms"),
+            PolicyStatus::ApprovedWithReleases
+        );
+        assert_eq!(PolicyStatus::report_2014("lhcb"), PolicyStatus::Approved);
+        assert_eq!(
+            PolicyStatus::report_2014("alice"),
+            PolicyStatus::UnderDiscussion
+        );
+        assert_eq!(
+            PolicyStatus::report_2014("atlas"),
+            PolicyStatus::UnderDiscussion
+        );
+        assert_eq!(PolicyStatus::report_2014("babar"), PolicyStatus::None);
+    }
+
+    #[test]
+    fn grid_defaults_to_never() {
+        let grid = DataSharingGrid::new();
+        assert_eq!(grid.get("raw", Audience::World), SharingTime::Never);
+        assert_eq!(grid.widest_audience("raw"), Audience::NoOne);
+    }
+
+    #[test]
+    fn grid_set_get_and_widest() {
+        let mut grid = DataSharingGrid::new();
+        grid.set("aod", Audience::Collaborators, SharingTime::Always);
+        grid.set("ntuple", Audience::Field, SharingTime::AfterMonths(12));
+        grid.set("ntuple", Audience::World, SharingTime::AfterMonths(36));
+        assert_eq!(
+            grid.get("ntuple", Audience::World),
+            SharingTime::AfterMonths(36)
+        );
+        assert_eq!(grid.widest_audience("ntuple"), Audience::World);
+        assert_eq!(grid.widest_audience("aod"), Audience::Collaborators);
+        assert_eq!(grid.stages(), vec!["aod".to_string(), "ntuple".to_string()]);
+    }
+
+    #[test]
+    fn grid_renders_all_stages() {
+        let mut grid = DataSharingGrid::new();
+        grid.set("raw", Audience::Collaborators, SharingTime::Always);
+        let table = grid.render();
+        assert!(table.contains("raw"));
+        assert!(table.contains("always"));
+        assert!(table.contains("never"));
+        assert!(table.lines().count() >= 2);
+    }
+
+    #[test]
+    fn sharing_time_ordering() {
+        assert!(SharingTime::Never < SharingTime::AfterMonths(1));
+        assert!(SharingTime::AfterMonths(1) < SharingTime::Always);
+    }
+
+    #[test]
+    fn audience_ordering_matches_openness() {
+        assert!(Audience::NoOne < Audience::World);
+        assert!(Audience::Collaborators < Audience::Field);
+    }
+}

@@ -1,0 +1,196 @@
+//! The thin AOD → simplified-format converter.
+//!
+//! §2.1: *"a thin layer of software will convert data in a relatively
+//! low-level format (called AOD …) into a simplified representation that
+//! can be used for further analysis or visualization using an event
+//! display that consumes this simplified format."* One converter serves
+//! all four experiments — the common-platform argument of experiment O1.
+
+use daspos_reco::objects::AodEvent;
+
+use crate::formats::{SimpleKind, SimpleParticle, SimplifiedEvent};
+
+/// Convert one AOD event into the simplified outreach representation.
+///
+/// The conversion keeps only what a classroom analysis needs: identified
+/// objects, jets, candidates and MET. `max_objects` caps the event size
+/// so files stay classroom-friendly (0 = unlimited).
+pub fn convert_aod(aod: &AodEvent, experiment: &str, max_objects: usize) -> SimplifiedEvent {
+    let mut ev = SimplifiedEvent {
+        run: aod.header.run.0,
+        event: aod.header.event.0,
+        experiment: experiment.to_string(),
+        met: aod.met.value(),
+        objects: Vec::new(),
+    };
+    for e in &aod.electrons {
+        ev.objects.push(SimpleParticle {
+            kind: SimpleKind::Electron,
+            pt: e.momentum.pt(),
+            eta: e.momentum.eta(),
+            phi: e.momentum.phi(),
+            charge: e.charge,
+            aux: e.momentum.e,
+        });
+    }
+    for m in &aod.muons {
+        ev.objects.push(SimpleParticle {
+            kind: SimpleKind::Muon,
+            pt: m.momentum.pt(),
+            eta: m.momentum.eta(),
+            phi: m.momentum.phi(),
+            charge: m.charge,
+            aux: m.momentum.e,
+        });
+    }
+    for p in &aod.photons {
+        ev.objects.push(SimpleParticle {
+            kind: SimpleKind::Photon,
+            pt: p.momentum.pt(),
+            eta: p.momentum.eta(),
+            phi: p.momentum.phi(),
+            charge: 0,
+            aux: p.momentum.e,
+        });
+    }
+    for j in &aod.jets {
+        ev.objects.push(SimpleParticle {
+            kind: SimpleKind::Jet,
+            pt: j.momentum.pt(),
+            eta: j.momentum.eta(),
+            phi: j.momentum.phi(),
+            charge: 0,
+            aux: j.momentum.e,
+        });
+    }
+    for c in &aod.candidates {
+        ev.objects.push(SimpleParticle {
+            kind: SimpleKind::V0,
+            pt: c.pt,
+            eta: c.eta,
+            phi: 0.0,
+            charge: 0,
+            // The pipi mass is what the V0 masterclass plots; the flight
+            // distance rides along in a second converted object when
+            // needed, but one aux slot keeps the format simple.
+            aux: c.mass_pipi,
+        });
+    }
+    if max_objects > 0 && ev.objects.len() > max_objects {
+        // Keep the highest-pT objects.
+        ev.objects
+            .sort_by(|a, b| b.pt.total_cmp(&a.pt));
+        ev.objects.truncate(max_objects);
+    }
+    ev
+}
+
+/// The classroom export for the D⁰ lifetime masterclass: candidates in
+/// the D⁰ mass window are emitted with `aux = 1000 + t[ps]` (the encoding
+/// [`crate::masterclass::D0LifetimeExercise`] documents in its
+/// instructions), everything else is dropped.
+pub fn convert_aod_for_d0_class(aod: &AodEvent, experiment: &str) -> SimplifiedEvent {
+    let mut ev = SimplifiedEvent {
+        run: aod.header.run.0,
+        event: aod.header.event.0,
+        experiment: experiment.to_string(),
+        met: aod.met.value(),
+        objects: Vec::new(),
+    };
+    for c in &aod.candidates {
+        if (c.mass_kpi - 1.865).abs() < 0.1 {
+            ev.objects.push(SimpleParticle {
+                kind: SimpleKind::V0,
+                pt: c.pt,
+                eta: c.eta,
+                phi: 0.0,
+                charge: 0,
+                aux: 1000.0 + c.proper_time_d0_ns * 1.0e3,
+            });
+        }
+    }
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daspos_hep::{EventHeader, FourVector};
+    use daspos_reco::objects::{Electron, Jet, Met, Muon, TwoProngCandidate};
+
+    fn aod() -> AodEvent {
+        let mut ev = AodEvent::new(EventHeader::new(3, 1, 77));
+        ev.electrons.push(Electron {
+            momentum: FourVector::from_pt_eta_phi_m(30.0, 0.5, 1.0, 0.0),
+            charge: -1,
+            e_over_p: 1.0,
+            isolation: 0.0,
+        });
+        ev.muons.push(Muon {
+            momentum: FourVector::from_pt_eta_phi_m(25.0, -0.5, -1.0, 0.105),
+            charge: 1,
+            n_stations: 3,
+            isolation: 0.0,
+        });
+        for i in 0..5 {
+            ev.jets.push(Jet {
+                momentum: FourVector::from_pt_eta_phi_m(40.0 + f64::from(i), 0.0, 0.3, 5.0),
+                n_constituents: 3,
+                em_fraction: 0.3,
+            });
+        }
+        ev.candidates.push(TwoProngCandidate {
+            vertex: FourVector::new(5.0, 0.0, 0.0, 0.0),
+            flight_xy: 5.0,
+            pt: 2.0,
+            eta: 0.2,
+            mass_pipi: 0.496,
+            mass_ppi: 1.2,
+            mass_kpi: 1.7,
+            proper_time_d0_ns: 1e-4,
+            track_indices: (0, 1),
+        });
+        ev.met = Met { mex: 6.0, mey: 8.0 };
+        ev.n_tracks = 9;
+        ev
+    }
+
+    #[test]
+    fn conversion_keeps_all_object_classes() {
+        let ev = convert_aod(&aod(), "atlas", 0);
+        assert_eq!(ev.run, 3);
+        assert_eq!(ev.event, 77);
+        assert_eq!(ev.experiment, "atlas");
+        assert!((ev.met - 10.0).abs() < 1e-9);
+        assert_eq!(ev.of_kind(SimpleKind::Electron).count(), 1);
+        assert_eq!(ev.of_kind(SimpleKind::Muon).count(), 1);
+        assert_eq!(ev.of_kind(SimpleKind::Jet).count(), 5);
+        assert_eq!(ev.of_kind(SimpleKind::V0).count(), 1);
+        let v0 = ev.of_kind(SimpleKind::V0).next().unwrap();
+        assert!((v0.aux - 0.496).abs() < 1e-9);
+    }
+
+    #[test]
+    fn object_cap_keeps_hardest() {
+        let ev = convert_aod(&aod(), "cms", 3);
+        assert_eq!(ev.objects.len(), 3);
+        // The 44-GeV jet must have survived.
+        assert!(ev.objects.iter().any(|o| (o.pt - 44.0).abs() < 1e-9));
+        // The 2-GeV V0 must not have.
+        assert_eq!(ev.of_kind(SimpleKind::V0).count(), 0);
+    }
+
+    #[test]
+    fn converted_event_survives_every_format() {
+        use crate::formats::OutreachFormat;
+        let ev = convert_aod(&aod(), "lhcb", 0);
+        for fmt in [
+            OutreachFormat::IgJson,
+            OutreachFormat::EventXml,
+            OutreachFormat::Compact,
+        ] {
+            let back = fmt.read(&fmt.write(&ev)).unwrap();
+            assert_eq!(back.objects.len(), ev.objects.len());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The common event display: simplified events rendered to SVG.
+//!
+//! The report suggests *"a more general outreach architecture, perhaps
+//! based on a common format, common event display, and a 'converter'"*.
+//! This module is that common display: it consumes the simplified format
+//! (whatever carrier it arrived in) plus a geometry description and emits
+//! a transverse-view SVG — viewable in any browser, no ROOT required
+//! (Table 1: "Root too heavy for classroom use").
+
+use crate::formats::{SimpleKind, SimplifiedEvent};
+use crate::geometry::GeometryDescription;
+
+/// Colours per object class.
+fn color_of(kind: SimpleKind) -> &'static str {
+    match kind {
+        SimpleKind::Track => "#888888",
+        SimpleKind::Electron => "#1f77b4",
+        SimpleKind::Muon => "#d62728",
+        SimpleKind::Photon => "#ff7f0e",
+        SimpleKind::Jet => "#2ca02c",
+        SimpleKind::V0 => "#9467bd",
+    }
+}
+
+/// Render the transverse (x–y) view of an event as an SVG document.
+pub fn render_svg(event: &SimplifiedEvent, geometry: &GeometryDescription, size_px: u32) -> String {
+    let half = f64::from(size_px) / 2.0;
+    let r_max = geometry.outer_radius().max(1.0);
+    let scale = (half * 0.9) / r_max;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{size_px}\" height=\"{size_px}\" viewBox=\"0 0 {size_px} {size_px}\">\n"
+    );
+    svg.push_str(&format!(
+        "<rect width=\"{size_px}\" height=\"{size_px}\" fill=\"#0b0b14\"/>\n"
+    ));
+    // Detector volumes as circles.
+    for v in &geometry.volumes {
+        svg.push_str(&format!(
+            "<circle cx=\"{half}\" cy=\"{half}\" r=\"{:.1}\" fill=\"none\" stroke=\"#333355\" stroke-width=\"1\"><title>{}</title></circle>\n",
+            v.r_mm * scale,
+            v.name
+        ));
+    }
+    // Objects as rays from the centre; length encodes log(pT).
+    for o in &event.objects {
+        let len = (1.0 + o.pt).ln() / (1.0 + 200.0f64).ln();
+        let r = half * 0.9 * len.clamp(0.05, 1.0);
+        let x2 = half + r * o.phi.cos();
+        let y2 = half - r * o.phi.sin();
+        let width = if o.kind == SimpleKind::Jet { 6 } else { 2 };
+        svg.push_str(&format!(
+            "<line x1=\"{half}\" y1=\"{half}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{}\" stroke-width=\"{width}\"><title>{} pt={:.1} GeV</title></line>\n",
+            color_of(o.kind),
+            o.kind.name(),
+            o.pt
+        ));
+    }
+    // MET as a dashed ray (direction unknown in the simplified format, so
+    // drawn as a magnitude badge).
+    svg.push_str(&format!(
+        "<text x=\"8\" y=\"16\" fill=\"#cccccc\" font-size=\"12\">{} run {} event {} | MET {:.1} GeV</text>\n",
+        event.experiment, event.run, event.event, event.met
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::SimpleParticle;
+    use daspos_detsim::config::Experiment;
+
+    fn event() -> SimplifiedEvent {
+        SimplifiedEvent {
+            run: 1,
+            event: 2,
+            experiment: "atlas".to_string(),
+            met: 12.0,
+            objects: vec![
+                SimpleParticle {
+                    kind: SimpleKind::Muon,
+                    pt: 40.0,
+                    eta: 0.0,
+                    phi: 1.0,
+                    charge: 1,
+                    aux: 0.0,
+                },
+                SimpleParticle {
+                    kind: SimpleKind::Jet,
+                    pt: 80.0,
+                    eta: 0.0,
+                    phi: -2.0,
+                    charge: 0,
+                    aux: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_is_wellformed_and_complete() {
+        let geo = GeometryDescription::from_detector(&Experiment::Atlas.detector());
+        let svg = render_svg(&event(), &geo, 600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per volume.
+        assert_eq!(
+            svg.matches("<circle").count(),
+            geo.volumes.len()
+        );
+        // One line per object.
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert!(svg.contains("muon"));
+        assert!(svg.contains("jet"));
+        assert!(svg.contains("MET 12.0"));
+    }
+
+    #[test]
+    fn same_display_serves_all_experiments() {
+        // The common-platform claim: one renderer, four geometries.
+        let ev = event();
+        for exp in Experiment::all() {
+            let geo = GeometryDescription::from_detector(&exp.detector());
+            let svg = render_svg(&ev, &geo, 400);
+            assert!(svg.contains("</svg>"), "{} display failed", exp.name());
+        }
+    }
+
+    #[test]
+    fn empty_event_still_renders() {
+        let geo = GeometryDescription::from_detector(&Experiment::Cms.detector());
+        let ev = SimplifiedEvent {
+            experiment: "cms".to_string(),
+            ..SimplifiedEvent::default()
+        };
+        let svg = render_svg(&ev, &geo, 400);
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+}

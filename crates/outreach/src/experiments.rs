@@ -1,0 +1,190 @@
+//! The Table 1 feature matrix.
+//!
+//! The report's only numbered table compares the four experiments'
+//! outreach stacks. Here each stack is generated from the experiment's
+//! actual toolkit components (formats implemented in [`crate::formats`],
+//! geometry carriers in [`crate::geometry`], exercises in
+//! [`crate::masterclass`]) so the matrix stays truthful to the code.
+
+use daspos_detsim::config::Experiment;
+
+use crate::formats::OutreachFormat;
+
+/// One experiment's outreach stack — a column of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutreachStack {
+    /// The experiment.
+    pub experiment: Experiment,
+    /// Event display name and technology.
+    pub event_display: String,
+    /// Geometry description carrier.
+    pub geometry_format: String,
+    /// Data browser / demonstration analysis tools.
+    pub browser_tools: Vec<String>,
+    /// Level-2 data formats published.
+    pub data_formats: Vec<OutreachFormat>,
+    /// Whether the primary format is self-documenting (`None` = the "?"
+    /// entries of Table 1).
+    pub self_documenting: Option<bool>,
+    /// Masterclass exercises offered.
+    pub masterclass_uses: String,
+    /// Free comment (Table 1's last row).
+    pub comments: String,
+}
+
+/// The four outreach stacks, in Table 1 column order.
+pub fn table1() -> Vec<OutreachStack> {
+    vec![
+        OutreachStack {
+            experiment: Experiment::Alice,
+            event_display: "root-based display".to_string(),
+            geometry_format: "root-like".to_string(),
+            browser_tools: vec!["x/root-based browser".to_string()],
+            data_formats: vec![OutreachFormat::Compact],
+            self_documenting: None, // Table 1: "?"
+            masterclass_uses: "V0s (K0s, Lambda) and general tracks".to_string(),
+            comments: "Root too heavy for classroom use".to_string(),
+        },
+        OutreachStack {
+            experiment: Experiment::Atlas,
+            event_display: "ATLANTIS/VP1 (java-based)".to_string(),
+            geometry_format: "xml (full geometry)".to_string(),
+            browser_tools: vec![
+                "MINERVA".to_string(),
+                "HYPATIA".to_string(),
+                "LPPP".to_string(),
+                "CAMELIA".to_string(),
+                "OPloT".to_string(),
+            ],
+            data_formats: vec![OutreachFormat::EventXml, OutreachFormat::Compact],
+            self_documenting: Some(true), // "XML one is"
+            masterclass_uses: "W, Z, Higgs, including large MC samples and data".to_string(),
+            comments: String::new(),
+        },
+        OutreachStack {
+            experiment: Experiment::Cms,
+            event_display: "iSpy".to_string(),
+            geometry_format: "xml/json".to_string(),
+            browser_tools: vec!["java-script based tools".to_string()],
+            data_formats: vec![OutreachFormat::IgJson],
+            self_documenting: Some(true), // "Y"
+            masterclass_uses: "similar to ATLAS, different datasets, not so much MC".to_string(),
+            comments: String::new(),
+        },
+        OutreachStack {
+            experiment: Experiment::Lhcb,
+            event_display: "Panoramix (OpenInventor)".to_string(),
+            geometry_format: "xml".to_string(),
+            browser_tools: vec!["x-based browser".to_string()],
+            data_formats: vec![OutreachFormat::Compact],
+            self_documenting: None, // Table 1: "?"
+            masterclass_uses: "D lifetime".to_string(),
+            comments: String::new(),
+        },
+    ]
+}
+
+/// Render the matrix as a tab-separated table (the T1 bench prints it).
+pub fn render_table1() -> String {
+    let stacks = table1();
+    let mut out = String::from("feature");
+    for s in &stacks {
+        out.push_str(&format!("\t{}", s.experiment.name()));
+    }
+    out.push('\n');
+    let row = |label: &str, f: &dyn Fn(&OutreachStack) -> String| {
+        let mut line = label.to_string();
+        for s in &stacks {
+            line.push('\t');
+            line.push_str(&f(s));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&row("event display", &|s| s.event_display.clone()));
+    out.push_str(&row("geometry format", &|s| s.geometry_format.clone()));
+    out.push_str(&row("browser/demo tools", &|s| s.browser_tools.join(", ")));
+    out.push_str(&row("data formats", &|s| {
+        s.data_formats
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }));
+    out.push_str(&row("self-documenting?", &|s| match s.self_documenting {
+        Some(true) => "Y".to_string(),
+        Some(false) => "N".to_string(),
+        None => "?".to_string(),
+    }));
+    out.push_str(&row("masterclass uses", &|s| s.masterclass_uses.clone()));
+    out.push_str(&row("comments", &|s| s.comments.clone()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_columns_in_order() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        let names: Vec<&str> = t.iter().map(|s| s.experiment.name()).collect();
+        assert_eq!(names, vec!["alice", "atlas", "cms", "lhcb"]);
+    }
+
+    #[test]
+    fn self_documentation_claims_match_implementations() {
+        // A stack may only claim self-documentation if at least one of its
+        // published formats actually is.
+        for s in table1() {
+            if s.self_documenting == Some(true) {
+                assert!(
+                    s.data_formats.iter().any(OutreachFormat::self_documenting),
+                    "{} claims self-documenting without such a format",
+                    s.experiment.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masterclass_rows_match_report() {
+        let t = table1();
+        assert!(t[0].masterclass_uses.contains("V0"));
+        assert!(t[1].masterclass_uses.contains("Higgs"));
+        assert!(t[3].masterclass_uses.contains("D lifetime"));
+    }
+
+    #[test]
+    fn alice_comment_preserved() {
+        assert!(table1()[0].comments.contains("too heavy"));
+    }
+
+    #[test]
+    fn rendered_table_has_all_rows_and_columns() {
+        let text = render_table1();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 8); // header + 7 feature rows
+        for line in &lines {
+            assert_eq!(line.matches('\t').count(), 4, "bad row: {line}");
+        }
+        assert!(text.contains("iSpy"));
+        assert!(text.contains("Panoramix"));
+        assert!(text.contains("MINERVA"));
+    }
+
+    #[test]
+    fn format_multiplicity_is_the_point() {
+        // The report's conclusion: "no common formats". Verify the four
+        // stacks do not share one common format.
+        let t = table1();
+        let common: Vec<OutreachFormat> = t[0]
+            .data_formats
+            .iter()
+            .copied()
+            .filter(|f| t.iter().all(|s| s.data_formats.contains(f)))
+            .collect();
+        assert!(common.is_empty(), "unexpected common format: {common:?}");
+    }
+}

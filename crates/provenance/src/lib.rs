@@ -1,0 +1,26 @@
+//! # daspos-provenance — the external provenance capture structure
+//!
+//! The report's workflow analysis (§3.2) flags provenance retention as an
+//! open problem: *"Depending on how the processing is done, the parentage
+//! and computing (producer) description of a given file may not be
+//! included. If this is the case, and the workflow is to be preserved, an
+//! external structure to capture that provenance chain will need to be
+//! created."*
+//!
+//! This crate is that external structure:
+//!
+//! * [`software`] — versioned software-stack descriptions (name, version,
+//!   platform), the handle the migration experiment (P1) turns,
+//! * [`graph`] — the provenance graph proper: processing-step nodes with
+//!   their configuration, conditions tag, seed and software stack,
+//!   connected to the datasets they consume and produce; lineage queries,
+//!   orphan detection and completeness scoring,
+//! * [`text`] — a line-oriented text serialization so the graph itself is
+//!   archivable.
+
+pub mod graph;
+pub mod software;
+pub mod text;
+
+pub use graph::{ProvenanceError, ProvenanceGraph, StepKind, StepRecord};
+pub use software::{Platform, SoftwareStack, SoftwareVersion};

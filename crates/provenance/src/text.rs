@@ -1,0 +1,247 @@
+//! Text serialization of the provenance graph.
+//!
+//! Archives store the graph alongside the data. One line per record:
+//!
+//! ```text
+//! # daspos-provenance v1
+//! root ds-1
+//! step step-1 reconstruction cond=data-2013 seed=- sw=slc6-x86_64|daspos-1.0.0 in=ds-1 out=ds-2 cfg=reco(atlas)
+//! ```
+//!
+//! `cfg=` is always the last field so configuration strings may contain
+//! spaces.
+
+use daspos_hep::ids::{DatasetId, StepId};
+
+use crate::graph::{ProvenanceGraph, StepBuilder, StepKind, StepRecord};
+use crate::software::SoftwareStack;
+
+/// Header line of the text form.
+pub const HEADER: &str = "# daspos-provenance v1";
+
+fn render_step(s: &StepRecord) -> String {
+    let ins = s
+        .inputs
+        .iter()
+        .map(DatasetId::as_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let outs = s
+        .outputs
+        .iter()
+        .map(DatasetId::as_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "step {} {} cond={} seed={} sw={} in={} out={} cfg={}",
+        s.id,
+        s.kind.name(),
+        s.conditions_tag.as_deref().unwrap_or("-"),
+        s.seed.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string()),
+        s.software.render(),
+        if ins.is_empty() { "-".to_string() } else { ins },
+        if outs.is_empty() { "-".to_string() } else { outs },
+        s.config,
+    )
+}
+
+/// Serialize the whole graph.
+pub fn to_text(graph: &ProvenanceGraph) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for root in graph.roots() {
+        out.push_str(&format!("root {root}\n"));
+    }
+    for step in graph.all_steps() {
+        out.push_str(&render_step(&step));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse failure description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "provenance text error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+fn parse_ds_list(s: &str) -> Option<Vec<DatasetId>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(DatasetId::parse).collect()
+}
+
+/// Restore a graph from its text form. Step ids are *not* preserved (the
+/// graph reallocates); ordering and topology are.
+pub fn from_text(text: &str) -> Result<ProvenanceGraph, TextError> {
+    let err = |line: usize, reason: &str| TextError {
+        line,
+        reason: reason.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    if header != HEADER {
+        return Err(err(1, "bad header"));
+    }
+    let graph = ProvenanceGraph::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(root) = line.strip_prefix("root ") {
+            let ds = DatasetId::parse(root.trim())
+                .ok_or_else(|| err(line_no, "bad root dataset id"))?;
+            graph.declare_root(ds);
+            continue;
+        }
+        let body = line
+            .strip_prefix("step ")
+            .ok_or_else(|| err(line_no, "expected 'root' or 'step'"))?;
+        // cfg= is last and may contain anything.
+        let (head, cfg) = body
+            .split_once(" cfg=")
+            .ok_or_else(|| err(line_no, "missing cfg="))?;
+        let mut parts = head.split(' ');
+        let _step_id = parts
+            .next()
+            .and_then(StepId::parse)
+            .ok_or_else(|| err(line_no, "bad step id"))?;
+        let kind = parts
+            .next()
+            .and_then(StepKind::parse)
+            .ok_or_else(|| err(line_no, "bad step kind"))?;
+        let mut cond = None;
+        let mut seed = None;
+        let mut software = None;
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for field in parts {
+            if let Some(v) = field.strip_prefix("cond=") {
+                if v != "-" {
+                    cond = Some(v.to_string());
+                }
+            } else if let Some(v) = field.strip_prefix("seed=") {
+                if v != "-" {
+                    seed = Some(
+                        v.parse()
+                            .map_err(|_| err(line_no, "bad seed"))?,
+                    );
+                }
+            } else if let Some(v) = field.strip_prefix("sw=") {
+                software =
+                    Some(SoftwareStack::parse(v).ok_or_else(|| err(line_no, "bad software"))?);
+            } else if let Some(v) = field.strip_prefix("in=") {
+                inputs = parse_ds_list(v).ok_or_else(|| err(line_no, "bad inputs"))?;
+            } else if let Some(v) = field.strip_prefix("out=") {
+                outputs = parse_ds_list(v).ok_or_else(|| err(line_no, "bad outputs"))?;
+            } else {
+                return Err(err(line_no, &format!("unknown field '{field}'")));
+            }
+        }
+        let software = software.ok_or_else(|| err(line_no, "missing sw="))?;
+        let mut builder = StepBuilder::new(kind, cfg, software);
+        if let Some(c) = cond {
+            builder = builder.conditions(c);
+        }
+        if let Some(s) = seed {
+            builder = builder.seed(s);
+        }
+        for ds in inputs {
+            builder = builder.input(ds);
+        }
+        for ds in outputs {
+            builder = builder.output(ds);
+        }
+        graph
+            .record(builder)
+            .map_err(|e| err(line_no, &e.to_string()))?;
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::software::SoftwareVersion;
+
+    fn stack() -> SoftwareStack {
+        SoftwareStack::on_current(vec![SoftwareVersion::new("daspos", 1, 0, 0)])
+    }
+
+    fn sample_graph() -> ProvenanceGraph {
+        let g = ProvenanceGraph::new();
+        g.declare_root(DatasetId(1));
+        g.record(
+            StepBuilder::new(StepKind::Reconstruction, "reco(atlas) with spaces", stack())
+                .conditions("data-2013")
+                .seed(42)
+                .input(DatasetId(1))
+                .output(DatasetId(2)),
+        )
+        .unwrap();
+        g.record(
+            StepBuilder::new(StepKind::Ntupling, "schema:met,m_ll", stack())
+                .input(DatasetId(2))
+                .output(DatasetId(3)),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_topology_and_records() {
+        let g = sample_graph();
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.step_count(), g.step_count());
+        assert_eq!(back.dataset_count(), g.dataset_count());
+        assert_eq!(back.roots(), g.roots());
+        let lineage = back.lineage(DatasetId(3)).unwrap();
+        assert_eq!(lineage.len(), 2);
+        assert_eq!(lineage[1].config, "reco(atlas) with spaces");
+        assert_eq!(lineage[1].seed, Some(42));
+        assert_eq!(lineage[1].conditions_tag.as_deref(), Some("data-2013"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "wrong header\n",
+            "# daspos-provenance v1\nbogus line\n",
+            "# daspos-provenance v1\nroot nonsense\n",
+            "# daspos-provenance v1\nstep step-1 reconstruction cond=- seed=- in=- out=- cfg=x\n", // missing sw
+        ] {
+            assert!(from_text(bad).is_err(), "'{bad}' should fail");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = sample_graph();
+        let mut text = to_text(&g);
+        text.push_str("\n# a trailing comment\n\n");
+        assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = ProvenanceGraph::new();
+        let back = from_text(&to_text(&g)).unwrap();
+        assert_eq!(back.step_count(), 0);
+        assert_eq!(back.dataset_count(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: provenance-graph invariants and text round-trips.
+
+use daspos_hep::ids::DatasetId;
+use daspos_provenance::graph::{StepBuilder, StepKind};
+use daspos_provenance::{text, Platform, ProvenanceGraph, SoftwareStack, SoftwareVersion};
+use proptest::prelude::*;
+
+fn stack() -> SoftwareStack {
+    SoftwareStack::on_current(vec![SoftwareVersion::new("daspos", 1, 0, 0)])
+}
+
+/// A random linear-ish derivation plan: each step consumes a previously
+/// produced dataset (by index) and produces a fresh one.
+fn arb_plan() -> impl Strategy<Value = Vec<usize>> {
+    // plan[i] = index (into datasets 0..=i) of the step's input.
+    prop::collection::vec(0usize..1000, 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, r)| r % (i + 1))
+            .collect()
+    })
+}
+
+fn build(plan: &[usize]) -> (ProvenanceGraph, Vec<DatasetId>) {
+    let g = ProvenanceGraph::new();
+    let root = DatasetId(1);
+    g.declare_root(root);
+    let mut datasets = vec![root];
+    for (i, &input_idx) in plan.iter().enumerate() {
+        let output = DatasetId(2 + i as u64);
+        g.record(
+            StepBuilder::new(StepKind::SkimSlim, format!("step-{i}"), stack())
+                .input(datasets[input_idx])
+                .output(output),
+        )
+        .expect("plan is well-formed");
+        datasets.push(output);
+    }
+    (g, datasets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lineage_always_reaches_the_root(plan in arb_plan()) {
+        let (g, datasets) = build(&plan);
+        for ds in &datasets[1..] {
+            let lineage = g.lineage(*ds).expect("known dataset");
+            prop_assert!(!lineage.is_empty());
+            // The earliest step in every lineage consumes the root.
+            prop_assert!(
+                lineage.iter().any(|s| s.inputs.contains(&datasets[0])),
+                "lineage of {ds} never touches the root"
+            );
+        }
+        prop_assert!(g.orphans().is_empty());
+        prop_assert_eq!(g.completeness(), 1.0);
+    }
+
+    #[test]
+    fn descendants_and_lineage_are_consistent(plan in arb_plan()) {
+        let (g, datasets) = build(&plan);
+        let all_desc = g.descendants(datasets[0]).expect("root known");
+        // Every non-root dataset descends from the root…
+        prop_assert_eq!(all_desc.len(), datasets.len() - 1);
+        // …and membership is mutual: if b descends from a, a's producer
+        // chain appears in b's lineage.
+        for (i, ds) in datasets.iter().enumerate().skip(1) {
+            let lineage_steps = g.lineage(*ds).expect("lineage");
+            prop_assert!(lineage_steps.len() <= plan.len());
+            prop_assert!(lineage_steps.iter().all(|s| !s.outputs.is_empty()));
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything(plan in arb_plan()) {
+        let (g, datasets) = build(&plan);
+        let restored = text::from_text(&text::to_text(&g)).expect("parses");
+        prop_assert_eq!(restored.step_count(), g.step_count());
+        prop_assert_eq!(restored.dataset_count(), g.dataset_count());
+        prop_assert_eq!(restored.roots(), g.roots());
+        for ds in &datasets[1..] {
+            let a = g.lineage(*ds).expect("orig");
+            let b = restored.lineage(*ds).expect("restored");
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn software_stack_round_trip(
+        names in prop::collection::vec("[a-z][a-z0-9]{0,12}", 0..6),
+        versions in prop::collection::vec((0u32..99, 0u32..99, 0u32..99, prop::bool::ANY), 6),
+        platform in "[a-z0-9-]{1,16}"
+    ) {
+        let packages = names
+            .iter()
+            .zip(&versions)
+            .map(|(n, (ma, mi, pa, ext))| {
+                let v = SoftwareVersion::new(n, *ma, *mi, *pa);
+                if *ext { v.external() } else { v }
+            })
+            .collect();
+        let stack = SoftwareStack {
+            platform: Platform(platform),
+            packages,
+        };
+        prop_assert_eq!(SoftwareStack::parse(&stack.render()), Some(stack));
+    }
+
+    #[test]
+    fn migration_preserves_compatibility(plan in arb_plan()) {
+        let (_, _) = build(&plan);
+        let stack = stack();
+        let migrated = stack.migrated_to(Platform::successor());
+        for (old, new) in stack.packages.iter().zip(&migrated.packages) {
+            prop_assert!(old.compatible_with(new));
+        }
+        prop_assert!(!migrated.runs_on(&Platform::current()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # daspos-recast — full-chain reanalysis
+//!
+//! Reproduces the RECAST framework as the report describes it (§2.3–2.4):
+//! *"RECAST incorporates a full experiment analysis framework and the
+//! capability to generate events from new physics models, then subject
+//! them to a simulation of the particle detector and its reconstruction
+//! algorithms. … The RECAST structure includes a 'front end' interface to
+//! the outside world … The back end does all of the processing and
+//! analysis work, and the results, if approved, are returned to the
+//! user."*
+//!
+//! * [`request`] — reanalysis requests and their lifecycle states,
+//! * [`backend`] — the pluggable processing back ends: the full chain
+//!   (generate → simulate → reconstruct → analyze, the "closed" heavy
+//!   system) and the RIVET bridge (§2.4: *"create a 'back end' for RECAST
+//!   such that any analysis implemented in RIVET could be subject to the
+//!   RECAST framework"* — the DASPOS project this crate completes),
+//! * [`frontend`] — the request queue, worker pool and the
+//!   experiment-controlled approval gate ("the experiment would also have
+//!   complete control over which analyses were allowed to become
+//!   public"),
+//! * [`stats`] — Poisson-counting CLs upper limits, turning a preserved
+//!   search's signal-region yield into cross-section constraints.
+
+pub mod backend;
+pub mod frontend;
+pub mod request;
+pub mod stats;
+
+pub use backend::{
+    BackendCost, FullChainBackend, RecastBackend, RecastOutput, RivetBridgeBackend,
+    SmearedBackend,
+};
+pub use frontend::{FrontendError, RecastFrontEnd};
+pub use request::{RecastRequest, RequestState};
+pub use stats::{cls_upper_limit, poisson_cdf};

@@ -1,0 +1,173 @@
+//! Counting-experiment statistics: Poisson CLs upper limits.
+//!
+//! RECAST's purpose is to *"constrain the new models in question"*. The
+//! preserved search exposes a signal-region count; this module turns a
+//! model's efficiency and the experiment's background expectation into a
+//! 95% CL cross-section upper limit with the standard CLs construction
+//! for a single-bin counting experiment.
+
+/// Poisson CDF: `P(N ≤ n | mean)`. Computed by direct summation with a
+/// running term to stay stable for means up to a few thousand.
+pub fn poisson_cdf(n: u64, mean: f64) -> f64 {
+    if mean < 0.0 {
+        return 1.0;
+    }
+    if mean == 0.0 {
+        return 1.0;
+    }
+    let mut term = (-mean).exp();
+    let mut sum = term;
+    for k in 1..=n {
+        term *= mean / k as f64;
+        sum += term;
+    }
+    sum.min(1.0)
+}
+
+/// CLs value for signal strength `s` on top of background `b` with
+/// observation `n_obs`:
+/// `CLs = P(N ≤ n_obs | s+b) / P(N ≤ n_obs | b)`.
+pub fn cls(n_obs: u64, b: f64, s: f64) -> f64 {
+    let clsb = poisson_cdf(n_obs, s + b);
+    let clb = poisson_cdf(n_obs, b).max(1e-300);
+    (clsb / clb).min(1.0)
+}
+
+/// 95% CL upper limit on the signal cross-section (pb).
+///
+/// * `n_obs` — observed signal-region count,
+/// * `background` — expected background in the region,
+/// * `efficiency` — the model's selection efficiency from the RECAST run,
+/// * `lumi_ipb` — integrated luminosity in pb⁻¹.
+///
+/// Returns `None` when the efficiency or luminosity is non-positive
+/// (no sensitivity at all).
+pub fn cls_upper_limit(
+    n_obs: u64,
+    background: f64,
+    efficiency: f64,
+    lumi_ipb: f64,
+) -> Option<f64> {
+    if efficiency <= 0.0 || lumi_ipb <= 0.0 || background < 0.0 {
+        return None;
+    }
+    // Signal yield at cross-section sigma: s = sigma * lumi * eff.
+    // Find sigma with cls = 0.05 by bisection on s.
+    let target = 0.05;
+    let mut lo = 0.0_f64;
+    let mut hi = 10.0_f64.max(3.0 * (n_obs as f64 + background + 10.0));
+    // Expand hi until excluded.
+    let mut guard = 0;
+    while cls(n_obs, background, hi) > target {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 60 {
+            return None;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cls(n_obs, background, mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let s_limit = 0.5 * (lo + hi);
+    Some(s_limit / (efficiency * lumi_ipb))
+}
+
+/// Whether a model with cross-section `sigma_pb` is excluded at 95% CL.
+pub fn excluded(
+    sigma_pb: f64,
+    n_obs: u64,
+    background: f64,
+    efficiency: f64,
+    lumi_ipb: f64,
+) -> Option<bool> {
+    cls_upper_limit(n_obs, background, efficiency, lumi_ipb).map(|limit| sigma_pb > limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_cdf_basics() {
+        // P(N <= 0 | 1) = e^-1.
+        assert!((poisson_cdf(0, 1.0) - (-1.0f64).exp()).abs() < 1e-12);
+        // CDF is monotone in n.
+        assert!(poisson_cdf(5, 3.0) > poisson_cdf(2, 3.0));
+        // Large n covers everything.
+        assert!((poisson_cdf(100, 3.0) - 1.0).abs() < 1e-12);
+        // Zero mean.
+        assert_eq!(poisson_cdf(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn poisson_cdf_median_at_mean() {
+        // For a Poisson with a large mean, P(N <= mean) ≈ 0.5.
+        let p = poisson_cdf(100, 100.0);
+        assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn cls_decreases_with_signal() {
+        let a = cls(3, 3.0, 1.0);
+        let b = cls(3, 3.0, 5.0);
+        let c = cls(3, 3.0, 20.0);
+        assert!(a > b && b > c);
+        assert!(c < 0.01);
+    }
+
+    #[test]
+    fn limit_tightens_with_luminosity() {
+        // n_obs = b (no excess): more lumi → tighter (smaller) sigma limit.
+        let low = cls_upper_limit(3, 3.0, 0.5, 10.0).unwrap();
+        let high = cls_upper_limit(30, 30.0, 0.5, 100.0).unwrap();
+        assert!(high < low, "low-lumi {low}, high-lumi {high}");
+    }
+
+    #[test]
+    fn limit_tightens_with_efficiency() {
+        let poor = cls_upper_limit(3, 3.0, 0.1, 100.0).unwrap();
+        let good = cls_upper_limit(3, 3.0, 0.8, 100.0).unwrap();
+        assert!(good < poor);
+        // Exactly inversely proportional: s-limit fixed, sigma = s/(eff L).
+        assert!((poor / good - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn excess_loosens_limit() {
+        let no_excess = cls_upper_limit(3, 3.0, 0.5, 100.0).unwrap();
+        let excess = cls_upper_limit(10, 3.0, 0.5, 100.0).unwrap();
+        assert!(excess > no_excess);
+    }
+
+    #[test]
+    fn zero_efficiency_means_no_limit() {
+        assert!(cls_upper_limit(3, 3.0, 0.0, 100.0).is_none());
+        assert!(cls_upper_limit(3, 3.0, 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn exclusion_verdict() {
+        let limit = cls_upper_limit(3, 3.0, 0.5, 100.0).unwrap();
+        assert_eq!(
+            excluded(limit * 2.0, 3, 3.0, 0.5, 100.0),
+            Some(true)
+        );
+        assert_eq!(
+            excluded(limit * 0.5, 3, 3.0, 0.5, 100.0),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn limit_at_zero_background_is_about_three_over_eff_lumi() {
+        // The textbook result: with b = 0, n = 0, the 95% CL limit is
+        // s ≈ 3.0 events.
+        let limit = cls_upper_limit(0, 0.0, 1.0, 1.0).unwrap();
+        assert!((limit - 3.0).abs() < 0.05, "limit {limit}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: statistical invariants of the limit-setting code.
+
+use daspos_recast::stats::{cls_upper_limit, excluded, poisson_cdf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn poisson_cdf_is_a_cdf(n in 0u64..200, mean in 0.0..150.0f64) {
+        let p = poisson_cdf(n, mean);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        // Monotone in n.
+        prop_assert!(poisson_cdf(n + 1, mean) >= p - 1e-12);
+        // Anti-monotone in the mean.
+        prop_assert!(poisson_cdf(n, mean + 1.0) <= p + 1e-12);
+    }
+
+    #[test]
+    fn limit_exists_and_is_positive(
+        n_obs in 0u64..50,
+        background in 0.0..50.0f64,
+        efficiency in 0.01..1.0f64,
+        lumi in 1.0..1.0e5f64
+    ) {
+        let limit = cls_upper_limit(n_obs, background, efficiency, lumi);
+        prop_assert!(limit.is_some());
+        let limit = limit.unwrap();
+        prop_assert!(limit > 0.0 && limit.is_finite(), "limit = {limit}");
+    }
+
+    #[test]
+    fn limit_monotone_in_efficiency_and_lumi(
+        n_obs in 0u64..30,
+        background in 0.0..30.0f64,
+        efficiency in 0.05..0.5f64,
+        lumi in 10.0..1.0e4f64
+    ) {
+        let base = cls_upper_limit(n_obs, background, efficiency, lumi).unwrap();
+        let better_eff = cls_upper_limit(n_obs, background, efficiency * 2.0, lumi).unwrap();
+        let more_lumi = cls_upper_limit(n_obs, background, efficiency, lumi * 2.0).unwrap();
+        prop_assert!(better_eff <= base + 1e-12);
+        prop_assert!(more_lumi <= base + 1e-12);
+    }
+
+    #[test]
+    fn limit_loosens_with_observed_excess(
+        background in 1.0..20.0f64,
+        efficiency in 0.1..0.9f64
+    ) {
+        let lumi = 1000.0;
+        let at_background = cls_upper_limit(background.round() as u64, background, efficiency, lumi).unwrap();
+        let with_excess =
+            cls_upper_limit(background.round() as u64 + 10, background, efficiency, lumi).unwrap();
+        prop_assert!(with_excess > at_background);
+    }
+
+    #[test]
+    fn exclusion_is_consistent_with_the_limit(
+        sigma in 1.0e-4..10.0f64,
+        n_obs in 0u64..20,
+        background in 0.0..20.0f64,
+        efficiency in 0.05..1.0f64
+    ) {
+        let lumi = 500.0;
+        let limit = cls_upper_limit(n_obs, background, efficiency, lumi).unwrap();
+        let verdict = excluded(sigma, n_obs, background, efficiency, lumi).unwrap();
+        prop_assert_eq!(verdict, sigma > limit);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_limit(
+        n_obs in 0u64..10,
+        background in 0.0..10.0f64
+    ) {
+        prop_assert!(cls_upper_limit(n_obs, background, 0.0, 100.0).is_none());
+        prop_assert!(cls_upper_limit(n_obs, background, -0.5, 100.0).is_none());
+        prop_assert!(cls_upper_limit(n_obs, background, 0.5, 0.0).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Dijet spectra: leading-jet pT, azimuthal decorrelation and dijet mass.
+
+use daspos_hep::event::TruthEvent;
+use daspos_hep::fourvec::delta_phi;
+
+use crate::analysis::{Analysis, AnalysisMetadata, AnalysisState};
+use crate::cuts::Cutflow;
+use crate::projections::TruthJets;
+
+/// The dijet spectra analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DijetSpectra;
+
+const PT_LEAD: &str = "/DIJET_2013_I0002/pt_lead";
+const DPHI: &str = "/DIJET_2013_I0002/dphi";
+const M_JJ: &str = "/DIJET_2013_I0002/m_jj";
+
+impl Analysis for DijetSpectra {
+    fn metadata(&self) -> AnalysisMetadata {
+        AnalysisMetadata {
+            key: "DIJET_2013_I0002".to_string(),
+            title: "Dijet pT spectra and azimuthal decorrelation".to_string(),
+            experiment: "cms".to_string(),
+            inspire_id: 9_002,
+            description: "anti-kT R=0.4 jets, pT > 30 GeV; leading pT, dphi, m_jj".to_string(),
+        }
+    }
+
+    fn init(&self, state: &mut AnalysisState) {
+        state.book(PT_LEAD, 47, 30.0, 500.0).expect("binning");
+        state
+            .book(DPHI, 32, 0.0, std::f64::consts::PI)
+            .expect("binning");
+        state.book(M_JJ, 50, 0.0, 1000.0).expect("binning");
+        state.cutflow = Cutflow::new(&["ge2-jets", "lead-pt-30"]);
+    }
+
+    fn analyze(&self, event: &TruthEvent, state: &mut AnalysisState) {
+        let jets = TruthJets {
+            radius: 0.4,
+            pt_min: 30.0,
+            abs_eta_max: 3.0,
+        }
+        .project(event);
+        let two = jets.len() >= 2;
+        let lead_ok = two && jets[0].pt() >= 30.0;
+        state.cutflow.fill(event.weight, &[two, lead_ok]);
+        if !lead_ok {
+            return;
+        }
+        state.fill(PT_LEAD, jets[0].pt(), event.weight);
+        state.fill(
+            DPHI,
+            delta_phi(jets[0].phi(), jets[1].phi()).abs(),
+            event.weight,
+        );
+        state.fill(M_JJ, (jets[0] + jets[1]).mass(), event.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::RunHarness;
+    use daspos_gen::{EventGenerator, GeneratorConfig};
+    use daspos_hep::event::ProcessKind;
+
+    #[test]
+    fn spectrum_falls_and_dphi_peaks_back_to_back() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::QcdDijet, 31));
+        let result = RunHarness::run_owned(&DijetSpectra, gen.events(800));
+        let pt = result.histogram(PT_LEAD).unwrap();
+        assert!(pt.integral() > 200.0, "selected {}", pt.integral());
+        // Falling spectrum: first quarter of bins holds most of the yield.
+        let low: f64 = (0..10).map(|i| pt.bin(i)).sum();
+        let high: f64 = (30..47).map(|i| pt.bin(i)).sum();
+        assert!(low > 5.0 * high.max(1.0), "low {low}, high {high}");
+        // Azimuthal decorrelation peaks at pi.
+        let dphi = result.histogram(DPHI).unwrap();
+        assert!(dphi.binning().center(dphi.peak_bin()) > 2.5);
+    }
+
+    #[test]
+    fn z_sample_rarely_has_two_hard_jets() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::ZBoson, 32));
+        let result = RunHarness::run_owned(&DijetSpectra, gen.events(300));
+        assert!(result.cutflow.efficiency() < 0.1);
+    }
+}

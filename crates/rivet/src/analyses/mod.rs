@@ -1,0 +1,40 @@
+//! The preserved analyses shipped with the framework.
+//!
+//! One per physics topic in the report's Table 1 masterclass row, plus the
+//! dilepton search that the RECAST experiments (R1–R3) reinterpret:
+//!
+//! | key                     | physics                         | experiment |
+//! |-------------------------|---------------------------------|------------|
+//! | `ZLL_2013_I0001`        | Z → ℓℓ lineshape and pT         | atlas      |
+//! | `DIJET_2013_I0002`      | dijet spectra and Δφ            | cms        |
+//! | `HGG_2013_I0003`        | H → γγ mass peak                | atlas      |
+//! | `D0LIFE_2013_I0004`     | D⁰ lifetime                     | lhcb       |
+//! | `V0_2013_I0005`         | K⁰s/Λ spectra                   | alice      |
+//! | `SEARCH_2013_I0006`     | high-mass dilepton search       | cms        |
+
+mod d0_lifetime;
+mod dijet_spectra;
+mod higgs_diphoton;
+mod v0_spectra;
+mod z_lineshape;
+mod zprime_search;
+
+pub use d0_lifetime::{fit_lifetime_ps, D0Lifetime};
+pub use dijet_spectra::DijetSpectra;
+pub use higgs_diphoton::HiggsDiphoton;
+pub use v0_spectra::V0Spectra;
+pub use z_lineshape::ZLineshape;
+pub use zprime_search::DileptonSearch;
+
+use crate::registry::AnalysisRegistry;
+
+/// Register every shipped analysis into a registry — the "RIVET
+/// distribution" the report describes.
+pub fn register_all(registry: &AnalysisRegistry) {
+    registry.register(Box::new(ZLineshape));
+    registry.register(Box::new(DijetSpectra));
+    registry.register(Box::new(HiggsDiphoton));
+    registry.register(Box::new(D0Lifetime));
+    registry.register(Box::new(V0Spectra));
+    registry.register(Box::new(DileptonSearch::default()));
+}

@@ -1,0 +1,119 @@
+//! V⁰ spectra: K⁰s and Λ production (the ALICE masterclass of Table 1).
+
+use daspos_hep::event::TruthEvent;
+use daspos_reco::objects::AodEvent;
+
+use crate::analysis::{Analysis, AnalysisMetadata, AnalysisState};
+use crate::cuts::Cutflow;
+
+/// The V⁰ spectra analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct V0Spectra;
+
+const K0S_PT: &str = "/V0_2013_I0005/k0s_pt";
+const LAMBDA_PT: &str = "/V0_2013_I0005/lambda_pt";
+const K0S_MASS: &str = "/V0_2013_I0005/k0s_mass";
+
+impl Analysis for V0Spectra {
+    fn metadata(&self) -> AnalysisMetadata {
+        AnalysisMetadata {
+            key: "V0_2013_I0005".to_string(),
+            title: "K0s and Lambda production spectra".to_string(),
+            experiment: "alice".to_string(),
+            inspire_id: 9_005,
+            description: "central V0s, |eta| < 0.9; pT spectra and pipi mass".to_string(),
+        }
+    }
+
+    fn init(&self, state: &mut AnalysisState) {
+        state.book(K0S_PT, 30, 0.0, 6.0).expect("binning");
+        state.book(LAMBDA_PT, 30, 0.0, 6.0).expect("binning");
+        state.book(K0S_MASS, 40, 0.4, 0.6).expect("binning");
+        state.cutflow = Cutflow::new(&["v0-present", "central"]);
+    }
+
+    fn analyze(&self, event: &TruthEvent, state: &mut AnalysisState) {
+        let v0s: Vec<_> = event
+            .particles
+            .iter()
+            .filter(|p| matches!(p.pdg.0.abs(), 310 | 3122))
+            .collect();
+        if v0s.is_empty() {
+            state.cutflow.fill(event.weight, &[false]);
+            return;
+        }
+        let mut any_central = false;
+        for v0 in &v0s {
+            let eta = v0.momentum.eta();
+            if eta.abs() >= 0.9 {
+                continue;
+            }
+            any_central = true;
+            match v0.pdg.0.abs() {
+                310 => {
+                    state.fill(K0S_PT, v0.momentum.pt(), event.weight);
+                    state.fill(K0S_MASS, v0.momentum.mass(), event.weight);
+                }
+                3122 => state.fill(LAMBDA_PT, v0.momentum.pt(), event.weight),
+                _ => {}
+            }
+        }
+        state.cutflow.fill(event.weight, &[true, any_central]);
+    }
+
+    fn analyze_detector(&self, event: &AodEvent, state: &mut AnalysisState) {
+        let mut any_central = false;
+        let has_cand = !event.candidates.is_empty();
+        for c in &event.candidates {
+            if c.eta.abs() >= 0.9 || c.flight_xy < 2.0 {
+                continue;
+            }
+            // K0s window on the pipi hypothesis.
+            if (c.mass_pipi - 0.4976).abs() < 0.03 {
+                any_central = true;
+                state.fill(K0S_PT, c.pt, 1.0);
+                state.fill(K0S_MASS, c.mass_pipi, 1.0);
+            } else if (c.mass_ppi - 1.1157).abs() < 0.02 {
+                any_central = true;
+                state.fill(LAMBDA_PT, c.pt, 1.0);
+            }
+        }
+        state.cutflow.fill(1.0, &[has_cand, any_central]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::RunHarness;
+    use daspos_gen::{EventGenerator, GeneratorConfig};
+    use daspos_hep::event::ProcessKind;
+
+    #[test]
+    fn strange_sample_fills_both_species() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::Strange, 73));
+        let result = RunHarness::run_owned(&V0Spectra, gen.events(2000));
+        let k0s = result.histogram(K0S_PT).unwrap().integral();
+        let lambda = result.histogram(LAMBDA_PT).unwrap().integral();
+        assert!(k0s > 100.0, "k0s {k0s}");
+        assert!(lambda > 20.0, "lambda {lambda}");
+        // The 70/30 species mix shows in the yields.
+        assert!(k0s > lambda, "k0s {k0s} vs lambda {lambda}");
+    }
+
+    #[test]
+    fn k0s_truth_mass_is_nominal() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::Strange, 74));
+        let result = RunHarness::run_owned(&V0Spectra, gen.events(500));
+        let m = result.histogram(K0S_MASS).unwrap();
+        let peak = m.binning().center(m.peak_bin());
+        assert!((peak - 0.4976).abs() < 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn dijet_sample_has_no_v0s() {
+        let gen = EventGenerator::new(GeneratorConfig::new(ProcessKind::QcdDijet, 75));
+        let result = RunHarness::run_owned(&V0Spectra, gen.events(100));
+        assert_eq!(result.cutflow.final_yield(), 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! The analysis plugin API and run harness.
+
+use std::collections::BTreeMap;
+
+use daspos_hep::event::TruthEvent;
+use daspos_hep::hist::Hist1D;
+use daspos_hep::HepError;
+use daspos_reco::objects::AodEvent;
+
+use crate::cuts::Cutflow;
+
+/// Identification and citation metadata for a preserved analysis — what
+/// the registry lists and INSPIRE/HepData link against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisMetadata {
+    /// Registry key, RIVET-style: `"EXPT_YEAR_TOPIC"`.
+    pub key: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The experiment that published the analysis.
+    pub experiment: String,
+    /// An INSPIRE-like record id for cross-linking.
+    pub inspire_id: u64,
+    /// Short physics description.
+    pub description: String,
+}
+
+/// The mutable state an analysis fills: histograms plus a cutflow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisState {
+    /// Booked histograms by path.
+    pub histograms: BTreeMap<String, Hist1D>,
+    /// The selection cutflow.
+    pub cutflow: Cutflow,
+    /// Sum of processed event weights (for normalization).
+    pub sum_weights: f64,
+}
+
+impl AnalysisState {
+    /// Book a histogram; the path must be unique within the analysis.
+    pub fn book(&mut self, path: &str, nbins: usize, lo: f64, hi: f64) -> Result<(), HepError> {
+        let h = Hist1D::new(path, nbins, lo, hi)?;
+        self.histograms.insert(path.to_string(), h);
+        Ok(())
+    }
+
+    /// Fill a booked histogram (ignores unknown paths, matching RIVET's
+    /// forgiving runtime behaviour — the comparison step will catch the
+    /// missing output).
+    pub fn fill(&mut self, path: &str, x: f64, weight: f64) {
+        if let Some(h) = self.histograms.get_mut(path) {
+            h.fill_weighted(x, weight);
+        }
+    }
+
+    /// Merge another state (parallel runs over event sub-ranges).
+    pub fn merge(&mut self, other: &AnalysisState) -> Result<(), String> {
+        for (path, hist) in &other.histograms {
+            match self.histograms.get_mut(path) {
+                Some(mine) => mine.merge(hist).map_err(|e| e.to_string())?,
+                None => {
+                    self.histograms.insert(path.clone(), hist.clone());
+                }
+            }
+        }
+        self.cutflow.merge(&other.cutflow)?;
+        self.sum_weights += other.sum_weights;
+        Ok(())
+    }
+}
+
+/// A preserved analysis.
+///
+/// Truth-level (`analyze`) is the classic RIVET mode; `analyze_detector`
+/// is the §5 extension for detector-level inputs, with a default no-op so
+/// classic analyses need not care.
+pub trait Analysis: Send + Sync {
+    /// Identification metadata.
+    fn metadata(&self) -> AnalysisMetadata;
+
+    /// Book histograms and the cutflow.
+    fn init(&self, state: &mut AnalysisState);
+
+    /// Process one truth event.
+    fn analyze(&self, event: &TruthEvent, state: &mut AnalysisState);
+
+    /// Process one detector-level (AOD) event — the extension hook; the
+    /// default implementation ignores detector-level input.
+    fn analyze_detector(&self, _event: &AodEvent, _state: &mut AnalysisState) {}
+
+    /// Post-run normalization (default: none).
+    fn finalize(&self, _state: &mut AnalysisState) {}
+}
+
+/// The immutable result of one analysis run — what gets preserved,
+/// compared and archived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// The analysis that produced it.
+    pub analysis_key: String,
+    /// Final histograms by path.
+    pub histograms: BTreeMap<String, Hist1D>,
+    /// Final cutflow.
+    pub cutflow: Cutflow,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl AnalysisResult {
+    /// A named histogram, if present.
+    pub fn histogram(&self, path: &str) -> Option<&Hist1D> {
+        self.histograms.get(path)
+    }
+
+    /// Exact equality of all contents — bit-level reproducibility.
+    pub fn identical_to(&self, other: &AnalysisResult) -> bool {
+        self.analysis_key == other.analysis_key
+            && self.events == other.events
+            && self.cutflow == other.cutflow
+            && self.histograms.len() == other.histograms.len()
+            && self
+                .histograms
+                .iter()
+                .all(|(k, h)| other.histograms.get(k).map(|o| h.identical_to(o)).unwrap_or(false))
+    }
+}
+
+/// Runs analyses over event streams.
+pub struct RunHarness;
+
+impl RunHarness {
+    /// Run one analysis over truth events.
+    pub fn run<'a>(
+        analysis: &dyn Analysis,
+        events: impl Iterator<Item = &'a TruthEvent>,
+    ) -> AnalysisResult {
+        let mut state = AnalysisState::default();
+        analysis.init(&mut state);
+        let mut n = 0u64;
+        for ev in events {
+            state.sum_weights += ev.weight;
+            analysis.analyze(ev, &mut state);
+            n += 1;
+        }
+        analysis.finalize(&mut state);
+        AnalysisResult {
+            analysis_key: analysis.metadata().key,
+            histograms: state.histograms,
+            cutflow: state.cutflow,
+            events: n,
+        }
+    }
+
+    /// Run one analysis over owned truth events (generator streams).
+    pub fn run_owned(
+        analysis: &dyn Analysis,
+        events: impl Iterator<Item = TruthEvent>,
+    ) -> AnalysisResult {
+        let mut state = AnalysisState::default();
+        analysis.init(&mut state);
+        let mut n = 0u64;
+        for ev in events {
+            state.sum_weights += ev.weight;
+            analysis.analyze(&ev, &mut state);
+            n += 1;
+        }
+        analysis.finalize(&mut state);
+        AnalysisResult {
+            analysis_key: analysis.metadata().key,
+            histograms: state.histograms,
+            cutflow: state.cutflow,
+            events: n,
+        }
+    }
+
+    /// Run the detector-level hook over AOD events (the RECAST bridge
+    /// path).
+    pub fn run_detector<'a>(
+        analysis: &dyn Analysis,
+        events: impl Iterator<Item = &'a AodEvent>,
+    ) -> AnalysisResult {
+        let mut state = AnalysisState::default();
+        analysis.init(&mut state);
+        let mut n = 0u64;
+        for ev in events {
+            state.sum_weights += 1.0;
+            analysis.analyze_detector(ev, &mut state);
+            n += 1;
+        }
+        analysis.finalize(&mut state);
+        AnalysisResult {
+            analysis_key: analysis.metadata().key,
+            histograms: state.histograms,
+            cutflow: state.cutflow,
+            events: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daspos_hep::event::{EventHeader, ProcessKind};
+    use daspos_hep::fourvec::FourVector;
+    use daspos_hep::particle::{PdgId, TruthParticle};
+
+    /// A trivial counting analysis for harness tests.
+    struct CountPions;
+
+    impl Analysis for CountPions {
+        fn metadata(&self) -> AnalysisMetadata {
+            AnalysisMetadata {
+                key: "TEST_2013_PIONS".to_string(),
+                title: "pion counter".to_string(),
+                experiment: "test".to_string(),
+                inspire_id: 1,
+                description: "counts charged pions".to_string(),
+            }
+        }
+
+        fn init(&self, state: &mut AnalysisState) {
+            state.book("npi", 20, 0.0, 20.0).expect("binning");
+            state.cutflow = Cutflow::new(&["has-pion"]);
+        }
+
+        fn analyze(&self, event: &TruthEvent, state: &mut AnalysisState) {
+            let n = event
+                .final_state()
+                .filter(|p| p.pdg.0.abs() == 211)
+                .count();
+            state.cutflow.fill(event.weight, &[n > 0]);
+            state.fill("npi", n as f64, event.weight);
+        }
+    }
+
+    fn pion_event(n: usize) -> TruthEvent {
+        let mut ev = TruthEvent::new(EventHeader::new(1, 1, 1), ProcessKind::MinimumBias);
+        for i in 0..n {
+            ev.push(TruthParticle::final_state(
+                PdgId::PI_PLUS,
+                FourVector::from_pt_eta_phi_m(1.0 + i as f64, 0.0, 0.0, 0.14),
+            ));
+        }
+        ev
+    }
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let events = [pion_event(3), pion_event(0), pion_event(7)];
+        let result = RunHarness::run(&CountPions, events.iter());
+        assert_eq!(result.events, 3);
+        assert_eq!(result.cutflow.total(), 3.0);
+        assert_eq!(result.cutflow.final_yield(), 2.0);
+        let h = result.histogram("npi").unwrap();
+        assert_eq!(h.integral(), 3.0);
+        assert_eq!(h.bin(3), 1.0);
+        assert_eq!(h.bin(0), 1.0);
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let events = [pion_event(2), pion_event(5)];
+        let r1 = RunHarness::run(&CountPions, events.iter());
+        let r2 = RunHarness::run(&CountPions, events.iter());
+        assert!(r1.identical_to(&r2));
+    }
+
+    #[test]
+    fn different_inputs_are_not_identical() {
+        let r1 = RunHarness::run(&CountPions, [pion_event(2)].iter());
+        let r2 = RunHarness::run(&CountPions, [pion_event(3)].iter());
+        assert!(!r1.identical_to(&r2));
+    }
+
+    #[test]
+    fn state_merge_equals_single_pass() {
+        let events: Vec<TruthEvent> = (0..10).map(|i| pion_event(i % 4)).collect();
+        let whole = RunHarness::run(&CountPions, events.iter());
+        let mut s1 = AnalysisState::default();
+        CountPions.init(&mut s1);
+        for ev in &events[..4] {
+            s1.sum_weights += ev.weight;
+            CountPions.analyze(ev, &mut s1);
+        }
+        let mut s2 = AnalysisState::default();
+        CountPions.init(&mut s2);
+        for ev in &events[4..] {
+            s2.sum_weights += ev.weight;
+            CountPions.analyze(ev, &mut s2);
+        }
+        s1.merge(&s2).unwrap();
+        assert!(s1.histograms["npi"].identical_to(&whole.histograms["npi"]));
+        assert_eq!(s1.cutflow, whole.cutflow);
+    }
+
+    #[test]
+    fn fill_of_unbooked_path_is_ignored() {
+        let mut state = AnalysisState::default();
+        state.fill("nope", 1.0, 1.0);
+        assert!(state.histograms.is_empty());
+    }
+
+    #[test]
+    fn detector_hook_defaults_to_noop() {
+        let aod = AodEvent::new(EventHeader::new(1, 1, 1));
+        let result = RunHarness::run_detector(&CountPions, [&aod].into_iter());
+        assert_eq!(result.events, 1);
+        assert_eq!(result.histogram("npi").unwrap().integral(), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! MC-vs-reference comparison.
+//!
+//! RIVET's purpose: *"the comparison between experimental observables …
+//! and the theoretical predictions produced by theoretical models"*. The
+//! comparison normalizes shapes and computes χ²/ndf per histogram.
+
+use std::collections::BTreeMap;
+
+use daspos_hep::hist::Hist1D;
+
+use crate::analysis::AnalysisResult;
+
+/// Verdict for one histogram comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agreement {
+    /// Histogram path.
+    pub path: String,
+    /// χ²/ndf of normalized shapes (None when a side is missing/empty).
+    pub chi2_ndf: Option<f64>,
+    /// True when both sides exist and χ²/ndf is below the threshold.
+    pub agrees: bool,
+}
+
+/// Compare an analysis result against reference histograms.
+///
+/// Shapes are compared after normalizing both sides to the reference
+/// integral, so absolute MC statistics don't matter. `threshold` is the
+/// χ²/ndf above which a histogram counts as disagreeing (3.0 is the
+/// customary loose criterion).
+pub fn compare_results(
+    result: &AnalysisResult,
+    reference: &BTreeMap<String, Hist1D>,
+    threshold: f64,
+) -> Vec<Agreement> {
+    let mut out = Vec::new();
+    for (path, ref_hist) in reference {
+        let verdict = match result.histogram(path) {
+            None => Agreement {
+                path: path.clone(),
+                chi2_ndf: None,
+                agrees: false,
+            },
+            Some(mc) => {
+                if mc.integral() <= 0.0 || ref_hist.integral() <= 0.0 {
+                    Agreement {
+                        path: path.clone(),
+                        chi2_ndf: None,
+                        agrees: false,
+                    }
+                } else {
+                    let mut mc_norm = mc.clone();
+                    mc_norm.normalize(ref_hist.integral());
+                    match mc_norm.chi2_ndf(ref_hist) {
+                        Ok(chi2) => Agreement {
+                            path: path.clone(),
+                            chi2_ndf: Some(chi2),
+                            agrees: chi2 <= threshold,
+                        },
+                        Err(_) => Agreement {
+                            path: path.clone(),
+                            chi2_ndf: None,
+                            agrees: false,
+                        },
+                    }
+                }
+            }
+        };
+        out.push(verdict);
+    }
+    out
+}
+
+/// True when every reference histogram agrees.
+pub fn all_agree(agreements: &[Agreement]) -> bool {
+    !agreements.is_empty() && agreements.iter().all(|a| a.agrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::Cutflow;
+
+    fn result_with(path: &str, fills: &[f64]) -> AnalysisResult {
+        let mut h = Hist1D::new(path, 10, 0.0, 10.0).unwrap();
+        for &x in fills {
+            h.fill(x);
+        }
+        let mut histograms = BTreeMap::new();
+        histograms.insert(path.to_string(), h);
+        AnalysisResult {
+            analysis_key: "TEST".to_string(),
+            histograms,
+            cutflow: Cutflow::default(),
+            events: fills.len() as u64,
+        }
+    }
+
+    fn reference_with(path: &str, fills: &[f64]) -> BTreeMap<String, Hist1D> {
+        let mut h = Hist1D::new(path, 10, 0.0, 10.0).unwrap();
+        for &x in fills {
+            h.fill(x);
+        }
+        let mut map = BTreeMap::new();
+        map.insert(path.to_string(), h);
+        map
+    }
+
+    #[test]
+    fn identical_shapes_agree() {
+        let fills: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let result = result_with("/T/x", &fills);
+        let reference = reference_with("/T/x", &fills);
+        let verdicts = compare_results(&result, &reference, 3.0);
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].agrees);
+        assert_eq!(verdicts[0].chi2_ndf, Some(0.0));
+        assert!(all_agree(&verdicts));
+    }
+
+    #[test]
+    fn scaled_shapes_still_agree() {
+        // MC with 10x the statistics but the same shape.
+        let mc_fills: Vec<f64> = (0..1000).map(|i| f64::from(i % 10)).collect();
+        let ref_fills: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let verdicts = compare_results(
+            &result_with("/T/x", &mc_fills),
+            &reference_with("/T/x", &ref_fills),
+            3.0,
+        );
+        assert!(verdicts[0].agrees, "chi2 = {:?}", verdicts[0].chi2_ndf);
+    }
+
+    #[test]
+    fn different_shapes_disagree() {
+        let mc: Vec<f64> = vec![1.5; 200];
+        let reference: Vec<f64> = vec![8.5; 200];
+        let verdicts = compare_results(
+            &result_with("/T/x", &mc),
+            &reference_with("/T/x", &reference),
+            3.0,
+        );
+        assert!(!verdicts[0].agrees);
+        assert!(verdicts[0].chi2_ndf.unwrap() > 3.0);
+    }
+
+    #[test]
+    fn missing_histogram_disagrees() {
+        let result = result_with("/T/other", &[1.0]);
+        let reference = reference_with("/T/x", &[1.0]);
+        let verdicts = compare_results(&result, &reference, 3.0);
+        assert!(!verdicts[0].agrees);
+        assert_eq!(verdicts[0].chi2_ndf, None);
+    }
+
+    #[test]
+    fn empty_histogram_disagrees() {
+        let result = result_with("/T/x", &[]);
+        let reference = reference_with("/T/x", &[1.0]);
+        assert!(!all_agree(&compare_results(&result, &reference, 3.0)));
+    }
+
+    #[test]
+    fn empty_reference_set_never_agrees() {
+        let result = result_with("/T/x", &[1.0]);
+        assert!(!all_agree(&compare_results(&result, &BTreeMap::new(), 3.0)));
+    }
+}

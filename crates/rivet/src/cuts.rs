@@ -1,0 +1,162 @@
+//! Cutflow bookkeeping.
+//!
+//! Every preserved analysis publishes its selection as an ordered list of
+//! named cuts with pass counts — the "basic object definitions and event
+//! selection … preferably in tabular form" of Les Houches
+//! Recommendation 1a (report §2.3).
+
+/// An ordered cutflow with weighted pass counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cutflow {
+    names: Vec<String>,
+    passed: Vec<f64>,
+    total: f64,
+}
+
+impl Cutflow {
+    /// A cutflow with the given ordered cut names.
+    pub fn new(names: &[&str]) -> Self {
+        Cutflow {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            passed: vec![0.0; names.len()],
+            total: 0.0,
+        }
+    }
+
+    /// Register one event and walk it through the cuts: `results[i]` is
+    /// whether cut *i* passed. Walking stops at the first failure
+    /// (sequential cutflow semantics).
+    pub fn fill(&mut self, weight: f64, results: &[bool]) {
+        self.total += weight;
+        for (i, &pass) in results.iter().enumerate().take(self.passed.len()) {
+            if !pass {
+                break;
+            }
+            self.passed[i] += weight;
+        }
+    }
+
+    /// Number of cuts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the cutflow has no cuts.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Total weight seen.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Weight surviving cut `i` (and all before it).
+    pub fn passed(&self, i: usize) -> f64 {
+        self.passed[i]
+    }
+
+    /// Weight surviving the full selection.
+    pub fn final_yield(&self) -> f64 {
+        self.passed.last().copied().unwrap_or(self.total)
+    }
+
+    /// Efficiency of the full selection.
+    pub fn efficiency(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.final_yield() / self.total
+        }
+    }
+
+    /// Cut names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Merge another cutflow filled with identical cuts.
+    pub fn merge(&mut self, other: &Cutflow) -> Result<(), String> {
+        if self.names != other.names {
+            return Err("cutflow name mismatch".to_string());
+        }
+        self.total += other.total;
+        for (a, b) in self.passed.iter_mut().zip(&other.passed) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Render the tabular form.
+    pub fn render(&self) -> String {
+        let mut out = format!("all\t{}\n", self.total);
+        for (name, passed) in self.names.iter().zip(&self.passed) {
+            out.push_str(&format!("{name}\t{passed}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let mut cf = Cutflow::new(&["trigger", "two-leptons", "mass-window"]);
+        cf.fill(1.0, &[true, true, true]);
+        cf.fill(1.0, &[true, false, true]); // mass-window not reached
+        cf.fill(1.0, &[false, true, true]);
+        assert_eq!(cf.total(), 3.0);
+        assert_eq!(cf.passed(0), 2.0);
+        assert_eq!(cf.passed(1), 1.0);
+        assert_eq!(cf.passed(2), 1.0);
+        assert_eq!(cf.final_yield(), 1.0);
+        assert!((cf.efficiency() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fill() {
+        let mut cf = Cutflow::new(&["cut"]);
+        cf.fill(2.5, &[true]);
+        cf.fill(0.5, &[false]);
+        assert_eq!(cf.total(), 3.0);
+        assert_eq!(cf.final_yield(), 2.5);
+    }
+
+    #[test]
+    fn empty_cutflow_yield_is_total() {
+        let mut cf = Cutflow::new(&[]);
+        cf.fill(1.0, &[]);
+        assert_eq!(cf.final_yield(), 1.0);
+        assert!(cf.is_empty());
+    }
+
+    #[test]
+    fn merge_matching() {
+        let mut a = Cutflow::new(&["x", "y"]);
+        let mut b = Cutflow::new(&["x", "y"]);
+        a.fill(1.0, &[true, true]);
+        b.fill(1.0, &[true, false]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 2.0);
+        assert_eq!(a.passed(0), 2.0);
+        assert_eq!(a.passed(1), 1.0);
+    }
+
+    #[test]
+    fn merge_mismatch_errors() {
+        let mut a = Cutflow::new(&["x"]);
+        let b = Cutflow::new(&["y"]);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let mut cf = Cutflow::new(&["sel"]);
+        cf.fill(1.0, &[true]);
+        let table = cf.render();
+        assert!(table.contains("all\t1"));
+        assert!(table.contains("sel\t1"));
+    }
+}

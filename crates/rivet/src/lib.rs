@@ -1,0 +1,47 @@
+//! # daspos-rivet — high-level analysis preservation
+//!
+//! The reproduction of the RIVET framework as the report characterizes it
+//! (§2.3–2.4): a *light*, *open* repository of analysis algorithms that
+//! run on unfolded (truth-level) events and compare Monte Carlo against
+//! preserved reference data. *"Once an analysis is put into RIVET …
+//! anyone can examine the analysis code and the reduced data provided for
+//! comparisons."*
+//!
+//! Architecture mirrors the original:
+//!
+//! * [`projections`] — reusable event projections (final state, charged
+//!   final state, dilepton finders, truth jets) shared by analyses,
+//! * [`cuts`] — cutflow bookkeeping,
+//! * [`analysis`] — the plugin trait a preserved analysis implements,
+//!   plus the run harness,
+//! * [`registry`] — the analysis registry ("included in the RIVET
+//!   distribution"),
+//! * [`yoda`] — the YODA-like histogram text format used both for
+//!   analysis output and for the reference data shipped with an analysis,
+//! * [`compare`] — MC-vs-reference χ² comparisons,
+//! * [`analyses`] — the preserved analyses themselves, covering every
+//!   masterclass physics topic in the report's Table 1 plus the dilepton
+//!   search RECAST reinterprets.
+//!
+//! The report's §5 extension idea — *"dropping the requirement that its
+//! products and input are only unfolded … distributions"* — is
+//! implemented as the optional detector-level hook
+//! [`analysis::Analysis::analyze_detector`], which the RECAST bridge
+//! exercises.
+
+pub mod adl;
+pub mod analyses;
+pub mod analysis;
+pub mod compare;
+pub mod cuts;
+pub mod projections;
+pub mod registry;
+pub mod smearing;
+pub mod yoda;
+
+pub use adl::AdlAnalysis;
+pub use analysis::{Analysis, AnalysisMetadata, AnalysisResult, AnalysisState, RunHarness};
+pub use compare::{compare_results, Agreement};
+pub use cuts::Cutflow;
+pub use registry::AnalysisRegistry;
+pub use smearing::SmearingModel;

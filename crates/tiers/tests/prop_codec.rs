@@ -1,0 +1,173 @@
+//! Property tests: codec round-trips for arbitrary events and skim/slim
+//! algebra.
+
+use bytes::Bytes;
+use daspos_detsim::raw::{CaloCell, MuonHit, RawEvent, TrackerHit};
+use daspos_hep::{EventHeader, FourVector};
+use daspos_reco::objects::{AodEvent, Electron, Jet, Met, Muon, Photon, TwoProngCandidate};
+use daspos_tiers::codec::Encodable;
+use daspos_tiers::skim::{skim_slim, Selection, SlimSpec};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = EventHeader> {
+    (1u32..1000, 1u32..100, 1u64..1_000_000).prop_map(|(r, l, e)| EventHeader::new(r, l, e))
+}
+
+fn arb_fourvec() -> impl Strategy<Value = FourVector> {
+    (
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        0.0..1000.0f64,
+    )
+        .prop_map(|(px, py, pz, e)| FourVector::new(px, py, pz, e))
+}
+
+prop_compose! {
+    fn arb_raw()(
+        header in arb_header(),
+        hits in prop::collection::vec(
+            (0u8..10, -900.0..900.0f64, -900.0..900.0f64, -2000.0..2000.0f64, 0u32..50),
+            0..40
+        ),
+        cells in prop::collection::vec(
+            (-200i32..200, -200i32..200, 0.0..500.0f64, 0.0..500.0f64),
+            0..40
+        ),
+        muons in prop::collection::vec(
+            (1u8..6, -3.0..3.0f64, -3.1..3.1f64, 0u32..50),
+            0..10
+        ),
+        links in prop::collection::vec(0u32..1000, 0..20)
+    ) -> RawEvent {
+        let mut ev = RawEvent::new(header);
+        for (layer, x, y, z, stub) in hits {
+            ev.tracker_hits.push(TrackerHit { layer, x, y, z, stub });
+        }
+        for (ieta, iphi, em, had) in cells {
+            ev.calo_cells.push(CaloCell { ieta, iphi, em, had });
+        }
+        for (station, eta, phi, stub) in muons {
+            ev.muon_hits.push(MuonHit { station, eta, phi, stub });
+        }
+        ev.truth_links = links;
+        ev
+    }
+}
+
+prop_compose! {
+    fn arb_aod()(
+        header in arb_header(),
+        electrons in prop::collection::vec(
+            (arb_fourvec(), prop::bool::ANY, 0.2..3.0f64, 0.0..5.0f64), 0..5),
+        muons in prop::collection::vec(
+            (arb_fourvec(), prop::bool::ANY, 1u8..6, 0.0..5.0f64), 0..5),
+        photons in prop::collection::vec((arb_fourvec(), 0.0..5.0f64), 0..5),
+        jets in prop::collection::vec((arb_fourvec(), 1u32..40, 0.0..1.0f64), 0..8),
+        met in (-200.0..200.0f64, -200.0..200.0f64),
+        cands in prop::collection::vec(
+            (arb_fourvec(), 0.0..500.0f64, 0.1..50.0f64, -4.0..4.0f64,
+             0.1..3.0f64, 0.1..3.0f64, 0.1..3.0f64, 0.0..0.01f64, 0u32..20, 0u32..20),
+            0..4),
+        n_tracks in 0u32..500
+    ) -> AodEvent {
+        let mut ev = AodEvent::new(header);
+        for (momentum, pos, e_over_p, isolation) in electrons {
+            ev.electrons.push(Electron {
+                momentum, charge: if pos { 1 } else { -1 }, e_over_p, isolation,
+            });
+        }
+        for (momentum, pos, n_stations, isolation) in muons {
+            ev.muons.push(Muon {
+                momentum, charge: if pos { 1 } else { -1 }, n_stations, isolation,
+            });
+        }
+        for (momentum, isolation) in photons {
+            ev.photons.push(Photon { momentum, isolation });
+        }
+        for (momentum, n_constituents, em_fraction) in jets {
+            ev.jets.push(Jet { momentum, n_constituents, em_fraction });
+        }
+        ev.met = Met { mex: met.0, mey: met.1 };
+        for (vertex, flight_xy, pt, eta, m1, m2, m3, t, i, j) in cands {
+            ev.candidates.push(TwoProngCandidate {
+                vertex, flight_xy, pt, eta,
+                mass_pipi: m1, mass_ppi: m2, mass_kpi: m3,
+                proper_time_d0_ns: t, track_indices: (i, j),
+            });
+        }
+        ev.n_tracks = n_tracks;
+        ev
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_codec_round_trip(events in prop::collection::vec(arb_raw(), 0..10)) {
+        let data = RawEvent::encode_events(&events);
+        let back = RawEvent::decode_events(&data).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn aod_codec_round_trip(events in prop::collection::vec(arb_aod(), 0..10)) {
+        let data = AodEvent::encode_events(&events);
+        let back = AodEvent::decode_events(&data).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn truncation_never_panics(events in prop::collection::vec(arb_aod(), 1..5), cut in 1usize..64) {
+        let data = AodEvent::encode_events(&events);
+        let cut = cut.min(data.len());
+        let truncated = data.slice(0..data.len() - cut);
+        // Must return an error, not panic (and not silently succeed with
+        // all events).
+        if let Ok(back) = AodEvent::decode_events(&truncated) { prop_assert!(back.len() < events.len()
+        || back != events) }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = AodEvent::decode_events(&Bytes::from(data.clone()));
+        let _ = RawEvent::decode_events(&Bytes::from(data));
+    }
+
+    #[test]
+    fn skim_then_slim_equals_slim_then_skim_for_slim_independent_selections(
+        events in prop::collection::vec(arb_aod(), 0..20),
+        met_cut in 0.0..100.0f64
+    ) {
+        // MET is untouched by slimming, so the operations commute.
+        let sel = Selection::MetAbove(met_cut);
+        let slim = SlimSpec::leptons_only();
+        let (skim_first, _) = skim_slim(&events, &sel, &slim);
+        let slimmed: Vec<_> = events.iter().map(|e| slim.apply(e)).collect();
+        let (slim_first, _) = skim_slim(&slimmed, &sel, &SlimSpec::keep_all());
+        prop_assert_eq!(skim_first, slim_first);
+    }
+
+    #[test]
+    fn skim_output_never_exceeds_input(
+        events in prop::collection::vec(arb_aod(), 0..20),
+        n in 0u32..4, pt in 0.0..100.0f64
+    ) {
+        let sel = Selection::NLeptons { n, pt };
+        let (out, report) = skim_slim(&events, &sel, &SlimSpec::keep_all());
+        prop_assert!(out.len() <= events.len());
+        prop_assert!(report.bytes_out <= report.bytes_in);
+        prop_assert_eq!(report.events_out as usize, out.len());
+    }
+
+    #[test]
+    fn selection_text_round_trip_random_tree(
+        n in 0u32..5, pt in 0.0..100.0f64, met in 0.0..200.0f64, neg in prop::bool::ANY
+    ) {
+        let base = Selection::NLeptons { n, pt }.and(Selection::MetAbove(met));
+        let sel = if neg { base.not() } else { base };
+        let text = sel.to_text();
+        prop_assert_eq!(Selection::parse(&text).unwrap(), sel);
+    }
+}

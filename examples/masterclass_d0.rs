@@ -1,0 +1,84 @@
+//! The LHCb-style D⁰ lifetime masterclass, end to end.
+//!
+//! ```text
+//! cargo run --example masterclass_d0
+//! ```
+//!
+//! Reproduces the Table 1 outreach pipeline: a charm production on the
+//! forward spectrometer, the thin AOD → Level-2 converter, the common
+//! SVG event display, and the classroom lifetime measurement — then
+//! compares the classroom answer with the PDG D⁰ lifetime (0.410 ps).
+
+use daspos::prelude::*;
+use daspos_outreach::convert::{convert_aod, convert_aod_for_d0_class};
+use daspos_outreach::display::render_svg;
+use daspos_outreach::formats::OutreachFormat;
+use daspos_outreach::geometry::GeometryDescription;
+use daspos_outreach::masterclass::{D0LifetimeExercise, Masterclass};
+
+fn main() {
+    // Produce the charm sample on the LHCb-like detector.
+    let workflow = PreservedWorkflow::standard_charm(777, 9000);
+    let ctx = ExecutionContext::fresh(&workflow);
+    let production = workflow.execute(&ctx).expect("production runs");
+    println!(
+        "produced {} events; skim kept {} D0-window candidates",
+        workflow.n_events, production.skim_report.events_out
+    );
+
+    // The thin converter: AOD → Level-2 classroom files.
+    let class_events: Vec<_> = production
+        .aod_events
+        .iter()
+        .map(|aod| convert_aod_for_d0_class(aod, "lhcb"))
+        .filter(|ev| !ev.objects.is_empty())
+        .collect();
+    println!("classroom export: {} events with D0 candidates", class_events.len());
+
+    // Show the same event in all three Level-2 wire formats (the Table 1
+    // multiplicity), sizes included.
+    if let Some(first) = class_events.first() {
+        println!("\n=== one event, three wire formats ===");
+        for fmt in [
+            OutreachFormat::IgJson,
+            OutreachFormat::EventXml,
+            OutreachFormat::Compact,
+        ] {
+            let text = fmt.write(first);
+            println!(
+                "{:>10}: {:>4} bytes, self-documenting: {}",
+                fmt.name(),
+                text.len(),
+                fmt.self_documenting()
+            );
+        }
+    }
+
+    // The common event display: render the first rich event to SVG.
+    let geometry = GeometryDescription::from_detector(&Experiment::Lhcb.detector());
+    if let Some(aod) = production.aod_events.iter().max_by_key(|a| a.candidates.len()) {
+        let scene = convert_aod(aod, "lhcb", 0);
+        let svg = render_svg(&scene, &geometry, 600);
+        let path = std::env::temp_dir().join("daspos_d0_event.svg");
+        if std::fs::write(&path, &svg).is_ok() {
+            println!("\nevent display written to {}", path.display());
+        }
+    }
+
+    // Run the classroom exercise.
+    let exercise = D0LifetimeExercise;
+    println!("\n=== masterclass: {} ===", exercise.name());
+    println!("{}\n", exercise.instructions());
+    let result = exercise.run(&class_events);
+    let n = result.count("D0-candidates").unwrap_or(0);
+    let tau = result.measurement("lifetime-ps").unwrap_or(f64::NAN);
+    println!("candidates analyzed: {n}");
+    println!("measured lifetime:   {tau:.3} ps");
+    println!("PDG value:           0.410 ps");
+    let ok = (tau - 0.410).abs() < 0.12;
+    println!(
+        "classroom verdict:   {}",
+        if ok { "consistent" } else { "check your selection!" }
+    );
+    assert!(n > 100, "too few candidates for a classroom: {n}");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: preserve an analysis workflow and prove it is preserved.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the core DASPOS loop once: describe a workflow declaratively,
+//! execute the full chain (generate → simulate → reconstruct → skim →
+//! analyze), package everything into a self-contained archive, then
+//! validate the archive by re-running it from its own contents alone.
+
+use daspos::prelude::*;
+
+fn main() {
+    // 1. Describe — a Z-boson production and lineshape analysis on the
+    //    CMS-like detector, fully determined by one seed.
+    let workflow = PreservedWorkflow::standard_z(Experiment::Cms, 2013, 300);
+    println!("=== the preserved workflow (canonical text form) ===");
+    println!("{}", workflow.to_text());
+
+    // 2. Execute.
+    let ctx = ExecutionContext::fresh(&workflow);
+    let production = workflow.execute(&ctx).expect("production runs");
+    println!("=== data lifecycle (Appendix A, Q2) ===");
+    for (tier, bytes, events) in &production.tier_bytes {
+        println!("{tier:>8}: {events:>6} events, {bytes:>10} bytes");
+    }
+    println!(
+        "skim kept {:.1}% of events, reduction factor {:.1}x\n",
+        100.0 * production.skim_report.event_efficiency(),
+        production.skim_report.reduction_factor()
+    );
+
+    let z_result = &production.analysis_results["det:ZLL_2013_I0001"];
+    let m_ll = z_result
+        .histogram("/ZLL_2013_I0001/m_ll")
+        .expect("booked by the analysis");
+    println!(
+        "detector-level Z selection: {:.0} events in the mass window, peak bin at {:.1} GeV\n",
+        m_ll.integral(),
+        m_ll.binning().center(m_ll.peak_bin())
+    );
+
+    // 3. Archive.
+    let archive = PreservationArchive::package("quickstart-z", &workflow, &ctx, &production)
+        .expect("packaging succeeds");
+    println!("=== archive ===");
+    for (name, section) in &archive.sections {
+        println!("section {name:>12}: {:>7} bytes (fnv64 {:016x})", section.data.len(), section.checksum);
+    }
+
+    // 4. Validate: the archive alone must reproduce the result bit for bit.
+    let report = validate::validate(&archive, &Platform::current()).expect("validation runs");
+    println!("\n=== validation on {} ===", Platform::current());
+    println!("integrity:  {}", report.integrity_ok);
+    println!("platform:   {}", report.platform_ok);
+    println!("executed:   {}", report.executed);
+    println!("reproduced: {} ({})", report.reproduced, report.detail);
+    assert!(report.passed(), "preservation failed: {}", report.detail);
+
+    // 5. The use cases this archive now serves (workshop goal i).
+    println!("\n=== use cases served ===");
+    for uc in daspos::usecases::served_by(&archive) {
+        println!("[{:?}] {} — {}", uc.actor, uc.name, uc.source);
+    }
+}

@@ -1,0 +1,243 @@
+//! The `daspos` command-line tool: produce, inspect, validate and migrate
+//! preservation archives from a shell.
+//!
+//! ```text
+//! daspos produce  --experiment cms --process z-boson --events 200 --seed 42 --out z.dpar
+//! daspos inspect  z.dpar
+//! daspos validate z.dpar [--platform el9-aarch64]
+//! daspos migrate  z.dpar --out z-el9.dpar
+//! daspos table1
+//! daspos maturity
+//! ```
+
+use std::process::ExitCode;
+
+use bytes::Bytes;
+use daspos::prelude::*;
+use daspos::usecases;
+use daspos_hep::event::ProcessKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("produce") => cmd_produce(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("migrate") => cmd_migrate(&args[1..]),
+        Some("table1") => {
+            println!("{}", daspos_outreach::experiments::render_table1());
+            Ok(())
+        }
+        Some("maturity") => cmd_maturity(),
+        Some("help") | Some("--help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'daspos help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("daspos: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "daspos — data and software preservation toolkit
+
+USAGE:
+  daspos produce  --experiment <alice|atlas|cms|lhcb> [--process <name>]
+                  [--events N] [--seed N] --out <file.dpar>
+        run the full chain and package a preservation archive
+  daspos inspect  <file.dpar>
+        list sections, the workflow, and the use cases the archive serves
+  daspos validate <file.dpar> [--platform <name>]
+        re-execute the archive and compare bit-for-bit
+  daspos migrate  <file.dpar> --out <file.dpar>
+        rebuild the archived software stack for the successor platform
+  daspos table1
+        print the Table 1 outreach feature matrix
+  daspos maturity
+        print the Appendix A maturity rubric table"
+    );
+}
+
+/// Pull `--name value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn positional(args: &[String]) -> Option<String> {
+    args.iter().find(|a| !a.starts_with("--")).cloned()
+}
+
+fn load_archive(path: &str) -> Result<PreservationArchive, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    PreservationArchive::from_bytes(&Bytes::from(raw)).map_err(|e| e.to_string())
+}
+
+fn cmd_produce(args: &[String]) -> Result<(), String> {
+    let experiment_name =
+        flag(args, "--experiment").ok_or("produce needs --experiment <name>")?;
+    let experiment = Experiment::all()
+        .into_iter()
+        .find(|e| e.name() == experiment_name)
+        .ok_or_else(|| format!("unknown experiment '{experiment_name}'"))?;
+    let out = flag(args, "--out").ok_or("produce needs --out <file.dpar>")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "2013".to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let n_events: u64 = flag(args, "--events")
+        .unwrap_or_else(|| "200".to_string())
+        .parse()
+        .map_err(|_| "bad --events")?;
+    let process_name = flag(args, "--process").unwrap_or_else(|| "z-boson".to_string());
+
+    let mut workflow = match process_name.as_str() {
+        "charm" => PreservedWorkflow::standard_charm(seed, n_events),
+        _ => {
+            let process = ProcessKind::all()
+                .iter()
+                .copied()
+                .find(|p| p.name() == process_name)
+                .ok_or_else(|| format!("unknown process '{process_name}'"))?;
+            let mut wf = PreservedWorkflow::standard_z(experiment, seed, n_events);
+            wf.process = process;
+            wf
+        }
+    };
+    workflow.experiment = experiment;
+
+    eprintln!(
+        "producing {} {} events on {} (seed {seed})…",
+        n_events,
+        workflow.process.name(),
+        experiment.name()
+    );
+    let ctx = ExecutionContext::fresh(&workflow);
+    let production = workflow.execute(&ctx)?;
+    for (tier, bytes, events) in &production.tier_bytes {
+        eprintln!("  {tier:>8}: {events:>7} events {bytes:>12} bytes");
+    }
+    let name = format!("{}-{}-{}", experiment.name(), workflow.process.name(), seed);
+    let archive = PreservationArchive::package(&name, &workflow, &ctx, &production)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&out, archive.to_bytes()).map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!(
+        "archive '{name}' written to {out} ({} bytes, {} sections)",
+        archive.byte_size(),
+        archive.sections.len()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("inspect needs a file")?;
+    let archive = load_archive(&path)?;
+    println!("archive '{}' (container v{})", archive.name, archive.version);
+    println!("\nsections:");
+    for (name, s) in &archive.sections {
+        println!(
+            "  {name:>12}: {:>8} bytes  fnv64 {:016x}  {}",
+            s.data.len(),
+            s.checksum,
+            if s.intact() { "intact" } else { "CORRUPT" }
+        );
+    }
+    if let Ok(text) = archive.section_text(daspos::archive::sections::WORKFLOW) {
+        println!("\nworkflow:\n{}", indent(text));
+    }
+    if let Ok(stack) = archive.software() {
+        println!("software stack ({}):", stack.platform);
+        for p in &stack.packages {
+            println!("  {}", p.render());
+        }
+    }
+    println!("\nuse cases served:");
+    for uc in usecases::served_by(&archive) {
+        println!("  [{:?}] {}", uc.actor, uc.name);
+    }
+    Ok(())
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("validate needs a file")?;
+    let platform = flag(args, "--platform")
+        .map(daspos_provenance::Platform)
+        .unwrap_or_else(Platform::current);
+    let archive = load_archive(&path)?;
+    eprintln!("re-executing '{}' on {platform}…", archive.name);
+    let report = daspos::validate::validate(&archive, &platform).map_err(|e| e.to_string())?;
+    println!("integrity:  {}", report.integrity_ok);
+    println!("platform:   {}", report.platform_ok);
+    println!("executed:   {}", report.executed);
+    println!("reproduced: {}", report.reproduced);
+    println!("detail:     {}", report.detail);
+    if report.passed() {
+        println!("VALID — the archive reproduces its reference bit-for-bit");
+        Ok(())
+    } else {
+        Err(format!("validation FAILED ({})", report.detail))
+    }
+}
+
+fn cmd_migrate(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("migrate needs a file")?;
+    let out = flag(args, "--out").ok_or("migrate needs --out <file.dpar>")?;
+    let mut archive = load_archive(&path)?;
+    let target = flag(args, "--platform")
+        .map(daspos_provenance::Platform)
+        .unwrap_or_else(Platform::successor);
+    let stack = archive.software().map_err(|e| e.to_string())?;
+    archive.set_software(&stack.migrated_to(target.clone()));
+    let report = daspos::validate::validate(&archive, &target).map_err(|e| e.to_string())?;
+    if !report.passed() {
+        return Err(format!(
+            "archive does not validate after migration: {}",
+            report.detail
+        ));
+    }
+    std::fs::write(&out, archive.to_bytes()).map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!(
+        "migrated '{}' to {target}; revalidated bit-exactly; written to {out}",
+        archive.name
+    );
+    Ok(())
+}
+
+fn cmd_maturity() -> Result<(), String> {
+    use daspos_metadata::maturity::MaturityReport;
+    use daspos_metadata::presets::interview_for;
+    use daspos_metadata::sharing::PolicyStatus;
+    println!(
+        "{:>8} {:>10} {:>12} {:>13} {:>8}  policy",
+        "expt", "data-mgmt", "description", "preservation", "sharing"
+    );
+    for name in ["alice", "atlas", "cms", "lhcb"] {
+        let policy = PolicyStatus::report_2014(name);
+        let r = MaturityReport::assess(&interview_for(name), policy);
+        println!(
+            "{name:>8} {:>10} {:>12} {:>13} {:>8}  {}",
+            r.data_management.to_string(),
+            r.description.to_string(),
+            r.preservation.to_string(),
+            r.sharing.to_string(),
+            policy.describe()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # daspos-repro — the DASPOS preservation toolkit, assembled
+//!
+//! Facade crate re-exporting every subsystem of the workspace. Use the
+//! individual `daspos-*` crates for focused dependencies, or this crate
+//! to get the whole toolkit (as the examples and integration tests do).
+//!
+//! See the repository README for the architecture overview and DESIGN.md
+//! for the paper-to-module mapping.
+
+pub use daspos as core;
+pub use daspos_conditions as conditions;
+pub use daspos_detsim as detsim;
+pub use daspos_gen as gen;
+pub use daspos_hep as hep;
+pub use daspos_hepdata as hepdata;
+pub use daspos_metadata as metadata;
+pub use daspos_outreach as outreach;
+pub use daspos_provenance as provenance;
+pub use daspos_recast as recast;
+pub use daspos_reco as reco;
+pub use daspos_rivet as rivet;
+pub use daspos_tiers as tiers;

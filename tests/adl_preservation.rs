@@ -1,0 +1,138 @@
+//! Integration: ADL analyses (the Les Houches "analysis database"
+//! entries) travel inside preservation archives and re-execute on
+//! validation, and drop into RECAST unchanged.
+
+use bytes::Bytes;
+use daspos::archive::sections;
+use daspos::prelude::*;
+use daspos_rivet::AdlAnalysis;
+
+const ADL_Z: &str = "\
+# daspos-adl v1
+analysis ADLZ_2014_I0200
+experiment cms
+title archived ADL Z cross-check
+object leps = leptons pt>= 10 abseta<= 2.5
+cut two-leptons : count(leps) >= 2
+cut opposite-sign : oscharge(leps)
+cut mass-window : mass(leps[0],leps[1]) in 66 116
+hist m_ll = mass(leps[0],leps[1]) bins 50 66 116
+";
+
+const ADL_MET: &str = "\
+# daspos-adl v1
+analysis ADLMET_2014_I0201
+experiment cms
+title archived MET monitor
+cut any : met >= 0
+hist met = met bins 40 0 200
+";
+
+fn build_archive() -> PreservationArchive {
+    let mut wf = PreservedWorkflow::standard_z(Experiment::Cms, 9090, 40);
+    wf.analyses = vec![
+        "ZLL_2013_I0001".to_string(),
+        "ADLZ_2014_I0200".to_string(),
+        "ADLMET_2014_I0201".to_string(),
+    ];
+    let ctx = ExecutionContext::fresh(&wf);
+    // Register the ADL analyses before executing — they behave exactly
+    // like compiled analyses from here on.
+    ctx.registry
+        .register(Box::new(AdlAnalysis::parse(ADL_Z).expect("parses")));
+    ctx.registry
+        .register(Box::new(AdlAnalysis::parse(ADL_MET).expect("parses")));
+    let out = wf.execute(&ctx).expect("production with ADL analyses");
+    let mut archive =
+        PreservationArchive::package("adl-preserved", &wf, &ctx, &out).expect("packages");
+    archive.insert(
+        sections::ADL,
+        Bytes::from(format!("{ADL_Z}---\n{ADL_MET}")),
+    );
+    archive
+}
+
+#[test]
+fn adl_analyses_validate_bit_exactly_from_the_archive() {
+    let archive = build_archive();
+    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    assert!(report.passed(), "{}", report.detail);
+    // The archived reference really contains the ADL analyses' output.
+    let results = archive.section_text(sections::RESULTS).expect("results");
+    assert!(results.contains("ADLZ_2014_I0200"));
+    assert!(results.contains("ADLMET_2014_I0201"));
+}
+
+#[test]
+fn stripping_the_adl_section_breaks_validation_cleanly() {
+    let mut archive = build_archive();
+    archive.sections.remove(sections::ADL);
+    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    // The workflow references analyses the registry no longer has.
+    assert!(!report.executed, "{}", report.detail);
+    assert!(report.detail.contains("ADLZ"), "{}", report.detail);
+}
+
+#[test]
+fn corrupt_adl_document_reports_execute_failure() {
+    let mut archive = build_archive();
+    archive.insert(sections::ADL, Bytes::from("# daspos-adl v1\nbogus line\n"));
+    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    assert!(!report.executed);
+    assert!(report.detail.contains("adl"), "{}", report.detail);
+}
+
+#[test]
+fn adl_document_splitting() {
+    let docs = daspos::validate::split_adl_documents(&format!("{ADL_Z}---\n{ADL_MET}"));
+    assert_eq!(docs.len(), 2);
+    assert!(AdlAnalysis::parse(&docs[0]).is_ok());
+    assert!(AdlAnalysis::parse(&docs[1]).is_ok());
+    assert!(daspos::validate::split_adl_documents("").is_empty());
+}
+
+#[test]
+fn adl_analysis_serves_recast_requests() {
+    use daspos_hep::SeedSequence;
+    use daspos_recast::{RecastFrontEnd, RivetBridgeBackend};
+    use std::sync::Arc;
+
+    let registry = Arc::new(daspos_rivet::AnalysisRegistry::with_builtin());
+    // A theorist ships their own ADL search and asks RECAST to run it:
+    // the "analysis database" and the reanalysis framework compose.
+    let search = "\
+# daspos-adl v1
+analysis ADLSEARCH_2014_I0202
+experiment cms
+object leps = leptons pt>= 25 abseta<= 2.5
+cut two-leptons : count(leps) >= 2
+cut high-mass : mass(leps[0],leps[1]) >= 200
+hist m_ll = mass(leps[0],leps[1]) bins 50 0 1000
+";
+    registry.register(Box::new(AdlAnalysis::parse(search).expect("parses")));
+    let frontend = RecastFrontEnd::start(
+        Arc::new(RivetBridgeBackend::new(registry, SeedSequence::new(4))),
+        2,
+    );
+    let id = frontend
+        .submit(
+            "ADLSEARCH_2014_I0202",
+            daspos_gen::NewPhysicsParams {
+                mass: 400.0,
+                width: 12.0,
+                cross_section_pb: 1.0,
+            },
+            120,
+            "pheno",
+        )
+        .expect("submit");
+    frontend.wait(id).expect("wait");
+    frontend.approve(id).expect("approve");
+    let out = frontend.fetch(id).expect("fetch");
+    assert!(
+        out.signal_efficiency > 0.4,
+        "ADL search efficiency {}",
+        out.signal_efficiency
+    );
+    frontend.shutdown();
+}

@@ -1,0 +1,144 @@
+//! Integration: the full processing chain across all four experiments.
+
+use std::collections::BTreeMap;
+
+use daspos::prelude::*;
+
+#[test]
+fn all_four_experiments_run_the_same_chain() {
+    // §3.2: "the data processing and analysis workflows of the modern
+    // high energy physics experiments are remarkably similar" — one
+    // workflow definition must execute on every detector.
+    for experiment in Experiment::all() {
+        let wf = PreservedWorkflow::standard_z(experiment, 31, 40);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf
+            .execute(&ctx)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", experiment.name()));
+        assert_eq!(out.tier_bytes.len(), 5, "{}", experiment.name());
+        // Catalog and provenance populated identically in structure.
+        assert_eq!(ctx.catalog.list().len(), 3);
+        assert_eq!(ctx.provenance.step_count(), 2);
+    }
+}
+
+#[test]
+fn tier_sizes_shrink_monotonically_for_every_experiment() {
+    // The Appendix A Q2 data lifecycle: every stage is a reduction.
+    for experiment in Experiment::all() {
+        let wf = PreservedWorkflow::standard_z(experiment, 77, 50);
+        let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+        let by_name: BTreeMap<&str, u64> = out
+            .tier_bytes
+            .iter()
+            .map(|(n, b, _)| (n.as_str(), *b))
+            .collect();
+        assert!(
+            by_name["raw"] > by_name["reco"],
+            "{}: raw {} <= reco {}",
+            experiment.name(),
+            by_name["raw"],
+            by_name["reco"]
+        );
+        assert!(by_name["reco"] > by_name["aod"], "{}", experiment.name());
+        assert!(by_name["aod"] >= by_name["skim"], "{}", experiment.name());
+        assert!(by_name["skim"] >= by_name["ntuple"], "{}", experiment.name());
+    }
+}
+
+#[test]
+fn central_physics_invisible_to_forward_detector_and_vice_versa() {
+    // Acceptance differences are real physics: central Z events should
+    // select far better on the central detectors than the forward one.
+    let count_selected = |experiment: Experiment| -> u64 {
+        let wf = PreservedWorkflow::standard_z(experiment, 5, 80);
+        let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+        out.skim_report.events_out
+    };
+    let cms = count_selected(Experiment::Cms);
+    let lhcb = count_selected(Experiment::Lhcb);
+    assert!(
+        cms > 3 * lhcb.max(1),
+        "central Z selection: cms {cms} vs lhcb {lhcb}"
+    );
+}
+
+#[test]
+fn chain_determinism_survives_interleaving() {
+    // Determinism must not depend on event processing order: run the
+    // chain twice, the second time visiting events in reverse, and check
+    // the per-event AODs match.
+    let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 13, 30);
+    let forward = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+
+    // Manual reversed pass over the same generator/sim/reco stack.
+    use daspos_conditions::DbSource;
+    use daspos_detsim::DetectorSimulation;
+    use daspos_gen::{EventGenerator, GeneratorConfig};
+    use daspos_hep::SeedSequence;
+    use daspos_reco::processor::{RecoConfig, RecoProcessor};
+    use std::sync::Arc;
+
+    let ctx = ExecutionContext::fresh(&wf);
+    let gen = EventGenerator::new(GeneratorConfig::new(wf.process, wf.seed));
+    let det = wf.experiment.detector();
+    let sim = DetectorSimulation::new(
+        det.clone(),
+        Arc::new(DbSource::connect(Arc::clone(&ctx.conditions), &wf.conditions_tag)),
+        SeedSequence::new(wf.seed),
+    );
+    let reco = RecoProcessor::new(
+        det,
+        RecoConfig::default(),
+        Arc::new(DbSource::connect(Arc::clone(&ctx.conditions), &wf.conditions_tag)),
+    );
+    let mut reversed: Vec<_> = (0..wf.n_events)
+        .rev()
+        .map(|i| {
+            let raw = sim.simulate(&gen.event(i), i).expect("sim");
+            reco.process(&raw).expect("reco").1
+        })
+        .collect();
+    reversed.reverse();
+    assert_eq!(reversed, forward.aod_events);
+}
+
+#[test]
+fn provenance_lineage_reaches_raw_for_every_derived_dataset() {
+    let wf = PreservedWorkflow::standard_charm(3, 40);
+    let ctx = ExecutionContext::fresh(&wf);
+    let out = wf.execute(&ctx).expect("runs");
+    let lineage = ctx.provenance.lineage(out.skim_dataset).expect("lineage");
+    assert_eq!(lineage.len(), 2);
+    // The reconstruction step recorded its conditions tag — the external
+    // dependency §3.2 says must be enumerated.
+    let reco_step = lineage
+        .iter()
+        .find(|s| s.conditions_tag.is_some())
+        .expect("a step with conditions");
+    assert_eq!(reco_step.conditions_tag.as_deref(), Some("lhcb-mc-2013"));
+    // Forward query too.
+    let descendants = ctx.provenance.descendants(out.raw_dataset).expect("desc");
+    assert!(descendants.contains(&out.aod_dataset));
+    assert!(descendants.contains(&out.skim_dataset));
+}
+
+#[test]
+fn codec_round_trips_real_production_data() {
+    use daspos_reco::objects::AodEvent;
+    use daspos_tiers::codec::Encodable;
+
+    let wf = PreservedWorkflow::standard_z(Experiment::Cms, 17, 25);
+    let ctx = ExecutionContext::fresh(&wf);
+    let out = wf.execute(&ctx).expect("runs");
+    // The skim dataset's stored bytes decode back to real events.
+    let ds = ctx.catalog.get(out.skim_dataset).expect("dataset");
+    let mut decoded = Vec::new();
+    for f in &ds.files {
+        decoded.extend(AodEvent::decode_events(&f.data).expect("decodes"));
+    }
+    assert_eq!(decoded.len() as u64, out.skim_report.events_out);
+    for ev in &decoded {
+        assert!(ev.leptons().len() >= 2, "skim invariant violated");
+    }
+}

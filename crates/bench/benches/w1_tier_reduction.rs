@@ -9,7 +9,10 @@ use daspos_bench::z_production;
 use daspos_detsim::Experiment;
 use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::Encodable;
-use daspos_tiers::{skim::skim_slim, Selection, SlimSpec};
+use daspos_tiers::{
+    skim::{skim_slim, skim_slim_chunked},
+    Selection, SlimSpec,
+};
 
 fn print_report() {
     println!("\n===== W1: total tier sizes along the lifecycle (measured) =====");
@@ -60,6 +63,14 @@ fn bench(c: &mut Criterion) {
     let encoded = AodEvent::encode_events(aods);
     c.bench_function("w1_decode_aod_200_events", |b| {
         b.iter(|| AodEvent::decode_events(&encoded).expect("decodes").len())
+    });
+    // Parallel variants: same reductions sharded over a 4-worker pool;
+    // the outputs are byte-identical to the sequential calls above.
+    c.bench_function("w1_skim_slim_200_events_4t", |b| {
+        b.iter(|| skim_slim_chunked(aods, &sel, &slim, 4).1.events_out)
+    });
+    c.bench_function("w1_encode_aod_200_events_4t", |b| {
+        b.iter(|| AodEvent::encode_events_parallel(aods, 4).len())
     });
 }
 

@@ -94,6 +94,32 @@ fn bench(c: &mut Criterion) {
     c.bench_function("w3_serialize_graph_text", |b| {
         b.iter(|| daspos_provenance::text::to_text(&g).len())
     });
+    // Provenance capture under the parallel production engine: the full
+    // preserved chain, sequential vs a 4-worker pool. The recorded graph
+    // (and every tier file) is identical; only wall-clock changes.
+    use daspos::prelude::*;
+    use daspos::runner::RunnerConfig;
+    let workflow = PreservedWorkflow::standard_z(daspos_detsim::Experiment::Cms, 29, 200);
+    c.bench_function("w3_produce_200_events_seq", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::fresh(&workflow);
+            workflow
+                .execute_with(&ctx, &RunnerConfig::sequential())
+                .expect("runs")
+                .tier_bytes
+                .len()
+        })
+    });
+    c.bench_function("w3_produce_200_events_4t", |b| {
+        b.iter(|| {
+            let ctx = ExecutionContext::fresh(&workflow);
+            workflow
+                .execute_with(&ctx, &RunnerConfig::with_threads(4))
+                .expect("runs")
+                .tier_bytes
+                .len()
+        })
+    });
 }
 
 criterion_group! {

@@ -36,6 +36,7 @@
 pub mod archive;
 pub mod levels;
 pub mod migrate;
+pub mod runner;
 pub mod usecases;
 pub mod validate;
 pub mod workflow;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use crate::archive::{ArchiveSection, PreservationArchive};
     pub use crate::levels::DphepLevel;
     pub use crate::migrate::Migrator;
+    pub use crate::runner::RunnerConfig;
     pub use crate::usecases::{Actor, UseCase};
     pub use crate::validate::{self, ValidationReport};
     pub use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};

@@ -214,7 +214,7 @@ pub fn parse_results_text(
     let mut out = std::collections::BTreeMap::new();
     let mut current_key: Option<String> = None;
     let mut current_body = String::new();
-    let mut flush = |key: &mut Option<String>,
+    let flush = |key: &mut Option<String>,
                      body: &mut String,
                      out: &mut std::collections::BTreeMap<_, _>|
      -> Result<(), String> {

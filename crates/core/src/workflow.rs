@@ -23,6 +23,8 @@ use daspos_provenance::{ProvenanceGraph, SoftwareStack, SoftwareVersion};
 use daspos_reco::objects::AodEvent;
 use daspos_reco::processor::{RecoConfig, RecoProcessor};
 use daspos_rivet::{AnalysisRegistry, AnalysisResult, RunHarness};
+
+use crate::runner::RunnerConfig;
 use daspos_tiers::codec::Encodable;
 use daspos_tiers::{DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec};
 
@@ -206,9 +208,21 @@ impl PreservedWorkflow {
         })
     }
 
-    /// Execute the full chain in the given context.
+    /// Execute the full chain in the given context with the default
+    /// runner (one worker per available hardware thread). Deterministic:
+    /// the outputs are byte-identical for any thread count.
     pub fn execute(&self, ctx: &ExecutionContext) -> Result<ProductionOutput, String> {
-        let seeds = SeedSequence::new(self.seed);
+        self.execute_with(ctx, &RunnerConfig::default())
+    }
+
+    /// Build one stage stack (generator, simulation, reconstruction) from
+    /// this workflow's configuration. Every runner worker owns its own
+    /// stack; all stacks are identical pure functions of the workflow, so
+    /// sharding events across them preserves bit-reproducibility.
+    fn stage_stack(
+        &self,
+        ctx: &ExecutionContext,
+    ) -> (EventGenerator, DetectorSimulation, RecoProcessor) {
         let gen = EventGenerator::new(
             GeneratorConfig::new(self.process, self.seed)
                 .with_new_physics(self.new_physics)
@@ -221,7 +235,7 @@ impl PreservedWorkflow {
                 Arc::clone(&ctx.conditions),
                 &self.conditions_tag,
             )),
-            seeds,
+            SeedSequence::new(self.seed),
         );
         let reco = RecoProcessor::new(
             detector,
@@ -231,17 +245,40 @@ impl PreservedWorkflow {
                 &self.conditions_tag,
             )),
         );
+        (gen, sim, reco)
+    }
+
+    /// Execute the full chain with an explicit runner configuration.
+    /// `RunnerConfig::sequential()` reproduces the original
+    /// single-threaded engine exactly (no pool, no channels).
+    pub fn execute_with(
+        &self,
+        ctx: &ExecutionContext,
+        runner: &RunnerConfig,
+    ) -> Result<ProductionOutput, String> {
+        let threads = runner.threads.max(1);
+        // A reference stack for the provenance record; workers build
+        // their own identical stacks below.
+        let (_, _, reco) = self.stage_stack(ctx);
 
         // --- Generate / simulate / reconstruct --------------------------
-        let mut truth_events = Vec::with_capacity(self.n_events as usize);
-        let mut raw_events = Vec::with_capacity(self.n_events as usize);
-        let mut aod_events = Vec::with_capacity(self.n_events as usize);
+        // Sharded over the worker pool and merged in event order.
+        let records = crate::runner::run_ordered(self.n_events, runner, || {
+            let (gen, sim, reco) = self.stage_stack(ctx);
+            move |i: u64| {
+                let truth = gen.event(i);
+                let raw = sim.simulate(&truth, i).map_err(|e| e.to_string())?;
+                let (reco_ev, aod) = reco.process(&raw).map_err(|e| e.to_string())?;
+                let reco_size = reco_ev.byte_size() as u64;
+                Ok((truth, raw, aod, reco_size))
+            }
+        })?;
+        let mut truth_events = Vec::with_capacity(records.len());
+        let mut raw_events = Vec::with_capacity(records.len());
+        let mut aod_events = Vec::with_capacity(records.len());
         let mut reco_bytes = 0u64;
-        for i in 0..self.n_events {
-            let truth = gen.event(i);
-            let raw = sim.simulate(&truth, i).map_err(|e| e.to_string())?;
-            let (reco_ev, aod) = reco.process(&raw).map_err(|e| e.to_string())?;
-            reco_bytes += reco_ev.byte_size() as u64;
+        for (truth, raw, aod, reco_size) in records {
+            reco_bytes += reco_size;
             truth_events.push(truth);
             raw_events.push(raw);
             aod_events.push(aod);
@@ -254,7 +291,7 @@ impl PreservedWorkflow {
             self.process.name(),
             self.seed
         );
-        let raw_file = daspos_detsim::raw::RawEvent::encode_events(&raw_events);
+        let raw_file = daspos_detsim::raw::RawEvent::encode_events_parallel(&raw_events, threads);
         let raw_bytes = raw_file.len() as u64;
         let raw_ds = ctx
             .catalog
@@ -265,7 +302,7 @@ impl PreservedWorkflow {
                 vec![(raw_file, raw_events.len() as u64)],
             )
             .map_err(|e| e.to_string())?;
-        let aod_file = AodEvent::encode_events(&aod_events);
+        let aod_file = AodEvent::encode_events_parallel(&aod_events, threads);
         let aod_bytes = aod_file.len() as u64;
         let aod_ds = ctx
             .catalog
@@ -279,8 +316,8 @@ impl PreservedWorkflow {
 
         // --- Skim / slim -------------------------------------------------
         let (skimmed, skim_report) =
-            daspos_tiers::skim::skim_slim(&aod_events, &self.skim, &self.slim);
-        let skim_file = AodEvent::encode_events(&skimmed);
+            daspos_tiers::skim::skim_slim_chunked(&aod_events, &self.skim, &self.slim, threads);
+        let skim_file = AodEvent::encode_events_parallel(&skimmed, threads);
         let skim_bytes = skim_file.len() as u64;
         let skim_ds = ctx
             .catalog
@@ -315,7 +352,7 @@ impl PreservedWorkflow {
             .record(
                 StepBuilder::new(
                     StepKind::Reconstruction,
-                    reco.describe(),
+                    format!("{} threads={threads}", reco.describe()),
                     ctx.software.clone(),
                 )
                 .conditions(&self.conditions_tag)

@@ -1,0 +1,78 @@
+//! Property tests: the parallel production engine is bit-identical to
+//! the sequential one.
+//!
+//! The whole preservation argument rests on reproducibility, so the
+//! parallel runner must be invisible in the output: for a random small
+//! workflow, running with 1, 2 and 4 threads must yield byte-identical
+//! tier encodings and identical skim reports, ntuples and analysis
+//! results.
+
+use daspos::prelude::*;
+use daspos::runner::RunnerConfig;
+use daspos_reco::objects::AodEvent;
+use daspos_tiers::codec::Encodable;
+use proptest::prelude::*;
+
+fn arb_experiment() -> impl Strategy<Value = Experiment> {
+    prop_oneof![
+        Just(Experiment::Alice),
+        Just(Experiment::Atlas),
+        Just(Experiment::Cms),
+        Just(Experiment::Lhcb),
+    ]
+}
+
+proptest! {
+    // Each case runs the full chain three times; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_execution_is_bit_identical(
+        experiment in arb_experiment(),
+        seed in 0u64..10_000,
+        // Straddle the runner's 64-event chunk size so multi-chunk
+        // scheduling is actually exercised.
+        n_events in 65u64..140,
+        charm in prop::bool::ANY,
+    ) {
+        let workflow = if charm {
+            PreservedWorkflow::standard_charm(seed, n_events)
+        } else {
+            PreservedWorkflow::standard_z(experiment, seed, n_events)
+        };
+        // Each execution registers its datasets, so every run gets a
+        // fresh (but identically-built, deterministic) context.
+        let reference = workflow
+            .execute_with(&ExecutionContext::fresh(&workflow), &RunnerConfig::sequential())
+            .expect("sequential production runs");
+        let ref_aod_bytes = AodEvent::encode_events(&reference.aod_events);
+
+        for threads in [2usize, 4] {
+            let out = workflow
+                .execute_with(&ExecutionContext::fresh(&workflow), &RunnerConfig::with_threads(threads))
+                .expect("parallel production runs");
+            let aod_bytes = AodEvent::encode_events(&out.aod_events);
+            prop_assert_eq!(
+                aod_bytes.as_ref(),
+                ref_aod_bytes.as_ref(),
+                "AOD tier bytes differ at {} threads", threads
+            );
+            prop_assert_eq!(
+                &out.tier_bytes, &reference.tier_bytes,
+                "tier sizes differ at {} threads", threads
+            );
+            prop_assert_eq!(
+                &out.skim_report, &reference.skim_report,
+                "skim report differs at {} threads", threads
+            );
+            prop_assert_eq!(
+                &out.ntuple, &reference.ntuple,
+                "ntuple differs at {} threads", threads
+            );
+            prop_assert_eq!(
+                out.results_to_text(), reference.results_to_text(),
+                "analysis results differ at {} threads", threads
+            );
+        }
+    }
+}

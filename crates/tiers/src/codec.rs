@@ -123,6 +123,35 @@ fn get_count(b: &mut impl Buf) -> Result<u32, CodecError> {
     Ok(n)
 }
 
+/// Pre-allocation bound for a declared element count: never reserve more
+/// elements than the remaining bytes could possibly hold. A corrupt count
+/// below `MAX_COUNT` but far beyond the actual data (e.g. 10M elements
+/// declared in a 30-byte file) then allocates at most
+/// `remaining / min_wire_size` slots before the decode loop hits
+/// `UnexpectedEof` on the missing bytes.
+fn clamped_capacity(declared: u32, remaining: usize, min_wire_size: usize) -> usize {
+    (declared as usize).min(remaining / min_wire_size.max(1))
+}
+
+// Minimum wire sizes (bytes) per element, used only to bound allocation.
+mod wire {
+    pub const TRACKER_HIT: usize = 1 + 3 * 8 + 4; // layer, x/y/z, stub
+    pub const CALO_CELL: usize = 2 * 4 + 2 * 8; // ieta/iphi, em/had
+    pub const MUON_HIT: usize = 1 + 2 * 8 + 4; // station, eta/phi, stub
+    pub const TRUTH_LINK: usize = 4;
+    pub const TRACK: usize = 10 * 8 + 1 + 1; // ten f64 fields, charge, n_hits
+    pub const CLUSTER: usize = 4 * 8 + 4;
+    pub const MUON_SEGMENT: usize = 2 * 8 + 1;
+    pub const ELECTRON: usize = 4 * 8 + 1 + 2 * 8;
+    pub const MUON: usize = 4 * 8 + 1 + 1 + 8;
+    pub const PHOTON: usize = 4 * 8 + 8;
+    pub const JET: usize = 4 * 8 + 4 + 8;
+    pub const CANDIDATE: usize = 4 * 8 + 7 * 8 + 2 * 4;
+    // Every event frame carries a u32 length and a payload that starts
+    // with the 16-byte event header.
+    pub const EVENT_FRAME: usize = 4 + 16;
+}
+
 // --- Event header ----------------------------------------------------------
 
 fn put_header(buf: &mut BytesMut, h: &EventHeader) {
@@ -171,7 +200,8 @@ fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
     let header = get_header(b)?;
     let mut ev = RawEvent::new(header);
     let n = get_count(b)?;
-    ev.tracker_hits.reserve(n as usize);
+    ev.tracker_hits
+        .reserve(clamped_capacity(n, b.remaining(), wire::TRACKER_HIT));
     for _ in 0..n {
         ev.tracker_hits.push(TrackerHit {
             layer: get_u8(b)?,
@@ -182,7 +212,8 @@ fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
-    ev.calo_cells.reserve(n as usize);
+    ev.calo_cells
+        .reserve(clamped_capacity(n, b.remaining(), wire::CALO_CELL));
     for _ in 0..n {
         ev.calo_cells.push(CaloCell {
             ieta: get_i32(b)?,
@@ -192,7 +223,8 @@ fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
-    ev.muon_hits.reserve(n as usize);
+    ev.muon_hits
+        .reserve(clamped_capacity(n, b.remaining(), wire::MUON_HIT));
     for _ in 0..n {
         ev.muon_hits.push(MuonHit {
             station: get_u8(b)?,
@@ -202,7 +234,8 @@ fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
-    ev.truth_links.reserve(n as usize);
+    ev.truth_links
+        .reserve(clamped_capacity(n, b.remaining(), wire::TRUTH_LINK));
     for _ in 0..n {
         ev.truth_links.push(get_u32(b)?);
     }
@@ -268,12 +301,12 @@ fn put_reco(buf: &mut BytesMut, ev: &RecoEvent) {
 fn get_reco(b: &mut impl Buf) -> Result<RecoEvent, CodecError> {
     let header = get_header(b)?;
     let n = get_count(b)?;
-    let mut tracks = Vec::with_capacity(n as usize);
+    let mut tracks = Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::TRACK));
     for _ in 0..n {
         tracks.push(get_track(b)?);
     }
     let n = get_count(b)?;
-    let mut clusters = Vec::with_capacity(n as usize);
+    let mut clusters = Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::CLUSTER));
     for _ in 0..n {
         clusters.push(CaloCluster {
             energy: get_f64(b)?,
@@ -284,7 +317,8 @@ fn get_reco(b: &mut impl Buf) -> Result<RecoEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
-    let mut muon_segments = Vec::with_capacity(n as usize);
+    let mut muon_segments =
+        Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::MUON_SEGMENT));
     for _ in 0..n {
         muon_segments.push(MuonSegment {
             eta: get_f64(b)?,
@@ -367,6 +401,8 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
     let header = get_header(b)?;
     let mut ev = AodEvent::new(header);
     let n = get_count(b)?;
+    ev.electrons
+        .reserve(clamped_capacity(n, b.remaining(), wire::ELECTRON));
     for _ in 0..n {
         ev.electrons.push(Electron {
             momentum: get_fourvec(b)?,
@@ -376,6 +412,8 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
+    ev.muons
+        .reserve(clamped_capacity(n, b.remaining(), wire::MUON));
     for _ in 0..n {
         ev.muons.push(Muon {
             momentum: get_fourvec(b)?,
@@ -385,6 +423,8 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
+    ev.photons
+        .reserve(clamped_capacity(n, b.remaining(), wire::PHOTON));
     for _ in 0..n {
         ev.photons.push(Photon {
             momentum: get_fourvec(b)?,
@@ -392,6 +432,8 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
+    ev.jets
+        .reserve(clamped_capacity(n, b.remaining(), wire::JET));
     for _ in 0..n {
         ev.jets.push(Jet {
             momentum: get_fourvec(b)?,
@@ -404,6 +446,8 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
         mey: get_f64(b)?,
     };
     let n = get_count(b)?;
+    ev.candidates
+        .reserve(clamped_capacity(n, b.remaining(), wire::CANDIDATE));
     for _ in 0..n {
         ev.candidates.push(TwoProngCandidate {
             vertex: get_fourvec(b)?,
@@ -440,6 +484,35 @@ where
     encode_file_versioned(tier, events, T::put, version)
 }
 
+/// Write the file header (magic, version, tier, event count).
+///
+/// Panics if `n_events` does not fit the u32 count field: silently
+/// truncating the count would archive a file claiming fewer events than
+/// it holds — a preservation corruption worse than an aborted write.
+fn put_file_header(buf: &mut BytesMut, tier: DataTier, version: u16, n_events: usize) {
+    let n = u32::try_from(n_events)
+        .unwrap_or_else(|_| panic!("event count {n_events} exceeds the u32 DPEF count field"));
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(version);
+    buf.put_u8(tier.code());
+    buf.put_u32_le(n);
+}
+
+/// Frame one event: length prefix + payload. Panics (rather than writing
+/// a silently truncated length) if a payload exceeds the u32 frame field.
+fn put_frame<T>(buf: &mut BytesMut, ev: &T, put: &impl Fn(&mut BytesMut, &T)) {
+    let mut payload = BytesMut::new();
+    put(&mut payload, ev);
+    let len = u32::try_from(payload.len()).unwrap_or_else(|_| {
+        panic!(
+            "event payload of {} bytes exceeds the u32 DPEF frame field",
+            payload.len()
+        )
+    });
+    buf.put_u32_le(len);
+    buf.put_slice(&payload);
+}
+
 fn encode_file_versioned<T>(
     tier: DataTier,
     events: &[T],
@@ -447,15 +520,44 @@ fn encode_file_versioned<T>(
     version: u16,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + events.len() * 256);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(version);
-    buf.put_u8(tier.code());
-    buf.put_u32_le(events.len() as u32);
+    put_file_header(&mut buf, tier, version, events.len());
     for ev in events {
-        let mut payload = BytesMut::new();
-        put(&mut payload, ev);
-        buf.put_u32_le(payload.len() as u32);
-        buf.put_slice(&payload);
+        put_frame(&mut buf, ev, &put);
+    }
+    buf.freeze()
+}
+
+/// Parallel encode: per-event payloads are produced on up to `threads`
+/// worker threads over contiguous event chunks, then the DPEF frame is
+/// assembled sequentially (header, then each chunk's frames in event
+/// order) — the output is byte-identical to the sequential encoder.
+fn encode_file_parallel<T>(
+    tier: DataTier,
+    events: &[T],
+    put: fn(&mut BytesMut, &T),
+    version: u16,
+    threads: usize,
+) -> Bytes
+where
+    T: Sync,
+{
+    // Below this size thread spawn overhead dominates; stay sequential.
+    const MIN_PARALLEL_EVENTS: usize = 64;
+    if threads <= 1 || events.len() < MIN_PARALLEL_EVENTS {
+        return encode_file_versioned(tier, events, put, version);
+    }
+    let chunks = crate::par::map_chunks(events, threads, |part| {
+        let mut buf = BytesMut::with_capacity(part.len() * 256);
+        for ev in part {
+            put_frame(&mut buf, ev, &put);
+        }
+        buf
+    });
+    let body: usize = chunks.iter().map(|c| c.len()).sum();
+    let mut buf = BytesMut::with_capacity(16 + body);
+    put_file_header(&mut buf, tier, version, events.len());
+    for chunk in chunks {
+        buf.put_slice(&chunk);
     }
     buf.freeze()
 }
@@ -487,9 +589,20 @@ fn decode_file<T>(
         });
     }
     let n_events = get_count(&mut b)?;
-    let mut out = Vec::with_capacity(n_events as usize);
+    let mut out = Vec::with_capacity(clamped_capacity(
+        n_events,
+        b.remaining(),
+        wire::EVENT_FRAME,
+    ));
     for _ in 0..n_events {
         let len = get_count(&mut b)? as usize;
+        if len == 0 {
+            // Every tier's payload starts with the 16-byte event header,
+            // so a zero-length frame is structurally impossible.
+            return Err(CodecError::Corrupt(
+                "zero-length event frame".to_string(),
+            ));
+        }
         need(&b, len)?;
         let mut payload = b.split_to(len);
         let ev = get(&mut payload)?;
@@ -516,6 +629,16 @@ pub trait Encodable: Sized {
     /// Encode a file of events at the current format version.
     fn encode_events(events: &[Self]) -> Bytes {
         encode_file(Self::TIER, events, Self::put)
+    }
+
+    /// Encode a file of events with payloads produced on up to `threads`
+    /// worker threads. Byte-identical to [`Encodable::encode_events`];
+    /// `threads <= 1` (or a small file) takes the sequential path.
+    fn encode_events_parallel(events: &[Self], threads: usize) -> Bytes
+    where
+        Self: Sync,
+    {
+        encode_file_parallel(Self::TIER, events, Self::put, FORMAT_VERSION, threads)
     }
 
     /// Decode a file of events.
@@ -749,6 +872,88 @@ mod tests {
             AodEvent::decode_events(&buf.freeze()).unwrap_err(),
             CodecError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(DataTier::Aod.code());
+        buf.put_u32_le(1);
+        buf.put_u32_le(0); // impossible: payloads always carry a header
+        match AodEvent::decode_events(&buf.freeze()).unwrap_err() {
+            CodecError::Corrupt(msg) => assert!(msg.contains("zero-length"), "{msg}"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn huge_declared_count_in_tiny_file_errors_without_huge_allocation() {
+        // A 30-byte file declaring 10M events: the decoder must fail on
+        // the missing data, not reserve 10M slots up front. The same
+        // clamp applies inside event payloads.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(DataTier::Raw.code());
+        buf.put_u32_le(MAX_COUNT); // declared events: 10M
+        while buf.len() < 30 {
+            buf.put_u8(0);
+        }
+        let data = buf.freeze();
+        assert_eq!(data.len(), 30);
+        // Capacity is bounded by the 19 bytes that remain after the
+        // header — at most zero whole frames, never 10M.
+        assert_eq!(clamped_capacity(MAX_COUNT, 19, wire::EVENT_FRAME), 0);
+        assert!(RawEvent::decode_events(&data).is_err());
+
+        // Same attack one level down: a valid file header, one frame
+        // whose payload declares 10M tracker hits but carries none.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u8(DataTier::Raw.code());
+        buf.put_u32_le(1);
+        let mut payload = BytesMut::new();
+        put_header(&mut payload, &EventHeader::new(1, 1, 1));
+        payload.put_u32_le(MAX_COUNT); // declared tracker hits: 10M
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        assert_eq!(
+            RawEvent::decode_events(&buf.freeze()).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn clamped_capacity_bounds() {
+        assert_eq!(clamped_capacity(10_000_000, 30, wire::TRACKER_HIT), 1);
+        assert_eq!(clamped_capacity(10_000_000, 0, wire::TRUTH_LINK), 0);
+        assert_eq!(clamped_capacity(3, 1 << 20, wire::CALO_CELL), 3);
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        let events: Vec<AodEvent> = (0..300)
+            .map(|i| {
+                let mut ev = sample_aod();
+                ev.header = EventHeader::new(1, 1, i);
+                ev.n_tracks = i as u32;
+                ev
+            })
+            .collect();
+        let sequential = AodEvent::encode_events(&events);
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = AodEvent::encode_events_parallel(&events, threads);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Small inputs (sequential fallback) agree too.
+        let few = &events[..5];
+        assert_eq!(
+            AodEvent::encode_events_parallel(few, 4),
+            AodEvent::encode_events(few)
+        );
     }
 
     #[test]

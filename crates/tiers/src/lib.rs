@@ -24,6 +24,7 @@
 pub mod codec;
 pub mod dataset;
 pub mod ntuple;
+pub mod par;
 pub mod skim;
 pub mod tier;
 

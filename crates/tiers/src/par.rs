@@ -1,0 +1,64 @@
+//! Chunked fan-out over slices with scoped threads.
+//!
+//! The tier operations (per-event payload encoding, skim/slim) are
+//! embarrassingly parallel: each event's contribution is a pure function
+//! of that event. This helper splits a slice into contiguous chunks, maps
+//! each chunk on its own thread, and returns the per-chunk results **in
+//! slice order**, so any associative merge (byte concatenation, count
+//! sums) reproduces the sequential result exactly.
+
+/// Map `f` over contiguous chunks of `items` using up to `threads`
+/// worker threads, returning one result per chunk in slice order.
+///
+/// With `threads <= 1` (or a slice too small to split) this degrades to
+/// a plain sequential call on the whole slice — no threads are spawned.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return vec![f(items)];
+    }
+    // Contiguous chunks, one per worker: ceil division so every item is
+    // covered and the final chunk may be short.
+    let chunk = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(chunks.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, part) in out.iter_mut().zip(&chunks) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(part));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::map_chunks;
+
+    #[test]
+    fn preserves_order_and_coverage() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 4, 7] {
+            let parts = map_chunks(&items, threads, |c| c.to_vec());
+            let flat: Vec<u64> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty: [u8; 0] = [];
+        assert_eq!(map_chunks(&empty, 4, |c| c.len()), vec![0]);
+        assert_eq!(map_chunks(&[1], 8, |c| c.len()), vec![1]);
+    }
+}

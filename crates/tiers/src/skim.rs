@@ -468,6 +468,42 @@ pub fn skim_slim(
     (out, report)
 }
 
+/// Chunked variant of [`skim_slim`]: contiguous event chunks are skimmed
+/// on up to `threads` worker threads and merged in event order. Selection
+/// and slimming are per-event pure functions and the report fields are
+/// plain sums, so the surviving events and the report are identical to
+/// the sequential pass.
+pub fn skim_slim_chunked(
+    events: &[AodEvent],
+    selection: &Selection,
+    slim: &SlimSpec,
+    threads: usize,
+) -> (Vec<AodEvent>, SkimReport) {
+    // Below this size thread spawn overhead dominates; stay sequential.
+    const MIN_PARALLEL_EVENTS: usize = 64;
+    if threads <= 1 || events.len() < MIN_PARALLEL_EVENTS {
+        return skim_slim(events, selection, slim);
+    }
+    let parts = crate::par::map_chunks(events, threads, |chunk| {
+        skim_slim(chunk, selection, slim)
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(|(v, _)| v.len()).sum());
+    let mut report = SkimReport {
+        events_in: 0,
+        events_out: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+    };
+    for (events_part, part_report) in parts {
+        out.extend(events_part);
+        report.events_in += part_report.events_in;
+        report.events_out += part_report.events_out;
+        report.bytes_in += part_report.bytes_in;
+        report.bytes_out += part_report.bytes_out;
+    }
+    (out, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +680,26 @@ mod tests {
         let (twice, report) = skim_slim(&once, &sel, &slim);
         assert_eq!(once, twice);
         assert_eq!(report.event_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn chunked_skim_matches_sequential() {
+        let events: Vec<AodEvent> = (0..250)
+            .map(|i| event_with(i % 4, (i % 7) as f64 * 12.0, i % 3))
+            .collect();
+        let sel = Selection::NLeptons { n: 1, pt: 5.0 }.or(Selection::MetAbove(30.0));
+        let slim = SlimSpec::leptons_only();
+        let (seq_out, seq_report) = skim_slim(&events, &sel, &slim);
+        for threads in [1, 2, 4, 8] {
+            let (out, report) = skim_slim_chunked(&events, &sel, &slim, threads);
+            assert_eq!(out, seq_out, "threads={threads}");
+            assert_eq!(report, seq_report, "threads={threads}");
+        }
+        // Small inputs take the sequential fallback and still agree.
+        let (out, report) = skim_slim_chunked(&events[..10], &sel, &slim, 4);
+        let (small_seq, small_report) = skim_slim(&events[..10], &sel, &slim);
+        assert_eq!(out, small_seq);
+        assert_eq!(report, small_report);
     }
 
     #[test]

@@ -50,8 +50,10 @@ fn print_usage() {
 
 USAGE:
   daspos produce  --experiment <alice|atlas|cms|lhcb> [--process <name>]
-                  [--events N] [--seed N] --out <file.dpar>
+                  [--events N] [--seed N] [--threads N] --out <file.dpar>
         run the full chain and package a preservation archive
+        (--threads 1 forces the sequential engine; default is one worker
+         per hardware thread — the output is identical either way)
   daspos inspect  <file.dpar>
         list sections, the workflow, and the use cases the archive serves
   daspos validate <file.dpar> [--platform <name>]
@@ -99,6 +101,10 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --events")?;
     let process_name = flag(args, "--process").unwrap_or_else(|| "z-boson".to_string());
+    let runner = match flag(args, "--threads") {
+        Some(t) => RunnerConfig::with_threads(t.parse().map_err(|_| "bad --threads")?),
+        None => RunnerConfig::default(),
+    };
 
     let mut workflow = match process_name.as_str() {
         "charm" => PreservedWorkflow::standard_charm(seed, n_events),
@@ -116,13 +122,14 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
     workflow.experiment = experiment;
 
     eprintln!(
-        "producing {} {} events on {} (seed {seed})…",
+        "producing {} {} events on {} (seed {seed}, {} threads)…",
         n_events,
         workflow.process.name(),
-        experiment.name()
+        experiment.name(),
+        runner.threads
     );
     let ctx = ExecutionContext::fresh(&workflow);
-    let production = workflow.execute(&ctx)?;
+    let production = workflow.execute_with(&ctx, &runner)?;
     for (tier, bytes, events) in &production.tier_bytes {
         eprintln!("  {tier:>8}: {events:>7} events {bytes:>12} bytes");
     }

@@ -1,0 +1,552 @@
+//! Offline drop-in replacement for the subset of the [`bytes`] crate API
+//! this workspace uses.
+//!
+//! The container this repo builds in cannot reach a cargo registry, so
+//! external crates are vendored as minimal, behaviour-compatible
+//! re-implementations. This crate provides [`Bytes`], [`BytesMut`] and the
+//! [`Buf`]/[`BufMut`] traits with the little-endian accessors the DPEF and
+//! archive codecs rely on.
+//!
+//! `Bytes` is a cheaply cloneable, sliceable view over shared immutable
+//! storage (an `Arc<[u8]>` plus a window), exactly the property the codec
+//! depends on for zero-copy `split_to`/`slice`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Read access to a contiguous buffer with a consuming cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice: {} bytes requested, {} remaining",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Consume a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer: shared storage plus a window.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// A buffer over a static slice (copies; the real crate borrows, but
+    /// behaviour is identical for readers).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A sub-view sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range reversed: {begin}..{end}");
+        assert!(end <= len, "slice end {end} out of range (len {len})");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to {at} out of range (len {})", self.len());
+        let front = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        front
+    }
+
+    /// Split off and return everything from `at` on; `self` keeps the front.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off {at} out of range (len {})", self.len());
+        let back = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        back
+    }
+
+    /// Copy the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Shorten the view to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance {cnt} past end (len {})", self.len());
+        self.start += cnt;
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len() > 64 {
+            write!(f, "… ({} bytes)", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Growable mutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shorten to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Append from a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_accessors() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_i8(-3);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_i32_le(-12345);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f64_le(-1.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_i8(), -3);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_i32_le(), -12345);
+        assert_eq!(b.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.get_f64_le(), -1.5);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slicing_shares_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        let mut m = s.clone();
+        let front = m.split_to(2);
+        assert_eq!(front.as_slice(), &[2, 3]);
+        assert_eq!(m.as_slice(), &[4]);
+        assert_eq!(s.as_slice(), &[2, 3, 4]); // clone untouched
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        b.advance(3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Offline drop-in replacement for the subset of `proptest` this
+//! workspace uses.
+//!
+//! Implements the [`Strategy`] trait as a deterministic sampler (no
+//! shrinking — a failing case panics with the case number so it can be
+//! replayed; the generator is seeded from the test's file and name, making
+//! every run reproducible), the strategy combinators the repo's property
+//! tests use (ranges, tuples, collections, `prop_map`, `prop_recursive`,
+//! unions, `Just`, regex-subset string strategies) and the macros
+//! (`proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert*!`).
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Sub-strategy namespaces (`prop::collection::vec`, `prop::bool::ANY`, …).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, btree_set, vec};
+    }
+    pub mod bool {
+        pub use crate::strategy::BOOL_ANY as ANY;
+    }
+    pub use crate::strategy::num;
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive `T`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, broad range.
+            let unit = rng.unit_f64();
+            let mag = (unit * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_with(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.below(0xD800 as u64) as u32).unwrap_or('a')
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary + Clone + 'static> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+// --- Macros ----------------------------------------------------------------
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(binding in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(#[$meta:meta] fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(file!(), stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_rejection() => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest case {}/{} failed: {}", case + 1, cfg.cases, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Compose a named strategy function from sub-strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($outer:tt)*)
+        ($($arg:ident in $strat:expr),* $(,)?)
+        -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// A union of strategies with a common value type, chosen uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a property test; failure reports the case instead of
+/// unwinding through arbitrary frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&($left), &($right));
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

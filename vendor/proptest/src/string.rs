@@ -1,0 +1,264 @@
+//! Regex-subset string strategies.
+//!
+//! `&'static str` patterns used as strategies (`"[a-z]{1,8}"` etc.) are
+//! parsed into a tiny AST and sampled. Supported syntax: literal
+//! characters, `\n`/`\t`/`\\` escapes, character classes with ranges and
+//! literals (`[a-zA-Z0-9_.-]`, `[ -~\n]`), `{n}` / `{m,n}` quantifiers,
+//! `?`, and `( … )?` groups. This covers every pattern the workspace's
+//! property tests use; unsupported syntax panics with the pattern text.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A single literal character.
+    Literal(char),
+    /// A set of admissible characters.
+    Class(Vec<char>),
+    /// A sequence of nodes (group body).
+    Group(Vec<Node>),
+    /// `inner` repeated between `min` and `max` times (inclusive).
+    Repeat {
+        inner: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> char {
+    match chars.next() {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some(c @ ('\\' | '.' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '?' | '/' | '+' | '*')) => c,
+        other => panic!("unsupported escape {other:?} in string strategy pattern {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        match chars.next() {
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+            Some(']') => break,
+            Some('-') => {
+                // Range if squeezed between two literals and not trailing.
+                match (prev, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        let hi = if hi == '\\' {
+                            parse_escape(chars, pattern)
+                        } else {
+                            hi
+                        };
+                        assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                        for c in (lo as u32 + 1)..=(hi as u32) {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        // Leading or trailing '-': a literal hyphen.
+                        set.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            Some('\\') => {
+                let c = parse_escape(chars, pattern);
+                set.push(c);
+                prev = Some(c);
+            }
+            Some(c) => {
+                set.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+fn parse_quantifier(
+    node: Node,
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+) -> Node {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated quantifier in pattern {pattern:?}"),
+                }
+            }
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let n: u32 = spec.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    });
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier {{{spec}}} in pattern {pattern:?}");
+            Node::Repeat {
+                inner: Box::new(node),
+                min,
+                max,
+            }
+        }
+        Some('?') => {
+            chars.next();
+            Node::Repeat {
+                inner: Box::new(node),
+                min: 0,
+                max: 1,
+            }
+        }
+        _ => node,
+    }
+}
+
+fn parse_sequence(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    pattern: &str,
+    in_group: bool,
+) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    loop {
+        let node = match chars.next() {
+            None => {
+                assert!(!in_group, "unterminated group in pattern {pattern:?}");
+                break;
+            }
+            Some(')') => {
+                assert!(in_group, "unmatched ')' in pattern {pattern:?}");
+                break;
+            }
+            Some('[') => Node::Class(parse_class(chars, pattern)),
+            Some('(') => Node::Group(parse_sequence(chars, pattern, true)),
+            Some('\\') => Node::Literal(parse_escape(chars, pattern)),
+            Some(c @ ('*' | '+' | '|' | '^' | '$')) => {
+                panic!("unsupported regex operator {c:?} in string strategy pattern {pattern:?}")
+            }
+            Some(c) => Node::Literal(c),
+        };
+        nodes.push(parse_quantifier(node, chars, pattern));
+    }
+    nodes
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => {
+            let idx = rng.below(set.len() as u64) as usize;
+            out.push(set[idx]);
+        }
+        Node::Group(seq) => {
+            for n in seq {
+                sample_node(n, rng, out);
+            }
+        }
+        Node::Repeat { inner, min, max } => {
+            let n = if max > min {
+                min + rng.below(u64::from(max - min) + 1) as u32
+            } else {
+                *min
+            };
+            for _ in 0..n {
+                sample_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Sample one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let nodes = parse_sequence(&mut chars, pattern, false);
+    let mut out = String::new();
+    for node in &nodes {
+        sample_node(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::seed_from_u64(0xDA59);
+        (0..n).map(|_| sample_pattern(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_trailing_hyphen() {
+        for s in samples("[a-zA-Z0-9_.-]{1,24}", 500) {
+            assert!((1..=24).contains(&s.len()), "len {}", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let got = samples("[a-z]{1,8}(/[a-z]{1,8})?", 500);
+        let mut with = false;
+        let mut without = false;
+        for s in &got {
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!(parts.len() <= 2, "{s:?}");
+            for p in &parts {
+                assert!((1..=8).contains(&p.len()));
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            if parts.len() == 2 {
+                with = true;
+            } else {
+                without = true;
+            }
+        }
+        assert!(with && without, "both branches should appear");
+    }
+
+    #[test]
+    fn printable_ascii_with_escape() {
+        for s in samples("[ -~\\n]{0,256}", 300) {
+            assert!(s.len() <= 256);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        // Raw string form used inside raw literals in tests.
+        for s in samples("[ -~]{0,24}", 300) {
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn concatenated_fixed_prefix() {
+        for s in samples("[a-z][a-z0-9]{0,12}", 300) {
+            assert!(!s.is_empty() && s.len() <= 13);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+}

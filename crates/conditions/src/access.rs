@@ -144,51 +144,83 @@ impl Snapshot {
         self.entries.iter().map(|(_, _, p)| p.byte_size()).sum()
     }
 
-    /// Serialize to the shippable text format.
+    /// Serialize to the shippable text format. The second line carries an
+    /// FNV-1a 64 digest of everything after it, so corruption of the
+    /// shipped file is detected instead of parsing into wrong constants.
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        out.push_str(text::HEADER);
-        out.push('\n');
-        out.push_str("tag ");
-        out.push_str(&self.tag);
-        out.push('\n');
+        let mut body = String::new();
+        body.push_str("tag ");
+        body.push_str(&self.tag);
+        body.push('\n');
         for (k, r, p) in &self.entries {
-            out.push_str(&text::format_entry(k, *r, p));
-            out.push('\n');
+            body.push_str(&text::format_entry(k, *r, p));
+            body.push('\n');
         }
-        out
+        format!(
+            "{}\n{}{:016x}\n{body}",
+            text::HEADER,
+            text::DIGEST_PREFIX,
+            text::fnv64(body.as_bytes())
+        )
     }
 
-    /// Parse a snapshot back from its text form.
+    /// Parse a snapshot back from its text form. A `digest` line, when
+    /// present, is verified against the remainder of the text;
+    /// digest-less snapshots (pre-digest archives) are still accepted.
     pub fn from_text(s: &str) -> Result<Snapshot, ConditionsError> {
-        let mut lines = s.lines().enumerate();
-        let (_, header) = lines.next().ok_or(ConditionsError::ParseError {
-            line: 1,
-            reason: "empty snapshot".to_string(),
-        })?;
+        let parse_err = |line: usize, reason: &str| ConditionsError::ParseError {
+            line,
+            reason: reason.to_string(),
+        };
+        // Split off one line; returns (line, rest-after-newline).
+        fn take_line(s: &str) -> (&str, &str) {
+            match s.split_once('\n') {
+                Some((line, rest)) => (line, rest),
+                None => (s, ""),
+            }
+        }
+        if s.is_empty() {
+            return Err(parse_err(1, "empty snapshot"));
+        }
+        let (header, mut rest) = take_line(s);
         if header != text::HEADER {
             return Err(ConditionsError::ParseError {
                 line: 1,
                 reason: format!("bad header '{header}'"),
             });
         }
-        let (_, tag_line) = lines.next().ok_or(ConditionsError::ParseError {
-            line: 2,
-            reason: "missing tag line".to_string(),
-        })?;
+        let mut line_no = 1;
+        if rest.starts_with(text::DIGEST_PREFIX) {
+            let (digest_line, body) = take_line(rest);
+            line_no = 2;
+            let hex = digest_line[text::DIGEST_PREFIX.len()..].trim();
+            let stored = u64::from_str_radix(hex, 16)
+                .map_err(|_| parse_err(2, "bad digest value"))?;
+            let actual = text::fnv64(body.as_bytes());
+            if stored != actual {
+                return Err(ConditionsError::ParseError {
+                    line: 2,
+                    reason: format!(
+                        "snapshot digest mismatch: file says {stored:016x}, \
+                         text hashes to {actual:016x}"
+                    ),
+                });
+            }
+            rest = body;
+        }
+        let (tag_line, rest) = take_line(rest);
+        line_no += 1;
         let tag = tag_line
             .strip_prefix("tag ")
-            .ok_or(ConditionsError::ParseError {
-                line: 2,
-                reason: "missing 'tag ' prefix".to_string(),
-            })?
+            .ok_or_else(|| parse_err(line_no, "missing 'tag ' prefix"))?
             .to_string();
         let mut entries = Vec::new();
-        for (i, line) in lines {
+        for line in rest.lines() {
+            line_no += 1;
             if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
-            entries.push(text::parse_entry(line, i + 1)?);
+            entries.push(text::parse_entry(line, line_no)?);
         }
         Ok(Snapshot { tag, entries })
     }
@@ -383,6 +415,42 @@ mod tests {
         let mut text = Snapshot::capture(&store, "t").unwrap().to_text();
         text.push_str("scalar broken 5..1 2.0\n");
         assert!(Snapshot::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn snapshot_text_carries_verified_digest() {
+        let store = populated_store();
+        let snap = Snapshot::capture(&store, "t").unwrap();
+        let textform = snap.to_text();
+        assert!(textform.lines().nth(1).unwrap().starts_with(text::DIGEST_PREFIX));
+        // A flipped digit in a constant parses fine line-by-line but must
+        // fail the digest — this is the silent-corruption case the digest
+        // line exists for.
+        let tampered = textform.replace("1.02", "1.03");
+        assert_ne!(tampered, textform);
+        match Snapshot::from_text(&tampered).unwrap_err() {
+            ConditionsError::ParseError { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("digest mismatch"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A garbled digest value is also rejected.
+        assert!(Snapshot::from_text(&textform.replacen("digest ", "digest zz", 1)).is_err());
+    }
+
+    #[test]
+    fn digestless_snapshot_text_still_parses() {
+        // Pre-digest archives shipped header + tag + entries only.
+        let store = populated_store();
+        let snap = Snapshot::capture(&store, "t").unwrap();
+        let with_digest = snap.to_text();
+        let digest_line = format!(
+            "{}\n",
+            with_digest.lines().nth(1).expect("digest line")
+        );
+        let legacy = with_digest.replacen(&digest_line, "", 1);
+        assert_eq!(Snapshot::from_text(&legacy).unwrap(), snap);
     }
 
     #[test]

@@ -7,11 +7,18 @@
 //!
 //! ```text
 //! # daspos-conditions snapshot v1
+//! digest 9c3f2a7b11e40d58
 //! tag data-2013
 //! scalar ecal/gain 1..100 1.02
 //! vector tracker/alignment 1.. 0.1,0.2,0.3
 //! text magnet/fieldmap 5..9 solenoid-3.8T
 //! ```
+//!
+//! The optional `digest` line (second line, FNV-1a 64 of everything after
+//! it) makes bit rot in a shipped file detectable: a flipped digit in a
+//! constant would otherwise parse cleanly into silently wrong physics.
+//! Writers always emit it; readers verify it when present and accept
+//! digest-less snapshots from older archives.
 
 use crate::error::ConditionsError;
 use crate::iov::{IovKey, RunRange};
@@ -19,6 +26,20 @@ use crate::store::Payload;
 
 /// Magic first line of every snapshot file.
 pub const HEADER: &str = "# daspos-conditions snapshot v1";
+
+/// Prefix of the optional integrity-digest line (line 2 of the file).
+pub const DIGEST_PREFIX: &str = "digest ";
+
+/// FNV-1a 64 — the digest the `digest` line carries, computed over the
+/// raw text that follows that line.
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Render one entry line.
 pub fn format_entry(key: &IovKey, range: RunRange, payload: &Payload) -> String {

@@ -1,6 +1,6 @@
 //! Property tests: IoV store semantics and snapshot round-trips.
 
-use daspos_conditions::{ConditionsStore, IovKey, Payload, RunRange, Snapshot};
+use daspos_conditions::{text, ConditionsStore, IovKey, Payload, RunRange, Snapshot};
 use proptest::prelude::*;
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
@@ -8,6 +8,16 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
         (-1.0e6..1.0e6f64).prop_map(Payload::Scalar),
         prop::collection::vec(-1.0e3..1.0e3f64, 0..20).prop_map(Payload::Vector),
         "[a-zA-Z0-9_.-]{1,24}".prop_map(Payload::Text),
+    ]
+}
+
+/// One arbitrary range: closed windows and open-ended (`first..`) tails.
+fn arb_range() -> impl Strategy<Value = RunRange> {
+    prop_oneof![
+        (1u32..10_000, 0u32..500).prop_map(|(first, width)| {
+            RunRange::new(first, first + width).expect("valid")
+        }),
+        (1u32..10_000).prop_map(RunRange::from),
     ]
 }
 
@@ -95,6 +105,51 @@ proptest! {
                 let a = store.resolve("t", &IovKey::new(key.clone()), r.first).unwrap();
                 let b = fresh.resolve("t2", &IovKey::new(key.clone()), r.first).unwrap();
                 prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_line_round_trips_through_text(
+        key in "[a-z]{1,8}(/[a-z]{1,8})?",
+        range in arb_range(),
+        payload in arb_payload()
+    ) {
+        let iov = IovKey::new(key);
+        let line = text::format_entry(&iov, range, &payload);
+        let (k2, r2, p2) = text::parse_entry(&line, 3).expect("parses");
+        prop_assert_eq!(k2, iov);
+        prop_assert_eq!(r2, range);
+        prop_assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn snapshot_single_byte_flip_is_detected_or_harmless(
+        ranges in arb_ranges(4),
+        payloads in prop::collection::vec(arb_payload(), 4),
+        keys in prop::collection::btree_set("[a-z]{1,6}", 1..4),
+        pos_frac in 0.0..1.0f64,
+        bit in 0u8..8
+    ) {
+        let store = ConditionsStore::new();
+        store.create_tag("t").unwrap();
+        for key in &keys {
+            for (r, p) in ranges.iter().zip(payloads.iter().cycle()) {
+                store
+                    .insert("t", IovKey::new(key.clone()), *r, p.clone())
+                    .expect("insert");
+            }
+        }
+        let snap = Snapshot::capture(&store, "t").expect("capture");
+        let mut bytes = snap.to_text().into_bytes();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        // The faultlab invariant at the text level: a flipped snapshot is
+        // either rejected (bad UTF-8, bad header, digest mismatch, parse
+        // error) or parses back to exactly the original content.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            if let Ok(parsed) = Snapshot::from_text(text) {
+                prop_assert_eq!(parsed, snap);
             }
         }
     }

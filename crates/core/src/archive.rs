@@ -19,8 +19,12 @@ use daspos_provenance::{text as prov_text, SoftwareStack};
 
 use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};
 
-/// Container format version.
-pub const ARCHIVE_VERSION: u16 = 1;
+/// Container format version. v2 added the manifest digest: an FNV-1a 64
+/// over the archive name plus every section's name, checksum and length,
+/// stored right after the version field. Per-section checksums cover the
+/// payload bytes; the manifest digest covers everything else, so no byte
+/// of the container can change undetected.
+pub const ARCHIVE_VERSION: u16 = 2;
 
 const MAGIC: &[u8; 4] = b"DPAR";
 
@@ -55,13 +59,27 @@ pub struct ArchiveSection {
     pub checksum: u64,
 }
 
-fn fnv64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+use daspos_tiers::codec::fnv64;
+
+/// Digest over the container's manifest: the archive name and every
+/// section's name, checksum and data length, in serialization order.
+/// Section *data* is deliberately excluded — the per-section checksums
+/// cover it (and remain individually checkable after deserialization) —
+/// but those checksums are themselves covered here, so a tampered
+/// checksum field, section name, count or archive name is caught at
+/// [`PreservationArchive::from_bytes`] time.
+fn manifest_digest(name: &str, sections: &BTreeMap<String, ArchiveSection>) -> u64 {
+    let mut m = BytesMut::new();
+    m.put_u32_le(name.len() as u32);
+    m.put_slice(name.as_bytes());
+    m.put_u32_le(sections.len() as u32);
+    for s in sections.values() {
+        m.put_u32_le(s.name.len() as u32);
+        m.put_slice(s.name.as_bytes());
+        m.put_u64_le(s.checksum);
+        m.put_u32_le(s.data.len() as u32);
     }
-    h
+    fnv64(&m)
 }
 
 impl ArchiveSection {
@@ -214,6 +232,7 @@ impl PreservationArchive {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u16_le(self.version);
+        buf.put_u64_le(manifest_digest(&self.name, &self.sections));
         let name = self.name.as_bytes();
         buf.put_u32_le(name.len() as u32);
         buf.put_slice(name);
@@ -251,6 +270,8 @@ impl PreservationArchive {
         if version != ARCHIVE_VERSION {
             return Err(ArchiveError::UnsupportedVersion(version));
         }
+        need(&b, 8)?;
+        let stored_manifest = b.get_u64_le();
         need(&b, 4)?;
         let name_len = b.get_u32_le() as usize;
         need(&b, name_len)?;
@@ -288,6 +309,15 @@ impl PreservationArchive {
         }
         if b.has_remaining() {
             return Err(ArchiveError::Malformed("trailing bytes".to_string()));
+        }
+        // A duplicate section name in the stream collapses in the map and
+        // changes the recomputed count, so it fails this check too.
+        let actual_manifest = manifest_digest(&name, &sections);
+        if actual_manifest != stored_manifest {
+            return Err(ArchiveError::Malformed(format!(
+                "manifest digest mismatch: container says {stored_manifest:016x}, \
+                 contents hash to {actual_manifest:016x}"
+            )));
         }
         Ok(PreservationArchive {
             name,
@@ -346,6 +376,49 @@ mod tests {
         assert!(matches!(
             tampered.verify_integrity(),
             Err(ArchiveError::CorruptSection(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_digest_catches_name_and_checksum_tampering() {
+        let a = sample_archive();
+        let bytes = a.to_bytes().to_vec();
+        // The archive name sits after magic + version + manifest digest +
+        // name length: flip its first byte.
+        let name_off = 4 + 2 + 8 + 4;
+        assert_eq!(&bytes[name_off..name_off + 6], b"sample");
+        let mut tampered = bytes.clone();
+        tampered[name_off] = b'Z';
+        assert!(matches!(
+            PreservationArchive::from_bytes(&Bytes::from(tampered)),
+            Err(ArchiveError::Malformed(_))
+        ));
+        // The first section's name ("adl"/"conditions"… BTreeMap order —
+        // here "conditions") follows the section count.
+        let sec_name_off = name_off + a.name.len() + 4 + 4;
+        let first = a.sections.keys().next().unwrap().as_bytes();
+        assert_eq!(&bytes[sec_name_off..sec_name_off + first.len()], first);
+        let mut tampered = bytes.clone();
+        tampered[sec_name_off] ^= 0x01;
+        assert!(matches!(
+            PreservationArchive::from_bytes(&Bytes::from(tampered)),
+            Err(ArchiveError::Malformed(_))
+        ));
+        // A flipped bit in the stored checksum field is caught too (it
+        // would otherwise make the pristine section look corrupt).
+        let checksum_off = sec_name_off + first.len();
+        let mut tampered = bytes.clone();
+        tampered[checksum_off] ^= 0x80;
+        assert!(matches!(
+            PreservationArchive::from_bytes(&Bytes::from(tampered)),
+            Err(ArchiveError::Malformed(_))
+        ));
+        // And the stored manifest digest itself cannot be flipped.
+        let mut tampered = bytes;
+        tampered[6] ^= 0x01;
+        assert!(matches!(
+            PreservationArchive::from_bytes(&Bytes::from(tampered)),
+            Err(ArchiveError::Malformed(_))
         ));
     }
 

@@ -1,0 +1,998 @@
+//! Deterministic fault-injection campaigns for the preservation chain.
+//!
+//! Preservation is only real if degradation is *caught*: the DPHEP
+//! validation-framework line of work argues that archives must be
+//! attacked continuously, not trusted. This module turns PR 1's ad-hoc
+//! corrupt-file hardening into a systematic tool: a seed-driven mutation
+//! engine over every serialized surface the toolkit ships — sealed DPEF
+//! tier files, `PreservationArchive` containers, conditions-snapshot
+//! text, reference-results text — and a campaign runner that asserts the
+//! invariant
+//!
+//! > **every mutation is either detected (a clean error or a failed
+//! > checksum) or harmless (the decoded content is identical to the
+//! > original)** — never a panic, never a silently wrong reproduction.
+//!
+//! Every mutation's RNG seed is derived from `(master_seed, class,
+//! index)` by a pure function, so any failure a campaign finds is
+//! replayable in isolation with [`replay`] — no shrinking or corpus
+//! files needed, the coordinates are the reproducer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bytes::Bytes;
+use daspos_conditions::Snapshot;
+use daspos_detsim::raw::RawEvent;
+use daspos_detsim::Experiment;
+use daspos_provenance::Platform;
+use daspos_reco::objects::AodEvent;
+use daspos_tiers::codec::{self, Encodable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::archive::{sections, PreservationArchive};
+use crate::validate::{validate_with_cache, RerunCache, ValidationReport};
+use crate::workflow::{ExecutionContext, PreservedWorkflow};
+
+/// The serialized surfaces a campaign attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArtifactClass {
+    /// A sealed DPEF AOD tier file.
+    TierAod,
+    /// A sealed DPEF RAW tier file.
+    TierRaw,
+    /// A serialized `PreservationArchive` container.
+    Archive,
+    /// The conditions-snapshot shippable text.
+    ConditionsText,
+    /// The reference-results text, attacked as a checksum-preserving
+    /// forgery inside an otherwise pristine archive — only re-execution
+    /// can catch it.
+    ResultsText,
+}
+
+impl ArtifactClass {
+    /// Every class, in campaign order.
+    pub fn all() -> [ArtifactClass; 5] {
+        [
+            ArtifactClass::TierAod,
+            ArtifactClass::TierRaw,
+            ArtifactClass::Archive,
+            ArtifactClass::ConditionsText,
+            ArtifactClass::ResultsText,
+        ]
+    }
+
+    /// Stable short name (used in reports and `--replay class:index`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactClass::TierAod => "tier-aod",
+            ArtifactClass::TierRaw => "tier-raw",
+            ArtifactClass::Archive => "archive",
+            ArtifactClass::ConditionsText => "conditions-text",
+            ArtifactClass::ResultsText => "results-text",
+        }
+    }
+
+    /// Inverse of [`ArtifactClass::name`].
+    pub fn parse(s: &str) -> Option<ArtifactClass> {
+        ArtifactClass::all().into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for ArtifactClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structure-aware mutation of a serialized artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationKind {
+    /// Flip one bit.
+    BitFlip {
+        /// Byte offset.
+        offset: usize,
+        /// Bit within the byte (0–7).
+        bit: u8,
+    },
+    /// Overwrite one byte.
+    ByteSet {
+        /// Byte offset.
+        offset: usize,
+        /// Replacement value.
+        value: u8,
+    },
+    /// Cut the artifact at an arbitrary length.
+    Truncate {
+        /// Surviving prefix length.
+        len: usize,
+    },
+    /// Cut the artifact exactly at a structural boundary (frame start,
+    /// section start, line start) — the truncations plain `Truncate`
+    /// rarely hits but real storage failures produce.
+    TruncateAtBoundary {
+        /// Surviving prefix length (a boundary offset).
+        len: usize,
+    },
+    /// Overwrite 4 bytes with a huge little-endian length/count value —
+    /// the classic unbounded-allocation attack on length-prefixed
+    /// formats.
+    InflateLength {
+        /// Byte offset of the 4-byte field.
+        offset: usize,
+        /// Inflated value written there.
+        value: u32,
+    },
+    /// Swap two equal-length regions.
+    SwapRegions {
+        /// First region start.
+        a: usize,
+        /// Second region start.
+        b: usize,
+        /// Region length.
+        len: usize,
+    },
+    /// Remove a region entirely.
+    DropRegion {
+        /// Region start.
+        start: usize,
+        /// Region length.
+        len: usize,
+    },
+    /// Duplicate a region in place.
+    DuplicateRegion {
+        /// Region start.
+        start: usize,
+        /// Region length.
+        len: usize,
+    },
+    /// Checksum-preserving forgery: mutate the RESULTS text, then
+    /// re-insert it through the archive API so every checksum and the
+    /// manifest digest are recomputed honestly. Only validation by
+    /// re-execution can catch this one. Archive class only.
+    ForgeResults {
+        /// The byte-level mutation applied to the results text.
+        sub: Box<MutationKind>,
+    },
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationKind::BitFlip { offset, bit } => {
+                write!(f, "bit-flip @{offset} bit {bit}")
+            }
+            MutationKind::ByteSet { offset, value } => {
+                write!(f, "byte-set @{offset} = {value:#04x}")
+            }
+            MutationKind::Truncate { len } => write!(f, "truncate to {len}"),
+            MutationKind::TruncateAtBoundary { len } => {
+                write!(f, "truncate at boundary {len}")
+            }
+            MutationKind::InflateLength { offset, value } => {
+                write!(f, "inflate length @{offset} to {value}")
+            }
+            MutationKind::SwapRegions { a, b, len } => {
+                write!(f, "swap {len} bytes @{a} <-> @{b}")
+            }
+            MutationKind::DropRegion { start, len } => {
+                write!(f, "drop {len} bytes @{start}")
+            }
+            MutationKind::DuplicateRegion { start, len } => {
+                write!(f, "duplicate {len} bytes @{start}")
+            }
+            MutationKind::ForgeResults { sub } => write!(f, "forge results [{sub}]"),
+        }
+    }
+}
+
+impl MutationKind {
+    /// Apply this mutation to a byte string. `ForgeResults` is not a
+    /// byte-level operation (the campaign applies it through the archive
+    /// API); calling `apply` on it is a logic error.
+    pub fn apply(&self, original: &[u8]) -> Vec<u8> {
+        let mut v = original.to_vec();
+        match *self {
+            MutationKind::BitFlip { offset, bit } => v[offset] ^= 1 << bit,
+            MutationKind::ByteSet { offset, value } => v[offset] = value,
+            MutationKind::Truncate { len } | MutationKind::TruncateAtBoundary { len } => {
+                v.truncate(len)
+            }
+            MutationKind::InflateLength { offset, value } => {
+                v[offset..offset + 4].copy_from_slice(&value.to_le_bytes())
+            }
+            MutationKind::SwapRegions { a, b, len } => {
+                for i in 0..len {
+                    v[a + i] = original[b + i];
+                    v[b + i] = original[a + i];
+                }
+            }
+            MutationKind::DropRegion { start, len } => {
+                v.drain(start..start + len);
+            }
+            MutationKind::DuplicateRegion { start, len } => {
+                let copy = original[start..start + len].to_vec();
+                v.splice(start + len..start + len, copy);
+            }
+            MutationKind::ForgeResults { .. } => {
+                unreachable!("ForgeResults is applied through the archive API")
+            }
+        }
+        v
+    }
+}
+
+/// One planned mutation with its replay coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutation {
+    /// The artifact class attacked.
+    pub class: ArtifactClass,
+    /// Index within the class's campaign slice.
+    pub index: u32,
+    /// The derived RNG seed (pure function of master seed + coordinates).
+    pub seed: u64,
+    /// What the mutation does.
+    pub kind: MutationKind,
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG seed for mutation `(class, index)` of a campaign — a
+/// pure function, so a failure is replayable from its coordinates alone.
+pub fn derive_seed(master_seed: u64, class: ArtifactClass, index: u32) -> u64 {
+    mix(master_seed ^ mix(((class as u64 + 1) << 32) ^ u64::from(index)))
+}
+
+/// What the mutation sampler knows about an artifact: its length and the
+/// offsets of its structural boundaries (DPEF frame starts, archive
+/// section starts, text line starts).
+#[derive(Debug, Clone)]
+pub struct ArtifactShape {
+    /// Artifact length in bytes.
+    pub len: usize,
+    /// Structural boundary offsets, ascending.
+    pub boundaries: Vec<usize>,
+}
+
+impl ArtifactShape {
+    fn text(s: &str) -> ArtifactShape {
+        let mut boundaries = vec![0];
+        boundaries.extend(
+            s.bytes()
+                .enumerate()
+                .filter(|&(i, b)| b == b'\n' && i + 1 < s.len())
+                .map(|(i, _)| i + 1),
+        );
+        ArtifactShape {
+            len: s.len(),
+            boundaries,
+        }
+    }
+}
+
+/// Sample a mutation kind for an artifact of the given shape. `forge` is
+/// the shape of the results text when checksum-preserving forgeries are
+/// in scope (archive class only).
+fn sample_kind(
+    rng: &mut StdRng,
+    shape: &ArtifactShape,
+    forge: Option<&ArtifactShape>,
+) -> MutationKind {
+    assert!(shape.len > 0, "cannot mutate an empty artifact");
+    let n_kinds = if forge.is_some() { 9 } else { 8 };
+    match rng.gen_range(0..n_kinds) {
+        0 => MutationKind::BitFlip {
+            offset: rng.gen_range(0..shape.len),
+            bit: rng.gen_range(0..8u32) as u8,
+        },
+        1 => MutationKind::ByteSet {
+            offset: rng.gen_range(0..shape.len),
+            value: rng.gen_range(0..=255u32) as u8,
+        },
+        2 => MutationKind::Truncate {
+            len: rng.gen_range(0..shape.len),
+        },
+        3 => {
+            if shape.boundaries.is_empty() {
+                MutationKind::Truncate {
+                    len: rng.gen_range(0..shape.len),
+                }
+            } else {
+                MutationKind::TruncateAtBoundary {
+                    len: shape.boundaries[rng.gen_range(0..shape.boundaries.len())],
+                }
+            }
+        }
+        4 => {
+            // A 4-byte window somewhere in the artifact, overwritten
+            // with a count in the "absurdly large" regime.
+            let offset = rng.gen_range(0..shape.len.saturating_sub(4).max(1));
+            MutationKind::InflateLength {
+                offset,
+                value: rng.gen_range((1u32 << 24)..=u32::MAX),
+            }
+        }
+        5 => {
+            let len = rng.gen_range(1..=shape.len.min(64));
+            let a = rng.gen_range(0..=shape.len - len);
+            let b = rng.gen_range(0..=shape.len - len);
+            MutationKind::SwapRegions { a, b, len }
+        }
+        6 => {
+            let start = rng.gen_range(0..shape.len);
+            let len = rng.gen_range(1..=(shape.len - start).min(256));
+            MutationKind::DropRegion { start, len }
+        }
+        7 => {
+            let start = rng.gen_range(0..shape.len);
+            let len = rng.gen_range(1..=(shape.len - start).min(128));
+            MutationKind::DuplicateRegion { start, len }
+        }
+        _ => {
+            let forge_shape = forge.expect("forge arm only sampled when in scope");
+            MutationKind::ForgeResults {
+                sub: Box::new(sample_kind(rng, forge_shape, None)),
+            }
+        }
+    }
+}
+
+/// How to run a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed every mutation seed is derived from.
+    pub master_seed: u64,
+    /// Mutations injected per artifact class.
+    pub mutations_per_class: u32,
+    /// Events in the fixture chain (small keeps artifacts quick to
+    /// rebuild; the artifact structure does not depend on it).
+    pub events: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 20130908,
+            mutations_per_class: 100,
+            events: 10,
+        }
+    }
+}
+
+/// The pristine artifacts a campaign mutates, all derived from one
+/// seeded chain execution.
+pub struct CampaignFixture {
+    /// The executed workflow.
+    pub workflow: PreservedWorkflow,
+    /// The packaged archive.
+    pub archive: PreservationArchive,
+    /// Serialized container bytes.
+    pub archive_bytes: Bytes,
+    /// Sealed AOD tier file.
+    pub sealed_aod: Bytes,
+    /// The AOD DPEF payload inside the seal.
+    pub aod_payload: Bytes,
+    /// Sealed RAW tier file.
+    pub sealed_raw: Bytes,
+    /// The RAW DPEF payload inside the seal.
+    pub raw_payload: Bytes,
+    /// The conditions snapshot text carried by the archive.
+    pub conditions_text: String,
+    /// The parsed snapshot (semantic reference for harmlessness checks).
+    pub snapshot: Snapshot,
+    /// The reference results text carried by the archive.
+    pub results_text: String,
+}
+
+impl CampaignFixture {
+    /// Execute one seeded chain and derive every artifact from it.
+    pub fn build(cfg: &CampaignConfig) -> Result<CampaignFixture, String> {
+        let workflow =
+            PreservedWorkflow::standard_z(Experiment::Cms, mix(cfg.master_seed), cfg.events);
+        let ctx = ExecutionContext::fresh(&workflow);
+        let output = workflow.execute(&ctx)?;
+        let archive = PreservationArchive::package("faultlab", &workflow, &ctx, &output)
+            .map_err(|e| e.to_string())?;
+        let archive_bytes = archive.to_bytes();
+        let aod_payload = AodEvent::encode_events(&output.aod_events);
+        let raw_payload = ctx
+            .catalog
+            .get(output.raw_dataset)
+            .map_err(|e| e.to_string())?
+            .file_data()
+            .next()
+            .ok_or("raw dataset has no files")?
+            .clone();
+        let conditions_text = archive
+            .section_text(sections::CONDITIONS)
+            .map_err(|e| e.to_string())?
+            .to_string();
+        let snapshot = Snapshot::from_text(&conditions_text).map_err(|e| e.to_string())?;
+        let results_text = archive
+            .section_text(sections::RESULTS)
+            .map_err(|e| e.to_string())?
+            .to_string();
+        Ok(CampaignFixture {
+            workflow,
+            sealed_aod: codec::seal(&aod_payload),
+            sealed_raw: codec::seal(&raw_payload),
+            aod_payload,
+            raw_payload,
+            archive,
+            archive_bytes,
+            conditions_text,
+            snapshot,
+            results_text,
+        })
+    }
+
+    /// The pristine bytes of one artifact class.
+    pub fn artifact(&self, class: ArtifactClass) -> &[u8] {
+        match class {
+            ArtifactClass::TierAod => &self.sealed_aod,
+            ArtifactClass::TierRaw => &self.sealed_raw,
+            ArtifactClass::Archive => &self.archive_bytes,
+            ArtifactClass::ConditionsText => self.conditions_text.as_bytes(),
+            ArtifactClass::ResultsText => self.results_text.as_bytes(),
+        }
+    }
+
+    /// Length + structural boundaries for the mutation sampler.
+    pub fn shape(&self, class: ArtifactClass) -> ArtifactShape {
+        match class {
+            ArtifactClass::TierAod => sealed_tier_shape(&self.sealed_aod),
+            ArtifactClass::TierRaw => sealed_tier_shape(&self.sealed_raw),
+            ArtifactClass::Archive => archive_shape(&self.archive, &self.archive_bytes),
+            ArtifactClass::ConditionsText => ArtifactShape::text(&self.conditions_text),
+            ArtifactClass::ResultsText => ArtifactShape::text(&self.results_text),
+        }
+    }
+}
+
+/// Boundaries of a sealed tier file: the seal/payload edge, the end of
+/// the DPEF file header, and every event-frame start.
+fn sealed_tier_shape(sealed: &Bytes) -> ArtifactShape {
+    let mut boundaries = vec![codec::SEAL_OVERHEAD];
+    // DPEF header: magic(4) + version(2) + tier(1) + n_events(4).
+    let header_end = codec::SEAL_OVERHEAD + 11;
+    if sealed.len() > header_end {
+        boundaries.push(header_end);
+        let mut off = header_end;
+        while off + 4 <= sealed.len() {
+            let len = u32::from_le_bytes([
+                sealed[off],
+                sealed[off + 1],
+                sealed[off + 2],
+                sealed[off + 3],
+            ]) as usize;
+            let next = off + 4 + len;
+            if next >= sealed.len() {
+                break;
+            }
+            boundaries.push(next);
+            off = next;
+        }
+    }
+    ArtifactShape {
+        len: sealed.len(),
+        boundaries,
+    }
+}
+
+/// Boundaries of a serialized container: every section record start.
+fn archive_shape(archive: &PreservationArchive, bytes: &Bytes) -> ArtifactShape {
+    // magic(4) + version(2) + manifest(8) + name_len(4) + name + count(4).
+    let mut off = 4 + 2 + 8 + 4 + archive.name.len() + 4;
+    let mut boundaries = Vec::with_capacity(archive.sections.len());
+    for s in archive.sections.values() {
+        boundaries.push(off);
+        off += 4 + s.name.len() + 8 + 4 + s.data.len();
+    }
+    debug_assert_eq!(off, bytes.len());
+    ArtifactShape {
+        len: bytes.len(),
+        boundaries,
+    }
+}
+
+/// The verdict on one mutant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The mutation was caught; the label names the detecting layer.
+    Detected(String),
+    /// The artifact still decodes to exactly the original content.
+    Harmless,
+    /// Undetected change, unbounded behavior, or a panic — an invariant
+    /// violation.
+    Violation(String),
+}
+
+/// Plan mutation `(class, index)` of a campaign deterministically.
+pub fn derive_mutation(
+    cfg: &CampaignConfig,
+    fixture: &CampaignFixture,
+    class: ArtifactClass,
+    index: u32,
+) -> Mutation {
+    let seed = derive_seed(cfg.master_seed, class, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = fixture.shape(class);
+    let forge_shape = (class == ArtifactClass::Archive)
+        .then(|| ArtifactShape::text(&fixture.results_text));
+    Mutation {
+        class,
+        index,
+        seed,
+        kind: sample_kind(&mut rng, &shape, forge_shape.as_ref()),
+    }
+}
+
+/// Produce the mutated artifact bytes for one planned mutation.
+pub fn mutate_artifact(
+    fixture: &CampaignFixture,
+    class: ArtifactClass,
+    mutation: &Mutation,
+) -> Vec<u8> {
+    match &mutation.kind {
+        MutationKind::ForgeResults { sub } => {
+            let mutated_results = sub.apply(fixture.results_text.as_bytes());
+            let mut forged = fixture.archive.clone();
+            forged.insert(sections::RESULTS, Bytes::from(mutated_results));
+            forged.to_bytes().to_vec()
+        }
+        kind => kind.apply(fixture.artifact(class)),
+    }
+}
+
+/// Decide the outcome for one mutated artifact. Never panics itself —
+/// the campaign wraps this in `catch_unwind` so a panic anywhere in the
+/// decode/validate stack becomes a [`Outcome::Violation`].
+pub fn check_mutant(
+    fixture: &CampaignFixture,
+    class: ArtifactClass,
+    mutated: &[u8],
+    cache: &mut RerunCache,
+) -> Outcome {
+    match class {
+        ArtifactClass::TierAod => {
+            check_sealed_tier::<AodEvent>(mutated, &fixture.aod_payload)
+        }
+        ArtifactClass::TierRaw => {
+            check_sealed_tier::<RawEvent>(mutated, &fixture.raw_payload)
+        }
+        ArtifactClass::Archive => check_archive(fixture, mutated, cache),
+        ArtifactClass::ConditionsText => check_conditions_text(fixture, mutated),
+        ArtifactClass::ResultsText => check_results_text(fixture, mutated, cache),
+    }
+}
+
+fn check_sealed_tier<T: Encodable + PartialEq>(mutated: &[u8], payload: &Bytes) -> Outcome {
+    // Robustness probe: whatever the seal says, the raw decoder must not
+    // panic or over-allocate on the mutated inner bytes. Its Ok/Err
+    // result is irrelevant here; a panic is converted to a violation by
+    // the campaign's catch_unwind.
+    if mutated.len() >= codec::SEAL_OVERHEAD {
+        let inner = Bytes::copy_from_slice(&mutated[codec::SEAL_OVERHEAD..]);
+        let _ = T::decode_events(&inner);
+    }
+    match codec::unseal(&Bytes::copy_from_slice(mutated)) {
+        Err(e) => Outcome::Detected(format!("seal:{}", e.category().name())),
+        Ok(inner) if inner == *payload => match T::decode_events(&inner) {
+            Ok(_) => Outcome::Harmless,
+            Err(e) => Outcome::Violation(format!("pristine payload no longer decodes: {e}")),
+        },
+        Ok(_) => Outcome::Violation(
+            "seal accepted a modified payload (digest collision)".to_string(),
+        ),
+    }
+}
+
+fn check_archive(
+    fixture: &CampaignFixture,
+    mutated: &[u8],
+    cache: &mut RerunCache,
+) -> Outcome {
+    let parsed = match PreservationArchive::from_bytes(&Bytes::copy_from_slice(mutated)) {
+        Err(e) => return Outcome::Detected(format!("container:{}", container_label(&e))),
+        Ok(a) => a,
+    };
+    if parsed.verify_integrity().is_err() {
+        return Outcome::Detected("section-checksum".to_string());
+    }
+    if parsed == fixture.archive {
+        return Outcome::Harmless;
+    }
+    // The container parsed and every checksum verifies, yet the content
+    // differs — a checksum-preserving forgery. Only re-execution can
+    // judge it.
+    match validate_with_cache(&parsed, &Platform::current(), cache) {
+        Err(e) => Outcome::Detected(format!("validate:{}", container_label(&e))),
+        Ok(report) if report.passed() => Outcome::Violation(
+            "altered archive validates as a clean reproduction".to_string(),
+        ),
+        Ok(report) => Outcome::Detected(validation_label(&report)),
+    }
+}
+
+fn check_conditions_text(fixture: &CampaignFixture, mutated: &[u8]) -> Outcome {
+    let text = match std::str::from_utf8(mutated) {
+        Ok(t) => t,
+        Err(_) => return Outcome::Detected("text:utf8".to_string()),
+    };
+    match Snapshot::from_text(text) {
+        Err(_) => Outcome::Detected("text:parse".to_string()),
+        Ok(parsed) if parsed == fixture.snapshot => Outcome::Harmless,
+        Ok(_) => Outcome::Violation(
+            "mutated conditions text parsed into different constants".to_string(),
+        ),
+    }
+}
+
+fn check_results_text(
+    fixture: &CampaignFixture,
+    mutated: &[u8],
+    cache: &mut RerunCache,
+) -> Outcome {
+    // The attack model: the mutated results are re-inserted through the
+    // archive API, so every checksum is honest — integrity checks are
+    // blind to it, and the forgery must be caught by re-execution.
+    let mut forged = fixture.archive.clone();
+    forged.insert(sections::RESULTS, Bytes::copy_from_slice(mutated));
+    match validate_with_cache(&forged, &Platform::current(), cache) {
+        Err(e) => Outcome::Detected(format!("validate:{}", container_label(&e))),
+        Ok(report) if report.passed() => {
+            if mutated == fixture.results_text.as_bytes() {
+                Outcome::Harmless
+            } else {
+                Outcome::Violation("forged results accepted as reproduced".to_string())
+            }
+        }
+        Ok(report) => Outcome::Detected(validation_label(&report)),
+    }
+}
+
+fn container_label(e: &crate::archive::ArchiveError) -> &'static str {
+    use crate::archive::ArchiveError;
+    match e {
+        ArchiveError::MissingSection(_) => "missing-section",
+        ArchiveError::CorruptSection(_) => "corrupt-section",
+        ArchiveError::Malformed(_) => "malformed",
+        ArchiveError::UnsupportedVersion(_) => "version",
+        ArchiveError::Packaging(_) => "packaging",
+    }
+}
+
+fn validation_label(report: &ValidationReport) -> String {
+    let stage = if !report.integrity_ok {
+        "integrity"
+    } else if !report.platform_ok {
+        "platform"
+    } else if !report.executed {
+        "execute"
+    } else {
+        "not-reproduced"
+    };
+    format!("validate:{stage}")
+}
+
+/// One invariant violation, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationRecord {
+    /// Artifact class attacked.
+    pub class: ArtifactClass,
+    /// Index within the class (replay coordinate).
+    pub index: u32,
+    /// Derived seed (replay coordinate).
+    pub seed: u64,
+    /// Human description of the mutation.
+    pub mutation: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Per-class campaign tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class.
+    pub class: ArtifactClass,
+    /// Mutations injected.
+    pub mutations: u32,
+    /// Mutations caught by some layer.
+    pub detected: u32,
+    /// Mutations that left the decoded content identical.
+    pub harmless: u32,
+    /// Detections histogrammed by the layer that caught them.
+    pub detections_by_layer: BTreeMap<String, u32>,
+    /// Invariant violations (must be empty for a passing campaign).
+    pub violations: Vec<ViolationRecord>,
+}
+
+/// The result of a whole campaign. Two runs with the same config produce
+/// an identical report — `PartialEq` is the reproducibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The config that produced this report.
+    pub config: CampaignConfig,
+    /// One entry per artifact class, in campaign order.
+    pub classes: Vec<ClassReport>,
+}
+
+impl CampaignReport {
+    /// True when no mutation violated the invariant.
+    pub fn passed(&self) -> bool {
+        self.classes.iter().all(|c| c.violations.is_empty())
+    }
+
+    /// Total mutations injected.
+    pub fn total_mutations(&self) -> u32 {
+        self.classes.iter().map(|c| c.mutations).sum()
+    }
+
+    /// Total mutations detected.
+    pub fn total_detected(&self) -> u32 {
+        self.classes.iter().map(|c| c.detected).sum()
+    }
+
+    /// Total harmless mutations.
+    pub fn total_harmless(&self) -> u32 {
+        self.classes.iter().map(|c| c.harmless).sum()
+    }
+
+    /// Total invariant violations.
+    pub fn total_violations(&self) -> usize {
+        self.classes.iter().map(|c| c.violations.len()).sum()
+    }
+
+    /// Render the report for terminals and logs.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "faultlab campaign: seed {}, {} classes x {} mutations, {}-event chain\n",
+            self.config.master_seed,
+            self.classes.len(),
+            self.config.mutations_per_class,
+            self.config.events
+        );
+        out.push_str(&format!(
+            "  {:>16} {:>9} {:>9} {:>9} {:>10}\n",
+            "class", "mutations", "detected", "harmless", "violations"
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "  {:>16} {:>9} {:>9} {:>9} {:>10}\n",
+                c.class.name(),
+                c.mutations,
+                c.detected,
+                c.harmless,
+                c.violations.len()
+            ));
+        }
+        let mut layers: BTreeMap<&str, u32> = BTreeMap::new();
+        for c in &self.classes {
+            for (layer, n) in &c.detections_by_layer {
+                *layers.entry(layer).or_default() += n;
+            }
+        }
+        out.push_str("  detections by layer:");
+        for (layer, n) in &layers {
+            out.push_str(&format!(" {layer}={n}"));
+        }
+        out.push('\n');
+        for c in &self.classes {
+            for v in &c.violations {
+                out.push_str(&format!(
+                    "  VIOLATION {}:{} seed {:#018x} [{}]: {}\n",
+                    v.class.name(),
+                    v.index,
+                    v.seed,
+                    v.mutation,
+                    v.detail
+                ));
+            }
+        }
+        if self.passed() {
+            out.push_str("verdict: PASS - every mutation detected or harmless\n");
+        } else {
+            out.push_str(&format!(
+                "verdict: FAIL - {} invariant violations (replay with --replay class:index)\n",
+                self.total_violations()
+            ));
+        }
+        out
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a full campaign: build the fixture chain once, then inject
+/// `mutations_per_class` seeded mutations into every artifact class and
+/// judge each one. Deterministic: the same config yields the identical
+/// report.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    let fixture = CampaignFixture::build(cfg)?;
+    let mut cache = RerunCache::new();
+    let mut classes = Vec::with_capacity(ArtifactClass::all().len());
+    for class in ArtifactClass::all() {
+        let mut report = ClassReport {
+            class,
+            mutations: 0,
+            detected: 0,
+            harmless: 0,
+            detections_by_layer: BTreeMap::new(),
+            violations: Vec::new(),
+        };
+        for index in 0..cfg.mutations_per_class {
+            let mutation = derive_mutation(cfg, &fixture, class, index);
+            let mutated = mutate_artifact(&fixture, class, &mutation);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                check_mutant(&fixture, class, &mutated, &mut cache)
+            }))
+            .unwrap_or_else(|payload| {
+                Outcome::Violation(format!("PANIC: {}", panic_message(payload)))
+            });
+            report.mutations += 1;
+            match outcome {
+                Outcome::Detected(layer) => {
+                    report.detected += 1;
+                    *report.detections_by_layer.entry(layer).or_default() += 1;
+                }
+                Outcome::Harmless => report.harmless += 1,
+                Outcome::Violation(detail) => report.violations.push(ViolationRecord {
+                    class,
+                    index,
+                    seed: mutation.seed,
+                    mutation: mutation.kind.to_string(),
+                    detail,
+                }),
+            }
+        }
+        classes.push(report);
+    }
+    Ok(CampaignReport {
+        config: cfg.clone(),
+        classes,
+    })
+}
+
+/// Replay a single mutation by its campaign coordinates, returning the
+/// planned mutation and its outcome — the tool for dissecting one
+/// failure a campaign reported.
+pub fn replay(
+    cfg: &CampaignConfig,
+    class: ArtifactClass,
+    index: u32,
+) -> Result<(Mutation, Outcome), String> {
+    let fixture = CampaignFixture::build(cfg)?;
+    let mut cache = RerunCache::new();
+    let mutation = derive_mutation(cfg, &fixture, class, index);
+    let mutated = mutate_artifact(&fixture, class, &mutation);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        check_mutant(&fixture, class, &mutated, &mut cache)
+    }))
+    .unwrap_or_else(|payload| Outcome::Violation(format!("PANIC: {}", panic_message(payload))));
+    Ok((mutation, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            master_seed: 7,
+            mutations_per_class: 12,
+            events: 6,
+        }
+    }
+
+    #[test]
+    fn seed_derivation_is_pure_and_spread() {
+        let a = derive_seed(1, ArtifactClass::TierAod, 0);
+        assert_eq!(a, derive_seed(1, ArtifactClass::TierAod, 0));
+        assert_ne!(a, derive_seed(1, ArtifactClass::TierAod, 1));
+        assert_ne!(a, derive_seed(1, ArtifactClass::TierRaw, 0));
+        assert_ne!(a, derive_seed(2, ArtifactClass::TierAod, 0));
+    }
+
+    #[test]
+    fn mutation_kinds_apply_correctly() {
+        let original = b"0123456789".to_vec();
+        assert_eq!(
+            MutationKind::BitFlip { offset: 0, bit: 0 }.apply(&original),
+            b"1123456789"
+        );
+        assert_eq!(
+            MutationKind::Truncate { len: 3 }.apply(&original),
+            b"012"
+        );
+        assert_eq!(
+            MutationKind::SwapRegions { a: 0, b: 8, len: 2 }.apply(&original),
+            b"8923456701"
+        );
+        assert_eq!(
+            MutationKind::DropRegion { start: 2, len: 3 }.apply(&original),
+            b"0156789"
+        );
+        assert_eq!(
+            MutationKind::DuplicateRegion { start: 1, len: 2 }.apply(&original),
+            b"012123456789"
+        );
+        assert_eq!(
+            MutationKind::InflateLength {
+                offset: 2,
+                value: u32::MAX
+            }
+            .apply(&original),
+            b"01\xFF\xFF\xFF\xFF6789"
+        );
+        // A swap of a region with itself is the identity.
+        assert_eq!(
+            MutationKind::SwapRegions { a: 4, b: 4, len: 3 }.apply(&original),
+            original
+        );
+    }
+
+    #[test]
+    fn small_campaign_holds_the_invariant_and_reproduces() {
+        let cfg = small_config();
+        let report = run_campaign(&cfg).expect("campaign runs");
+        assert!(report.passed(), "{}", report.to_text());
+        assert_eq!(report.total_mutations(), 12 * 5);
+        assert_eq!(
+            report.total_detected() + report.total_harmless(),
+            report.total_mutations()
+        );
+        let again = run_campaign(&cfg).expect("campaign runs");
+        assert_eq!(report, again, "same seed must reproduce the same report");
+    }
+
+    #[test]
+    fn replay_matches_the_campaign_plan() {
+        let cfg = small_config();
+        let fixture = CampaignFixture::build(&cfg).unwrap();
+        for class in [ArtifactClass::TierAod, ArtifactClass::ConditionsText] {
+            for index in [0u32, 5] {
+                let planned = derive_mutation(&cfg, &fixture, class, index);
+                let (replayed, outcome) = replay(&cfg, class, index).unwrap();
+                assert_eq!(planned, replayed);
+                assert!(
+                    !matches!(outcome, Outcome::Violation(_)),
+                    "replay {class}:{index} violated: {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_have_structural_boundaries() {
+        let fixture = CampaignFixture::build(&small_config()).unwrap();
+        let tier = fixture.shape(ArtifactClass::TierAod);
+        // Seal edge, header end, and one frame boundary per event beyond
+        // the first.
+        assert!(tier.boundaries.len() >= 3, "{:?}", tier.boundaries);
+        assert_eq!(tier.boundaries[0], codec::SEAL_OVERHEAD);
+        let arch = fixture.shape(ArtifactClass::Archive);
+        assert_eq!(arch.boundaries.len(), fixture.archive.sections.len());
+        let cond = fixture.shape(ArtifactClass::ConditionsText);
+        assert_eq!(
+            cond.boundaries.len(),
+            fixture.conditions_text.lines().count()
+        );
+    }
+}

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod archive;
+pub mod faultlab;
 pub mod levels;
 pub mod migrate;
 pub mod runner;
@@ -44,6 +45,7 @@ pub mod workflow;
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::archive::{ArchiveSection, PreservationArchive};
+    pub use crate::faultlab::{self, ArtifactClass, CampaignConfig, CampaignReport};
     pub use crate::levels::DphepLevel;
     pub use crate::migrate::Migrator;
     pub use crate::runner::RunnerConfig;

@@ -8,10 +8,13 @@
 //! archived reference — bit-for-bit, since the chain is deterministic
 //! from its master seed.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::{BufMut, BytesMut};
 use daspos_conditions::{ConditionsStore, Snapshot};
-use daspos_provenance::Platform;
+use daspos_provenance::{Platform, SoftwareStack};
+use daspos_tiers::codec::fnv64;
 
 use crate::archive::{sections, ArchiveError, PreservationArchive};
 use crate::workflow::{ExecutionContext, PreservedWorkflow};
@@ -33,21 +36,71 @@ pub struct ValidationReport {
     pub detail: String,
 }
 
+/// The sequential stage a validation failed at. The stages run strictly
+/// in order — integrity, then platform compatibility, then re-execution,
+/// then reproduction — so a failure at stage N leaves every earlier flag
+/// truthfully `true` and every later flag `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// A section is missing or fails its checksum.
+    Integrity,
+    /// The archived software stack is unreadable or targets another
+    /// platform. (An unreadable stack is a platform failure, not an
+    /// integrity one: the section's checksum is fine, its *content*
+    /// cannot be assessed against the requested platform.)
+    Platform,
+    /// The chain could not be restored and re-run from the archive.
+    Execute,
+}
+
 impl ValidationReport {
     /// True when the archive fully validates.
     pub fn passed(&self) -> bool {
         self.integrity_ok && self.platform_ok && self.executed && self.reproduced
     }
 
-    fn failure(archive: &str, stage: &str, detail: String) -> ValidationReport {
+    fn failure(archive: &str, stage: Stage, detail: String) -> ValidationReport {
+        let (integrity_ok, platform_ok) = match stage {
+            Stage::Integrity => (false, false),
+            Stage::Platform => (true, false),
+            Stage::Execute => (true, true),
+        };
         ValidationReport {
             archive: archive.to_string(),
-            integrity_ok: stage != "integrity",
-            platform_ok: !matches!(stage, "integrity" | "platform"),
+            integrity_ok,
+            platform_ok,
             executed: false,
             reproduced: false,
             detail,
         }
+    }
+}
+
+/// Memoizes the re-execution half of validation. The re-run results are a
+/// pure function of the archive's executable content (workflow text,
+/// conditions snapshot, software stack, ADL documents), so fleet-scale
+/// campaigns — faultlab mutants, migration sweeps — that validate many
+/// variants of one archive share a single chain execution instead of
+/// re-running it per variant.
+#[derive(Debug, Default)]
+pub struct RerunCache {
+    runs: HashMap<u64, Result<String, String>>,
+}
+
+impl RerunCache {
+    /// An empty cache.
+    pub fn new() -> RerunCache {
+        RerunCache::default()
+    }
+
+    /// Number of distinct executable contents re-run so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when nothing has been re-run yet.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
     }
 }
 
@@ -69,11 +122,20 @@ pub fn validate(
     archive: &PreservationArchive,
     platform: &Platform,
 ) -> Result<ValidationReport, ArchiveError> {
+    validate_with_cache(archive, platform, &mut RerunCache::new())
+}
+
+/// [`validate`], sharing chain re-executions across calls through `cache`.
+pub fn validate_with_cache(
+    archive: &PreservationArchive,
+    platform: &Platform,
+    cache: &mut RerunCache,
+) -> Result<ValidationReport, ArchiveError> {
     // 1. Integrity.
     if let Err(e) = archive.verify_integrity() {
         return Ok(ValidationReport::failure(
             &archive.name,
-            "integrity",
+            Stage::Integrity,
             e.to_string(),
         ));
     }
@@ -84,15 +146,15 @@ pub fn validate(
         Err(e) => {
             return Ok(ValidationReport::failure(
                 &archive.name,
-                "integrity",
-                e.to_string(),
+                Stage::Platform,
+                format!("archived software stack unreadable: {e}"),
             ))
         }
     };
     if !stack.runs_on(platform) {
         return Ok(ValidationReport::failure(
             &archive.name,
-            "platform",
+            Stage::Platform,
             format!(
                 "archived stack targets {}, requested platform is {platform}",
                 stack.platform
@@ -100,92 +162,53 @@ pub fn validate(
         ));
     }
 
-    // 3. Restore the environment from the archive alone. A workflow
-    // section that is missing entirely is a hard error; one that exists
-    // but is not declarative text (an opaque binary) is an execution
-    // failure — the archive is intact, it just cannot be re-run.
-    if !archive.sections.contains_key(sections::WORKFLOW) {
-        return Err(ArchiveError::MissingSection(sections::WORKFLOW.to_string()));
-    }
-    let workflow_text = match archive.section_text(sections::WORKFLOW) {
-        Ok(t) => t,
-        Err(_) => {
-            return Ok(ValidationReport::failure(
-                &archive.name,
-                "execute",
-                "workflow section is not declarative text (opaque binary)".to_string(),
-            ))
-        }
-    };
-    let workflow = match PreservedWorkflow::parse(workflow_text) {
-        Ok(w) => w,
-        Err(e) => {
-            return Ok(ValidationReport::failure(
-                &archive.name,
-                "execute",
-                format!("workflow unparsable: {e}"),
-            ))
-        }
-    };
-    let snapshot_text = archive.section_text(sections::CONDITIONS)?;
-    let snapshot = match Snapshot::from_text(snapshot_text) {
-        Ok(s) => s,
-        Err(e) => {
-            return Ok(ValidationReport::failure(
-                &archive.name,
-                "execute",
-                format!("conditions snapshot unparsable: {e}"),
-            ))
-        }
-    };
-    let conditions = Arc::new(ConditionsStore::new());
-    if let Err(e) = snapshot.restore_into(&conditions, &workflow.conditions_tag) {
-        return Ok(ValidationReport::failure(
-            &archive.name,
-            "execute",
-            format!("conditions restore failed: {e}"),
-        ));
-    }
-    let ctx = ExecutionContext::with_conditions(conditions, stack);
-
-    // 3b. Register any ADL analyses the archive carries (the Les Houches
-    // "analysis database" entries travel with the data they describe).
-    if archive.sections.contains_key(sections::ADL) {
-        let adl_text = match archive.section_text(sections::ADL) {
-            Ok(t) => t,
-            Err(e) => {
-                return Ok(ValidationReport::failure(
-                    &archive.name,
-                    "execute",
-                    e.to_string(),
-                ))
-            }
-        };
-        for doc in split_adl_documents(adl_text) {
-            match daspos_rivet::AdlAnalysis::parse(&doc) {
-                Ok(analysis) => ctx.registry.register(Box::new(analysis)),
-                Err(e) => {
-                    return Ok(ValidationReport::failure(
-                        &archive.name,
-                        "execute",
-                        format!("adl section unparsable: {e}"),
-                    ))
+    // 3. Re-derive the reference from the archive alone. Everything the
+    // re-run depends on — workflow text, conditions snapshot, software
+    // stack, ADL documents — is hashed into one key, so archives with
+    // identical executable content share a single chain execution. A
+    // workflow or conditions section missing entirely is a hard error
+    // (the archive cannot even start); every softer problem lands in the
+    // report as an execute-stage failure.
+    let key = {
+        let mut m = BytesMut::new();
+        let adl = archive.sections.get(sections::ADL).map(|s| &s.data);
+        for part in [
+            Some(archive.section(sections::WORKFLOW)?),
+            Some(archive.section(sections::CONDITIONS)?),
+            Some(archive.section(sections::SOFTWARE)?),
+            adl,
+        ] {
+            match part {
+                Some(bytes) => {
+                    m.put_u32_le(bytes.len() as u32);
+                    m.put_slice(bytes);
                 }
+                None => m.put_u32_le(u32::MAX),
             }
         }
-    }
-
-    // 4. Re-execute.
-    let output = match workflow.execute(&ctx) {
-        Ok(o) => o,
-        Err(e) => {
-            return Ok(ValidationReport::failure(&archive.name, "execute", e));
+        fnv64(&m)
+    };
+    let rerun = match cache.runs.get(&key) {
+        Some(cached) => cached.clone(),
+        None => {
+            let fresh = rerun_archive(archive, stack);
+            cache.runs.insert(key, fresh.clone());
+            fresh
         }
     };
 
-    // 5. Compare against the archived reference, bit for bit.
+    // 4. Compare against the archived reference, bit for bit.
+    let rerun = match rerun {
+        Ok(text) => text,
+        Err(detail) => {
+            return Ok(ValidationReport::failure(
+                &archive.name,
+                Stage::Execute,
+                detail,
+            ))
+        }
+    };
     let reference = archive.section_text(sections::RESULTS)?;
-    let rerun = output.results_to_text();
     let reproduced = reference == rerun;
     Ok(ValidationReport {
         archive: archive.name.clone(),
@@ -203,6 +226,44 @@ pub fn validate(
             )
         },
     })
+}
+
+/// Restore the environment from the archive alone and re-execute the
+/// chain, returning the re-run results text. A workflow section that is
+/// not declarative text (an opaque binary), an unparsable snapshot, or an
+/// execution error all surface as the execute-stage failure detail.
+fn rerun_archive(archive: &PreservationArchive, stack: SoftwareStack) -> Result<String, String> {
+    let workflow_text = archive.section_text(sections::WORKFLOW).map_err(|_| {
+        "workflow section is not declarative text (opaque binary)".to_string()
+    })?;
+    let workflow = PreservedWorkflow::parse(workflow_text)
+        .map_err(|e| format!("workflow unparsable: {e}"))?;
+    let snapshot_text = archive
+        .section_text(sections::CONDITIONS)
+        .map_err(|e| e.to_string())?;
+    let snapshot = Snapshot::from_text(snapshot_text)
+        .map_err(|e| format!("conditions snapshot unparsable: {e}"))?;
+    let conditions = Arc::new(ConditionsStore::new());
+    snapshot
+        .restore_into(&conditions, &workflow.conditions_tag)
+        .map_err(|e| format!("conditions restore failed: {e}"))?;
+    let ctx = ExecutionContext::with_conditions(conditions, stack);
+
+    // Register any ADL analyses the archive carries (the Les Houches
+    // "analysis database" entries travel with the data they describe).
+    if archive.sections.contains_key(sections::ADL) {
+        let adl_text = archive
+            .section_text(sections::ADL)
+            .map_err(|e| e.to_string())?;
+        for doc in split_adl_documents(adl_text) {
+            let analysis = daspos_rivet::AdlAnalysis::parse(&doc)
+                .map_err(|e| format!("adl section unparsable: {e}"))?;
+            ctx.registry.register(Box::new(analysis));
+        }
+    }
+
+    let output = workflow.execute(&ctx)?;
+    Ok(output.results_to_text())
 }
 
 /// Parse a reference-results blob (`== key events=N ==` blocks of
@@ -413,6 +474,110 @@ mod tests {
         let report = validate(&a, &Platform::current()).unwrap();
         assert!(!report.executed);
         assert!(report.detail.contains("unparsable"));
+    }
+
+    #[test]
+    fn failure_flags_follow_the_stage_table() {
+        // The stages run in order, so a failure at stage N must leave
+        // every earlier flag true and every later flag false. One row per
+        // failure mode, plus the all-true success row.
+        let current = Platform::current();
+
+        // Integrity failure: (false, false, false, false).
+        let mut corrupt = archive_for(31);
+        let s = corrupt.sections.get_mut(sections::RESULTS).unwrap();
+        let mut data = s.data.to_vec();
+        data[0] ^= 0xFF;
+        s.data = Bytes::from(data);
+        let r = validate(&corrupt, &current).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (false, false, false, false),
+            "integrity row: {}",
+            r.detail
+        );
+
+        // Unreadable software stack: the checksum is fine (the forger
+        // recomputed it), so integrity_ok must stay true — this was
+        // previously misreported as an integrity failure.
+        let mut bad_stack = archive_for(32);
+        bad_stack.insert(sections::SOFTWARE, Bytes::from("not a stack"));
+        let r = validate(&bad_stack, &current).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (true, false, false, false),
+            "unreadable-stack row: {}",
+            r.detail
+        );
+        assert!(r.detail.contains("unreadable"), "{}", r.detail);
+
+        // Wrong platform: (true, false, false, false).
+        let r = validate(&archive_for(33), &Platform::successor()).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (true, false, false, false),
+            "platform row: {}",
+            r.detail
+        );
+
+        // Execution failure (opaque workflow): (true, true, false, false).
+        let mut opaque = archive_for(34);
+        opaque.insert(sections::WORKFLOW, Bytes::from_static(&[0xDE, 0xAD, 0xBE]));
+        let r = validate(&opaque, &current).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (true, true, false, false),
+            "execute row: {}",
+            r.detail
+        );
+
+        // Non-reproduction (forged reference): (true, true, true, false).
+        let mut forged = archive_for(35);
+        forged.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
+        let r = validate(&forged, &current).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (true, true, true, false),
+            "reproduction row: {}",
+            r.detail
+        );
+
+        // Success: all four true.
+        let r = validate(&archive_for(36), &current).unwrap();
+        assert_eq!(
+            (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
+            (true, true, true, true),
+            "success row: {}",
+            r.detail
+        );
+    }
+
+    #[test]
+    fn rerun_cache_shares_executions_and_agrees_with_validate() {
+        let a = archive_for(21);
+        let mut cache = RerunCache::new();
+        assert!(cache.is_empty());
+        let clean = validate_with_cache(&a, &Platform::current(), &mut cache).unwrap();
+        assert!(clean.passed(), "{}", clean.detail);
+        assert_eq!(cache.len(), 1);
+
+        // A forged-results variant has identical executable content, so
+        // validating it must reuse the cached run — and still catch the
+        // forgery through the bit-exact comparison.
+        let mut forged = a.clone();
+        forged.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
+        let report = validate_with_cache(&forged, &Platform::current(), &mut cache).unwrap();
+        assert_eq!(cache.len(), 1, "forgery must not trigger a re-execution");
+        assert!(report.executed && !report.reproduced);
+
+        // The cached verdict is identical to the uncached engine's.
+        assert_eq!(report, validate(&forged, &Platform::current()).unwrap());
+
+        // Different executable content (another workflow seed) misses.
+        let b = archive_for(22);
+        let fresh = validate_with_cache(&b, &Platform::current(), &mut cache).unwrap();
+        assert!(fresh.passed(), "{}", fresh.detail);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

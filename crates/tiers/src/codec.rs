@@ -54,6 +54,13 @@ pub enum CodecError {
     },
     /// A structural inconsistency (bad status code, absurd count).
     Corrupt(String),
+    /// An integrity seal's stored digest does not match its payload.
+    SealMismatch {
+        /// Digest stored in the seal.
+        stored: u64,
+        /// Digest recomputed over the payload.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -69,11 +76,112 @@ impl fmt::Display for CodecError {
                 write!(f, "tier mismatch: file has {found}, expected {expected}")
             }
             CodecError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+            CodecError::SealMismatch { stored, actual } => write!(
+                f,
+                "integrity seal mismatch: seal says {stored:016x}, payload hashes to {actual:016x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+/// Coarse classification of a decode failure — the taxonomy the
+/// fault-injection campaign (`daspos::faultlab`) uses to histogram *how*
+/// each corruption was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ErrorCategory {
+    /// The buffer ended before the structure was complete (truncation).
+    Framing,
+    /// Magic bytes did not match.
+    Magic,
+    /// A version gate rejected the file.
+    Version,
+    /// The tier byte was wrong for the requested decode.
+    Tier,
+    /// Structural corruption: absurd counts, trailing bytes, zero frames.
+    Structure,
+    /// An integrity digest did not verify.
+    Integrity,
+}
+
+impl ErrorCategory {
+    /// Stable short name used in campaign reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCategory::Framing => "framing",
+            ErrorCategory::Magic => "magic",
+            ErrorCategory::Version => "version",
+            ErrorCategory::Tier => "tier",
+            ErrorCategory::Structure => "structure",
+            ErrorCategory::Integrity => "integrity",
+        }
+    }
+}
+
+impl CodecError {
+    /// The coarse category of this failure.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            CodecError::UnexpectedEof => ErrorCategory::Framing,
+            CodecError::BadMagic => ErrorCategory::Magic,
+            CodecError::UnsupportedVersion { .. } => ErrorCategory::Version,
+            CodecError::WrongTier { .. } => ErrorCategory::Tier,
+            CodecError::Corrupt(_) => ErrorCategory::Structure,
+            CodecError::SealMismatch { .. } => ErrorCategory::Integrity,
+        }
+    }
+}
+
+/// FNV-1a 64 over a byte slice — the toolkit's standard content digest,
+/// shared by the integrity seal, the archive container and the
+/// conditions-snapshot text form.
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Magic of the integrity seal: "DASPOS Sealed".
+pub const SEAL_MAGIC: &[u8; 4] = b"DPSL";
+
+/// Bytes the seal prepends to a payload: the magic plus the u64 digest.
+pub const SEAL_OVERHEAD: usize = 12;
+
+/// Wrap a serialized artifact in an integrity seal:
+/// `"DPSL" fnv64(payload):u64 payload`.
+///
+/// DPEF tier files carry no digest of their own (floats re-parse happily
+/// after a payload bit flips), so archived tier files travel sealed: the
+/// seal makes any byte-level change detectable before decode, which is
+/// what the faultlab invariant "detected or harmless" rests on.
+pub fn seal(payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(SEAL_OVERHEAD + payload.len());
+    buf.put_slice(SEAL_MAGIC);
+    buf.put_u64_le(fnv64(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Verify and strip an integrity seal, returning the payload.
+pub fn unseal(data: &Bytes) -> Result<Bytes, CodecError> {
+    let mut b = data.clone();
+    need(&b, SEAL_OVERHEAD)?;
+    let mut magic = [0u8; 4];
+    b.copy_to_slice(&mut magic);
+    if &magic != SEAL_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let stored = b.get_u64_le();
+    let actual = fnv64(&b);
+    if stored != actual {
+        return Err(CodecError::SealMismatch { stored, actual });
+    }
+    Ok(b)
+}
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     if buf.remaining() < n {
@@ -954,6 +1062,87 @@ mod tests {
             AodEvent::encode_events_parallel(few, 4),
             AodEvent::encode_events(few)
         );
+    }
+
+    #[test]
+    fn seal_round_trip_is_identity() {
+        let payload = AodEvent::encode_events(&[sample_aod()]);
+        let sealed = seal(&payload);
+        assert_eq!(sealed.len(), payload.len() + SEAL_OVERHEAD);
+        assert_eq!(&sealed[..4], SEAL_MAGIC);
+        assert_eq!(unseal(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn seal_detects_every_single_byte_flip() {
+        // fnv64 is bijective per absorbed byte, so any one-byte change in
+        // the payload changes the digest; a flip in the stored digest
+        // itself obviously mismatches too. Exhaustive over a small file.
+        let payload = AodEvent::encode_events(&[sample_aod()]);
+        let sealed = seal(&payload);
+        for offset in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut mutated = sealed.to_vec();
+                mutated[offset] ^= 1 << bit;
+                let err = unseal(&Bytes::from(mutated))
+                    .expect_err(&format!("flip at {offset} bit {bit} undetected"));
+                if offset < 4 {
+                    assert_eq!(err, CodecError::BadMagic);
+                } else {
+                    assert!(matches!(err, CodecError::SealMismatch { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seal_rejects_truncation_and_junk() {
+        let sealed = seal(&AodEvent::encode_events(&[sample_aod()]));
+        for cut in [0, 5, SEAL_OVERHEAD, sealed.len() - 1] {
+            let truncated = Bytes::copy_from_slice(&sealed[..cut]);
+            assert!(unseal(&truncated).is_err(), "cut at {cut} accepted");
+        }
+        assert_eq!(
+            unseal(&Bytes::from_static(b"XXXXXXXXXXXXXXXX")).unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn error_categories_cover_the_taxonomy() {
+        let cases = [
+            (CodecError::UnexpectedEof, ErrorCategory::Framing),
+            (CodecError::BadMagic, ErrorCategory::Magic),
+            (
+                CodecError::UnsupportedVersion {
+                    found: 2,
+                    supported: 1,
+                },
+                ErrorCategory::Version,
+            ),
+            (
+                CodecError::WrongTier {
+                    found: 1,
+                    expected: 2,
+                },
+                ErrorCategory::Tier,
+            ),
+            (
+                CodecError::Corrupt("x".to_string()),
+                ErrorCategory::Structure,
+            ),
+            (
+                CodecError::SealMismatch {
+                    stored: 1,
+                    actual: 2,
+                },
+                ErrorCategory::Integrity,
+            ),
+        ];
+        for (err, cat) in cases {
+            assert_eq!(err.category(), cat, "{err}");
+            assert!(!cat.name().is_empty());
+        }
     }
 
     #[test]

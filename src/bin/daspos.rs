@@ -28,6 +28,7 @@ fn main() -> ExitCode {
             println!("{}", daspos_outreach::experiments::render_table1());
             Ok(())
         }
+        Some("faultlab") => cmd_faultlab(&args[1..]),
         Some("maturity") => cmd_maturity(),
         Some("help") | Some("--help") | None => {
             print_usage();
@@ -60,6 +61,12 @@ USAGE:
         re-execute the archive and compare bit-for-bit
   daspos migrate  <file.dpar> --out <file.dpar>
         rebuild the archived software stack for the successor platform
+  daspos faultlab [--seed N] [--mutations N] [--events N]
+                  [--replay <class>:<index>]
+        run a deterministic fault-injection campaign over every artifact
+        class (sealed tiers, archive container, conditions and results
+        text) and assert each mutation is detected or harmless;
+        --replay re-runs one mutation by its campaign coordinates
   daspos table1
         print the Table 1 outreach feature matrix
   daspos maturity
@@ -224,6 +231,66 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
         archive.name
     );
     Ok(())
+}
+
+fn cmd_faultlab(args: &[String]) -> Result<(), String> {
+    use daspos::faultlab::{self, ArtifactClass, CampaignConfig, Outcome};
+    let mut cfg = CampaignConfig::default();
+    if let Some(seed) = flag(args, "--seed") {
+        cfg.master_seed = seed.parse().map_err(|_| "bad --seed")?;
+    }
+    if let Some(m) = flag(args, "--mutations") {
+        cfg.mutations_per_class = m.parse().map_err(|_| "bad --mutations")?;
+    }
+    if let Some(e) = flag(args, "--events") {
+        cfg.events = e.parse().map_err(|_| "bad --events")?;
+    }
+
+    if let Some(coords) = flag(args, "--replay") {
+        let (class_name, index) = coords
+            .split_once(':')
+            .ok_or("--replay wants <class>:<index>, e.g. tier-aod:17")?;
+        let class = ArtifactClass::parse(class_name).ok_or_else(|| {
+            format!(
+                "unknown class '{class_name}' (one of: {})",
+                ArtifactClass::all().map(|c| c.name()).join(", ")
+            )
+        })?;
+        let index: u32 = index.parse().map_err(|_| "bad replay index")?;
+        let (mutation, outcome) = faultlab::replay(&cfg, class, index)?;
+        println!(
+            "replay {class}:{index} (seed {:#018x})\n  mutation: {}",
+            mutation.seed, mutation.kind
+        );
+        return match outcome {
+            Outcome::Detected(layer) => {
+                println!("  outcome:  detected by {layer}");
+                Ok(())
+            }
+            Outcome::Harmless => {
+                println!("  outcome:  harmless (content identical)");
+                Ok(())
+            }
+            Outcome::Violation(detail) => Err(format!("invariant VIOLATED: {detail}")),
+        };
+    }
+
+    eprintln!(
+        "faultlab: injecting {} mutations x {} classes (seed {})…",
+        cfg.mutations_per_class,
+        ArtifactClass::all().len(),
+        cfg.master_seed
+    );
+    let report = faultlab::run_campaign(&cfg)?;
+    print!("{}", report.to_text());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violations",
+            report.total_violations()
+        ))
+    }
 }
 
 fn cmd_maturity() -> Result<(), String> {

@@ -1,0 +1,102 @@
+//! Acceptance test for the faultlab tentpole: a seeded campaign of 500
+//! mutations (100 per artifact class, 5 classes) completes with zero
+//! panics and zero silent corruption, and the same master seed yields a
+//! bit-identical `CampaignReport`.
+
+use daspos::faultlab::{self, ArtifactClass, CampaignConfig};
+
+fn acceptance_config() -> CampaignConfig {
+    CampaignConfig {
+        master_seed: 20130908,
+        mutations_per_class: 100,
+        events: 8,
+    }
+}
+
+#[test]
+fn five_hundred_mutations_all_detected_or_harmless() {
+    let report = faultlab::run_campaign(&acceptance_config()).expect("campaign runs");
+    assert!(report.passed(), "invariant violated:\n{}", report.to_text());
+    assert_eq!(report.classes.len(), 5, "five artifact classes attacked");
+    assert_eq!(report.total_mutations(), 500);
+    assert_eq!(report.total_violations(), 0);
+    assert_eq!(
+        report.total_detected() + report.total_harmless(),
+        report.total_mutations(),
+        "every mutation accounted for"
+    );
+    // Detection is not vacuous: most mutations actually change bytes the
+    // chain depends on, and every class sees real detections.
+    for class in &report.classes {
+        assert!(
+            class.detected > class.mutations / 2,
+            "{}: only {}/{} detected",
+            class.class,
+            class.detected,
+            class.mutations
+        );
+        assert!(!class.detections_by_layer.is_empty());
+    }
+    // The checksum-preserving results forgeries can only be caught by
+    // re-execution — confirm that layer fired.
+    let results_class = report
+        .classes
+        .iter()
+        .find(|c| c.class == ArtifactClass::ResultsText)
+        .expect("results class present");
+    assert!(
+        results_class
+            .detections_by_layer
+            .keys()
+            .any(|layer| layer.starts_with("validate:")),
+        "no re-execution detections for forged results: {:?}",
+        results_class.detections_by_layer
+    );
+}
+
+#[test]
+fn same_seed_reproduces_the_identical_report() {
+    let cfg = acceptance_config();
+    let first = faultlab::run_campaign(&cfg).expect("campaign runs");
+    let second = faultlab::run_campaign(&cfg).expect("campaign runs");
+    assert_eq!(first, second, "campaign must be a pure function of its config");
+}
+
+#[test]
+fn other_seeds_hold_the_invariant_too() {
+    let cfg = CampaignConfig {
+        master_seed: 424242,
+        mutations_per_class: 40,
+        events: 6,
+    };
+    let report = faultlab::run_campaign(&cfg).expect("campaign runs");
+    assert!(report.passed(), "{}", report.to_text());
+    // A different seed plans different mutations.
+    let other = faultlab::run_campaign(&CampaignConfig {
+        master_seed: 424243,
+        ..cfg
+    })
+    .expect("campaign runs");
+    assert_ne!(report, other, "distinct seeds should differ somewhere");
+}
+
+#[test]
+fn replay_coordinates_reproduce_campaign_outcomes() {
+    let cfg = CampaignConfig {
+        master_seed: 99,
+        mutations_per_class: 10,
+        events: 5,
+    };
+    // Every mutation a campaign ran is individually replayable by its
+    // (class, index) coordinates with an identical verdict.
+    let fixture = faultlab::CampaignFixture::build(&cfg).expect("fixture");
+    for class in ArtifactClass::all() {
+        let planned = faultlab::derive_mutation(&cfg, &fixture, class, 7);
+        let (replayed, outcome) = faultlab::replay(&cfg, class, 7).expect("replay");
+        assert_eq!(planned, replayed);
+        assert!(
+            !matches!(outcome, faultlab::Outcome::Violation(_)),
+            "replay {class}:7 violated: {outcome:?}"
+        );
+    }
+}

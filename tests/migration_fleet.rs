@@ -1,0 +1,94 @@
+//! Integration test: a mixed fleet (declarative + opaque archives) held
+//! by the `Migrator` through TWO successive platform transitions. The
+//! declarative survivor set must be preserved across both hops and every
+//! survivor must still validate bit-exactly; the opaque archives must be
+//! reported unmigratable at each hop, never silently revived.
+
+use daspos::migrate::{make_opaque, Migrator};
+use daspos::prelude::*;
+
+fn archive(experiment: Experiment, seed: u64) -> PreservationArchive {
+    let workflow = PreservedWorkflow::standard_z(experiment, seed, 20);
+    let ctx = ExecutionContext::fresh(&workflow);
+    let output = workflow.execute(&ctx).expect("chain executes");
+    PreservationArchive::package(
+        &format!("{}-{seed}", experiment.name()),
+        &workflow,
+        &ctx,
+        &output,
+    )
+    .expect("packages")
+}
+
+#[test]
+fn mixed_fleet_survives_two_successive_transitions() {
+    let mut fleet = Migrator::new();
+    fleet.add(archive(Experiment::Cms, 11));
+    fleet.add(archive(Experiment::Atlas, 12));
+    fleet.add(archive(Experiment::Lhcb, 13));
+    fleet.add(make_opaque(archive(Experiment::Alice, 14)));
+    fleet.add(make_opaque(archive(Experiment::Cms, 15)));
+    assert_eq!(fleet.len(), 5);
+
+    let declarative = ["cms-11", "atlas-12", "lhcb-13"];
+    let opaque = ["alice-14-opaque", "cms-15-opaque"];
+
+    // Baseline: the whole fleet was packaged on the current platform, so
+    // the declarative members validate and the opaque ones fail to
+    // re-execute even before any transition.
+    let baseline = fleet.validate_all(&Platform::current());
+    assert_eq!(baseline.iter().filter(|r| r.passed()).count(), 3);
+
+    // Hop 1: the scheduled successor platform.
+    let hop1 = fleet.migrate_to(&Platform::successor());
+    let mut unmigratable1 = hop1.unmigratable.clone();
+    unmigratable1.sort();
+    assert_eq!(unmigratable1, opaque, "both opaque archives die at hop 1");
+    let survivors1: Vec<&str> = hop1
+        .outcomes
+        .iter()
+        .filter(|r| r.passed())
+        .map(|r| r.archive.as_str())
+        .collect();
+    assert_eq!(survivors1, declarative, "declarative set survives hop 1");
+    for outcome in &hop1.outcomes {
+        assert!(
+            outcome.integrity_ok && outcome.platform_ok && outcome.executed && outcome.reproduced,
+            "{}: {}",
+            outcome.archive,
+            outcome.detail
+        );
+    }
+    assert!((hop1.survival_rate() - 3.0 / 5.0).abs() < 1e-12);
+
+    // Between hops, the migrated fleet must no longer validate on the
+    // now-stale original platform — migration really rebuilt the stacks.
+    let stale = fleet.validate_all(&Platform::current());
+    assert!(
+        stale.iter().all(|r| !r.passed()),
+        "a migrated archive still validates on the abandoned platform"
+    );
+
+    // Hop 2: a second, farther transition.
+    let hop2 = fleet.migrate_to(&Platform("el10-riscv64".to_string()));
+    let mut unmigratable2 = hop2.unmigratable.clone();
+    unmigratable2.sort();
+    assert_eq!(unmigratable2, opaque, "opaque archives stay dead at hop 2");
+    let survivors2: Vec<&str> = hop2
+        .outcomes
+        .iter()
+        .filter(|r| r.passed())
+        .map(|r| r.archive.as_str())
+        .collect();
+    assert_eq!(
+        survivors2, declarative,
+        "the survivor set is preserved across successive transitions"
+    );
+    assert!((hop2.survival_rate() - 3.0 / 5.0).abs() < 1e-12);
+
+    // Survivors reproduce their reference bit-for-bit after two
+    // migrations, not merely "ran without error".
+    for outcome in &hop2.outcomes {
+        assert!(outcome.reproduced, "{}: {}", outcome.archive, outcome.detail);
+    }
+}

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::ConditionsError;
-use crate::iov::{IovKey, RunRange};
+use crate::iov::{IovKey, IovSequence, RunRange};
 use crate::store::{ConditionsStore, Payload};
 use crate::text;
 
@@ -241,22 +241,27 @@ impl Snapshot {
 
 /// Shipped-file mode: conditions resolved from an in-memory snapshot with
 /// no external dependency (the ALICE model and the archive-replay model).
+///
+/// Lookup rides the same [`IovSequence`] index the conditions store uses
+/// — sorted intervals, binary search, last-hit cursor — so shipped-file
+/// resolution is as fast as database resolution minus the round trip.
 pub struct ShippedFileSource {
     snapshot: Snapshot,
-    index: std::collections::BTreeMap<IovKey, Vec<(RunRange, usize)>>,
+    index: std::collections::BTreeMap<IovKey, IovSequence>,
     stats: AccessStats,
 }
 
 impl ShippedFileSource {
     /// Build a source over a snapshot (indexes it for lookup).
     pub fn new(snapshot: Snapshot) -> Self {
-        let mut index: std::collections::BTreeMap<IovKey, Vec<(RunRange, usize)>> =
+        let mut index: std::collections::BTreeMap<IovKey, IovSequence> =
             std::collections::BTreeMap::new();
         for (i, (k, r, _)) in snapshot.entries.iter().enumerate() {
-            index.entry(k.clone()).or_default().push((*r, i));
-        }
-        for ranges in index.values_mut() {
-            ranges.sort_by_key(|(r, _)| r.first);
+            // Honest snapshots cannot carry overlapping intervals (the
+            // store they were captured from rejects them); if one does,
+            // the first entry for a run wins and the rest are dropped —
+            // restoring such a snapshot into a store fails anyway.
+            let _ = index.entry(k.clone()).or_default().insert(*r, i);
         }
         ShippedFileSource {
             snapshot,
@@ -274,20 +279,16 @@ impl ShippedFileSource {
 impl ConditionsSource for ShippedFileSource {
     fn get(&self, key: &IovKey, run: u32) -> Result<Payload, ConditionsError> {
         self.stats.lookups.fetch_add(1, Ordering::Relaxed);
-        let ranges = self.index.get(key).ok_or_else(|| ConditionsError::UnknownKey {
+        let seq = self.index.get(key).ok_or_else(|| ConditionsError::UnknownKey {
             tag: self.snapshot.tag.clone(),
             key: key.0.clone(),
         })?;
-        let pos = ranges.partition_point(|(r, _)| r.first <= run);
-        if pos > 0 {
-            let (range, idx) = ranges[pos - 1];
-            if range.contains(run) {
-                let p = self.snapshot.entries[idx].2.clone();
-                self.stats
-                    .bytes_read
-                    .fetch_add(p.byte_size() as u64, Ordering::Relaxed);
-                return Ok(p);
-            }
+        if let Some(idx) = seq.resolve(run) {
+            let p = self.snapshot.entries[idx].2.clone();
+            self.stats
+                .bytes_read
+                .fetch_add(p.byte_size() as u64, Ordering::Relaxed);
+            return Ok(p);
         }
         Err(ConditionsError::NoValidPayload {
             tag: self.snapshot.tag.clone(),

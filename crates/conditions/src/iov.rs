@@ -102,10 +102,42 @@ impl fmt::Display for IovKey {
 
 /// A sorted, non-overlapping sequence of `(RunRange, payload-index)`
 /// entries for one condition key.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Resolution is `O(log n)` binary search with a last-hit cursor on top:
+/// production chains resolve the same key for runs of the same interval
+/// thousands of times in a row, so the cursor makes the repeated case
+/// amortized `O(1)`. The cursor is a plain accelerator — a stale value
+/// (after a concurrent insert) only costs one failed `contains` check
+/// before the binary search runs; it can never change the result.
+#[derive(Debug, Default)]
 pub struct IovSequence {
     entries: Vec<(RunRange, usize)>,
+    /// Index of the last entry a `resolve` hit. Relaxed atomics: the
+    /// store is behind a `RwLock` read guard in the conditions store, so
+    /// this must be `Sync`, and any torn/stale read is harmless.
+    hint: std::sync::atomic::AtomicUsize,
 }
+
+impl Clone for IovSequence {
+    fn clone(&self) -> Self {
+        IovSequence {
+            entries: self.entries.clone(),
+            hint: std::sync::atomic::AtomicUsize::new(
+                self.hint.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// Equality ignores the cursor: two sequences with the same intervals
+/// resolve identically regardless of what was last looked up.
+impl PartialEq for IovSequence {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for IovSequence {}
 
 impl IovSequence {
     /// An empty sequence.
@@ -113,30 +145,66 @@ impl IovSequence {
         IovSequence::default()
     }
 
+    /// Build a sequence directly from `(range, payload-index)` pairs;
+    /// rejects overlaps. Sorting happens once — `O(n log n)` total
+    /// instead of `O(n)` per insert.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (RunRange, usize)>,
+    ) -> Result<Self, ConditionsError> {
+        let mut seq = IovSequence::new();
+        for (range, idx) in entries {
+            seq.insert(range, idx)?;
+        }
+        Ok(seq)
+    }
+
     /// Insert an interval pointing at `payload_index`; rejects overlaps.
+    ///
+    /// `O(log n)` search plus the vector shift: entries are sorted and
+    /// non-overlapping, so only the two neighbors of the insertion point
+    /// can overlap the new range — no linear scan.
     pub fn insert(&mut self, range: RunRange, payload_index: usize) -> Result<(), ConditionsError> {
-        if let Some((existing, _)) = self.entries.iter().find(|(r, _)| r.overlaps(&range)) {
+        let pos = self
+            .entries
+            .partition_point(|(r, _)| r.first < range.first);
+        let overlap = pos
+            .checked_sub(1)
+            .and_then(|left| self.entries.get(left))
+            .filter(|(r, _)| r.overlaps(&range))
+            .or_else(|| self.entries.get(pos).filter(|(r, _)| r.overlaps(&range)));
+        if let Some((existing, _)) = overlap {
             return Err(ConditionsError::OverlappingIov {
                 key: String::new(),
                 inserted: range,
                 existing: *existing,
             });
         }
-        let pos = self
-            .entries
-            .partition_point(|(r, _)| r.first < range.first);
         self.entries.insert(pos, (range, payload_index));
         Ok(())
     }
 
-    /// Binary-search resolution of the payload index covering `run`.
+    /// Resolution of the payload index covering `run`: the last-hit
+    /// cursor first (amortized `O(1)` for repeated runs), then binary
+    /// search.
     pub fn resolve(&self, run: u32) -> Option<usize> {
+        use std::sync::atomic::Ordering;
+        let hint = self.hint.load(Ordering::Relaxed);
+        if let Some((range, idx)) = self.entries.get(hint) {
+            if range.contains(run) {
+                return Some(*idx);
+            }
+        }
         let pos = self.entries.partition_point(|(r, _)| r.first <= run);
         if pos == 0 {
             return None;
         }
         let (range, idx) = self.entries[pos - 1];
-        range.contains(run).then_some(idx)
+        if range.contains(run) {
+            self.hint.store(pos - 1, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
     }
 
     /// All entries in run order.
@@ -219,5 +287,88 @@ mod tests {
         seq.insert(RunRange::new(1, 5).unwrap(), 0).unwrap();
         seq.insert(RunRange::new(10, 15).unwrap(), 1).unwrap();
         assert_eq!(seq.resolve(7), None);
+    }
+
+    #[test]
+    fn repeated_and_alternating_lookups_stay_correct_with_cursor() {
+        let mut seq = IovSequence::new();
+        for i in 0..50u32 {
+            seq.insert(RunRange::new(i * 10 + 1, i * 10 + 10).unwrap(), i as usize)
+                .unwrap();
+        }
+        // Repeated same-interval hits (the cursor's fast path)…
+        for _ in 0..100 {
+            assert_eq!(seq.resolve(205), Some(20));
+        }
+        // …then a jump, then alternating intervals, then misses.
+        assert_eq!(seq.resolve(5), Some(0));
+        for _ in 0..10 {
+            assert_eq!(seq.resolve(495), Some(49));
+            assert_eq!(seq.resolve(15), Some(1));
+        }
+        assert_eq!(seq.resolve(0), None);
+        assert_eq!(seq.resolve(501), None);
+    }
+
+    #[test]
+    fn insert_after_lookups_keeps_resolution_correct() {
+        // A stale cursor (entries shifted by a later insert) must never
+        // change what resolve returns.
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(100, 200).unwrap(), 5).unwrap();
+        assert_eq!(seq.resolve(150), Some(5)); // cursor now points at it
+        seq.insert(RunRange::new(1, 50).unwrap(), 9).unwrap(); // shifts entries
+        assert_eq!(seq.resolve(25), Some(9));
+        assert_eq!(seq.resolve(150), Some(5));
+    }
+
+    #[test]
+    fn insert_detects_overlap_with_both_neighbors() {
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(1, 10).unwrap(), 0).unwrap();
+        seq.insert(RunRange::new(21, 30).unwrap(), 1).unwrap();
+        // Overlaps the left neighbor only.
+        assert!(seq.insert(RunRange::new(10, 15).unwrap(), 2).is_err());
+        // Overlaps the right neighbor only.
+        assert!(seq.insert(RunRange::new(15, 21).unwrap(), 2).is_err());
+        // Spans both neighbors: the reported range is the left one,
+        // matching the old linear scan's first match.
+        match seq.insert(RunRange::new(5, 25).unwrap(), 2).unwrap_err() {
+            ConditionsError::OverlappingIov { existing, .. } => {
+                assert_eq!(existing, RunRange::new(1, 10).unwrap());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Same first run as an existing entry collides too.
+        assert!(seq.insert(RunRange::new(21, 40).unwrap(), 2).is_err());
+        // The gap still accepts.
+        seq.insert(RunRange::new(11, 20).unwrap(), 3).unwrap();
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_the_cursor() {
+        let mut a = IovSequence::new();
+        a.insert(RunRange::new(1, 10).unwrap(), 0).unwrap();
+        a.insert(RunRange::new(11, 20).unwrap(), 1).unwrap();
+        let b = a.clone();
+        assert_eq!(a.resolve(15), Some(1)); // moves a's cursor only
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_entries_builds_and_rejects_overlap() {
+        let seq = IovSequence::from_entries([
+            (RunRange::new(11, 20).unwrap(), 1),
+            (RunRange::new(1, 10).unwrap(), 0),
+        ])
+        .unwrap();
+        assert_eq!(seq.resolve(5), Some(0));
+        assert_eq!(seq.resolve(15), Some(1));
+        assert!(IovSequence::from_entries([
+            (RunRange::new(1, 10).unwrap(), 0),
+            (RunRange::new(5, 15).unwrap(), 1),
+        ])
+        .is_err());
     }
 }

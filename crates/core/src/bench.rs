@@ -1,0 +1,351 @@
+//! Micro-benchmark harness for the streaming hot path.
+//!
+//! Reproducibility claims about a preservation toolkit are also
+//! *performance* claims: a validation fleet that re-executes thousands of
+//! archives cares how fast one chain decodes, verifies and skims. This
+//! module measures the codec and skim paths — batch and streaming — plus
+//! the full chain, on a fixture produced by one real workflow execution,
+//! and renders the numbers as a small JSON document (`BENCH_*.json` at
+//! the repo root is the persisted trajectory across PRs).
+//!
+//! Methodology: every metric runs one untimed warm-up pass (page-in,
+//! allocator warm-up), then `reps` timed passes over the same fixture;
+//! the reported figure is the **median** wall time per rep divided by the
+//! event count. With the `bench-alloc` feature the binary installs a
+//! counting wrapper around the system allocator and each metric also
+//! reports the peak bytes allocated above the pre-measurement baseline.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use daspos_detsim::Experiment;
+use daspos_reco::objects::AodEvent;
+use daspos_tiers::codec::{self, Encodable, EventReader};
+use daspos_tiers::skim;
+
+use crate::runner::RunnerConfig;
+use crate::workflow::{ExecutionContext, PreservedWorkflow};
+
+/// What to measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Events in the fixture chain (the ISSUE trajectory uses 10k).
+    pub events: u64,
+    /// Timed repetitions per metric (median is reported).
+    pub reps: usize,
+    /// Worker threads for the full-chain metric (1 = streaming path).
+    pub threads: usize,
+    /// Master seed of the fixture workflow.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            events: 10_000,
+            reps: 5,
+            threads: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Operation name (stable across PRs — the trajectory key).
+    pub name: &'static str,
+    /// Wall time of each timed rep, nanoseconds.
+    pub reps_ns: Vec<u64>,
+    /// Median rep time divided by the event count.
+    pub median_ns_per_event: f64,
+    /// Event throughput implied by the median rep.
+    pub events_per_sec: f64,
+    /// Peak bytes allocated above the baseline during the timed reps;
+    /// `None` unless built with the `bench-alloc` feature.
+    pub peak_alloc_bytes: Option<u64>,
+}
+
+/// A full benchmark run, renderable as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The configuration that produced this report.
+    pub config: BenchConfig,
+    /// One entry per measured operation.
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Throughput ratio `fast / slow` between two metrics, if both exist.
+    pub fn speedup(&self, fast: &str, slow: &str) -> Option<f64> {
+        let f = self.metric(fast)?.events_per_sec;
+        let s = self.metric(slow)?.events_per_sec;
+        (s > 0.0).then(|| f / s)
+    }
+
+    /// Render the report as a small, dependency-free JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"daspos-bench/1\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"events\": {}, \"reps\": {}, \"threads\": {}, \"seed\": {}}},\n",
+            self.config.events, self.config.reps, self.config.threads, self.config.seed
+        ));
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let reps: Vec<String> = m.reps_ns.iter().map(|n| n.to_string()).collect();
+            let peak = match m.peak_alloc_bytes {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"reps_ns\": [{}], \"median_ns_per_event\": {:.2}, \"events_per_sec\": {:.1}, \"peak_alloc_bytes\": {}}}{}\n",
+                m.name,
+                reps.join(", "),
+                m.median_ns_per_event,
+                m.events_per_sec,
+                peak,
+                if i + 1 < self.metrics.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let fmt_speedup = |r: Option<f64>| match r {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}}}\n",
+            fmt_speedup(self.speedup("decode_streaming", "decode_batch")),
+            fmt_speedup(self.speedup("skim_streaming", "skim_batch"))
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Build the fixture chain and measure every metric.
+pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let workflow = PreservedWorkflow::standard_z(Experiment::Cms, cfg.seed, cfg.events);
+    let runner = RunnerConfig {
+        threads: cfg.threads.max(1),
+    };
+    let ctx = ExecutionContext::fresh(&workflow);
+    let output = workflow.execute_with(&ctx, &runner)?;
+    let aod_file = AodEvent::encode_events(&output.aod_events);
+    let sealed = codec::seal(&aod_file);
+    let n = output.aod_events.len() as u64;
+
+    let mut metrics = Vec::new();
+    metrics.push(measure("decode_batch", cfg.reps, n, || {
+        let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
+        black_box(evs.len());
+    }));
+    metrics.push(measure("decode_streaming", cfg.reps, n, || {
+        let mut reader =
+            EventReader::<AodEvent>::new(&aod_file).expect("pristine header parses");
+        let mut seen = 0u64;
+        while let Some(ev) = reader.next().expect("pristine file decodes") {
+            seen += 1;
+            black_box(ev.header.event);
+        }
+        black_box(seen);
+    }));
+    metrics.push(measure("seal_verify", cfg.reps, n, || {
+        let payload = codec::unseal(&sealed).expect("seal verifies");
+        black_box(payload.len());
+    }));
+    metrics.push(measure("skim_batch", cfg.reps, n, || {
+        let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
+        let (survivors, report) = skim::skim_slim(&evs, &workflow.skim, &workflow.slim);
+        let file = AodEvent::encode_events(&survivors);
+        black_box((file.len(), report.events_out));
+    }));
+    metrics.push(measure("skim_streaming", cfg.reps, n, || {
+        let (file, report) =
+            skim::skim_slim_streaming(&aod_file, &workflow.skim, &workflow.slim)
+                .expect("pristine file skims");
+        black_box((file.len(), report.events_out));
+    }));
+    metrics.push(measure("full_chain", cfg.reps, n, || {
+        let ctx = ExecutionContext::fresh(&workflow);
+        let out = workflow
+            .execute_with(&ctx, &runner)
+            .expect("fixture chain executes");
+        black_box(out.aod_events.len());
+    }));
+
+    Ok(BenchReport {
+        config: cfg.clone(),
+        metrics,
+    })
+}
+
+fn measure(name: &'static str, reps: usize, events: u64, mut f: impl FnMut()) -> Metric {
+    // One untimed warm-up pass.
+    f();
+    #[cfg(feature = "bench-alloc")]
+    alloc_counter::reset();
+    let mut reps_ns = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        reps_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    #[cfg(feature = "bench-alloc")]
+    let peak_alloc_bytes = Some(alloc_counter::peak_since_reset());
+    #[cfg(not(feature = "bench-alloc"))]
+    let peak_alloc_bytes = None;
+    let mut sorted = reps_ns.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let median_ns_per_event = median as f64 / events.max(1) as f64;
+    let events_per_sec = if median == 0 {
+        0.0
+    } else {
+        events as f64 * 1e9 / median as f64
+    };
+    Metric {
+        name,
+        reps_ns,
+        median_ns_per_event,
+        events_per_sec,
+        peak_alloc_bytes,
+    }
+}
+
+/// Counting wrapper around the system allocator. Only compiled with the
+/// `bench-alloc` feature; the binary installs it as `#[global_allocator]`
+/// so the bench can report peak bytes allocated per metric.
+#[cfg(feature = "bench-alloc")]
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// The wrapper allocator: delegates to [`System`], tracking live
+    /// bytes and the high-water mark.
+    pub struct CountingAlloc;
+
+    static CURRENT: AtomicI64 = AtomicI64::new(0);
+    static PEAK: AtomicI64 = AtomicI64::new(0);
+    static BASELINE: AtomicI64 = AtomicI64::new(0);
+
+    fn grow(n: i64) {
+        let cur = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
+        PEAK.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                grow(layout.size() as i64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            CURRENT.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                let delta = new_size as i64 - layout.size() as i64;
+                if delta > 0 {
+                    grow(delta);
+                } else {
+                    CURRENT.fetch_add(delta, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+
+    /// Start a measurement window at the current live-byte level.
+    pub fn reset() {
+        let cur = CURRENT.load(Ordering::Relaxed);
+        BASELINE.store(cur, Ordering::Relaxed);
+        PEAK.store(cur, Ordering::Relaxed);
+    }
+
+    /// Peak bytes allocated above the [`reset`] baseline.
+    pub fn peak_since_reset() -> u64 {
+        (PEAK.load(Ordering::Relaxed) - BASELINE.load(Ordering::Relaxed)).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bench_produces_positive_metrics_and_valid_json() {
+        let cfg = BenchConfig {
+            events: 40,
+            reps: 2,
+            threads: 1,
+            seed: 7,
+        };
+        let report = run(&cfg).expect("bench runs");
+        assert_eq!(report.metrics.len(), 6);
+        for m in &report.metrics {
+            assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
+            assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
+            assert!(m.median_ns_per_event > 0.0, "{}", m.name);
+            assert!(m.events_per_sec > 0.0, "{}", m.name);
+        }
+        let json = report.to_json();
+        for name in [
+            "decode_batch",
+            "decode_streaming",
+            "seal_verify",
+            "skim_batch",
+            "skim_streaming",
+            "full_chain",
+            "decode_streaming_speedup",
+        ] {
+            assert!(json.contains(name), "missing {name} in:\n{json}");
+        }
+        // Balanced braces/brackets — the document is at least well-formed.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count()
+        );
+    }
+
+    #[test]
+    fn speedup_is_the_throughput_ratio() {
+        let report = BenchReport {
+            config: BenchConfig::default(),
+            metrics: vec![
+                Metric {
+                    name: "a",
+                    reps_ns: vec![100],
+                    median_ns_per_event: 1.0,
+                    events_per_sec: 200.0,
+                    peak_alloc_bytes: None,
+                },
+                Metric {
+                    name: "b",
+                    reps_ns: vec![200],
+                    median_ns_per_event: 2.0,
+                    events_per_sec: 100.0,
+                    peak_alloc_bytes: None,
+                },
+            ],
+        };
+        assert_eq!(report.speedup("a", "b"), Some(2.0));
+        assert_eq!(report.speedup("a", "missing"), None);
+    }
+}

@@ -205,10 +205,8 @@ impl MutationKind {
                 v[offset..offset + 4].copy_from_slice(&value.to_le_bytes())
             }
             MutationKind::SwapRegions { a, b, len } => {
-                for i in 0..len {
-                    v[a + i] = original[b + i];
-                    v[b + i] = original[a + i];
-                }
+                v[a..a + len].copy_from_slice(&original[b..b + len]);
+                v[b..b + len].copy_from_slice(&original[a..a + len]);
             }
             MutationKind::DropRegion { start, len } => {
                 v.drain(start..start + len);
@@ -391,6 +389,96 @@ pub struct CampaignFixture {
     pub snapshot: Snapshot,
     /// The reference results text carried by the archive.
     pub results_text: String,
+    /// Per-class artifact shapes, indexed by `ArtifactClass as usize` —
+    /// computed once here instead of once per mutation.
+    shapes: [ArtifactShape; 5],
+    /// Splice template for checksum-preserving results forgeries.
+    forge: ForgeTemplate,
+}
+
+/// Precomputed splice template for checksum-preserving results
+/// forgeries. Re-serializing the whole container per mutation (clone the
+/// archive, insert the forged section, `to_bytes`) dominated campaign
+/// time; everything except the RESULTS payload, its checksum/length
+/// fields and the manifest digest is invariant across forgeries, so a
+/// forged container is two small field patches plus three memcpys.
+struct ForgeTemplate {
+    /// Container bytes before the manifest digest (magic + version).
+    head: Vec<u8>,
+    /// Container bytes between the manifest digest and the RESULTS
+    /// checksum field (archive name, section count, every earlier
+    /// section record, the RESULTS name record).
+    mid: Vec<u8>,
+    /// Container bytes after the RESULTS data (the later sections).
+    tail: Vec<u8>,
+    /// The manifest-digest input buffer, with the RESULTS checksum and
+    /// length fields starting at `manifest_patch`.
+    manifest: Vec<u8>,
+    manifest_patch: usize,
+}
+
+impl ForgeTemplate {
+    fn build(archive: &PreservationArchive, bytes: &Bytes) -> ForgeTemplate {
+        // Mirror the serialization walk to locate the RESULTS record.
+        let mut off = 4 + 2 + 8 + 4 + archive.name.len() + 4;
+        let mut results = None;
+        for s in archive.sections.values() {
+            let checksum_off = off + 4 + s.name.len();
+            if s.name == sections::RESULTS {
+                results = Some((checksum_off, s.data.len()));
+            }
+            off = checksum_off + 8 + 4 + s.data.len();
+        }
+        let (checksum_off, data_len) = results.expect("archive carries a results section");
+        // The manifest-digest input: length-prefixed archive name,
+        // section count, then (name_len, name, checksum, data_len) per
+        // section — the exact stream `archive::manifest_digest` hashes.
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(&(archive.name.len() as u32).to_le_bytes());
+        manifest.extend_from_slice(archive.name.as_bytes());
+        manifest.extend_from_slice(&(archive.sections.len() as u32).to_le_bytes());
+        let mut manifest_patch = 0;
+        for s in archive.sections.values() {
+            manifest.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            manifest.extend_from_slice(s.name.as_bytes());
+            if s.name == sections::RESULTS {
+                manifest_patch = manifest.len();
+            }
+            manifest.extend_from_slice(&s.checksum.to_le_bytes());
+            manifest.extend_from_slice(&(s.data.len() as u32).to_le_bytes());
+        }
+        ForgeTemplate {
+            head: bytes[..6].to_vec(),
+            mid: bytes[14..checksum_off].to_vec(),
+            tail: bytes[checksum_off + 12 + data_len..].to_vec(),
+            manifest,
+            manifest_patch,
+        }
+    }
+
+    /// The container bytes that cloning the pristine archive, inserting
+    /// `data` as RESULTS and serializing would produce — byte-identical
+    /// (asserted by tests), without re-encoding anything else.
+    fn render(&self, data: &[u8]) -> Vec<u8> {
+        let checksum = codec::fnv64(data);
+        let mut manifest = self.manifest.clone();
+        manifest[self.manifest_patch..self.manifest_patch + 8]
+            .copy_from_slice(&checksum.to_le_bytes());
+        manifest[self.manifest_patch + 8..self.manifest_patch + 12]
+            .copy_from_slice(&(data.len() as u32).to_le_bytes());
+        let digest = codec::fnv64(&manifest);
+        let mut out = Vec::with_capacity(
+            self.head.len() + 8 + self.mid.len() + 12 + data.len() + self.tail.len(),
+        );
+        out.extend_from_slice(&self.head);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out.extend_from_slice(&self.mid);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+        out.extend_from_slice(&self.tail);
+        out
+    }
 }
 
 impl CampaignFixture {
@@ -421,10 +509,20 @@ impl CampaignFixture {
             .section_text(sections::RESULTS)
             .map_err(|e| e.to_string())?
             .to_string();
+        let sealed_aod = codec::seal(&aod_payload);
+        let sealed_raw = codec::seal(&raw_payload);
+        let shapes = [
+            sealed_tier_shape(&sealed_aod),
+            sealed_tier_shape(&sealed_raw),
+            archive_shape(&archive, &archive_bytes),
+            ArtifactShape::text(&conditions_text),
+            ArtifactShape::text(&results_text),
+        ];
+        let forge = ForgeTemplate::build(&archive, &archive_bytes);
         Ok(CampaignFixture {
             workflow,
-            sealed_aod: codec::seal(&aod_payload),
-            sealed_raw: codec::seal(&raw_payload),
+            sealed_aod,
+            sealed_raw,
             aod_payload,
             raw_payload,
             archive,
@@ -432,6 +530,8 @@ impl CampaignFixture {
             conditions_text,
             snapshot,
             results_text,
+            shapes,
+            forge,
         })
     }
 
@@ -447,14 +547,10 @@ impl CampaignFixture {
     }
 
     /// Length + structural boundaries for the mutation sampler.
-    pub fn shape(&self, class: ArtifactClass) -> ArtifactShape {
-        match class {
-            ArtifactClass::TierAod => sealed_tier_shape(&self.sealed_aod),
-            ArtifactClass::TierRaw => sealed_tier_shape(&self.sealed_raw),
-            ArtifactClass::Archive => archive_shape(&self.archive, &self.archive_bytes),
-            ArtifactClass::ConditionsText => ArtifactShape::text(&self.conditions_text),
-            ArtifactClass::ResultsText => ArtifactShape::text(&self.results_text),
-        }
+    /// Precomputed in [`CampaignFixture::build`]; a campaign asks for the
+    /// same five shapes once per mutation.
+    pub fn shape(&self, class: ArtifactClass) -> &ArtifactShape {
+        &self.shapes[class as usize]
     }
 }
 
@@ -526,13 +622,15 @@ pub fn derive_mutation(
     let seed = derive_seed(cfg.master_seed, class, index);
     let mut rng = StdRng::seed_from_u64(seed);
     let shape = fixture.shape(class);
+    // Forgeries mutate the results text, so their sampling shape is the
+    // (precomputed) ResultsText shape.
     let forge_shape = (class == ArtifactClass::Archive)
-        .then(|| ArtifactShape::text(&fixture.results_text));
+        .then(|| fixture.shape(ArtifactClass::ResultsText));
     Mutation {
         class,
         index,
         seed,
-        kind: sample_kind(&mut rng, &shape, forge_shape.as_ref()),
+        kind: sample_kind(&mut rng, shape, forge_shape),
     }
 }
 
@@ -545,9 +643,7 @@ pub fn mutate_artifact(
     match &mutation.kind {
         MutationKind::ForgeResults { sub } => {
             let mutated_results = sub.apply(fixture.results_text.as_bytes());
-            let mut forged = fixture.archive.clone();
-            forged.insert(sections::RESULTS, Bytes::from(mutated_results));
-            forged.to_bytes().to_vec()
+            fixture.forge.render(&mutated_results)
         }
         kind => kind.apply(fixture.artifact(class)),
     }
@@ -559,7 +655,7 @@ pub fn mutate_artifact(
 pub fn check_mutant(
     fixture: &CampaignFixture,
     class: ArtifactClass,
-    mutated: &[u8],
+    mutated: &Bytes,
     cache: &mut RerunCache,
 ) -> Outcome {
     match class {
@@ -575,16 +671,17 @@ pub fn check_mutant(
     }
 }
 
-fn check_sealed_tier<T: Encodable + PartialEq>(mutated: &[u8], payload: &Bytes) -> Outcome {
+fn check_sealed_tier<T: Encodable + PartialEq>(mutated: &Bytes, payload: &Bytes) -> Outcome {
     // Robustness probe: whatever the seal says, the raw decoder must not
     // panic or over-allocate on the mutated inner bytes. Its Ok/Err
     // result is irrelevant here; a panic is converted to a violation by
-    // the campaign's catch_unwind.
+    // the campaign's catch_unwind. The slice is a zero-copy window into
+    // the mutant.
     if mutated.len() >= codec::SEAL_OVERHEAD {
-        let inner = Bytes::copy_from_slice(&mutated[codec::SEAL_OVERHEAD..]);
+        let inner = mutated.slice(codec::SEAL_OVERHEAD..);
         let _ = T::decode_events(&inner);
     }
-    match codec::unseal(&Bytes::copy_from_slice(mutated)) {
+    match codec::unseal(mutated) {
         Err(e) => Outcome::Detected(format!("seal:{}", e.category().name())),
         Ok(inner) if inner == *payload => match T::decode_events(&inner) {
             Ok(_) => Outcome::Harmless,
@@ -598,10 +695,10 @@ fn check_sealed_tier<T: Encodable + PartialEq>(mutated: &[u8], payload: &Bytes) 
 
 fn check_archive(
     fixture: &CampaignFixture,
-    mutated: &[u8],
+    mutated: &Bytes,
     cache: &mut RerunCache,
 ) -> Outcome {
-    let parsed = match PreservationArchive::from_bytes(&Bytes::copy_from_slice(mutated)) {
+    let parsed = match PreservationArchive::from_bytes(mutated) {
         Err(e) => return Outcome::Detected(format!("container:{}", container_label(&e))),
         Ok(a) => a,
     };
@@ -623,7 +720,7 @@ fn check_archive(
     }
 }
 
-fn check_conditions_text(fixture: &CampaignFixture, mutated: &[u8]) -> Outcome {
+fn check_conditions_text(fixture: &CampaignFixture, mutated: &Bytes) -> Outcome {
     let text = match std::str::from_utf8(mutated) {
         Ok(t) => t,
         Err(_) => return Outcome::Detected("text:utf8".to_string()),
@@ -639,18 +736,18 @@ fn check_conditions_text(fixture: &CampaignFixture, mutated: &[u8]) -> Outcome {
 
 fn check_results_text(
     fixture: &CampaignFixture,
-    mutated: &[u8],
+    mutated: &Bytes,
     cache: &mut RerunCache,
 ) -> Outcome {
     // The attack model: the mutated results are re-inserted through the
     // archive API, so every checksum is honest — integrity checks are
     // blind to it, and the forgery must be caught by re-execution.
     let mut forged = fixture.archive.clone();
-    forged.insert(sections::RESULTS, Bytes::copy_from_slice(mutated));
+    forged.insert(sections::RESULTS, mutated.clone());
     match validate_with_cache(&forged, &Platform::current(), cache) {
         Err(e) => Outcome::Detected(format!("validate:{}", container_label(&e))),
         Ok(report) if report.passed() => {
-            if mutated == fixture.results_text.as_bytes() {
+            if mutated[..] == *fixture.results_text.as_bytes() {
                 Outcome::Harmless
             } else {
                 Outcome::Violation("forged results accepted as reproduced".to_string())
@@ -839,7 +936,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
         };
         for index in 0..cfg.mutations_per_class {
             let mutation = derive_mutation(cfg, &fixture, class, index);
-            let mutated = mutate_artifact(&fixture, class, &mutation);
+            // One Vec -> Bytes conversion (no copy); the checkers slice
+            // into this buffer instead of re-copying per probe.
+            let mutated = Bytes::from(mutate_artifact(&fixture, class, &mutation));
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 check_mutant(&fixture, class, &mutated, &mut cache)
             }))
@@ -881,7 +980,7 @@ pub fn replay(
     let fixture = CampaignFixture::build(cfg)?;
     let mut cache = RerunCache::new();
     let mutation = derive_mutation(cfg, &fixture, class, index);
-    let mutated = mutate_artifact(&fixture, class, &mutation);
+    let mutated = Bytes::from(mutate_artifact(&fixture, class, &mutation));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         check_mutant(&fixture, class, &mutated, &mut cache)
     }))
@@ -976,6 +1075,28 @@ mod tests {
                     "replay {class}:{index} violated: {outcome:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn forge_template_matches_full_reserialization() {
+        let fixture = CampaignFixture::build(&small_config()).unwrap();
+        let cases = [
+            fixture.results_text.clone().into_bytes(),
+            b"counts_total=0\n".to_vec(),
+            Vec::new(),
+            vec![0xFF; 3 * fixture.results_text.len()],
+        ];
+        for forged_results in cases {
+            let mut forged = fixture.archive.clone();
+            forged.insert(sections::RESULTS, Bytes::from(forged_results.clone()));
+            let expected = forged.to_bytes();
+            let rendered = fixture.forge.render(&forged_results);
+            assert_eq!(
+                rendered.as_slice(),
+                &expected[..],
+                "splice template must match clone+insert+to_bytes"
+            );
         }
     }
 

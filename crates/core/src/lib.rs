@@ -34,6 +34,7 @@
 //! ```
 
 pub mod archive;
+pub mod bench;
 pub mod faultlab;
 pub mod levels;
 pub mod migrate;

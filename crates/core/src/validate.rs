@@ -162,32 +162,12 @@ pub fn validate_with_cache(
         ));
     }
 
-    // 3. Re-derive the reference from the archive alone. Everything the
-    // re-run depends on — workflow text, conditions snapshot, software
-    // stack, ADL documents — is hashed into one key, so archives with
+    // 3. Re-derive the reference from the archive alone. Archives with
     // identical executable content share a single chain execution. A
     // workflow or conditions section missing entirely is a hard error
     // (the archive cannot even start); every softer problem lands in the
     // report as an execute-stage failure.
-    let key = {
-        let mut m = BytesMut::new();
-        let adl = archive.sections.get(sections::ADL).map(|s| &s.data);
-        for part in [
-            Some(archive.section(sections::WORKFLOW)?),
-            Some(archive.section(sections::CONDITIONS)?),
-            Some(archive.section(sections::SOFTWARE)?),
-            adl,
-        ] {
-            match part {
-                Some(bytes) => {
-                    m.put_u32_le(bytes.len() as u32);
-                    m.put_slice(bytes);
-                }
-                None => m.put_u32_le(u32::MAX),
-            }
-        }
-        fnv64(&m)
-    };
+    let key = rerun_key(archive)?;
     let rerun = match cache.runs.get(&key) {
         Some(cached) => cached.clone(),
         None => {
@@ -226,6 +206,29 @@ pub fn validate_with_cache(
             )
         },
     })
+}
+
+/// The [`RerunCache`] key of an archive's executable content. Everything
+/// the re-run depends on — workflow text, conditions snapshot, software
+/// stack, ADL documents — is hashed into one key.
+fn rerun_key(archive: &PreservationArchive) -> Result<u64, ArchiveError> {
+    let mut m = BytesMut::new();
+    let adl = archive.sections.get(sections::ADL).map(|s| &s.data);
+    for part in [
+        Some(archive.section(sections::WORKFLOW)?),
+        Some(archive.section(sections::CONDITIONS)?),
+        Some(archive.section(sections::SOFTWARE)?),
+        adl,
+    ] {
+        match part {
+            Some(bytes) => {
+                m.put_u32_le(bytes.len() as u32);
+                m.put_slice(bytes);
+            }
+            None => m.put_u32_le(u32::MAX),
+        }
+    }
+    Ok(fnv64(&m))
 }
 
 /// Restore the environment from the archive alone and re-execute the
@@ -317,7 +320,21 @@ pub fn validate_statistical(
     platform: &Platform,
     rel_tolerance: f64,
 ) -> Result<ValidationReport, ArchiveError> {
-    let mut report = validate(archive, platform)?;
+    validate_statistical_with_cache(archive, platform, rel_tolerance, &mut RerunCache::new())
+}
+
+/// [`validate_statistical`], sharing chain re-executions through `cache`.
+///
+/// The numeric comparison parses the re-run text that
+/// [`validate_with_cache`] just produced (or found cached) — the chain is
+/// never executed a second time merely to recover histograms.
+pub fn validate_statistical_with_cache(
+    archive: &PreservationArchive,
+    platform: &Platform,
+    rel_tolerance: f64,
+    cache: &mut RerunCache,
+) -> Result<ValidationReport, ArchiveError> {
+    let mut report = validate_with_cache(archive, platform, cache)?;
     if report.reproduced || !report.executed {
         return Ok(report);
     }
@@ -329,33 +346,13 @@ pub fn validate_statistical(
             return Ok(report);
         }
     };
-    // Re-run once more to obtain the histograms (validate() discarded
-    // them). The chain is deterministic, so this reproduces the same
-    // numbers the comparison above saw.
-    let workflow = PreservedWorkflow::parse(archive.section_text(sections::WORKFLOW)?)
-        .expect("validate() already parsed this");
-    let snapshot = Snapshot::from_text(archive.section_text(sections::CONDITIONS)?)
-        .expect("validate() already parsed this");
-    let conditions = Arc::new(ConditionsStore::new());
-    snapshot
-        .restore_into(&conditions, &workflow.conditions_tag)
-        .expect("validate() already restored this");
-    let ctx = ExecutionContext::with_conditions(conditions, archive.software()?);
-    if let Ok(adl_text) = archive.section_text(sections::ADL) {
-        for doc in split_adl_documents(adl_text) {
-            if let Ok(analysis) = daspos_rivet::AdlAnalysis::parse(&doc) {
-                ctx.registry.register(Box::new(analysis));
-            }
-        }
-    }
-    let output = match workflow.execute(&ctx) {
-        Ok(o) => o,
-        Err(e) => {
-            report.detail = e;
-            return Ok(report);
-        }
+    // `executed` guarantees the cache holds this archive's successful
+    // re-run; the defensive arm is unreachable.
+    let Some(Ok(rerun_text)) = cache.runs.get(&rerun_key(archive)?) else {
+        report.detail = "re-run text unavailable".to_string();
+        return Ok(report);
     };
-    let rerun = match parse_results_text(&output.results_to_text()) {
+    let rerun = match parse_results_text(rerun_text) {
         Ok(r) => r,
         Err(e) => {
             report.detail = format!("re-run results unparsable: {e}");
@@ -622,6 +619,32 @@ mod tests {
         );
         let report = validate_statistical(&a, &Platform::current(), 0.1).unwrap();
         assert!(!report.reproduced, "{}", report.detail);
+    }
+
+    #[test]
+    fn statistical_validation_shares_the_rerun_cache() {
+        let a = archive_for(14);
+        let mut cache = RerunCache::new();
+        let mut forged = a.clone();
+        forged.insert(
+            sections::RESULTS,
+            Bytes::from("== det:ZLL_2013_I0001 events=30 ==\n"),
+        );
+        let r =
+            validate_statistical_with_cache(&forged, &Platform::current(), 0.1, &mut cache)
+                .unwrap();
+        assert!(r.executed && !r.reproduced, "{}", r.detail);
+        assert_eq!(cache.len(), 1);
+
+        // A second forgery of the same archive has identical executable
+        // content: the statistical pass must not re-execute the chain.
+        let mut forged2 = a.clone();
+        forged2.insert(sections::RESULTS, Bytes::from("== other ==\n"));
+        let r2 =
+            validate_statistical_with_cache(&forged2, &Platform::current(), 0.1, &mut cache)
+                .unwrap();
+        assert!(r2.executed && !r2.reproduced, "{}", r2.detail);
+        assert_eq!(cache.len(), 1, "numeric comparison must reuse the cached re-run");
     }
 
     #[test]

@@ -310,27 +310,52 @@ impl PreservedWorkflow {
                 &format!("{run_name}/aod"),
                 self.experiment.name(),
                 DataTier::Aod,
-                vec![(aod_file, aod_events.len() as u64)],
+                // Bytes clone: a refcount bump, not a copy — the skim
+                // below reads the same buffer.
+                vec![(aod_file.clone(), aod_events.len() as u64)],
             )
             .map_err(|e| e.to_string())?;
 
-        // --- Skim / slim -------------------------------------------------
-        let (skimmed, skim_report) =
-            daspos_tiers::skim::skim_slim_chunked(&aod_events, &self.skim, &self.slim, threads);
-        let skim_file = AodEvent::encode_events_parallel(&skimmed, threads);
+        // --- Skim / slim / ntuple ----------------------------------------
+        // Sequential runs take the single-pass streaming skim straight
+        // off the encoded AOD file: decode, filter, slim and ntuple-ize
+        // per event with reused scratch buffers, never materializing the
+        // skimmed Vec<AodEvent>. Multi-threaded runs keep the chunked
+        // batch skim. Both produce byte-identical skim files and
+        // identical reports/ntuples (asserted by tests), so the engine
+        // choice never changes the archived output.
+        let (skim_file, skim_report, ntuple) = if threads <= 1 {
+            let mut ntuple = Ntuple::empty(self.ntuple_schema.clone());
+            let (skim_file, skim_report) = daspos_tiers::skim::skim_slim_streaming_with(
+                &aod_file,
+                &self.skim,
+                &self.slim,
+                |ev| ntuple.append(ev),
+            )
+            .map_err(|e| e.to_string())?;
+            (skim_file, skim_report, ntuple)
+        } else {
+            let (skimmed, skim_report) = daspos_tiers::skim::skim_slim_chunked(
+                &aod_events,
+                &self.skim,
+                &self.slim,
+                threads,
+            );
+            let skim_file = AodEvent::encode_events_parallel(&skimmed, threads);
+            let ntuple = Ntuple::fill(self.ntuple_schema.clone(), &skimmed);
+            (skim_file, skim_report, ntuple)
+        };
         let skim_bytes = skim_file.len() as u64;
+        let skim_events = skim_report.events_out;
         let skim_ds = ctx
             .catalog
             .register(
                 &format!("{run_name}/skim"),
                 self.experiment.name(),
                 DataTier::Aod,
-                vec![(skim_file, skimmed.len() as u64)],
+                vec![(skim_file, skim_events)],
             )
             .map_err(|e| e.to_string())?;
-
-        // --- Ntuple -------------------------------------------------------
-        let ntuple = Ntuple::fill(self.ntuple_schema.clone(), &skimmed);
         let ntuple_bytes = ntuple.byte_size() as u64;
 
         // --- Analyses ------------------------------------------------------
@@ -381,7 +406,7 @@ impl PreservedWorkflow {
                 ("raw".to_string(), raw_bytes, raw_events.len() as u64),
                 ("reco".to_string(), reco_bytes, raw_events.len() as u64),
                 ("aod".to_string(), aod_bytes, aod_events.len() as u64),
-                ("skim".to_string(), skim_bytes, skimmed.len() as u64),
+                ("skim".to_string(), skim_bytes, skim_events),
                 ("ntuple".to_string(), ntuple_bytes, ntuple.n_rows() as u64),
             ],
             skim_report,

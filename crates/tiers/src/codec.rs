@@ -167,6 +167,11 @@ pub fn seal(payload: &Bytes) -> Bytes {
 }
 
 /// Verify and strip an integrity seal, returning the payload.
+///
+/// Zero-copy: the returned `Bytes` is a window into the same backing
+/// allocation as `data`, offset past the seal — no payload bytes are
+/// copied (the digest pass reads them once, as it must). Holding the
+/// result keeps the sealed buffer alive.
 pub fn unseal(data: &Bytes) -> Result<Bytes, CodecError> {
     let mut b = data.clone();
     need(&b, SEAL_OVERHEAD)?;
@@ -305,8 +310,20 @@ fn put_raw(buf: &mut BytesMut, ev: &RawEvent) {
 }
 
 fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
-    let header = get_header(b)?;
-    let mut ev = RawEvent::new(header);
+    let mut ev = RawEvent::new(EventHeader::new(0, 0, 0));
+    get_raw_into(b, &mut ev)?;
+    Ok(ev)
+}
+
+/// Decode one RAW event into `ev`, reusing its collection capacity. The
+/// previous contents are cleared; on error the event is partially filled
+/// and must not be used.
+fn get_raw_into(b: &mut impl Buf, ev: &mut RawEvent) -> Result<(), CodecError> {
+    ev.header = get_header(b)?;
+    ev.tracker_hits.clear();
+    ev.calo_cells.clear();
+    ev.muon_hits.clear();
+    ev.truth_links.clear();
     let n = get_count(b)?;
     ev.tracker_hits
         .reserve(clamped_capacity(n, b.remaining(), wire::TRACKER_HIT));
@@ -347,7 +364,7 @@ fn get_raw(b: &mut impl Buf) -> Result<RawEvent, CodecError> {
     for _ in 0..n {
         ev.truth_links.push(get_u32(b)?);
     }
-    Ok(ev)
+    Ok(())
 }
 
 // --- RECO ------------------------------------------------------------------
@@ -407,16 +424,33 @@ fn put_reco(buf: &mut BytesMut, ev: &RecoEvent) {
 }
 
 fn get_reco(b: &mut impl Buf) -> Result<RecoEvent, CodecError> {
-    let header = get_header(b)?;
+    let mut ev = RecoEvent {
+        header: EventHeader::new(0, 0, 0),
+        tracks: Vec::new(),
+        clusters: Vec::new(),
+        muon_segments: Vec::new(),
+    };
+    get_reco_into(b, &mut ev)?;
+    Ok(ev)
+}
+
+/// Decode one RECO event into `ev`, reusing its collection capacity.
+fn get_reco_into(b: &mut impl Buf, ev: &mut RecoEvent) -> Result<(), CodecError> {
+    ev.header = get_header(b)?;
+    ev.tracks.clear();
+    ev.clusters.clear();
+    ev.muon_segments.clear();
     let n = get_count(b)?;
-    let mut tracks = Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::TRACK));
+    ev.tracks
+        .reserve(clamped_capacity(n, b.remaining(), wire::TRACK));
     for _ in 0..n {
-        tracks.push(get_track(b)?);
+        ev.tracks.push(get_track(b)?);
     }
     let n = get_count(b)?;
-    let mut clusters = Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::CLUSTER));
+    ev.clusters
+        .reserve(clamped_capacity(n, b.remaining(), wire::CLUSTER));
     for _ in 0..n {
-        clusters.push(CaloCluster {
+        ev.clusters.push(CaloCluster {
             energy: get_f64(b)?,
             eta: get_f64(b)?,
             phi: get_f64(b)?,
@@ -425,21 +459,16 @@ fn get_reco(b: &mut impl Buf) -> Result<RecoEvent, CodecError> {
         });
     }
     let n = get_count(b)?;
-    let mut muon_segments =
-        Vec::with_capacity(clamped_capacity(n, b.remaining(), wire::MUON_SEGMENT));
+    ev.muon_segments
+        .reserve(clamped_capacity(n, b.remaining(), wire::MUON_SEGMENT));
     for _ in 0..n {
-        muon_segments.push(MuonSegment {
+        ev.muon_segments.push(MuonSegment {
             eta: get_f64(b)?,
             phi: get_f64(b)?,
             n_stations: get_u8(b)?,
         });
     }
-    Ok(RecoEvent {
-        header,
-        tracks,
-        clusters,
-        muon_segments,
-    })
+    Ok(())
 }
 
 // --- AOD -------------------------------------------------------------------
@@ -506,8 +535,19 @@ fn put_aod(buf: &mut BytesMut, ev: &AodEvent) {
 }
 
 fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
-    let header = get_header(b)?;
-    let mut ev = AodEvent::new(header);
+    let mut ev = AodEvent::new(EventHeader::new(0, 0, 0));
+    get_aod_into(b, &mut ev)?;
+    Ok(ev)
+}
+
+/// Decode one AOD event into `ev`, reusing its collection capacity.
+fn get_aod_into(b: &mut impl Buf, ev: &mut AodEvent) -> Result<(), CodecError> {
+    ev.header = get_header(b)?;
+    ev.electrons.clear();
+    ev.muons.clear();
+    ev.photons.clear();
+    ev.jets.clear();
+    ev.candidates.clear();
     let n = get_count(b)?;
     ev.electrons
         .reserve(clamped_capacity(n, b.remaining(), wire::ELECTRON));
@@ -570,7 +610,7 @@ fn get_aod(b: &mut impl Buf) -> Result<AodEvent, CodecError> {
         });
     }
     ev.n_tracks = get_u32(b)?;
-    Ok(ev)
+    Ok(())
 }
 
 // --- File framing -----------------------------------------------------------
@@ -606,11 +646,19 @@ fn put_file_header(buf: &mut BytesMut, tier: DataTier, version: u16, n_events: u
     buf.put_u32_le(n);
 }
 
-/// Frame one event: length prefix + payload. Panics (rather than writing
-/// a silently truncated length) if a payload exceeds the u32 frame field.
-fn put_frame<T>(buf: &mut BytesMut, ev: &T, put: &impl Fn(&mut BytesMut, &T)) {
-    let mut payload = BytesMut::new();
-    put(&mut payload, ev);
+/// Frame one event: length prefix + payload. The caller owns `payload`,
+/// a scratch buffer reused across events so a long encode performs no
+/// per-event allocation once it has grown to the largest payload seen.
+/// Panics (rather than writing a silently truncated length) if a payload
+/// exceeds the u32 frame field.
+fn put_frame<T>(
+    buf: &mut BytesMut,
+    payload: &mut BytesMut,
+    ev: &T,
+    put: &impl Fn(&mut BytesMut, &T),
+) {
+    payload.clear();
+    put(payload, ev);
     let len = u32::try_from(payload.len()).unwrap_or_else(|_| {
         panic!(
             "event payload of {} bytes exceeds the u32 DPEF frame field",
@@ -618,7 +666,7 @@ fn put_frame<T>(buf: &mut BytesMut, ev: &T, put: &impl Fn(&mut BytesMut, &T)) {
         )
     });
     buf.put_u32_le(len);
-    buf.put_slice(&payload);
+    buf.put_slice(payload);
 }
 
 fn encode_file_versioned<T>(
@@ -628,9 +676,10 @@ fn encode_file_versioned<T>(
     version: u16,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + events.len() * 256);
+    let mut payload = BytesMut::new();
     put_file_header(&mut buf, tier, version, events.len());
     for ev in events {
-        put_frame(&mut buf, ev, &put);
+        put_frame(&mut buf, &mut payload, ev, &put);
     }
     buf.freeze()
 }
@@ -656,8 +705,9 @@ where
     }
     let chunks = crate::par::map_chunks(events, threads, |part| {
         let mut buf = BytesMut::with_capacity(part.len() * 256);
+        let mut payload = BytesMut::new();
         for ev in part {
-            put_frame(&mut buf, ev, &put);
+            put_frame(&mut buf, &mut payload, ev, &put);
         }
         buf
     });
@@ -670,40 +720,55 @@ where
     buf.freeze()
 }
 
-fn decode_file<T>(
-    data: &Bytes,
-    tier: DataTier,
-    get: impl Fn(&mut Bytes) -> Result<T, CodecError>,
-) -> Result<Vec<T>, CodecError> {
-    let mut b = data.clone();
-    need(&b, 7)?;
-    let mut magic = [0u8; 4];
-    b.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
+/// The validated file header plus the frame cursor — the machinery both
+/// decode paths share, so the batch and streaming decoders are the same
+/// code and cannot disagree on framing or error order.
+struct FrameCursor {
+    buf: Bytes,
+    n_events: u32,
+    seen: u32,
+}
+
+impl FrameCursor {
+    /// Parse and validate the DPEF file header (magic, version, tier,
+    /// event count). `buf` is left positioned at the first frame.
+    fn new(data: &Bytes, tier: DataTier) -> Result<FrameCursor, CodecError> {
+        let mut b = data.clone();
+        need(&b, 7)?;
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = get_u16(&mut b)?;
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let file_tier = get_u8(&mut b)?;
+        if file_tier != tier.code() {
+            return Err(CodecError::WrongTier {
+                found: file_tier,
+                expected: tier.code(),
+            });
+        }
+        let n_events = get_count(&mut b)?;
+        Ok(FrameCursor {
+            buf: b,
+            n_events,
+            seen: 0,
+        })
     }
-    let version = get_u16(&mut b)?;
-    if version != FORMAT_VERSION {
-        return Err(CodecError::UnsupportedVersion {
-            found: version,
-            supported: FORMAT_VERSION,
-        });
-    }
-    let file_tier = get_u8(&mut b)?;
-    if file_tier != tier.code() {
-        return Err(CodecError::WrongTier {
-            found: file_tier,
-            expected: tier.code(),
-        });
-    }
-    let n_events = get_count(&mut b)?;
-    let mut out = Vec::with_capacity(clamped_capacity(
-        n_events,
-        b.remaining(),
-        wire::EVENT_FRAME,
-    ));
-    for _ in 0..n_events {
-        let len = get_count(&mut b)? as usize;
+
+    /// The next event payload as a zero-copy window into the file buffer,
+    /// or `None` once the declared event count is exhausted.
+    fn next_frame(&mut self) -> Result<Option<Bytes>, CodecError> {
+        if self.seen == self.n_events {
+            return Ok(None);
+        }
+        let len = get_count(&mut self.buf)? as usize;
         if len == 0 {
             // Every tier's payload starts with the 16-byte event header,
             // so a zero-length frame is structurally impossible.
@@ -711,18 +776,160 @@ fn decode_file<T>(
                 "zero-length event frame".to_string(),
             ));
         }
-        need(&b, len)?;
-        let mut payload = b.split_to(len);
+        need(&self.buf, len)?;
+        self.seen += 1;
+        Ok(Some(self.buf.split_to(len)))
+    }
+}
+
+/// Decode one framed payload, rejecting trailing bytes. Shared by the
+/// batch and streaming decoders so both report identical errors.
+fn finish_payload(payload: &mut Bytes) -> Result<(), CodecError> {
+    if payload.has_remaining() {
+        return Err(CodecError::Corrupt(format!(
+            "{} trailing bytes in event payload",
+            payload.remaining()
+        )));
+    }
+    Ok(())
+}
+
+fn decode_file<T>(
+    data: &Bytes,
+    tier: DataTier,
+    get: impl Fn(&mut Bytes) -> Result<T, CodecError>,
+) -> Result<Vec<T>, CodecError> {
+    let mut cursor = FrameCursor::new(data, tier)?;
+    let mut out = Vec::with_capacity(clamped_capacity(
+        cursor.n_events,
+        cursor.buf.remaining(),
+        wire::EVENT_FRAME,
+    ));
+    while let Some(mut payload) = cursor.next_frame()? {
         let ev = get(&mut payload)?;
-        if payload.has_remaining() {
-            return Err(CodecError::Corrupt(format!(
-                "{} trailing bytes in event payload",
-                payload.remaining()
-            )));
-        }
+        finish_payload(&mut payload)?;
         out.push(ev);
     }
     Ok(out)
+}
+
+/// An incremental DPEF decoder: yields events one at a time from a
+/// `Bytes` slice. Each frame payload is a zero-copy window into the file
+/// buffer, and every event is decoded into the *same* internal scratch
+/// event, so after warm-up the per-event collection buffers (tracker
+/// hits, electrons, jets, …) are reused instead of reallocated.
+///
+/// This is the hot-path counterpart to [`Encodable::decode_events`]:
+/// identical framing, identical validation, identical errors in the same
+/// order (both run on the same frame cursor) — but no intermediate
+/// `Vec<Event>` and no per-event allocations. Use it when events are
+/// consumed one at a time (skimming, filling, scanning); use the batch
+/// decoder when the whole file must be materialized anyway.
+///
+/// The borrow returned by [`EventReader::next`] is only valid until the
+/// next call (a lending iterator); clone the event to keep it.
+pub struct EventReader<T: Encodable> {
+    cursor: FrameCursor,
+    scratch: T,
+}
+
+impl<T: Encodable> EventReader<T> {
+    /// Open a DPEF file for streaming decode. Validates the file header
+    /// exactly as [`Encodable::decode_events`] does.
+    pub fn new(data: &Bytes) -> Result<EventReader<T>, CodecError> {
+        Ok(EventReader {
+            cursor: FrameCursor::new(data, T::TIER)?,
+            scratch: T::scratch(),
+        })
+    }
+
+    /// Event count declared in the file header.
+    pub fn n_events(&self) -> u32 {
+        self.cursor.n_events
+    }
+
+    /// Events decoded so far.
+    pub fn events_decoded(&self) -> u32 {
+        self.cursor.seen
+    }
+
+    /// Decode the next event into the internal scratch buffers and
+    /// borrow it, or return `None` once the file is exhausted. Errors
+    /// match the batch decoder's, at the same event position.
+    #[allow(clippy::should_implement_trait)] // lending iterator: borrow ties to &mut self
+    pub fn next(&mut self) -> Result<Option<&T>, CodecError> {
+        self.next_mut().map(|opt| opt.map(|ev| &*ev))
+    }
+
+    /// Like [`EventReader::next`], but the borrow is mutable so the
+    /// caller may transform the event in place (the single-pass skim
+    /// slims the scratch directly). Any mutation is discarded when the
+    /// next event is decoded over it.
+    pub fn next_mut(&mut self) -> Result<Option<&mut T>, CodecError> {
+        match self.cursor.next_frame()? {
+            None => Ok(None),
+            Some(mut payload) => {
+                T::get_into(&mut payload, &mut self.scratch)?;
+                finish_payload(&mut payload)?;
+                Ok(Some(&mut self.scratch))
+            }
+        }
+    }
+}
+
+/// An incremental DPEF encoder: frames events one at a time while
+/// reusing a single payload scratch buffer, then stamps the file header
+/// with the final count. Byte-identical to [`Encodable::encode_events`]
+/// over the same event sequence — the single-pass skim uses it to write
+/// survivors without first materializing them in a vector.
+pub struct EventWriter<T: Encodable> {
+    body: BytesMut,
+    payload: BytesMut,
+    n_events: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Encodable> EventWriter<T> {
+    /// An empty writer.
+    pub fn new() -> EventWriter<T> {
+        EventWriter {
+            body: BytesMut::new(),
+            payload: BytesMut::new(),
+            n_events: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Frame one event.
+    pub fn push(&mut self, ev: &T) {
+        put_frame(&mut self.body, &mut self.payload, ev, &T::put);
+        self.n_events += 1;
+    }
+
+    /// Events framed so far.
+    pub fn len(&self) -> usize {
+        self.n_events
+    }
+
+    /// True when no event has been framed yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_events == 0
+    }
+
+    /// Assemble the DPEF file: header (with the final event count) then
+    /// the framed body.
+    pub fn finish(self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.body.len());
+        put_file_header(&mut buf, T::TIER, FORMAT_VERSION, self.n_events);
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+}
+
+impl<T: Encodable> Default for EventWriter<T> {
+    fn default() -> Self {
+        EventWriter::new()
+    }
 }
 
 /// Types the codec can frame into files.
@@ -733,6 +940,12 @@ pub trait Encodable: Sized {
     fn put(buf: &mut BytesMut, ev: &Self);
     /// Deserialize one event.
     fn get(b: &mut Bytes) -> Result<Self, CodecError>;
+    /// A blank event whose collections the streaming decoder reuses.
+    fn scratch() -> Self;
+    /// Deserialize one event into `out`, clearing and refilling its
+    /// collections while keeping their allocated capacity. On error the
+    /// event is partially overwritten and must not be used.
+    fn get_into(b: &mut Bytes, out: &mut Self) -> Result<(), CodecError>;
 
     /// Encode a file of events at the current format version.
     fn encode_events(events: &[Self]) -> Bytes {
@@ -763,6 +976,12 @@ impl Encodable for RawEvent {
     fn get(b: &mut Bytes) -> Result<Self, CodecError> {
         get_raw(b)
     }
+    fn scratch() -> Self {
+        RawEvent::new(EventHeader::new(0, 0, 0))
+    }
+    fn get_into(b: &mut Bytes, out: &mut Self) -> Result<(), CodecError> {
+        get_raw_into(b, out)
+    }
 }
 
 impl Encodable for RecoEvent {
@@ -773,6 +992,17 @@ impl Encodable for RecoEvent {
     fn get(b: &mut Bytes) -> Result<Self, CodecError> {
         get_reco(b)
     }
+    fn scratch() -> Self {
+        RecoEvent {
+            header: EventHeader::new(0, 0, 0),
+            tracks: Vec::new(),
+            clusters: Vec::new(),
+            muon_segments: Vec::new(),
+        }
+    }
+    fn get_into(b: &mut Bytes, out: &mut Self) -> Result<(), CodecError> {
+        get_reco_into(b, out)
+    }
 }
 
 impl Encodable for AodEvent {
@@ -782,6 +1012,12 @@ impl Encodable for AodEvent {
     }
     fn get(b: &mut Bytes) -> Result<Self, CodecError> {
         get_aod(b)
+    }
+    fn scratch() -> Self {
+        AodEvent::new(EventHeader::new(0, 0, 0))
+    }
+    fn get_into(b: &mut Bytes, out: &mut Self) -> Result<(), CodecError> {
+        get_aod_into(b, out)
     }
 }
 
@@ -1071,6 +1307,94 @@ mod tests {
         assert_eq!(sealed.len(), payload.len() + SEAL_OVERHEAD);
         assert_eq!(&sealed[..4], SEAL_MAGIC);
         assert_eq!(unseal(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn unseal_is_zero_copy() {
+        let payload = AodEvent::encode_events(&[sample_aod()]);
+        let sealed = seal(&payload);
+        let out = unseal(&sealed).unwrap();
+        // The unsealed payload is a window into the sealed allocation,
+        // not a copy: same backing bytes, offset past the seal.
+        assert_eq!(out.as_ptr(), sealed[SEAL_OVERHEAD..].as_ptr());
+    }
+
+    #[test]
+    fn event_reader_matches_batch_decode() {
+        let events: Vec<AodEvent> = (0..40)
+            .map(|i| {
+                let mut ev = sample_aod();
+                ev.header = EventHeader::new(7, 1, i);
+                ev.n_tracks = i as u32;
+                ev
+            })
+            .collect();
+        let data = AodEvent::encode_events(&events);
+        let batch = AodEvent::decode_events(&data).unwrap();
+        let mut reader = EventReader::<AodEvent>::new(&data).unwrap();
+        assert_eq!(reader.n_events(), events.len() as u32);
+        let mut streamed = Vec::new();
+        while let Some(ev) = reader.next().unwrap() {
+            streamed.push(ev.clone());
+        }
+        assert_eq!(streamed, batch);
+        assert_eq!(reader.events_decoded(), events.len() as u32);
+        // Exhausted readers keep returning None.
+        assert!(reader.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn event_reader_rejects_what_batch_rejects() {
+        let data = AodEvent::encode_events(&[sample_aod(), sample_aod()]);
+        // Header errors surface at construction.
+        let mut bad = data.to_vec();
+        bad[0] = b'X';
+        assert_eq!(
+            EventReader::<AodEvent>::new(&Bytes::from(bad)).err().unwrap(),
+            CodecError::BadMagic
+        );
+        // Truncation surfaces at the same event position with the same
+        // error as the batch decoder.
+        let truncated = data.slice(0..data.len() - 3);
+        let batch_err = AodEvent::decode_events(&truncated).unwrap_err();
+        let mut reader = EventReader::<AodEvent>::new(&truncated).unwrap();
+        assert!(reader.next().unwrap().is_some());
+        assert_eq!(reader.next().unwrap_err(), batch_err);
+    }
+
+    #[test]
+    fn event_writer_is_byte_identical_to_batch_encode() {
+        let events: Vec<AodEvent> = (0..25)
+            .map(|i| {
+                let mut ev = sample_aod();
+                ev.header = EventHeader::new(2, 3, i);
+                ev
+            })
+            .collect();
+        let mut writer = EventWriter::<AodEvent>::new();
+        assert!(writer.is_empty());
+        for ev in &events {
+            writer.push(ev);
+        }
+        assert_eq!(writer.len(), events.len());
+        assert_eq!(writer.finish(), AodEvent::encode_events(&events));
+        // Empty writer produces the canonical empty file too.
+        assert_eq!(
+            EventWriter::<AodEvent>::new().finish(),
+            AodEvent::encode_events(&[])
+        );
+    }
+
+    #[test]
+    fn get_into_clears_stale_scratch_state() {
+        // Decode a populated event into the scratch, then a sparse one:
+        // no collections may leak from the first into the second.
+        let full = sample_aod();
+        let sparse = AodEvent::new(EventHeader::new(9, 9, 9));
+        let data = AodEvent::encode_events(&[full.clone(), sparse.clone()]);
+        let mut reader = EventReader::<AodEvent>::new(&data).unwrap();
+        assert_eq!(reader.next().unwrap().unwrap(), &full);
+        assert_eq!(reader.next().unwrap().unwrap(), &sparse);
     }
 
     #[test]

@@ -215,15 +215,31 @@ pub struct Ntuple {
 }
 
 impl Ntuple {
+    /// An empty ntuple, ready for incremental [`Ntuple::append`] — the
+    /// streaming skim fills one row per surviving event as it decodes.
+    pub fn empty(schema: NtupleSchema) -> Ntuple {
+        Ntuple {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one event as a row.
+    pub fn append(&mut self, ev: &AodEvent) {
+        self.rows.reserve(self.schema.width());
+        for col in self.schema.columns() {
+            self.rows.push(col.evaluate(ev));
+        }
+    }
+
     /// Fill an ntuple from events.
     pub fn fill(schema: NtupleSchema, events: &[AodEvent]) -> Ntuple {
-        let mut rows = Vec::with_capacity(events.len() * schema.width());
+        let mut nt = Ntuple::empty(schema);
+        nt.rows.reserve(events.len() * nt.schema.width());
         for ev in events {
-            for col in schema.columns() {
-                rows.push(col.evaluate(ev));
-            }
+            nt.append(ev);
         }
-        Ntuple { schema, rows }
+        nt
     }
 
     /// The schema.
@@ -352,6 +368,22 @@ mod tests {
         // Two 45 GeV muons nearly back to back: mass near 90.
         let m = nt.row(0)[0];
         assert!(m > 85.0 && m < 95.0, "m_ll = {m}");
+    }
+
+    #[test]
+    fn incremental_append_matches_batch_fill() {
+        let schema = NtupleSchema::new(vec![
+            ColumnSpec::Met,
+            ColumnSpec::LeptonPt(0),
+            ColumnSpec::NTracks,
+        ]);
+        let events = vec![dimuon_event(40.0, 30.0), dimuon_event(25.0, 10.0)];
+        let batch = Ntuple::fill(schema.clone(), &events);
+        let mut incremental = Ntuple::empty(schema);
+        for ev in &events {
+            incremental.append(ev);
+        }
+        assert_eq!(incremental, batch);
     }
 
     #[test]

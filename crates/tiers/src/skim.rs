@@ -12,8 +12,11 @@
 //! The alternative — skims as opaque code — is the un-preservable case the
 //! P1 ablation quantifies.
 
+use bytes::Bytes;
 use daspos_reco::objects::AodEvent;
 use std::fmt;
+
+use crate::codec::{CodecError, EventReader, EventWriter};
 
 /// A boolean selection over an AOD event.
 #[derive(Debug, Clone, PartialEq)]
@@ -343,22 +346,29 @@ impl SlimSpec {
     /// Apply the slim to an event (non-destructive).
     pub fn apply(&self, ev: &AodEvent) -> AodEvent {
         let mut out = ev.clone();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Apply the slim directly to an event. Slimming only drops content,
+    /// so this never allocates — the single-pass skim uses it on the
+    /// decoder's scratch event.
+    pub fn apply_in_place(&self, ev: &mut AodEvent) {
         if !self.keep_electrons {
-            out.electrons.clear();
+            ev.electrons.clear();
         }
         if !self.keep_muons {
-            out.muons.clear();
+            ev.muons.clear();
         }
         if !self.keep_photons {
-            out.photons.clear();
+            ev.photons.clear();
         }
-        if (out.jets.len() as u32) > self.max_jets {
-            out.jets.truncate(self.max_jets as usize);
+        if (ev.jets.len() as u32) > self.max_jets {
+            ev.jets.truncate(self.max_jets as usize);
         }
         if !self.keep_candidates {
-            out.candidates.clear();
+            ev.candidates.clear();
         }
-        out
     }
 
     /// Canonical text form `keep:e,mu;jets:2`.
@@ -504,9 +514,60 @@ pub fn skim_slim_chunked(
     (out, report)
 }
 
+/// Single-pass streaming skim+slim straight off a DPEF AOD file: events
+/// are decoded one at a time into a reused scratch buffer
+/// ([`EventReader`]), filtered, slimmed **in place**, and re-framed
+/// through a reused payload buffer ([`EventWriter`]) — the intermediate
+/// `Vec<AodEvent>` of the batch path never exists and the hot loop
+/// performs no per-event allocation after warm-up.
+///
+/// The output file and report are byte-for-byte and field-for-field
+/// identical to decoding the file, running [`skim_slim`], and encoding
+/// the survivors. Decode errors surface exactly as
+/// [`Encodable::decode_events`] reports them.
+pub fn skim_slim_streaming(
+    aod_file: &Bytes,
+    selection: &Selection,
+    slim: &SlimSpec,
+) -> Result<(Bytes, SkimReport), CodecError> {
+    skim_slim_streaming_with(aod_file, selection, slim, |_| {})
+}
+
+/// [`skim_slim_streaming`] with a per-survivor callback, invoked on each
+/// slimmed event before it is framed — the workflow uses it to fill the
+/// analysis ntuple in the same pass.
+pub fn skim_slim_streaming_with(
+    aod_file: &Bytes,
+    selection: &Selection,
+    slim: &SlimSpec,
+    mut on_survivor: impl FnMut(&AodEvent),
+) -> Result<(Bytes, SkimReport), CodecError> {
+    let mut reader = EventReader::<AodEvent>::new(aod_file)?;
+    let mut writer = EventWriter::<AodEvent>::new();
+    let mut report = SkimReport {
+        events_in: 0,
+        events_out: 0,
+        bytes_in: 0,
+        bytes_out: 0,
+    };
+    while let Some(ev) = reader.next_mut()? {
+        report.events_in += 1;
+        report.bytes_in += ev.byte_size() as u64;
+        if selection.passes(ev) {
+            slim.apply_in_place(ev);
+            report.events_out += 1;
+            report.bytes_out += ev.byte_size() as u64;
+            on_survivor(ev);
+            writer.push(ev);
+        }
+    }
+    Ok((writer.finish(), report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::Encodable;
     use daspos_hep::{EventHeader, FourVector};
     use daspos_reco::objects::{Jet, Met, Muon, TwoProngCandidate};
 
@@ -708,5 +769,55 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(report.event_efficiency(), 0.0);
         assert!(report.reduction_factor().is_infinite());
+    }
+
+    #[test]
+    fn streaming_skim_matches_batch_bytes_and_report() {
+        let events: Vec<AodEvent> = (0..200)
+            .map(|i| event_with(i % 4, (i % 7) as f64 * 12.0, i % 3))
+            .collect();
+        let file = AodEvent::encode_events(&events);
+        let sel = Selection::NLeptons { n: 1, pt: 5.0 }.or(Selection::MetAbove(30.0));
+        for slim in [
+            SlimSpec::keep_all(),
+            SlimSpec::leptons_only(),
+            SlimSpec::candidates_only(),
+        ] {
+            let (batch_out, batch_report) = skim_slim(&events, &sel, &slim);
+            let batch_file = AodEvent::encode_events(&batch_out);
+            let (stream_file, stream_report) =
+                skim_slim_streaming(&file, &sel, &slim).unwrap();
+            assert_eq!(stream_file, batch_file, "slim {}", slim.to_text());
+            assert_eq!(stream_report, batch_report, "slim {}", slim.to_text());
+        }
+    }
+
+    #[test]
+    fn streaming_skim_callback_sees_each_slimmed_survivor() {
+        let events: Vec<AodEvent> = (0..50)
+            .map(|i| event_with(i % 3, (i % 5) as f64 * 15.0, i % 2))
+            .collect();
+        let file = AodEvent::encode_events(&events);
+        let sel = Selection::MetAbove(30.0);
+        let slim = SlimSpec::leptons_only();
+        let (expected, _) = skim_slim(&events, &sel, &slim);
+        let mut seen = Vec::new();
+        skim_slim_streaming_with(&file, &sel, &slim, |ev| seen.push(ev.clone())).unwrap();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn streaming_skim_surfaces_decode_errors() {
+        let events = vec![event_with(2, 40.0, 1)];
+        let file = AodEvent::encode_events(&events);
+        let truncated = file.slice(0..file.len() - 2);
+        let batch_err = AodEvent::decode_events(&truncated).unwrap_err();
+        let stream_err = skim_slim_streaming(
+            &truncated,
+            &Selection::All,
+            &SlimSpec::keep_all(),
+        )
+        .unwrap_err();
+        assert_eq!(stream_err, batch_err);
     }
 }

@@ -1,0 +1,172 @@
+//! Property tests: the streaming [`EventReader`] and the batch
+//! `decode_events` path must be observationally equivalent — same events
+//! on clean input, and the same error at the same position under
+//! proptest-generated truncations and bit flips. Both paths share the
+//! frame cursor internally; these tests pin the equivalence from the
+//! outside so a future divergence of the two paths cannot land silently.
+
+use bytes::Bytes;
+use daspos_hep::{EventHeader, FourVector};
+use daspos_reco::objects::{AodEvent, Electron, Jet, Met, Muon, Photon, TwoProngCandidate};
+use daspos_tiers::codec::{CodecError, Encodable, EventReader};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = EventHeader> {
+    (1u32..1000, 1u32..100, 1u64..1_000_000).prop_map(|(r, l, e)| EventHeader::new(r, l, e))
+}
+
+fn arb_fourvec() -> impl Strategy<Value = FourVector> {
+    (
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        0.0..1000.0f64,
+    )
+        .prop_map(|(px, py, pz, e)| FourVector::new(px, py, pz, e))
+}
+
+prop_compose! {
+    fn arb_aod()(
+        header in arb_header(),
+        electrons in prop::collection::vec(
+            (arb_fourvec(), prop::bool::ANY, 0.2..3.0f64, 0.0..5.0f64), 0..5),
+        muons in prop::collection::vec(
+            (arb_fourvec(), prop::bool::ANY, 1u8..6, 0.0..5.0f64), 0..5),
+        photons in prop::collection::vec((arb_fourvec(), 0.0..5.0f64), 0..5),
+        jets in prop::collection::vec((arb_fourvec(), 1u32..40, 0.0..1.0f64), 0..8),
+        met in (-200.0..200.0f64, -200.0..200.0f64),
+        cands in prop::collection::vec(
+            (arb_fourvec(), 0.0..500.0f64, 0.1..50.0f64, -4.0..4.0f64,
+             0.1..3.0f64, 0.1..3.0f64, 0.1..3.0f64, 0.0..0.01f64, 0u32..20, 0u32..20),
+            0..4),
+        n_tracks in 0u32..500
+    ) -> AodEvent {
+        let mut ev = AodEvent::new(header);
+        for (momentum, pos, e_over_p, isolation) in electrons {
+            ev.electrons.push(Electron {
+                momentum, charge: if pos { 1 } else { -1 }, e_over_p, isolation,
+            });
+        }
+        for (momentum, pos, n_stations, isolation) in muons {
+            ev.muons.push(Muon {
+                momentum, charge: if pos { 1 } else { -1 }, n_stations, isolation,
+            });
+        }
+        for (momentum, isolation) in photons {
+            ev.photons.push(Photon { momentum, isolation });
+        }
+        for (momentum, n_constituents, em_fraction) in jets {
+            ev.jets.push(Jet { momentum, n_constituents, em_fraction });
+        }
+        ev.met = Met { mex: met.0, mey: met.1 };
+        for (vertex, flight_xy, pt, eta, m1, m2, m3, t, i, j) in cands {
+            ev.candidates.push(TwoProngCandidate {
+                vertex, flight_xy, pt, eta,
+                mass_pipi: m1, mass_ppi: m2, mass_kpi: m3,
+                proper_time_d0_ns: t, track_indices: (i, j),
+            });
+        }
+        ev.n_tracks = n_tracks;
+        ev
+    }
+}
+
+/// Drain the streaming reader: the decoded events, or the error plus how
+/// many events decoded before it.
+fn drain_stream(data: &Bytes) -> Result<Vec<AodEvent>, (usize, CodecError)> {
+    let mut reader = match EventReader::<AodEvent>::new(data) {
+        Ok(r) => r,
+        Err(e) => return Err((0, e)),
+    };
+    let mut out = Vec::new();
+    loop {
+        match reader.next() {
+            Ok(Some(ev)) => out.push(ev.clone()),
+            Ok(None) => return Ok(out),
+            Err(e) => return Err((out.len(), e)),
+        }
+    }
+}
+
+/// Assert stream and batch agree on `data`, returning the stream view.
+fn assert_equivalent(data: &Bytes) -> Result<Vec<AodEvent>, (usize, CodecError)> {
+    let stream = drain_stream(data);
+    let batch = AodEvent::decode_events(data);
+    match (&stream, &batch) {
+        (Ok(s), Ok(b)) => assert_eq!(s, b, "clean decode must agree"),
+        (Err((_, se)), Err(be)) => assert_eq!(se, be, "error values must agree"),
+        (s, b) => panic!("stream/batch verdicts diverge: stream {s:?}, batch {b:?}"),
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clean_files_stream_identically(events in prop::collection::vec(arb_aod(), 0..10)) {
+        let data = AodEvent::encode_events(&events);
+        let streamed = assert_equivalent(&data).expect("clean file streams");
+        prop_assert_eq!(streamed, events);
+    }
+
+    #[test]
+    fn truncations_fail_identically_at_the_same_position(
+        events in prop::collection::vec(arb_aod(), 1..6),
+        cut in 1usize..200
+    ) {
+        let data = AodEvent::encode_events(&events);
+        let cut = cut.min(data.len());
+        let truncated = data.slice(0..data.len() - cut);
+        match assert_equivalent(&truncated) {
+            // A truncation can land exactly between... no: the header
+            // declares the count, so losing bytes always errors.
+            Ok(back) => prop_assert!(
+                back.len() < events.len() || back != events,
+                "truncated file silently decoded all events"
+            ),
+            Err((decoded_before, _)) => {
+                // Same-position check: every event the stream yielded
+                // before failing is an intact prefix of the original.
+                prop_assert!(decoded_before < events.len());
+                prop_assert_eq!(&events[..decoded_before], &drain_prefix(&truncated, decoded_before)[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_identically(
+        events in prop::collection::vec(arb_aod(), 1..6),
+        offset in 0usize..4096,
+        bit in 0u8..8
+    ) {
+        let data = AodEvent::encode_events(&events);
+        let mut flipped = data.to_vec();
+        let offset = offset % flipped.len();
+        flipped[offset] ^= 1 << bit;
+        // Whatever the verdict — Ok with perturbed values, or an error —
+        // both paths must reach the same one.
+        let _ = assert_equivalent(&Bytes::from(flipped));
+    }
+
+    #[test]
+    fn random_bytes_stream_and_batch_agree(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = assert_equivalent(&Bytes::from(data));
+    }
+}
+
+/// Re-drain up to `n` events (helper for the prefix check).
+fn drain_prefix(data: &Bytes, n: usize) -> Vec<AodEvent> {
+    // A cut inside the file header means zero events streamed.
+    let Ok(mut reader) = EventReader::<AodEvent>::new(data) else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match reader.next() {
+            Ok(Some(ev)) => out.push(ev.clone()),
+            _ => break,
+        }
+    }
+    out
+}

@@ -17,6 +17,13 @@ use daspos::prelude::*;
 use daspos::usecases;
 use daspos_hep::event::ProcessKind;
 
+/// With `--features bench-alloc` every allocation in the binary goes
+/// through the counting wrapper, so `daspos bench` can report peak bytes.
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: daspos::bench::alloc_counter::CountingAlloc =
+    daspos::bench::alloc_counter::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -29,6 +36,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("faultlab") => cmd_faultlab(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("maturity") => cmd_maturity(),
         Some("help") | Some("--help") | None => {
             print_usage();
@@ -67,6 +75,12 @@ USAGE:
         class (sealed tiers, archive container, conditions and results
         text) and assert each mutation is detected or harmless;
         --replay re-runs one mutation by its campaign coordinates
+  daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
+                  [--out <file.json>]
+        time decode / seal-verify / skim (batch and streaming) and the
+        full chain over a fixture workflow; writes a JSON report
+        (default BENCH_3.json; build with --features bench-alloc for
+        peak-allocation figures)
   daspos table1
         print the Table 1 outreach feature matrix
   daspos maturity
@@ -291,6 +305,50 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
             report.total_violations()
         ))
     }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use daspos::bench::{self, BenchConfig};
+    let mut cfg = BenchConfig::default();
+    if let Some(e) = flag(args, "--events") {
+        cfg.events = e.parse().map_err(|_| "bad --events")?;
+    }
+    if let Some(r) = flag(args, "--reps") {
+        cfg.reps = r.parse().map_err(|_| "bad --reps")?;
+    }
+    if let Some(t) = flag(args, "--threads") {
+        cfg.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_3.json".to_string());
+
+    eprintln!(
+        "bench: {} events x {} reps (threads {}, seed {})…",
+        cfg.events, cfg.reps, cfg.threads, cfg.seed
+    );
+    let report = bench::run(&cfg)?;
+    for m in &report.metrics {
+        let peak = match m.peak_alloc_bytes {
+            Some(v) => format!("  peak {v} B"),
+            None => String::new(),
+        };
+        println!(
+            "  {:>18}: {:>10.1} ns/event  {:>12.0} events/s{peak}",
+            m.name, m.median_ns_per_event, m.events_per_sec
+        );
+    }
+    if let Some(s) = report.speedup("decode_streaming", "decode_batch") {
+        println!("  streaming decode speedup over batch: {s:.2}x");
+    }
+    if let Some(s) = report.speedup("skim_streaming", "skim_batch") {
+        println!("  streaming skim speedup over batch:   {s:.2}x");
+    }
+    std::fs::write(&out, report.to_json())
+        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!("wrote {out}");
+    Ok(())
 }
 
 fn cmd_maturity() -> Result<(), String> {

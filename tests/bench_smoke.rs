@@ -1,0 +1,78 @@
+//! Tier-1 smoke test for the `bench` subcommand: a small run must exit
+//! cleanly, write parseable JSON, and report a positive value for every
+//! metric. This keeps the persisted `BENCH_*.json` trajectory honest —
+//! a refactor that breaks a timed path fails here, not at release time.
+
+use std::process::Command;
+
+/// Minimal JSON sanity: balanced delimiters and no empty values. The
+/// workspace has no JSON parser dependency, so the structural checks are
+/// hand-rolled against the known flat schema `bench::BenchReport` emits.
+fn assert_well_formed(json: &str) {
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.contains("\"schema\": \"daspos-bench/1\""));
+}
+
+/// Extract `"field": <number>` occurrences following a metric name.
+fn metric_field(json: &str, metric: &str, field: &str) -> f64 {
+    let start = json
+        .find(&format!("\"name\": \"{metric}\""))
+        .unwrap_or_else(|| panic!("metric '{metric}' missing from:\n{json}"));
+    let rest = &json[start..];
+    let key = format!("\"{field}\": ");
+    let at = rest
+        .find(&key)
+        .unwrap_or_else(|| panic!("field '{field}' missing for '{metric}'"));
+    let tail = &rest[at + key.len()..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {field} for '{metric}': {:?}", &tail[..end]))
+}
+
+#[test]
+fn bench_subcommand_writes_positive_metrics() {
+    let out_path = std::env::temp_dir().join(format!("bench_smoke_{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_daspos-cli"))
+        .args([
+            "bench",
+            "--events",
+            "500",
+            "--reps",
+            "2",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("bench subcommand runs");
+    assert!(
+        output.status.success(),
+        "bench failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let json = std::fs::read_to_string(&out_path).expect("bench wrote the report");
+    let _ = std::fs::remove_file(&out_path);
+    assert_well_formed(&json);
+
+    for metric in [
+        "decode_batch",
+        "decode_streaming",
+        "seal_verify",
+        "skim_batch",
+        "skim_streaming",
+        "full_chain",
+    ] {
+        for field in ["median_ns_per_event", "events_per_sec"] {
+            let value = metric_field(&json, metric, field);
+            assert!(
+                value > 0.0,
+                "{metric}.{field} must be positive, got {value}"
+            );
+        }
+    }
+}

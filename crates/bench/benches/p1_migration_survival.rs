@@ -15,7 +15,7 @@ fn make_archive(experiment: Experiment, seed: u64) -> PreservationArchive {
         e => PreservedWorkflow::standard_z(e, seed, 25),
     };
     let ctx = ExecutionContext::fresh(&wf);
-    let out = wf.execute(&ctx).expect("production");
+    let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
     PreservationArchive::package(&format!("{}-{seed}", experiment.name()), &wf, &ctx, &out)
         .expect("packaging")
 }
@@ -68,7 +68,7 @@ fn bench(c: &mut Criterion) {
     let archive = make_archive(Experiment::Cms, 700);
     c.bench_function("p1_validate_25_event_archive", |b| {
         b.iter(|| {
-            daspos::validate::validate(&archive, &Platform::current())
+            Validator::new(&Platform::current()).run(&archive)
                 .expect("runs")
                 .passed()
         })

@@ -19,7 +19,7 @@ fn fleet() -> Vec<PreservationArchive> {
                 e => PreservedWorkflow::standard_z(e, 800 + i as u64, 20),
             };
             let ctx = ExecutionContext::fresh(&wf);
-            let out = wf.execute(&ctx).expect("production");
+            let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
             PreservationArchive::package(&format!("{}-arc", e.name()), &wf, &ctx, &out)
                 .expect("packaging")
         })

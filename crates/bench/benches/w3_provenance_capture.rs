@@ -98,13 +98,13 @@ fn bench(c: &mut Criterion) {
     // preserved chain, sequential vs a 4-worker pool. The recorded graph
     // (and every tier file) is identical; only wall-clock changes.
     use daspos::prelude::*;
-    use daspos::runner::RunnerConfig;
+    use daspos::runner::ExecOptions;
     let workflow = PreservedWorkflow::standard_z(daspos_detsim::Experiment::Cms, 29, 200);
     c.bench_function("w3_produce_200_events_seq", |b| {
         b.iter(|| {
             let ctx = ExecutionContext::fresh(&workflow);
             workflow
-                .execute_with(&ctx, &RunnerConfig::sequential())
+                .execute(&ctx, &ExecOptions::sequential())
                 .expect("runs")
                 .tier_bytes
                 .len()
@@ -114,7 +114,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let ctx = ExecutionContext::fresh(&workflow);
             workflow
-                .execute_with(&ctx, &RunnerConfig::with_threads(4))
+                .execute(&ctx, &ExecOptions::new().threads(4))
                 .expect("runs")
                 .tier_bytes
                 .len()

@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
     // so these measure the pure decode/verify cost).
     for class in [ArtifactClass::TierAod, ArtifactClass::Archive] {
         let mutation = faultlab::derive_mutation(&cfg, &fixture, class, 0);
-        let mutated = faultlab::mutate_artifact(&fixture, class, &mutation);
+        let mutated = bytes::Bytes::from(faultlab::mutate_artifact(&fixture, class, &mutation));
         c.bench_function(&format!("w4_check_mutant_{}", class.name()), |b| {
             b.iter(|| {
                 let mut cache = RerunCache::new();

@@ -25,7 +25,7 @@ pub struct Fixture {
 pub fn z_production(experiment: Experiment, seed: u64, n: u64) -> Fixture {
     let workflow = PreservedWorkflow::standard_z(experiment, seed, n);
     let ctx = ExecutionContext::fresh(&workflow);
-    let output = workflow.execute(&ctx).expect("production runs");
+    let output = workflow.execute(&ctx, &ExecOptions::default()).expect("production runs");
     Fixture {
         workflow,
         ctx,
@@ -37,7 +37,7 @@ pub fn z_production(experiment: Experiment, seed: u64, n: u64) -> Fixture {
 pub fn charm_production(seed: u64, n: u64) -> Fixture {
     let workflow = PreservedWorkflow::standard_charm(seed, n);
     let ctx = ExecutionContext::fresh(&workflow);
-    let output = workflow.execute(&ctx).expect("production runs");
+    let output = workflow.execute(&ctx, &ExecOptions::default()).expect("production runs");
     Fixture {
         workflow,
         ctx,

@@ -116,6 +116,12 @@ pub struct IovSequence {
     /// store is behind a `RwLock` read guard in the conditions store, so
     /// this must be `Sync`, and any torn/stale read is harmless.
     hint: std::sync::atomic::AtomicUsize,
+    /// Resolutions answered by the cursor without a binary search.
+    /// Observability gauges: schedule-dependent under threads, excluded
+    /// (like the cursor itself) from `Clone` state comparisons and `Eq`.
+    cursor_hits: std::sync::atomic::AtomicU64,
+    /// Total `resolve` calls.
+    lookups: std::sync::atomic::AtomicU64,
 }
 
 impl Clone for IovSequence {
@@ -125,6 +131,8 @@ impl Clone for IovSequence {
             hint: std::sync::atomic::AtomicUsize::new(
                 self.hint.load(std::sync::atomic::Ordering::Relaxed),
             ),
+            cursor_hits: std::sync::atomic::AtomicU64::new(0),
+            lookups: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -188,9 +196,11 @@ impl IovSequence {
     /// search.
     pub fn resolve(&self, run: u32) -> Option<usize> {
         use std::sync::atomic::Ordering;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let hint = self.hint.load(Ordering::Relaxed);
         if let Some((range, idx)) = self.entries.get(hint) {
             if range.contains(run) {
+                self.cursor_hits.fetch_add(1, Ordering::Relaxed);
                 return Some(*idx);
             }
         }
@@ -210,6 +220,17 @@ impl IovSequence {
     /// All entries in run order.
     pub fn entries(&self) -> &[(RunRange, usize)] {
         &self.entries
+    }
+
+    /// `(cursor_hits, total_lookups)` since construction — how often the
+    /// last-hit cursor short-circuited the binary search. Observability
+    /// gauges only: values depend on lookup interleaving under threads.
+    pub fn cursor_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.cursor_hits.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of intervals.
@@ -344,6 +365,25 @@ mod tests {
         // The gap still accepts.
         seq.insert(RunRange::new(11, 20).unwrap(), 3).unwrap();
         assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn cursor_stats_count_hits_and_lookups() {
+        let mut seq = IovSequence::new();
+        seq.insert(RunRange::new(1, 10).unwrap(), 0).unwrap();
+        seq.insert(RunRange::new(11, 20).unwrap(), 1).unwrap();
+        assert_eq!(seq.cursor_stats(), (0, 0));
+        assert_eq!(seq.resolve(5), Some(0)); // hit: the fresh cursor already points at entry 0
+        assert_eq!(seq.resolve(5), Some(0)); // hit
+        assert_eq!(seq.resolve(15), Some(1)); // miss, moves the cursor
+        assert_eq!(seq.resolve(99), None); // miss, no interval
+        let (hits, lookups) = seq.cursor_stats();
+        assert_eq!(lookups, 4);
+        assert_eq!(hits, 2);
+        // Clones start fresh, and stats never affect equality.
+        let clone = seq.clone();
+        assert_eq!(clone.cursor_stats(), (0, 0));
+        assert_eq!(seq, clone);
     }
 
     #[test]

@@ -145,6 +145,17 @@ impl GlobalTag {
     pub fn is_frozen(&self) -> bool {
         self.frozen
     }
+
+    /// Summed `(cursor_hits, lookups)` over every key's IoV cursor
+    /// (see [`IovSequence::cursor_stats`]).
+    pub fn cursor_stats(&self) -> (u64, u64) {
+        self.sequences
+            .values()
+            .fold((0, 0), |(hits, lookups), seq| {
+                let (h, l) = seq.cursor_stats();
+                (hits + h, lookups + l)
+            })
+    }
 }
 
 /// The conditions database: a set of global tags behind a reader-writer
@@ -224,6 +235,18 @@ impl ConditionsStore {
     /// Names of all tags in the store.
     pub fn tag_names(&self) -> Vec<String> {
         self.tags.read().keys().cloned().collect()
+    }
+
+    /// Summed `(cursor_hits, lookups)` over every tag — the store-wide
+    /// IoV-cursor effectiveness gauge surfaced by the trace layer.
+    pub fn cursor_stats(&self) -> (u64, u64) {
+        self.tags
+            .read()
+            .values()
+            .fold((0, 0), |(hits, lookups), tag| {
+                let (h, l) = tag.cursor_stats();
+                (hits + h, lookups + l)
+            })
     }
 }
 

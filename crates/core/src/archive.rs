@@ -335,7 +335,7 @@ mod tests {
     fn sample_archive() -> PreservationArchive {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, 3, 30);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).expect("executes");
+        let out = wf.execute(&ctx, &crate::runner::ExecOptions::default()).expect("executes");
         PreservationArchive::package("sample", &wf, &ctx, &out).expect("packages")
     }
 

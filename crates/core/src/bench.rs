@@ -23,7 +23,8 @@ use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::{self, Encodable, EventReader};
 use daspos_tiers::skim;
 
-use crate::runner::RunnerConfig;
+use crate::error::Error;
+use crate::runner::ExecOptions;
 use crate::workflow::{ExecutionContext, PreservedWorkflow};
 
 /// What to measure.
@@ -130,13 +131,11 @@ impl BenchReport {
 }
 
 /// Build the fixture chain and measure every metric.
-pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
+pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
     let workflow = PreservedWorkflow::standard_z(Experiment::Cms, cfg.seed, cfg.events);
-    let runner = RunnerConfig {
-        threads: cfg.threads.max(1),
-    };
+    let opts = ExecOptions::new().threads(cfg.threads.max(1));
     let ctx = ExecutionContext::fresh(&workflow);
-    let output = workflow.execute_with(&ctx, &runner)?;
+    let output = workflow.execute(&ctx, &opts)?;
     let aod_file = AodEvent::encode_events(&output.aod_events);
     let sealed = codec::seal(&aod_file);
     let n = output.aod_events.len() as u64;
@@ -175,7 +174,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
     metrics.push(measure("full_chain", cfg.reps, n, || {
         let ctx = ExecutionContext::fresh(&workflow);
         let out = workflow
-            .execute_with(&ctx, &runner)
+            .execute(&ctx, &opts)
             .expect("fixture chain executes");
         black_box(out.aod_events.len());
     }));

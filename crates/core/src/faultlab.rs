@@ -32,8 +32,12 @@ use daspos_tiers::codec::{self, Encodable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use daspos_obs::Obs;
+
 use crate::archive::{sections, PreservationArchive};
-use crate::validate::{validate_with_cache, RerunCache, ValidationReport};
+use crate::error::Error;
+use crate::runner::ExecOptions;
+use crate::validate::{RerunCache, ValidationReport, Validator};
 use crate::workflow::{ExecutionContext, PreservedWorkflow};
 
 /// The serialized surfaces a campaign attacks.
@@ -483,32 +487,31 @@ impl ForgeTemplate {
 
 impl CampaignFixture {
     /// Execute one seeded chain and derive every artifact from it.
-    pub fn build(cfg: &CampaignConfig) -> Result<CampaignFixture, String> {
+    pub fn build(cfg: &CampaignConfig) -> Result<CampaignFixture, Error> {
+        CampaignFixture::build_with(cfg, &Obs::disabled())
+    }
+
+    /// [`CampaignFixture::build`] with observability: the fixture chain's
+    /// `execute` spans and counters land in `obs`.
+    pub fn build_with(cfg: &CampaignConfig, obs: &Obs) -> Result<CampaignFixture, Error> {
         let workflow =
             PreservedWorkflow::standard_z(Experiment::Cms, mix(cfg.master_seed), cfg.events);
         let ctx = ExecutionContext::fresh(&workflow);
-        let output = workflow.execute(&ctx)?;
-        let archive = PreservationArchive::package("faultlab", &workflow, &ctx, &output)
-            .map_err(|e| e.to_string())?;
+        let opts = ExecOptions::default().with_obs(obs.clone());
+        let output = workflow.execute(&ctx, &opts)?;
+        let archive = PreservationArchive::package("faultlab", &workflow, &ctx, &output)?;
         let archive_bytes = archive.to_bytes();
         let aod_payload = AodEvent::encode_events(&output.aod_events);
         let raw_payload = ctx
             .catalog
-            .get(output.raw_dataset)
-            .map_err(|e| e.to_string())?
+            .get(output.raw_dataset)?
             .file_data()
             .next()
             .ok_or("raw dataset has no files")?
             .clone();
-        let conditions_text = archive
-            .section_text(sections::CONDITIONS)
-            .map_err(|e| e.to_string())?
-            .to_string();
-        let snapshot = Snapshot::from_text(&conditions_text).map_err(|e| e.to_string())?;
-        let results_text = archive
-            .section_text(sections::RESULTS)
-            .map_err(|e| e.to_string())?
-            .to_string();
+        let conditions_text = archive.section_text(sections::CONDITIONS)?.to_string();
+        let snapshot = Snapshot::from_text(&conditions_text).map_err(|e| Error::msg(e.to_string()))?;
+        let results_text = archive.section_text(sections::RESULTS)?.to_string();
         let sealed_aod = codec::seal(&aod_payload);
         let sealed_raw = codec::seal(&raw_payload);
         let shapes = [
@@ -711,8 +714,10 @@ fn check_archive(
     // The container parsed and every checksum verifies, yet the content
     // differs — a checksum-preserving forgery. Only re-execution can
     // judge it.
-    match validate_with_cache(&parsed, &Platform::current(), cache) {
-        Err(e) => Outcome::Detected(format!("validate:{}", container_label(&e))),
+    match Validator::new(&Platform::current()).with_cache(cache).run(&parsed) {
+        Err(e) => {
+            Outcome::Detected(format!("validate:{}", container_label(&e.into_archive_error())))
+        }
         Ok(report) if report.passed() => Outcome::Violation(
             "altered archive validates as a clean reproduction".to_string(),
         ),
@@ -744,8 +749,10 @@ fn check_results_text(
     // blind to it, and the forgery must be caught by re-execution.
     let mut forged = fixture.archive.clone();
     forged.insert(sections::RESULTS, mutated.clone());
-    match validate_with_cache(&forged, &Platform::current(), cache) {
-        Err(e) => Outcome::Detected(format!("validate:{}", container_label(&e))),
+    match Validator::new(&Platform::current()).with_cache(cache).run(&forged) {
+        Err(e) => {
+            Outcome::Detected(format!("validate:{}", container_label(&e.into_archive_error())))
+        }
         Ok(report) if report.passed() => {
             if mutated[..] == *fixture.results_text.as_bytes() {
                 Outcome::Harmless
@@ -921,11 +928,27 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `mutations_per_class` seeded mutations into every artifact class and
 /// judge each one. Deterministic: the same config yields the identical
 /// report.
-pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
-    let fixture = CampaignFixture::build(cfg)?;
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, Error> {
+    run_campaign_with(cfg, &Obs::disabled())
+}
+
+/// [`run_campaign`] with observability: a `campaign` span with one child
+/// per artifact class, the fixture chain's own `execute` spans, and the
+/// detection histogram folded into the registry as
+/// `faultlab.detect.<layer>` counters (plus `faultlab.mutations` /
+/// `faultlab.harmless` / `faultlab.violations`).
+pub fn run_campaign_with(cfg: &CampaignConfig, obs: &Obs) -> Result<CampaignReport, Error> {
+    let mut span = obs.tracer.span("campaign");
+    span.field("seed", cfg.master_seed);
+    span.field("mutations_per_class", cfg.mutations_per_class);
+    span.field("events", cfg.events);
+    let fixture_span = obs.tracer.span("campaign/fixture");
+    let fixture = CampaignFixture::build_with(cfg, obs)?;
+    fixture_span.finish();
     let mut cache = RerunCache::new();
     let mut classes = Vec::with_capacity(ArtifactClass::all().len());
     for class in ArtifactClass::all() {
+        let mut class_span = obs.tracer.span_fmt(format_args!("campaign/{}", class.name()));
         let mut report = ClassReport {
             class,
             mutations: 0,
@@ -961,8 +984,25 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
                 }),
             }
         }
+        class_span.field("mutations", report.mutations);
+        class_span.field("detected", report.detected);
+        class_span.field("harmless", report.harmless);
+        class_span.field("violations", report.violations.len());
+        class_span.finish();
         classes.push(report);
     }
+    if let Some(m) = obs.registry() {
+        for c in &classes {
+            m.add("faultlab.mutations", u64::from(c.mutations));
+            m.add("faultlab.harmless", u64::from(c.harmless));
+            m.add("faultlab.violations", c.violations.len() as u64);
+            for (layer, n) in &c.detections_by_layer {
+                m.add(&format!("faultlab.detect.{layer}"), u64::from(*n));
+            }
+        }
+    }
+    span.field("violations", classes.iter().map(|c| c.violations.len()).sum::<usize>());
+    span.finish();
     Ok(CampaignReport {
         config: cfg.clone(),
         classes,
@@ -976,7 +1016,7 @@ pub fn replay(
     cfg: &CampaignConfig,
     class: ArtifactClass,
     index: u32,
-) -> Result<(Mutation, Outcome), String> {
+) -> Result<(Mutation, Outcome), Error> {
     let fixture = CampaignFixture::build(cfg)?;
     let mut cache = RerunCache::new();
     let mutation = derive_mutation(cfg, &fixture, class, index);
@@ -1096,6 +1136,45 @@ mod tests {
                 rendered.as_slice(),
                 &expected[..],
                 "splice template must match clone+insert+to_bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_campaign_matches_and_fills_the_registry() {
+        use std::sync::Arc;
+
+        let cfg = small_config();
+        let plain = run_campaign(&cfg).expect("campaign runs");
+        let collector = Arc::new(daspos_obs::MemoryCollector::new());
+        let registry = Arc::new(daspos_obs::MetricsRegistry::new());
+        let obs = Obs::collecting(collector.clone(), registry.clone());
+        let observed = run_campaign_with(&cfg, &obs).expect("campaign runs");
+        assert_eq!(plain, observed, "observability must not change the verdicts");
+
+        // The detection histogram is folded into the registry.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("faultlab.mutations"), u64::from(plain.total_mutations()));
+        assert_eq!(snap.counter("faultlab.harmless"), u64::from(plain.total_harmless()));
+        let detected: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("faultlab.detect."))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(detected, u64::from(plain.total_detected()));
+
+        // One span per class plus the campaign root and fixture spans
+        // (the fixture chain contributes its own execute spans too).
+        let paths: Vec<String> = collector
+            .sorted_records()
+            .into_iter()
+            .map(|r| r.path)
+            .collect();
+        for required in ["campaign", "campaign/fixture", "campaign/tier-aod", "execute"] {
+            assert!(
+                paths.iter().any(|p| p == required),
+                "missing span {required}, have {paths:?}"
             );
         }
     }

@@ -13,7 +13,9 @@
 //! identify the metadata needed to access archives ([`archive`] +
 //! `daspos-metadata`). The toolkit closes the loop with [`validate`]
 //! (re-run a preserved workflow and compare) and [`migrate`] (simulate
-//! the platform transitions the report warns about).
+//! the platform transitions the report warns about). Every run can carry
+//! the [`obs`] runtime-metadata layer: per-stage spans, deterministic
+//! chain counters and a diffable JSONL trace.
 //!
 //! ## Quick start
 //!
@@ -24,17 +26,22 @@
 //! let workflow = PreservedWorkflow::standard_z(Experiment::Cms, 42, 200);
 //! // Execute it: generate, simulate, reconstruct, skim, analyze.
 //! let ctx = ExecutionContext::fresh(&workflow);
-//! let production = workflow.execute(&ctx).expect("production runs");
+//! let production = workflow
+//!     .execute(&ctx, &ExecOptions::default())
+//!     .expect("production runs");
 //! // Package the run into a self-contained archive...
 //! let archive = PreservationArchive::package("demo", &workflow, &ctx, &production)
 //!     .expect("packaging succeeds");
 //! // ...and prove it is preserved by re-running from the archive alone.
-//! let report = validate::validate(&archive, &Platform::current()).expect("validates");
+//! let report = Validator::new(&Platform::current())
+//!     .run(&archive)
+//!     .expect("validates");
 //! assert!(report.reproduced);
 //! ```
 
 pub mod archive;
 pub mod bench;
+pub mod error;
 pub mod faultlab;
 pub mod levels;
 pub mod migrate;
@@ -43,19 +50,30 @@ pub mod usecases;
 pub mod validate;
 pub mod workflow;
 
+/// The observability layer (spans, collectors, metrics) — re-export of
+/// the `daspos-obs` crate, so `daspos::obs::MemoryCollector` etc. work.
+pub use daspos_obs as obs;
+
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::archive::{ArchiveSection, PreservationArchive};
+    pub use crate::error::{Error, ErrorKind};
     pub use crate::faultlab::{self, ArtifactClass, CampaignConfig, CampaignReport};
     pub use crate::levels::DphepLevel;
     pub use crate::migrate::Migrator;
+    #[allow(deprecated)]
     pub use crate::runner::RunnerConfig;
+    pub use crate::runner::ExecOptions;
     pub use crate::usecases::{Actor, UseCase};
-    pub use crate::validate::{self, ValidationReport};
+    pub use crate::validate::{self, ValidationReport, Validator};
     pub use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};
     pub use daspos_detsim::Experiment;
+    pub use daspos_obs::{
+        MemoryCollector, MetricsRegistry, Obs, Stage, Tracer, TraceSummary,
+    };
     pub use daspos_provenance::Platform;
 }
 
 pub use archive::PreservationArchive;
+pub use error::{Error, ErrorKind};
 pub use workflow::{ExecutionContext, PreservedWorkflow};

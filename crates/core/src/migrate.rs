@@ -17,7 +17,7 @@
 use daspos_provenance::Platform;
 
 use crate::archive::{sections, PreservationArchive};
-use crate::validate::{self, ValidationReport};
+use crate::validate::{ValidationReport, Validator};
 
 /// The outcome of a migration campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +75,7 @@ impl Migrator {
         self.archives
             .iter()
             .map(|a| {
-                validate::validate(a, platform).unwrap_or_else(|e| ValidationReport {
+                Validator::new(platform).run(a).unwrap_or_else(|e| ValidationReport {
                     archive: a.name.clone(),
                     integrity_ok: false,
                     platform_ok: false,
@@ -109,7 +109,7 @@ impl Migrator {
             .iter()
             .filter(|a| !unmigratable.contains(&a.name))
             .map(|a| {
-                validate::validate(a, platform).unwrap_or_else(|e| ValidationReport {
+                Validator::new(platform).run(a).unwrap_or_else(|e| ValidationReport {
                     archive: a.name.clone(),
                     integrity_ok: false,
                     platform_ok: false,
@@ -139,13 +139,14 @@ pub fn make_opaque(mut archive: PreservationArchive) -> PreservationArchive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::ExecOptions;
     use crate::workflow::{ExecutionContext, PreservedWorkflow};
     use daspos_detsim::Experiment;
 
     fn archive(seed: u64) -> PreservationArchive {
         let wf = PreservedWorkflow::standard_z(Experiment::Atlas, seed, 25);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).unwrap();
+        let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
         PreservationArchive::package(&format!("arc-{seed}"), &wf, &ctx, &out).unwrap()
     }
 
@@ -198,7 +199,7 @@ mod tests {
         // On the original platform the opaque archive's sections are
         // intact but the workflow cannot be re-executed declaratively.
         let a = make_opaque(archive(8));
-        let report = validate::validate(&a, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&a).unwrap();
         assert!(report.integrity_ok);
         assert!(!report.executed);
     }

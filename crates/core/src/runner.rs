@@ -10,10 +10,91 @@
 //! configuration, and merge the per-chunk results back in index order.
 //! The merged vectors — and therefore every tier file encoded from them —
 //! are byte-identical to a sequential run.
+//!
+//! Execution is configured by [`ExecOptions`]: thread count plus the
+//! observability bundle (trace collector + metrics registry). The old
+//! [`RunnerConfig`] survives as a deprecated shim.
+
+use std::sync::Arc;
 
 use crossbeam::channel;
+use daspos_obs::{Collector, MetricsRegistry, Obs, Span, Tracer};
+
+/// How a workflow executes: thread count plus observability. Built
+/// fluently and passed to `Workflow::execute(ctx, &opts)`:
+///
+/// ```
+/// use daspos::runner::ExecOptions;
+/// let opts = ExecOptions::sequential();
+/// let opts4 = ExecOptions::new().threads(4);
+/// # let _ = (opts, opts4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    threads: usize,
+    /// Span tracer + metrics registry (disabled by default — zero cost).
+    pub obs: Obs,
+}
+
+impl Default for ExecOptions {
+    /// Same as [`ExecOptions::new`]: one worker per hardware thread,
+    /// observability off.
+    fn default() -> ExecOptions {
+        ExecOptions::new()
+    }
+}
+
+impl ExecOptions {
+    /// One worker per available hardware thread, observability off.
+    pub fn new() -> ExecOptions {
+        ExecOptions {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// The sequential engine (one thread, no pool), observability off.
+    pub fn sequential() -> ExecOptions {
+        ExecOptions {
+            threads: 1,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Use exactly `threads` workers (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> ExecOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Emit spans into `collector`.
+    pub fn collector(mut self, collector: Arc<dyn Collector>) -> ExecOptions {
+        self.obs.tracer = Tracer::new(collector);
+        self
+    }
+
+    /// Record counters/gauges into `registry`.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> ExecOptions {
+        self.obs.metrics = Some(registry);
+        self
+    }
+
+    /// Replace the whole observability bundle.
+    pub fn with_obs(mut self, obs: Obs) -> ExecOptions {
+        self.obs = obs;
+        self
+    }
+
+    /// The configured worker count (always ≥ 1).
+    pub fn thread_count(&self) -> usize {
+        self.threads.max(1)
+    }
+}
 
 /// How a workflow's event loop is executed.
+#[deprecated(since = "0.1.0", note = "use `ExecOptions` (threads + observability)")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunnerConfig {
     /// Worker threads for the production loop, payload encoding and
@@ -22,6 +103,7 @@ pub struct RunnerConfig {
     pub threads: usize,
 }
 
+#[allow(deprecated)]
 impl RunnerConfig {
     /// The sequential engine (one thread, no pool).
     pub fn sequential() -> Self {
@@ -36,6 +118,7 @@ impl RunnerConfig {
     }
 }
 
+#[allow(deprecated)]
 impl Default for RunnerConfig {
     /// One worker per available hardware thread.
     fn default() -> Self {
@@ -47,9 +130,16 @@ impl Default for RunnerConfig {
     }
 }
 
+#[allow(deprecated)]
+impl From<&RunnerConfig> for ExecOptions {
+    fn from(config: &RunnerConfig) -> ExecOptions {
+        ExecOptions::sequential().threads(config.threads)
+    }
+}
+
 /// Events per work unit: small enough to balance load across workers,
 /// large enough that channel traffic is negligible next to the physics.
-const CHUNK_EVENTS: u64 = 64;
+pub(crate) const CHUNK_EVENTS: u64 = 64;
 
 /// Run `worker(i)` for every `i in 0..n_items` and return the results in
 /// index order.
@@ -65,30 +155,40 @@ const CHUNK_EVENTS: u64 = 64;
 /// the caller reassembles them in order, so the output is independent of
 /// scheduling. On error the lowest-indexed failing chunk's error is
 /// returned.
-pub fn run_ordered<T, W, F>(
+///
+/// Every chunk opens a `chunk-NNNNN` child span under `parent`. The
+/// chunk layout depends only on `n_items` — both engines emit the same
+/// span paths and fields, so a trace's stable render is identical at any
+/// thread count (only timestamps and completion order differ).
+pub fn run_ordered<T, E, W, F>(
     n_items: u64,
-    config: &RunnerConfig,
+    opts: &ExecOptions,
+    parent: &Span,
     make_worker: W,
-) -> Result<Vec<T>, String>
+) -> Result<Vec<T>, E>
 where
     T: Send,
+    E: Send,
     W: Fn() -> F + Sync,
-    F: FnMut(u64) -> Result<T, String>,
+    F: FnMut(u64) -> Result<T, E>,
 {
-    let threads = config
-        .threads
-        .max(1)
-        .min(n_items.div_ceil(CHUNK_EVENTS).max(1) as usize);
+    let n_chunks = n_items.div_ceil(CHUNK_EVENTS) as usize;
+    let threads = opts.thread_count().min(n_chunks.max(1));
     if threads == 1 {
         let mut worker = make_worker();
         let mut out = Vec::with_capacity(n_items as usize);
-        for i in 0..n_items {
-            out.push(worker(i)?);
+        for idx in 0..n_chunks as u64 {
+            let start = idx * CHUNK_EVENTS;
+            let end = (start + CHUNK_EVENTS).min(n_items);
+            let mut span = parent.child_indexed("chunk", idx);
+            span.field("events", end - start);
+            for i in start..end {
+                out.push(worker(i)?);
+            }
         }
         return Ok(out);
     }
 
-    let n_chunks = n_items.div_ceil(CHUNK_EVENTS) as usize;
     let (job_tx, job_rx) = channel::unbounded::<(usize, u64, u64)>();
     for idx in 0..n_chunks {
         let start = idx as u64 * CHUNK_EVENTS;
@@ -97,12 +197,12 @@ where
     }
     drop(job_tx); // workers drain the queue then see disconnect
 
-    type ChunkResult<T> = (usize, Result<Vec<T>, String>);
-    let (res_tx, res_rx) = channel::unbounded::<ChunkResult<T>>();
+    type ChunkResult<T, E> = (usize, Result<Vec<T>, E>);
+    let (res_tx, res_rx) = channel::unbounded::<ChunkResult<T, E>>();
 
     let mut slots: Vec<Option<Vec<T>>> = Vec::new();
     slots.resize_with(n_chunks, || None);
-    let mut first_err: Option<(usize, String)> = None;
+    let mut first_err: Option<(usize, E)> = None;
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -112,6 +212,8 @@ where
             scope.spawn(move || {
                 let mut worker = make_worker();
                 while let Ok((idx, start, end)) = job_rx.recv() {
+                    let mut span = parent.child_indexed("chunk", idx as u64);
+                    span.field("events", end - start);
                     let mut chunk = Vec::with_capacity((end - start) as usize);
                     let mut failure = None;
                     for i in start..end {
@@ -123,6 +225,7 @@ where
                             }
                         }
                     }
+                    span.finish();
                     match failure {
                         None => {
                             let _ = res_tx.send((idx, Ok(chunk)));
@@ -170,31 +273,38 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use daspos_obs::MemoryCollector;
+
+    fn noop_span() -> Span {
+        Tracer::disabled().span("test")
+    }
 
     #[test]
     fn matches_sequential_for_any_thread_count() {
-        let compute = |i: u64| -> Result<u64, String> { Ok(i.wrapping_mul(0x9E37_79B9).rotate_left(13)) };
+        let compute =
+            |i: u64| -> Result<u64, String> { Ok(i.wrapping_mul(0x9E37_79B9).rotate_left(13)) };
         let reference: Vec<u64> = (0..1000).map(|i| compute(i).unwrap()).collect();
         for threads in [1, 2, 3, 4, 8] {
-            let got = run_ordered(1000, &RunnerConfig::with_threads(threads), || compute)
-                .expect("runs");
+            let opts = ExecOptions::sequential().threads(threads);
+            let got = run_ordered(1000, &opts, &noop_span(), || compute).expect("runs");
             assert_eq!(got, reference, "threads={threads}");
         }
     }
 
     #[test]
     fn empty_and_tiny_ranges() {
-        let cfg = RunnerConfig::with_threads(4);
-        let empty = run_ordered(0, &cfg, || |i: u64| Ok(i)).unwrap();
+        let opts = ExecOptions::sequential().threads(4);
+        let empty: Vec<u64> = run_ordered(0, &opts, &noop_span(), || |i: u64| Ok::<_, String>(i))
+            .unwrap();
         assert!(empty.is_empty());
-        let one = run_ordered(1, &cfg, || |i: u64| Ok(i * 2)).unwrap();
+        let one = run_ordered(1, &opts, &noop_span(), || |i: u64| Ok::<_, String>(i * 2)).unwrap();
         assert_eq!(one, vec![0]);
     }
 
     #[test]
     fn errors_propagate() {
-        let cfg = RunnerConfig::with_threads(4);
-        let err = run_ordered(500, &cfg, || {
+        let opts = ExecOptions::sequential().threads(4);
+        let err = run_ordered(500, &opts, &noop_span(), || {
             |i: u64| {
                 if i == 137 {
                     Err(format!("boom at {i}"))
@@ -211,12 +321,13 @@ mod tests {
     fn per_thread_state_is_isolated() {
         // Each pool thread gets its own accumulator from make_worker;
         // results must still be a pure function of the index.
-        let got = run_ordered(300, &RunnerConfig::with_threads(3), || {
+        let opts = ExecOptions::sequential().threads(3);
+        let got = run_ordered(300, &opts, &noop_span(), || {
             let mut calls = 0u64;
             move |i: u64| {
                 calls += 1;
                 let _ = calls; // thread-private state must not leak into results
-                Ok(i + 7)
+                Ok::<_, String>(i + 7)
             }
         })
         .unwrap();
@@ -224,10 +335,42 @@ mod tests {
     }
 
     #[test]
-    fn config_constructors() {
+    fn options_builders() {
+        assert_eq!(ExecOptions::sequential().thread_count(), 1);
+        assert_eq!(ExecOptions::sequential().threads(0).thread_count(), 1);
+        assert_eq!(ExecOptions::new().threads(6).thread_count(), 6);
+        assert!(ExecOptions::new().thread_count() >= 1);
+        assert!(!ExecOptions::new().obs.tracer.enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn runner_config_shim_converts() {
+        let opts = ExecOptions::from(&RunnerConfig::with_threads(6));
+        assert_eq!(opts.thread_count(), 6);
         assert_eq!(RunnerConfig::sequential().threads, 1);
-        assert_eq!(RunnerConfig::with_threads(0).threads, 1);
-        assert_eq!(RunnerConfig::with_threads(6).threads, 6);
         assert!(RunnerConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn chunk_spans_identical_across_engines() {
+        // 300 items = 5 chunks of ≤ 64. Sequential and pooled runs must
+        // emit the same chunk span paths and fields (timestamps aside).
+        let mut renders = Vec::new();
+        for threads in [1usize, 4] {
+            let collector = Arc::new(MemoryCollector::new());
+            let opts = ExecOptions::sequential()
+                .threads(threads)
+                .collector(collector.clone());
+            let parent = opts.obs.tracer.span("produce");
+            let _ = run_ordered(300, &opts, &parent, || |i: u64| Ok::<_, String>(i)).unwrap();
+            parent.finish();
+            let records = collector.sorted_records();
+            assert_eq!(records.len(), 6, "5 chunks + parent");
+            renders.push(daspos_obs::render_trace(&records, None, true));
+        }
+        assert_eq!(renders[0], renders[1]);
+        assert!(renders[0].contains("produce/chunk-00004"));
+        assert!(renders[0].contains("\"events\":\"44\""), "last chunk has 300-256 events");
     }
 }

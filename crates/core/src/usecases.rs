@@ -125,7 +125,7 @@ mod tests {
     fn archive() -> PreservationArchive {
         let wf = PreservedWorkflow::standard_z(Experiment::Lhcb, 9, 25);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).unwrap();
+        let out = wf.execute(&ctx, &crate::runner::ExecOptions::default()).unwrap();
         PreservationArchive::package("uc", &wf, &ctx, &out).unwrap()
     }
 

@@ -16,7 +16,11 @@ use daspos_conditions::{ConditionsStore, Snapshot};
 use daspos_provenance::{Platform, SoftwareStack};
 use daspos_tiers::codec::fnv64;
 
+use daspos_obs::Obs;
+
 use crate::archive::{sections, ArchiveError, PreservationArchive};
+use crate::error::Error;
+use crate::runner::ExecOptions;
 use crate::workflow::{ExecutionContext, PreservedWorkflow};
 
 /// The outcome of validating one archive.
@@ -113,25 +117,137 @@ pub fn split_adl_documents(text: &str) -> Vec<String> {
         .collect()
 }
 
-/// Validate an archive on the given platform.
+/// The one validation entry point, replacing the old
+/// `validate` / `validate_with_cache` / `validate_statistical` /
+/// `validate_statistical_with_cache` quartet with a builder:
 ///
-/// Returns `Err` only for archives too damaged to even start (missing or
-/// corrupt sections are reported in the `Ok` report instead wherever
-/// possible).
+/// ```no_run
+/// # use daspos::prelude::*;
+/// # let archive: PreservationArchive = todo!();
+/// let mut cache = validate::RerunCache::new();
+/// let report = Validator::new(&Platform::current())
+///     .with_cache(&mut cache)     // share chain re-runs across archives
+///     .statistical(1e-6)          // accept numeric drift up to 1e-6
+///     .run(&archive)?;
+/// # Ok::<(), Error>(())
+/// ```
+///
+/// Without `.statistical(..)` the comparison is bit-exact; without
+/// `.with_cache(..)` each `run` uses a private cache. With an [`Obs`]
+/// bundle attached, every run opens a `validate` span (children per
+/// stage) and counts `validate.runs` / `validate.reruns` /
+/// `validate.cache_hits`.
+pub struct Validator<'c> {
+    platform: Platform,
+    cache: Option<&'c mut RerunCache>,
+    tolerance: Option<f64>,
+    obs: Obs,
+}
+
+impl<'c> Validator<'c> {
+    /// A bit-exact validator for `platform`, with a private cache and
+    /// observability off.
+    pub fn new(platform: &Platform) -> Validator<'c> {
+        Validator {
+            platform: platform.clone(),
+            cache: None,
+            tolerance: None,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Share chain re-executions across archives through `cache`.
+    pub fn with_cache(mut self, cache: &'c mut RerunCache) -> Validator<'c> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Accept numeric drift: when the bit comparison fails but the chain
+    /// executed, fall back to a per-bin relative comparison within
+    /// `rel_tolerance` (see the statistical-mode notes below).
+    pub fn statistical(mut self, rel_tolerance: f64) -> Validator<'c> {
+        self.tolerance = Some(rel_tolerance);
+        self
+    }
+
+    /// Attach spans + metrics. The re-executed chain inherits the same
+    /// bundle, so its `execute` spans and `events.*` counters land in the
+    /// same trace.
+    pub fn with_obs(mut self, obs: &Obs) -> Validator<'c> {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Validate `archive`.
+    ///
+    /// Returns `Err` only for archives too damaged to even start (missing
+    /// or corrupt sections are reported in the `Ok` report instead
+    /// wherever possible); the error carries
+    /// [`Stage::Validate`](daspos_obs::Stage) context.
+    pub fn run(&mut self, archive: &PreservationArchive) -> Result<ValidationReport, Error> {
+        let mut span = self.obs.tracer.span("validate");
+        span.field("archive", &archive.name);
+        if let Some(m) = self.obs.registry() {
+            m.add("validate.runs", 1);
+        }
+        let mut scratch = RerunCache::new();
+        let cache: &mut RerunCache = match self.cache.as_deref_mut() {
+            Some(shared) => shared,
+            None => &mut scratch,
+        };
+        let result = match self.tolerance {
+            None => validate_core(archive, &self.platform, cache, &self.obs),
+            Some(tol) => validate_statistical_core(archive, &self.platform, tol, cache, &self.obs),
+        };
+        match &result {
+            Ok(report) => {
+                span.field("passed", report.passed());
+                span.field("reproduced", report.reproduced);
+            }
+            Err(_) => span.field("passed", false),
+        }
+        span.finish();
+        result.map_err(|e| Error::from(e).at(daspos_obs::Stage::Validate))
+    }
+}
+
+/// Validate an archive on the given platform.
+#[deprecated(since = "0.1.0", note = "use `Validator::new(platform).run(archive)`")]
 pub fn validate(
     archive: &PreservationArchive,
     platform: &Platform,
 ) -> Result<ValidationReport, ArchiveError> {
-    validate_with_cache(archive, platform, &mut RerunCache::new())
+    Validator::new(platform)
+        .run(archive)
+        .map_err(Error::into_archive_error)
 }
 
 /// [`validate`], sharing chain re-executions across calls through `cache`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Validator::new(platform).with_cache(cache).run(archive)`"
+)]
 pub fn validate_with_cache(
     archive: &PreservationArchive,
     platform: &Platform,
     cache: &mut RerunCache,
 ) -> Result<ValidationReport, ArchiveError> {
+    Validator::new(platform)
+        .with_cache(cache)
+        .run(archive)
+        .map_err(Error::into_archive_error)
+}
+
+/// The bit-exact validation engine (stage 1–4), with per-stage spans.
+fn validate_core(
+    archive: &PreservationArchive,
+    platform: &Platform,
+    cache: &mut RerunCache,
+    obs: &Obs,
+) -> Result<ValidationReport, ArchiveError> {
+    let tracer = &obs.tracer;
     // 1. Integrity.
+    let integrity_span = tracer.span("validate/integrity");
     if let Err(e) = archive.verify_integrity() {
         return Ok(ValidationReport::failure(
             &archive.name,
@@ -139,8 +255,10 @@ pub fn validate_with_cache(
             e.to_string(),
         ));
     }
+    integrity_span.finish();
 
     // 2. Platform compatibility of the archived software.
+    let platform_span = tracer.span("validate/platform");
     let stack = match archive.software() {
         Ok(s) => s,
         Err(e) => {
@@ -161,6 +279,7 @@ pub fn validate_with_cache(
             ),
         ));
     }
+    platform_span.finish();
 
     // 3. Re-derive the reference from the archive alone. Archives with
     // identical executable content share a single chain execution. A
@@ -168,16 +287,29 @@ pub fn validate_with_cache(
     // (the archive cannot even start); every softer problem lands in the
     // report as an execute-stage failure.
     let key = rerun_key(archive)?;
+    let mut rerun_span = tracer.span("validate/rerun");
     let rerun = match cache.runs.get(&key) {
-        Some(cached) => cached.clone(),
+        Some(cached) => {
+            rerun_span.field("cache", "hit");
+            if let Some(m) = obs.registry() {
+                m.add("validate.cache_hits", 1);
+            }
+            cached.clone()
+        }
         None => {
-            let fresh = rerun_archive(archive, stack);
+            rerun_span.field("cache", "miss");
+            if let Some(m) = obs.registry() {
+                m.add("validate.reruns", 1);
+            }
+            let fresh = rerun_archive(archive, stack, obs);
             cache.runs.insert(key, fresh.clone());
             fresh
         }
     };
+    rerun_span.finish();
 
     // 4. Compare against the archived reference, bit for bit.
+    let compare_span = tracer.span("validate/compare");
     let rerun = match rerun {
         Ok(text) => text,
         Err(detail) => {
@@ -190,6 +322,7 @@ pub fn validate_with_cache(
     };
     let reference = archive.section_text(sections::RESULTS)?;
     let reproduced = reference == rerun;
+    compare_span.finish();
     Ok(ValidationReport {
         archive: archive.name.clone(),
         integrity_ok: true,
@@ -235,7 +368,11 @@ fn rerun_key(archive: &PreservationArchive) -> Result<u64, ArchiveError> {
 /// chain, returning the re-run results text. A workflow section that is
 /// not declarative text (an opaque binary), an unparsable snapshot, or an
 /// execution error all surface as the execute-stage failure detail.
-fn rerun_archive(archive: &PreservationArchive, stack: SoftwareStack) -> Result<String, String> {
+fn rerun_archive(
+    archive: &PreservationArchive,
+    stack: SoftwareStack,
+    obs: &Obs,
+) -> Result<String, String> {
     let workflow_text = archive.section_text(sections::WORKFLOW).map_err(|_| {
         "workflow section is not declarative text (opaque binary)".to_string()
     })?;
@@ -265,7 +402,8 @@ fn rerun_archive(archive: &PreservationArchive, stack: SoftwareStack) -> Result<
         }
     }
 
-    let output = workflow.execute(&ctx)?;
+    let opts = ExecOptions::default().with_obs(obs.clone());
+    let output = workflow.execute(&ctx, &opts).map_err(|e| e.to_string())?;
     Ok(output.results_to_text())
 }
 
@@ -315,26 +453,51 @@ pub fn parse_results_text(
 /// workflow and accepts the archive when every histogram bin agrees with
 /// the reference within `rel_tolerance` (relative, floored at 1e-9
 /// absolute).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Validator::new(platform).statistical(rel_tolerance).run(archive)`"
+)]
 pub fn validate_statistical(
     archive: &PreservationArchive,
     platform: &Platform,
     rel_tolerance: f64,
 ) -> Result<ValidationReport, ArchiveError> {
-    validate_statistical_with_cache(archive, platform, rel_tolerance, &mut RerunCache::new())
+    Validator::new(platform)
+        .statistical(rel_tolerance)
+        .run(archive)
+        .map_err(Error::into_archive_error)
 }
 
 /// [`validate_statistical`], sharing chain re-executions through `cache`.
-///
-/// The numeric comparison parses the re-run text that
-/// [`validate_with_cache`] just produced (or found cached) — the chain is
-/// never executed a second time merely to recover histograms.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Validator::new(platform).statistical(rel_tolerance).with_cache(cache).run(archive)`"
+)]
 pub fn validate_statistical_with_cache(
     archive: &PreservationArchive,
     platform: &Platform,
     rel_tolerance: f64,
     cache: &mut RerunCache,
 ) -> Result<ValidationReport, ArchiveError> {
-    let mut report = validate_with_cache(archive, platform, cache)?;
+    Validator::new(platform)
+        .statistical(rel_tolerance)
+        .with_cache(cache)
+        .run(archive)
+        .map_err(Error::into_archive_error)
+}
+
+/// The statistical engine: bit-exact first, then a per-bin relative
+/// comparison against the re-run text the bit pass just produced (or
+/// found cached) — the chain is never executed a second time merely to
+/// recover histograms.
+fn validate_statistical_core(
+    archive: &PreservationArchive,
+    platform: &Platform,
+    rel_tolerance: f64,
+    cache: &mut RerunCache,
+    obs: &Obs,
+) -> Result<ValidationReport, ArchiveError> {
+    let mut report = validate_core(archive, platform, cache, obs)?;
     if report.reproduced || !report.executed {
         return Ok(report);
     }
@@ -411,14 +574,14 @@ mod tests {
     fn archive_for(seed: u64) -> PreservationArchive {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, seed, 30);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).unwrap();
+        let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
         PreservationArchive::package("val-test", &wf, &ctx, &out).unwrap()
     }
 
     #[test]
     fn intact_archive_validates_bit_exactly() {
         let a = archive_for(1);
-        let report = validate(&a, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&a).unwrap();
         assert!(report.passed(), "failed: {}", report.detail);
         assert!(report.reproduced);
     }
@@ -426,7 +589,7 @@ mod tests {
     #[test]
     fn wrong_platform_fails_cleanly() {
         let a = archive_for(2);
-        let report = validate(&a, &Platform::successor()).unwrap();
+        let report = Validator::new(&Platform::successor()).run(&a).unwrap();
         assert!(!report.passed());
         assert!(!report.platform_ok);
         assert!(report.detail.contains("platform"));
@@ -440,7 +603,7 @@ mod tests {
         let mut data = s.data.to_vec();
         data[0] ^= 0xFF;
         s.data = Bytes::from(data);
-        let report = validate(&a, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&a).unwrap();
         assert!(!report.integrity_ok);
         assert!(!report.passed());
     }
@@ -451,7 +614,7 @@ mod tests {
         // Replace the reference with a *valid-checksum* but wrong text:
         // the forger recomputes checksums, so only re-execution catches it.
         a.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
-        let report = validate(&a, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&a).unwrap();
         assert!(report.integrity_ok);
         assert!(report.executed);
         assert!(!report.reproduced);
@@ -461,14 +624,14 @@ mod tests {
     fn missing_workflow_section_fails() {
         let mut a = archive_for(5);
         a.sections.remove(sections::WORKFLOW);
-        assert!(validate(&a, &Platform::current()).is_err());
+        assert!(Validator::new(&Platform::current()).run(&a).is_err());
     }
 
     #[test]
     fn unparsable_workflow_reports_execute_failure() {
         let mut a = archive_for(6);
         a.insert(sections::WORKFLOW, Bytes::from("garbage"));
-        let report = validate(&a, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&a).unwrap();
         assert!(!report.executed);
         assert!(report.detail.contains("unparsable"));
     }
@@ -486,7 +649,7 @@ mod tests {
         let mut data = s.data.to_vec();
         data[0] ^= 0xFF;
         s.data = Bytes::from(data);
-        let r = validate(&corrupt, &current).unwrap();
+        let r = Validator::new(&current).run(&corrupt).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (false, false, false, false),
@@ -499,7 +662,7 @@ mod tests {
         // previously misreported as an integrity failure.
         let mut bad_stack = archive_for(32);
         bad_stack.insert(sections::SOFTWARE, Bytes::from("not a stack"));
-        let r = validate(&bad_stack, &current).unwrap();
+        let r = Validator::new(&current).run(&bad_stack).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (true, false, false, false),
@@ -509,7 +672,7 @@ mod tests {
         assert!(r.detail.contains("unreadable"), "{}", r.detail);
 
         // Wrong platform: (true, false, false, false).
-        let r = validate(&archive_for(33), &Platform::successor()).unwrap();
+        let r = Validator::new(&Platform::successor()).run(&archive_for(33)).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (true, false, false, false),
@@ -520,7 +683,7 @@ mod tests {
         // Execution failure (opaque workflow): (true, true, false, false).
         let mut opaque = archive_for(34);
         opaque.insert(sections::WORKFLOW, Bytes::from_static(&[0xDE, 0xAD, 0xBE]));
-        let r = validate(&opaque, &current).unwrap();
+        let r = Validator::new(&current).run(&opaque).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (true, true, false, false),
@@ -531,7 +694,7 @@ mod tests {
         // Non-reproduction (forged reference): (true, true, true, false).
         let mut forged = archive_for(35);
         forged.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
-        let r = validate(&forged, &current).unwrap();
+        let r = Validator::new(&current).run(&forged).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (true, true, true, false),
@@ -540,7 +703,7 @@ mod tests {
         );
 
         // Success: all four true.
-        let r = validate(&archive_for(36), &current).unwrap();
+        let r = Validator::new(&current).run(&archive_for(36)).unwrap();
         assert_eq!(
             (r.integrity_ok, r.platform_ok, r.executed, r.reproduced),
             (true, true, true, true),
@@ -554,7 +717,7 @@ mod tests {
         let a = archive_for(21);
         let mut cache = RerunCache::new();
         assert!(cache.is_empty());
-        let clean = validate_with_cache(&a, &Platform::current(), &mut cache).unwrap();
+        let clean = Validator::new(&Platform::current()).with_cache(&mut cache).run(&a).unwrap();
         assert!(clean.passed(), "{}", clean.detail);
         assert_eq!(cache.len(), 1);
 
@@ -563,16 +726,16 @@ mod tests {
         // forgery through the bit-exact comparison.
         let mut forged = a.clone();
         forged.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
-        let report = validate_with_cache(&forged, &Platform::current(), &mut cache).unwrap();
+        let report = Validator::new(&Platform::current()).with_cache(&mut cache).run(&forged).unwrap();
         assert_eq!(cache.len(), 1, "forgery must not trigger a re-execution");
         assert!(report.executed && !report.reproduced);
 
         // The cached verdict is identical to the uncached engine's.
-        assert_eq!(report, validate(&forged, &Platform::current()).unwrap());
+        assert_eq!(report, Validator::new(&Platform::current()).run(&forged).unwrap());
 
         // Different executable content (another workflow seed) misses.
         let b = archive_for(22);
-        let fresh = validate_with_cache(&b, &Platform::current(), &mut cache).unwrap();
+        let fresh = Validator::new(&Platform::current()).with_cache(&mut cache).run(&b).unwrap();
         assert!(fresh.passed(), "{}", fresh.detail);
         assert_eq!(cache.len(), 2);
     }
@@ -600,12 +763,12 @@ mod tests {
             .collect();
         let mut forged = a.clone();
         forged.insert(sections::RESULTS, Bytes::from(drifted));
-        let bitwise = validate(&forged, &Platform::current()).unwrap();
+        let bitwise = Validator::new(&Platform::current()).run(&forged).unwrap();
         assert!(bitwise.executed && !bitwise.reproduced);
-        let loose = validate_statistical(&forged, &Platform::current(), 1e-3).unwrap();
+        let loose = Validator::new(&Platform::current()).statistical(1e-3).run(&forged).unwrap();
         assert!(loose.passed(), "{}", loose.detail);
         assert!(loose.detail.contains("statistically"));
-        let strict = validate_statistical(&forged, &Platform::current(), 1e-9).unwrap();
+        let strict = Validator::new(&Platform::current()).statistical(1e-9).run(&forged).unwrap();
         assert!(!strict.passed());
     }
 
@@ -617,7 +780,7 @@ mod tests {
             Bytes::from("== det:ZLL_2013_I0001 events=30 ==
 "),
         );
-        let report = validate_statistical(&a, &Platform::current(), 0.1).unwrap();
+        let report = Validator::new(&Platform::current()).statistical(0.1).run(&a).unwrap();
         assert!(!report.reproduced, "{}", report.detail);
     }
 
@@ -631,7 +794,7 @@ mod tests {
             Bytes::from("== det:ZLL_2013_I0001 events=30 ==\n"),
         );
         let r =
-            validate_statistical_with_cache(&forged, &Platform::current(), 0.1, &mut cache)
+            Validator::new(&Platform::current()).statistical(0.1).with_cache(&mut cache).run(&forged)
                 .unwrap();
         assert!(r.executed && !r.reproduced, "{}", r.detail);
         assert_eq!(cache.len(), 1);
@@ -641,7 +804,7 @@ mod tests {
         let mut forged2 = a.clone();
         forged2.insert(sections::RESULTS, Bytes::from("== other ==\n"));
         let r2 =
-            validate_statistical_with_cache(&forged2, &Platform::current(), 0.1, &mut cache)
+            Validator::new(&Platform::current()).statistical(0.1).with_cache(&mut cache).run(&forged2)
                 .unwrap();
         assert!(r2.executed && !r2.reproduced, "{}", r2.detail);
         assert_eq!(cache.len(), 1, "numeric comparison must reuse the cached re-run");
@@ -651,7 +814,7 @@ mod tests {
     fn parse_results_text_round_trips_real_output() {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, 13, 20);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).unwrap();
+        let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
         let parsed = parse_results_text(&out.results_to_text()).unwrap();
         assert_eq!(parsed.len(), out.analysis_results.len());
         for (key, result) in &out.analysis_results {
@@ -664,7 +827,84 @@ mod tests {
     fn validation_works_after_binary_round_trip() {
         let a = archive_for(7);
         let b = PreservationArchive::from_bytes(&a.to_bytes()).unwrap();
-        let report = validate(&b, &Platform::current()).unwrap();
+        let report = Validator::new(&Platform::current()).run(&b).unwrap();
         assert!(report.passed(), "{}", report.detail);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_the_builder() {
+        let a = archive_for(41);
+        let current = Platform::current();
+        let from_builder = Validator::new(&current).run(&a).unwrap();
+        let from_wrapper = validate(&a, &current).unwrap();
+        assert_eq!(from_builder, from_wrapper);
+
+        let mut forged = a.clone();
+        forged.insert(sections::RESULTS, Bytes::from("== forged ==\n"));
+        let b = Validator::new(&current).statistical(0.1).run(&forged).unwrap();
+        let w = validate_statistical(&forged, &current, 0.1).unwrap();
+        assert_eq!(b, w);
+    }
+
+    #[test]
+    fn validator_emits_spans_and_counters() {
+        use daspos_obs::{MemoryCollector, MetricsRegistry, Obs};
+        use std::sync::Arc;
+
+        let a = archive_for(42);
+        let collector = Arc::new(MemoryCollector::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = Obs::collecting(collector.clone(), registry.clone());
+        let mut cache = RerunCache::new();
+        let report = Validator::new(&Platform::current())
+            .with_cache(&mut cache)
+            .with_obs(&obs)
+            .run(&a)
+            .unwrap();
+        assert!(report.passed(), "{}", report.detail);
+
+        let paths: Vec<String> = collector
+            .sorted_records()
+            .into_iter()
+            .map(|r| r.path)
+            .collect();
+        for required in [
+            "validate",
+            "validate/integrity",
+            "validate/platform",
+            "validate/rerun",
+            "validate/compare",
+            "execute", // the re-run chain inherits the same bundle
+        ] {
+            assert!(
+                paths.iter().any(|p| p == required),
+                "missing span {required}, have {paths:?}"
+            );
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("validate.runs"), 1);
+        assert_eq!(snap.counter("validate.reruns"), 1);
+        assert_eq!(snap.counter("validate.cache_hits"), 0);
+
+        // Second run over identical executable content: a cache hit.
+        Validator::new(&Platform::current())
+            .with_cache(&mut cache)
+            .with_obs(&obs)
+            .run(&a)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("validate.runs"), 2);
+        assert_eq!(snap.counter("validate.reruns"), 1);
+        assert_eq!(snap.counter("validate.cache_hits"), 1);
+    }
+
+    #[test]
+    fn validator_errors_carry_the_validate_stage() {
+        let mut a = archive_for(43);
+        a.sections.remove(sections::WORKFLOW);
+        let err = Validator::new(&Platform::current()).run(&a).unwrap_err();
+        assert_eq!(err.stage(), Some(daspos_obs::Stage::Validate));
+        assert!(err.to_string().contains("validate:"), "{err}");
     }
 }

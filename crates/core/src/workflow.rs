@@ -24,7 +24,10 @@ use daspos_reco::objects::AodEvent;
 use daspos_reco::processor::{RecoConfig, RecoProcessor};
 use daspos_rivet::{AnalysisRegistry, AnalysisResult, RunHarness};
 
-use crate::runner::RunnerConfig;
+use daspos_obs::{MetricsRegistry, SpanRecord, Stage};
+
+use crate::error::{Error, ErrorKind};
+use crate::runner::ExecOptions;
 use daspos_tiers::codec::Encodable;
 use daspos_tiers::{DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec};
 
@@ -208,28 +211,23 @@ impl PreservedWorkflow {
         })
     }
 
-    /// Execute the full chain in the given context with the default
-    /// runner (one worker per available hardware thread). Deterministic:
-    /// the outputs are byte-identical for any thread count.
-    pub fn execute(&self, ctx: &ExecutionContext) -> Result<ProductionOutput, String> {
-        self.execute_with(ctx, &RunnerConfig::default())
-    }
-
     /// Build one stage stack (generator, simulation, reconstruction) from
     /// this workflow's configuration. Every runner worker owns its own
     /// stack; all stacks are identical pure functions of the workflow, so
-    /// sharding events across them preserves bit-reproducibility.
+    /// sharding events across them preserves bit-reproducibility. With a
+    /// registry attached each stage counts its events (`events.*`).
     fn stage_stack(
         &self,
         ctx: &ExecutionContext,
+        metrics: Option<&MetricsRegistry>,
     ) -> (EventGenerator, DetectorSimulation, RecoProcessor) {
-        let gen = EventGenerator::new(
+        let mut gen = EventGenerator::new(
             GeneratorConfig::new(self.process, self.seed)
                 .with_new_physics(self.new_physics)
                 .with_pileup(self.pileup_mu),
         );
         let detector = self.experiment.detector();
-        let sim = DetectorSimulation::new(
+        let mut sim = DetectorSimulation::new(
             detector.clone(),
             Arc::new(DbSource::connect(
                 Arc::clone(&ctx.conditions),
@@ -237,7 +235,7 @@ impl PreservedWorkflow {
             )),
             SeedSequence::new(self.seed),
         );
-        let reco = RecoProcessor::new(
+        let mut reco = RecoProcessor::new(
             detector,
             RecoConfig::default(),
             Arc::new(DbSource::connect(
@@ -245,34 +243,86 @@ impl PreservedWorkflow {
                 &self.conditions_tag,
             )),
         );
+        if let Some(registry) = metrics {
+            gen = gen.with_metrics(registry);
+            sim = sim.with_metrics(registry);
+            reco = reco.with_metrics(registry);
+        }
         (gen, sim, reco)
     }
 
-    /// Execute the full chain with an explicit runner configuration.
-    /// `RunnerConfig::sequential()` reproduces the original
-    /// single-threaded engine exactly (no pool, no channels).
-    pub fn execute_with(
+    /// Execute the full chain in the given context. Deterministic: the
+    /// outputs — and the stable part of the trace — are byte-identical
+    /// for any thread count. `ExecOptions::sequential()` reproduces the
+    /// original single-threaded engine exactly (no pool, no channels);
+    /// the default observability bundle is disabled and costs nothing.
+    pub fn execute(
         &self,
         ctx: &ExecutionContext,
-        runner: &RunnerConfig,
-    ) -> Result<ProductionOutput, String> {
-        let threads = runner.threads.max(1);
+        opts: &ExecOptions,
+    ) -> Result<ProductionOutput, Error> {
+        let threads = opts.thread_count();
+        let metrics = opts.obs.registry();
+        let iov_before = ctx.conditions.cursor_stats();
+        let mut root = opts.obs.tracer.span("execute");
+        root.field("experiment", self.experiment.name());
+        root.field("process", self.process.name());
+        root.field("seed", self.seed);
+        root.field("events", self.n_events);
+        if let Some(m) = metrics {
+            m.set_gauge("exec.threads", threads as i64);
+        }
         // A reference stack for the provenance record; workers build
         // their own identical stacks below.
-        let (_, _, reco) = self.stage_stack(ctx);
+        let (_, _, reco) = self.stage_stack(ctx, None);
 
         // --- Generate / simulate / reconstruct --------------------------
         // Sharded over the worker pool and merged in event order.
-        let records = crate::runner::run_ordered(self.n_events, runner, || {
-            let (gen, sim, reco) = self.stage_stack(ctx);
+        let produce = root.child("produce");
+        let records = crate::runner::run_ordered::<_, Error, _, _>(self.n_events, opts, &produce, || {
+            let (gen, sim, reco) = self.stage_stack(ctx, metrics);
+            // Per-stage wall-clock gauges: measurements, engine-dependent,
+            // only taken when a registry is attached.
+            let clocks = metrics.map(|m| {
+                (
+                    m.gauge("time.generate_ns"),
+                    m.gauge("time.simulate_ns"),
+                    m.gauge("time.reconstruct_ns"),
+                )
+            });
             move |i: u64| {
+                if let Some((t_gen, t_sim, t_reco)) = &clocks {
+                    let c0 = std::time::Instant::now();
+                    let truth = gen.event(i);
+                    let c1 = std::time::Instant::now();
+                    let raw = sim
+                        .simulate(&truth, i)
+                        .map_err(|e| Error::from(e).at(Stage::Simulate))?;
+                    let c2 = std::time::Instant::now();
+                    let (reco_ev, aod) = reco
+                        .process(&raw)
+                        .map_err(|e| Error::from(e).at(Stage::Reconstruct))?;
+                    let c3 = std::time::Instant::now();
+                    t_gen.add((c1 - c0).as_nanos() as i64);
+                    t_sim.add((c2 - c1).as_nanos() as i64);
+                    t_reco.add((c3 - c2).as_nanos() as i64);
+                    let reco_size = reco_ev.byte_size() as u64;
+                    return Ok((truth, raw, aod, reco_size));
+                }
                 let truth = gen.event(i);
-                let raw = sim.simulate(&truth, i).map_err(|e| e.to_string())?;
-                let (reco_ev, aod) = reco.process(&raw).map_err(|e| e.to_string())?;
+                let raw = sim
+                    .simulate(&truth, i)
+                    .map_err(|e| Error::from(e).at(Stage::Simulate))?;
+                let (reco_ev, aod) = reco
+                    .process(&raw)
+                    .map_err(|e| Error::from(e).at(Stage::Reconstruct))?;
                 let reco_size = reco_ev.byte_size() as u64;
                 Ok((truth, raw, aod, reco_size))
             }
         })?;
+        let mut produce = produce;
+        produce.field("events", records.len());
+        produce.finish();
         let mut truth_events = Vec::with_capacity(records.len());
         let mut raw_events = Vec::with_capacity(records.len());
         let mut aod_events = Vec::with_capacity(records.len());
@@ -291,6 +341,7 @@ impl PreservedWorkflow {
             self.process.name(),
             self.seed
         );
+        let mut enc_raw = root.child("encode/raw");
         let raw_file = daspos_detsim::raw::RawEvent::encode_events_parallel(&raw_events, threads);
         let raw_bytes = raw_file.len() as u64;
         let raw_ds = ctx
@@ -301,7 +352,11 @@ impl PreservedWorkflow {
                 DataTier::Raw,
                 vec![(raw_file, raw_events.len() as u64)],
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::from(e).at(Stage::Encode))?;
+        enc_raw.field("events", raw_events.len());
+        enc_raw.field("bytes", raw_bytes);
+        enc_raw.finish();
+        let mut enc_aod = root.child("encode/aod");
         let aod_file = AodEvent::encode_events_parallel(&aod_events, threads);
         let aod_bytes = aod_file.len() as u64;
         let aod_ds = ctx
@@ -314,7 +369,10 @@ impl PreservedWorkflow {
                 // below reads the same buffer.
                 vec![(aod_file.clone(), aod_events.len() as u64)],
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::from(e).at(Stage::Encode))?;
+        enc_aod.field("events", aod_events.len());
+        enc_aod.field("bytes", aod_bytes);
+        enc_aod.finish();
 
         // --- Skim / slim / ntuple ----------------------------------------
         // Sequential runs take the single-pass streaming skim straight
@@ -324,15 +382,17 @@ impl PreservedWorkflow {
         // batch skim. Both produce byte-identical skim files and
         // identical reports/ntuples (asserted by tests), so the engine
         // choice never changes the archived output.
+        let mut skim_span = root.child("skim");
         let (skim_file, skim_report, ntuple) = if threads <= 1 {
             let mut ntuple = Ntuple::empty(self.ntuple_schema.clone());
-            let (skim_file, skim_report) = daspos_tiers::skim::skim_slim_streaming_with(
+            let (skim_file, skim_report) = daspos_tiers::skim::skim_slim_streaming_observed(
                 &aod_file,
                 &self.skim,
                 &self.slim,
+                metrics,
                 |ev| ntuple.append(ev),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::from(e).at(Stage::Skim))?;
             (skim_file, skim_report, ntuple)
         } else {
             let (skimmed, skim_report) = daspos_tiers::skim::skim_slim_chunked(
@@ -347,6 +407,10 @@ impl PreservedWorkflow {
         };
         let skim_bytes = skim_file.len() as u64;
         let skim_events = skim_report.events_out;
+        skim_span.field("events_in", skim_report.events_in);
+        skim_span.field("events_out", skim_report.events_out);
+        skim_span.field("bytes_in", skim_report.bytes_in);
+        skim_span.field("bytes_out", skim_report.bytes_out);
         let skim_ds = ctx
             .catalog
             .register(
@@ -355,23 +419,35 @@ impl PreservedWorkflow {
                 DataTier::Aod,
                 vec![(skim_file, skim_events)],
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::from(e).at(Stage::Skim))?;
+        skim_span.finish();
+        let mut ntuple_span = root.child("ntuple");
         let ntuple_bytes = ntuple.byte_size() as u64;
+        ntuple_span.field("rows", ntuple.n_rows());
+        ntuple_span.field("bytes", ntuple_bytes);
+        ntuple_span.finish();
 
         // --- Analyses ------------------------------------------------------
         let mut analysis_results = BTreeMap::new();
         for key in &self.analyses {
-            let analysis = ctx
-                .registry
-                .get(key)
-                .ok_or_else(|| format!("analysis '{key}' not in registry"))?;
+            let mut span = root.child_fmt(format_args!("analysis/{key}"));
+            let analysis = ctx.registry.get(key).ok_or_else(|| {
+                Error::new(ErrorKind::Analysis(format!(
+                    "analysis '{key}' not in registry"
+                )))
+                .at(Stage::Analysis)
+            })?;
             let truth_result = RunHarness::run(analysis.as_ref(), truth_events.iter());
+            span.field("truth_events", truth_result.events);
             analysis_results.insert(format!("truth:{key}"), truth_result);
             let det_result = RunHarness::run_detector(analysis.as_ref(), aod_events.iter());
+            span.field("det_events", det_result.events);
             analysis_results.insert(format!("det:{key}"), det_result);
+            span.finish();
         }
 
         // --- Provenance -----------------------------------------------------
+        let mut prov_span = root.child("provenance");
         ctx.provenance.declare_root(raw_ds);
         ctx.provenance
             .record(
@@ -385,7 +461,7 @@ impl PreservedWorkflow {
                 .input(raw_ds)
                 .output(aod_ds),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::msg(e.to_string()).at(Stage::Provenance))?;
         ctx.provenance
             .record(
                 StepBuilder::new(
@@ -396,7 +472,30 @@ impl PreservedWorkflow {
                 .input(aod_ds)
                 .output(skim_ds),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| Error::msg(e.to_string()).at(Stage::Provenance))?;
+        prov_span.field("steps", ctx.provenance.step_count());
+        prov_span.finish();
+
+        // --- Deterministic chain counters + engine gauges -------------------
+        if let Some(m) = metrics {
+            m.add("tier.raw.bytes", raw_bytes);
+            m.add("tier.raw.events", raw_events.len() as u64);
+            m.add("tier.reco.bytes", reco_bytes);
+            m.add("tier.aod.bytes", aod_bytes);
+            m.add("tier.aod.events", aod_events.len() as u64);
+            m.add("tier.skim.bytes", skim_bytes);
+            m.add("tier.skim.events", skim_events);
+            m.add("tier.ntuple.bytes", ntuple_bytes);
+            m.add("tier.ntuple.rows", ntuple.n_rows() as u64);
+            m.add("skim.events_in", skim_report.events_in);
+            m.add("skim.events_out", skim_report.events_out);
+            let iov_after = ctx.conditions.cursor_stats();
+            m.gauge("iov.cursor_hits")
+                .add((iov_after.0 - iov_before.0) as i64);
+            m.gauge("iov.lookups")
+                .add((iov_after.1 - iov_before.1) as i64);
+        }
+        root.finish();
 
         Ok(ProductionOutput {
             raw_dataset: raw_ds,
@@ -415,6 +514,50 @@ impl PreservedWorkflow {
             analysis_results,
         })
     }
+
+    /// Execute with the old `RunnerConfig`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `execute(ctx, &ExecOptions::new().threads(n))`"
+    )]
+    #[allow(deprecated)]
+    pub fn execute_with(
+        &self,
+        ctx: &ExecutionContext,
+        runner: &crate::runner::RunnerConfig,
+    ) -> Result<ProductionOutput, Error> {
+        self.execute(ctx, &ExecOptions::from(runner))
+    }
+}
+
+/// The span paths a complete chain trace must contain — the tier-1
+/// coverage check behind `daspos-cli trace`. Returns the missing paths
+/// (empty = full coverage). `records` may be in any order.
+pub fn chain_trace_coverage(records: &[SpanRecord]) -> Vec<String> {
+    let required = [
+        "execute",
+        "execute/produce",
+        "execute/encode/raw",
+        "execute/encode/aod",
+        "execute/skim",
+        "execute/ntuple",
+        "execute/provenance",
+    ];
+    let mut missing: Vec<String> = required
+        .iter()
+        .filter(|path| !records.iter().any(|r| r.path == **path))
+        .map(|p| p.to_string())
+        .collect();
+    if !records.iter().any(|r| r.path.starts_with("execute/analysis/")) {
+        missing.push("execute/analysis/*".to_string());
+    }
+    if !records
+        .iter()
+        .any(|r| r.path.starts_with("execute/produce/chunk-"))
+    {
+        missing.push("execute/produce/chunk-*".to_string());
+    }
+    missing
 }
 
 /// The execution environment a workflow runs in: the external services a
@@ -570,7 +713,7 @@ mod tests {
     fn execution_produces_shrinking_tiers() {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, 11, 60);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).expect("executes");
+        let out = wf.execute(&ctx, &ExecOptions::default()).expect("executes");
         let bytes: BTreeMap<&str, u64> = out
             .tier_bytes
             .iter()
@@ -588,8 +731,12 @@ mod tests {
     #[test]
     fn execution_is_deterministic() {
         let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 99, 40);
-        let out1 = wf.execute(&ExecutionContext::fresh(&wf)).unwrap();
-        let out2 = wf.execute(&ExecutionContext::fresh(&wf)).unwrap();
+        let out1 = wf
+            .execute(&ExecutionContext::fresh(&wf), &ExecOptions::default())
+            .unwrap();
+        let out2 = wf
+            .execute(&ExecutionContext::fresh(&wf), &ExecOptions::default())
+            .unwrap();
         assert_eq!(out1.results_to_text(), out2.results_to_text());
         assert_eq!(out1.tier_bytes, out2.tier_bytes);
     }
@@ -598,8 +745,12 @@ mod tests {
     fn different_seeds_differ() {
         let a = PreservedWorkflow::standard_z(Experiment::Atlas, 1, 40);
         let b = PreservedWorkflow::standard_z(Experiment::Atlas, 2, 40);
-        let ra = a.execute(&ExecutionContext::fresh(&a)).unwrap();
-        let rb = b.execute(&ExecutionContext::fresh(&b)).unwrap();
+        let ra = a
+            .execute(&ExecutionContext::fresh(&a), &ExecOptions::default())
+            .unwrap();
+        let rb = b
+            .execute(&ExecutionContext::fresh(&b), &ExecOptions::default())
+            .unwrap();
         assert_ne!(ra.results_to_text(), rb.results_to_text());
     }
 
@@ -607,8 +758,11 @@ mod tests {
     fn unknown_analysis_fails_cleanly() {
         let mut wf = PreservedWorkflow::standard_z(Experiment::Cms, 5, 10);
         wf.analyses = vec!["NOPE".to_string()];
-        let err = wf.execute(&ExecutionContext::fresh(&wf)).unwrap_err();
-        assert!(err.contains("NOPE"));
+        let err = wf
+            .execute(&ExecutionContext::fresh(&wf), &ExecOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+        assert_eq!(err.stage(), Some(daspos_obs::Stage::Analysis));
     }
 
     #[test]
@@ -633,7 +787,9 @@ mod tests {
     #[test]
     fn charm_workflow_measures_lifetime() {
         let wf = PreservedWorkflow::standard_charm(21, 400);
-        let out = wf.execute(&ExecutionContext::fresh(&wf)).unwrap();
+        let out = wf
+            .execute(&ExecutionContext::fresh(&wf), &ExecOptions::default())
+            .unwrap();
         let truth = &out.analysis_results["truth:D0LIFE_2013_I0004"];
         assert!(truth.cutflow.final_yield() > 50.0);
         // The ntuple carries the candidate columns.

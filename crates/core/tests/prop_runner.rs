@@ -8,7 +8,7 @@
 //! results.
 
 use daspos::prelude::*;
-use daspos::runner::RunnerConfig;
+use daspos::runner::ExecOptions;
 use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::Encodable;
 use proptest::prelude::*;
@@ -43,13 +43,13 @@ proptest! {
         // Each execution registers its datasets, so every run gets a
         // fresh (but identically-built, deterministic) context.
         let reference = workflow
-            .execute_with(&ExecutionContext::fresh(&workflow), &RunnerConfig::sequential())
+            .execute(&ExecutionContext::fresh(&workflow), &ExecOptions::sequential())
             .expect("sequential production runs");
         let ref_aod_bytes = AodEvent::encode_events(&reference.aod_events);
 
         for threads in [2usize, 4] {
             let out = workflow
-                .execute_with(&ExecutionContext::fresh(&workflow), &RunnerConfig::with_threads(threads))
+                .execute(&ExecutionContext::fresh(&workflow), &ExecOptions::new().threads(threads))
                 .expect("parallel production runs");
             let aod_bytes = AodEvent::encode_events(&out.aod_events);
             prop_assert_eq!(

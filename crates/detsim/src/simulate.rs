@@ -26,6 +26,7 @@ pub struct DetectorSimulation {
     config: DetectorConfig,
     conditions: Arc<dyn ConditionsSource>,
     seeds: SeedSequence,
+    simulated: Option<daspos_obs::Counter>,
 }
 
 impl DetectorSimulation {
@@ -40,7 +41,15 @@ impl DetectorSimulation {
             config,
             conditions,
             seeds,
+            simulated: None,
         }
+    }
+
+    /// Count every successfully simulated event into `registry`'s
+    /// `events.simulated` counter.
+    pub fn with_metrics(mut self, registry: &daspos_obs::MetricsRegistry) -> Self {
+        self.simulated = Some(registry.counter("events.simulated"));
+        self
     }
 
     /// The detector configuration.
@@ -176,6 +185,9 @@ impl DetectorSimulation {
                     had,
                 });
             }
+        }
+        if let Some(counter) = &self.simulated {
+            counter.inc();
         }
         Ok(raw)
     }

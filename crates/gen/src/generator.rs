@@ -96,6 +96,7 @@ pub struct EventGenerator {
     hard: Box<dyn HardProcess>,
     pileup_proc: process::MinBiasProcess,
     seeds: SeedSequence,
+    generated: Option<daspos_obs::Counter>,
 }
 
 impl EventGenerator {
@@ -114,7 +115,16 @@ impl EventGenerator {
             config,
             hard,
             pileup_proc,
+            generated: None,
         }
+    }
+
+    /// Count every generated event into `registry`'s `events.generated`
+    /// counter. The handle is resolved once here; the per-event cost is a
+    /// single relaxed atomic increment.
+    pub fn with_metrics(mut self, registry: &daspos_obs::MetricsRegistry) -> Self {
+        self.generated = Some(registry.counter("events.generated"));
+        self
     }
 
     /// The configuration this generator was built from.
@@ -140,6 +150,9 @@ impl EventGenerator {
                     ev.particles.push(p);
                 }
             }
+        }
+        if let Some(counter) = &self.generated {
+            counter.inc();
         }
         ev
     }

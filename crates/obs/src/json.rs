@@ -1,0 +1,441 @@
+//! Canonical JSONL rendering and a minimal parser for trace files.
+//!
+//! One JSON object per line. Three line types:
+//!
+//! ```text
+//! {"type":"span","path":"execute/skim","start_ns":12,"dur_ns":34,"fields":{"events_in":"200"}}
+//! {"type":"counter","name":"events.generated","value":200}
+//! {"type":"gauge","name":"exec.threads","value":1}
+//! ```
+//!
+//! The **stable** render (`stable = true`) strips `start_ns`/`dur_ns` and
+//! omits gauge lines entirely, leaving only data that is byte-identical
+//! for a fixed seed — that file diffs cleanly between preservation
+//! re-runs. Spans are always emitted stable-sorted by path, counters and
+//! gauges sorted by name.
+//!
+//! The parser is deliberately small (objects, arrays, strings, integers,
+//! bools, null) — enough to round-trip what the renderer emits and to let
+//! the CLI assert that an emitted trace actually parses.
+
+use crate::metrics::MetricsSnapshot;
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as FmtWrite;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render one span as a JSON line (no trailing newline).
+pub(crate) fn span_line(record: &SpanRecord, stable: bool) -> String {
+    let mut line = String::with_capacity(64 + record.path.len());
+    line.push_str("{\"type\":\"span\",\"path\":\"");
+    escape_into(&mut line, &record.path);
+    line.push('"');
+    if !stable {
+        let _ = write!(
+            line,
+            ",\"start_ns\":{},\"dur_ns\":{}",
+            record.start_ns, record.duration_ns
+        );
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (k, v)) in record.fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        escape_into(&mut line, k);
+        line.push_str("\":\"");
+        escape_into(&mut line, v);
+        line.push('"');
+    }
+    line.push_str("}}");
+    line
+}
+
+fn metric_line(kind: &str, name: &str, value: i128) -> String {
+    let mut line = String::with_capacity(48 + name.len());
+    let _ = write!(line, "{{\"type\":\"{kind}\",\"name\":\"");
+    escape_into(&mut line, name);
+    let _ = write!(line, "\",\"value\":{value}}}");
+    line
+}
+
+/// Render a full trace as JSONL: spans stable-sorted by path, then
+/// counters, then (unless `stable`) gauges. With `stable = true` the
+/// output is byte-identical for a fixed seed regardless of thread count.
+pub fn render_trace(
+    records: &[SpanRecord],
+    metrics: Option<&MetricsSnapshot>,
+    stable: bool,
+) -> String {
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut out = String::new();
+    for record in sorted {
+        out.push_str(&span_line(record, stable));
+        out.push('\n');
+    }
+    if let Some(snapshot) = metrics {
+        for (name, value) in &snapshot.counters {
+            out.push_str(&metric_line("counter", name, *value as i128));
+            out.push('\n');
+        }
+        if !stable {
+            for (name, value) in &snapshot.gauges {
+                out.push_str(&metric_line("gauge", name, *value as i128));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// A parsed JSON value (subset: no floats — the renderer never emits
+/// them, and trace consumers compare integers exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (covers `u64` and `i64`).
+    Int(i128),
+    /// String (escapes resolved).
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, key order preserved via sorted map.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member access for objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.err("floats are not part of the trace format"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i128>()
+            .map(JsonValue::Int)
+            .map_err(|_| self.err("bad integer"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSONL document: one JSON value per non-empty line. Returns the
+/// parsed values or the first error with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<JsonValue>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parser = Parser::new(line);
+        let value = parser
+            .value()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("line {}: trailing garbage", lineno + 1));
+        }
+        out.push(value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(path: &str, fields: &[(&str, &str)]) -> SpanRecord {
+        SpanRecord {
+            path: path.to_string(),
+            start_ns: 10,
+            duration_ns: 20,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let records = vec![
+            record("execute/skim", &[("events_in", "200"), ("events_out", "48")]),
+            record("execute", &[("seed", "42")]),
+        ];
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("events.generated".into(), 200);
+        snapshot.gauges.insert("exec.threads".into(), 4);
+
+        let full = render_trace(&records, Some(&snapshot), false);
+        let values = parse_jsonl(&full).expect("parses");
+        assert_eq!(values.len(), 4); // 2 spans + 1 counter + 1 gauge
+        // Spans sorted by path: "execute" first.
+        assert_eq!(
+            values[0].get("path").and_then(JsonValue::as_str),
+            Some("execute")
+        );
+        assert_eq!(
+            values[0]
+                .get("fields")
+                .and_then(|f| f.get("seed"))
+                .and_then(JsonValue::as_str),
+            Some("42")
+        );
+        assert!(values[0].get("start_ns").is_some());
+        assert_eq!(
+            values[3].get("type").and_then(JsonValue::as_str),
+            Some("gauge")
+        );
+    }
+
+    #[test]
+    fn stable_render_strips_volatile_data() {
+        let records = vec![record("execute", &[("seed", "42")])];
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("events.generated".into(), 200);
+        snapshot.gauges.insert("exec.threads".into(), 4);
+
+        let stable = render_trace(&records, Some(&snapshot), true);
+        assert!(!stable.contains("start_ns"));
+        assert!(!stable.contains("dur_ns"));
+        assert!(!stable.contains("gauge"));
+        assert!(stable.contains("\"counter\""));
+        parse_jsonl(&stable).expect("stable output parses");
+    }
+
+    #[test]
+    fn stable_render_is_order_independent() {
+        let a = vec![record("a", &[]), record("b", &[])];
+        let b = vec![record("b", &[]), record("a", &[])];
+        assert_eq!(render_trace(&a, None, true), render_trace(&b, None, true));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let records = vec![record("weird\"\\\npath", &[("k\t", "v\u{1}")])];
+        let text = render_trace(&records, None, true);
+        let values = parse_jsonl(&text).expect("parses");
+        assert_eq!(
+            values[0].get("path").and_then(JsonValue::as_str),
+            Some("weird\"\\\npath")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_jsonl("{\"a\":}").is_err());
+        assert!(parse_jsonl("{\"a\":1} extra").is_err());
+        assert!(parse_jsonl("{\"a\":1.5}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+    }
+}

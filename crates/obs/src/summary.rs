@@ -1,0 +1,145 @@
+//! Per-stage summary table over a set of finished spans.
+
+use crate::SpanRecord;
+
+/// One row of a [`TraceSummary`]: a stage span with its wall time and
+/// whatever `events`/`bytes` fields it carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Span path, e.g. `execute/skim`.
+    pub path: String,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// The span's `events` (or `events_in`) field, if present.
+    pub events: Option<u64>,
+    /// The span's `bytes` (or `bytes_out`) field, if present.
+    pub bytes: Option<u64>,
+}
+
+impl SummaryRow {
+    /// Event throughput, when both events and a nonzero duration exist.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        match (self.events, self.wall_ns) {
+            (Some(ev), ns) if ns > 0 => Some(ev as f64 * 1e9 / ns as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A compact per-stage table: every span of depth ≤ 3 except the
+/// per-chunk spans (which would dominate the listing), in path order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Stage rows in path order.
+    pub rows: Vec<SummaryRow>,
+}
+
+fn parse_u64_field(record: &SpanRecord, keys: &[&str]) -> Option<u64> {
+    keys.iter()
+        .find_map(|k| record.field(k))
+        .and_then(|v| v.parse::<u64>().ok())
+}
+
+impl TraceSummary {
+    /// Build the table from finished spans (any order; rows come out
+    /// sorted by path).
+    pub fn from_records(records: &[SpanRecord]) -> TraceSummary {
+        let mut rows: Vec<SummaryRow> = records
+            .iter()
+            .filter(|r| {
+                r.depth() <= 3
+                    && !r
+                        .path
+                        .rsplit('/')
+                        .next()
+                        .is_some_and(|leaf| leaf.starts_with("chunk-"))
+            })
+            .map(|r| SummaryRow {
+                path: r.path.clone(),
+                wall_ns: r.duration_ns,
+                events: parse_u64_field(r, &["events", "events_in", "rows"]),
+                bytes: parse_u64_field(r, &["bytes", "bytes_out"]),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        TraceSummary { rows }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let path_w = self
+            .rows
+            .iter()
+            .map(|r| r.path.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "{:<path_w$}  {:>10}  {:>9}  {:>12}  {:>12}\n",
+            "SPAN", "WALL MS", "EVENTS", "BYTES", "EVENTS/S"
+        ));
+        for row in &self.rows {
+            let wall_ms = row.wall_ns as f64 / 1e6;
+            let events = row
+                .events
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let bytes = row
+                .bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let eps = row
+                .events_per_sec()
+                .map(|e| format!("{e:.0}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<path_w$}  {wall_ms:>10.3}  {events:>9}  {bytes:>12}  {eps:>12}\n",
+                row.path
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(path: &str, dur: u64, fields: &[(&str, &str)]) -> SpanRecord {
+        SpanRecord {
+            path: path.to_string(),
+            start_ns: 0,
+            duration_ns: dur,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chunk_spans_are_folded_out() {
+        let records = vec![
+            record("execute", 100, &[("events", "200")]),
+            record("execute/produce", 80, &[]),
+            record("execute/produce/chunk-00000", 40, &[("events", "64")]),
+            record("execute/skim", 10, &[("events_in", "200")]),
+        ];
+        let summary = TraceSummary::from_records(&records);
+        let paths: Vec<&str> = summary.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["execute", "execute/produce", "execute/skim"]);
+        assert_eq!(summary.rows[0].events, Some(200));
+        assert_eq!(summary.rows[2].events, Some(200)); // events_in fallback
+    }
+
+    #[test]
+    fn table_renders_throughput() {
+        let records = vec![record("execute", 1_000_000_000, &[("events", "5000")])];
+        let summary = TraceSummary::from_records(&records);
+        assert_eq!(summary.rows[0].events_per_sec(), Some(5000.0));
+        let text = summary.to_text();
+        assert!(text.contains("SPAN"));
+        assert!(text.contains("5000"));
+    }
+}

@@ -51,6 +51,7 @@ pub struct RecoProcessor {
     detector: DetectorConfig,
     config: RecoConfig,
     conditions: Arc<dyn ConditionsSource>,
+    reconstructed: Option<daspos_obs::Counter>,
 }
 
 impl RecoProcessor {
@@ -65,7 +66,15 @@ impl RecoProcessor {
             detector,
             config,
             conditions,
+            reconstructed: None,
         }
+    }
+
+    /// Count every successfully reconstructed event into `registry`'s
+    /// `events.reconstructed` counter.
+    pub fn with_metrics(mut self, registry: &daspos_obs::MetricsRegistry) -> Self {
+        self.reconstructed = Some(registry.counter("events.reconstructed"));
+        self
     }
 
     /// The reconstruction configuration.
@@ -166,6 +175,9 @@ impl RecoProcessor {
     pub fn process(&self, raw: &RawEvent) -> Result<(RecoEvent, AodEvent), ConditionsError> {
         let reco = self.reconstruct(raw)?;
         let aod = self.refine(&reco);
+        if let Some(counter) = &self.reconstructed {
+            counter.inc();
+        }
         Ok((reco, aod))
     }
 }

@@ -831,6 +831,7 @@ fn decode_file<T>(
 pub struct EventReader<T: Encodable> {
     cursor: FrameCursor,
     scratch: T,
+    meter: Option<(daspos_obs::Gauge, daspos_obs::Gauge)>,
 }
 
 impl<T: Encodable> EventReader<T> {
@@ -840,7 +841,21 @@ impl<T: Encodable> EventReader<T> {
         Ok(EventReader {
             cursor: FrameCursor::new(data, T::TIER)?,
             scratch: T::scratch(),
+            meter: None,
         })
+    }
+
+    /// Record decode traffic into `registry`: each decoded frame adds to
+    /// the `codec.events_decoded` / `codec.bytes_decoded` gauges. Gauges,
+    /// not counters — which codec path runs (streaming vs batch) depends
+    /// on the execution engine, so these are measurements, not part of
+    /// the deterministic trace.
+    pub fn with_metrics(mut self, registry: &daspos_obs::MetricsRegistry) -> Self {
+        self.meter = Some((
+            registry.gauge("codec.events_decoded"),
+            registry.gauge("codec.bytes_decoded"),
+        ));
+        self
     }
 
     /// Event count declared in the file header.
@@ -869,8 +884,13 @@ impl<T: Encodable> EventReader<T> {
         match self.cursor.next_frame()? {
             None => Ok(None),
             Some(mut payload) => {
+                let frame_bytes = payload.remaining();
                 T::get_into(&mut payload, &mut self.scratch)?;
                 finish_payload(&mut payload)?;
+                if let Some((events, bytes)) = &self.meter {
+                    events.add(1);
+                    bytes.add(frame_bytes as i64);
+                }
                 Ok(Some(&mut self.scratch))
             }
         }
@@ -886,6 +906,7 @@ pub struct EventWriter<T: Encodable> {
     body: BytesMut,
     payload: BytesMut,
     n_events: usize,
+    meter: Option<(daspos_obs::Gauge, daspos_obs::Gauge)>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -896,14 +917,32 @@ impl<T: Encodable> EventWriter<T> {
             body: BytesMut::new(),
             payload: BytesMut::new(),
             n_events: 0,
+            meter: None,
             _marker: std::marker::PhantomData,
         }
     }
 
+    /// Record encode traffic into `registry`'s `codec.events_encoded` /
+    /// `codec.bytes_encoded` gauges (framed bytes, excluding the file
+    /// header). See [`EventReader::with_metrics`] for why these are
+    /// gauges rather than counters.
+    pub fn with_metrics(mut self, registry: &daspos_obs::MetricsRegistry) -> Self {
+        self.meter = Some((
+            registry.gauge("codec.events_encoded"),
+            registry.gauge("codec.bytes_encoded"),
+        ));
+        self
+    }
+
     /// Frame one event.
     pub fn push(&mut self, ev: &T) {
+        let before = self.body.len();
         put_frame(&mut self.body, &mut self.payload, ev, &T::put);
         self.n_events += 1;
+        if let Some((events, bytes)) = &self.meter {
+            events.add(1);
+            bytes.add((self.body.len() - before) as i64);
+        }
     }
 
     /// Events framed so far.

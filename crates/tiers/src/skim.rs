@@ -540,10 +540,28 @@ pub fn skim_slim_streaming_with(
     aod_file: &Bytes,
     selection: &Selection,
     slim: &SlimSpec,
+    on_survivor: impl FnMut(&AodEvent),
+) -> Result<(Bytes, SkimReport), CodecError> {
+    skim_slim_streaming_observed(aod_file, selection, slim, None, on_survivor)
+}
+
+/// [`skim_slim_streaming_with`] with optional codec metering: when a
+/// registry is supplied, the underlying [`EventReader`]/[`EventWriter`]
+/// record their frame traffic into the `codec.*` gauges. The skim result
+/// is byte-identical either way.
+pub fn skim_slim_streaming_observed(
+    aod_file: &Bytes,
+    selection: &Selection,
+    slim: &SlimSpec,
+    registry: Option<&daspos_obs::MetricsRegistry>,
     mut on_survivor: impl FnMut(&AodEvent),
 ) -> Result<(Bytes, SkimReport), CodecError> {
     let mut reader = EventReader::<AodEvent>::new(aod_file)?;
     let mut writer = EventWriter::<AodEvent>::new();
+    if let Some(registry) = registry {
+        reader = reader.with_metrics(registry);
+        writer = writer.with_metrics(registry);
+    }
     let mut report = SkimReport {
         events_in: 0,
         events_out: 0,

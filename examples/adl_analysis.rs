@@ -56,7 +56,7 @@ fn main() {
     workflow.analyses.push("ADLX_2014_I0300".to_string());
     let ctx = ExecutionContext::fresh(&workflow);
     ctx.registry.register(Box::new(analysis));
-    let production = workflow.execute(&ctx).expect("production runs");
+    let production = workflow.execute(&ctx, &ExecOptions::default()).expect("production runs");
     let det = &production.analysis_results["det:ADLX_2014_I0300"];
     println!("=== detector-level run inside the production ===");
     println!(
@@ -79,7 +79,7 @@ fn main() {
 
     // 4. Prove it: validation re-registers the ADL from the archive and
     //    reproduces everything bit for bit.
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     println!(
         "validation: {}",
         if report.passed() {

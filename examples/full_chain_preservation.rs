@@ -14,7 +14,6 @@ use std::time::Instant;
 
 use daspos::migrate::{make_opaque, Migrator};
 use daspos::prelude::*;
-use daspos::runner::RunnerConfig;
 use daspos_metadata::maturity::MaturityReport;
 use daspos_metadata::presets;
 use daspos_metadata::sharing::PolicyStatus;
@@ -29,7 +28,9 @@ fn main() {
             e => PreservedWorkflow::standard_z(e, 1000 + i as u64, 150),
         };
         let ctx = ExecutionContext::fresh(&workflow);
-        let production = workflow.execute(&ctx).expect("production runs");
+        let production = workflow
+            .execute(&ctx, &ExecOptions::default())
+            .expect("production runs");
         let archive = PreservationArchive::package(
             &format!("{}-2013", experiment.name()),
             &workflow,
@@ -53,7 +54,7 @@ fn main() {
     let lazy = {
         let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 4242, 60);
         let ctx = ExecutionContext::fresh(&wf);
-        let out = wf.execute(&ctx).expect("runs");
+        let out = wf.execute(&ctx, &ExecOptions::default()).expect("runs");
         make_opaque(PreservationArchive::package("legacy-binary", &wf, &ctx, &out).expect("packages"))
     };
     migrator.add(lazy);
@@ -99,14 +100,14 @@ fn main() {
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
     println!("hardware threads: {hw} (speedup needs >1 — on a single core a 4-thread pool only adds scheduling overhead)");
     let big = PreservedWorkflow::standard_z(Experiment::Cms, 7, 10_000);
-    let time_with = |runner: &RunnerConfig| {
+    let time_with = |opts: &ExecOptions| {
         let ctx = ExecutionContext::fresh(&big);
         let start = Instant::now();
-        let out = big.execute_with(&ctx, runner).expect("production runs");
+        let out = big.execute(&ctx, opts).expect("production runs");
         (start.elapsed(), out)
     };
-    let (t_seq, out_seq) = time_with(&RunnerConfig::sequential());
-    let (t_par, out_par) = time_with(&RunnerConfig::with_threads(4));
+    let (t_seq, out_seq) = time_with(&ExecOptions::sequential());
+    let (t_par, out_par) = time_with(&ExecOptions::new().threads(4));
     assert_eq!(
         out_seq.tier_bytes, out_par.tier_bytes,
         "parallel run must be bit-identical"

@@ -20,7 +20,7 @@ fn main() {
     // Produce the charm sample on the LHCb-like detector.
     let workflow = PreservedWorkflow::standard_charm(777, 9000);
     let ctx = ExecutionContext::fresh(&workflow);
-    let production = workflow.execute(&ctx).expect("production runs");
+    let production = workflow.execute(&ctx, &ExecOptions::default()).expect("production runs");
     println!(
         "produced {} events; skim kept {} D0-window candidates",
         workflow.n_events, production.skim_report.events_out

@@ -20,7 +20,7 @@ fn main() {
 
     // 2. Execute.
     let ctx = ExecutionContext::fresh(&workflow);
-    let production = workflow.execute(&ctx).expect("production runs");
+    let production = workflow.execute(&ctx, &ExecOptions::default()).expect("production runs");
     println!("=== data lifecycle (Appendix A, Q2) ===");
     for (tier, bytes, events) in &production.tier_bytes {
         println!("{tier:>8}: {events:>6} events, {bytes:>10} bytes");
@@ -50,7 +50,7 @@ fn main() {
     }
 
     // 4. Validate: the archive alone must reproduce the result bit for bit.
-    let report = validate::validate(&archive, &Platform::current()).expect("validation runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("validation runs");
     println!("\n=== validation on {} ===", Platform::current());
     println!("integrity:  {}", report.integrity_ok);
     println!("platform:   {}", report.platform_ok);

@@ -6,6 +6,7 @@
 //! daspos inspect  z.dpar
 //! daspos validate z.dpar [--platform el9-aarch64]
 //! daspos migrate  z.dpar --out z-el9.dpar
+//! daspos trace    --experiment cms --events 200 --seed 42 --out trace.jsonl
 //! daspos table1
 //! daspos maturity
 //! ```
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
             println!("{}", daspos_outreach::experiments::render_table1());
             Ok(())
         }
+        Some("trace") => cmd_trace(&args[1..]),
         Some("faultlab") => cmd_faultlab(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("maturity") => cmd_maturity(),
@@ -59,18 +61,26 @@ fn print_usage() {
 
 USAGE:
   daspos produce  --experiment <alice|atlas|cms|lhcb> [--process <name>]
-                  [--events N] [--seed N] [--threads N] --out <file.dpar>
+                  [--events N] [--seed N] [--threads N]
+                  [--trace-out <file.jsonl>] --out <file.dpar>
         run the full chain and package a preservation archive
         (--threads 1 forces the sequential engine; default is one worker
-         per hardware thread — the output is identical either way)
+         per hardware thread — the output is identical either way;
+         --trace-out also records a deterministic JSONL trace)
   daspos inspect  <file.dpar>
         list sections, the workflow, and the use cases the archive serves
   daspos validate <file.dpar> [--platform <name>]
         re-execute the archive and compare bit-for-bit
   daspos migrate  <file.dpar> --out <file.dpar>
         rebuild the archived software stack for the successor platform
+  daspos trace    [--experiment <name>] [--process <name>] [--events N]
+                  [--seed N] [--threads N] [--out <file.jsonl>]
+        run the full chain with observability on: per-stage spans, chain
+        counters, a summary table on stdout and a deterministic JSONL
+        trace (timestamp-stripped, byte-stable for a fixed seed at any
+        thread count; default trace.jsonl)
   daspos faultlab [--seed N] [--mutations N] [--events N]
-                  [--replay <class>:<index>]
+                  [--replay <class>:<index>] [--trace-out <file.jsonl>]
         run a deterministic fault-injection campaign over every artifact
         class (sealed tiers, archive container, conditions and results
         text) and assert each mutation is detected or harmless;
@@ -122,10 +132,19 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --events")?;
     let process_name = flag(args, "--process").unwrap_or_else(|| "z-boson".to_string());
-    let runner = match flag(args, "--threads") {
-        Some(t) => RunnerConfig::with_threads(t.parse().map_err(|_| "bad --threads")?),
-        None => RunnerConfig::default(),
+    let mut opts = match flag(args, "--threads") {
+        Some(t) => ExecOptions::new().threads(t.parse().map_err(|_| "bad --threads")?),
+        None => ExecOptions::new(),
     };
+    let trace_out = flag(args, "--trace-out");
+    let trace = trace_out.as_ref().map(|_| {
+        let collector = std::sync::Arc::new(MemoryCollector::new());
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        opts = opts
+            .clone()
+            .with_obs(Obs::collecting(collector.clone(), registry.clone()));
+        (collector, registry)
+    });
 
     let mut workflow = match process_name.as_str() {
         "charm" => PreservedWorkflow::standard_charm(seed, n_events),
@@ -147,10 +166,10 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
         n_events,
         workflow.process.name(),
         experiment.name(),
-        runner.threads
+        opts.thread_count()
     );
     let ctx = ExecutionContext::fresh(&workflow);
-    let production = workflow.execute_with(&ctx, &runner)?;
+    let production = workflow.execute(&ctx, &opts).map_err(|e| e.to_string())?;
     for (tier, bytes, events) in &production.tier_bytes {
         eprintln!("  {tier:>8}: {events:>7} events {bytes:>12} bytes");
     }
@@ -163,7 +182,90 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
         archive.byte_size(),
         archive.sections.len()
     );
+    if let (Some(path), Some((collector, registry))) = (trace_out, trace) {
+        write_trace(&path, &collector.sorted_records(), &registry.snapshot())?;
+    }
     Ok(())
+}
+
+/// Write the canonical stable trace (spans sorted by path, timestamps and
+/// gauges stripped) and confirm it parses back.
+fn write_trace(
+    path: &str,
+    records: &[daspos::obs::SpanRecord],
+    snapshot: &daspos::obs::MetricsSnapshot,
+) -> Result<(), String> {
+    let jsonl = daspos::obs::render_trace(records, Some(snapshot), true);
+    daspos::obs::parse_jsonl(&jsonl).map_err(|e| format!("trace does not round-trip: {e}"))?;
+    std::fs::write(path, &jsonl).map_err(|e| format!("cannot write '{path}': {e}"))?;
+    println!(
+        "trace written to {path} ({} spans, {} counters)",
+        records.len(),
+        snapshot.counters.len()
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let experiment_name =
+        flag(args, "--experiment").unwrap_or_else(|| "cms".to_string());
+    let experiment = Experiment::all()
+        .into_iter()
+        .find(|e| e.name() == experiment_name)
+        .ok_or_else(|| format!("unknown experiment '{experiment_name}'"))?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "2013".to_string())
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let n_events: u64 = flag(args, "--events")
+        .unwrap_or_else(|| "200".to_string())
+        .parse()
+        .map_err(|_| "bad --events")?;
+    let out = flag(args, "--out").unwrap_or_else(|| "trace.jsonl".to_string());
+    let process_name = flag(args, "--process").unwrap_or_else(|| "z-boson".to_string());
+    let mut workflow = match process_name.as_str() {
+        "charm" => PreservedWorkflow::standard_charm(seed, n_events),
+        _ => {
+            let process = ProcessKind::all()
+                .iter()
+                .copied()
+                .find(|p| p.name() == process_name)
+                .ok_or_else(|| format!("unknown process '{process_name}'"))?;
+            let mut wf = PreservedWorkflow::standard_z(experiment, seed, n_events);
+            wf.process = process;
+            wf
+        }
+    };
+    workflow.experiment = experiment;
+
+    let collector = std::sync::Arc::new(MemoryCollector::new());
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let mut opts = ExecOptions::new()
+        .with_obs(Obs::collecting(collector.clone(), registry.clone()));
+    if let Some(threads) = flag(args, "--threads") {
+        opts = opts.threads(threads.parse().map_err(|_| "bad --threads")?);
+    }
+
+    eprintln!(
+        "tracing {} {} events on {} (seed {seed}, {} threads)…",
+        n_events,
+        workflow.process.name(),
+        experiment.name(),
+        opts.thread_count()
+    );
+    let ctx = ExecutionContext::fresh(&workflow);
+    workflow.execute(&ctx, &opts).map_err(|e| e.to_string())?;
+
+    let records = collector.sorted_records();
+    let missing = daspos::workflow::chain_trace_coverage(&records);
+    if !missing.is_empty() {
+        return Err(format!("trace is missing chain stages: {}", missing.join(", ")));
+    }
+    let snapshot = registry.snapshot();
+    print!("{}", TraceSummary::from_records(&records).to_text());
+    println!();
+    print!("{}", snapshot.to_text());
+    write_trace(&out, &records, &snapshot)
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
@@ -209,7 +311,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(Platform::current);
     let archive = load_archive(&path)?;
     eprintln!("re-executing '{}' on {platform}…", archive.name);
-    let report = daspos::validate::validate(&archive, &platform).map_err(|e| e.to_string())?;
+    let report = Validator::new(&platform)
+        .run(&archive)
+        .map_err(|e| e.to_string())?;
     println!("integrity:  {}", report.integrity_ok);
     println!("platform:   {}", report.platform_ok);
     println!("executed:   {}", report.executed);
@@ -232,7 +336,9 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(Platform::successor);
     let stack = archive.software().map_err(|e| e.to_string())?;
     archive.set_software(&stack.migrated_to(target.clone()));
-    let report = daspos::validate::validate(&archive, &target).map_err(|e| e.to_string())?;
+    let report = Validator::new(&target)
+        .run(&archive)
+        .map_err(|e| e.to_string())?;
     if !report.passed() {
         return Err(format!(
             "archive does not validate after migration: {}",
@@ -271,7 +377,8 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
             )
         })?;
         let index: u32 = index.parse().map_err(|_| "bad replay index")?;
-        let (mutation, outcome) = faultlab::replay(&cfg, class, index)?;
+        let (mutation, outcome) =
+            faultlab::replay(&cfg, class, index).map_err(|e| e.to_string())?;
         println!(
             "replay {class}:{index} (seed {:#018x})\n  mutation: {}",
             mutation.seed, mutation.kind
@@ -295,8 +402,24 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
         ArtifactClass::all().len(),
         cfg.master_seed
     );
-    let report = faultlab::run_campaign(&cfg)?;
+    let trace_out = flag(args, "--trace-out");
+    let trace = trace_out.as_ref().map(|_| {
+        (
+            std::sync::Arc::new(MemoryCollector::new()),
+            std::sync::Arc::new(MetricsRegistry::new()),
+        )
+    });
+    let obs = match &trace {
+        Some((collector, registry)) => {
+            Obs::collecting(collector.clone(), registry.clone())
+        }
+        None => Obs::disabled(),
+    };
+    let report = faultlab::run_campaign_with(&cfg, &obs).map_err(|e| e.to_string())?;
     print!("{}", report.to_text());
+    if let (Some(path), Some((collector, registry))) = (trace_out, trace) {
+        write_trace(&path, &collector.sorted_records(), &registry.snapshot())?;
+    }
     if report.passed() {
         Ok(())
     } else {
@@ -328,7 +451,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         "bench: {} events x {} reps (threads {}, seed {})…",
         cfg.events, cfg.reps, cfg.threads, cfg.seed
     );
-    let report = bench::run(&cfg)?;
+    let report = bench::run(&cfg).map_err(|e| e.to_string())?;
     for m in &report.metrics {
         let peak = match m.peak_alloc_bytes {
             Some(v) => format!("  peak {v} B"),

@@ -42,7 +42,7 @@ fn build_archive() -> PreservationArchive {
         .register(Box::new(AdlAnalysis::parse(ADL_Z).expect("parses")));
     ctx.registry
         .register(Box::new(AdlAnalysis::parse(ADL_MET).expect("parses")));
-    let out = wf.execute(&ctx).expect("production with ADL analyses");
+    let out = wf.execute(&ctx, &ExecOptions::default()).expect("production with ADL analyses");
     let mut archive =
         PreservationArchive::package("adl-preserved", &wf, &ctx, &out).expect("packages");
     archive.insert(
@@ -55,7 +55,7 @@ fn build_archive() -> PreservationArchive {
 #[test]
 fn adl_analyses_validate_bit_exactly_from_the_archive() {
     let archive = build_archive();
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     assert!(report.passed(), "{}", report.detail);
     // The archived reference really contains the ADL analyses' output.
     let results = archive.section_text(sections::RESULTS).expect("results");
@@ -67,7 +67,7 @@ fn adl_analyses_validate_bit_exactly_from_the_archive() {
 fn stripping_the_adl_section_breaks_validation_cleanly() {
     let mut archive = build_archive();
     archive.sections.remove(sections::ADL);
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     // The workflow references analyses the registry no longer has.
     assert!(!report.executed, "{}", report.detail);
     assert!(report.detail.contains("ADLZ"), "{}", report.detail);
@@ -77,7 +77,7 @@ fn stripping_the_adl_section_breaks_validation_cleanly() {
 fn corrupt_adl_document_reports_execute_failure() {
     let mut archive = build_archive();
     archive.insert(sections::ADL, Bytes::from("# daspos-adl v1\nbogus line\n"));
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     assert!(!report.executed);
     assert!(report.detail.contains("adl"), "{}", report.detail);
 }

@@ -13,7 +13,7 @@ fn all_four_experiments_run_the_same_chain() {
         let wf = PreservedWorkflow::standard_z(experiment, 31, 40);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf
-            .execute(&ctx)
+            .execute(&ctx, &ExecOptions::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", experiment.name()));
         assert_eq!(out.tier_bytes.len(), 5, "{}", experiment.name());
         // Catalog and provenance populated identically in structure.
@@ -27,7 +27,7 @@ fn tier_sizes_shrink_monotonically_for_every_experiment() {
     // The Appendix A Q2 data lifecycle: every stage is a reduction.
     for experiment in Experiment::all() {
         let wf = PreservedWorkflow::standard_z(experiment, 77, 50);
-        let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+        let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
         let by_name: BTreeMap<&str, u64> = out
             .tier_bytes
             .iter()
@@ -52,7 +52,7 @@ fn central_physics_invisible_to_forward_detector_and_vice_versa() {
     // select far better on the central detectors than the forward one.
     let count_selected = |experiment: Experiment| -> u64 {
         let wf = PreservedWorkflow::standard_z(experiment, 5, 80);
-        let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+        let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
         out.skim_report.events_out
     };
     let cms = count_selected(Experiment::Cms);
@@ -69,7 +69,7 @@ fn chain_determinism_survives_interleaving() {
     // chain twice, the second time visiting events in reverse, and check
     // the per-event AODs match.
     let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 13, 30);
-    let forward = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+    let forward = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
 
     // Manual reversed pass over the same generator/sim/reco stack.
     use daspos_conditions::DbSource;
@@ -107,7 +107,7 @@ fn chain_determinism_survives_interleaving() {
 fn provenance_lineage_reaches_raw_for_every_derived_dataset() {
     let wf = PreservedWorkflow::standard_charm(3, 40);
     let ctx = ExecutionContext::fresh(&wf);
-    let out = wf.execute(&ctx).expect("runs");
+    let out = wf.execute(&ctx, &ExecOptions::default()).expect("runs");
     let lineage = ctx.provenance.lineage(out.skim_dataset).expect("lineage");
     assert_eq!(lineage.len(), 2);
     // The reconstruction step recorded its conditions tag — the external
@@ -130,7 +130,7 @@ fn codec_round_trips_real_production_data() {
 
     let wf = PreservedWorkflow::standard_z(Experiment::Cms, 17, 25);
     let ctx = ExecutionContext::fresh(&wf);
-    let out = wf.execute(&ctx).expect("runs");
+    let out = wf.execute(&ctx, &ExecOptions::default()).expect("runs");
     // The skim dataset's stored bytes decode back to real events.
     let ds = ctx.catalog.get(out.skim_dataset).expect("dataset");
     let mut decoded = Vec::new();

@@ -38,7 +38,7 @@ fn golden_dir() -> PathBuf {
 fn build_corpus() -> BTreeMap<&'static str, Vec<u8>> {
     let workflow = PreservedWorkflow::standard_z(Experiment::Cms, GOLDEN_SEED, GOLDEN_EVENTS);
     let ctx = ExecutionContext::fresh(&workflow);
-    let output = workflow.execute(&ctx).expect("chain executes");
+    let output = workflow.execute(&ctx, &ExecOptions::default()).expect("chain executes");
     let archive = PreservationArchive::package("cms-z-golden", &workflow, &ctx, &output)
         .expect("packages");
 
@@ -132,7 +132,7 @@ fn golden_artifacts_still_decode_and_validate() {
     let archive = PreservationArchive::from_bytes(&Bytes::from(dpar)).expect("parses");
     archive.verify_integrity().expect("verifies");
     let report =
-        daspos::validate::validate(&archive, &Platform::current()).expect("validates");
+        Validator::new(&Platform::current()).run(&archive).expect("validates");
     assert!(report.passed(), "golden archive failed validation: {}", report.detail);
 
     // The sealed tier files unseal and decode.

@@ -10,7 +10,7 @@ use daspos::prelude::*;
 fn archive(experiment: Experiment, seed: u64) -> PreservationArchive {
     let workflow = PreservedWorkflow::standard_z(experiment, seed, 20);
     let ctx = ExecutionContext::fresh(&workflow);
-    let output = workflow.execute(&ctx).expect("chain executes");
+    let output = workflow.execute(&ctx, &ExecOptions::default()).expect("chain executes");
     PreservationArchive::package(
         &format!("{}-{seed}", experiment.name()),
         &workflow,

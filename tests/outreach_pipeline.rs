@@ -13,7 +13,7 @@ fn common_converter_serves_all_four_experiments() {
     // O1: one thin converter, one display, four detectors.
     for experiment in Experiment::all() {
         let wf = PreservedWorkflow::standard_z(experiment, 60, 30);
-        let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+        let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
         let geometry = GeometryDescription::from_detector(&experiment.detector());
         for aod in out.aod_events.iter().take(5) {
             let simple = convert_aod(aod, experiment.name(), 0);
@@ -41,7 +41,7 @@ fn wz_masterclass_on_real_production() {
     // The ATLAS/CMS masterclass run on actual simulated+reconstructed Z
     // events: the Z count dominates.
     let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 404, 250);
-    let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+    let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
     let events: Vec<_> = out
         .aod_events
         .iter()
@@ -57,7 +57,7 @@ fn wz_masterclass_on_real_production() {
 #[test]
 fn d0_masterclass_measures_the_lifetime_from_the_chain() {
     let wf = PreservedWorkflow::standard_charm(2024, 12000);
-    let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+    let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
     let events: Vec<_> = out
         .aod_events
         .iter()
@@ -83,7 +83,7 @@ fn v0_masterclass_finds_k0s_from_the_chain() {
         wf.slim = daspos_tiers::SlimSpec::keep_all();
         wf
     };
-    let out = wf.execute(&ExecutionContext::fresh(&wf)).expect("runs");
+    let out = wf.execute(&ExecutionContext::fresh(&wf), &ExecOptions::default()).expect("runs");
     let events: Vec<_> = out
         .aod_events
         .iter()

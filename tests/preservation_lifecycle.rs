@@ -12,7 +12,7 @@ fn make_archive(experiment: Experiment, seed: u64, n: u64) -> PreservationArchiv
         e => PreservedWorkflow::standard_z(e, seed, n),
     };
     let ctx = ExecutionContext::fresh(&wf);
-    let out = wf.execute(&ctx).expect("production");
+    let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
     PreservationArchive::package(
         &format!("{}-{seed}", experiment.name()),
         &wf,
@@ -32,7 +32,7 @@ fn archive_survives_disk_round_trip_and_validates() {
     let raw = std::fs::read(&path).expect("read");
     let restored = PreservationArchive::from_bytes(&Bytes::from(raw)).expect("decode");
     assert_eq!(restored, archive);
-    let report = daspos::validate::validate(&restored, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&restored).expect("runs");
     assert!(report.passed(), "{}", report.detail);
     let _ = std::fs::remove_file(path);
 }
@@ -54,7 +54,7 @@ fn losing_the_conditions_payloads_breaks_reproduction() {
     );
     archive.insert(sections::CONDITIONS, Bytes::from(text));
 
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     assert!(report.integrity_ok);
     assert!(report.executed, "{}", report.detail);
     assert!(
@@ -77,7 +77,7 @@ fn gain_swap_alone_is_closure_protected() {
     // The original tag's gains differ from 1.0; this swap changes them
     // but keeps alignment nominal.
     archive.insert(sections::CONDITIONS, Bytes::from(text));
-    let report = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let report = Validator::new(&Platform::current()).run(&archive).expect("runs");
     assert!(report.executed, "{}", report.detail);
     // Gains may shift zero-suppression thresholds slightly, so allow
     // either outcome for reproduction — but execution itself must hold.
@@ -132,8 +132,8 @@ fn second_validation_of_same_archive_is_stable() {
     // Validation itself must be idempotent (it re-runs the chain; the
     // chain is deterministic; so two validations agree).
     let archive = make_archive(Experiment::Alice, 99, 25);
-    let r1 = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
-    let r2 = daspos::validate::validate(&archive, &Platform::current()).expect("runs");
+    let r1 = Validator::new(&Platform::current()).run(&archive).expect("runs");
+    let r2 = Validator::new(&Platform::current()).run(&archive).expect("runs");
     assert_eq!(r1, r2);
     assert!(r1.passed());
 }

@@ -16,8 +16,10 @@ fn make_archive(experiment: Experiment, seed: u64) -> PreservationArchive {
     };
     let ctx = ExecutionContext::fresh(&wf);
     let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
-    PreservationArchive::package(&format!("{}-{seed}", experiment.name()), &wf, &ctx, &out)
+    PreservationArchive::builder(format!("{}-{seed}", experiment.name()))
+        .production(&wf, &ctx, &out)
         .expect("packaging")
+        .build()
 }
 
 fn print_report() {

@@ -20,8 +20,10 @@ fn fleet() -> Vec<PreservationArchive> {
             };
             let ctx = ExecutionContext::fresh(&wf);
             let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
-            PreservationArchive::package(&format!("{}-arc", e.name()), &wf, &ctx, &out)
+            PreservationArchive::builder(format!("{}-arc", e.name()))
+                .production(&wf, &ctx, &out)
                 .expect("packaging")
+                .build()
         })
         .collect()
 }

@@ -48,18 +48,18 @@ fn bench(c: &mut Criterion) {
         c.bench_function(&format!("w4_check_mutant_{}", class.name()), |b| {
             b.iter(|| {
                 let mut cache = RerunCache::new();
-                faultlab::check_mutant(&fixture, class, &mutated, &mut cache)
+                faultlab::check_mutant(&fixture, &mutation, &mutated, &mut cache)
             })
         });
     }
 
-    // A tiny full campaign: fixture chain + 5x8 mutations + verdicts.
+    // A tiny full campaign: fixture chain + 6x8 mutations + verdicts.
     let tiny = CampaignConfig {
         master_seed: 7,
         mutations_per_class: 8,
         events: 4,
     };
-    c.bench_function("w4_campaign_5x8", |b| {
+    c.bench_function("w4_campaign_6x8", |b| {
         b.iter(|| {
             let r = faultlab::run_campaign(&tiny).expect("campaign runs");
             assert!(r.passed());

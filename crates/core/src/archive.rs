@@ -7,6 +7,15 @@
 //! system needs to re-run the chain and check the answer. Sections are
 //! checksummed so bit rot is detected, and the container itself has a
 //! versioned binary form.
+//!
+//! Containers are built with [`PreservationArchive::builder`] and move
+//! on and off storage through the same [`StorageBackend`] abstraction
+//! the preservation vault replicates over:
+//! [`store`](PreservationArchive::store) writes the serialized container
+//! to a backend, [`open`](PreservationArchive::open) reads it back with
+//! integrity verified. The earlier one-shot
+//! [`package`](PreservationArchive::package) constructor remains as a
+//! deprecated wrapper with byte-identical output.
 
 use std::collections::BTreeMap;
 
@@ -16,6 +25,7 @@ use daspos_metadata::maturity::MaturityReport;
 use daspos_metadata::presets;
 use daspos_metadata::sharing::PolicyStatus;
 use daspos_provenance::{text as prov_text, SoftwareStack};
+use daspos_vault::{ObjectKind, StorageBackend, Verifier};
 
 use crate::workflow::{ExecutionContext, PreservedWorkflow, ProductionOutput};
 
@@ -111,6 +121,9 @@ pub enum ArchiveError {
     UnsupportedVersion(u16),
     /// Packaging failed.
     Packaging(String),
+    /// The storage backend under [`PreservationArchive::store`] /
+    /// [`PreservationArchive::open`] failed.
+    Storage(String),
 }
 
 impl std::fmt::Display for ArchiveError {
@@ -123,6 +136,7 @@ impl std::fmt::Display for ArchiveError {
                 write!(f, "unsupported archive version {v}")
             }
             ArchiveError::Packaging(msg) => write!(f, "packaging failed: {msg}"),
+            ArchiveError::Storage(msg) => write!(f, "archive storage failed: {msg}"),
         }
     }
 }
@@ -140,14 +154,41 @@ pub struct PreservationArchive {
     pub sections: BTreeMap<String, ArchiveSection>,
 }
 
-impl PreservationArchive {
-    /// Package a finished production run into an archive.
-    pub fn package(
-        name: &str,
+/// Builder for a [`PreservationArchive`]: start from
+/// [`PreservationArchive::builder`], capture a production run and/or add
+/// individual sections, then [`build`](ArchiveBuilder::build).
+///
+/// ```no_run
+/// # use daspos::archive::PreservationArchive;
+/// # use daspos::workflow::{ExecutionContext, PreservedWorkflow};
+/// # use daspos::runner::ExecOptions;
+/// # use daspos_detsim::Experiment;
+/// # use bytes::Bytes;
+/// let wf = PreservedWorkflow::standard_z(Experiment::Cms, 2, 10);
+/// let ctx = ExecutionContext::fresh(&wf);
+/// let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
+/// let archive = PreservationArchive::builder("run-2014")
+///     .production(&wf, &ctx, &out)
+///     .unwrap()
+///     .section("notes", Bytes::from_static(b"golden run"))
+///     .build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArchiveBuilder {
+    name: String,
+    sections: BTreeMap<String, ArchiveSection>,
+}
+
+impl ArchiveBuilder {
+    /// Capture a finished production run: writes the six canonical
+    /// sections (workflow, conditions, provenance, software, results,
+    /// metadata) from the workflow and its execution.
+    pub fn production(
+        mut self,
         workflow: &PreservedWorkflow,
         ctx: &ExecutionContext,
         output: &ProductionOutput,
-    ) -> Result<PreservationArchive, ArchiveError> {
+    ) -> Result<ArchiveBuilder, ArchiveError> {
         let snapshot = Snapshot::capture(&ctx.conditions, &workflow.conditions_tag)
             .map_err(|e| ArchiveError::Packaging(e.to_string()))?;
         let experiment = workflow.experiment.name();
@@ -158,12 +199,6 @@ impl PreservationArchive {
             "experiment {experiment}\nmaturity data-management {}\nmaturity description {}\nmaturity preservation {}\nmaturity sharing {}\n",
             maturity.data_management, maturity.description, maturity.preservation, maturity.sharing
         );
-
-        let mut archive = PreservationArchive {
-            name: name.to_string(),
-            version: ARCHIVE_VERSION,
-            sections: BTreeMap::new(),
-        };
         for (section, text) in [
             (sections::WORKFLOW, workflow.to_text()),
             (sections::CONDITIONS, snapshot.to_text()),
@@ -172,8 +207,79 @@ impl PreservationArchive {
             (sections::RESULTS, output.results_to_text()),
             (sections::METADATA, metadata_text),
         ] {
-            archive.insert(section, Bytes::from(text));
+            self.sections
+                .insert(section.to_string(), ArchiveSection::new(section, Bytes::from(text)));
         }
+        Ok(self)
+    }
+
+    /// Add (or replace) one section.
+    pub fn section(mut self, name: &str, data: Bytes) -> ArchiveBuilder {
+        self.sections
+            .insert(name.to_string(), ArchiveSection::new(name, data));
+        self
+    }
+
+    /// Add (or replace) one text section.
+    pub fn section_text(self, name: &str, text: &str) -> ArchiveBuilder {
+        self.section(name, Bytes::from(text.to_string()))
+    }
+
+    /// Finish the archive at the current container version.
+    pub fn build(self) -> PreservationArchive {
+        PreservationArchive {
+            name: self.name,
+            version: ARCHIVE_VERSION,
+            sections: self.sections,
+        }
+    }
+}
+
+impl PreservationArchive {
+    /// Start building an archive with the given human name.
+    pub fn builder(name: impl Into<String>) -> ArchiveBuilder {
+        ArchiveBuilder {
+            name: name.into(),
+            sections: BTreeMap::new(),
+        }
+    }
+
+    /// Package a finished production run into an archive.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use PreservationArchive::builder(name).production(wf, ctx, out)?.build()"
+    )]
+    pub fn package(
+        name: &str,
+        workflow: &PreservedWorkflow,
+        ctx: &ExecutionContext,
+        output: &ProductionOutput,
+    ) -> Result<PreservationArchive, ArchiveError> {
+        Ok(PreservationArchive::builder(name)
+            .production(workflow, ctx, output)?
+            .build())
+    }
+
+    /// Serialize the container and store it on a [`StorageBackend`]
+    /// under `key` — the write half of the storage surface shared with
+    /// the preservation vault.
+    pub fn store(&self, backend: &dyn StorageBackend, key: &str) -> Result<(), ArchiveError> {
+        backend
+            .put(key, &self.to_bytes())
+            .map_err(|e| ArchiveError::Storage(e.to_string()))
+    }
+
+    /// Read a container back from a [`StorageBackend`], verifying the
+    /// manifest digest and every section checksum.
+    pub fn open(
+        backend: &dyn StorageBackend,
+        key: &str,
+    ) -> Result<PreservationArchive, ArchiveError> {
+        let raw = backend
+            .get(key)
+            .map_err(|e| ArchiveError::Storage(e.to_string()))?;
+        let archive = PreservationArchive::from_bytes(&raw)?;
+        archive.verify_integrity()?;
         Ok(archive)
     }
 
@@ -327,6 +433,33 @@ impl PreservationArchive {
     }
 }
 
+/// Deep vault verifier for [`ObjectKind::Container`]: the payload must
+/// parse as a `.dpar` container (manifest digest intact) and pass every
+/// per-section checksum. Register it on a vault that stores containers:
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use daspos::archive::ContainerVerifier;
+/// # use daspos::vault::{MemoryBackend, Vault};
+/// let vault = Vault::builder()
+///     .replica(Arc::new(MemoryBackend::new()))
+///     .verifier(Arc::new(ContainerVerifier))
+///     .build()
+///     .unwrap();
+/// ```
+pub struct ContainerVerifier;
+
+impl Verifier for ContainerVerifier {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Container
+    }
+
+    fn verify(&self, payload: &Bytes) -> Result<(), String> {
+        let archive = PreservationArchive::from_bytes(payload).map_err(|e| e.to_string())?;
+        archive.verify_integrity().map_err(|e| e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,7 +469,75 @@ mod tests {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, 3, 30);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf.execute(&ctx, &crate::runner::ExecOptions::default()).expect("executes");
-        PreservationArchive::package("sample", &wf, &ctx, &out).expect("packages")
+        PreservationArchive::builder("sample")
+            .production(&wf, &ctx, &out)
+            .expect("packages")
+            .build()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_package_is_byte_identical_to_the_builder() {
+        let wf = PreservedWorkflow::standard_z(Experiment::Cms, 3, 30);
+        let ctx = ExecutionContext::fresh(&wf);
+        let out = wf
+            .execute(&ctx, &crate::runner::ExecOptions::default())
+            .expect("executes");
+        let old = PreservationArchive::package("sample", &wf, &ctx, &out).unwrap();
+        let new = sample_archive();
+        assert_eq!(old, new);
+        assert_eq!(old.to_bytes(), new.to_bytes());
+    }
+
+    #[test]
+    fn builder_extra_sections_and_text() {
+        let a = PreservationArchive::builder("custom")
+            .section("blob", Bytes::from_static(b"\x00\x01"))
+            .section_text("notes", "hello")
+            .build();
+        assert_eq!(a.version, ARCHIVE_VERSION);
+        assert_eq!(a.section_text("notes").unwrap(), "hello");
+        assert_eq!(a.section("blob").unwrap(), &Bytes::from_static(b"\x00\x01"));
+    }
+
+    #[test]
+    fn store_and_open_round_trip_through_a_backend() {
+        use daspos_vault::MemoryBackend;
+        let a = sample_archive();
+        let backend = MemoryBackend::new();
+        a.store(&backend, "sample.dpar").unwrap();
+        let back = PreservationArchive::open(&backend, "sample.dpar").unwrap();
+        assert_eq!(back, a);
+        assert!(matches!(
+            PreservationArchive::open(&backend, "missing.dpar"),
+            Err(ArchiveError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn open_rejects_a_rotted_container() {
+        use daspos_vault::{MemoryBackend, StorageBackend as _};
+        let a = sample_archive();
+        let backend = MemoryBackend::new();
+        a.store(&backend, "sample.dpar").unwrap();
+        let mut raw = backend.get("sample.dpar").unwrap().to_vec();
+        let n = raw.len();
+        raw[n - 3] ^= 0xFF;
+        backend.put("sample.dpar", &Bytes::from(raw)).unwrap();
+        assert!(PreservationArchive::open(&backend, "sample.dpar").is_err());
+    }
+
+    #[test]
+    fn container_verifier_accepts_archives_and_rejects_rot() {
+        let a = sample_archive();
+        let v = ContainerVerifier;
+        let bytes = a.to_bytes();
+        v.verify(&bytes).unwrap();
+        let mut raw = bytes.to_vec();
+        let n = raw.len();
+        raw[n - 3] ^= 0xFF;
+        assert!(v.verify(&Bytes::from(raw)).is_err());
+        assert!(v.verify(&Bytes::from_static(b"not a container")).is_err());
     }
 
     #[test]

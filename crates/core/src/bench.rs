@@ -16,12 +16,15 @@
 //! reports the peak bytes allocated above the pre-measurement baseline.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::Bytes;
 use daspos_detsim::Experiment;
 use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::{self, Encodable, EventReader};
 use daspos_tiers::skim;
+use daspos_vault::{MemoryBackend, ObjectKind, StorageBackend, Vault};
 
 use crate::error::Error;
 use crate::runner::ExecOptions;
@@ -179,6 +182,42 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         black_box(out.aod_events.len());
     }));
 
+    // Vault metrics: a 3-replica in-memory vault holding the sealed AOD
+    // tier — the preservation store's hot paths normalized per event.
+    let backends: Vec<Arc<MemoryBackend>> =
+        (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
+    let mut builder = Vault::builder();
+    for b in &backends {
+        builder = builder.replica(b.clone());
+    }
+    let vault = builder.build()?;
+    metrics.push(measure("vault_put", cfg.reps, n, || {
+        vault
+            .put("tier-aod.dpef", ObjectKind::SealedTier, &sealed)
+            .expect("vault put succeeds");
+    }));
+    metrics.push(measure("vault_get", cfg.reps, n, || {
+        let (_, payload) = vault.get("tier-aod.dpef").expect("vault get succeeds");
+        black_box(payload.len());
+    }));
+    // One replica is re-damaged before every scrub rep, so each rep pays
+    // for detection of real corruption plus a byte-identical repair.
+    let damaged = {
+        let envelope = backends[0].get("tier-aod.dpef").expect("stored envelope");
+        let mut v = envelope.to_vec();
+        let mid = v.len() / 2;
+        v[mid] ^= 0x01;
+        Bytes::from(v)
+    };
+    metrics.push(measure("vault_scrub", cfg.reps, n, || {
+        backends[0]
+            .put("tier-aod.dpef", &damaged)
+            .expect("damage injects");
+        let report = vault.scrub().expect("scrub runs");
+        assert!(report.clean(), "scrub must repair the seeded damage");
+        black_box(report.repaired);
+    }));
+
     Ok(BenchReport {
         config: cfg.clone(),
         metrics,
@@ -293,7 +332,7 @@ mod tests {
             seed: 7,
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 6);
+        assert_eq!(report.metrics.len(), 9);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
@@ -308,6 +347,9 @@ mod tests {
             "skim_batch",
             "skim_streaming",
             "full_chain",
+            "vault_put",
+            "vault_get",
+            "vault_scrub",
             "decode_streaming_speedup",
         ] {
             assert!(json.contains(name), "missing {name} in:\n{json}");

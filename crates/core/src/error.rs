@@ -23,6 +23,7 @@ use daspos_conditions::ConditionsError;
 use daspos_obs::Stage;
 use daspos_tiers::codec::CodecError;
 use daspos_tiers::dataset::CatalogError;
+use daspos_vault::VaultError;
 
 use crate::archive::ArchiveError;
 
@@ -35,6 +36,9 @@ pub enum ErrorKind {
     Codec(CodecError),
     /// Conditions resolution failed.
     Conditions(ConditionsError),
+    /// A preservation-vault operation failed (replica storage, scrub,
+    /// damaged objects).
+    Vault(VaultError),
     /// Dataset catalog rejected a registration or lookup.
     Catalog(String),
     /// A preserved text section failed to parse.
@@ -51,6 +55,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Archive(e) => e.fmt(f),
             ErrorKind::Codec(e) => e.fmt(f),
             ErrorKind::Conditions(e) => e.fmt(f),
+            ErrorKind::Vault(e) => e.fmt(f),
             ErrorKind::Catalog(msg)
             | ErrorKind::Parse(msg)
             | ErrorKind::Analysis(msg)
@@ -130,6 +135,12 @@ impl From<CodecError> for Error {
 impl From<ConditionsError> for Error {
     fn from(e: ConditionsError) -> Error {
         Error::new(ErrorKind::Conditions(e))
+    }
+}
+
+impl From<VaultError> for Error {
+    fn from(e: VaultError) -> Error {
+        Error::new(ErrorKind::Vault(e)).at(Stage::Vault)
     }
 }
 

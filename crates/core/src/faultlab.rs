@@ -6,8 +6,8 @@
 //! corrupt-file hardening into a systematic tool: a seed-driven mutation
 //! engine over every serialized surface the toolkit ships — sealed DPEF
 //! tier files, `PreservationArchive` containers, conditions-snapshot
-//! text, reference-results text — and a campaign runner that asserts the
-//! invariant
+//! text, reference-results text, and single replica copies inside a
+//! preservation vault — and a campaign runner that asserts the invariant
 //!
 //! > **every mutation is either detected (a clean error or a failed
 //! > checksum) or harmless (the decoded content is identical to the
@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use daspos_conditions::Snapshot;
@@ -33,8 +34,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use daspos_obs::Obs;
+use daspos_vault::{
+    encode_envelope, MemoryBackend, ObjectKind, StorageBackend, Vault, ENVELOPE_OVERHEAD,
+};
 
-use crate::archive::{sections, PreservationArchive};
+use crate::archive::{sections, ContainerVerifier, PreservationArchive};
 use crate::error::Error;
 use crate::runner::ExecOptions;
 use crate::validate::{RerunCache, ValidationReport, Validator};
@@ -55,17 +59,23 @@ pub enum ArtifactClass {
     /// forgery inside an otherwise pristine archive — only re-execution
     /// can catch it.
     ResultsText,
+    /// One replica copy inside a 3-replica preservation vault. The
+    /// invariant is stronger here: the damage must be detected by a
+    /// scrub pass AND repaired byte-identically from the surviving
+    /// replicas (or the mutation left the copy byte-identical).
+    VaultReplica,
 }
 
 impl ArtifactClass {
     /// Every class, in campaign order.
-    pub fn all() -> [ArtifactClass; 5] {
+    pub fn all() -> [ArtifactClass; 6] {
         [
             ArtifactClass::TierAod,
             ArtifactClass::TierRaw,
             ArtifactClass::Archive,
             ArtifactClass::ConditionsText,
             ArtifactClass::ResultsText,
+            ArtifactClass::VaultReplica,
         ]
     }
 
@@ -77,6 +87,7 @@ impl ArtifactClass {
             ArtifactClass::Archive => "archive",
             ArtifactClass::ConditionsText => "conditions-text",
             ArtifactClass::ResultsText => "results-text",
+            ArtifactClass::VaultReplica => "vault-replica",
         }
     }
 
@@ -161,6 +172,18 @@ pub enum MutationKind {
         /// The byte-level mutation applied to the results text.
         sub: Box<MutationKind>,
     },
+    /// Damage one replica's stored copy of one vault object: apply `sub`
+    /// to that replica's envelope bytes and write the result back to the
+    /// backend, leaving the other replicas pristine. VaultReplica class
+    /// only.
+    VaultReplica {
+        /// The vault key attacked.
+        key: String,
+        /// Which replica's copy is damaged (0-based).
+        replica: usize,
+        /// The byte-level mutation applied to the stored envelope.
+        sub: Box<MutationKind>,
+    },
 }
 
 impl fmt::Display for MutationKind {
@@ -189,14 +212,18 @@ impl fmt::Display for MutationKind {
                 write!(f, "duplicate {len} bytes @{start}")
             }
             MutationKind::ForgeResults { sub } => write!(f, "forge results [{sub}]"),
+            MutationKind::VaultReplica { key, replica, sub } => {
+                write!(f, "vault {key} replica {replica} [{sub}]")
+            }
         }
     }
 }
 
 impl MutationKind {
-    /// Apply this mutation to a byte string. `ForgeResults` is not a
-    /// byte-level operation (the campaign applies it through the archive
-    /// API); calling `apply` on it is a logic error.
+    /// Apply this mutation to a byte string. `ForgeResults` and
+    /// `VaultReplica` are not byte-level operations (the campaign applies
+    /// them through the archive / vault APIs); calling `apply` on them is
+    /// a logic error.
     pub fn apply(&self, original: &[u8]) -> Vec<u8> {
         let mut v = original.to_vec();
         match *self {
@@ -221,6 +248,9 @@ impl MutationKind {
             }
             MutationKind::ForgeResults { .. } => {
                 unreachable!("ForgeResults is applied through the archive API")
+            }
+            MutationKind::VaultReplica { .. } => {
+                unreachable!("VaultReplica is applied through the vault API")
             }
         }
         v
@@ -393,9 +423,18 @@ pub struct CampaignFixture {
     pub snapshot: Snapshot,
     /// The reference results text carried by the archive.
     pub results_text: String,
+    /// The objects a campaign vault stores: `(key, claimed kind,
+    /// payload)`, in key order.
+    pub vault_objects: Vec<(String, ObjectKind, Bytes)>,
+    /// Pristine replica bytes (the encoded envelope) per vault object,
+    /// aligned with `vault_objects`.
+    pub vault_envelopes: Vec<Bytes>,
+    /// Per-object envelope shapes for the mutation sampler, aligned with
+    /// `vault_objects`.
+    vault_shapes: Vec<ArtifactShape>,
     /// Per-class artifact shapes, indexed by `ArtifactClass as usize` —
     /// computed once here instead of once per mutation.
-    shapes: [ArtifactShape; 5],
+    shapes: [ArtifactShape; 6],
     /// Splice template for checksum-preserving results forgeries.
     forge: ForgeTemplate,
 }
@@ -499,7 +538,9 @@ impl CampaignFixture {
         let ctx = ExecutionContext::fresh(&workflow);
         let opts = ExecOptions::default().with_obs(obs.clone());
         let output = workflow.execute(&ctx, &opts)?;
-        let archive = PreservationArchive::package("faultlab", &workflow, &ctx, &output)?;
+        let archive = PreservationArchive::builder("faultlab")
+            .production(&workflow, &ctx, &output)?
+            .build();
         let archive_bytes = archive.to_bytes();
         let aod_payload = AodEvent::encode_events(&output.aod_events);
         let raw_payload = ctx
@@ -514,13 +555,54 @@ impl CampaignFixture {
         let results_text = archive.section_text(sections::RESULTS)?.to_string();
         let sealed_aod = codec::seal(&aod_payload);
         let sealed_raw = codec::seal(&raw_payload);
-        let shapes = [
+        let byte_shapes = [
             sealed_tier_shape(&sealed_aod),
             sealed_tier_shape(&sealed_raw),
             archive_shape(&archive, &archive_bytes),
             ArtifactShape::text(&conditions_text),
             ArtifactShape::text(&results_text),
         ];
+        // The vault holds one object of every kind the toolkit ships, in
+        // key order. Envelope shapes reuse the payload's structural
+        // boundaries, shifted past the envelope header.
+        let sources = [
+            ("archive.dpar", ObjectKind::Container, archive_bytes.clone(), ArtifactClass::Archive),
+            (
+                "conditions.txt",
+                ObjectKind::ConditionsText,
+                Bytes::from(conditions_text.clone().into_bytes()),
+                ArtifactClass::ConditionsText,
+            ),
+            (
+                "results.txt",
+                ObjectKind::Opaque,
+                Bytes::from(results_text.clone().into_bytes()),
+                ArtifactClass::ResultsText,
+            ),
+            ("tier-aod.dpef", ObjectKind::SealedTier, sealed_aod.clone(), ArtifactClass::TierAod),
+        ];
+        let mut vault_objects = Vec::with_capacity(sources.len());
+        let mut vault_envelopes = Vec::with_capacity(sources.len());
+        let mut vault_shapes = Vec::with_capacity(sources.len());
+        for (key, kind, payload, source) in sources {
+            let envelope = encode_envelope(kind, &payload);
+            let mut boundaries = vec![ENVELOPE_OVERHEAD];
+            boundaries.extend(
+                byte_shapes[source as usize]
+                    .boundaries
+                    .iter()
+                    .map(|b| b + ENVELOPE_OVERHEAD),
+            );
+            boundaries.dedup();
+            vault_shapes.push(ArtifactShape {
+                len: envelope.len(),
+                boundaries,
+            });
+            vault_envelopes.push(envelope);
+            vault_objects.push((key.to_string(), kind, payload));
+        }
+        let [s0, s1, s2, s3, s4] = byte_shapes;
+        let shapes = [s0, s1, s2, s3, s4, vault_shapes[0].clone()];
         let forge = ForgeTemplate::build(&archive, &archive_bytes);
         Ok(CampaignFixture {
             workflow,
@@ -533,12 +615,18 @@ impl CampaignFixture {
             conditions_text,
             snapshot,
             results_text,
+            vault_objects,
+            vault_envelopes,
+            vault_shapes,
             shapes,
             forge,
         })
     }
 
-    /// The pristine bytes of one artifact class.
+    /// The pristine bytes of one artifact class. For `VaultReplica` —
+    /// where each mutation targets one of several keyed envelopes — this
+    /// is the first object's envelope; use [`CampaignFixture::vault_envelope`]
+    /// for a specific key.
     pub fn artifact(&self, class: ArtifactClass) -> &[u8] {
         match class {
             ArtifactClass::TierAod => &self.sealed_aod,
@@ -546,12 +634,22 @@ impl CampaignFixture {
             ArtifactClass::Archive => &self.archive_bytes,
             ArtifactClass::ConditionsText => self.conditions_text.as_bytes(),
             ArtifactClass::ResultsText => self.results_text.as_bytes(),
+            ArtifactClass::VaultReplica => &self.vault_envelopes[0],
         }
+    }
+
+    /// The pristine envelope bytes stored under `key` in the campaign
+    /// vault.
+    pub fn vault_envelope(&self, key: &str) -> Option<&Bytes> {
+        self.vault_objects
+            .iter()
+            .position(|(k, _, _)| k == key)
+            .map(|i| &self.vault_envelopes[i])
     }
 
     /// Length + structural boundaries for the mutation sampler.
     /// Precomputed in [`CampaignFixture::build`]; a campaign asks for the
-    /// same five shapes once per mutation.
+    /// same shapes once per mutation.
     pub fn shape(&self, class: ArtifactClass) -> &ArtifactShape {
         &self.shapes[class as usize]
     }
@@ -615,6 +713,9 @@ pub enum Outcome {
     Violation(String),
 }
 
+/// Replica count of the campaign vault.
+pub const VAULT_REPLICAS: usize = 3;
+
 /// Plan mutation `(class, index)` of a campaign deterministically.
 pub fn derive_mutation(
     cfg: &CampaignConfig,
@@ -624,20 +725,34 @@ pub fn derive_mutation(
 ) -> Mutation {
     let seed = derive_seed(cfg.master_seed, class, index);
     let mut rng = StdRng::seed_from_u64(seed);
-    let shape = fixture.shape(class);
-    // Forgeries mutate the results text, so their sampling shape is the
-    // (precomputed) ResultsText shape.
-    let forge_shape = (class == ArtifactClass::Archive)
-        .then(|| fixture.shape(ArtifactClass::ResultsText));
+    let kind = if class == ArtifactClass::VaultReplica {
+        // Pick a stored object, pick a replica, then sample a byte-level
+        // attack over that object's envelope.
+        let object = rng.gen_range(0..fixture.vault_objects.len());
+        let replica = rng.gen_range(0..VAULT_REPLICAS);
+        let sub = sample_kind(&mut rng, &fixture.vault_shapes[object], None);
+        MutationKind::VaultReplica {
+            key: fixture.vault_objects[object].0.clone(),
+            replica,
+            sub: Box::new(sub),
+        }
+    } else {
+        // Forgeries mutate the results text, so their sampling shape is
+        // the (precomputed) ResultsText shape.
+        let forge_shape = (class == ArtifactClass::Archive)
+            .then(|| fixture.shape(ArtifactClass::ResultsText));
+        sample_kind(&mut rng, fixture.shape(class), forge_shape)
+    };
     Mutation {
         class,
         index,
         seed,
-        kind: sample_kind(&mut rng, shape, forge_shape),
+        kind,
     }
 }
 
-/// Produce the mutated artifact bytes for one planned mutation.
+/// Produce the mutated artifact bytes for one planned mutation. For a
+/// `VaultReplica` mutation these are the damaged replica's stored bytes.
 pub fn mutate_artifact(
     fixture: &CampaignFixture,
     class: ArtifactClass,
@@ -648,20 +763,26 @@ pub fn mutate_artifact(
             let mutated_results = sub.apply(fixture.results_text.as_bytes());
             fixture.forge.render(&mutated_results)
         }
+        MutationKind::VaultReplica { key, sub, .. } => {
+            let envelope = fixture.vault_envelope(key).expect("fixture vault key");
+            sub.apply(envelope)
+        }
         kind => kind.apply(fixture.artifact(class)),
     }
 }
 
 /// Decide the outcome for one mutated artifact. Never panics itself —
 /// the campaign wraps this in `catch_unwind` so a panic anywhere in the
-/// decode/validate stack becomes a [`Outcome::Violation`].
+/// decode/validate stack becomes a [`Outcome::Violation`]. The planned
+/// [`Mutation`] rides along because `VaultReplica` verdicts need its
+/// coordinates (which key, which replica) in addition to the bytes.
 pub fn check_mutant(
     fixture: &CampaignFixture,
-    class: ArtifactClass,
+    mutation: &Mutation,
     mutated: &Bytes,
     cache: &mut RerunCache,
 ) -> Outcome {
-    match class {
+    match mutation.class {
         ArtifactClass::TierAod => {
             check_sealed_tier::<AodEvent>(mutated, &fixture.aod_payload)
         }
@@ -671,6 +792,14 @@ pub fn check_mutant(
         ArtifactClass::Archive => check_archive(fixture, mutated, cache),
         ArtifactClass::ConditionsText => check_conditions_text(fixture, mutated),
         ArtifactClass::ResultsText => check_results_text(fixture, mutated, cache),
+        ArtifactClass::VaultReplica => match &mutation.kind {
+            MutationKind::VaultReplica { key, replica, .. } => {
+                check_vault_replica(fixture, key, *replica, mutated)
+            }
+            other => Outcome::Violation(format!(
+                "vault-replica class planned a non-vault mutation: {other}"
+            )),
+        },
     }
 }
 
@@ -764,6 +893,74 @@ fn check_results_text(
     }
 }
 
+/// Judge one damaged replica copy. Builds a fresh [`VAULT_REPLICAS`]-way
+/// vault holding every fixture object, overwrites one replica's stored
+/// copy of `key` with the mutated bytes, scrubs, and demands the
+/// stronger vault invariant: the damage is *detected and repaired
+/// byte-identically* (every replica of every object ends the scrub
+/// holding its pristine envelope), or the mutation never changed the
+/// bytes at all.
+fn check_vault_replica(
+    fixture: &CampaignFixture,
+    key: &str,
+    replica: usize,
+    mutated: &Bytes,
+) -> Outcome {
+    let backends: Vec<Arc<MemoryBackend>> = (0..VAULT_REPLICAS)
+        .map(|_| Arc::new(MemoryBackend::new()))
+        .collect();
+    let mut builder = Vault::builder().verifier(Arc::new(ContainerVerifier));
+    for b in &backends {
+        builder = builder.replica(b.clone());
+    }
+    let vault = match builder.build() {
+        Ok(v) => v,
+        Err(e) => return Outcome::Violation(format!("campaign vault failed to build: {e}")),
+    };
+    for (k, kind, payload) in &fixture.vault_objects {
+        if let Err(e) = vault.put(k, *kind, payload) {
+            return Outcome::Violation(format!("pristine put of {k} failed: {e}"));
+        }
+    }
+    if let Err(e) = backends[replica].put(key, mutated) {
+        return Outcome::Violation(format!("damage injection failed: {e}"));
+    }
+    let report = match vault.scrub() {
+        Ok(r) => r,
+        Err(e) => return Outcome::Violation(format!("scrub errored: {e}")),
+    };
+    if !report.clean() {
+        return Outcome::Violation(format!("scrub left damage behind: {}", report.to_text()));
+    }
+    // Repair must be byte-identical everywhere, not merely "decodes".
+    for backend in &backends {
+        for ((k, _, _), envelope) in fixture.vault_objects.iter().zip(&fixture.vault_envelopes) {
+            match backend.get(k) {
+                Ok(stored) if stored == *envelope => {}
+                Ok(_) => {
+                    return Outcome::Violation(format!(
+                        "replica copy of {k} not byte-identical after scrub"
+                    ))
+                }
+                Err(e) => {
+                    return Outcome::Violation(format!(
+                        "replica copy of {k} unreadable after scrub: {e}"
+                    ))
+                }
+            }
+        }
+    }
+    let pristine = fixture.vault_envelope(key).expect("fixture vault key");
+    if mutated == pristine {
+        // e.g. a region swapped with itself: the copy never changed.
+        Outcome::Harmless
+    } else if report.corrupt + report.missing == 0 {
+        Outcome::Violation("divergent replica copy went undetected".to_string())
+    } else {
+        Outcome::Detected("scrub:repaired".to_string())
+    }
+}
+
 fn container_label(e: &crate::archive::ArchiveError) -> &'static str {
     use crate::archive::ArchiveError;
     match e {
@@ -772,6 +969,7 @@ fn container_label(e: &crate::archive::ArchiveError) -> &'static str {
         ArchiveError::Malformed(_) => "malformed",
         ArchiveError::UnsupportedVersion(_) => "version",
         ArchiveError::Packaging(_) => "packaging",
+        ArchiveError::Storage(_) => "storage",
     }
 }
 
@@ -938,6 +1136,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, Error> {
 /// `faultlab.detect.<layer>` counters (plus `faultlab.mutations` /
 /// `faultlab.harmless` / `faultlab.violations`).
 pub fn run_campaign_with(cfg: &CampaignConfig, obs: &Obs) -> Result<CampaignReport, Error> {
+    run_campaign_for(cfg, &ArtifactClass::all(), obs)
+}
+
+/// [`run_campaign_with`] restricted to a subset of artifact classes —
+/// the engine behind targeted attacks like the CLI's
+/// `vault scrub --selftest`, which storms only [`ArtifactClass::VaultReplica`].
+pub fn run_campaign_for(
+    cfg: &CampaignConfig,
+    classes_to_run: &[ArtifactClass],
+    obs: &Obs,
+) -> Result<CampaignReport, Error> {
     let mut span = obs.tracer.span("campaign");
     span.field("seed", cfg.master_seed);
     span.field("mutations_per_class", cfg.mutations_per_class);
@@ -946,8 +1155,8 @@ pub fn run_campaign_with(cfg: &CampaignConfig, obs: &Obs) -> Result<CampaignRepo
     let fixture = CampaignFixture::build_with(cfg, obs)?;
     fixture_span.finish();
     let mut cache = RerunCache::new();
-    let mut classes = Vec::with_capacity(ArtifactClass::all().len());
-    for class in ArtifactClass::all() {
+    let mut classes = Vec::with_capacity(classes_to_run.len());
+    for &class in classes_to_run {
         let mut class_span = obs.tracer.span_fmt(format_args!("campaign/{}", class.name()));
         let mut report = ClassReport {
             class,
@@ -963,7 +1172,7 @@ pub fn run_campaign_with(cfg: &CampaignConfig, obs: &Obs) -> Result<CampaignRepo
             // into this buffer instead of re-copying per probe.
             let mutated = Bytes::from(mutate_artifact(&fixture, class, &mutation));
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                check_mutant(&fixture, class, &mutated, &mut cache)
+                check_mutant(&fixture, &mutation, &mutated, &mut cache)
             }))
             .unwrap_or_else(|payload| {
                 Outcome::Violation(format!("PANIC: {}", panic_message(payload)))
@@ -1022,7 +1231,7 @@ pub fn replay(
     let mutation = derive_mutation(cfg, &fixture, class, index);
     let mutated = Bytes::from(mutate_artifact(&fixture, class, &mutation));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        check_mutant(&fixture, class, &mutated, &mut cache)
+        check_mutant(&fixture, &mutation, &mutated, &mut cache)
     }))
     .unwrap_or_else(|payload| Outcome::Violation(format!("PANIC: {}", panic_message(payload))));
     Ok((mutation, outcome))
@@ -1092,7 +1301,7 @@ mod tests {
         let cfg = small_config();
         let report = run_campaign(&cfg).expect("campaign runs");
         assert!(report.passed(), "{}", report.to_text());
-        assert_eq!(report.total_mutations(), 12 * 5);
+        assert_eq!(report.total_mutations(), 12 * 6);
         assert_eq!(
             report.total_detected() + report.total_harmless(),
             report.total_mutations()
@@ -1171,12 +1380,35 @@ mod tests {
             .into_iter()
             .map(|r| r.path)
             .collect();
-        for required in ["campaign", "campaign/fixture", "campaign/tier-aod", "execute"] {
+        for required in [
+            "campaign",
+            "campaign/fixture",
+            "campaign/tier-aod",
+            "campaign/vault-replica",
+            "execute",
+        ] {
             assert!(
                 paths.iter().any(|p| p == required),
                 "missing span {required}, have {paths:?}"
             );
         }
+    }
+
+    #[test]
+    fn restricted_campaign_attacks_only_the_requested_classes() {
+        let cfg = small_config();
+        let report =
+            run_campaign_for(&cfg, &[ArtifactClass::VaultReplica], &Obs::disabled()).unwrap();
+        assert!(report.passed(), "{}", report.to_text());
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].class, ArtifactClass::VaultReplica);
+        assert_eq!(report.total_mutations(), cfg.mutations_per_class);
+        // Real damage really flowed through the scrub-and-repair path.
+        assert!(
+            report.classes[0].detections_by_layer.contains_key("scrub:repaired"),
+            "{:?}",
+            report.classes[0].detections_by_layer
+        );
     }
 
     #[test]

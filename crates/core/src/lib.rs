@@ -30,8 +30,10 @@
 //!     .execute(&ctx, &ExecOptions::default())
 //!     .expect("production runs");
 //! // Package the run into a self-contained archive...
-//! let archive = PreservationArchive::package("demo", &workflow, &ctx, &production)
-//!     .expect("packaging succeeds");
+//! let archive = PreservationArchive::builder("demo")
+//!     .production(&workflow, &ctx, &production)
+//!     .expect("packaging succeeds")
+//!     .build();
 //! // ...and prove it is preserved by re-running from the archive alone.
 //! let report = Validator::new(&Platform::current())
 //!     .run(&archive)
@@ -54,9 +56,16 @@ pub mod workflow;
 /// the `daspos-obs` crate, so `daspos::obs::MemoryCollector` etc. work.
 pub use daspos_obs as obs;
 
+/// The replicated preservation vault (backends, scrubbing, repair) —
+/// re-export of the `daspos-vault` crate, so `daspos::vault::Vault`
+/// etc. work.
+pub use daspos_vault as vault;
+
 /// Convenient re-exports for downstream users.
 pub mod prelude {
-    pub use crate::archive::{ArchiveSection, PreservationArchive};
+    pub use crate::archive::{
+        ArchiveBuilder, ArchiveSection, ContainerVerifier, PreservationArchive,
+    };
     pub use crate::error::{Error, ErrorKind};
     pub use crate::faultlab::{self, ArtifactClass, CampaignConfig, CampaignReport};
     pub use crate::levels::DphepLevel;
@@ -72,6 +81,10 @@ pub mod prelude {
         MemoryCollector, MetricsRegistry, Obs, Stage, Tracer, TraceSummary,
     };
     pub use daspos_provenance::Platform;
+    pub use daspos_vault::{
+        DirBackend, MemoryBackend, ObjectKind, RetryPolicy, ScrubReport, StorageBackend,
+        Vault, VaultError,
+    };
 }
 
 pub use archive::PreservationArchive;

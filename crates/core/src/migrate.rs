@@ -147,7 +147,10 @@ mod tests {
         let wf = PreservedWorkflow::standard_z(Experiment::Atlas, seed, 25);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
-        PreservationArchive::package(&format!("arc-{seed}"), &wf, &ctx, &out).unwrap()
+        PreservationArchive::builder(format!("arc-{seed}"))
+            .production(&wf, &ctx, &out)
+            .unwrap()
+            .build()
     }
 
     #[test]

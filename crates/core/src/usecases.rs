@@ -126,7 +126,10 @@ mod tests {
         let wf = PreservedWorkflow::standard_z(Experiment::Lhcb, 9, 25);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf.execute(&ctx, &crate::runner::ExecOptions::default()).unwrap();
-        PreservationArchive::package("uc", &wf, &ctx, &out).unwrap()
+        PreservationArchive::builder("uc")
+            .production(&wf, &ctx, &out)
+            .unwrap()
+            .build()
     }
 
     #[test]

@@ -575,7 +575,10 @@ mod tests {
         let wf = PreservedWorkflow::standard_z(Experiment::Cms, seed, 30);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf.execute(&ctx, &ExecOptions::default()).unwrap();
-        PreservationArchive::package("val-test", &wf, &ctx, &out).unwrap()
+        PreservationArchive::builder("val-test")
+            .production(&wf, &ctx, &out)
+            .unwrap()
+            .build()
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub enum Stage {
     Validate,
     /// Fault-injection campaign.
     Campaign,
+    /// Preservation-vault storage, scrub and repair.
+    Vault,
 }
 
 impl Stage {
@@ -91,6 +93,7 @@ impl Stage {
             Stage::Archive => "archive",
             Stage::Validate => "validate",
             Stage::Campaign => "campaign",
+            Stage::Vault => "vault",
         }
     }
 }

@@ -1,0 +1,54 @@
+//! # daspos-vault — replicated bit preservation with self-healing scrub
+//!
+//! The DASPOS disaster-recovery rubric (Appendix A of the final report)
+//! reserves its top levels for experiments that keep *redundant copies*,
+//! run *periodic integrity checks*, and can demonstrate *documented
+//! recovery*. The sealed tiers and `.dpar` containers of the lower
+//! layers detect corruption at read time; this crate supplies the layer
+//! above them — the "bit preservation" foundation the DPHEP status
+//! report places under every sustainable preservation effort:
+//!
+//! - [`StorageBackend`] — the narrowest pluggable blob-store API
+//!   ([`MemoryBackend`], [`DirBackend`], and the fault-injecting
+//!   [`FlakyBackend`] to start);
+//! - [`Vault`] — an N-replica store of `DPVO`-enveloped objects with
+//!   checksum-verified reads that fall back past (and heal) damaged
+//!   copies;
+//! - [`Vault::scrub`] — the recurring integrity pass: walk every
+//!   replica, verify envelope digests plus kind-specific deep checks
+//!   (DPSL seals, container manifests, conditions snapshots), and
+//!   rewrite damaged copies byte-identically from a verified one;
+//! - [`RetryPolicy`] — per-operation retry/backoff/timeout for flaky
+//!   media, deterministic enough to fault-campaign.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bytes::Bytes;
+//! use daspos_vault::{MemoryBackend, ObjectKind, Vault};
+//!
+//! let vault = Vault::builder()
+//!     .replica(Arc::new(MemoryBackend::new()))
+//!     .replica(Arc::new(MemoryBackend::new()))
+//!     .replica(Arc::new(MemoryBackend::new()))
+//!     .build()
+//!     .unwrap();
+//! vault.put("blob", ObjectKind::Opaque, &Bytes::from_static(b"bytes")).unwrap();
+//! let report = vault.scrub().unwrap();
+//! assert!(report.clean());
+//! ```
+
+pub mod backend;
+pub mod flaky;
+pub mod object;
+pub mod policy;
+pub mod vault;
+
+pub use backend::{validate_key, DirBackend, MemoryBackend, StorageBackend, StorageError};
+pub use flaky::{FlakyBackend, FlakyConfig};
+pub use object::{
+    decode_envelope, encode_envelope, envelope_digest, ConditionsVerifier, EnvelopeError,
+    ObjectKind, SealedTierVerifier, Verifier, ENVELOPE_MAGIC, ENVELOPE_OVERHEAD,
+    ENVELOPE_VERSION,
+};
+pub use policy::RetryPolicy;
+pub use vault::{ScrubReport, Vault, VaultBuilder, VaultError};

@@ -1,0 +1,100 @@
+//! Per-operation retry/backoff/timeout policy for flaky backends.
+//!
+//! Every vault ⇄ backend operation runs under a [`RetryPolicy`]:
+//! transient failures ([`StorageError::Transient`]) are retried with
+//! exponential backoff until the attempt budget or the per-operation
+//! time budget runs out; permanent failures surface immediately. The
+//! schedule is a pure function of the policy, so campaigns over a
+//! deterministic [`FlakyBackend`](crate::FlakyBackend) reproduce
+//! exactly.
+//!
+//! [`StorageError::Transient`]: crate::StorageError::Transient
+
+use std::time::Duration;
+
+/// How persistently to retry one storage operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Total time budget per operation: a retry is abandoned when its
+    /// backoff would push the operation past this deadline.
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 1 ms → 2 ms backoff, 50 ms sleep cap, 1 s
+    /// per-operation budget.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, fail fast.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            timeout: Duration::ZERO,
+        }
+    }
+
+    /// `max_attempts` attempts with zero backoff — the test policy:
+    /// deterministic retries with no wall-clock cost.
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// The backoff slept before retry number `retry` (1-based):
+    /// `min(base_delay · 2^(retry-1), max_delay)`.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_delay
+            .saturating_mul(factor)
+            .min(self.max_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+            timeout: Duration::from_secs(1),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2), Duration::from_millis(20));
+        assert_eq!(p.delay_for(3), Duration::from_millis(35));
+        assert_eq!(p.delay_for(10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let p = RetryPolicy::immediate(4);
+        assert_eq!(p.max_attempts, 4);
+        for retry in 1..10 {
+            assert_eq!(p.delay_for(retry), Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! The replicated preservation vault: quorum reads, scrubbing, repair.
+//!
+//! A [`Vault`] stores every object on N [`StorageBackend`] replicas,
+//! wrapped in a checksum-carrying `DPVO` envelope. Reads walk the
+//! replicas in order and return the first copy that passes the envelope
+//! digest and the deep [`Verifier`] for its kind, transparently falling
+//! back past damaged copies (and optionally healing them in passing).
+//! The [`scrub`](Vault::scrub) pass makes that read-time accident a
+//! recurring, deterministic sweep: it walks the union of keys across
+//! all replicas, classifies every copy as healthy, corrupt, or missing,
+//! and rewrites damaged copies byte-identically from a verified one.
+//!
+//! Every backend operation runs under the vault's
+//! [`RetryPolicy`](crate::RetryPolicy); transient failures are retried
+//! with exponential backoff and counted on the `vault.backend.retries`
+//! counter. Scrub progress lands on `vault.scrub.checked|corrupt|repaired`
+//! and, when a tracer is attached, as a span tree under `scrub`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use daspos_obs::Obs;
+
+use crate::backend::{StorageBackend, StorageError};
+use crate::object::{
+    decode_envelope, encode_envelope, ConditionsVerifier, ObjectKind, SealedTierVerifier,
+    Verifier,
+};
+use crate::policy::RetryPolicy;
+
+/// A vault-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VaultError {
+    /// The builder was asked to build a vault with zero replicas.
+    NoReplicas,
+    /// No replica stores the key.
+    NotFound(String),
+    /// Copies of the object exist, but none passes integrity checks.
+    Damaged {
+        /// The object's key.
+        key: String,
+        /// What was wrong with the last copy examined.
+        reason: String,
+    },
+    /// A storage operation failed permanently (after retries).
+    Storage(StorageError),
+}
+
+impl fmt::Display for VaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaultError::NoReplicas => write!(f, "a vault needs at least one replica"),
+            VaultError::NotFound(key) => write!(f, "no replica stores '{key}'"),
+            VaultError::Damaged { key, reason } => {
+                write!(f, "every copy of '{key}' is damaged: {reason}")
+            }
+            VaultError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VaultError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for VaultError {
+    fn from(e: StorageError) -> VaultError {
+        match e {
+            StorageError::NotFound(key) => VaultError::NotFound(key),
+            other => VaultError::Storage(other),
+        }
+    }
+}
+
+/// Builder for a [`Vault`]. Replicas are tried in the order added.
+pub struct VaultBuilder {
+    replicas: Vec<Arc<dyn StorageBackend>>,
+    policy: RetryPolicy,
+    verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>>,
+    heal_on_get: bool,
+    obs: Obs,
+}
+
+impl VaultBuilder {
+    fn new() -> VaultBuilder {
+        let mut verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>> = BTreeMap::new();
+        verifiers.insert(ObjectKind::SealedTier, Arc::new(SealedTierVerifier));
+        verifiers.insert(ObjectKind::ConditionsText, Arc::new(ConditionsVerifier));
+        VaultBuilder {
+            replicas: Vec::new(),
+            policy: RetryPolicy::default(),
+            verifiers,
+            heal_on_get: true,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Add a replica backend (tried in insertion order).
+    pub fn replica(mut self, backend: Arc<dyn StorageBackend>) -> VaultBuilder {
+        self.replicas.push(backend);
+        self
+    }
+
+    /// Override the per-operation retry policy.
+    pub fn policy(mut self, policy: RetryPolicy) -> VaultBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Register (or replace) the deep verifier for one object kind.
+    /// `SealedTier` and `ConditionsText` verifiers are pre-registered.
+    pub fn verifier(mut self, verifier: Arc<dyn Verifier>) -> VaultBuilder {
+        self.verifiers.insert(verifier.kind(), verifier);
+        self
+    }
+
+    /// Whether `get` rewrites damaged copies it had to fall back past
+    /// (default true).
+    pub fn heal_on_get(mut self, heal: bool) -> VaultBuilder {
+        self.heal_on_get = heal;
+        self
+    }
+
+    /// Attach an observability bundle (spans + counters).
+    pub fn with_obs(mut self, obs: Obs) -> VaultBuilder {
+        self.obs = obs;
+        self
+    }
+
+    /// Build the vault. Fails with [`VaultError::NoReplicas`] if no
+    /// replica was added.
+    pub fn build(self) -> Result<Vault, VaultError> {
+        if self.replicas.is_empty() {
+            return Err(VaultError::NoReplicas);
+        }
+        Ok(Vault {
+            replicas: self.replicas,
+            policy: self.policy,
+            verifiers: self.verifiers,
+            heal_on_get: self.heal_on_get,
+            obs: self.obs,
+        })
+    }
+}
+
+/// How one replica's copy of an object fared during a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CopyState {
+    Healthy(Bytes),
+    Corrupt(String),
+    Missing,
+}
+
+/// The outcome of a [`scrub`](Vault::scrub) or [`verify`](Vault::verify)
+/// pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Distinct keys seen across all replicas.
+    pub objects: usize,
+    /// Replica count of the vault.
+    pub replicas: usize,
+    /// Replica copies examined (present copies, healthy or not).
+    pub checked: u64,
+    /// Copies failing the envelope digest or deep verification.
+    pub corrupt: u64,
+    /// Copies absent from a replica while the key exists elsewhere.
+    pub missing: u64,
+    /// Damaged or missing copies rewritten from a verified copy.
+    pub repaired: u64,
+    /// Keys with zero healthy copies — unrecoverable from this vault.
+    pub lost: Vec<String>,
+}
+
+impl ScrubReport {
+    /// True when no unrepaired damage remains: every corrupt or missing
+    /// copy was repaired and nothing is lost.
+    pub fn clean(&self) -> bool {
+        self.lost.is_empty() && self.corrupt + self.missing == self.repaired
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "scrubbed {} object(s) across {} replica(s): {} copies checked, \
+             {} corrupt, {} missing, {} repaired",
+            self.objects, self.replicas, self.checked, self.corrupt, self.missing, self.repaired
+        );
+        if self.lost.is_empty() {
+            s.push_str(if self.clean() {
+                "; vault is clean"
+            } else {
+                "; damage remains"
+            });
+        } else {
+            s.push_str(&format!("; LOST beyond repair: {}", self.lost.join(", ")));
+        }
+        s
+    }
+}
+
+/// An N-replica preservation store with scrubbing and self-healing
+/// repair. Construct via [`Vault::builder`].
+pub struct Vault {
+    replicas: Vec<Arc<dyn StorageBackend>>,
+    policy: RetryPolicy,
+    verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>>,
+    heal_on_get: bool,
+    obs: Obs,
+}
+
+impl Vault {
+    /// Start building a vault.
+    pub fn builder() -> VaultBuilder {
+        VaultBuilder::new()
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Run one backend operation under the retry policy. Transient
+    /// failures back off exponentially until the attempt or time budget
+    /// runs out; every retry bumps `vault.backend.retries`.
+    fn with_retry<T>(
+        &self,
+        f: impl Fn() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let start = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(StorageError::Transient(msg)) => {
+                    let delay = self.policy.delay_for(attempt);
+                    if attempt >= self.policy.max_attempts
+                        || start.elapsed() + delay > self.policy.timeout
+                    {
+                        return Err(StorageError::Transient(msg));
+                    }
+                    if let Some(reg) = self.obs.registry() {
+                        reg.add("vault.backend.retries", 1);
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Store `payload` as `kind` under `key` on every replica.
+    ///
+    /// Replicas that fail permanently are skipped (and the first such
+    /// error returned) *after* all remaining replicas were attempted, so
+    /// one bad replica never blocks the others from receiving the object
+    /// — the next scrub re-converges the stragglers.
+    pub fn put(&self, key: &str, kind: ObjectKind, payload: &Bytes) -> Result<(), VaultError> {
+        let envelope = encode_envelope(kind, payload);
+        let mut first_err = None;
+        for replica in &self.replicas {
+            if let Err(e) = self.with_retry(|| replica.put(key, &envelope)) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(VaultError::from(e)),
+        }
+    }
+
+    /// [`put`](Vault::put) with the kind sniffed from the payload's
+    /// leading magic.
+    pub fn put_detected(&self, key: &str, payload: &Bytes) -> Result<ObjectKind, VaultError> {
+        let kind = ObjectKind::sniff(payload);
+        self.put(key, kind, payload)?;
+        Ok(kind)
+    }
+
+    /// Classify one replica's copy of `key`: decode the envelope, then
+    /// deep-verify if a verifier is registered for the kind.
+    fn classify(&self, replica: &Arc<dyn StorageBackend>, key: &str) -> CopyState {
+        let raw = match self.with_retry(|| replica.get(key)) {
+            Ok(raw) => raw,
+            Err(StorageError::NotFound(_)) => return CopyState::Missing,
+            Err(e) => return CopyState::Corrupt(format!("unreadable: {e}")),
+        };
+        let (kind, payload) = match decode_envelope(&raw) {
+            Ok(parts) => parts,
+            Err(e) => return CopyState::Corrupt(e.to_string()),
+        };
+        if let Some(verifier) = self.verifiers.get(&kind) {
+            if let Err(reason) = verifier.verify(&payload) {
+                return CopyState::Corrupt(reason);
+            }
+        }
+        CopyState::Healthy(raw)
+    }
+
+    /// Checksum-verified read: return the first healthy copy's kind and
+    /// payload, falling back past damaged replicas. With
+    /// [`heal_on_get`](VaultBuilder::heal_on_get), damaged copies the
+    /// read skipped are rewritten from the healthy one (best-effort).
+    pub fn get(&self, key: &str) -> Result<(ObjectKind, Bytes), VaultError> {
+        let mut damaged: Vec<usize> = Vec::new();
+        let mut last_reason: Option<String> = None;
+        let mut any_copy = false;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            match self.classify(replica, key) {
+                CopyState::Healthy(raw) => {
+                    if self.heal_on_get {
+                        for &d in &damaged {
+                            let _ = self.with_retry(|| self.replicas[d].put(key, &raw));
+                        }
+                    }
+                    let (kind, payload) =
+                        decode_envelope(&raw).expect("classified healthy, must decode");
+                    return Ok((kind, payload));
+                }
+                CopyState::Corrupt(reason) => {
+                    any_copy = true;
+                    damaged.push(i);
+                    last_reason = Some(reason);
+                }
+                CopyState::Missing => {}
+            }
+        }
+        if any_copy {
+            Err(VaultError::Damaged {
+                key: key.to_string(),
+                reason: last_reason.unwrap_or_default(),
+            })
+        } else {
+            Err(VaultError::NotFound(key.to_string()))
+        }
+    }
+
+    /// All keys stored on at least one replica, ascending.
+    pub fn keys(&self) -> Result<Vec<String>, VaultError> {
+        let mut keys = BTreeSet::new();
+        for replica in &self.replicas {
+            keys.extend(self.with_retry(|| replica.list(""))?);
+        }
+        Ok(keys.into_iter().collect())
+    }
+
+    /// Integrity sweep with self-healing repair: every damaged or
+    /// missing copy is rewritten byte-identically from a verified one.
+    pub fn scrub(&self) -> Result<ScrubReport, VaultError> {
+        self.scan(true)
+    }
+
+    /// Integrity sweep without repair — reports damage, changes nothing.
+    pub fn verify(&self) -> Result<ScrubReport, VaultError> {
+        self.scan(false)
+    }
+
+    fn scan(&self, repair: bool) -> Result<ScrubReport, VaultError> {
+        let keys = self.keys()?;
+        let mut span = self
+            .obs
+            .tracer
+            .span(if repair { "scrub" } else { "verify" });
+        span.field("replicas", self.replicas.len());
+        span.field("objects", keys.len());
+
+        let mut report = ScrubReport {
+            objects: keys.len(),
+            replicas: self.replicas.len(),
+            ..ScrubReport::default()
+        };
+        for key in &keys {
+            let states: Vec<CopyState> = self
+                .replicas
+                .iter()
+                .map(|r| self.classify(r, key))
+                .collect();
+            let healthy = states.iter().find_map(|s| match s {
+                CopyState::Healthy(raw) => Some(raw.clone()),
+                _ => None,
+            });
+            let mut corrupt_here = 0u64;
+            let mut missing_here = 0u64;
+            for state in &states {
+                match state {
+                    CopyState::Healthy(_) => report.checked += 1,
+                    CopyState::Corrupt(_) => {
+                        report.checked += 1;
+                        corrupt_here += 1;
+                    }
+                    CopyState::Missing => missing_here += 1,
+                }
+            }
+            report.corrupt += corrupt_here;
+            report.missing += missing_here;
+
+            let mut repaired_here = 0u64;
+            match &healthy {
+                Some(raw) if repair => {
+                    for (i, state) in states.iter().enumerate() {
+                        if !matches!(state, CopyState::Healthy(_))
+                            && self
+                                .with_retry(|| self.replicas[i].put(key, raw))
+                                .is_ok()
+                        {
+                            repaired_here += 1;
+                        }
+                    }
+                    report.repaired += repaired_here;
+                }
+                Some(_) => {}
+                None => report.lost.push(key.clone()),
+            }
+
+            if span.enabled() {
+                let mut child = span.child_fmt(format_args!("object-{key}"));
+                child.field("corrupt", corrupt_here);
+                child.field("missing", missing_here);
+                child.field("repaired", repaired_here);
+                child.finish();
+            }
+        }
+        if let Some(reg) = self.obs.registry() {
+            reg.add("vault.scrub.checked", report.checked);
+            reg.add("vault.scrub.corrupt", report.corrupt);
+            reg.add("vault.scrub.repaired", report.repaired);
+        }
+        span.field("corrupt", report.corrupt);
+        span.field("repaired", report.repaired);
+        span.field("lost", report.lost.len());
+        span.finish();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::flaky::{FlakyBackend, FlakyConfig};
+    use daspos_obs::{MemoryCollector, MetricsRegistry};
+    use daspos_tiers::codec;
+
+    fn three_replica_vault() -> (Vault, Vec<Arc<MemoryBackend>>) {
+        let backends: Vec<Arc<MemoryBackend>> =
+            (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let mut builder = Vault::builder().policy(RetryPolicy::none());
+        for b in &backends {
+            builder = builder.replica(b.clone() as Arc<dyn StorageBackend>);
+        }
+        (builder.build().unwrap(), backends)
+    }
+
+    #[test]
+    fn build_requires_a_replica() {
+        assert!(matches!(
+            Vault::builder().build(),
+            Err(VaultError::NoReplicas)
+        ));
+    }
+
+    #[test]
+    fn put_replicates_and_get_round_trips() {
+        let (vault, backends) = three_replica_vault();
+        let payload = Bytes::from_static(b"artifact bytes");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        for b in &backends {
+            assert_eq!(b.len(), 1, "every replica holds a copy");
+        }
+        let (kind, got) = vault.get("obj").unwrap();
+        assert_eq!(kind, ObjectKind::Opaque);
+        assert_eq!(got, payload);
+        assert!(matches!(vault.get("nope"), Err(VaultError::NotFound(_))));
+    }
+
+    #[test]
+    fn get_falls_back_past_a_corrupt_replica_and_heals_it() {
+        let (vault, backends) = three_replica_vault();
+        let payload = Bytes::from_static(b"precious");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let pristine = backends[1].get("obj").unwrap();
+        // Rot replica 0.
+        let mut rotten = pristine.to_vec();
+        let last = rotten.len() - 1;
+        rotten[last] ^= 0x01;
+        backends[0].put("obj", &Bytes::from(rotten)).unwrap();
+
+        let (_, got) = vault.get("obj").unwrap();
+        assert_eq!(got, payload, "read falls back to the healthy copy");
+        assert_eq!(
+            backends[0].get("obj").unwrap(),
+            pristine,
+            "heal-on-get rewrote replica 0 byte-identically"
+        );
+    }
+
+    #[test]
+    fn get_reports_damaged_when_no_copy_survives() {
+        let (vault, backends) = three_replica_vault();
+        vault
+            .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
+            .unwrap();
+        for b in &backends {
+            b.put("obj", &Bytes::from_static(b"garbage")).unwrap();
+        }
+        assert!(matches!(vault.get("obj"), Err(VaultError::Damaged { .. })));
+    }
+
+    #[test]
+    fn scrub_repairs_corrupt_and_missing_copies_byte_identically() {
+        let (vault, backends) = three_replica_vault();
+        let sealed = codec::seal(&Bytes::from_static(b"tier payload"));
+        vault.put("tier", ObjectKind::SealedTier, &sealed).unwrap();
+        vault
+            .put("blob", ObjectKind::Opaque, &Bytes::from_static(b"blob"))
+            .unwrap();
+        let pristine = backends[0].get("tier").unwrap();
+
+        // Damage one copy, drop another.
+        let mut rotten = pristine.to_vec();
+        rotten[pristine.len() / 2] ^= 0x40;
+        backends[2].put("tier", &Bytes::from(rotten)).unwrap();
+        backends[1].delete("blob").unwrap();
+
+        let report = vault.scrub().unwrap();
+        assert_eq!(report.objects, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.missing, 1);
+        assert_eq!(report.repaired, 2);
+        assert!(report.clean(), "{}", report.to_text());
+        assert_eq!(backends[2].get("tier").unwrap(), pristine);
+        assert_eq!(
+            backends[1].get("blob").unwrap(),
+            backends[0].get("blob").unwrap()
+        );
+
+        // A second pass finds nothing to do.
+        let again = vault.verify().unwrap();
+        assert_eq!(again.corrupt + again.missing, 0);
+        assert!(again.clean());
+    }
+
+    #[test]
+    fn verify_reports_without_touching_replicas() {
+        let (vault, backends) = three_replica_vault();
+        vault
+            .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
+            .unwrap();
+        backends[0].put("obj", &Bytes::from_static(b"bad")).unwrap();
+        let report = vault.verify().unwrap();
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.repaired, 0);
+        assert!(!report.clean());
+        assert_eq!(
+            backends[0].get("obj").unwrap(),
+            Bytes::from_static(b"bad"),
+            "verify must not repair"
+        );
+    }
+
+    #[test]
+    fn scrub_reports_lost_objects() {
+        let (vault, backends) = three_replica_vault();
+        vault
+            .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
+            .unwrap();
+        for b in &backends {
+            b.put("obj", &Bytes::from_static(b"all copies rotten")).unwrap();
+        }
+        let report = vault.scrub().unwrap();
+        assert_eq!(report.lost, vec!["obj".to_string()]);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn deep_verifier_catches_semantic_rot_under_a_valid_envelope() {
+        // A payload that *claims* to be a sealed tier but is not: the
+        // envelope digest passes (the envelope was written over the bad
+        // payload), so only the deep verifier can flag it.
+        let (vault, _backends) = three_replica_vault();
+        vault
+            .put("fake", ObjectKind::SealedTier, &Bytes::from_static(b"not a seal"))
+            .unwrap();
+        let report = vault.verify().unwrap();
+        assert_eq!(report.corrupt, 3, "every copy fails deep verification");
+        assert!(matches!(vault.get("fake"), Err(VaultError::Damaged { .. })));
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_faults_and_counts_retries() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let inner = Arc::new(MemoryBackend::new());
+        let flaky = Arc::new(FlakyBackend::new(
+            inner,
+            FlakyConfig::transient(42, 0.4),
+        ));
+        let vault = Vault::builder()
+            .replica(flaky)
+            .policy(RetryPolicy::immediate(8))
+            .with_obs(Obs::metrics_only(registry.clone()))
+            .build()
+            .unwrap();
+        let payload = Bytes::from_static(b"survives flakiness");
+        for i in 0..16 {
+            vault
+                .put(&format!("obj-{i}"), ObjectKind::Opaque, &payload)
+                .unwrap();
+        }
+        for i in 0..16 {
+            let (_, got) = vault.get(&format!("obj-{i}")).unwrap();
+            assert_eq!(got, payload);
+        }
+        assert!(
+            registry.snapshot().counter("vault.backend.retries") > 0,
+            "a 40% transient rate must have forced at least one retry"
+        );
+    }
+
+    #[test]
+    fn scrub_emits_spans_and_counters() {
+        let collector = Arc::new(MemoryCollector::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let backends: Vec<Arc<MemoryBackend>> =
+            (0..2).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let mut builder = Vault::builder()
+            .policy(RetryPolicy::none())
+            .with_obs(Obs::collecting(collector.clone(), registry.clone()));
+        for b in &backends {
+            builder = builder.replica(b.clone() as Arc<dyn StorageBackend>);
+        }
+        let vault = builder.build().unwrap();
+        vault
+            .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
+            .unwrap();
+        backends[1].put("obj", &Bytes::from_static(b"rot")).unwrap();
+        let report = vault.scrub().unwrap();
+        assert!(report.clean());
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("vault.scrub.checked"), 2);
+        assert_eq!(snapshot.counter("vault.scrub.corrupt"), 1);
+        assert_eq!(snapshot.counter("vault.scrub.repaired"), 1);
+        let paths: Vec<String> = collector
+            .sorted_records()
+            .into_iter()
+            .map(|r| r.path)
+            .collect();
+        assert_eq!(paths, vec!["scrub".to_string(), "scrub/object-obj".to_string()]);
+    }
+}

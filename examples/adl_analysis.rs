@@ -68,9 +68,11 @@ fn main() {
             .unwrap_or(f64::NAN)
     );
 
-    let mut archive = PreservationArchive::package("adl-demo", &workflow, &ctx, &production)
-        .expect("packages");
-    archive.insert(sections::ADL, Bytes::from(SEARCH));
+    let archive = PreservationArchive::builder("adl-demo")
+        .production(&workflow, &ctx, &production)
+        .expect("packages")
+        .section(sections::ADL, Bytes::from(SEARCH))
+        .build();
     println!(
         "\narchive '{}' carries the analysis as a {}-byte text section",
         archive.name,

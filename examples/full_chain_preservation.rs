@@ -31,13 +31,10 @@ fn main() {
         let production = workflow
             .execute(&ctx, &ExecOptions::default())
             .expect("production runs");
-        let archive = PreservationArchive::package(
-            &format!("{}-2013", experiment.name()),
-            &workflow,
-            &ctx,
-            &production,
-        )
-        .expect("packaging");
+        let archive = PreservationArchive::builder(format!("{}-2013", experiment.name()))
+            .production(&workflow, &ctx, &production)
+            .expect("packaging")
+            .build();
         println!(
             "{:>6}: {} events -> archive '{}' ({} bytes, {} sections)",
             experiment.name(),
@@ -55,7 +52,12 @@ fn main() {
         let wf = PreservedWorkflow::standard_z(Experiment::Atlas, 4242, 60);
         let ctx = ExecutionContext::fresh(&wf);
         let out = wf.execute(&ctx, &ExecOptions::default()).expect("runs");
-        make_opaque(PreservationArchive::package("legacy-binary", &wf, &ctx, &out).expect("packages"))
+        make_opaque(
+            PreservationArchive::builder("legacy-binary")
+                .production(&wf, &ctx, &out)
+                .expect("packages")
+                .build(),
+        )
     };
     migrator.add(lazy);
 

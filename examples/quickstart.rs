@@ -42,8 +42,10 @@ fn main() {
     );
 
     // 3. Archive.
-    let archive = PreservationArchive::package("quickstart-z", &workflow, &ctx, &production)
-        .expect("packaging succeeds");
+    let archive = PreservationArchive::builder("quickstart-z")
+        .production(&workflow, &ctx, &production)
+        .expect("packaging succeeds")
+        .build();
     println!("=== archive ===");
     for (name, section) in &archive.sections {
         println!("section {name:>12}: {:>7} bytes (fnv64 {:016x})", section.data.len(), section.checksum);

@@ -1,5 +1,5 @@
-//! The `daspos` command-line tool: produce, inspect, validate and migrate
-//! preservation archives from a shell.
+//! The `daspos` command-line tool: produce, inspect, validate, migrate
+//! and vault preservation archives from a shell.
 //!
 //! ```text
 //! daspos produce  --experiment cms --process z-boson --events 200 --seed 42 --out z.dpar
@@ -7,9 +7,15 @@
 //! daspos validate z.dpar [--platform el9-aarch64]
 //! daspos migrate  z.dpar --out z-el9.dpar
 //! daspos trace    --experiment cms --events 200 --seed 42 --out trace.jsonl
+//! daspos vault    put z.dpar --store vault/ --key z.dpar
+//! daspos vault    scrub --store vault/
 //! daspos table1
 //! daspos maturity
 //! ```
+//!
+//! Exit codes are uniform across subcommands: 0 on success, 1 when a
+//! validation / integrity / campaign check fails, 2 on usage errors
+//! (unknown command, missing or malformed arguments).
 
 use std::process::ExitCode;
 
@@ -25,6 +31,40 @@ use daspos_hep::event::ProcessKind;
 static ALLOC: daspos::bench::alloc_counter::CountingAlloc =
     daspos::bench::alloc_counter::CountingAlloc;
 
+/// A CLI failure, split by exit code: operational failures (validation
+/// mismatch, integrity damage, campaign violations, I/O) exit 1; usage
+/// errors (bad flags, unknown names) exit 2.
+#[derive(Debug)]
+enum CliError {
+    /// Exit 2 — the invocation itself was wrong.
+    Usage(String),
+    /// Exit 1 — the invocation was fine, the work failed.
+    Failure(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+}
+
+/// `format!`-built runtime messages default to failures…
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Failure(msg)
+    }
+}
+
+/// …while the `&'static str` literals in the flag parsers ("bad --seed",
+/// "produce needs --out") are usage errors.
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -38,19 +78,26 @@ fn main() -> ExitCode {
         }
         Some("trace") => cmd_trace(&args[1..]),
         Some("faultlab") => cmd_faultlab(&args[1..]),
+        Some("vault") => cmd_vault(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("maturity") => cmd_maturity(),
         Some("help") | Some("--help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}' (try 'daspos help')")),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command '{other}' (try 'daspos help')"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Failure(msg)) => {
             eprintln!("daspos: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("daspos: {msg}");
+            ExitCode::from(2)
         }
     }
 }
@@ -85,12 +132,30 @@ USAGE:
         class (sealed tiers, archive container, conditions and results
         text) and assert each mutation is detected or harmless;
         --replay re-runs one mutation by its campaign coordinates
+  daspos vault    put <file> --store <dir> [--key <name>] [--kind <kind>]
+                  [--replicas N]
+        copy a file into an N-replica preservation vault (default 3
+        replicas under <dir>/replica-K); the kind (opaque, sealed-tier,
+        container, conditions) is sniffed from the payload unless given
+  daspos vault    get <key> --store <dir> --out <file>
+        checksum-verified read: returns the first replica copy that
+        passes integrity checks, healing damaged copies in passing
+  daspos vault    scrub --store <dir>
+        walk every replica, verify envelope digests, DPSL seals and
+        container manifests, and repair damaged copies byte-identically
+        from a verified one; exits 1 if damage remains
+  daspos vault    scrub --selftest [--seed N] [--mutations N] [--events N]
+        deterministic disaster drill: inject seeded single-replica
+        corruption into a scratch vault and prove scrub detects and
+        repairs every mutation (exit 1 on any unrepaired corruption)
+  daspos vault    verify --store <dir>
+        like scrub but read-only: report damage without repairing
   daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
                   [--out <file.json>]
-        time decode / seal-verify / skim (batch and streaming) and the
-        full chain over a fixture workflow; writes a JSON report
-        (default BENCH_3.json; build with --features bench-alloc for
-        peak-allocation figures)
+        time decode / seal-verify / skim (batch and streaming), the
+        full chain, and vault put/get/scrub over a fixture workflow;
+        writes a JSON report (default BENCH_3.json; build with
+        --features bench-alloc for peak-allocation figures)
   daspos table1
         print the Table 1 outreach feature matrix
   daspos maturity
@@ -115,13 +180,13 @@ fn load_archive(path: &str) -> Result<PreservationArchive, String> {
     PreservationArchive::from_bytes(&Bytes::from(raw)).map_err(|e| e.to_string())
 }
 
-fn cmd_produce(args: &[String]) -> Result<(), String> {
+fn cmd_produce(args: &[String]) -> CliResult {
     let experiment_name =
         flag(args, "--experiment").ok_or("produce needs --experiment <name>")?;
     let experiment = Experiment::all()
         .into_iter()
         .find(|e| e.name() == experiment_name)
-        .ok_or_else(|| format!("unknown experiment '{experiment_name}'"))?;
+        .ok_or_else(|| CliError::usage(format!("unknown experiment '{experiment_name}'")))?;
     let out = flag(args, "--out").ok_or("produce needs --out <file.dpar>")?;
     let seed: u64 = flag(args, "--seed")
         .unwrap_or_else(|| "2013".to_string())
@@ -153,7 +218,7 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
                 .iter()
                 .copied()
                 .find(|p| p.name() == process_name)
-                .ok_or_else(|| format!("unknown process '{process_name}'"))?;
+                .ok_or_else(|| CliError::usage(format!("unknown process '{process_name}'")))?;
             let mut wf = PreservedWorkflow::standard_z(experiment, seed, n_events);
             wf.process = process;
             wf
@@ -174,8 +239,10 @@ fn cmd_produce(args: &[String]) -> Result<(), String> {
         eprintln!("  {tier:>8}: {events:>7} events {bytes:>12} bytes");
     }
     let name = format!("{}-{}-{}", experiment.name(), workflow.process.name(), seed);
-    let archive = PreservationArchive::package(&name, &workflow, &ctx, &production)
-        .map_err(|e| e.to_string())?;
+    let archive = PreservationArchive::builder(&name)
+        .production(&workflow, &ctx, &production)
+        .map_err(|e| e.to_string())?
+        .build();
     std::fs::write(&out, archive.to_bytes()).map_err(|e| format!("cannot write '{out}': {e}"))?;
     println!(
         "archive '{name}' written to {out} ({} bytes, {} sections)",
@@ -206,13 +273,13 @@ fn write_trace(
     Ok(())
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> CliResult {
     let experiment_name =
         flag(args, "--experiment").unwrap_or_else(|| "cms".to_string());
     let experiment = Experiment::all()
         .into_iter()
         .find(|e| e.name() == experiment_name)
-        .ok_or_else(|| format!("unknown experiment '{experiment_name}'"))?;
+        .ok_or_else(|| CliError::usage(format!("unknown experiment '{experiment_name}'")))?;
     let seed: u64 = flag(args, "--seed")
         .unwrap_or_else(|| "2013".to_string())
         .parse()
@@ -230,7 +297,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 .iter()
                 .copied()
                 .find(|p| p.name() == process_name)
-                .ok_or_else(|| format!("unknown process '{process_name}'"))?;
+                .ok_or_else(|| CliError::usage(format!("unknown process '{process_name}'")))?;
             let mut wf = PreservedWorkflow::standard_z(experiment, seed, n_events);
             wf.process = process;
             wf
@@ -259,16 +326,17 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let records = collector.sorted_records();
     let missing = daspos::workflow::chain_trace_coverage(&records);
     if !missing.is_empty() {
-        return Err(format!("trace is missing chain stages: {}", missing.join(", ")));
+        return Err(format!("trace is missing chain stages: {}", missing.join(", ")).into());
     }
     let snapshot = registry.snapshot();
     print!("{}", TraceSummary::from_records(&records).to_text());
     println!();
     print!("{}", snapshot.to_text());
-    write_trace(&out, &records, &snapshot)
+    write_trace(&out, &records, &snapshot)?;
+    Ok(())
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
+fn cmd_inspect(args: &[String]) -> CliResult {
     let path = positional(args).ok_or("inspect needs a file")?;
     let archive = load_archive(&path)?;
     println!("archive '{}' (container v{})", archive.name, archive.version);
@@ -304,7 +372,7 @@ fn indent(text: &str) -> String {
         .join("\n")
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
+fn cmd_validate(args: &[String]) -> CliResult {
     let path = positional(args).ok_or("validate needs a file")?;
     let platform = flag(args, "--platform")
         .map(daspos_provenance::Platform)
@@ -323,11 +391,11 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         println!("VALID — the archive reproduces its reference bit-for-bit");
         Ok(())
     } else {
-        Err(format!("validation FAILED ({})", report.detail))
+        Err(format!("validation FAILED ({})", report.detail).into())
     }
 }
 
-fn cmd_migrate(args: &[String]) -> Result<(), String> {
+fn cmd_migrate(args: &[String]) -> CliResult {
     let path = positional(args).ok_or("migrate needs a file")?;
     let out = flag(args, "--out").ok_or("migrate needs --out <file.dpar>")?;
     let mut archive = load_archive(&path)?;
@@ -343,7 +411,8 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "archive does not validate after migration: {}",
             report.detail
-        ));
+        )
+        .into());
     }
     std::fs::write(&out, archive.to_bytes()).map_err(|e| format!("cannot write '{out}': {e}"))?;
     println!(
@@ -353,7 +422,7 @@ fn cmd_migrate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_faultlab(args: &[String]) -> Result<(), String> {
+fn cmd_faultlab(args: &[String]) -> CliResult {
     use daspos::faultlab::{self, ArtifactClass, CampaignConfig, Outcome};
     let mut cfg = CampaignConfig::default();
     if let Some(seed) = flag(args, "--seed") {
@@ -371,10 +440,10 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
             .split_once(':')
             .ok_or("--replay wants <class>:<index>, e.g. tier-aod:17")?;
         let class = ArtifactClass::parse(class_name).ok_or_else(|| {
-            format!(
+            CliError::usage(format!(
                 "unknown class '{class_name}' (one of: {})",
                 ArtifactClass::all().map(|c| c.name()).join(", ")
-            )
+            ))
         })?;
         let index: u32 = index.parse().map_err(|_| "bad replay index")?;
         let (mutation, outcome) =
@@ -392,7 +461,7 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
                 println!("  outcome:  harmless (content identical)");
                 Ok(())
             }
-            Outcome::Violation(detail) => Err(format!("invariant VIOLATED: {detail}")),
+            Outcome::Violation(detail) => Err(format!("invariant VIOLATED: {detail}").into()),
         };
     }
 
@@ -426,11 +495,12 @@ fn cmd_faultlab(args: &[String]) -> Result<(), String> {
         Err(format!(
             "{} invariant violations",
             report.total_violations()
-        ))
+        )
+        .into())
     }
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> CliResult {
     use daspos::bench::{self, BenchConfig};
     let mut cfg = BenchConfig::default();
     if let Some(e) = flag(args, "--events") {
@@ -474,7 +544,173 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_maturity() -> Result<(), String> {
+fn cmd_vault(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("put") => vault_put(&args[1..]),
+        Some("get") => vault_get(&args[1..]),
+        Some("scrub") => vault_scan(&args[1..], true),
+        Some("verify") => vault_scan(&args[1..], false),
+        _ => Err(CliError::usage(
+            "vault wants a subcommand: put | get | scrub | verify (try 'daspos help')",
+        )),
+    }
+}
+
+/// Open (or create) the replica set under `store`: one `DirBackend` per
+/// `replica-K` subdirectory. With `create_replicas`, a store with no
+/// replicas yet is initialised with that many.
+fn open_vault(
+    store: &str,
+    create_replicas: Option<usize>,
+    obs: Obs,
+) -> Result<daspos::vault::Vault, CliError> {
+    use daspos::vault::{DirBackend, Vault};
+    use std::sync::Arc;
+    let root = std::path::Path::new(store);
+    let mut replicas: Vec<std::path::PathBuf> = Vec::new();
+    if root.is_dir() {
+        let entries = std::fs::read_dir(root)
+            .map_err(|e| format!("cannot read store '{store}': {e}"))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_replica = path.is_dir()
+                && entry.file_name().to_string_lossy().starts_with("replica-");
+            if is_replica {
+                replicas.push(path);
+            }
+        }
+        replicas.sort();
+    }
+    if replicas.is_empty() {
+        let n = create_replicas.ok_or_else(|| {
+            CliError::Failure(format!(
+                "'{store}' is not a vault store (no replica-* directories)"
+            ))
+        })?;
+        replicas = (0..n).map(|i| root.join(format!("replica-{i}"))).collect();
+    }
+    let mut builder = Vault::builder()
+        .verifier(Arc::new(daspos::archive::ContainerVerifier))
+        .with_obs(obs);
+    for path in &replicas {
+        builder = builder.replica(Arc::new(DirBackend::new(path)));
+    }
+    builder.build().map_err(|e| CliError::Failure(e.to_string()))
+}
+
+fn vault_put(args: &[String]) -> CliResult {
+    use daspos::vault::ObjectKind;
+    let file = positional(args).ok_or("vault put needs a file")?;
+    let store = flag(args, "--store").ok_or("vault put needs --store <dir>")?;
+    let replicas: usize = flag(args, "--replicas")
+        .unwrap_or_else(|| "3".to_string())
+        .parse()
+        .map_err(|_| "bad --replicas")?;
+    if replicas == 0 {
+        return Err(CliError::usage("--replicas must be at least 1"));
+    }
+    let key = match flag(args, "--key") {
+        Some(k) => k,
+        None => std::path::Path::new(&file)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .ok_or("cannot derive a key from the file name; pass --key")?,
+    };
+    let payload = Bytes::from(
+        std::fs::read(&file).map_err(|e| format!("cannot read '{file}': {e}"))?,
+    );
+    let kind = match flag(args, "--kind") {
+        Some(name) => ObjectKind::parse(&name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown kind '{name}' (one of: opaque, sealed-tier, container, conditions)"
+            ))
+        })?,
+        None => ObjectKind::sniff(&payload),
+    };
+    let vault = open_vault(&store, Some(replicas), Obs::disabled())?;
+    vault
+        .put(&key, kind, &payload)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "stored '{key}' ({kind}, {} bytes) on {} replicas under {store}",
+        payload.len(),
+        vault.replica_count()
+    );
+    Ok(())
+}
+
+fn vault_get(args: &[String]) -> CliResult {
+    let key = positional(args).ok_or("vault get needs a key")?;
+    let store = flag(args, "--store").ok_or("vault get needs --store <dir>")?;
+    let out = flag(args, "--out").ok_or("vault get needs --out <file>")?;
+    let vault = open_vault(&store, None, Obs::disabled())?;
+    let (kind, payload) = vault.get(&key).map_err(|e| e.to_string())?;
+    std::fs::write(&out, &payload).map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!("recovered '{key}' ({kind}, {} bytes) to {out}", payload.len());
+    Ok(())
+}
+
+fn vault_scan(args: &[String], repair: bool) -> CliResult {
+    use daspos::faultlab::{self, ArtifactClass, CampaignConfig};
+    if args.iter().any(|a| a == "--selftest") {
+        if !repair {
+            return Err(CliError::usage("--selftest only applies to 'vault scrub'"));
+        }
+        let mut cfg = CampaignConfig::default();
+        if let Some(seed) = flag(args, "--seed") {
+            cfg.master_seed = seed.parse().map_err(|_| "bad --seed")?;
+        }
+        if let Some(m) = flag(args, "--mutations") {
+            cfg.mutations_per_class = m.parse().map_err(|_| "bad --mutations")?;
+        }
+        if let Some(e) = flag(args, "--events") {
+            cfg.events = e.parse().map_err(|_| "bad --events")?;
+        }
+        eprintln!(
+            "vault scrub drill: {} seeded single-replica mutations (seed {})…",
+            cfg.mutations_per_class, cfg.master_seed
+        );
+        let report =
+            faultlab::run_campaign_for(&cfg, &[ArtifactClass::VaultReplica], &Obs::disabled())
+                .map_err(|e| e.to_string())?;
+        print!("{}", report.to_text());
+        return if report.passed() {
+            println!("vault scrub drill PASSED — every mutation detected and repaired");
+            Ok(())
+        } else {
+            Err(CliError::Failure(format!(
+                "{} mutation(s) survived unrepaired",
+                report.total_violations()
+            )))
+        };
+    }
+
+    let store = flag(args, "--store").ok_or("vault scrub/verify needs --store <dir>")?;
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let vault = open_vault(&store, None, Obs::metrics_only(registry.clone()))?;
+    let report = if repair { vault.scrub() } else { vault.verify() }
+        .map_err(|e| e.to_string())?;
+    println!("{}", report.to_text());
+    let snapshot = registry.snapshot();
+    println!(
+        "counters: checked {} corrupt {} repaired {} backend-retries {}",
+        snapshot.counter("vault.scrub.checked"),
+        snapshot.counter("vault.scrub.corrupt"),
+        snapshot.counter("vault.scrub.repaired"),
+        snapshot.counter("vault.backend.retries"),
+    );
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(if repair {
+            "corruption remains unrepaired".to_string()
+        } else {
+            "vault has unrepaired damage (run 'vault scrub' to repair)".to_string()
+        }))
+    }
+}
+
+fn cmd_maturity() -> CliResult {
     use daspos_metadata::maturity::MaturityReport;
     use daspos_metadata::presets::interview_for;
     use daspos_metadata::sharing::PolicyStatus;

@@ -43,12 +43,11 @@ fn build_archive() -> PreservationArchive {
     ctx.registry
         .register(Box::new(AdlAnalysis::parse(ADL_MET).expect("parses")));
     let out = wf.execute(&ctx, &ExecOptions::default()).expect("production with ADL analyses");
-    let mut archive =
-        PreservationArchive::package("adl-preserved", &wf, &ctx, &out).expect("packages");
-    archive.insert(
-        sections::ADL,
-        Bytes::from(format!("{ADL_Z}---\n{ADL_MET}")),
-    );
+    let archive = PreservationArchive::builder("adl-preserved")
+        .production(&wf, &ctx, &out)
+        .expect("packages")
+        .section(sections::ADL, Bytes::from(format!("{ADL_Z}---\n{ADL_MET}")))
+        .build();
     archive
 }
 

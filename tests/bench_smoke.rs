@@ -66,6 +66,9 @@ fn bench_subcommand_writes_positive_metrics() {
         "skim_batch",
         "skim_streaming",
         "full_chain",
+        "vault_put",
+        "vault_get",
+        "vault_scrub",
     ] {
         for field in ["median_ns_per_event", "events_per_sec"] {
             let value = metric_field(&json, metric, field);

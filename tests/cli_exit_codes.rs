@@ -1,0 +1,113 @@
+//! Integration: the `daspos-cli` exit-code contract. Automation (CI
+//! jobs, cron-driven scrubs) keys off these codes, so they are part of
+//! the public interface: 0 = success, 1 = validation/integrity failure,
+//! 2 = usage error.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_daspos-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli().args(args).output().expect("cli spawns")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("cli exited with a code")
+}
+
+/// A fresh scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("daspos-exit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    assert_eq!(code(&run(&["help"])), 0);
+
+    let dir = scratch("ok");
+    let payload = dir.join("note.txt");
+    std::fs::write(&payload, b"an opaque preserved note\n").unwrap();
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+
+    let put = run(&["vault", "put", payload.to_str().unwrap(), "--store", store_s]);
+    assert_eq!(code(&put), 0, "{}", String::from_utf8_lossy(&put.stderr));
+    assert_eq!(code(&run(&["vault", "scrub", "--store", store_s])), 0);
+    assert_eq!(code(&run(&["vault", "verify", "--store", store_s])), 0);
+
+    let out = dir.join("restored.txt");
+    let get = run(&["vault", "get", "note.txt", "--store", store_s, "--out", out.to_str().unwrap()]);
+    assert_eq!(code(&get), 0, "{}", String::from_utf8_lossy(&get.stderr));
+    assert_eq!(std::fs::read(&out).unwrap(), b"an opaque preserved note\n");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn integrity_failures_exit_one() {
+    let dir = scratch("fail");
+    let payload = dir.join("note.txt");
+    std::fs::write(&payload, b"bytes worth keeping\n").unwrap();
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    assert_eq!(
+        code(&run(&["vault", "put", payload.to_str().unwrap(), "--store", store_s])),
+        0
+    );
+
+    // Corrupt one replica: `verify` (read-only) must report damage with
+    // exit 1; `scrub` repairs it and exits 0; a second `verify` is clean.
+    let copy = store.join("replica-1").join("note.txt");
+    let mut bytes = std::fs::read(&copy).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&copy, &bytes).unwrap();
+    assert_eq!(code(&run(&["vault", "verify", "--store", store_s])), 1);
+    assert_eq!(code(&run(&["vault", "scrub", "--store", store_s])), 0);
+    assert_eq!(code(&run(&["vault", "verify", "--store", store_s])), 0);
+
+    // Asking for a key the vault does not hold is a failure, not a
+    // usage error: the command was well-formed.
+    let missing = run(&[
+        "vault",
+        "get",
+        "absent.txt",
+        "--store",
+        store_s,
+        "--out",
+        dir.join("x").to_str().unwrap(),
+    ]);
+    assert_eq!(code(&missing), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Unknown command / subcommand.
+    assert_eq!(code(&run(&["no-such-command"])), 2);
+    assert_eq!(code(&run(&["vault", "frobnicate"])), 2);
+    // Missing required arguments.
+    assert_eq!(code(&run(&["vault", "put"])), 2);
+    assert_eq!(code(&run(&["vault", "scrub"])), 2);
+    assert_eq!(code(&run(&["inspect"])), 2);
+    // Malformed flag values.
+    assert_eq!(code(&run(&["produce", "--experiment", "not-an-experiment"])), 2);
+    assert_eq!(code(&run(&["trace", "--seed", "not-a-number"])), 2);
+}
+
+#[test]
+fn usage_errors_name_the_problem_on_stderr() {
+    let out = run(&["vault", "frobnicate"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("vault"), "unhelpful stderr: {err}");
+    let out = run(&["no-such-command"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no-such-command"), "unhelpful stderr: {err}");
+}

@@ -39,8 +39,10 @@ fn build_corpus() -> BTreeMap<&'static str, Vec<u8>> {
     let workflow = PreservedWorkflow::standard_z(Experiment::Cms, GOLDEN_SEED, GOLDEN_EVENTS);
     let ctx = ExecutionContext::fresh(&workflow);
     let output = workflow.execute(&ctx, &ExecOptions::default()).expect("chain executes");
-    let archive = PreservationArchive::package("cms-z-golden", &workflow, &ctx, &output)
-        .expect("packages");
+    let archive = PreservationArchive::builder("cms-z-golden")
+        .production(&workflow, &ctx, &output)
+        .expect("packages")
+        .build();
 
     let aod_payload = AodEvent::encode_events(&output.aod_events);
     let raw_payload = ctx

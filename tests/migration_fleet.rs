@@ -11,13 +11,10 @@ fn archive(experiment: Experiment, seed: u64) -> PreservationArchive {
     let workflow = PreservedWorkflow::standard_z(experiment, seed, 20);
     let ctx = ExecutionContext::fresh(&workflow);
     let output = workflow.execute(&ctx, &ExecOptions::default()).expect("chain executes");
-    PreservationArchive::package(
-        &format!("{}-{seed}", experiment.name()),
-        &workflow,
-        &ctx,
-        &output,
-    )
-    .expect("packages")
+    PreservationArchive::builder(format!("{}-{seed}", experiment.name()))
+        .production(&workflow, &ctx, &output)
+        .expect("packages")
+        .build()
 }
 
 #[test]

@@ -13,13 +13,10 @@ fn make_archive(experiment: Experiment, seed: u64, n: u64) -> PreservationArchiv
     };
     let ctx = ExecutionContext::fresh(&wf);
     let out = wf.execute(&ctx, &ExecOptions::default()).expect("production");
-    PreservationArchive::package(
-        &format!("{}-{seed}", experiment.name()),
-        &wf,
-        &ctx,
-        &out,
-    )
-    .expect("packaging")
+    PreservationArchive::builder(format!("{}-{seed}", experiment.name()))
+        .production(&wf, &ctx, &out)
+        .expect("packaging")
+        .build()
 }
 
 #[test]

@@ -16,6 +16,7 @@
 //! reports the peak bytes allocated above the pre-measurement baseline.
 
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +25,7 @@ use daspos_detsim::Experiment;
 use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::{self, Encodable, EventReader};
 use daspos_tiers::skim;
+use daspos_tiers::{skim_slim_columnar, ColumnarFile};
 use daspos_vault::{MemoryBackend, ObjectKind, StorageBackend, Vault};
 
 use crate::error::Error;
@@ -124,9 +126,10 @@ impl BenchReport {
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}}}\n",
+            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}, \"columnar_skim_speedup\": {}}}\n",
             fmt_speedup(self.speedup("decode_streaming", "decode_batch")),
-            fmt_speedup(self.speedup("skim_streaming", "skim_batch"))
+            fmt_speedup(self.speedup("skim_streaming", "skim_batch")),
+            fmt_speedup(self.speedup("columnar_skim", "skim_streaming"))
         ));
         out.push_str("}\n");
         out
@@ -173,6 +176,22 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
             skim::skim_slim_streaming(&aod_file, &workflow.skim, &workflow.slim)
                 .expect("pristine file skims");
         black_box((file.len(), report.events_out));
+    }));
+    // The same skim over the columnar layout: the NLeptons cut touches
+    // only the two lepton-momentum columns out of ten.
+    let columnar_file = ColumnarFile::from_rows(&output.aod_events);
+    metrics.push(measure("columnar_skim", cfg.reps, n, || {
+        let (file, report) =
+            skim_slim_columnar(&columnar_file, &workflow.skim, &workflow.slim, None)
+                .expect("pristine columnar file skims");
+        black_box((file.len(), report.events_out));
+    }));
+    metrics.push(measure("columnar_decode", cfg.reps, n, || {
+        let rows = ColumnarFile::parse(&columnar_file)
+            .expect("pristine columnar header parses")
+            .to_rows()
+            .expect("pristine columnar file decodes");
+        black_box(rows.len());
     }));
     metrics.push(measure("full_chain", cfg.reps, n, || {
         let ctx = ExecutionContext::fresh(&workflow);
@@ -222,6 +241,99 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         config: cfg.clone(),
         metrics,
     })
+}
+
+/// A metric must be this many times slower than the previous trajectory
+/// point before [`write_report`] flags it (25% headroom for noise).
+pub const REGRESSION_TOLERANCE: f64 = 1.25;
+
+/// Write `report` to `out` and compare it against the previous point on
+/// the bench trajectory. When `out` is named `BENCH_<n>.json`, the
+/// highest-numbered sibling `BENCH_*.json` (excluding `out` itself) is
+/// the baseline; every metric whose median slowed down by more than
+/// [`REGRESSION_TOLERANCE`] versus that baseline comes back as a
+/// human-readable description. An empty vector means no regression (or
+/// no baseline to compare against). The report is written either way —
+/// the caller decides whether regressions are fatal.
+pub fn write_report(report: &BenchReport, out: &Path) -> Result<Vec<String>, Error> {
+    let mut regressions = Vec::new();
+    if let Some(prev) = previous_bench_file(out) {
+        let prev_json = std::fs::read_to_string(&prev)
+            .map_err(|e| Error::msg(format!("cannot read baseline {}: {e}", prev.display())))?;
+        let baseline = prev.file_name().and_then(|n| n.to_str()).unwrap_or("baseline");
+        for (name, old) in parse_medians(&prev_json) {
+            let Some(m) = report.metric(&name) else { continue };
+            if old > 0.0 && m.median_ns_per_event > old * REGRESSION_TOLERANCE {
+                regressions.push(format!(
+                    "{name}: {old:.2} -> {:.2} ns/event (+{:.0}% vs {baseline})",
+                    m.median_ns_per_event,
+                    (m.median_ns_per_event / old - 1.0) * 100.0,
+                ));
+            }
+        }
+    }
+    std::fs::write(out, report.to_json())
+        .map_err(|e| Error::msg(format!("cannot write {}: {e}", out.display())))?;
+    Ok(regressions)
+}
+
+/// The previous point on the trajectory: the highest-numbered sibling
+/// `BENCH_<n>.json` other than `out` itself. `None` when `out` is not a
+/// trajectory file (scratch outputs skip the gate) or no sibling exists.
+fn previous_bench_file(out: &Path) -> Option<PathBuf> {
+    let out_name = out.file_name()?.to_str()?;
+    bench_number(out_name)?;
+    let dir = if out.parent().is_none_or(|p| p.as_os_str().is_empty()) {
+        PathBuf::from(".")
+    } else {
+        out.parent().unwrap().to_path_buf()
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(&dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == out_name {
+            continue;
+        }
+        let Some(number) = bench_number(name) else { continue };
+        if best.as_ref().is_none_or(|(n, _)| number > *n) {
+            best = Some((number, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// The `<n>` in `BENCH_<n>.json`, if the name has that exact shape.
+fn bench_number(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Extract `(name, median_ns_per_event)` pairs from a bench JSON
+/// document. A line-oriented scan over the exact layout
+/// [`BenchReport::to_json`] renders — not a general JSON parser.
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        let Some(at) = rest.find("\"median_ns_per_event\": ") else {
+            continue;
+        };
+        let tail = &rest[at + "\"median_ns_per_event\": ".len()..];
+        let digits: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(v) = digits.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
 }
 
 fn measure(name: &'static str, reps: usize, events: u64, mut f: impl FnMut()) -> Metric {
@@ -332,7 +444,7 @@ mod tests {
             seed: 7,
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 9);
+        assert_eq!(report.metrics.len(), 11);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
@@ -346,11 +458,14 @@ mod tests {
             "seal_verify",
             "skim_batch",
             "skim_streaming",
+            "columnar_skim",
+            "columnar_decode",
             "full_chain",
             "vault_put",
             "vault_get",
             "vault_scrub",
             "decode_streaming_speedup",
+            "columnar_skim_speedup",
         ] {
             assert!(json.contains(name), "missing {name} in:\n{json}");
         }
@@ -362,6 +477,67 @@ mod tests {
         assert_eq!(
             json.matches('[').count(),
             json.matches(']').count()
+        );
+    }
+
+    fn metric(name: &'static str, median: f64) -> Metric {
+        Metric {
+            name,
+            reps_ns: vec![median as u64 * 10],
+            median_ns_per_event: median,
+            events_per_sec: 1e9 / median,
+            peak_alloc_bytes: None,
+        }
+    }
+
+    fn report_with(metrics: Vec<Metric>) -> BenchReport {
+        BenchReport {
+            config: BenchConfig::default(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn write_report_flags_regressions_against_the_previous_point() {
+        let dir = std::env::temp_dir().join(format!("daspos-bench-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Trajectory point 1: the baseline.
+        let base = report_with(vec![metric("skim_streaming", 100.0), metric("vault_put", 50.0)]);
+        assert!(write_report(&base, &dir.join("BENCH_1.json")).unwrap().is_empty());
+        // Point 2: one metric regresses past the tolerance, one improves,
+        // and a brand-new metric has no baseline to regress against.
+        let next = report_with(vec![
+            metric("skim_streaming", 200.0),
+            metric("vault_put", 40.0),
+            metric("columnar_skim", 999.0),
+        ]);
+        let regressions = write_report(&next, &dir.join("BENCH_2.json")).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("skim_streaming"), "{regressions:?}");
+        assert!(regressions[0].contains("BENCH_1.json"), "{regressions:?}");
+        // The report was still written despite the regression.
+        assert!(dir.join("BENCH_2.json").exists());
+        // Point 3 compares against the highest-numbered sibling (point 2,
+        // where skim_streaming was already 200) — so no regression now.
+        let steady = report_with(vec![metric("skim_streaming", 210.0)]);
+        assert!(write_report(&steady, &dir.join("BENCH_3.json")).unwrap().is_empty());
+        // Within-tolerance slowdowns (< 25%) pass.
+        let noisy = report_with(vec![metric("skim_streaming", 110.0)]);
+        let _ = std::fs::remove_file(dir.join("BENCH_2.json"));
+        let _ = std::fs::remove_file(dir.join("BENCH_3.json"));
+        assert!(write_report(&noisy, &dir.join("BENCH_2.json")).unwrap().is_empty());
+        // Non-trajectory names skip the gate entirely.
+        assert!(write_report(&next, &dir.join("scratch.json")).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_medians_round_trips_the_renderer() {
+        let report = report_with(vec![metric("a", 12.5), metric("b", 3.0)]);
+        let parsed = parse_medians(&report.to_json());
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 12.5), ("b".to_string(), 3.0)]
         );
     }
 

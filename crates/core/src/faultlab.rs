@@ -30,6 +30,7 @@ use daspos_detsim::Experiment;
 use daspos_provenance::Platform;
 use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::{self, Encodable};
+use daspos_tiers::ColumnarFile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,11 +65,14 @@ pub enum ArtifactClass {
     /// scrub pass AND repaired byte-identically from the surviving
     /// replicas (or the mutation left the copy byte-identical).
     VaultReplica,
+    /// A columnar `DPCF` AOD tier file: the offset table, per-column
+    /// digests and independently framed columns are all in scope.
+    ColumnarTier,
 }
 
 impl ArtifactClass {
     /// Every class, in campaign order.
-    pub fn all() -> [ArtifactClass; 6] {
+    pub fn all() -> [ArtifactClass; 7] {
         [
             ArtifactClass::TierAod,
             ArtifactClass::TierRaw,
@@ -76,6 +80,7 @@ impl ArtifactClass {
             ArtifactClass::ConditionsText,
             ArtifactClass::ResultsText,
             ArtifactClass::VaultReplica,
+            ArtifactClass::ColumnarTier,
         ]
     }
 
@@ -88,6 +93,7 @@ impl ArtifactClass {
             ArtifactClass::ConditionsText => "conditions-text",
             ArtifactClass::ResultsText => "results-text",
             ArtifactClass::VaultReplica => "vault-replica",
+            ArtifactClass::ColumnarTier => "columnar-tier",
         }
     }
 
@@ -417,6 +423,11 @@ pub struct CampaignFixture {
     pub sealed_raw: Bytes,
     /// The RAW DPEF payload inside the seal.
     pub raw_payload: Bytes,
+    /// Columnar DPCF encoding of the same AOD events.
+    pub columnar_aod: Bytes,
+    /// The pristine AOD events (semantic reference for columnar
+    /// harmlessness checks).
+    pub aod_events: Vec<AodEvent>,
     /// The conditions snapshot text carried by the archive.
     pub conditions_text: String,
     /// The parsed snapshot (semantic reference for harmlessness checks).
@@ -434,7 +445,7 @@ pub struct CampaignFixture {
     vault_shapes: Vec<ArtifactShape>,
     /// Per-class artifact shapes, indexed by `ArtifactClass as usize` —
     /// computed once here instead of once per mutation.
-    shapes: [ArtifactShape; 6],
+    shapes: [ArtifactShape; 7],
     /// Splice template for checksum-preserving results forgeries.
     forge: ForgeTemplate,
 }
@@ -555,6 +566,8 @@ impl CampaignFixture {
         let results_text = archive.section_text(sections::RESULTS)?.to_string();
         let sealed_aod = codec::seal(&aod_payload);
         let sealed_raw = codec::seal(&raw_payload);
+        let columnar_aod = ColumnarFile::from_rows(&output.aod_events);
+        let col_shape = columnar_shape(&columnar_aod);
         let byte_shapes = [
             sealed_tier_shape(&sealed_aod),
             sealed_tier_shape(&sealed_raw),
@@ -566,20 +579,31 @@ impl CampaignFixture {
         // key order. Envelope shapes reuse the payload's structural
         // boundaries, shifted past the envelope header.
         let sources = [
-            ("archive.dpar", ObjectKind::Container, archive_bytes.clone(), ArtifactClass::Archive),
+            ("aod.dpcf", ObjectKind::ColumnarAod, columnar_aod.clone(), &col_shape),
+            (
+                "archive.dpar",
+                ObjectKind::Container,
+                archive_bytes.clone(),
+                &byte_shapes[ArtifactClass::Archive as usize],
+            ),
             (
                 "conditions.txt",
                 ObjectKind::ConditionsText,
                 Bytes::from(conditions_text.clone().into_bytes()),
-                ArtifactClass::ConditionsText,
+                &byte_shapes[ArtifactClass::ConditionsText as usize],
             ),
             (
                 "results.txt",
                 ObjectKind::Opaque,
                 Bytes::from(results_text.clone().into_bytes()),
-                ArtifactClass::ResultsText,
+                &byte_shapes[ArtifactClass::ResultsText as usize],
             ),
-            ("tier-aod.dpef", ObjectKind::SealedTier, sealed_aod.clone(), ArtifactClass::TierAod),
+            (
+                "tier-aod.dpef",
+                ObjectKind::SealedTier,
+                sealed_aod.clone(),
+                &byte_shapes[ArtifactClass::TierAod as usize],
+            ),
         ];
         let mut vault_objects = Vec::with_capacity(sources.len());
         let mut vault_envelopes = Vec::with_capacity(sources.len());
@@ -587,12 +611,7 @@ impl CampaignFixture {
         for (key, kind, payload, source) in sources {
             let envelope = encode_envelope(kind, &payload);
             let mut boundaries = vec![ENVELOPE_OVERHEAD];
-            boundaries.extend(
-                byte_shapes[source as usize]
-                    .boundaries
-                    .iter()
-                    .map(|b| b + ENVELOPE_OVERHEAD),
-            );
+            boundaries.extend(source.boundaries.iter().map(|b| b + ENVELOPE_OVERHEAD));
             boundaries.dedup();
             vault_shapes.push(ArtifactShape {
                 len: envelope.len(),
@@ -602,7 +621,7 @@ impl CampaignFixture {
             vault_objects.push((key.to_string(), kind, payload));
         }
         let [s0, s1, s2, s3, s4] = byte_shapes;
-        let shapes = [s0, s1, s2, s3, s4, vault_shapes[0].clone()];
+        let shapes = [s0, s1, s2, s3, s4, vault_shapes[0].clone(), col_shape];
         let forge = ForgeTemplate::build(&archive, &archive_bytes);
         Ok(CampaignFixture {
             workflow,
@@ -610,6 +629,8 @@ impl CampaignFixture {
             sealed_raw,
             aod_payload,
             raw_payload,
+            columnar_aod,
+            aod_events: output.aod_events,
             archive,
             archive_bytes,
             conditions_text,
@@ -635,6 +656,7 @@ impl CampaignFixture {
             ArtifactClass::ConditionsText => self.conditions_text.as_bytes(),
             ArtifactClass::ResultsText => self.results_text.as_bytes(),
             ArtifactClass::VaultReplica => &self.vault_envelopes[0],
+            ArtifactClass::ColumnarTier => &self.columnar_aod,
         }
     }
 
@@ -681,6 +703,35 @@ fn sealed_tier_shape(sealed: &Bytes) -> ArtifactShape {
     }
     ArtifactShape {
         len: sealed.len(),
+        boundaries,
+    }
+}
+
+/// Boundaries of a columnar DPCF file: every header field edge, every
+/// offset-table entry start, and every column frame start — so boundary
+/// truncations land exactly on the format's structural seams.
+fn columnar_shape(file: &Bytes) -> ArtifactShape {
+    // Header: magic(4) + version(2) + tier(1) + n_rows(4) + n_cols(1),
+    // then 10 table entries of col_id(1) + offset(4) + length(4) +
+    // digest(8), then the contiguous column frames.
+    let mut boundaries = vec![4, 6, 7, 11, 12];
+    let frames_base = 12 + 10 * 17;
+    for entry in 0..10usize {
+        let at = 12 + entry * 17;
+        boundaries.push(at);
+        let offset = u32::from_le_bytes([
+            file[at + 1],
+            file[at + 2],
+            file[at + 3],
+            file[at + 4],
+        ]) as usize;
+        boundaries.push(frames_base + offset);
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    boundaries.retain(|b| *b < file.len());
+    ArtifactShape {
+        len: file.len(),
         boundaries,
     }
 }
@@ -800,6 +851,30 @@ pub fn check_mutant(
                 "vault-replica class planned a non-vault mutation: {other}"
             )),
         },
+        ArtifactClass::ColumnarTier => check_columnar_tier(fixture, mutated),
+    }
+}
+
+fn check_columnar_tier(fixture: &CampaignFixture, mutated: &Bytes) -> Outcome {
+    // Robustness probe: the pushdown skim must not panic or over-allocate
+    // on the mutant, whatever its Ok/Err result — same contract as the
+    // raw decoder probe on sealed tiers.
+    let _ = daspos_tiers::skim_slim_columnar(
+        mutated,
+        &fixture.workflow.skim,
+        &fixture.workflow.slim,
+        None,
+    );
+    let parsed = match ColumnarFile::parse(mutated) {
+        Err(e) => return Outcome::Detected(format!("columnar:{}", e.category().name())),
+        Ok(f) => f,
+    };
+    match parsed.to_rows() {
+        Err(e) => Outcome::Detected(format!("columnar:{}", e.category().name())),
+        Ok(rows) if rows == fixture.aod_events => Outcome::Harmless,
+        Ok(_) => Outcome::Violation(
+            "mutated columnar file decoded into different events".to_string(),
+        ),
     }
 }
 
@@ -1301,7 +1376,7 @@ mod tests {
         let cfg = small_config();
         let report = run_campaign(&cfg).expect("campaign runs");
         assert!(report.passed(), "{}", report.to_text());
-        assert_eq!(report.total_mutations(), 12 * 6);
+        assert_eq!(report.total_mutations(), 12 * 7);
         assert_eq!(
             report.total_detected() + report.total_harmless(),
             report.total_mutations()
@@ -1425,6 +1500,32 @@ mod tests {
         assert_eq!(
             cond.boundaries.len(),
             fixture.conditions_text.lines().count()
+        );
+        // Columnar shape: header edges, all 10 table entries, and the
+        // frame starts (first frame begins right after the table).
+        let col = fixture.shape(ArtifactClass::ColumnarTier);
+        assert_eq!(col.len, fixture.columnar_aod.len());
+        assert_eq!(col.boundaries[0], 4);
+        assert!(col.boundaries.contains(&(12 + 10 * 17)), "{:?}", col.boundaries);
+    }
+
+    #[test]
+    fn columnar_campaign_attacks_only_the_new_class() {
+        let cfg = small_config();
+        let report =
+            run_campaign_for(&cfg, &[ArtifactClass::ColumnarTier], &Obs::disabled()).unwrap();
+        assert!(report.passed(), "{}", report.to_text());
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].class, ArtifactClass::ColumnarTier);
+        assert_eq!(report.total_mutations(), cfg.mutations_per_class);
+        // The per-column digests must really be doing the catching.
+        assert!(
+            report.classes[0]
+                .detections_by_layer
+                .keys()
+                .any(|k| k.starts_with("columnar:")),
+            "{:?}",
+            report.classes[0].detections_by_layer
         );
     }
 }

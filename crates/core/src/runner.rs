@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crossbeam::channel;
 use daspos_obs::{Collector, MetricsRegistry, Obs, Span, Tracer};
+use daspos_tiers::TierFormat;
 
 /// How a workflow executes: thread count plus observability. Built
 /// fluently and passed to `Workflow::execute(ctx, &opts)`:
@@ -34,6 +35,10 @@ pub struct ExecOptions {
     threads: usize,
     /// Span tracer + metrics registry (disabled by default — zero cost).
     pub obs: Obs,
+    /// Physical layout of the AOD and skim tier files
+    /// ([`TierFormat::Row`] by default — the archival baseline every
+    /// existing artifact and the golden corpus are encoded in).
+    pub tier_format: TierFormat,
 }
 
 impl Default for ExecOptions {
@@ -52,6 +57,7 @@ impl ExecOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             obs: Obs::disabled(),
+            tier_format: TierFormat::Row,
         }
     }
 
@@ -60,6 +66,7 @@ impl ExecOptions {
         ExecOptions {
             threads: 1,
             obs: Obs::disabled(),
+            tier_format: TierFormat::Row,
         }
     }
 
@@ -84,6 +91,12 @@ impl ExecOptions {
     /// Replace the whole observability bundle.
     pub fn with_obs(mut self, obs: Obs) -> ExecOptions {
         self.obs = obs;
+        self
+    }
+
+    /// Choose the physical tier layout (row DPEF or columnar DPCF).
+    pub fn tier_format(mut self, format: TierFormat) -> ExecOptions {
+        self.tier_format = format;
         self
     }
 
@@ -341,6 +354,11 @@ mod tests {
         assert_eq!(ExecOptions::new().threads(6).thread_count(), 6);
         assert!(ExecOptions::new().thread_count() >= 1);
         assert!(!ExecOptions::new().obs.tracer.enabled());
+        assert_eq!(ExecOptions::default().tier_format, TierFormat::Row);
+        assert_eq!(
+            ExecOptions::new().tier_format(TierFormat::Columnar).tier_format,
+            TierFormat::Columnar
+        );
     }
 
     #[test]

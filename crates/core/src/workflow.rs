@@ -29,7 +29,10 @@ use daspos_obs::{MetricsRegistry, SpanRecord, Stage};
 use crate::error::{Error, ErrorKind};
 use crate::runner::ExecOptions;
 use daspos_tiers::codec::Encodable;
-use daspos_tiers::{DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec};
+use daspos_tiers::{
+    ColumnarFile, DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec,
+    TierFormat,
+};
 
 /// The declarative description of one full production + analysis chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -357,7 +360,10 @@ impl PreservedWorkflow {
         enc_raw.field("bytes", raw_bytes);
         enc_raw.finish();
         let mut enc_aod = root.child("encode/aod");
-        let aod_file = AodEvent::encode_events_parallel(&aod_events, threads);
+        let aod_file = match opts.tier_format {
+            TierFormat::Row => AodEvent::encode_events_parallel(&aod_events, threads),
+            TierFormat::Columnar => ColumnarFile::from_rows(&aod_events),
+        };
         let aod_bytes = aod_file.len() as u64;
         let aod_ds = ctx
             .catalog
@@ -381,9 +387,22 @@ impl PreservedWorkflow {
         // skimmed Vec<AodEvent>. Multi-threaded runs keep the chunked
         // batch skim. Both produce byte-identical skim files and
         // identical reports/ntuples (asserted by tests), so the engine
-        // choice never changes the archived output.
+        // choice never changes the archived output. Columnar runs use
+        // the predicate-pushdown pass over the DPCF file instead — same
+        // surviving events, column-major bytes.
         let mut skim_span = root.child("skim");
-        let (skim_file, skim_report, ntuple) = if threads <= 1 {
+        let (skim_file, skim_report, ntuple) = if opts.tier_format == TierFormat::Columnar {
+            let mut ntuple = Ntuple::empty(self.ntuple_schema.clone());
+            let (skim_file, skim_report) = daspos_tiers::skim_slim_columnar_with(
+                &aod_file,
+                &self.skim,
+                &self.slim,
+                metrics,
+                |ev| ntuple.append(ev),
+            )
+            .map_err(|e| Error::from(e).at(Stage::Skim))?;
+            (skim_file, skim_report, ntuple)
+        } else if threads <= 1 {
             let mut ntuple = Ntuple::empty(self.ntuple_schema.clone());
             let (skim_file, skim_report) = daspos_tiers::skim::skim_slim_streaming_observed(
                 &aod_file,
@@ -782,6 +801,40 @@ mod tests {
             .as_scalar()
             .unwrap();
         assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn columnar_execution_matches_row_execution() {
+        use daspos_obs::MetricsRegistry;
+        for wf in [
+            PreservedWorkflow::standard_z(Experiment::Cms, 17, 60),
+            PreservedWorkflow::standard_charm(9, 120),
+        ] {
+            let row = wf
+                .execute(&ExecutionContext::fresh(&wf), &ExecOptions::sequential())
+                .unwrap();
+            let registry = Arc::new(MetricsRegistry::default());
+            let col = wf
+                .execute(
+                    &ExecutionContext::fresh(&wf),
+                    &ExecOptions::sequential()
+                        .tier_format(TierFormat::Columnar)
+                        .metrics(Arc::clone(&registry)),
+                )
+                .unwrap();
+            // Same physics out of both layouts: events kept, ntuple rows,
+            // analysis histograms — only the tier bytes may differ.
+            assert_eq!(col.skim_report.events_in, row.skim_report.events_in);
+            assert_eq!(col.skim_report.events_out, row.skim_report.events_out);
+            assert_eq!(col.ntuple, row.ntuple);
+            assert_eq!(col.results_to_text(), row.results_to_text());
+            assert_eq!(col.aod_events, row.aod_events);
+            let snap = registry.snapshot();
+            let read = snap.counter("tier.columnar.cols_read");
+            let skipped = snap.counter("tier.columnar.cols_skipped");
+            assert_eq!(read + skipped, 10, "pushdown counters cover all columns");
+            assert!(skipped > 0, "a slimmed skim must skip some columns");
+        }
     }
 
     #[test]

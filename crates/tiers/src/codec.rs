@@ -188,6 +188,7 @@ pub fn unseal(data: &Bytes) -> Result<Bytes, CodecError> {
     Ok(b)
 }
 
+#[inline]
 fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     if buf.remaining() < n {
         Err(CodecError::UnexpectedEof)
@@ -196,37 +197,46 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     }
 }
 
+#[inline]
 fn get_u8(b: &mut impl Buf) -> Result<u8, CodecError> {
     need(b, 1)?;
     Ok(b.get_u8())
 }
+#[inline]
 fn get_i8(b: &mut impl Buf) -> Result<i8, CodecError> {
     need(b, 1)?;
     Ok(b.get_i8())
 }
+#[inline]
 fn get_u16(b: &mut impl Buf) -> Result<u16, CodecError> {
     need(b, 2)?;
     Ok(b.get_u16_le())
 }
+#[inline]
 fn get_u32(b: &mut impl Buf) -> Result<u32, CodecError> {
     need(b, 4)?;
     Ok(b.get_u32_le())
 }
+#[inline]
 fn get_i32(b: &mut impl Buf) -> Result<i32, CodecError> {
     need(b, 4)?;
     Ok(b.get_i32_le())
 }
+#[inline]
 fn get_u64(b: &mut impl Buf) -> Result<u64, CodecError> {
     need(b, 8)?;
     Ok(b.get_u64_le())
 }
+#[inline]
 fn get_f64(b: &mut impl Buf) -> Result<f64, CodecError> {
     need(b, 8)?;
     Ok(b.get_f64_le())
 }
 
 /// Counts are sanity-limited so a corrupt length cannot allocate the moon.
-const MAX_COUNT: u32 = 10_000_000;
+/// Shared with the columnar codec, whose row and entry counts obey the
+/// same bound.
+pub(crate) const MAX_COUNT: u32 = 10_000_000;
 
 fn get_count(b: &mut impl Buf) -> Result<u32, CodecError> {
     let n = get_u32(b)?;
@@ -646,27 +656,23 @@ fn put_file_header(buf: &mut BytesMut, tier: DataTier, version: u16, n_events: u
     buf.put_u32_le(n);
 }
 
-/// Frame one event: length prefix + payload. The caller owns `payload`,
-/// a scratch buffer reused across events so a long encode performs no
-/// per-event allocation once it has grown to the largest payload seen.
-/// Panics (rather than writing a silently truncated length) if a payload
-/// exceeds the u32 frame field.
-fn put_frame<T>(
-    buf: &mut BytesMut,
-    payload: &mut BytesMut,
-    ev: &T,
-    put: &impl Fn(&mut BytesMut, &T),
-) {
-    payload.clear();
-    put(payload, ev);
-    let len = u32::try_from(payload.len()).unwrap_or_else(|_| {
-        panic!(
-            "event payload of {} bytes exceeds the u32 DPEF frame field",
-            payload.len()
-        )
+/// Frame one event: length prefix + payload, encoded directly into
+/// `buf`. A placeholder length is written first and backpatched once the
+/// payload is down, so every event byte is produced exactly once — the
+/// scratch-buffer-then-copy of the previous framing cost a second pass
+/// over the full payload on the hot encode path. Panics (rather than
+/// writing a silently truncated length) if a payload exceeds the u32
+/// frame field.
+#[inline]
+fn put_frame<T>(buf: &mut BytesMut, ev: &T, put: &impl Fn(&mut BytesMut, &T)) {
+    let len_pos = buf.len();
+    buf.put_u32_le(0);
+    put(buf, ev);
+    let payload_len = buf.len() - len_pos - 4;
+    let len = u32::try_from(payload_len).unwrap_or_else(|_| {
+        panic!("event payload of {payload_len} bytes exceeds the u32 DPEF frame field")
     });
-    buf.put_u32_le(len);
-    buf.put_slice(payload);
+    buf[len_pos..len_pos + 4].copy_from_slice(&len.to_le_bytes());
 }
 
 fn encode_file_versioned<T>(
@@ -676,10 +682,9 @@ fn encode_file_versioned<T>(
     version: u16,
 ) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + events.len() * 256);
-    let mut payload = BytesMut::new();
     put_file_header(&mut buf, tier, version, events.len());
     for ev in events {
-        put_frame(&mut buf, &mut payload, ev, &put);
+        put_frame(&mut buf, ev, &put);
     }
     buf.freeze()
 }
@@ -705,9 +710,8 @@ where
     }
     let chunks = crate::par::map_chunks(events, threads, |part| {
         let mut buf = BytesMut::with_capacity(part.len() * 256);
-        let mut payload = BytesMut::new();
         for ev in part {
-            put_frame(&mut buf, &mut payload, ev, &put);
+            put_frame(&mut buf, ev, &put);
         }
         buf
     });
@@ -904,7 +908,6 @@ impl<T: Encodable> EventReader<T> {
 /// survivors without first materializing them in a vector.
 pub struct EventWriter<T: Encodable> {
     body: BytesMut,
-    payload: BytesMut,
     n_events: usize,
     meter: Option<(daspos_obs::Gauge, daspos_obs::Gauge)>,
     _marker: std::marker::PhantomData<T>,
@@ -915,10 +918,21 @@ impl<T: Encodable> EventWriter<T> {
     pub fn new() -> EventWriter<T> {
         EventWriter {
             body: BytesMut::new(),
-            payload: BytesMut::new(),
             n_events: 0,
             meter: None,
             _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// An empty writer whose body buffer is pre-sized for `bytes` of
+    /// framed payload. Writers on a skim hot path pass the input file
+    /// size (the output can never exceed it), trading one allocation
+    /// for the ~20 doubling reallocs a multi-MB body would otherwise
+    /// copy through.
+    pub fn with_capacity(bytes: usize) -> EventWriter<T> {
+        EventWriter {
+            body: BytesMut::with_capacity(bytes),
+            ..EventWriter::new()
         }
     }
 
@@ -937,7 +951,7 @@ impl<T: Encodable> EventWriter<T> {
     /// Frame one event.
     pub fn push(&mut self, ev: &T) {
         let before = self.body.len();
-        put_frame(&mut self.body, &mut self.payload, ev, &T::put);
+        put_frame(&mut self.body, ev, &T::put);
         self.n_events += 1;
         if let Some((events, bytes)) = &self.meter {
             events.add(1);

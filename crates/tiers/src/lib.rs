@@ -22,6 +22,7 @@
 //!   by per-analysis column specs.
 
 pub mod codec;
+pub mod colnar;
 pub mod dataset;
 pub mod ntuple;
 pub mod par;
@@ -29,6 +30,7 @@ pub mod skim;
 pub mod tier;
 
 pub use codec::{CodecError, FORMAT_VERSION};
+pub use colnar::{skim_slim_columnar, skim_slim_columnar_with, ColumnarFile, TierFormat};
 pub use dataset::{Dataset, DatasetCatalog, DatasetMeta};
 pub use ntuple::{ColumnSpec, Ntuple, NtupleSchema};
 pub use skim::{Selection, SkimReport, SlimSpec};

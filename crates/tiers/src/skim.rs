@@ -557,7 +557,8 @@ pub fn skim_slim_streaming_observed(
     mut on_survivor: impl FnMut(&AodEvent),
 ) -> Result<(Bytes, SkimReport), CodecError> {
     let mut reader = EventReader::<AodEvent>::new(aod_file)?;
-    let mut writer = EventWriter::<AodEvent>::new();
+    // Slimming only drops bytes, so the input size bounds the output.
+    let mut writer = EventWriter::<AodEvent>::with_capacity(aod_file.len());
     if let Some(registry) = registry {
         reader = reader.with_metrics(registry);
         writer = writer.with_metrics(registry);

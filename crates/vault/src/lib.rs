@@ -46,8 +46,8 @@ pub mod vault;
 pub use backend::{validate_key, DirBackend, MemoryBackend, StorageBackend, StorageError};
 pub use flaky::{FlakyBackend, FlakyConfig};
 pub use object::{
-    decode_envelope, encode_envelope, envelope_digest, ConditionsVerifier, EnvelopeError,
-    ObjectKind, SealedTierVerifier, Verifier, ENVELOPE_MAGIC, ENVELOPE_OVERHEAD,
+    decode_envelope, encode_envelope, envelope_digest, ColumnarVerifier, ConditionsVerifier,
+    EnvelopeError, ObjectKind, SealedTierVerifier, Verifier, ENVELOPE_MAGIC, ENVELOPE_OVERHEAD,
     ENVELOPE_VERSION,
 };
 pub use policy::RetryPolicy;

@@ -45,15 +45,18 @@ pub enum ObjectKind {
     Container = 2,
     /// A conditions snapshot in its canonical text form.
     ConditionsText = 3,
+    /// A columnar `DPCF` AOD tier file with per-column digests.
+    ColumnarAod = 4,
 }
 
 impl ObjectKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [ObjectKind; 4] = [
+    pub const ALL: [ObjectKind; 5] = [
         ObjectKind::Opaque,
         ObjectKind::SealedTier,
         ObjectKind::Container,
         ObjectKind::ConditionsText,
+        ObjectKind::ColumnarAod,
     ];
 
     /// The wire discriminant.
@@ -68,6 +71,7 @@ impl ObjectKind {
             1 => Some(ObjectKind::SealedTier),
             2 => Some(ObjectKind::Container),
             3 => Some(ObjectKind::ConditionsText),
+            4 => Some(ObjectKind::ColumnarAod),
             _ => None,
         }
     }
@@ -79,6 +83,7 @@ impl ObjectKind {
             ObjectKind::SealedTier => "sealed-tier",
             ObjectKind::Container => "container",
             ObjectKind::ConditionsText => "conditions",
+            ObjectKind::ColumnarAod => "columnar-aod",
         }
     }
 
@@ -96,6 +101,8 @@ impl ObjectKind {
             ObjectKind::Container
         } else if payload.starts_with(b"# daspos-conditions") {
             ObjectKind::ConditionsText
+        } else if payload.starts_with(daspos_tiers::colnar::COLUMNAR_MAGIC) {
+            ObjectKind::ColumnarAod
         } else {
             ObjectKind::Opaque
         }
@@ -237,6 +244,23 @@ impl Verifier for ConditionsVerifier {
     }
 }
 
+/// Deep verifier for [`ObjectKind::ColumnarAod`]: the payload must parse
+/// as a DPCF file and every per-column digest must match its frame.
+pub struct ColumnarVerifier;
+
+impl Verifier for ColumnarVerifier {
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::ColumnarAod
+    }
+
+    fn verify(&self, payload: &Bytes) -> Result<(), String> {
+        let file = daspos_tiers::ColumnarFile::parse(payload)
+            .map_err(|e| format!("columnar file does not parse: {e}"))?;
+        file.verify()
+            .map_err(|e| format!("columnar digest verification failed: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +336,22 @@ mod tests {
         assert_eq!(ObjectKind::sniff(&sealed), ObjectKind::SealedTier);
         assert_eq!(ObjectKind::sniff(b"DPAR\x02..."), ObjectKind::Container);
         assert_eq!(ObjectKind::sniff(b"random junk"), ObjectKind::Opaque);
+    }
+
+    #[test]
+    fn columnar_verifier_accepts_pristine_and_rejects_rot() {
+        let file = daspos_tiers::ColumnarFile::from_rows(&[]);
+        assert_eq!(ObjectKind::sniff(&file), ObjectKind::ColumnarAod);
+        let v = ColumnarVerifier;
+        v.verify(&file).unwrap();
+        for offset in 0..file.len() {
+            let mut bad = file.to_vec();
+            bad[offset] ^= 0x10;
+            assert!(
+                v.verify(&Bytes::from(bad)).is_err(),
+                "flip at {offset} must not verify"
+            );
+        }
     }
 
     #[test]

@@ -26,8 +26,8 @@ use daspos_obs::Obs;
 
 use crate::backend::{StorageBackend, StorageError};
 use crate::object::{
-    decode_envelope, encode_envelope, ConditionsVerifier, ObjectKind, SealedTierVerifier,
-    Verifier,
+    decode_envelope, encode_envelope, ColumnarVerifier, ConditionsVerifier, ObjectKind,
+    SealedTierVerifier, Verifier,
 };
 use crate::policy::RetryPolicy;
 
@@ -94,6 +94,7 @@ impl VaultBuilder {
         let mut verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>> = BTreeMap::new();
         verifiers.insert(ObjectKind::SealedTier, Arc::new(SealedTierVerifier));
         verifiers.insert(ObjectKind::ConditionsText, Arc::new(ConditionsVerifier));
+        verifiers.insert(ObjectKind::ColumnarAod, Arc::new(ColumnarVerifier));
         VaultBuilder {
             replicas: Vec::new(),
             policy: RetryPolicy::default(),

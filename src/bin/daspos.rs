@@ -121,22 +121,29 @@ USAGE:
   daspos migrate  <file.dpar> --out <file.dpar>
         rebuild the archived software stack for the successor platform
   daspos trace    [--experiment <name>] [--process <name>] [--events N]
-                  [--seed N] [--threads N] [--out <file.jsonl>]
+                  [--seed N] [--threads N] [--tier-format <row|columnar>]
+                  [--out <file.jsonl>]
         run the full chain with observability on: per-stage spans, chain
         counters, a summary table on stdout and a deterministic JSONL
         trace (timestamp-stripped, byte-stable for a fixed seed at any
-        thread count; default trace.jsonl)
+        thread count; default trace.jsonl; --tier-format columnar runs
+        the predicate-pushdown DPCF skim and reports
+        tier.columnar.cols_read/cols_skipped)
   daspos faultlab [--seed N] [--mutations N] [--events N]
-                  [--replay <class>:<index>] [--trace-out <file.jsonl>]
+                  [--classes <a,b,...>] [--replay <class>:<index>]
+                  [--trace-out <file.jsonl>]
         run a deterministic fault-injection campaign over every artifact
-        class (sealed tiers, archive container, conditions and results
-        text) and assert each mutation is detected or harmless;
+        class (sealed tiers, columnar tier, archive container, conditions
+        and results text, vault replicas) and assert each mutation is
+        detected or harmless; --classes restricts the campaign to a
+        comma-separated subset (e.g. --classes columnar-tier);
         --replay re-runs one mutation by its campaign coordinates
   daspos vault    put <file> --store <dir> [--key <name>] [--kind <kind>]
                   [--replicas N]
         copy a file into an N-replica preservation vault (default 3
         replicas under <dir>/replica-K); the kind (opaque, sealed-tier,
-        container, conditions) is sniffed from the payload unless given
+        container, conditions, columnar-aod) is sniffed from the payload
+        unless given
   daspos vault    get <key> --store <dir> --out <file>
         checksum-verified read: returns the first replica copy that
         passes integrity checks, healing damaged copies in passing
@@ -151,11 +158,13 @@ USAGE:
   daspos vault    verify --store <dir>
         like scrub but read-only: report damage without repairing
   daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
-                  [--out <file.json>]
-        time decode / seal-verify / skim (batch and streaming), the
-        full chain, and vault put/get/scrub over a fixture workflow;
-        writes a JSON report (default BENCH_3.json; build with
-        --features bench-alloc for peak-allocation figures)
+                  [--out <file.json>] [--allow-regression]
+        time decode / seal-verify / skim (batch, streaming and columnar),
+        the full chain, and vault put/get/scrub over a fixture workflow;
+        writes a JSON report (default BENCH_6.json) and exits 2 if any
+        metric regressed >25% versus the previous BENCH_*.json unless
+        --allow-regression is passed (the bench-alloc counting allocator
+        is on by default, so peak-allocation figures are reported)
   daspos table1
         print the Table 1 outreach feature matrix
   daspos maturity
@@ -312,6 +321,12 @@ fn cmd_trace(args: &[String]) -> CliResult {
     if let Some(threads) = flag(args, "--threads") {
         opts = opts.threads(threads.parse().map_err(|_| "bad --threads")?);
     }
+    if let Some(format) = flag(args, "--tier-format") {
+        let format = daspos_tiers::TierFormat::parse(&format).ok_or_else(|| {
+            CliError::usage(format!("unknown tier format '{format}' (row or columnar)"))
+        })?;
+        opts = opts.tier_format(format);
+    }
 
     eprintln!(
         "tracing {} {} events on {} (seed {seed}, {} threads)…",
@@ -435,6 +450,29 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
         cfg.events = e.parse().map_err(|_| "bad --events")?;
     }
 
+    let classes: Vec<ArtifactClass> = match flag(args, "--classes") {
+        Some(spec) => {
+            let parsed: Vec<ArtifactClass> = spec
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|name| {
+                    ArtifactClass::parse(name).ok_or_else(|| {
+                        CliError::usage(format!(
+                            "unknown class '{name}' (one of: {})",
+                            ArtifactClass::all().map(|c| c.name()).join(", ")
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if parsed.is_empty() {
+                return Err(CliError::usage("--classes wants at least one class name"));
+            }
+            parsed
+        }
+        None => ArtifactClass::all().to_vec(),
+    };
+
     if let Some(coords) = flag(args, "--replay") {
         let (class_name, index) = coords
             .split_once(':')
@@ -468,7 +506,7 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
     eprintln!(
         "faultlab: injecting {} mutations x {} classes (seed {})…",
         cfg.mutations_per_class,
-        ArtifactClass::all().len(),
+        classes.len(),
         cfg.master_seed
     );
     let trace_out = flag(args, "--trace-out");
@@ -484,7 +522,7 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
         }
         None => Obs::disabled(),
     };
-    let report = faultlab::run_campaign_with(&cfg, &obs).map_err(|e| e.to_string())?;
+    let report = faultlab::run_campaign_for(&cfg, &classes, &obs).map_err(|e| e.to_string())?;
     print!("{}", report.to_text());
     if let (Some(path), Some((collector, registry))) = (trace_out, trace) {
         write_trace(&path, &collector.sorted_records(), &registry.snapshot())?;
@@ -515,7 +553,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(s) = flag(args, "--seed") {
         cfg.seed = s.parse().map_err(|_| "bad --seed")?;
     }
-    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_3.json".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
 
     eprintln!(
         "bench: {} events x {} reps (threads {}, seed {})…",
@@ -538,9 +576,29 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(s) = report.speedup("skim_streaming", "skim_batch") {
         println!("  streaming skim speedup over batch:   {s:.2}x");
     }
-    std::fs::write(&out, report.to_json())
-        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+    if let Some(s) = report.speedup("columnar_skim", "skim_streaming") {
+        println!("  columnar skim speedup over streaming: {s:.2}x");
+    }
+    let regressions = bench::write_report(&report, std::path::Path::new(&out))
+        .map_err(|e| e.to_string())?;
     println!("wrote {out}");
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("  REGRESSION {r}");
+        }
+        if args.iter().any(|a| a == "--allow-regression") {
+            eprintln!(
+                "  {} regression(s) accepted by --allow-regression",
+                regressions.len()
+            );
+        } else {
+            return Err(CliError::Usage(format!(
+                "{} metric(s) regressed >25% versus the previous BENCH_*.json \
+                 (pass --allow-regression to accept)",
+                regressions.len()
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -622,7 +680,8 @@ fn vault_put(args: &[String]) -> CliResult {
     let kind = match flag(args, "--kind") {
         Some(name) => ObjectKind::parse(&name).ok_or_else(|| {
             CliError::usage(format!(
-                "unknown kind '{name}' (one of: opaque, sealed-tier, container, conditions)"
+                "unknown kind '{name}' (one of: opaque, sealed-tier, container, \
+                 conditions, columnar-aod)"
             ))
         })?,
         None => ObjectKind::sniff(&payload),

@@ -65,6 +65,8 @@ fn bench_subcommand_writes_positive_metrics() {
         "seal_verify",
         "skim_batch",
         "skim_streaming",
+        "columnar_skim",
+        "columnar_decode",
         "full_chain",
         "vault_put",
         "vault_get",
@@ -78,4 +80,16 @@ fn bench_subcommand_writes_positive_metrics() {
             );
         }
     }
+
+    // The counting allocator must actually be installed in the CLI
+    // build: if every metric reports a null peak, the bench-alloc
+    // feature has fallen out of the binary's feature graph again
+    // (that's how BENCH_5 went blind).
+    assert!(
+        json.contains("\"peak_alloc_bytes\": ") && !json.lines()
+            .filter(|l| l.contains("\"peak_alloc_bytes\""))
+            .all(|l| l.contains("\"peak_alloc_bytes\": null")),
+        "every peak_alloc_bytes is null — the bench-alloc counting \
+         allocator is not wired into the daspos-cli build:\n{json}"
+    );
 }

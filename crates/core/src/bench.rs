@@ -63,10 +63,15 @@ pub struct Metric {
     pub name: &'static str,
     /// Wall time of each timed rep, nanoseconds.
     pub reps_ns: Vec<u64>,
-    /// Median rep time divided by the event count.
+    /// Median rep time divided by the event count. For the serve
+    /// metrics this is the median across reps of each rep's per-op p50.
     pub median_ns_per_event: f64,
     /// Event throughput implied by the median rep.
     pub events_per_sec: f64,
+    /// Tail latency: median across reps of each rep's per-op p99.
+    /// `None` for throughput metrics, where reps are one homogeneous
+    /// pass and a p99 would not mean anything.
+    pub p99_ns_per_event: Option<f64>,
     /// Peak bytes allocated above the baseline during the timed reps;
     /// `None` unless built with the `bench-alloc` feature.
     pub peak_alloc_bytes: Option<u64>,
@@ -110,11 +115,16 @@ impl BenchReport {
                 Some(v) => v.to_string(),
                 None => "null".to_string(),
             };
+            let p99 = match m.p99_ns_per_event {
+                Some(v) => format!("{v:.2}"),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"reps_ns\": [{}], \"median_ns_per_event\": {:.2}, \"events_per_sec\": {:.1}, \"peak_alloc_bytes\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"reps_ns\": [{}], \"median_ns_per_event\": {:.2}, \"p99_ns_per_event\": {}, \"events_per_sec\": {:.1}, \"peak_alloc_bytes\": {}}}{}\n",
                 m.name,
                 reps.join(", "),
                 m.median_ns_per_event,
+                p99,
                 m.events_per_sec,
                 peak,
                 if i + 1 < self.metrics.len() { "," } else { "" }
@@ -236,6 +246,83 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         assert!(report.clean(), "scrub must repair the seeded damage");
         black_box(report.repaired);
     }));
+
+    // Serve metrics: an in-process preservation server on an ephemeral
+    // loopback port, driven through the framed protocol client. These
+    // are per-op latencies (p50 as the gated median, p99 as the tail),
+    // not per-event throughput like the metrics above.
+    {
+        use daspos_obs::Obs;
+        use daspos_serve::{expect_ok, loadgen, LoadgenConfig, OpStats};
+        use daspos_serve::{ServeClient, ServeConfig, Server, Service};
+
+        let serve_vault = Vault::builder()
+            .replica(Arc::new(MemoryBackend::new()))
+            .replica(Arc::new(MemoryBackend::new()))
+            .build()?;
+        let service = Arc::new(Service::new(serve_vault, &ServeConfig::default(), Obs::disabled()));
+        let server = Server::start(service.clone(), "127.0.0.1:0", std::time::Duration::ZERO)?;
+        let addr = server.addr().to_string();
+        let serve_payload = Bytes::from(vec![0xA5u8; 4096]);
+        const SERVE_OPS: usize = 64;
+
+        metrics.push(measure_percentiles("serve_put", cfg.reps, || {
+            let mut client =
+                ServeClient::connect(&addr, "bench").expect("bench client connects");
+            let lat: Vec<u64> = (0..SERVE_OPS)
+                .map(|i| {
+                    let key = format!("bench-{i:03}.bin");
+                    let t = Instant::now();
+                    expect_ok(
+                        client
+                            .put(&key, ObjectKind::Opaque, &serve_payload)
+                            .expect("serve put sends"),
+                    )
+                    .expect("serve put is accepted");
+                    t.elapsed().as_nanos() as u64
+                })
+                .collect();
+            let st = OpStats::from_latencies(lat);
+            (st.p50_ns, st.p99_ns)
+        }));
+        metrics.push(measure_percentiles("serve_get", cfg.reps, || {
+            let mut client =
+                ServeClient::connect(&addr, "bench").expect("bench client connects");
+            let lat: Vec<u64> = (0..SERVE_OPS)
+                .map(|i| {
+                    let key = format!("bench-{i:03}.bin");
+                    let t = Instant::now();
+                    let resp = expect_ok(client.get(&key).expect("serve get sends"))
+                        .expect("serve get finds the bench object");
+                    black_box(resp.payload.len());
+                    t.elapsed().as_nanos() as u64
+                })
+                .collect();
+            let st = OpStats::from_latencies(lat);
+            (st.p50_ns, st.p99_ns)
+        }));
+        metrics.push(measure_percentiles("serve_mixed", cfg.reps, || {
+            let lg = LoadgenConfig {
+                addr: addr.clone(),
+                clients: 4,
+                ops_per_client: 16,
+                tenants: 2,
+                seed: cfg.seed,
+                payload_bytes: 512,
+                ..LoadgenConfig::default()
+            };
+            let report = loadgen::run(&lg);
+            assert!(
+                report.ok(),
+                "serve_mixed campaign must deep-verify: {}",
+                report.to_text()
+            );
+            (report.mixed.p50_ns, report.mixed.p99_ns)
+        }));
+
+        service.request_shutdown();
+        server.join();
+    }
 
     Ok(BenchReport {
         config: cfg.clone(),
@@ -365,6 +452,48 @@ fn measure(name: &'static str, reps: usize, events: u64, mut f: impl FnMut()) ->
         reps_ns,
         median_ns_per_event,
         events_per_sec,
+        p99_ns_per_event: None,
+        peak_alloc_bytes,
+    }
+}
+
+/// Like [`measure`] but for per-op service latencies: `f` runs one rep
+/// worth of ops and reports that rep's `(p50, p99)` nanoseconds per op.
+/// The metric's gated `median_ns_per_event` is the median across reps of
+/// the p50s; `p99_ns_per_event` is the median of the p99s.
+fn measure_percentiles(
+    name: &'static str,
+    reps: usize,
+    mut f: impl FnMut() -> (u64, u64),
+) -> Metric {
+    // One untimed warm-up pass.
+    f();
+    #[cfg(feature = "bench-alloc")]
+    alloc_counter::reset();
+    let mut reps_ns = Vec::with_capacity(reps.max(1));
+    let mut p50s = Vec::with_capacity(reps.max(1));
+    let mut p99s = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let (p50, p99) = f();
+        reps_ns.push(t.elapsed().as_nanos() as u64);
+        p50s.push(p50);
+        p99s.push(p99);
+    }
+    #[cfg(feature = "bench-alloc")]
+    let peak_alloc_bytes = Some(alloc_counter::peak_since_reset());
+    #[cfg(not(feature = "bench-alloc"))]
+    let peak_alloc_bytes = None;
+    p50s.sort_unstable();
+    p99s.sort_unstable();
+    let p50 = p50s[p50s.len() / 2];
+    let p99 = p99s[p99s.len() / 2];
+    Metric {
+        name,
+        reps_ns,
+        median_ns_per_event: p50 as f64,
+        events_per_sec: if p50 == 0 { 0.0 } else { 1e9 / p50 as f64 },
+        p99_ns_per_event: Some(p99 as f64),
         peak_alloc_bytes,
     }
 }
@@ -444,7 +573,7 @@ mod tests {
             seed: 7,
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 11);
+        assert_eq!(report.metrics.len(), 14);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
@@ -464,11 +593,22 @@ mod tests {
             "vault_put",
             "vault_get",
             "vault_scrub",
+            "serve_put",
+            "serve_get",
+            "serve_mixed",
             "decode_streaming_speedup",
             "columnar_skim_speedup",
         ] {
             assert!(json.contains(name), "missing {name} in:\n{json}");
         }
+        // The serve metrics carry tail latency; the throughput metrics
+        // do not.
+        for name in ["serve_put", "serve_get", "serve_mixed"] {
+            let m = report.metric(name).expect(name);
+            assert!(m.p99_ns_per_event.is_some(), "{name} must report a p99");
+            assert!(m.p99_ns_per_event.unwrap() >= m.median_ns_per_event, "{name}");
+        }
+        assert!(report.metric("vault_put").unwrap().p99_ns_per_event.is_none());
         // Balanced braces/brackets — the document is at least well-formed.
         assert_eq!(
             json.matches('{').count(),
@@ -486,6 +626,7 @@ mod tests {
             reps_ns: vec![median as u64 * 10],
             median_ns_per_event: median,
             events_per_sec: 1e9 / median,
+            p99_ns_per_event: None,
             peak_alloc_bytes: None,
         }
     }
@@ -551,6 +692,7 @@ mod tests {
                     reps_ns: vec![100],
                     median_ns_per_event: 1.0,
                     events_per_sec: 200.0,
+                    p99_ns_per_event: None,
                     peak_alloc_bytes: None,
                 },
                 Metric {
@@ -558,6 +700,7 @@ mod tests {
                     reps_ns: vec![200],
                     median_ns_per_event: 2.0,
                     events_per_sec: 100.0,
+                    p99_ns_per_event: None,
                     peak_alloc_bytes: None,
                 },
             ],

@@ -45,6 +45,9 @@ pub enum ErrorKind {
     Parse(String),
     /// A preserved analysis could not run.
     Analysis(String),
+    /// The preservation service shed load: the admission gate was full
+    /// and the request was rejected with a typed backpressure response.
+    Overloaded(String),
     /// Anything else (campaign bookkeeping, I/O adapters, …).
     Msg(String),
 }
@@ -59,6 +62,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Catalog(msg)
             | ErrorKind::Parse(msg)
             | ErrorKind::Analysis(msg)
+            | ErrorKind::Overloaded(msg)
             | ErrorKind::Msg(msg) => f.write_str(msg),
         }
     }
@@ -144,6 +148,16 @@ impl From<VaultError> for Error {
     }
 }
 
+impl From<daspos_serve::ServeError> for Error {
+    fn from(e: daspos_serve::ServeError) -> Error {
+        let kind = match &e {
+            daspos_serve::ServeError::Overloaded { .. } => ErrorKind::Overloaded(e.to_string()),
+            _ => ErrorKind::Msg(e.to_string()),
+        };
+        Error::new(kind).at(Stage::Serve)
+    }
+}
+
 impl From<CatalogError> for Error {
     fn from(e: CatalogError) -> Error {
         Error::new(ErrorKind::Catalog(e.to_string()))
@@ -196,6 +210,19 @@ mod tests {
         assert_eq!(round, ArchiveError::Malformed("bad".into()));
         let degraded = Error::msg("not an archive problem").into_archive_error();
         assert!(matches!(degraded, ArchiveError::Packaging(m) if m.contains("not an archive")));
+    }
+
+    #[test]
+    fn serve_errors_map_to_typed_backpressure() {
+        let over = daspos_serve::ServeError::Overloaded {
+            op: daspos_serve::Op::Put,
+            detail: "64 ops in flight".into(),
+        };
+        let e = Error::from(over);
+        assert!(matches!(e.kind(), ErrorKind::Overloaded(_)), "got {e:?}");
+        assert_eq!(e.stage(), Some(Stage::Serve));
+        let io = daspos_serve::ServeError::Io("connection reset".into());
+        assert!(matches!(Error::from(io).kind(), ErrorKind::Msg(_)));
     }
 
     #[test]

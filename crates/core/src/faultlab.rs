@@ -35,6 +35,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use daspos_obs::Obs;
+use daspos_serve::proto as serve_proto;
+use daspos_serve::{
+    Op as ServeOp, Request as ServeRequest, Response as ServeResponse, ServeConfig, Service,
+    Status as ServeStatus,
+};
 use daspos_vault::{
     encode_envelope, MemoryBackend, ObjectKind, StorageBackend, Vault, ENVELOPE_OVERHEAD,
 };
@@ -68,11 +73,18 @@ pub enum ArtifactClass {
     /// A columnar `DPCF` AOD tier file: the offset table, per-column
     /// digests and independently framed columns are all in scope.
     ColumnarTier,
+    /// One DPRQ/DPRS wire frame of the preservation service (length
+    /// prefix + sealed body). Request frames are judged through the live
+    /// service dispatch: a mutation must come back as a typed
+    /// `BadRequest` or leave the frame byte-identical, and the tenant's
+    /// stored objects must survive either way. Response frames attack
+    /// the client-side decoder.
+    ServeFrame,
 }
 
 impl ArtifactClass {
     /// Every class, in campaign order.
-    pub fn all() -> [ArtifactClass; 7] {
+    pub fn all() -> [ArtifactClass; 8] {
         [
             ArtifactClass::TierAod,
             ArtifactClass::TierRaw,
@@ -81,6 +93,7 @@ impl ArtifactClass {
             ArtifactClass::ResultsText,
             ArtifactClass::VaultReplica,
             ArtifactClass::ColumnarTier,
+            ArtifactClass::ServeFrame,
         ]
     }
 
@@ -94,6 +107,7 @@ impl ArtifactClass {
             ArtifactClass::ResultsText => "results-text",
             ArtifactClass::VaultReplica => "vault-replica",
             ArtifactClass::ColumnarTier => "columnar-tier",
+            ArtifactClass::ServeFrame => "serve-frame",
         }
     }
 
@@ -190,6 +204,14 @@ pub enum MutationKind {
         /// The byte-level mutation applied to the stored envelope.
         sub: Box<MutationKind>,
     },
+    /// Damage one service wire frame: apply `sub` to the pristine
+    /// request (or response) frame bytes. ServeFrame class only.
+    ServeFrame {
+        /// Attack the response frame instead of the request frame.
+        response: bool,
+        /// The byte-level mutation applied to the wire frame.
+        sub: Box<MutationKind>,
+    },
 }
 
 impl fmt::Display for MutationKind {
@@ -220,6 +242,10 @@ impl fmt::Display for MutationKind {
             MutationKind::ForgeResults { sub } => write!(f, "forge results [{sub}]"),
             MutationKind::VaultReplica { key, replica, sub } => {
                 write!(f, "vault {key} replica {replica} [{sub}]")
+            }
+            MutationKind::ServeFrame { response, sub } => {
+                let side = if *response { "response" } else { "request" };
+                write!(f, "serve {side} frame [{sub}]")
             }
         }
     }
@@ -257,6 +283,9 @@ impl MutationKind {
             }
             MutationKind::VaultReplica { .. } => {
                 unreachable!("VaultReplica is applied through the vault API")
+            }
+            MutationKind::ServeFrame { .. } => {
+                unreachable!("ServeFrame is applied to the fixture's frame bytes")
             }
         }
         v
@@ -443,9 +472,22 @@ pub struct CampaignFixture {
     /// Per-object envelope shapes for the mutation sampler, aligned with
     /// `vault_objects`.
     vault_shapes: Vec<ArtifactShape>,
+    /// Pristine wire frame of one service request — a PUT of the sealed
+    /// AOD tier under tenant `cms` — length prefix included.
+    pub serve_request: Bytes,
+    /// The decoded form of `serve_request` (harmlessness reference).
+    pub serve_request_obj: ServeRequest,
+    /// Pristine wire frame of the server's response to `serve_request`,
+    /// captured through a real `Service` dispatch.
+    pub serve_response: Bytes,
+    /// The decoded form of `serve_response`.
+    pub serve_response_obj: ServeResponse,
+    /// Shape of the response frame (the request frame's shape lives in
+    /// `shapes[ArtifactClass::ServeFrame]`).
+    serve_response_shape: ArtifactShape,
     /// Per-class artifact shapes, indexed by `ArtifactClass as usize` —
     /// computed once here instead of once per mutation.
-    shapes: [ArtifactShape; 7],
+    shapes: [ArtifactShape; 8],
     /// Splice template for checksum-preserving results forgeries.
     forge: ForgeTemplate,
 }
@@ -620,8 +662,32 @@ impl CampaignFixture {
             vault_envelopes.push(envelope);
             vault_objects.push((key.to_string(), kind, payload));
         }
+        // The serve-frame fixtures: one pristine PUT exchange, with the
+        // response captured through a real `Service` dispatch so the
+        // frame is exactly what the server sends.
+        let serve_request_obj = ServeRequest {
+            op: ServeOp::Put,
+            kind: ObjectKind::SealedTier,
+            tenant: "cms".to_string(),
+            key: "tier-aod.dpef".to_string(),
+            payload: sealed_aod.clone(),
+        };
+        let serve_request = serve_proto::encode_request(&serve_request_obj);
+        let serve_response_obj = serve_scratch_service()?.handle(&serve_request_obj);
+        let serve_response = serve_proto::encode_response(&serve_response_obj);
+        let serve_response_shape = serve_frame_shape(&serve_response);
+        let serve_request_shape = serve_frame_shape(&serve_request);
         let [s0, s1, s2, s3, s4] = byte_shapes;
-        let shapes = [s0, s1, s2, s3, s4, vault_shapes[0].clone(), col_shape];
+        let shapes = [
+            s0,
+            s1,
+            s2,
+            s3,
+            s4,
+            vault_shapes[0].clone(),
+            col_shape,
+            serve_request_shape,
+        ];
         let forge = ForgeTemplate::build(&archive, &archive_bytes);
         Ok(CampaignFixture {
             workflow,
@@ -639,6 +705,11 @@ impl CampaignFixture {
             vault_objects,
             vault_envelopes,
             vault_shapes,
+            serve_request,
+            serve_request_obj,
+            serve_response,
+            serve_response_obj,
+            serve_response_shape,
             shapes,
             forge,
         })
@@ -657,6 +728,7 @@ impl CampaignFixture {
             ArtifactClass::ResultsText => self.results_text.as_bytes(),
             ArtifactClass::VaultReplica => &self.vault_envelopes[0],
             ArtifactClass::ColumnarTier => &self.columnar_aod,
+            ArtifactClass::ServeFrame => &self.serve_request,
         }
     }
 
@@ -736,6 +808,28 @@ fn columnar_shape(file: &Bytes) -> ArtifactShape {
     }
 }
 
+/// Boundaries of a service wire frame: the length-prefix edge, the DPSL
+/// seal's magic/digest edges, and the end of the DPRQ/DPRS prologue —
+/// the seams boundary truncations and length inflations should land on.
+fn serve_frame_shape(wire: &Bytes) -> ArtifactShape {
+    let body = 4 + codec::SEAL_OVERHEAD;
+    let mut boundaries = vec![4, 8, body, body + 8];
+    boundaries.retain(|b| *b < wire.len());
+    ArtifactShape {
+        len: wire.len(),
+        boundaries,
+    }
+}
+
+/// A fresh 2-replica in-memory service for frame attacks.
+fn serve_scratch_service() -> Result<Service, Error> {
+    let vault = Vault::builder()
+        .replica(Arc::new(MemoryBackend::new()))
+        .replica(Arc::new(MemoryBackend::new()))
+        .build()?;
+    Ok(Service::new(vault, &ServeConfig::default(), Obs::disabled()))
+}
+
 /// Boundaries of a serialized container: every section record start.
 fn archive_shape(archive: &PreservationArchive, bytes: &Bytes) -> ArtifactShape {
     // magic(4) + version(2) + manifest(8) + name_len(4) + name + count(4).
@@ -787,6 +881,19 @@ pub fn derive_mutation(
             replica,
             sub: Box::new(sub),
         }
+    } else if class == ArtifactClass::ServeFrame {
+        // Pick a side of the exchange, then sample a byte-level attack
+        // over that frame's wire bytes.
+        let response = rng.gen_range(0..2u32) == 1;
+        let shape = if response {
+            &fixture.serve_response_shape
+        } else {
+            fixture.shape(ArtifactClass::ServeFrame)
+        };
+        MutationKind::ServeFrame {
+            response,
+            sub: Box::new(sample_kind(&mut rng, shape, None)),
+        }
     } else {
         // Forgeries mutate the results text, so their sampling shape is
         // the (precomputed) ResultsText shape.
@@ -817,6 +924,14 @@ pub fn mutate_artifact(
         MutationKind::VaultReplica { key, sub, .. } => {
             let envelope = fixture.vault_envelope(key).expect("fixture vault key");
             sub.apply(envelope)
+        }
+        MutationKind::ServeFrame { response, sub } => {
+            let frame = if *response {
+                &fixture.serve_response
+            } else {
+                &fixture.serve_request
+            };
+            sub.apply(frame)
         }
         kind => kind.apply(fixture.artifact(class)),
     }
@@ -852,6 +967,100 @@ pub fn check_mutant(
             )),
         },
         ArtifactClass::ColumnarTier => check_columnar_tier(fixture, mutated),
+        ArtifactClass::ServeFrame => match &mutation.kind {
+            MutationKind::ServeFrame { response, .. } => {
+                check_serve_frame(fixture, *response, mutated)
+            }
+            other => Outcome::Violation(format!(
+                "serve-frame class planned a non-frame mutation: {other}"
+            )),
+        },
+    }
+}
+
+/// Judge one mutated service frame. Response frames attack the
+/// client-side decoder: the mutation must be rejected with a typed
+/// [`serve_proto::ProtoError`] or decode byte-identically to the
+/// pristine response. Request frames go through the live [`Service`]
+/// dispatch: the service must answer without panicking, a malformed
+/// frame must come back as `BadRequest`, and the tenant's stored object
+/// must be byte-identical afterwards — mutated frames never corrupt
+/// tenant state.
+fn check_serve_frame(fixture: &CampaignFixture, response: bool, mutated: &Bytes) -> Outcome {
+    if response {
+        let decoded = serve_proto::split_frame(mutated)
+            .and_then(|(sealed, _)| serve_proto::decode_response(&sealed));
+        return match decoded {
+            Err(e) => Outcome::Detected(format!("frame:{}", e.category())),
+            Ok(resp) if resp == fixture.serve_response_obj => Outcome::Harmless,
+            Ok(_) => Outcome::Violation(
+                "frame seal accepted a modified response (digest collision)".to_string(),
+            ),
+        };
+    }
+    // The length prefix is the transport layer's to check; a frame the
+    // stream reader would never deliver counts as detected there.
+    let (sealed, _) = match serve_proto::split_frame(mutated) {
+        Err(e) => return Outcome::Detected(format!("frame:{}", e.category())),
+        Ok(x) => x,
+    };
+    let service = match serve_scratch_service() {
+        Ok(s) => s,
+        Err(e) => return Outcome::Violation(format!("scratch service failed to build: {e}")),
+    };
+    let deposited = service.handle(&fixture.serve_request_obj);
+    if deposited.status != ServeStatus::Ok {
+        return Outcome::Violation(format!("pristine deposit failed: {}", deposited.status));
+    }
+    // The live dispatch: a panic anywhere below becomes a violation via
+    // the campaign's catch_unwind.
+    let (resp_frame, _close) = service.handle_wire(&sealed);
+    let resp = match serve_proto::split_frame(&resp_frame)
+        .and_then(|(s, _)| serve_proto::decode_response(&s))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            return Outcome::Violation(format!("server emitted an undecodable response: {e}"))
+        }
+    };
+    // Whatever the mutation did, the tenant's object must be intact.
+    let stored = service.handle(&ServeRequest::control(
+        ServeOp::Get,
+        &fixture.serve_request_obj.tenant,
+        &fixture.serve_request_obj.key,
+    ));
+    if stored.status != ServeStatus::Ok || stored.payload != fixture.serve_request_obj.payload {
+        return Outcome::Violation(format!(
+            "tenant state corrupted by a mutated frame (get came back {})",
+            stored.status
+        ));
+    }
+    match serve_proto::decode_request(&sealed) {
+        Err(e) => {
+            if resp.status == ServeStatus::BadRequest {
+                Outcome::Detected(format!("frame:{}", e.category()))
+            } else {
+                Outcome::Violation(format!(
+                    "malformed frame ({e}) answered {} instead of bad-request",
+                    resp.status
+                ))
+            }
+        }
+        Ok(req) if req == fixture.serve_request_obj => {
+            // e.g. a region swapped with itself: the pristine PUT
+            // replays and must succeed again.
+            if resp.status == ServeStatus::Ok {
+                Outcome::Harmless
+            } else {
+                Outcome::Violation(format!(
+                    "pristine replayed frame answered {}",
+                    resp.status
+                ))
+            }
+        }
+        Ok(_) => Outcome::Violation(
+            "frame seal accepted a modified request (digest collision)".to_string(),
+        ),
     }
 }
 
@@ -1376,7 +1585,7 @@ mod tests {
         let cfg = small_config();
         let report = run_campaign(&cfg).expect("campaign runs");
         assert!(report.passed(), "{}", report.to_text());
-        assert_eq!(report.total_mutations(), 12 * 7);
+        assert_eq!(report.total_mutations(), 12 * 8);
         assert_eq!(
             report.total_detected() + report.total_harmless(),
             report.total_mutations()
@@ -1507,6 +1716,50 @@ mod tests {
         assert_eq!(col.len, fixture.columnar_aod.len());
         assert_eq!(col.boundaries[0], 4);
         assert!(col.boundaries.contains(&(12 + 10 * 17)), "{:?}", col.boundaries);
+    }
+
+    #[test]
+    fn serve_frame_campaign_attacks_only_the_frame_class() {
+        let cfg = CampaignConfig {
+            master_seed: 7,
+            mutations_per_class: 24,
+            events: 6,
+        };
+        let report =
+            run_campaign_for(&cfg, &[ArtifactClass::ServeFrame], &Obs::disabled()).unwrap();
+        assert!(report.passed(), "{}", report.to_text());
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].class, ArtifactClass::ServeFrame);
+        assert_eq!(report.total_mutations(), cfg.mutations_per_class);
+        // The protocol layer must really be doing the catching.
+        assert!(
+            report.classes[0]
+                .detections_by_layer
+                .keys()
+                .any(|k| k.starts_with("frame:")),
+            "{:?}",
+            report.classes[0].detections_by_layer
+        );
+    }
+
+    #[test]
+    fn serve_frame_fixtures_round_trip() {
+        let fixture = CampaignFixture::build(&small_config()).unwrap();
+        let (sealed, used) = serve_proto::split_frame(&fixture.serve_request).unwrap();
+        assert_eq!(used, fixture.serve_request.len());
+        assert_eq!(
+            serve_proto::decode_request(&sealed).unwrap(),
+            fixture.serve_request_obj
+        );
+        let (sealed, _) = serve_proto::split_frame(&fixture.serve_response).unwrap();
+        assert_eq!(
+            serve_proto::decode_response(&sealed).unwrap(),
+            fixture.serve_response_obj
+        );
+        assert_eq!(fixture.serve_response_obj.status, ServeStatus::Ok);
+        let shape = fixture.shape(ArtifactClass::ServeFrame);
+        assert_eq!(shape.len, fixture.serve_request.len());
+        assert!(shape.boundaries.contains(&4), "{:?}", shape.boundaries);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub use daspos_obs as obs;
 /// etc. work.
 pub use daspos_vault as vault;
 
+/// The multi-tenant preservation service daemon (framed protocol,
+/// admission control, load generation) — re-export of the
+/// `daspos-serve` crate, so `daspos::serve::Server` etc. work.
+pub use daspos_serve as serve;
+
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::archive::{
@@ -81,6 +86,9 @@ pub mod prelude {
         MemoryCollector, MetricsRegistry, Obs, Stage, Tracer, TraceSummary,
     };
     pub use daspos_provenance::Platform;
+    pub use daspos_serve::{
+        LoadgenConfig, LoadgenReport, ServeClient, ServeConfig, ServeError, Server, Service,
+    };
     pub use daspos_vault::{
         DirBackend, MemoryBackend, ObjectKind, RetryPolicy, ScrubReport, StorageBackend,
         Vault, VaultError,

@@ -76,6 +76,9 @@ pub enum Stage {
     Campaign,
     /// Preservation-vault storage, scrub and repair.
     Vault,
+    /// Multi-tenant preservation service (protocol handling, admission
+    /// control, background scrubbing).
+    Serve,
 }
 
 impl Stage {
@@ -94,6 +97,7 @@ impl Stage {
             Stage::Validate => "validate",
             Stage::Campaign => "campaign",
             Stage::Vault => "vault",
+            Stage::Serve => "serve",
         }
     }
 }

@@ -1,0 +1,134 @@
+//! The blocking protocol client used by `loadgen`, the CLI and tests.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bytes::Bytes;
+use daspos_vault::ObjectKind;
+
+use crate::proto::{
+    decode_response, encode_request, validate_tenant, Op, Request, Response, Status,
+};
+use crate::server::ServeError;
+use crate::wire::{self, ReadFrame};
+
+/// Default per-response wait before a client declares the server hung.
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One tenant's connection to a preservation server.
+pub struct ServeClient {
+    stream: TcpStream,
+    tenant: String,
+}
+
+impl ServeClient {
+    /// Connect to `addr` as `tenant` with the default op timeout.
+    pub fn connect(addr: &str, tenant: &str) -> Result<ServeClient, ServeError> {
+        ServeClient::connect_with_timeout(addr, tenant, DEFAULT_OP_TIMEOUT)
+    }
+
+    /// Connect with an explicit op timeout (tests drive this down to
+    /// catch hangs fast).
+    pub fn connect_with_timeout(
+        addr: &str,
+        tenant: &str,
+        timeout: Duration,
+    ) -> Result<ServeClient, ServeError> {
+        validate_tenant(tenant)?;
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(ServeClient {
+            stream,
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// The tenant this connection operates as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Send one request and wait for its response. Transport and
+    /// protocol failures are errors; non-OK *statuses* are data (the
+    /// caller decides whether `NotFound` or `Overloaded` is exceptional).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        wire::write_frame(&mut self.stream, &encode_request(req))?;
+        match wire::read_frame(&mut self.stream)? {
+            ReadFrame::Sealed(sealed) => Ok(decode_response(&sealed)?),
+            ReadFrame::Eof => Err(ServeError::Io(
+                "server closed the connection before responding".to_string(),
+            )),
+            ReadFrame::Idle => Err(ServeError::Io(
+                "timed out waiting for a response".to_string(),
+            )),
+        }
+    }
+
+    /// Store `payload` under this tenant's `key`.
+    pub fn put(
+        &mut self,
+        key: &str,
+        kind: ObjectKind,
+        payload: &Bytes,
+    ) -> Result<Response, ServeError> {
+        self.request(&Request {
+            op: Op::Put,
+            kind,
+            tenant: self.tenant.clone(),
+            key: key.to_string(),
+            payload: payload.clone(),
+        })
+    }
+
+    /// Fetch the object under this tenant's `key`.
+    pub fn get(&mut self, key: &str) -> Result<Response, ServeError> {
+        let tenant = self.tenant.clone();
+        self.request(&Request::control(Op::Get, &tenant, key))
+    }
+
+    /// Integrity-check one object (empty `key`: the whole vault).
+    pub fn verify(&mut self, key: &str) -> Result<Response, ServeError> {
+        let tenant = self.tenant.clone();
+        self.request(&Request::control(Op::Verify, &tenant, key))
+    }
+
+    /// Trigger a repairing scrub of the whole vault.
+    pub fn scrub(&mut self) -> Result<Response, ServeError> {
+        let tenant = self.tenant.clone();
+        self.request(&Request::control(Op::Scrub, &tenant, ""))
+    }
+
+    /// Fetch server statistics.
+    pub fn stat(&mut self) -> Result<Response, ServeError> {
+        let tenant = self.tenant.clone();
+        self.request(&Request::control(Op::Stat, &tenant, ""))
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> Result<Response, ServeError> {
+        let tenant = self.tenant.clone();
+        self.request(&Request::control(Op::Shutdown, &tenant, ""))
+    }
+}
+
+/// Promote a non-OK status to a typed error (`Overloaded` keeps its own
+/// variant so callers can dispatch a retry on it).
+pub fn expect_ok(resp: Response) -> Result<Response, ServeError> {
+    match resp.status {
+        Status::Ok => Ok(resp),
+        Status::Overloaded => Err(ServeError::Overloaded {
+            op: resp.op,
+            detail: resp.detail,
+        }),
+        status => Err(ServeError::Remote {
+            op: resp.op,
+            status,
+            detail: resp.detail,
+        }),
+    }
+}

@@ -1,0 +1,646 @@
+//! The multi-tenant preservation service: admission-controlled op
+//! handling over a shared [`Vault`], plus the TCP front-end.
+//!
+//! The design splits cleanly in two:
+//!
+//! - [`Service`] — the transport-free core. It owns the vault, the
+//!   admission gate (a bounded in-flight-op counter; requests over the
+//!   bound get a typed `Overloaded` response instead of queueing), the
+//!   shutdown flag, and the op handlers. [`Service::handle_wire`] takes
+//!   one sealed frame body and returns one encoded response frame, which
+//!   is exactly the surface the `serve-frame` fault class attacks
+//!   in-process: any mutation must come back as a typed error response
+//!   without panicking or touching tenant state.
+//! - [`Server`] — the TCP loop. A nonblocking accept thread hands each
+//!   connection to its own handler thread (thread-per-connection over
+//!   the shared service), and a background scrubber walks one object per
+//!   tick, *yielding* whenever foreground ops are in flight
+//!   (`serve.scrub.yields`).
+//!
+//! Graceful shutdown: the `Shutdown` op (or [`Service::request_shutdown`])
+//! flips the flag; the accept loop stops taking connections, every
+//! handler finishes and answers the request it is currently processing —
+//! accepted work is never dropped — and then closes; [`Server::join`]
+//! reaps all of it.
+
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use daspos_obs::Obs;
+use daspos_vault::{Vault, VaultError};
+
+use crate::proto::{
+    decode_request, encode_response, storage_key, Op, ProtoError, Request, Response, Status,
+};
+use crate::wire::{self, ReadFrame, WireError};
+
+/// Deterministic fault hooks for exit-code and failure-path testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chaos {
+    /// Flip one payload byte of every successful GET *before* the
+    /// response is sealed: the frame arrives intact, so only a client's
+    /// deep verification (byte-comparing against what it stored) can
+    /// catch it.
+    FlipGet,
+}
+
+impl Chaos {
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Chaos> {
+        match s {
+            "flip-get" => Some(Chaos::FlipGet),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning for a [`Service`] / [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum ops processed concurrently before the admission gate
+    /// answers `Overloaded`.
+    pub max_inflight: usize,
+    /// Background scrub cadence; `Duration::ZERO` disables the scrubber.
+    pub scrub_interval: Duration,
+    /// Optional fault hook.
+    pub chaos: Option<Chaos>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_inflight: 64,
+            scrub_interval: Duration::from_millis(20),
+            chaos: None,
+        }
+    }
+}
+
+/// A serve-layer failure (transport, backpressure, or a remote error
+/// status a caller chose to surface as an error).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS-level reason.
+        reason: String,
+    },
+    /// A socket-level failure.
+    Io(String),
+    /// The peer sent a frame that failed protocol validation.
+    Proto(ProtoError),
+    /// The server's admission gate rejected the op.
+    Overloaded {
+        /// The rejected op.
+        op: Op,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server answered with a non-OK, non-overloaded status.
+    Remote {
+        /// The op that failed.
+        op: Op,
+        /// The status the server returned.
+        status: Status,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// A response decoded fine but failed deep verification
+    /// (byte-identity against what the client stored).
+    Verification(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, reason } => write!(f, "cannot bind {addr}: {reason}"),
+            ServeError::Io(msg) => write!(f, "serve i/o failure: {msg}"),
+            ServeError::Proto(e) => write!(f, "serve protocol failure: {e}"),
+            ServeError::Overloaded { op, detail } => {
+                write!(f, "server overloaded (op {op}): {detail}")
+            }
+            ServeError::Remote { op, status, detail } => {
+                write!(f, "server rejected {op}: {status}: {detail}")
+            }
+            ServeError::Verification(msg) => write!(f, "deep verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        match e {
+            WireError::Io(e) => ServeError::Io(e.to_string()),
+            WireError::Proto(e) => ServeError::Proto(e),
+        }
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> ServeError {
+        ServeError::Proto(e)
+    }
+}
+
+/// Cumulative op counters, readable without the metrics registry.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    ops: AtomicU64,
+    rejected: AtomicU64,
+    scrub_steps: AtomicU64,
+    scrub_yields: AtomicU64,
+}
+
+/// The transport-free service core: vault + admission gate + handlers.
+pub struct Service {
+    vault: Vault,
+    obs: Obs,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    chaos: Option<Chaos>,
+    scrub_cursor: Mutex<usize>,
+    stats: ServiceStats,
+}
+
+/// RAII slot in the admission gate.
+struct Admission<'a>(&'a AtomicUsize);
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Service {
+    /// Wrap a vault in a service. The vault's own `Obs` keeps working;
+    /// `obs` here carries the serve-layer spans and counters.
+    pub fn new(vault: Vault, cfg: &ServeConfig, obs: Obs) -> Service {
+        Service {
+            vault,
+            obs,
+            max_inflight: cfg.max_inflight.max(1),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            chaos: cfg.chaos,
+            scrub_cursor: Mutex::new(0),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The shared vault (tests seed corruption through replicas, not
+    /// through this).
+    pub fn vault(&self) -> &Vault {
+        &self.vault
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Ops currently being processed.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask every loop holding this service to drain and exit.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn counter(&self, name: &str, n: u64) {
+        if let Some(reg) = self.obs.registry() {
+            reg.add(name, n);
+        }
+    }
+
+    fn try_admit(&self) -> Option<Admission<'_>> {
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                if n < self.max_inflight {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if admitted {
+            Some(Admission(&self.inflight))
+        } else {
+            None
+        }
+    }
+
+    /// Handle one sealed request frame body end-to-end: decode, admit,
+    /// execute, encode. Returns the encoded response *frame* plus
+    /// whether the connection should close (protocol errors desync the
+    /// stream, so they answer once and hang up). Never panics on
+    /// malformed input — that is the `serve-frame` campaign invariant.
+    pub fn handle_wire(&self, sealed: &Bytes) -> (Bytes, bool) {
+        match decode_request(sealed) {
+            Ok(req) => {
+                let resp = self.handle(&req);
+                (encode_response(&resp), false)
+            }
+            Err(e) => {
+                let resp = Response::status_only(
+                    Op::Stat,
+                    Status::BadRequest,
+                    format!("{} [{}]", e, e.category()),
+                );
+                (encode_response(&resp), true)
+            }
+        }
+    }
+
+    /// Execute one decoded request under the admission gate.
+    pub fn handle(&self, req: &Request) -> Response {
+        // Shutdown must stay deliverable even at full load, or a
+        // saturated server could never be stopped cleanly.
+        let _slot = if req.op == Op::Shutdown {
+            None
+        } else {
+            match self.try_admit() {
+                Some(slot) => Some(slot),
+                None => {
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.counter("serve.rejected", 1);
+                    return Response::status_only(
+                        req.op,
+                        Status::Overloaded,
+                        format!("admission gate full ({} in flight)", self.max_inflight),
+                    );
+                }
+            }
+        };
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.counter(&format!("serve.ops.{}", req.op.name()), 1);
+        let mut span = self
+            .obs
+            .tracer
+            .span_fmt(format_args!("serve/{}", req.op.name()));
+        span.field("tenant", &req.tenant);
+        if !req.key.is_empty() {
+            span.field("key", &req.key);
+        }
+        let resp = self.dispatch(req);
+        span.field("status", resp.status.name());
+        span.finish();
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.op {
+            Op::Put => self.op_put(req),
+            Op::Get => self.op_get(req),
+            Op::Verify => self.op_verify(req),
+            Op::Scrub => self.op_scrub(req),
+            Op::Stat => self.op_stat(req),
+            Op::Shutdown => {
+                self.request_shutdown();
+                Response::status_only(Op::Shutdown, Status::Ok, "draining")
+            }
+        }
+    }
+
+    fn vault_failure(op: Op, e: &VaultError) -> Response {
+        let status = match e {
+            VaultError::NotFound(_) => Status::NotFound,
+            VaultError::Damaged { .. } => Status::Damaged,
+            _ => Status::ServerError,
+        };
+        Response::status_only(op, status, e.to_string())
+    }
+
+    fn op_put(&self, req: &Request) -> Response {
+        let skey = match storage_key(&req.tenant, &req.key) {
+            Ok(k) => k,
+            Err(e) => return Response::status_only(Op::Put, Status::BadRequest, e.to_string()),
+        };
+        match self.vault.put(&skey, req.kind, &req.payload) {
+            Ok(()) => Response::status_only(Op::Put, Status::Ok, req.kind.name()),
+            Err(e) => Self::vault_failure(Op::Put, &e),
+        }
+    }
+
+    fn op_get(&self, req: &Request) -> Response {
+        let skey = match storage_key(&req.tenant, &req.key) {
+            Ok(k) => k,
+            Err(e) => return Response::status_only(Op::Get, Status::BadRequest, e.to_string()),
+        };
+        match self.vault.get(&skey) {
+            Ok((kind, payload)) => {
+                let payload = match self.chaos {
+                    Some(Chaos::FlipGet) if !payload.is_empty() => {
+                        let mut bad = payload.to_vec();
+                        bad[0] ^= 0x01;
+                        Bytes::from(bad)
+                    }
+                    _ => payload,
+                };
+                Response {
+                    op: Op::Get,
+                    status: Status::Ok,
+                    detail: kind.name().to_string(),
+                    payload,
+                }
+            }
+            Err(e) => Self::vault_failure(Op::Get, &e),
+        }
+    }
+
+    fn op_verify(&self, req: &Request) -> Response {
+        if req.key.is_empty() {
+            return match self.vault.verify() {
+                Ok(report) => {
+                    let status = if report.corrupt + report.missing == 0 && report.lost.is_empty()
+                    {
+                        Status::Ok
+                    } else {
+                        Status::Damaged
+                    };
+                    Response::status_only(Op::Verify, status, report.to_text())
+                }
+                Err(e) => Self::vault_failure(Op::Verify, &e),
+            };
+        }
+        let skey = match storage_key(&req.tenant, &req.key) {
+            Ok(k) => k,
+            Err(e) => return Response::status_only(Op::Verify, Status::BadRequest, e.to_string()),
+        };
+        match self.vault.verify_object(&skey) {
+            Ok(report) => {
+                let status = if report.corrupt + report.missing == 0 && report.lost.is_empty() {
+                    Status::Ok
+                } else {
+                    Status::Damaged
+                };
+                Response::status_only(Op::Verify, status, report.to_text())
+            }
+            Err(e) => Self::vault_failure(Op::Verify, &e),
+        }
+    }
+
+    fn op_scrub(&self, _req: &Request) -> Response {
+        match self.vault.scrub() {
+            Ok(report) => {
+                let status = if report.clean() {
+                    Status::Ok
+                } else {
+                    Status::Damaged
+                };
+                Response::status_only(Op::Scrub, status, report.to_text())
+            }
+            Err(e) => Self::vault_failure(Op::Scrub, &e),
+        }
+    }
+
+    fn op_stat(&self, req: &Request) -> Response {
+        let prefix = format!("{}.", req.tenant);
+        let (tenant_objects, total) = match self.vault.keys() {
+            Ok(keys) => (
+                keys.iter().filter(|k| k.starts_with(&prefix)).count(),
+                keys.len(),
+            ),
+            Err(e) => return Self::vault_failure(Op::Stat, &e),
+        };
+        Response::status_only(
+            Op::Stat,
+            Status::Ok,
+            format!(
+                "tenant={} objects={} total_objects={} replicas={} inflight={} ops={} rejected={}",
+                req.tenant,
+                tenant_objects,
+                total,
+                self.vault.replica_count(),
+                self.inflight(),
+                self.stats.ops(),
+                self.stats.rejected(),
+            ),
+        )
+    }
+
+    /// One background-scrub step: if any foreground op is in flight,
+    /// yield (count it, touch nothing); otherwise scrub the next object
+    /// in round-robin order. Returns whether an object was scrubbed.
+    pub fn scrub_step(&self) -> Result<bool, VaultError> {
+        if self.inflight() > 0 {
+            self.stats.scrub_yields.fetch_add(1, Ordering::Relaxed);
+            self.counter("serve.scrub.yields", 1);
+            return Ok(false);
+        }
+        let keys = self.vault.keys()?;
+        if keys.is_empty() {
+            return Ok(false);
+        }
+        let key = {
+            let mut cursor = self.scrub_cursor.lock().unwrap_or_else(|e| e.into_inner());
+            let key = keys[*cursor % keys.len()].clone();
+            *cursor = (*cursor + 1) % keys.len();
+            key
+        };
+        self.vault.scrub_object(&key)?;
+        self.stats.scrub_steps.fetch_add(1, Ordering::Relaxed);
+        self.counter("serve.scrub.objects", 1);
+        Ok(true)
+    }
+}
+
+impl ServiceStats {
+    /// Ops admitted and executed.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Ops rejected by the admission gate.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Objects scrubbed by the background scrubber.
+    pub fn scrub_steps(&self) -> u64 {
+        self.scrub_steps.load(Ordering::Relaxed)
+    }
+
+    /// Scrub ticks that yielded to foreground traffic.
+    pub fn scrub_yields(&self) -> u64 {
+        self.scrub_yields.load(Ordering::Relaxed)
+    }
+}
+
+/// How often blocked socket reads and the accept loop re-check the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The TCP front-end over a shared [`Service`].
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    accept: Option<JoinHandle<()>>,
+    scrubber: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// accept loop and, if `scrub_interval` is nonzero, the scrubber.
+    pub fn start(
+        service: Arc<Service>,
+        addr: &str,
+        scrub_interval: Duration,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Bind {
+            addr: addr.to_string(),
+            reason: e.to_string(),
+        })?;
+        let local = listener.local_addr().map_err(|e| ServeError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let service = service.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || accept_loop(listener, service, conns))
+        };
+        let scrubber = if scrub_interval.is_zero() {
+            None
+        } else {
+            let service = service.clone();
+            Some(std::thread::spawn(move || {
+                while !service.shutdown_requested() {
+                    std::thread::sleep(scrub_interval);
+                    // Scrub failures must not kill the daemon; the next
+                    // tick (or a client-requested scrub) retries.
+                    let _ = service.scrub_step();
+                }
+            }))
+        };
+        Ok(Server {
+            addr: local,
+            service,
+            accept: Some(accept),
+            scrubber,
+            conns,
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Block until shutdown has been requested and every loop has
+    /// drained: the accept thread, all connection handlers (each
+    /// finishes the request it is processing), and the scrubber.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let drained = {
+                let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *conns)
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.scrubber.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Request shutdown and [`join`](Server::join).
+    pub fn stop(self) {
+        self.service.request_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !service.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = service.clone();
+                let handle = std::thread::spawn(move || handle_conn(service, stream));
+                conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn handle_conn(service: Arc<Service>, mut stream: TcpStream) {
+    // Accepted sockets must poll the shutdown flag, so reads time out.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(ReadFrame::Idle) => {
+                if service.shutdown_requested() {
+                    break;
+                }
+            }
+            Ok(ReadFrame::Eof) => break,
+            Ok(ReadFrame::Sealed(sealed)) => {
+                let (frame, close) = service.handle_wire(&sealed);
+                if wire::write_frame(&mut stream, &frame).is_err() || close {
+                    break;
+                }
+                if service.shutdown_requested() {
+                    break;
+                }
+            }
+            Err(WireError::Proto(e)) => {
+                // The length prefix itself was hostile; answer once and
+                // hang up — the stream cannot be resynchronized.
+                let resp = Response::status_only(
+                    Op::Stat,
+                    Status::BadRequest,
+                    format!("{} [{}]", e, e.category()),
+                );
+                let _ = wire::write_frame(&mut stream, &encode_response(&resp));
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+        }
+    }
+}

@@ -366,6 +366,75 @@ impl Vault {
         self.scan(false)
     }
 
+    /// Classify, count and (optionally) repair one key's copies across
+    /// all replicas — the shared per-object body of [`scan`](Vault::scan)
+    /// and the single-object entry points.
+    fn scan_key(
+        &self,
+        key: &str,
+        repair: bool,
+        report: &mut ScrubReport,
+        span: &daspos_obs::Span,
+    ) {
+        let states: Vec<CopyState> = self
+            .replicas
+            .iter()
+            .map(|r| self.classify(r, key))
+            .collect();
+        let healthy = states.iter().find_map(|s| match s {
+            CopyState::Healthy(raw) => Some(raw.clone()),
+            _ => None,
+        });
+        let mut corrupt_here = 0u64;
+        let mut missing_here = 0u64;
+        for state in &states {
+            match state {
+                CopyState::Healthy(_) => report.checked += 1,
+                CopyState::Corrupt(_) => {
+                    report.checked += 1;
+                    corrupt_here += 1;
+                }
+                CopyState::Missing => missing_here += 1,
+            }
+        }
+        report.corrupt += corrupt_here;
+        report.missing += missing_here;
+
+        let mut repaired_here = 0u64;
+        match &healthy {
+            Some(raw) if repair => {
+                for (i, state) in states.iter().enumerate() {
+                    if !matches!(state, CopyState::Healthy(_))
+                        && self
+                            .with_retry(|| self.replicas[i].put(key, raw))
+                            .is_ok()
+                    {
+                        repaired_here += 1;
+                    }
+                }
+                report.repaired += repaired_here;
+            }
+            Some(_) => {}
+            None => report.lost.push(key.to_string()),
+        }
+
+        if span.enabled() {
+            let mut child = span.child_fmt(format_args!("object-{key}"));
+            child.field("corrupt", corrupt_here);
+            child.field("missing", missing_here);
+            child.field("repaired", repaired_here);
+            child.finish();
+        }
+    }
+
+    fn record_scrub_counters(&self, report: &ScrubReport) {
+        if let Some(reg) = self.obs.registry() {
+            reg.add("vault.scrub.checked", report.checked);
+            reg.add("vault.scrub.corrupt", report.corrupt);
+            reg.add("vault.scrub.repaired", report.repaired);
+        }
+    }
+
     fn scan(&self, repair: bool) -> Result<ScrubReport, VaultError> {
         let keys = self.keys()?;
         let mut span = self
@@ -381,64 +450,49 @@ impl Vault {
             ..ScrubReport::default()
         };
         for key in &keys {
-            let states: Vec<CopyState> = self
-                .replicas
-                .iter()
-                .map(|r| self.classify(r, key))
-                .collect();
-            let healthy = states.iter().find_map(|s| match s {
-                CopyState::Healthy(raw) => Some(raw.clone()),
-                _ => None,
-            });
-            let mut corrupt_here = 0u64;
-            let mut missing_here = 0u64;
-            for state in &states {
-                match state {
-                    CopyState::Healthy(_) => report.checked += 1,
-                    CopyState::Corrupt(_) => {
-                        report.checked += 1;
-                        corrupt_here += 1;
-                    }
-                    CopyState::Missing => missing_here += 1,
-                }
-            }
-            report.corrupt += corrupt_here;
-            report.missing += missing_here;
-
-            let mut repaired_here = 0u64;
-            match &healthy {
-                Some(raw) if repair => {
-                    for (i, state) in states.iter().enumerate() {
-                        if !matches!(state, CopyState::Healthy(_))
-                            && self
-                                .with_retry(|| self.replicas[i].put(key, raw))
-                                .is_ok()
-                        {
-                            repaired_here += 1;
-                        }
-                    }
-                    report.repaired += repaired_here;
-                }
-                Some(_) => {}
-                None => report.lost.push(key.clone()),
-            }
-
-            if span.enabled() {
-                let mut child = span.child_fmt(format_args!("object-{key}"));
-                child.field("corrupt", corrupt_here);
-                child.field("missing", missing_here);
-                child.field("repaired", repaired_here);
-                child.finish();
-            }
+            self.scan_key(key, repair, &mut report, &span);
         }
-        if let Some(reg) = self.obs.registry() {
-            reg.add("vault.scrub.checked", report.checked);
-            reg.add("vault.scrub.corrupt", report.corrupt);
-            reg.add("vault.scrub.repaired", report.repaired);
-        }
+        self.record_scrub_counters(&report);
         span.field("corrupt", report.corrupt);
         span.field("repaired", report.repaired);
         span.field("lost", report.lost.len());
+        span.finish();
+        Ok(report)
+    }
+
+    /// Scrub (with repair) a single object — the unit of work the
+    /// preservation service's background scrubber interleaves between
+    /// foreground requests, so one tick never holds the vault for a full
+    /// sweep. Reports [`VaultError::NotFound`] when no replica stores
+    /// the key at all.
+    pub fn scrub_object(&self, key: &str) -> Result<ScrubReport, VaultError> {
+        self.scan_one(key, true)
+    }
+
+    /// Integrity-check a single object without repairing anything.
+    pub fn verify_object(&self, key: &str) -> Result<ScrubReport, VaultError> {
+        self.scan_one(key, false)
+    }
+
+    fn scan_one(&self, key: &str, repair: bool) -> Result<ScrubReport, VaultError> {
+        let mut span = self
+            .obs
+            .tracer
+            .span(if repair { "scrub-object" } else { "verify-object" });
+        span.field("replicas", self.replicas.len());
+        let mut report = ScrubReport {
+            objects: 1,
+            replicas: self.replicas.len(),
+            ..ScrubReport::default()
+        };
+        self.scan_key(key, repair, &mut report, &span);
+        if report.checked == 0 {
+            // Every replica reported the key absent: not damage, absence.
+            return Err(VaultError::NotFound(key.to_string()));
+        }
+        self.record_scrub_counters(&report);
+        span.field("corrupt", report.corrupt);
+        span.field("repaired", report.repaired);
         span.finish();
         Ok(report)
     }
@@ -549,6 +603,41 @@ mod tests {
         let again = vault.verify().unwrap();
         assert_eq!(again.corrupt + again.missing, 0);
         assert!(again.clean());
+    }
+
+    #[test]
+    fn scrub_object_repairs_one_key_and_reports_absence() {
+        let (vault, backends) = three_replica_vault();
+        vault
+            .put("a", ObjectKind::Opaque, &Bytes::from_static(b"aa"))
+            .unwrap();
+        vault
+            .put("b", ObjectKind::Opaque, &Bytes::from_static(b"bb"))
+            .unwrap();
+        backends[1].put("a", &Bytes::from_static(b"rot")).unwrap();
+        backends[2].delete("b").unwrap();
+
+        // Scrubbing 'a' repairs 'a' only; 'b' stays damaged.
+        let report = vault.scrub_object("a").unwrap();
+        assert_eq!((report.objects, report.corrupt, report.repaired), (1, 1, 1));
+        assert!(report.clean(), "{}", report.to_text());
+        assert!(matches!(
+            backends[2].get("b"),
+            Err(StorageError::NotFound(_))
+        ));
+
+        // verify_object reports without repairing.
+        let report = vault.verify_object("b").unwrap();
+        assert_eq!((report.missing, report.repaired), (1, 0));
+        assert!(matches!(
+            backends[2].get("b"),
+            Err(StorageError::NotFound(_))
+        ));
+
+        assert!(matches!(
+            vault.scrub_object("nope"),
+            Err(VaultError::NotFound(_))
+        ));
     }
 
     #[test]

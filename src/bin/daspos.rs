@@ -79,6 +79,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("faultlab") => cmd_faultlab(&args[1..]),
         Some("vault") => cmd_vault(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("maturity") => cmd_maturity(),
         Some("help") | Some("--help") | None => {
@@ -157,11 +159,32 @@ USAGE:
         repairs every mutation (exit 1 on any unrepaired corruption)
   daspos vault    verify --store <dir>
         like scrub but read-only: report damage without repairing
+  daspos serve    [--addr <host:port>] [--store <dir>] [--replicas N]
+                  [--max-inflight N] [--scrub-ms N]
+        run the multi-tenant preservation service daemon: a framed
+        DPRQ/DPRS protocol over one shared vault (a directory store with
+        --store, else in-memory), an admission gate that answers
+        'overloaded' past --max-inflight concurrent ops (default 64),
+        and a background scrubber (--scrub-ms cadence, 0 disables) that
+        yields to foreground traffic; prints the bound address, serves
+        until a client sends shutdown, then drains and reports counters
+  daspos serve    --selftest
+        tier-1 smoke: in-process server + concurrent loadgen burst with
+        byte-identity verification (exit 1 on any failure)
+  daspos loadgen  --addr <host:port> [--clients N] [--ops N] [--tenants N]
+                  [--seed N] [--payload-bytes N] [--mix p:g:v:s]
+                  [--shutdown]
+        simulate a community of analysts against a running serve: N
+        concurrent clients drive a seeded put/get/verify/scrub mix,
+        deep-verifying every GET byte-for-byte and absorbing backpressure
+        with retries; prints p50/p99 latencies and throughput, exits 1 on
+        any verification failure; --shutdown stops the server afterwards
   daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
                   [--out <file.json>] [--allow-regression]
         time decode / seal-verify / skim (batch, streaming and columnar),
-        the full chain, and vault put/get/scrub over a fixture workflow;
-        writes a JSON report (default BENCH_6.json) and exits 2 if any
+        the full chain, vault put/get/scrub, and the serve protocol's
+        put/get/mixed p50+p99 latencies over a fixture workflow;
+        writes a JSON report (default BENCH_7.json) and exits 2 if any
         metric regressed >25% versus the previous BENCH_*.json unless
         --allow-regression is passed (the bench-alloc counting allocator
         is on by default, so peak-allocation figures are reported)
@@ -538,6 +561,154 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
     }
 }
 
+fn cmd_serve(args: &[String]) -> CliResult {
+    use daspos::serve::{Chaos, ServeConfig, Server, Service};
+    use std::sync::Arc;
+
+    if args.iter().any(|a| a == "--selftest") {
+        eprintln!("serve selftest: in-process server + concurrent loadgen burst…");
+        let text = daspos::serve::selftest().map_err(|e| CliError::Failure(e.to_string()))?;
+        print!("{text}");
+        println!("serve selftest PASSED — campaign clean, shutdown drained");
+        return Ok(());
+    }
+
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let mut cfg = ServeConfig::default();
+    if let Some(m) = flag(args, "--max-inflight") {
+        cfg.max_inflight = m.parse().map_err(|_| "bad --max-inflight")?;
+        if cfg.max_inflight == 0 {
+            return Err(CliError::usage("--max-inflight must be at least 1"));
+        }
+    }
+    if let Some(ms) = flag(args, "--scrub-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --scrub-ms")?;
+        cfg.scrub_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(name) = flag(args, "--chaos") {
+        // Test hook: inject server-side faults so loadgen's deep
+        // verification can be proven to catch them.
+        cfg.chaos = Some(Chaos::parse(&name).ok_or_else(|| {
+            CliError::usage(format!("unknown chaos mode '{name}' (flip-get)"))
+        })?);
+    }
+
+    // The vault behind the service: a directory store when --store is
+    // given (objects survive restarts), else an in-memory replica pair.
+    let vault = match flag(args, "--store") {
+        Some(store) => {
+            let replicas: usize = flag(args, "--replicas")
+                .unwrap_or_else(|| "3".to_string())
+                .parse()
+                .map_err(|_| "bad --replicas")?;
+            if replicas == 0 {
+                return Err(CliError::usage("--replicas must be at least 1"));
+            }
+            open_vault(&store, Some(replicas), Obs::disabled())?
+        }
+        None => {
+            use daspos::vault::{MemoryBackend, Vault};
+            Vault::builder()
+                .replica(Arc::new(MemoryBackend::new()))
+                .replica(Arc::new(MemoryBackend::new()))
+                .build()
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let scrub = cfg.scrub_interval;
+    let service = Arc::new(Service::new(vault, &cfg, Obs::metrics_only(registry.clone())));
+    let server = Server::start(service.clone(), &addr, scrub)
+        .map_err(|e| CliError::Failure(e.to_string()))?;
+    println!("serving on {}", server.addr());
+    eprintln!(
+        "  max in-flight {}, scrub every {:?}; stop with \
+         'daspos loadgen --addr {} --shutdown'",
+        cfg.max_inflight,
+        scrub,
+        server.addr()
+    );
+    server.join();
+    let stats = service.stats();
+    let snapshot = registry.snapshot();
+    println!(
+        "drained: {} op(s) served, {} rejected (backpressure), \
+         {} scrub step(s) ({} yield(s) to traffic)",
+        stats.ops(),
+        stats.rejected(),
+        stats.scrub_steps(),
+        stats.scrub_yields()
+    );
+    if !snapshot.counters.is_empty() {
+        print!("{}", snapshot.to_text());
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> CliResult {
+    use daspos::serve::{loadgen, LoadgenConfig, MixWeights, ServeClient};
+
+    let addr = flag(args, "--addr").ok_or("loadgen needs --addr <host:port>")?;
+    let mut cfg = LoadgenConfig {
+        addr: addr.clone(),
+        ..LoadgenConfig::default()
+    };
+    if let Some(c) = flag(args, "--clients") {
+        cfg.clients = c.parse().map_err(|_| "bad --clients")?;
+        if cfg.clients == 0 {
+            return Err(CliError::usage("--clients must be at least 1"));
+        }
+    }
+    if let Some(o) = flag(args, "--ops") {
+        cfg.ops_per_client = o.parse().map_err(|_| "bad --ops")?;
+    }
+    if let Some(t) = flag(args, "--tenants") {
+        cfg.tenants = t.parse().map_err(|_| "bad --tenants")?;
+        if cfg.tenants == 0 {
+            return Err(CliError::usage("--tenants must be at least 1"));
+        }
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| "bad --seed")?;
+    }
+    if let Some(p) = flag(args, "--payload-bytes") {
+        cfg.payload_bytes = p.parse().map_err(|_| "bad --payload-bytes")?;
+    }
+    if let Some(m) = flag(args, "--mix") {
+        cfg.mix = MixWeights::parse(&m).ok_or_else(|| {
+            CliError::usage(format!("bad --mix '{m}' (want put:get:verify:scrub, e.g. 6:6:2:1)"))
+        })?;
+    }
+    if let Some(ms) = flag(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --timeout-ms")?;
+        cfg.op_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+
+    eprintln!(
+        "loadgen: {} client(s) x {} op(s) over {} tenant(s) against {addr} (seed {})…",
+        cfg.clients, cfg.ops_per_client, cfg.tenants, cfg.seed
+    );
+    let report = loadgen::run(&cfg);
+    print!("{}", report.to_text());
+    if args.iter().any(|a| a == "--shutdown") {
+        let mut client = ServeClient::connect(&addr, "loadgen")
+            .map_err(|e| format!("shutdown connect: {e}"))?;
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown request: {e}"))?;
+        println!("server asked to drain and exit");
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(format!(
+            "loadgen campaign FAILED: {} failure(s)",
+            report.failure_count
+        )))
+    }
+}
+
 fn cmd_bench(args: &[String]) -> CliResult {
     use daspos::bench::{self, BenchConfig};
     let mut cfg = BenchConfig::default();
@@ -553,7 +724,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(s) = flag(args, "--seed") {
         cfg.seed = s.parse().map_err(|_| "bad --seed")?;
     }
-    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
 
     eprintln!(
         "bench: {} events x {} reps (threads {}, seed {})…",

@@ -71,6 +71,9 @@ fn bench_subcommand_writes_positive_metrics() {
         "vault_put",
         "vault_get",
         "vault_scrub",
+        "serve_put",
+        "serve_get",
+        "serve_mixed",
     ] {
         for field in ["median_ns_per_event", "events_per_sec"] {
             let value = metric_field(&json, metric, field);
@@ -79,6 +82,19 @@ fn bench_subcommand_writes_positive_metrics() {
                 "{metric}.{field} must be positive, got {value}"
             );
         }
+    }
+
+    // The serve metrics are per-operation latency distributions: the
+    // median slot carries p50 and each must also publish a tail (p99)
+    // at least as large. A missing or null p99 means the service bench
+    // silently degraded to a throughput-only number.
+    for metric in ["serve_put", "serve_get", "serve_mixed"] {
+        let p50 = metric_field(&json, metric, "median_ns_per_event");
+        let p99 = metric_field(&json, metric, "p99_ns_per_event");
+        assert!(
+            p99 >= p50,
+            "{metric}: p99 ({p99}) must be at least p50 ({p50})"
+        );
     }
 
     // The counting allocator must actually be installed in the CLI

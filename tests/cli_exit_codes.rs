@@ -88,6 +88,94 @@ fn integrity_failures_exit_one() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Spawn `daspos-cli serve` and wait for its "serving on <addr>" line.
+/// The returned reader must stay alive until the child exits — dropping
+/// it closes the pipe and turns the server's drain summary into a
+/// broken-pipe panic.
+fn spawn_server(
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead;
+    let mut child = cli()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner readable");
+    let addr = banner
+        .trim_end()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+#[test]
+fn serve_selftest_exits_zero() {
+    let out = run(&["serve", "--selftest"]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve selftest PASSED"), "stdout: {text}");
+}
+
+#[test]
+fn loadgen_against_a_healthy_server_exits_zero() {
+    let (mut child, addr, _stdout) = spawn_server(&[]);
+    let out = run(&[
+        "loadgen", "--addr", &addr, "--clients", "4", "--ops", "8", "--seed", "7", "--shutdown",
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("zero failures"));
+    let status = child.wait().expect("server exits after --shutdown");
+    assert_eq!(status.code(), Some(0), "server drain must exit 0");
+}
+
+#[test]
+fn loadgen_exits_one_when_deep_verification_fails() {
+    // A chaos-injected server flips GET payload bytes after sealing the
+    // object away — only the client's byte-for-byte comparison of what
+    // it PUT can notice, and that is an operational failure: exit 1.
+    let (mut child, addr, _stdout) = spawn_server(&["--chaos", "flip-get"]);
+    let out = run(&[
+        "loadgen", "--addr", &addr, "--clients", "4", "--ops", "10", "--seed", "5", "--shutdown",
+    ]);
+    assert_eq!(
+        code(&out),
+        1,
+        "corrupted GETs must fail the campaign\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("FAILED"), "stderr names the failure: {err}");
+    child.wait().expect("server exits after --shutdown");
+}
+
+#[test]
+fn serve_and_loadgen_usage_errors_exit_two() {
+    // loadgen without a target is a malformed invocation.
+    assert_eq!(code(&run(&["loadgen"])), 2);
+    // Malformed flag values never reach the network.
+    assert_eq!(code(&run(&["loadgen", "--addr", "127.0.0.1:1", "--mix", "nonsense"])), 2);
+    assert_eq!(code(&run(&["loadgen", "--addr", "127.0.0.1:1", "--clients", "0"])), 2);
+    assert_eq!(code(&run(&["serve", "--max-inflight", "0"])), 2);
+    assert_eq!(code(&run(&["serve", "--chaos", "unknown-mode"])), 2);
+}
+
 #[test]
 fn usage_errors_exit_two() {
     // Unknown command / subcommand.

@@ -1,0 +1,239 @@
+//! Integration: admission control and graceful shutdown. When every
+//! in-flight slot is taken the service must shed load with a typed
+//! `Overloaded` response — never a hang, never a dropped object — and a
+//! shutdown request must drain accepted work before the listener exits.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+use daspos::obs::Obs;
+use daspos::serve::{
+    expect_ok, loadgen, LoadgenConfig, ServeClient, ServeConfig, ServeError, Server, Service,
+    Status,
+};
+use daspos::vault::{
+    FlakyBackend, FlakyConfig, MemoryBackend, ObjectKind, RetryPolicy, StorageBackend,
+    StorageError, Vault,
+};
+use daspos::ErrorKind;
+
+/// A backend whose writes block while the test holds the latch — the
+/// deterministic way to pin the admission gate open.
+struct LatchedBackend {
+    inner: MemoryBackend,
+    latch: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl LatchedBackend {
+    fn new(latch: Arc<(Mutex<bool>, Condvar)>) -> LatchedBackend {
+        LatchedBackend {
+            inner: MemoryBackend::new(),
+            latch,
+        }
+    }
+}
+
+/// Close the latch (writes block) / open it (writes proceed).
+fn set_latch(latch: &Arc<(Mutex<bool>, Condvar)>, closed: bool) {
+    let (lock, cvar) = &**latch;
+    *lock.lock().unwrap() = closed;
+    cvar.notify_all();
+}
+
+impl StorageBackend for LatchedBackend {
+    fn name(&self) -> String {
+        "latched-memory".to_string()
+    }
+
+    fn put(&self, key: &str, data: &Bytes) -> Result<(), StorageError> {
+        let (lock, cvar) = &*self.latch;
+        let mut closed = lock.lock().unwrap();
+        while *closed {
+            closed = cvar.wait(closed).unwrap();
+        }
+        drop(closed);
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, StorageError> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        self.inner.list(prefix)
+    }
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = std::time::Instant::now() + deadline;
+    while std::time::Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+#[test]
+fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
+    let latch = Arc::new((Mutex::new(true), Condvar::new()));
+    let vault = Vault::builder()
+        .replica(Arc::new(LatchedBackend::new(latch.clone())))
+        .build()
+        .expect("vault builds");
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
+    let server =
+        Server::start(service.clone(), "127.0.0.1:0", Duration::ZERO).expect("server starts");
+    let addr = server.addr().to_string();
+
+    // Client A's PUT blocks inside the vault, holding the only slot.
+    let payload = Bytes::from(vec![0x5Au8; 256]);
+    let blocked = {
+        let addr = addr.clone();
+        let payload = payload.clone();
+        std::thread::spawn(move || {
+            let mut a = ServeClient::connect(&addr, "atlas").expect("A connects");
+            expect_ok(a.put("slow.bin", ObjectKind::Opaque, &payload).expect("A put sends"))
+        })
+    };
+    assert!(
+        wait_until(Duration::from_secs(5), || service.inflight() == 1),
+        "client A never occupied the in-flight slot"
+    );
+
+    // Client B is shed — a typed response, not a hang or a dropped op.
+    let mut b = ServeClient::connect(&addr, "cms").expect("B connects");
+    let resp = b.put("shed.bin", ObjectKind::Opaque, &payload).expect("B put sends");
+    assert_eq!(resp.status, Status::Overloaded, "detail: {}", resp.detail);
+    let typed = expect_ok(resp).expect_err("overloaded promotes to an error");
+    assert!(matches!(typed, ServeError::Overloaded { .. }), "got {typed:?}");
+    // …and maps into the workspace's typed error vocabulary.
+    let core_err = daspos::Error::from(typed);
+    assert!(
+        matches!(core_err.kind(), ErrorKind::Overloaded(_)),
+        "backpressure lost its type: {core_err}"
+    );
+    assert!(service.stats().rejected() > 0);
+
+    // Releasing the latch lets A finish: accepted work is never dropped.
+    set_latch(&latch, false);
+    blocked
+        .join()
+        .expect("A's thread survives")
+        .expect("A's accepted PUT completed after the stall");
+    let mut a2 = ServeClient::connect(&addr, "atlas").expect("reader connects");
+    let got = expect_ok(a2.get("slow.bin").unwrap()).expect("object preserved");
+    assert_eq!(got.payload.as_slice(), payload.as_slice());
+
+    service.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn flaky_storage_under_load_loses_nothing() {
+    // Every op rides over a backend that fails ~30% of attempts; the
+    // vault's immediate-retry policy absorbs the faults, the admission
+    // gate sheds what it must, and the loadgen's deep verification
+    // proves zero objects were dropped or mangled.
+    let flaky = |seed| {
+        Arc::new(FlakyBackend::new(
+            Arc::new(MemoryBackend::new()),
+            FlakyConfig::transient(seed, 0.3),
+        )) as Arc<dyn StorageBackend>
+    };
+    let vault = Vault::builder()
+        .replica(flaky(11))
+        .replica(flaky(12))
+        .policy(RetryPolicy::immediate(16))
+        .build()
+        .expect("vault builds");
+    let cfg = ServeConfig {
+        max_inflight: 2,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
+    let server = Server::start(service.clone(), "127.0.0.1:0", Duration::from_millis(5))
+        .expect("server starts");
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: server.addr().to_string(),
+        clients: 8,
+        ops_per_client: 24,
+        tenants: 3,
+        seed: 4242,
+        payload_bytes: 512,
+        ..LoadgenConfig::default()
+    });
+    assert!(
+        report.ok(),
+        "flaky backend leaked into client-visible failures:\n{}",
+        report.to_text()
+    );
+    assert_eq!(report.failure_count, 0);
+    assert!(report.mixed.count >= 8 * 24, "ops went missing");
+
+    service.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_the_listener_exits() {
+    let latch = Arc::new((Mutex::new(true), Condvar::new()));
+    let vault = Vault::builder()
+        .replica(Arc::new(LatchedBackend::new(latch.clone())))
+        .build()
+        .expect("vault builds");
+    let cfg = ServeConfig {
+        max_inflight: 4,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
+    let server =
+        Server::start(service.clone(), "127.0.0.1:0", Duration::ZERO).expect("server starts");
+    let addr = server.addr().to_string();
+
+    let payload = Bytes::from(vec![0xC3u8; 128]);
+    let in_flight = {
+        let addr = addr.clone();
+        let payload = payload.clone();
+        std::thread::spawn(move || {
+            let mut a = ServeClient::connect(&addr, "atlas").expect("A connects");
+            expect_ok(a.put("draining.bin", ObjectKind::Opaque, &payload).expect("A put sends"))
+        })
+    };
+    assert!(
+        wait_until(Duration::from_secs(5), || service.inflight() == 1),
+        "PUT never went in-flight"
+    );
+
+    // Shutdown arrives while A's PUT is still being served…
+    let mut ctl = ServeClient::connect(&addr, "ops").expect("control connects");
+    expect_ok(ctl.shutdown_server().expect("shutdown sends")).expect("shutdown acknowledged");
+    assert!(service.shutdown_requested());
+
+    // …and the accepted PUT still completes (drain, don't drop).
+    set_latch(&latch, false);
+    in_flight
+        .join()
+        .expect("A's thread survives")
+        .expect("in-flight PUT drained cleanly through shutdown");
+
+    server.join();
+    assert!(service.stats().ops() >= 2, "both the PUT and the SHUTDOWN counted");
+
+    // The listener is gone: new connections are refused.
+    let refused = wait_until(Duration::from_secs(5), || {
+        ServeClient::connect(&addr, "late").is_err()
+    });
+    assert!(refused, "listener still accepting after drain");
+}

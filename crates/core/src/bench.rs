@@ -43,6 +43,11 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Master seed of the fixture workflow.
     pub seed: u64,
+    /// Substring filters on metric names; empty runs everything. A
+    /// metric runs when any filter is a substring of its name, so
+    /// `["columnar"]` measures just the columnar family and skips the
+    /// vault and serve fixtures entirely.
+    pub metrics: Vec<String>,
 }
 
 impl Default for BenchConfig {
@@ -52,7 +57,15 @@ impl Default for BenchConfig {
             reps: 5,
             threads: 1,
             seed: 42,
+            metrics: Vec::new(),
         }
+    }
+}
+
+impl BenchConfig {
+    /// Whether the metric filter selects `name`.
+    fn wants(&self, name: &str) -> bool {
+        self.metrics.is_empty() || self.metrics.iter().any(|f| name.contains(f.as_str()))
     }
 }
 
@@ -68,13 +81,19 @@ pub struct Metric {
     pub median_ns_per_event: f64,
     /// Event throughput implied by the median rep.
     pub events_per_sec: f64,
-    /// Tail latency: median across reps of each rep's per-op p99.
-    /// `None` for throughput metrics, where reps are one homogeneous
-    /// pass and a p99 would not mean anything.
+    /// Tail latency. For the serve metrics: the median across reps of
+    /// each rep's per-op p99. For throughput metrics: the nearest-rank
+    /// 99th percentile across the timed reps, per event — the worst rep
+    /// at the default 5 reps, a true tail at higher rep counts.
     pub p99_ns_per_event: Option<f64>,
     /// Peak bytes allocated above the baseline during the timed reps;
     /// `None` unless built with the `bench-alloc` feature.
     pub peak_alloc_bytes: Option<u64>,
+    /// Bytes on disk of the artifact this metric reads or writes,
+    /// divided by the event count — the compression axis the regression
+    /// gate guards alongside speed. `None` where no single artifact is
+    /// attributable.
+    pub bytes_per_event: Option<f64>,
 }
 
 /// A full benchmark run, renderable as JSON.
@@ -99,11 +118,20 @@ impl BenchReport {
         (s > 0.0).then(|| f / s)
     }
 
+    /// Ratio of two metrics' `bytes_per_event`, if both carry one —
+    /// `columnar_encode_v2` over `columnar_encode_v1` is the compression
+    /// ratio the v2 acceptance criterion tracks.
+    pub fn bytes_ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let n = self.metric(num)?.bytes_per_event?;
+        let d = self.metric(den)?.bytes_per_event?;
+        (d > 0.0).then_some(n / d)
+    }
+
     /// Render the report as a small, dependency-free JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"daspos-bench/1\",\n");
+        out.push_str("  \"schema\": \"daspos-bench/2\",\n");
         out.push_str(&format!(
             "  \"config\": {{\"events\": {}, \"reps\": {}, \"threads\": {}, \"seed\": {}}},\n",
             self.config.events, self.config.reps, self.config.threads, self.config.seed
@@ -119,27 +147,34 @@ impl BenchReport {
                 Some(v) => format!("{v:.2}"),
                 None => "null".to_string(),
             };
+            let bytes = match m.bytes_per_event {
+                Some(v) => format!("{v:.2}"),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"reps_ns\": [{}], \"median_ns_per_event\": {:.2}, \"p99_ns_per_event\": {}, \"events_per_sec\": {:.1}, \"peak_alloc_bytes\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"reps_ns\": [{}], \"median_ns_per_event\": {:.2}, \"p99_ns_per_event\": {}, \"events_per_sec\": {:.1}, \"peak_alloc_bytes\": {}, \"bytes_per_event\": {}}}{}\n",
                 m.name,
                 reps.join(", "),
                 m.median_ns_per_event,
                 p99,
                 m.events_per_sec,
                 peak,
+                bytes,
                 if i + 1 < self.metrics.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
-        let fmt_speedup = |r: Option<f64>| match r {
+        let fmt = |r: Option<f64>| match r {
             Some(v) => format!("{v:.3}"),
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}, \"columnar_skim_speedup\": {}}}\n",
-            fmt_speedup(self.speedup("decode_streaming", "decode_batch")),
-            fmt_speedup(self.speedup("skim_streaming", "skim_batch")),
-            fmt_speedup(self.speedup("columnar_skim", "skim_streaming"))
+            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}, \"columnar_skim_speedup\": {}, \"columnar_decode_par_speedup\": {}, \"columnar_v2_bytes_ratio\": {}}}\n",
+            fmt(self.speedup("decode_streaming", "decode_batch")),
+            fmt(self.speedup("skim_streaming", "skim_batch")),
+            fmt(self.speedup("columnar_skim", "skim_streaming")),
+            fmt(self.speedup("columnar_decode_par", "columnar_decode")),
+            fmt(self.bytes_ratio("columnar_encode_v2", "columnar_encode_v1"))
         ));
         out.push_str("}\n");
         out
@@ -157,100 +192,174 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
     let n = output.aod_events.len() as u64;
 
     let mut metrics = Vec::new();
-    metrics.push(measure("decode_batch", cfg.reps, n, || {
-        let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
-        black_box(evs.len());
-    }));
-    metrics.push(measure("decode_streaming", cfg.reps, n, || {
-        let mut reader =
-            EventReader::<AodEvent>::new(&aod_file).expect("pristine header parses");
-        let mut seen = 0u64;
-        while let Some(ev) = reader.next().expect("pristine file decodes") {
-            seen += 1;
-            black_box(ev.header.event);
-        }
-        black_box(seen);
-    }));
-    metrics.push(measure("seal_verify", cfg.reps, n, || {
-        let payload = codec::unseal(&sealed).expect("seal verifies");
-        black_box(payload.len());
-    }));
-    metrics.push(measure("skim_batch", cfg.reps, n, || {
-        let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
-        let (survivors, report) = skim::skim_slim(&evs, &workflow.skim, &workflow.slim);
-        let file = AodEvent::encode_events(&survivors);
-        black_box((file.len(), report.events_out));
-    }));
-    metrics.push(measure("skim_streaming", cfg.reps, n, || {
-        let (file, report) =
-            skim::skim_slim_streaming(&aod_file, &workflow.skim, &workflow.slim)
-                .expect("pristine file skims");
-        black_box((file.len(), report.events_out));
-    }));
+    if cfg.wants("decode_batch") {
+        let mut m = measure("decode_batch", cfg.reps, n, || {
+            let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
+            black_box(evs.len());
+        });
+        m.bytes_per_event = Some(aod_file.len() as f64 / n.max(1) as f64);
+        metrics.push(m);
+    }
+    if cfg.wants("decode_streaming") {
+        metrics.push(measure("decode_streaming", cfg.reps, n, || {
+            let mut reader =
+                EventReader::<AodEvent>::new(&aod_file).expect("pristine header parses");
+            let mut seen = 0u64;
+            while let Some(ev) = reader.next().expect("pristine file decodes") {
+                seen += 1;
+                black_box(ev.header.event);
+            }
+            black_box(seen);
+        }));
+    }
+    if cfg.wants("seal_verify") {
+        metrics.push(measure("seal_verify", cfg.reps, n, || {
+            let payload = codec::unseal(&sealed).expect("seal verifies");
+            black_box(payload.len());
+        }));
+    }
+    if cfg.wants("skim_batch") {
+        metrics.push(measure("skim_batch", cfg.reps, n, || {
+            let evs = AodEvent::decode_events(&aod_file).expect("pristine file decodes");
+            let (survivors, report) = skim::skim_slim(&evs, &workflow.skim, &workflow.slim);
+            let file = AodEvent::encode_events(&survivors);
+            black_box((file.len(), report.events_out));
+        }));
+    }
+    if cfg.wants("skim_streaming") {
+        metrics.push(measure("skim_streaming", cfg.reps, n, || {
+            let (file, report) =
+                skim::skim_slim_streaming(&aod_file, &workflow.skim, &workflow.slim)
+                    .expect("pristine file skims");
+            black_box((file.len(), report.events_out));
+        }));
+    }
     // The same skim over the columnar layout: the NLeptons cut touches
     // only the two lepton-momentum columns out of ten.
     let columnar_file = ColumnarFile::from_rows(&output.aod_events);
-    metrics.push(measure("columnar_skim", cfg.reps, n, || {
-        let (file, report) =
-            skim_slim_columnar(&columnar_file, &workflow.skim, &workflow.slim, None)
-                .expect("pristine columnar file skims");
-        black_box((file.len(), report.events_out));
-    }));
-    metrics.push(measure("columnar_decode", cfg.reps, n, || {
-        let rows = ColumnarFile::parse(&columnar_file)
-            .expect("pristine columnar header parses")
-            .to_rows()
-            .expect("pristine columnar file decodes");
-        black_box(rows.len());
-    }));
-    metrics.push(measure("full_chain", cfg.reps, n, || {
-        let ctx = ExecutionContext::fresh(&workflow);
-        let out = workflow
-            .execute(&ctx, &opts)
-            .expect("fixture chain executes");
-        black_box(out.aod_events.len());
-    }));
+    let columnar_bpe = Some(columnar_file.len() as f64 / n.max(1) as f64);
+    if cfg.wants("columnar_skim") {
+        let mut m = measure("columnar_skim", cfg.reps, n, || {
+            let (file, report) =
+                skim_slim_columnar(&columnar_file, &workflow.skim, &workflow.slim, None)
+                    .expect("pristine columnar file skims");
+            black_box((file.len(), report.events_out));
+        });
+        m.bytes_per_event = columnar_bpe;
+        metrics.push(m);
+    }
+    if cfg.wants("columnar_decode") {
+        let mut m = measure("columnar_decode", cfg.reps, n, || {
+            let rows = ColumnarFile::parse(&columnar_file)
+                .expect("pristine columnar header parses")
+                .to_rows()
+                .expect("pristine columnar file decodes");
+            black_box(rows.len());
+        });
+        m.bytes_per_event = columnar_bpe;
+        metrics.push(m);
+    }
+    // The worker-pool column fan-out, pinned at 4 threads so the
+    // trajectory point is comparable across boxes (on a 1-core host the
+    // pool degrades to chunked-sequential and the ratio to
+    // `columnar_decode` stays ~1).
+    if cfg.wants("columnar_decode_par") {
+        let mut m = measure("columnar_decode_par", cfg.reps, n, || {
+            let rows = daspos_tiers::decode_columns_parallel(&columnar_file, 4)
+                .expect("pristine columnar file decodes in parallel");
+            black_box(rows.len());
+        });
+        m.bytes_per_event = columnar_bpe;
+        metrics.push(m);
+    }
+    // v1-vs-v2 encode: same rows, raw frames versus cost-probed
+    // encodings. The bytes_per_event pair is the compression ratio the
+    // acceptance criterion gates on.
+    if cfg.wants("columnar_encode_v1") {
+        let mut m = measure("columnar_encode_v1", cfg.reps, n, || {
+            black_box(ColumnarFile::from_rows_v1(&output.aod_events).len());
+        });
+        m.bytes_per_event =
+            Some(ColumnarFile::from_rows_v1(&output.aod_events).len() as f64 / n.max(1) as f64);
+        metrics.push(m);
+    }
+    if cfg.wants("columnar_encode_v2") {
+        let mut m = measure("columnar_encode_v2", cfg.reps, n, || {
+            black_box(
+                daspos_tiers::encode_columnar_parallel(&output.aod_events, cfg.threads).len(),
+            );
+        });
+        m.bytes_per_event = columnar_bpe;
+        metrics.push(m);
+    }
+    if cfg.wants("full_chain") {
+        metrics.push(measure("full_chain", cfg.reps, n, || {
+            let ctx = ExecutionContext::fresh(&workflow);
+            let out = workflow
+                .execute(&ctx, &opts)
+                .expect("fixture chain executes");
+            black_box(out.aod_events.len());
+        }));
+    }
 
     // Vault metrics: a 3-replica in-memory vault holding the sealed AOD
     // tier — the preservation store's hot paths normalized per event.
-    let backends: Vec<Arc<MemoryBackend>> =
-        (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
-    let mut builder = Vault::builder();
-    for b in &backends {
-        builder = builder.replica(b.clone());
+    if ["vault_put", "vault_get", "vault_scrub"]
+        .iter()
+        .any(|m| cfg.wants(m))
+    {
+        let backends: Vec<Arc<MemoryBackend>> =
+            (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let mut builder = Vault::builder();
+        for b in &backends {
+            builder = builder.replica(b.clone());
+        }
+        let vault = builder.build()?;
+        // The put always runs (it seeds the store for get and scrub);
+        // its metric is recorded only when selected.
+        let put = measure("vault_put", cfg.reps, n, || {
+            vault
+                .put("tier-aod.dpef", ObjectKind::SealedTier, &sealed)
+                .expect("vault put succeeds");
+        });
+        if cfg.wants("vault_put") {
+            metrics.push(put);
+        }
+        if cfg.wants("vault_get") {
+            metrics.push(measure("vault_get", cfg.reps, n, || {
+                let (_, payload) = vault.get("tier-aod.dpef").expect("vault get succeeds");
+                black_box(payload.len());
+            }));
+        }
+        // One replica is re-damaged before every scrub rep, so each rep
+        // pays for detection of real corruption plus a byte-identical
+        // repair.
+        if cfg.wants("vault_scrub") {
+            let damaged = {
+                let envelope = backends[0].get("tier-aod.dpef").expect("stored envelope");
+                let mut v = envelope.to_vec();
+                let mid = v.len() / 2;
+                v[mid] ^= 0x01;
+                Bytes::from(v)
+            };
+            metrics.push(measure("vault_scrub", cfg.reps, n, || {
+                backends[0]
+                    .put("tier-aod.dpef", &damaged)
+                    .expect("damage injects");
+                let report = vault.scrub().expect("scrub runs");
+                assert!(report.clean(), "scrub must repair the seeded damage");
+                black_box(report.repaired);
+            }));
+        }
     }
-    let vault = builder.build()?;
-    metrics.push(measure("vault_put", cfg.reps, n, || {
-        vault
-            .put("tier-aod.dpef", ObjectKind::SealedTier, &sealed)
-            .expect("vault put succeeds");
-    }));
-    metrics.push(measure("vault_get", cfg.reps, n, || {
-        let (_, payload) = vault.get("tier-aod.dpef").expect("vault get succeeds");
-        black_box(payload.len());
-    }));
-    // One replica is re-damaged before every scrub rep, so each rep pays
-    // for detection of real corruption plus a byte-identical repair.
-    let damaged = {
-        let envelope = backends[0].get("tier-aod.dpef").expect("stored envelope");
-        let mut v = envelope.to_vec();
-        let mid = v.len() / 2;
-        v[mid] ^= 0x01;
-        Bytes::from(v)
-    };
-    metrics.push(measure("vault_scrub", cfg.reps, n, || {
-        backends[0]
-            .put("tier-aod.dpef", &damaged)
-            .expect("damage injects");
-        let report = vault.scrub().expect("scrub runs");
-        assert!(report.clean(), "scrub must repair the seeded damage");
-        black_box(report.repaired);
-    }));
 
     // Serve metrics: an in-process preservation server on an ephemeral
     // loopback port, driven through the framed protocol client. These
     // are per-op latencies (p50 as the gated median, p99 as the tail),
     // not per-event throughput like the metrics above.
+    if ["serve_put", "serve_get", "serve_mixed"]
+        .iter()
+        .any(|m| cfg.wants(m))
     {
         use daspos_obs::Obs;
         use daspos_serve::{expect_ok, loadgen, LoadgenConfig, OpStats};
@@ -260,15 +369,20 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
             .replica(Arc::new(MemoryBackend::new()))
             .replica(Arc::new(MemoryBackend::new()))
             .build()?;
-        let service = Arc::new(Service::new(serve_vault, &ServeConfig::default(), Obs::disabled()));
+        let service = Arc::new(Service::new(
+            serve_vault,
+            &ServeConfig::default(),
+            Obs::disabled(),
+        ));
         let server = Server::start(service.clone(), "127.0.0.1:0", std::time::Duration::ZERO)?;
         let addr = server.addr().to_string();
         let serve_payload = Bytes::from(vec![0xA5u8; 4096]);
         const SERVE_OPS: usize = 64;
 
-        metrics.push(measure_percentiles("serve_put", cfg.reps, || {
-            let mut client =
-                ServeClient::connect(&addr, "bench").expect("bench client connects");
+        // The put pass always runs (it seeds the namespace the get pass
+        // reads); its metric is recorded only when selected.
+        let put = measure_percentiles("serve_put", cfg.reps, || {
+            let mut client = ServeClient::connect(&addr, "bench").expect("bench client connects");
             let lat: Vec<u64> = (0..SERVE_OPS)
                 .map(|i| {
                     let key = format!("bench-{i:03}.bin");
@@ -284,41 +398,48 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
                 .collect();
             let st = OpStats::from_latencies(lat);
             (st.p50_ns, st.p99_ns)
-        }));
-        metrics.push(measure_percentiles("serve_get", cfg.reps, || {
-            let mut client =
-                ServeClient::connect(&addr, "bench").expect("bench client connects");
-            let lat: Vec<u64> = (0..SERVE_OPS)
-                .map(|i| {
-                    let key = format!("bench-{i:03}.bin");
-                    let t = Instant::now();
-                    let resp = expect_ok(client.get(&key).expect("serve get sends"))
-                        .expect("serve get finds the bench object");
-                    black_box(resp.payload.len());
-                    t.elapsed().as_nanos() as u64
-                })
-                .collect();
-            let st = OpStats::from_latencies(lat);
-            (st.p50_ns, st.p99_ns)
-        }));
-        metrics.push(measure_percentiles("serve_mixed", cfg.reps, || {
-            let lg = LoadgenConfig {
-                addr: addr.clone(),
-                clients: 4,
-                ops_per_client: 16,
-                tenants: 2,
-                seed: cfg.seed,
-                payload_bytes: 512,
-                ..LoadgenConfig::default()
-            };
-            let report = loadgen::run(&lg);
-            assert!(
-                report.ok(),
-                "serve_mixed campaign must deep-verify: {}",
-                report.to_text()
-            );
-            (report.mixed.p50_ns, report.mixed.p99_ns)
-        }));
+        });
+        if cfg.wants("serve_put") {
+            metrics.push(put);
+        }
+        if cfg.wants("serve_get") {
+            metrics.push(measure_percentiles("serve_get", cfg.reps, || {
+                let mut client =
+                    ServeClient::connect(&addr, "bench").expect("bench client connects");
+                let lat: Vec<u64> = (0..SERVE_OPS)
+                    .map(|i| {
+                        let key = format!("bench-{i:03}.bin");
+                        let t = Instant::now();
+                        let resp = expect_ok(client.get(&key).expect("serve get sends"))
+                            .expect("serve get finds the bench object");
+                        black_box(resp.payload.len());
+                        t.elapsed().as_nanos() as u64
+                    })
+                    .collect();
+                let st = OpStats::from_latencies(lat);
+                (st.p50_ns, st.p99_ns)
+            }));
+        }
+        if cfg.wants("serve_mixed") {
+            metrics.push(measure_percentiles("serve_mixed", cfg.reps, || {
+                let lg = LoadgenConfig {
+                    addr: addr.clone(),
+                    clients: 4,
+                    ops_per_client: 16,
+                    tenants: 2,
+                    seed: cfg.seed,
+                    payload_bytes: 512,
+                    ..LoadgenConfig::default()
+                };
+                let report = loadgen::run(&lg);
+                assert!(
+                    report.ok(),
+                    "serve_mixed campaign must deep-verify: {}",
+                    report.to_text()
+                );
+                (report.mixed.p50_ns, report.mixed.p99_ns)
+            }));
+        }
 
         service.request_shutdown();
         server.join();
@@ -347,14 +468,33 @@ pub fn write_report(report: &BenchReport, out: &Path) -> Result<Vec<String>, Err
     if let Some(prev) = previous_bench_file(out) {
         let prev_json = std::fs::read_to_string(&prev)
             .map_err(|e| Error::msg(format!("cannot read baseline {}: {e}", prev.display())))?;
-        let baseline = prev.file_name().and_then(|n| n.to_str()).unwrap_or("baseline");
-        for (name, old) in parse_medians(&prev_json) {
-            let Some(m) = report.metric(&name) else { continue };
+        let baseline = prev
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("baseline");
+        for (name, old) in parse_metric_field(&prev_json, "median_ns_per_event") {
+            let Some(m) = report.metric(&name) else {
+                continue;
+            };
             if old > 0.0 && m.median_ns_per_event > old * REGRESSION_TOLERANCE {
                 regressions.push(format!(
                     "{name}: {old:.2} -> {:.2} ns/event (+{:.0}% vs {baseline})",
                     m.median_ns_per_event,
                     (m.median_ns_per_event / old - 1.0) * 100.0,
+                ));
+            }
+        }
+        // The same tolerance guards the compression axis: a metric whose
+        // artifact grew past the gate is a regression even if it got
+        // faster.
+        for (name, old) in parse_metric_field(&prev_json, "bytes_per_event") {
+            let Some(new) = report.metric(&name).and_then(|m| m.bytes_per_event) else {
+                continue;
+            };
+            if old > 0.0 && new > old * REGRESSION_TOLERANCE {
+                regressions.push(format!(
+                    "{name}: {old:.2} -> {new:.2} bytes/event (+{:.0}% vs {baseline})",
+                    (new / old - 1.0) * 100.0,
                 ));
             }
         }
@@ -382,7 +522,9 @@ fn previous_bench_file(out: &Path) -> Option<PathBuf> {
         if name == out_name {
             continue;
         }
-        let Some(number) = bench_number(name) else { continue };
+        let Some(number) = bench_number(name) else {
+            continue;
+        };
         if best.as_ref().is_none_or(|(n, _)| number > *n) {
             best = Some((number, entry.path()));
         }
@@ -398,20 +540,24 @@ fn bench_number(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Extract `(name, median_ns_per_event)` pairs from a bench JSON
-/// document. A line-oriented scan over the exact layout
-/// [`BenchReport::to_json`] renders — not a general JSON parser.
-fn parse_medians(json: &str) -> Vec<(String, f64)> {
+/// Extract `(name, <field>)` pairs from a bench JSON document, skipping
+/// metrics where the field is absent or `null`. A line-oriented scan
+/// over the exact layout [`BenchReport::to_json`] renders — not a
+/// general JSON parser.
+fn parse_metric_field(json: &str, field: &str) -> Vec<(String, f64)> {
+    let needle = format!("\"{field}\": ");
     let mut out = Vec::new();
     for line in json.lines() {
         let Some(rest) = line.trim_start().strip_prefix("{\"name\": \"") else {
             continue;
         };
-        let Some((name, rest)) = rest.split_once('"') else { continue };
-        let Some(at) = rest.find("\"median_ns_per_event\": ") else {
+        let Some((name, rest)) = rest.split_once('"') else {
             continue;
         };
-        let tail = &rest[at + "\"median_ns_per_event\": ".len()..];
+        let Some(at) = rest.find(&needle) else {
+            continue;
+        };
+        let tail = &rest[at + needle.len()..];
         let digits: String = tail
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.')
@@ -447,13 +593,19 @@ fn measure(name: &'static str, reps: usize, events: u64, mut f: impl FnMut()) ->
     } else {
         events as f64 * 1e9 / median as f64
     };
+    // Nearest-rank 99th percentile across the timed reps. At the
+    // default 5 reps this is the slowest rep — a coarse but honest tail
+    // (run with more reps for a finer one).
+    let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    let p99 = sorted[rank.clamp(1, sorted.len()) - 1];
     Metric {
         name,
         reps_ns,
         median_ns_per_event,
         events_per_sec,
-        p99_ns_per_event: None,
+        p99_ns_per_event: Some(p99 as f64 / events.max(1) as f64),
         peak_alloc_bytes,
+        bytes_per_event: None,
     }
 }
 
@@ -495,6 +647,7 @@ fn measure_percentiles(
         events_per_sec: if p50 == 0 { 0.0 } else { 1e9 / p50 as f64 },
         p99_ns_per_event: Some(p99 as f64),
         peak_alloc_bytes,
+        bytes_per_event: None,
     }
 }
 
@@ -571,14 +724,21 @@ mod tests {
             reps: 2,
             threads: 1,
             seed: 7,
+            metrics: Vec::new(),
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 14);
+        assert_eq!(report.metrics.len(), 17);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
             assert!(m.median_ns_per_event > 0.0, "{}", m.name);
             assert!(m.events_per_sec > 0.0, "{}", m.name);
+            // Every metric carries a tail now — per-op for serve,
+            // across-reps for throughput metrics.
+            let p99 = m
+                .p99_ns_per_event
+                .unwrap_or_else(|| panic!("{} has no p99", m.name));
+            assert!(p99 >= m.median_ns_per_event, "{}", m.name);
         }
         let json = report.to_json();
         for name in [
@@ -589,6 +749,9 @@ mod tests {
             "skim_streaming",
             "columnar_skim",
             "columnar_decode",
+            "columnar_decode_par",
+            "columnar_encode_v1",
+            "columnar_encode_v2",
             "full_chain",
             "vault_put",
             "vault_get",
@@ -598,25 +761,53 @@ mod tests {
             "serve_mixed",
             "decode_streaming_speedup",
             "columnar_skim_speedup",
+            "columnar_decode_par_speedup",
+            "columnar_v2_bytes_ratio",
         ] {
             assert!(json.contains(name), "missing {name} in:\n{json}");
         }
-        // The serve metrics carry tail latency; the throughput metrics
-        // do not.
-        for name in ["serve_put", "serve_get", "serve_mixed"] {
-            let m = report.metric(name).expect(name);
-            assert!(m.p99_ns_per_event.is_some(), "{name} must report a p99");
-            assert!(m.p99_ns_per_event.unwrap() >= m.median_ns_per_event, "{name}");
-        }
-        assert!(report.metric("vault_put").unwrap().p99_ns_per_event.is_none());
-        // Balanced braces/brackets — the document is at least well-formed.
+        // The compression axis: the v2 encoding must not be larger than
+        // raw v1 frames on the fixture workload.
+        let v1 = report
+            .metric("columnar_encode_v1")
+            .unwrap()
+            .bytes_per_event
+            .unwrap();
+        let v2 = report
+            .metric("columnar_encode_v2")
+            .unwrap()
+            .bytes_per_event
+            .unwrap();
+        assert!(v2 < v1, "v2 {v2} bytes/event must beat v1 {v1}");
         assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
+            report.bytes_ratio("columnar_encode_v2", "columnar_encode_v1"),
+            Some(v2 / v1)
         );
+        // Balanced braces/brackets — the document is at least well-formed.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn metric_filter_selects_a_family_and_skips_the_rest() {
+        let cfg = BenchConfig {
+            events: 30,
+            reps: 1,
+            threads: 1,
+            seed: 7,
+            metrics: vec!["columnar".to_string()],
+        };
+        let report = run(&cfg).expect("filtered bench runs");
+        let names: Vec<&str> = report.metrics.iter().map(|m| m.name).collect();
         assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count()
+            names,
+            vec![
+                "columnar_skim",
+                "columnar_decode",
+                "columnar_decode_par",
+                "columnar_encode_v1",
+                "columnar_encode_v2",
+            ]
         );
     }
 
@@ -628,6 +819,7 @@ mod tests {
             events_per_sec: 1e9 / median,
             p99_ns_per_event: None,
             peak_alloc_bytes: None,
+            bytes_per_event: None,
         }
     }
 
@@ -643,8 +835,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("daspos-bench-gate-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         // Trajectory point 1: the baseline.
-        let base = report_with(vec![metric("skim_streaming", 100.0), metric("vault_put", 50.0)]);
-        assert!(write_report(&base, &dir.join("BENCH_1.json")).unwrap().is_empty());
+        let base = report_with(vec![
+            metric("skim_streaming", 100.0),
+            metric("vault_put", 50.0),
+        ]);
+        assert!(write_report(&base, &dir.join("BENCH_1.json"))
+            .unwrap()
+            .is_empty());
         // Point 2: one metric regresses past the tolerance, one improves,
         // and a brand-new metric has no baseline to regress against.
         let next = report_with(vec![
@@ -661,25 +858,58 @@ mod tests {
         // Point 3 compares against the highest-numbered sibling (point 2,
         // where skim_streaming was already 200) — so no regression now.
         let steady = report_with(vec![metric("skim_streaming", 210.0)]);
-        assert!(write_report(&steady, &dir.join("BENCH_3.json")).unwrap().is_empty());
+        assert!(write_report(&steady, &dir.join("BENCH_3.json"))
+            .unwrap()
+            .is_empty());
         // Within-tolerance slowdowns (< 25%) pass.
         let noisy = report_with(vec![metric("skim_streaming", 110.0)]);
         let _ = std::fs::remove_file(dir.join("BENCH_2.json"));
         let _ = std::fs::remove_file(dir.join("BENCH_3.json"));
-        assert!(write_report(&noisy, &dir.join("BENCH_2.json")).unwrap().is_empty());
+        assert!(write_report(&noisy, &dir.join("BENCH_2.json"))
+            .unwrap()
+            .is_empty());
         // Non-trajectory names skip the gate entirely.
-        assert!(write_report(&next, &dir.join("scratch.json")).unwrap().is_empty());
+        assert!(write_report(&next, &dir.join("scratch.json"))
+            .unwrap()
+            .is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn parse_medians_round_trips_the_renderer() {
-        let report = report_with(vec![metric("a", 12.5), metric("b", 3.0)]);
-        let parsed = parse_medians(&report.to_json());
+    fn parse_metric_field_round_trips_the_renderer() {
+        let mut a = metric("a", 12.5);
+        a.bytes_per_event = Some(160.25);
+        let report = report_with(vec![a, metric("b", 3.0)]);
+        let json = report.to_json();
         assert_eq!(
-            parsed,
+            parse_metric_field(&json, "median_ns_per_event"),
             vec![("a".to_string(), 12.5), ("b".to_string(), 3.0)]
         );
+        // Null fields are skipped, present ones parse back exactly.
+        assert_eq!(
+            parse_metric_field(&json, "bytes_per_event"),
+            vec![("a".to_string(), 160.25)]
+        );
+    }
+
+    #[test]
+    fn write_report_flags_bytes_per_event_growth() {
+        let dir = std::env::temp_dir().join(format!("daspos-bench-bytes-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut base_m = metric("columnar_encode_v2", 100.0);
+        base_m.bytes_per_event = Some(100.0);
+        assert!(
+            write_report(&report_with(vec![base_m]), &dir.join("BENCH_1.json"))
+                .unwrap()
+                .is_empty()
+        );
+        // Same speed, 30% more bytes on disk: the gate must fire.
+        let mut fat = metric("columnar_encode_v2", 100.0);
+        fat.bytes_per_event = Some(130.0);
+        let regressions = write_report(&report_with(vec![fat]), &dir.join("BENCH_2.json")).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("bytes/event"), "{regressions:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -694,6 +924,7 @@ mod tests {
                     events_per_sec: 200.0,
                     p99_ns_per_event: None,
                     peak_alloc_bytes: None,
+                    bytes_per_event: None,
                 },
                 Metric {
                     name: "b",
@@ -702,6 +933,7 @@ mod tests {
                     events_per_sec: 100.0,
                     p99_ns_per_event: None,
                     peak_alloc_bytes: None,
+                    bytes_per_event: None,
                 },
             ],
         };

@@ -71,7 +71,10 @@ pub enum ArtifactClass {
     /// replicas (or the mutation left the copy byte-identical).
     VaultReplica,
     /// A columnar `DPCF` AOD tier file: the offset table, per-column
-    /// digests and independently framed columns are all in scope.
+    /// digests and independently framed columns are all in scope. On
+    /// v2 files half the mutations target the per-column encodings
+    /// directly — encoding-tag flips, dictionary/counts-prologue
+    /// corruption, and truncations inside the varint/RLE streams.
     ColumnarTier,
     /// One DPRQ/DPRS wire frame of the preservation service (length
     /// prefix + sealed body). Request frames are judged through the live
@@ -604,7 +607,8 @@ impl CampaignFixture {
             .ok_or("raw dataset has no files")?
             .clone();
         let conditions_text = archive.section_text(sections::CONDITIONS)?.to_string();
-        let snapshot = Snapshot::from_text(&conditions_text).map_err(|e| Error::msg(e.to_string()))?;
+        let snapshot =
+            Snapshot::from_text(&conditions_text).map_err(|e| Error::msg(e.to_string()))?;
         let results_text = archive.section_text(sections::RESULTS)?.to_string();
         let sealed_aod = codec::seal(&aod_payload);
         let sealed_raw = codec::seal(&raw_payload);
@@ -621,7 +625,12 @@ impl CampaignFixture {
         // key order. Envelope shapes reuse the payload's structural
         // boundaries, shifted past the envelope header.
         let sources = [
-            ("aod.dpcf", ObjectKind::ColumnarAod, columnar_aod.clone(), &col_shape),
+            (
+                "aod.dpcf",
+                ObjectKind::ColumnarAod,
+                columnar_aod.clone(),
+                &col_shape,
+            ),
             (
                 "archive.dpar",
                 ObjectKind::Container,
@@ -780,8 +789,10 @@ fn sealed_tier_shape(sealed: &Bytes) -> ArtifactShape {
 }
 
 /// Boundaries of a columnar DPCF file: every header field edge, every
-/// offset-table entry start, and every column frame start — so boundary
-/// truncations land exactly on the format's structural seams.
+/// offset-table entry start, every column frame start, and (v2) the
+/// body start one byte past each frame's encoding tag — so boundary
+/// truncations land exactly on the format's structural seams,
+/// including the tag/body seam the v2 encodings introduced.
 fn columnar_shape(file: &Bytes) -> ArtifactShape {
     // Header: magic(4) + version(2) + tier(1) + n_rows(4) + n_cols(1),
     // then 10 table entries of col_id(1) + offset(4) + length(4) +
@@ -791,13 +802,10 @@ fn columnar_shape(file: &Bytes) -> ArtifactShape {
     for entry in 0..10usize {
         let at = 12 + entry * 17;
         boundaries.push(at);
-        let offset = u32::from_le_bytes([
-            file[at + 1],
-            file[at + 2],
-            file[at + 3],
-            file[at + 4],
-        ]) as usize;
+        let offset =
+            u32::from_le_bytes([file[at + 1], file[at + 2], file[at + 3], file[at + 4]]) as usize;
         boundaries.push(frames_base + offset);
+        boundaries.push(frames_base + offset + 1);
     }
     boundaries.sort_unstable();
     boundaries.dedup();
@@ -827,7 +835,11 @@ fn serve_scratch_service() -> Result<Service, Error> {
         .replica(Arc::new(MemoryBackend::new()))
         .replica(Arc::new(MemoryBackend::new()))
         .build()?;
-    Ok(Service::new(vault, &ServeConfig::default(), Obs::disabled()))
+    Ok(Service::new(
+        vault,
+        &ServeConfig::default(),
+        Obs::disabled(),
+    ))
 }
 
 /// Boundaries of a serialized container: every section record start.
@@ -894,11 +906,66 @@ pub fn derive_mutation(
             response,
             sub: Box::new(sample_kind(&mut rng, shape, None)),
         }
+    } else if class == ArtifactClass::ColumnarTier && rng.gen_range(0..2u32) == 1 {
+        // Half the columnar budget goes to attacks aimed at the v2
+        // per-column encodings rather than uniform byte noise: flip an
+        // encoding tag (to another valid tag or an undefined one),
+        // corrupt the frame prologue just past the tag (dictionary
+        // size, counts mode, leading varints), or truncate mid-frame
+        // inside the dictionary/varint/RLE streams. All of these must
+        // still come back detected-or-harmless — the per-column digest
+        // covers the stored frame bytes, tag included, and the
+        // decoders bound every read.
+        let shape = fixture.shape(class);
+        let frames_base = 12 + 10 * 17;
+        // The offset table is authoritative for frame starts (the shape
+        // boundaries also carry the +1 body seams, so don't reuse them
+        // here). The fixture file is pristine by construction.
+        let artifact = fixture.artifact(class);
+        let mut starts: Vec<usize> = (0..10usize)
+            .map(|entry| {
+                let at = 12 + entry * 17;
+                let offset = u32::from_le_bytes([
+                    artifact[at + 1],
+                    artifact[at + 2],
+                    artifact[at + 3],
+                    artifact[at + 4],
+                ]) as usize;
+                frames_base + offset
+            })
+            .filter(|&b| b < shape.len)
+            .collect();
+        starts.sort_unstable();
+        starts.dedup();
+        if starts.is_empty() {
+            sample_kind(&mut rng, shape, None)
+        } else {
+            let i = rng.gen_range(0..starts.len());
+            let start = starts[i];
+            let end = if i + 1 < starts.len() {
+                starts[i + 1]
+            } else {
+                shape.len
+            };
+            match rng.gen_range(0..3u32) {
+                0 => MutationKind::ByteSet {
+                    offset: start,
+                    value: rng.gen_range(0..=5u32) as u8,
+                },
+                1 => MutationKind::ByteSet {
+                    offset: (start + 1 + rng.gen_range(0..4usize)).min(shape.len - 1),
+                    value: rng.gen_range(0..=255u32) as u8,
+                },
+                _ => MutationKind::Truncate {
+                    len: rng.gen_range(start..end.max(start + 1)),
+                },
+            }
+        }
     } else {
         // Forgeries mutate the results text, so their sampling shape is
         // the (precomputed) ResultsText shape.
-        let forge_shape = (class == ArtifactClass::Archive)
-            .then(|| fixture.shape(ArtifactClass::ResultsText));
+        let forge_shape =
+            (class == ArtifactClass::Archive).then(|| fixture.shape(ArtifactClass::ResultsText));
         sample_kind(&mut rng, fixture.shape(class), forge_shape)
     };
     Mutation {
@@ -949,12 +1016,8 @@ pub fn check_mutant(
     cache: &mut RerunCache,
 ) -> Outcome {
     match mutation.class {
-        ArtifactClass::TierAod => {
-            check_sealed_tier::<AodEvent>(mutated, &fixture.aod_payload)
-        }
-        ArtifactClass::TierRaw => {
-            check_sealed_tier::<RawEvent>(mutated, &fixture.raw_payload)
-        }
+        ArtifactClass::TierAod => check_sealed_tier::<AodEvent>(mutated, &fixture.aod_payload),
+        ArtifactClass::TierRaw => check_sealed_tier::<RawEvent>(mutated, &fixture.raw_payload),
         ArtifactClass::Archive => check_archive(fixture, mutated, cache),
         ArtifactClass::ConditionsText => check_conditions_text(fixture, mutated),
         ArtifactClass::ResultsText => check_results_text(fixture, mutated, cache),
@@ -1052,10 +1115,7 @@ fn check_serve_frame(fixture: &CampaignFixture, response: bool, mutated: &Bytes)
             if resp.status == ServeStatus::Ok {
                 Outcome::Harmless
             } else {
-                Outcome::Violation(format!(
-                    "pristine replayed frame answered {}",
-                    resp.status
-                ))
+                Outcome::Violation(format!("pristine replayed frame answered {}", resp.status))
             }
         }
         Ok(_) => Outcome::Violation(
@@ -1081,9 +1141,9 @@ fn check_columnar_tier(fixture: &CampaignFixture, mutated: &Bytes) -> Outcome {
     match parsed.to_rows() {
         Err(e) => Outcome::Detected(format!("columnar:{}", e.category().name())),
         Ok(rows) if rows == fixture.aod_events => Outcome::Harmless,
-        Ok(_) => Outcome::Violation(
-            "mutated columnar file decoded into different events".to_string(),
-        ),
+        Ok(_) => {
+            Outcome::Violation("mutated columnar file decoded into different events".to_string())
+        }
     }
 }
 
@@ -1103,17 +1163,13 @@ fn check_sealed_tier<T: Encodable + PartialEq>(mutated: &Bytes, payload: &Bytes)
             Ok(_) => Outcome::Harmless,
             Err(e) => Outcome::Violation(format!("pristine payload no longer decodes: {e}")),
         },
-        Ok(_) => Outcome::Violation(
-            "seal accepted a modified payload (digest collision)".to_string(),
-        ),
+        Ok(_) => {
+            Outcome::Violation("seal accepted a modified payload (digest collision)".to_string())
+        }
     }
 }
 
-fn check_archive(
-    fixture: &CampaignFixture,
-    mutated: &Bytes,
-    cache: &mut RerunCache,
-) -> Outcome {
+fn check_archive(fixture: &CampaignFixture, mutated: &Bytes, cache: &mut RerunCache) -> Outcome {
     let parsed = match PreservationArchive::from_bytes(mutated) {
         Err(e) => return Outcome::Detected(format!("container:{}", container_label(&e))),
         Ok(a) => a,
@@ -1127,13 +1183,17 @@ fn check_archive(
     // The container parsed and every checksum verifies, yet the content
     // differs — a checksum-preserving forgery. Only re-execution can
     // judge it.
-    match Validator::new(&Platform::current()).with_cache(cache).run(&parsed) {
-        Err(e) => {
-            Outcome::Detected(format!("validate:{}", container_label(&e.into_archive_error())))
+    match Validator::new(&Platform::current())
+        .with_cache(cache)
+        .run(&parsed)
+    {
+        Err(e) => Outcome::Detected(format!(
+            "validate:{}",
+            container_label(&e.into_archive_error())
+        )),
+        Ok(report) if report.passed() => {
+            Outcome::Violation("altered archive validates as a clean reproduction".to_string())
         }
-        Ok(report) if report.passed() => Outcome::Violation(
-            "altered archive validates as a clean reproduction".to_string(),
-        ),
         Ok(report) => Outcome::Detected(validation_label(&report)),
     }
 }
@@ -1162,10 +1222,14 @@ fn check_results_text(
     // blind to it, and the forgery must be caught by re-execution.
     let mut forged = fixture.archive.clone();
     forged.insert(sections::RESULTS, mutated.clone());
-    match Validator::new(&Platform::current()).with_cache(cache).run(&forged) {
-        Err(e) => {
-            Outcome::Detected(format!("validate:{}", container_label(&e.into_archive_error())))
-        }
+    match Validator::new(&Platform::current())
+        .with_cache(cache)
+        .run(&forged)
+    {
+        Err(e) => Outcome::Detected(format!(
+            "validate:{}",
+            container_label(&e.into_archive_error())
+        )),
         Ok(report) if report.passed() => {
             if mutated[..] == *fixture.results_text.as_bytes() {
                 Outcome::Harmless
@@ -1441,7 +1505,9 @@ pub fn run_campaign_for(
     let mut cache = RerunCache::new();
     let mut classes = Vec::with_capacity(classes_to_run.len());
     for &class in classes_to_run {
-        let mut class_span = obs.tracer.span_fmt(format_args!("campaign/{}", class.name()));
+        let mut class_span = obs
+            .tracer
+            .span_fmt(format_args!("campaign/{}", class.name()));
         let mut report = ClassReport {
             class,
             mutations: 0,
@@ -1494,7 +1560,10 @@ pub fn run_campaign_for(
             }
         }
     }
-    span.field("violations", classes.iter().map(|c| c.violations.len()).sum::<usize>());
+    span.field(
+        "violations",
+        classes.iter().map(|c| c.violations.len()).sum::<usize>(),
+    );
     span.finish();
     Ok(CampaignReport {
         config: cfg.clone(),
@@ -1549,10 +1618,7 @@ mod tests {
             MutationKind::BitFlip { offset: 0, bit: 0 }.apply(&original),
             b"1123456789"
         );
-        assert_eq!(
-            MutationKind::Truncate { len: 3 }.apply(&original),
-            b"012"
-        );
+        assert_eq!(MutationKind::Truncate { len: 3 }.apply(&original), b"012");
         assert_eq!(
             MutationKind::SwapRegions { a: 0, b: 8, len: 2 }.apply(&original),
             b"8923456701"
@@ -1643,12 +1709,21 @@ mod tests {
         let registry = Arc::new(daspos_obs::MetricsRegistry::new());
         let obs = Obs::collecting(collector.clone(), registry.clone());
         let observed = run_campaign_with(&cfg, &obs).expect("campaign runs");
-        assert_eq!(plain, observed, "observability must not change the verdicts");
+        assert_eq!(
+            plain, observed,
+            "observability must not change the verdicts"
+        );
 
         // The detection histogram is folded into the registry.
         let snap = registry.snapshot();
-        assert_eq!(snap.counter("faultlab.mutations"), u64::from(plain.total_mutations()));
-        assert_eq!(snap.counter("faultlab.harmless"), u64::from(plain.total_harmless()));
+        assert_eq!(
+            snap.counter("faultlab.mutations"),
+            u64::from(plain.total_mutations())
+        );
+        assert_eq!(
+            snap.counter("faultlab.harmless"),
+            u64::from(plain.total_harmless())
+        );
         let detected: u64 = snap
             .counters
             .iter()
@@ -1689,7 +1764,9 @@ mod tests {
         assert_eq!(report.total_mutations(), cfg.mutations_per_class);
         // Real damage really flowed through the scrub-and-repair path.
         assert!(
-            report.classes[0].detections_by_layer.contains_key("scrub:repaired"),
+            report.classes[0]
+                .detections_by_layer
+                .contains_key("scrub:repaired"),
             "{:?}",
             report.classes[0].detections_by_layer
         );
@@ -1715,7 +1792,11 @@ mod tests {
         let col = fixture.shape(ArtifactClass::ColumnarTier);
         assert_eq!(col.len, fixture.columnar_aod.len());
         assert_eq!(col.boundaries[0], 4);
-        assert!(col.boundaries.contains(&(12 + 10 * 17)), "{:?}", col.boundaries);
+        assert!(
+            col.boundaries.contains(&(12 + 10 * 17)),
+            "{:?}",
+            col.boundaries
+        );
     }
 
     #[test]
@@ -1760,6 +1841,72 @@ mod tests {
         let shape = fixture.shape(ArtifactClass::ServeFrame);
         assert_eq!(shape.len, fixture.serve_request.len());
         assert!(shape.boundaries.contains(&4), "{:?}", shape.boundaries);
+    }
+
+    #[test]
+    fn columnar_mutations_include_encoding_targeted_attacks() {
+        // Across a modest index range the ColumnarTier planner must
+        // produce all three v2-targeted arms: a tag flip (ByteSet at a
+        // frame start with a small tag value), a prologue corruption
+        // (ByteSet within 4 bytes past a frame start), and a mid-frame
+        // truncation — and every one of them must come back
+        // detected-or-harmless from the checker.
+        let cfg = small_config();
+        let fixture = CampaignFixture::build(&cfg).unwrap();
+        let artifact = fixture.artifact(ArtifactClass::ColumnarTier).clone();
+        let frames_base = 12 + 10 * 17;
+        let starts: Vec<usize> = (0..10usize)
+            .map(|entry| {
+                let at = 12 + entry * 17;
+                let offset = u32::from_le_bytes([
+                    artifact[at + 1],
+                    artifact[at + 2],
+                    artifact[at + 3],
+                    artifact[at + 4],
+                ]) as usize;
+                frames_base + offset
+            })
+            .collect();
+        let (mut tag_flips, mut prologue_hits, mut mid_truncations) = (0usize, 0usize, 0usize);
+        let mut cache = RerunCache::default();
+        for index in 0..120u32 {
+            let mutation = derive_mutation(&cfg, &fixture, ArtifactClass::ColumnarTier, index);
+            match &mutation.kind {
+                // The generic half of the budget can also land a
+                // ByteSet on a frame start with an arbitrary value, so
+                // only the near-tag range identifies the targeted arm.
+                MutationKind::ByteSet { offset, value }
+                    if starts.contains(offset) && *value <= 5 =>
+                {
+                    tag_flips += 1;
+                }
+                MutationKind::ByteSet { offset, .. }
+                    if starts.iter().any(|s| *offset > *s && *offset <= *s + 4) =>
+                {
+                    prologue_hits += 1;
+                }
+                MutationKind::Truncate { len }
+                    if starts.iter().any(|s| *len > *s) && *len < artifact.len() =>
+                {
+                    mid_truncations += 1;
+                }
+                _ => {}
+            }
+            let mutated = Bytes::from(mutate_artifact(
+                &fixture,
+                ArtifactClass::ColumnarTier,
+                &mutation,
+            ));
+            let outcome = check_mutant(&fixture, &mutation, &mutated, &mut cache);
+            assert!(
+                !matches!(outcome, Outcome::Violation(_)),
+                "mutation {index} ({}) violated: {outcome:?}",
+                mutation.kind
+            );
+        }
+        assert!(tag_flips > 0, "no encoding-tag flips planned");
+        assert!(prologue_hits > 0, "no prologue corruptions planned");
+        assert!(mid_truncations > 0, "no mid-frame truncations planned");
     }
 
     #[test]

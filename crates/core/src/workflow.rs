@@ -30,8 +30,7 @@ use crate::error::{Error, ErrorKind};
 use crate::runner::ExecOptions;
 use daspos_tiers::codec::Encodable;
 use daspos_tiers::{
-    ColumnarFile, DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec,
-    TierFormat,
+    DataTier, DatasetCatalog, Ntuple, NtupleSchema, Selection, SkimReport, SlimSpec, TierFormat,
 };
 
 /// The declarative description of one full production + analysis chain.
@@ -282,47 +281,48 @@ impl PreservedWorkflow {
         // --- Generate / simulate / reconstruct --------------------------
         // Sharded over the worker pool and merged in event order.
         let produce = root.child("produce");
-        let records = crate::runner::run_ordered::<_, Error, _, _>(self.n_events, opts, &produce, || {
-            let (gen, sim, reco) = self.stage_stack(ctx, metrics);
-            // Per-stage wall-clock gauges: measurements, engine-dependent,
-            // only taken when a registry is attached.
-            let clocks = metrics.map(|m| {
-                (
-                    m.gauge("time.generate_ns"),
-                    m.gauge("time.simulate_ns"),
-                    m.gauge("time.reconstruct_ns"),
-                )
-            });
-            move |i: u64| {
-                if let Some((t_gen, t_sim, t_reco)) = &clocks {
-                    let c0 = std::time::Instant::now();
+        let records =
+            crate::runner::run_ordered::<_, Error, _, _>(self.n_events, opts, &produce, || {
+                let (gen, sim, reco) = self.stage_stack(ctx, metrics);
+                // Per-stage wall-clock gauges: measurements, engine-dependent,
+                // only taken when a registry is attached.
+                let clocks = metrics.map(|m| {
+                    (
+                        m.gauge("time.generate_ns"),
+                        m.gauge("time.simulate_ns"),
+                        m.gauge("time.reconstruct_ns"),
+                    )
+                });
+                move |i: u64| {
+                    if let Some((t_gen, t_sim, t_reco)) = &clocks {
+                        let c0 = std::time::Instant::now();
+                        let truth = gen.event(i);
+                        let c1 = std::time::Instant::now();
+                        let raw = sim
+                            .simulate(&truth, i)
+                            .map_err(|e| Error::from(e).at(Stage::Simulate))?;
+                        let c2 = std::time::Instant::now();
+                        let (reco_ev, aod) = reco
+                            .process(&raw)
+                            .map_err(|e| Error::from(e).at(Stage::Reconstruct))?;
+                        let c3 = std::time::Instant::now();
+                        t_gen.add((c1 - c0).as_nanos() as i64);
+                        t_sim.add((c2 - c1).as_nanos() as i64);
+                        t_reco.add((c3 - c2).as_nanos() as i64);
+                        let reco_size = reco_ev.byte_size() as u64;
+                        return Ok((truth, raw, aod, reco_size));
+                    }
                     let truth = gen.event(i);
-                    let c1 = std::time::Instant::now();
                     let raw = sim
                         .simulate(&truth, i)
                         .map_err(|e| Error::from(e).at(Stage::Simulate))?;
-                    let c2 = std::time::Instant::now();
                     let (reco_ev, aod) = reco
                         .process(&raw)
                         .map_err(|e| Error::from(e).at(Stage::Reconstruct))?;
-                    let c3 = std::time::Instant::now();
-                    t_gen.add((c1 - c0).as_nanos() as i64);
-                    t_sim.add((c2 - c1).as_nanos() as i64);
-                    t_reco.add((c3 - c2).as_nanos() as i64);
                     let reco_size = reco_ev.byte_size() as u64;
-                    return Ok((truth, raw, aod, reco_size));
+                    Ok((truth, raw, aod, reco_size))
                 }
-                let truth = gen.event(i);
-                let raw = sim
-                    .simulate(&truth, i)
-                    .map_err(|e| Error::from(e).at(Stage::Simulate))?;
-                let (reco_ev, aod) = reco
-                    .process(&raw)
-                    .map_err(|e| Error::from(e).at(Stage::Reconstruct))?;
-                let reco_size = reco_ev.byte_size() as u64;
-                Ok((truth, raw, aod, reco_size))
-            }
-        })?;
+            })?;
         let mut produce = produce;
         produce.field("events", records.len());
         produce.finish();
@@ -362,7 +362,7 @@ impl PreservedWorkflow {
         let mut enc_aod = root.child("encode/aod");
         let aod_file = match opts.tier_format {
             TierFormat::Row => AodEvent::encode_events_parallel(&aod_events, threads),
-            TierFormat::Columnar => ColumnarFile::from_rows(&aod_events),
+            TierFormat::Columnar => daspos_tiers::encode_columnar_parallel(&aod_events, threads),
         };
         let aod_bytes = aod_file.len() as u64;
         let aod_ds = ctx
@@ -414,12 +414,8 @@ impl PreservedWorkflow {
             .map_err(|e| Error::from(e).at(Stage::Skim))?;
             (skim_file, skim_report, ntuple)
         } else {
-            let (skimmed, skim_report) = daspos_tiers::skim::skim_slim_chunked(
-                &aod_events,
-                &self.skim,
-                &self.slim,
-                threads,
-            );
+            let (skimmed, skim_report) =
+                daspos_tiers::skim::skim_slim_chunked(&aod_events, &self.skim, &self.slim, threads);
             let skim_file = AodEvent::encode_events_parallel(&skimmed, threads);
             let ntuple = Ntuple::fill(self.ntuple_schema.clone(), &skimmed);
             (skim_file, skim_report, ntuple)
@@ -567,7 +563,10 @@ pub fn chain_trace_coverage(records: &[SpanRecord]) -> Vec<String> {
         .filter(|path| !records.iter().any(|r| r.path == **path))
         .map(|p| p.to_string())
         .collect();
-    if !records.iter().any(|r| r.path.starts_with("execute/analysis/")) {
+    if !records
+        .iter()
+        .any(|r| r.path.starts_with("execute/analysis/"))
+    {
         missing.push("execute/analysis/*".to_string());
     }
     if !records
@@ -659,7 +658,12 @@ pub fn populate_conditions(
         ("hcal/gain", hcal),
         ("tracker/alignment-scale", 1.0),
     ] {
-        store.insert(tag, IovKey::new(key), RunRange::from(0), Payload::Scalar(value))?;
+        store.insert(
+            tag,
+            IovKey::new(key),
+            RunRange::from(0),
+            Payload::Scalar(value),
+        )?;
     }
     store.freeze(tag)
 }
@@ -738,7 +742,12 @@ mod tests {
             .iter()
             .map(|(n, b, _)| (n.as_str(), *b))
             .collect();
-        assert!(bytes["raw"] > bytes["aod"], "raw {} aod {}", bytes["raw"], bytes["aod"]);
+        assert!(
+            bytes["raw"] > bytes["aod"],
+            "raw {} aod {}",
+            bytes["raw"],
+            bytes["aod"]
+        );
         assert!(bytes["aod"] > bytes["skim"]);
         assert!(bytes["skim"] >= bytes["ntuple"]);
         assert!(out.skim_report.events_out <= out.skim_report.events_in);

@@ -66,7 +66,11 @@ pub fn selftest() -> Result<String, ServeError> {
         .replica(Arc::new(MemoryBackend::new()))
         .build()
         .expect("two replicas were added");
-    let service = Arc::new(Service::new(vault, &ServeConfig::default(), Obs::disabled()));
+    let service = Arc::new(Service::new(
+        vault,
+        &ServeConfig::default(),
+        Obs::disabled(),
+    ));
     let server = Server::start(service.clone(), "127.0.0.1:0", Duration::from_millis(5))?;
     let cfg = LoadgenConfig {
         addr: server.addr().to_string(),
@@ -80,14 +84,27 @@ pub fn selftest() -> Result<String, ServeError> {
     let report = loadgen::run(&cfg);
     service.request_shutdown();
     server.join();
-    if report.ok() {
-        Ok(report.to_text())
-    } else {
-        Err(ServeError::Verification(format!(
+    if !report.ok() {
+        return Err(ServeError::Verification(format!(
             "selftest campaign failed:\n{}",
             report.to_text()
-        )))
+        )));
     }
+    // The background scrubber (5 ms cadence above, running throughout
+    // the burst) must never stall a foreground op for a full object, so
+    // the mixed tail has to stay within 20× of the median. The median is
+    // floored at 25 µs so a sub-microsecond p50 on a fast box does not
+    // make the bound meaninglessly tight.
+    let bound = 20 * report.mixed.p50_ns.max(25_000);
+    if report.mixed.p99_ns >= bound {
+        return Err(ServeError::Verification(format!(
+            "scrub stall: mixed p99 {} ns >= 20x-median bound {} ns\n{}",
+            report.mixed.p99_ns,
+            bound,
+            report.to_text()
+        )));
+    }
+    Ok(report.to_text())
 }
 
 #[cfg(test)]

@@ -369,8 +369,7 @@ impl Service {
         if req.key.is_empty() {
             return match self.vault.verify() {
                 Ok(report) => {
-                    let status = if report.corrupt + report.missing == 0 && report.lost.is_empty()
-                    {
+                    let status = if report.corrupt + report.missing == 0 && report.lost.is_empty() {
                         Status::Ok
                     } else {
                         Status::Damaged
@@ -439,6 +438,12 @@ impl Service {
     /// One background-scrub step: if any foreground op is in flight,
     /// yield (count it, touch nothing); otherwise scrub the next object
     /// in round-robin order. Returns whether an object was scrubbed.
+    ///
+    /// The tick re-checks the admission gate *between* replica
+    /// classifications, not just at tick start: a foreground op arriving
+    /// mid-object makes the scrubber abandon the object (counted as a
+    /// yield) instead of stalling that op behind a full
+    /// `replicas × deep-verify` pass — the `serve_mixed` p99 tail.
     pub fn scrub_step(&self) -> Result<bool, VaultError> {
         if self.inflight() > 0 {
             self.stats.scrub_yields.fetch_add(1, Ordering::Relaxed);
@@ -455,10 +460,21 @@ impl Service {
             *cursor = (*cursor + 1) % keys.len();
             key
         };
-        self.vault.scrub_object(&key)?;
-        self.stats.scrub_steps.fetch_add(1, Ordering::Relaxed);
-        self.counter("serve.scrub.objects", 1);
-        Ok(true)
+        match self
+            .vault
+            .scrub_object_while(&key, &|| self.inflight() == 0)?
+        {
+            None => {
+                self.stats.scrub_yields.fetch_add(1, Ordering::Relaxed);
+                self.counter("serve.scrub.yields", 1);
+                Ok(false)
+            }
+            Some(_) => {
+                self.stats.scrub_steps.fetch_add(1, Ordering::Relaxed);
+                self.counter("serve.scrub.objects", 1);
+                Ok(true)
+            }
+        }
     }
 }
 
@@ -509,7 +525,9 @@ impl Server {
             addr: addr.to_string(),
             reason: e.to_string(),
         })?;
-        let local = listener.local_addr().map_err(|e| ServeError::Io(e.to_string()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
         listener
             .set_nonblocking(true)
             .map_err(|e| ServeError::Io(e.to_string()))?;
@@ -593,10 +611,7 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let service = service.clone();
                 let handle = std::thread::spawn(move || handle_conn(service, stream));
-                conns
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(handle);
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));

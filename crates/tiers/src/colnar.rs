@@ -13,7 +13,9 @@
 //! ```text
 //! file   := "DPCF" version:u16le tier:u8 n_rows:u32le n_cols:u8 table frames
 //! table  := n_cols × (col_id:u8 offset:u32le length:u32le digest:u64le)
-//! frames := column payloads, concatenated in table order
+//! frames := column frames, concatenated in table order
+//! v1 frame := raw column payload
+//! v2 frame := tag:u8 body        (tag: 0 raw, 1 dict, 2 delta, 3 rle)
 //! ```
 //!
 //! Offsets are relative to the end of the table and must tile the frames
@@ -23,7 +25,16 @@
 //! (a 4-lane interleaved FNV-1a, [`fnv64_wide`]), so the verifying reader
 //! detects every payload bit flip while the hot skim path may skip the
 //! hash exactly as the row path trusts DPEF payloads (archive-level seals
-//! cover both).
+//! cover both). The digest covers the *stored* frame bytes — tag
+//! included — so an encoding-tag flip is caught like any payload flip.
+//!
+//! Version 2 writes each column frame with the cheapest of four
+//! encodings, chosen by a per-column cost probe at encode time (the
+//! probe *is* the candidate encoders; smallest output wins, ties go to
+//! the lowest tag so the choice is a pure function of the raw column
+//! bytes and skim output stays canonical). Version-1 files still parse
+//! and decode; see DESIGN.md §14 for the per-encoding byte layouts and
+//! when each wins.
 //!
 //! Fixed columns hold one `stride`-sized record per row; variable columns
 //! hold `count:u32le` then `count × entry_size` bytes per row, walked by
@@ -32,13 +43,13 @@
 //! (the four-momentum every kinematic cut reads) and an *id* column (the
 //! identification payload cuts almost never read).
 
+use std::collections::HashMap;
+
 use bytes::{BufMut, Bytes, BytesMut};
 use daspos_hep::event::EventHeader;
 use daspos_hep::fourvec::FourVector;
 use daspos_obs::MetricsRegistry;
-use daspos_reco::objects::{
-    AodEvent, Electron, Jet, Met, Muon, Photon, TwoProngCandidate,
-};
+use daspos_reco::objects::{AodEvent, Electron, Jet, Met, Muon, Photon, TwoProngCandidate};
 
 use crate::codec::{fnv64, CodecError, MAX_COUNT};
 use crate::skim::{MassHypothesis, Selection, SkimReport, SlimSpec};
@@ -47,8 +58,28 @@ use crate::tier::DataTier;
 /// Magic of the columnar container: "DASPOS Columnar File".
 pub const COLUMNAR_MAGIC: &[u8; 4] = b"DPCF";
 
-/// Current columnar format version.
-pub const COLUMNAR_VERSION: u16 = 1;
+/// Current columnar format version: per-column encoded frames.
+pub const COLUMNAR_VERSION: u16 = 2;
+
+/// The original raw-frames format; still parsed and decoded.
+pub const COLUMNAR_VERSION_V1: u16 = 1;
+
+// v2 frame tags: the first byte of every column frame names the
+// encoding of the remainder.
+const TAG_RAW: u8 = 0;
+const TAG_DICT: u8 = 1;
+const TAG_DELTA: u8 = 2;
+const TAG_RLE: u8 = 3;
+
+// Counts-block modes for v2 variable columns.
+const COUNTS_VARINT: u8 = 0;
+const COUNTS_RLE: u8 = 1;
+
+/// Longest run one RLE pair may cover. Caps how many output bytes a
+/// single input pair can demand, so a forged tiny frame cannot request
+/// an allocation out of proportion to its own size; the encoder just
+/// splits longer runs into several pairs.
+const MAX_RUN: u64 = 255;
 
 /// Number of columns in the AOD schema.
 pub const N_COLUMNS: usize = 10;
@@ -254,6 +285,33 @@ fn rd_p4(b: &[u8], off: usize) -> FourVector {
     }
 }
 
+/// Length laws a raw (unencoded) column payload must satisfy: fixed
+/// columns are exactly `n_rows × stride`; variable columns carry at
+/// least one `count:u32` per row.
+fn check_raw_len(id: ColumnId, len: usize, n_rows: usize) -> Result<(), CodecError> {
+    match id.layout() {
+        ColumnLayout::Fixed(stride) => {
+            if len != n_rows * stride {
+                return Err(CodecError::Corrupt(format!(
+                    "fixed column '{}' is {len} bytes for {n_rows} \
+                     rows of {stride}",
+                    id.name()
+                )));
+            }
+        }
+        ColumnLayout::Var(_) => {
+            if len < 4 * n_rows {
+                return Err(CodecError::Corrupt(format!(
+                    "column '{}' is {len} bytes, too short for {n_rows} \
+                     row counts",
+                    id.name()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A parsed DPCF file: header and column table validated, column payloads
 /// untouched. Reading is lazy — [`ColumnarFile::column`] decodes (and
 /// digest-checks) exactly one column, so a query pays only for the bytes
@@ -261,6 +319,7 @@ fn rd_p4(b: &[u8], off: usize) -> FourVector {
 #[derive(Debug, Clone)]
 pub struct ColumnarFile {
     data: Bytes,
+    version: u16,
     n_rows: usize,
     cols: [ColMeta; N_COLUMNS],
 }
@@ -281,7 +340,7 @@ impl ColumnarFile {
             return Err(CodecError::BadMagic);
         }
         let version = u16::from_le_bytes([d[4], d[5]]);
-        if version != COLUMNAR_VERSION {
+        if version != COLUMNAR_VERSION && version != COLUMNAR_VERSION_V1 {
             return Err(CodecError::UnsupportedVersion {
                 found: version,
                 supported: COLUMNAR_VERSION,
@@ -309,7 +368,11 @@ impl ColumnarFile {
         if d.len() < FRAMES_BASE {
             return Err(CodecError::UnexpectedEof);
         }
-        let mut cols = [ColMeta { offset: 0, len: 0, digest: 0 }; N_COLUMNS];
+        let mut cols = [ColMeta {
+            offset: 0,
+            len: 0,
+            digest: 0,
+        }; N_COLUMNS];
         let mut expect_off = 0usize;
         for (i, id) in ColumnId::ALL.iter().enumerate() {
             let e = HEADER_LEN + i * TABLE_ENTRY_LEN;
@@ -329,18 +392,11 @@ impl ColumnarFile {
                     id.name()
                 )));
             }
-            if let ColumnLayout::Fixed(stride) = id.layout() {
-                if len != n_rows * stride {
-                    return Err(CodecError::Corrupt(format!(
-                        "fixed column '{}' is {len} bytes for {n_rows} \
-                         rows of {stride}",
-                        id.name()
-                    )));
-                }
-            } else if len < 4 * n_rows {
+            if version == COLUMNAR_VERSION_V1 {
+                check_raw_len(*id, len, n_rows)?;
+            } else if len == 0 {
                 return Err(CodecError::Corrupt(format!(
-                    "column '{}' is {len} bytes, too short for {n_rows} \
-                     row counts",
+                    "column '{}' has an empty v2 frame (no encoding tag)",
                     id.name()
                 )));
             }
@@ -358,11 +414,33 @@ impl ColumnarFile {
                 d.len() - FRAMES_BASE
             )));
         }
+        if version != COLUMNAR_VERSION_V1 {
+            // The frames region is fully bounds-checked now; vet every
+            // encoding tag, and hold raw frames to the v1 length laws.
+            for (i, id) in ColumnId::ALL.iter().enumerate() {
+                let tag = d[cols[i].offset];
+                if tag > TAG_RLE {
+                    return Err(CodecError::Corrupt(format!(
+                        "column '{}' carries unknown encoding tag {tag}",
+                        id.name()
+                    )));
+                }
+                if tag == TAG_RAW {
+                    check_raw_len(*id, cols[i].len - 1, n_rows)?;
+                }
+            }
+        }
         Ok(ColumnarFile {
             data: data.clone(),
+            version,
             n_rows,
             cols,
         })
+    }
+
+    /// Format version of the parsed file (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Rows (events) in the file.
@@ -375,14 +453,16 @@ impl ColumnarFile {
         self.open(id, true)
     }
 
-    /// Open one column. `verify` checks the table digest over the payload
-    /// before the structural walk; the hot skim path skips it, exactly as
-    /// row-format DPEF payloads are trusted between archive seals.
+    /// Open one column. `verify` checks the table digest over the stored
+    /// frame before the structural walk; the hot skim path skips it,
+    /// exactly as row-format DPEF payloads are trusted between archive
+    /// seals. Encoded v2 frames are decoded transparently, so callers
+    /// see the same reader regardless of the on-disk encoding.
     fn open(&self, id: ColumnId, verify: bool) -> Result<ColumnReader, CodecError> {
         let meta = self.cols[id as usize];
-        let payload = self.data.slice(meta.offset..meta.offset + meta.len);
+        let frame = self.data.slice(meta.offset..meta.offset + meta.len);
         if verify {
-            let actual = fnv64_wide(&payload);
+            let actual = fnv64_wide(&frame);
             if actual != meta.digest {
                 return Err(CodecError::SealMismatch {
                     stored: meta.digest,
@@ -391,46 +471,13 @@ impl ColumnarFile {
             }
         }
         let layout = id.layout();
-        let starts = match layout {
-            ColumnLayout::Fixed(_) => Vec::new(),
-            ColumnLayout::Var(entry) => {
-                let b: &[u8] = &payload;
-                let mut starts = Vec::with_capacity(self.n_rows + 1);
-                let mut off = 0usize;
-                for _ in 0..self.n_rows {
-                    starts.push(off as u32);
-                    if off + 4 > b.len() {
-                        return Err(CodecError::UnexpectedEof);
-                    }
-                    let count = rd_u32(b, off);
-                    if count > MAX_COUNT {
-                        return Err(CodecError::Corrupt(format!(
-                            "count {count} exceeds sanity limit"
-                        )));
-                    }
-                    let row_len = 4 + count as usize * entry;
-                    if b.len() - off < row_len {
-                        return Err(CodecError::UnexpectedEof);
-                    }
-                    off += row_len;
-                }
-                if off != b.len() {
-                    return Err(CodecError::Corrupt(format!(
-                        "column '{}' has {} trailing bytes",
-                        id.name(),
-                        b.len() - off
-                    )));
-                }
-                starts.push(off as u32);
-                starts
-            }
-        };
-        Ok(ColumnReader {
-            id,
-            layout,
-            payload,
-            starts,
-        })
+        if self.version == COLUMNAR_VERSION_V1 {
+            return reader_from_raw(id, layout, frame, self.n_rows);
+        }
+        match frame[0] {
+            TAG_RAW => reader_from_raw(id, layout, frame.slice(1..), self.n_rows),
+            tag => decode_frame(id, layout, tag, &frame, self.n_rows),
+        }
     }
 
     /// Open every column verified and cross-check the paired p4/id counts
@@ -441,23 +488,7 @@ impl ColumnarFile {
             readers[id as usize] = Some(self.column(id)?);
         }
         let readers = readers.map(|r| r.expect("all columns opened"));
-        for (p4, id) in [
-            (ColumnId::ElectronP4, ColumnId::ElectronId),
-            (ColumnId::MuonP4, ColumnId::MuonId),
-            (ColumnId::JetP4, ColumnId::JetId),
-        ] {
-            let (a, b) = (&readers[p4 as usize], &readers[id as usize]);
-            for row in 0..self.n_rows {
-                if a.count(row) != b.count(row) {
-                    return Err(CodecError::Corrupt(format!(
-                        "columns '{}' and '{}' disagree on the entry \
-                         count at row {row}",
-                        p4.name(),
-                        id.name()
-                    )));
-                }
-            }
-        }
+        cross_check_counts(&readers, self.n_rows)?;
         Ok(readers)
     }
 
@@ -481,89 +512,112 @@ impl ColumnarFile {
         Ok(out)
     }
 
-    /// Encode AOD events into a columnar file. Deterministic: the same
-    /// events always produce the same bytes.
+    /// Encode AOD events into a columnar file (current version, with
+    /// each column frame written in its cheapest encoding).
+    /// Deterministic: the same events always produce the same bytes.
     ///
     /// Panics if the row count exceeds the u32 field — truncating the
     /// count would archive a lie, same policy as the row codec.
     pub fn from_rows(events: &[AodEvent]) -> Bytes {
-        let n_rows = u32::try_from(events.len()).unwrap_or_else(|_| {
-            panic!("event count {} exceeds the u32 DPCF row field", events.len())
-        });
-        let mut cols: [BytesMut; N_COLUMNS] = Default::default();
-        for ev in events {
-            let c = &mut cols;
-            c[ColumnId::Header as usize].put_u32_le(ev.header.run.0);
-            c[ColumnId::Header as usize].put_u32_le(ev.header.lumi_block.0);
-            c[ColumnId::Header as usize].put_u64_le(ev.header.event.0);
-
-            let ep4 = &mut c[ColumnId::ElectronP4 as usize];
-            ep4.put_u32_le(ev.electrons.len() as u32);
-            for e in &ev.electrons {
-                put_p4(ep4, &e.momentum);
-            }
-            let eid = &mut c[ColumnId::ElectronId as usize];
-            eid.put_u32_le(ev.electrons.len() as u32);
-            for e in &ev.electrons {
-                eid.put_i8(e.charge);
-                eid.put_f64_le(e.e_over_p);
-                eid.put_f64_le(e.isolation);
-            }
-
-            let mp4 = &mut c[ColumnId::MuonP4 as usize];
-            mp4.put_u32_le(ev.muons.len() as u32);
-            for m in &ev.muons {
-                put_p4(mp4, &m.momentum);
-            }
-            let mid = &mut c[ColumnId::MuonId as usize];
-            mid.put_u32_le(ev.muons.len() as u32);
-            for m in &ev.muons {
-                mid.put_i8(m.charge);
-                mid.put_u8(m.n_stations);
-                mid.put_f64_le(m.isolation);
-            }
-
-            let ph = &mut c[ColumnId::Photon as usize];
-            ph.put_u32_le(ev.photons.len() as u32);
-            for p in &ev.photons {
-                put_p4(ph, &p.momentum);
-                ph.put_f64_le(p.isolation);
-            }
-
-            let jp4 = &mut c[ColumnId::JetP4 as usize];
-            jp4.put_u32_le(ev.jets.len() as u32);
-            for j in &ev.jets {
-                put_p4(jp4, &j.momentum);
-            }
-            let jid = &mut c[ColumnId::JetId as usize];
-            jid.put_u32_le(ev.jets.len() as u32);
-            for j in &ev.jets {
-                jid.put_u32_le(j.n_constituents);
-                jid.put_f64_le(j.em_fraction);
-            }
-
-            let cand = &mut c[ColumnId::Candidate as usize];
-            cand.put_u32_le(ev.candidates.len() as u32);
-            for t in &ev.candidates {
-                put_p4(cand, &t.vertex);
-                cand.put_f64_le(t.flight_xy);
-                cand.put_f64_le(t.pt);
-                cand.put_f64_le(t.eta);
-                cand.put_f64_le(t.mass_pipi);
-                cand.put_f64_le(t.mass_ppi);
-                cand.put_f64_le(t.mass_kpi);
-                cand.put_f64_le(t.proper_time_d0_ns);
-                cand.put_u32_le(t.track_indices.0);
-                cand.put_u32_le(t.track_indices.1);
-            }
-
-            let s = &mut c[ColumnId::Scalars as usize];
-            s.put_f64_le(ev.met.mex);
-            s.put_f64_le(ev.met.mey);
-            s.put_u32_le(ev.n_tracks);
+        let (n_rows, cols) = build_raw_columns(events);
+        let mut frames: [BytesMut; N_COLUMNS] = Default::default();
+        for (i, id) in ColumnId::ALL.iter().enumerate() {
+            frames[i] = encode_column(*id, &cols[i], events.len());
         }
-        assemble_file(n_rows, &cols)
+        assemble_file(COLUMNAR_VERSION, n_rows, &frames)
     }
+
+    /// Encode AOD events as a version-1 file (raw frames throughout).
+    /// Kept for backward-compat coverage and the v1-vs-v2 size
+    /// comparison the bench reports; new files come from
+    /// [`ColumnarFile::from_rows`].
+    pub fn from_rows_v1(events: &[AodEvent]) -> Bytes {
+        let (n_rows, cols) = build_raw_columns(events);
+        assemble_file(COLUMNAR_VERSION_V1, n_rows, &cols)
+    }
+}
+
+/// Lay `events` out as the ten raw column payloads in one pass.
+fn build_raw_columns(events: &[AodEvent]) -> (u32, [BytesMut; N_COLUMNS]) {
+    let n_rows = u32::try_from(events.len()).unwrap_or_else(|_| {
+        panic!(
+            "event count {} exceeds the u32 DPCF row field",
+            events.len()
+        )
+    });
+    let mut cols: [BytesMut; N_COLUMNS] = Default::default();
+    for ev in events {
+        let c = &mut cols;
+        c[ColumnId::Header as usize].put_u32_le(ev.header.run.0);
+        c[ColumnId::Header as usize].put_u32_le(ev.header.lumi_block.0);
+        c[ColumnId::Header as usize].put_u64_le(ev.header.event.0);
+
+        let ep4 = &mut c[ColumnId::ElectronP4 as usize];
+        ep4.put_u32_le(ev.electrons.len() as u32);
+        for e in &ev.electrons {
+            put_p4(ep4, &e.momentum);
+        }
+        let eid = &mut c[ColumnId::ElectronId as usize];
+        eid.put_u32_le(ev.electrons.len() as u32);
+        for e in &ev.electrons {
+            eid.put_i8(e.charge);
+            eid.put_f64_le(e.e_over_p);
+            eid.put_f64_le(e.isolation);
+        }
+
+        let mp4 = &mut c[ColumnId::MuonP4 as usize];
+        mp4.put_u32_le(ev.muons.len() as u32);
+        for m in &ev.muons {
+            put_p4(mp4, &m.momentum);
+        }
+        let mid = &mut c[ColumnId::MuonId as usize];
+        mid.put_u32_le(ev.muons.len() as u32);
+        for m in &ev.muons {
+            mid.put_i8(m.charge);
+            mid.put_u8(m.n_stations);
+            mid.put_f64_le(m.isolation);
+        }
+
+        let ph = &mut c[ColumnId::Photon as usize];
+        ph.put_u32_le(ev.photons.len() as u32);
+        for p in &ev.photons {
+            put_p4(ph, &p.momentum);
+            ph.put_f64_le(p.isolation);
+        }
+
+        let jp4 = &mut c[ColumnId::JetP4 as usize];
+        jp4.put_u32_le(ev.jets.len() as u32);
+        for j in &ev.jets {
+            put_p4(jp4, &j.momentum);
+        }
+        let jid = &mut c[ColumnId::JetId as usize];
+        jid.put_u32_le(ev.jets.len() as u32);
+        for j in &ev.jets {
+            jid.put_u32_le(j.n_constituents);
+            jid.put_f64_le(j.em_fraction);
+        }
+
+        let cand = &mut c[ColumnId::Candidate as usize];
+        cand.put_u32_le(ev.candidates.len() as u32);
+        for t in &ev.candidates {
+            put_p4(cand, &t.vertex);
+            cand.put_f64_le(t.flight_xy);
+            cand.put_f64_le(t.pt);
+            cand.put_f64_le(t.eta);
+            cand.put_f64_le(t.mass_pipi);
+            cand.put_f64_le(t.mass_ppi);
+            cand.put_f64_le(t.mass_kpi);
+            cand.put_f64_le(t.proper_time_d0_ns);
+            cand.put_u32_le(t.track_indices.0);
+            cand.put_u32_le(t.track_indices.1);
+        }
+
+        let s = &mut c[ColumnId::Scalars as usize];
+        s.put_f64_le(ev.met.mex);
+        s.put_f64_le(ev.met.mey);
+        s.put_u32_le(ev.n_tracks);
+    }
+    (n_rows, cols)
 }
 
 #[inline]
@@ -574,19 +628,23 @@ fn put_p4(buf: &mut BytesMut, v: &FourVector) {
     buf.put_f64_le(v.e);
 }
 
-/// Stamp the header, table (with digests) and frames into one buffer.
-fn assemble_file(n_rows: u32, cols: &[BytesMut; N_COLUMNS]) -> Bytes {
+/// Stamp the header, table (with digests over the stored frames) and
+/// frames into one buffer.
+fn assemble_file(version: u16, n_rows: u32, cols: &[BytesMut; N_COLUMNS]) -> Bytes {
     let total: usize = cols.iter().map(|c| c.len()).sum();
     let mut buf = BytesMut::with_capacity(FRAMES_BASE + total);
     buf.put_slice(COLUMNAR_MAGIC);
-    buf.put_u16_le(COLUMNAR_VERSION);
+    buf.put_u16_le(version);
     buf.put_u8(DataTier::Aod.code());
     buf.put_u32_le(n_rows);
     buf.put_u8(N_COLUMNS as u8);
     let mut off = 0u32;
     for (i, c) in cols.iter().enumerate() {
         let len = u32::try_from(c.len()).unwrap_or_else(|_| {
-            panic!("column {i} of {} bytes exceeds the u32 length field", c.len())
+            panic!(
+                "column {i} of {} bytes exceeds the u32 length field",
+                c.len()
+            )
         });
         buf.put_u8(i as u8);
         buf.put_u32_le(off);
@@ -602,15 +660,1043 @@ fn assemble_file(n_rows: u32, cols: &[BytesMut; N_COLUMNS]) -> Bytes {
     buf.freeze()
 }
 
-/// A decoded (structurally walked) column. Zero-copy: `payload` is a
-/// window into the file buffer; `starts` indexes row extents for
-/// variable columns so row access is O(1) after the one walk.
+// --- v2 per-column encodings ------------------------------------------------
+
+/// How the delta encoding treats one record field. `U32`/`U64` store
+/// the zigzag-varint of the difference to the previous record's field;
+/// `F64` stores the varint of the XOR of the bit patterns (a repeated
+/// value — isolation exactly 0.0, a constant run number — costs one
+/// byte); `Byte` passes through verbatim.
+#[derive(Debug, Clone, Copy)]
+enum FieldKind {
+    Byte,
+    U32,
+    U64,
+    F64,
+}
+
+/// Widest field plan (fields per record) across the schema.
+const MAX_PLAN_FIELDS: usize = 3;
+
+/// Per-record field plan for the delta encoding, `None` for the fat
+/// four-momentum-bearing columns whose float payloads rarely delta well:
+/// there v2 stores the entries verbatim and compresses only the counts
+/// block (still a large win — a 4-byte prefix per row shrinks to a
+/// varint or a run). The plan is a static function of the column, so
+/// the decoder needs no side channel.
+fn delta_plan(id: ColumnId) -> Option<&'static [FieldKind]> {
+    use FieldKind::{Byte, F64, U32, U64};
+    Some(match id {
+        ColumnId::Header => &[U32, U32, U64],
+        ColumnId::Scalars => &[F64, F64, U32],
+        ColumnId::ElectronId => &[Byte, F64, F64],
+        ColumnId::MuonId => &[Byte, Byte, F64],
+        ColumnId::JetId => &[U32, F64],
+        ColumnId::ElectronP4
+        | ColumnId::MuonP4
+        | ColumnId::Photon
+        | ColumnId::JetP4
+        | ColumnId::Candidate => return None,
+    })
+}
+
+/// LEB128 unsigned varint (7 bits per byte, high bit continues).
+/// Staged through a stack buffer so the output lands in one
+/// `put_slice` instead of up to ten capacity-checked single-byte
+/// appends — varints dominate the delta streams, so this is hot.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    let mut tmp = [0u8; 10];
+    let mut n = 0usize;
+    while v >= 0x80 {
+        tmp[n] = (v as u8) | 0x80;
+        v >>= 7;
+        n += 1;
+    }
+    tmp[n] = v as u8;
+    buf.put_slice(&tmp[..=n]);
+}
+
+/// Encoded size of [`put_varint`]'s output, computed from the bit
+/// width (branchless; the cost probes sum this over every field).
+fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Bounds-checked varint read; rejects encodings past 10 bytes or
+/// overflowing 64 bits, so a corrupt stream cannot spin or wrap. When
+/// at least a maximal varint's worth of bytes remains, the read runs
+/// in a fixed-trip loop the optimizer can unroll, with the slice
+/// bound hoisted out — XOR'd doubles routinely encode to 9–10 bytes,
+/// so this path carries most of the delta decode.
+fn get_varint(b: &[u8], off: &mut usize) -> Result<u64, CodecError> {
+    let Some(s) = b.get(*off..) else {
+        return get_varint_slow(b, off);
+    };
+    if s.len() < 10 {
+        return get_varint_slow(b, off);
+    }
+    let mut v = 0u64;
+    for (i, &raw) in s.iter().enumerate().take(9) {
+        let byte = u64::from(raw);
+        v |= (byte & 0x7f) << (7 * i as u32);
+        if byte < 0x80 {
+            *off += i + 1;
+            return Ok(v);
+        }
+    }
+    let last = u64::from(s[9]);
+    if last > 1 {
+        return Err(CodecError::Corrupt("varint overflows u64".into()));
+    }
+    v |= last << 63;
+    *off += 10;
+    Ok(v)
+}
+
+/// Buffer-tail fallback of [`get_varint`]: byte-at-a-time with a
+/// bounds check per byte, reachable only within 10 bytes of the end.
+fn get_varint_slow(b: &[u8], off: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = b.get(*off) else {
+            return Err(CodecError::UnexpectedEof);
+        };
+        *off += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CodecError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Corrupt("varint runs past 10 bytes".into()));
+        }
+    }
+}
+
+/// Map signed deltas onto small unsigned varints (zigzag).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode the per-row entry counts of a variable column: one mode byte,
+/// then either a plain varint per row or (run, count) varint pairs —
+/// whichever is smaller (ties go to the varint mode).
+fn encode_counts(counts: &[u32]) -> BytesMut {
+    let varint_size: usize = counts.iter().map(|&c| varint_len(u64::from(c))).sum();
+    let mut rle_size = 0usize;
+    let mut i = 0usize;
+    while i < counts.len() {
+        let c = counts[i];
+        let mut run = 1usize;
+        while i + run < counts.len() && run < MAX_RUN as usize && counts[i + run] == c {
+            run += 1;
+        }
+        rle_size += varint_len(run as u64) + varint_len(u64::from(c));
+        i += run;
+    }
+    let mut block = BytesMut::with_capacity(1 + rle_size.min(varint_size));
+    if rle_size < varint_size {
+        block.put_u8(COUNTS_RLE);
+        let mut i = 0usize;
+        while i < counts.len() {
+            let c = counts[i];
+            let mut run = 1usize;
+            while i + run < counts.len() && run < MAX_RUN as usize && counts[i + run] == c {
+                run += 1;
+            }
+            put_varint(&mut block, run as u64);
+            put_varint(&mut block, u64::from(c));
+            i += run;
+        }
+    } else {
+        block.put_u8(COUNTS_VARINT);
+        for &c in counts {
+            put_varint(&mut block, u64::from(c));
+        }
+    }
+    block
+}
+
+/// Decode a v2 counts block. Every count and the running entry total
+/// are capped at [`MAX_COUNT`], and the RLE mode may not overshoot the
+/// row count, so a forged block cannot demand unbounded memory from the
+/// readers that size buffers off these counts.
+fn decode_counts(b: &[u8], off: &mut usize, n_rows: usize) -> Result<Vec<u32>, CodecError> {
+    let Some(&mode) = b.get(*off) else {
+        return Err(CodecError::UnexpectedEof);
+    };
+    *off += 1;
+    let mut counts: Vec<u32> = Vec::with_capacity((n_rows + 1).min(4096));
+    let mut total = 0u64;
+    match mode {
+        COUNTS_VARINT => {
+            for _ in 0..n_rows {
+                let c = get_varint(b, off)?;
+                total += check_count(c, total)?;
+                counts.push(c as u32);
+            }
+        }
+        COUNTS_RLE => {
+            while counts.len() < n_rows {
+                let run = get_varint(b, off)?;
+                if run == 0 || run > MAX_RUN {
+                    return Err(CodecError::Corrupt(format!("count run {run} out of range")));
+                }
+                if run as usize > n_rows - counts.len() {
+                    return Err(CodecError::Corrupt(
+                        "count runs overshoot the row count".into(),
+                    ));
+                }
+                let c = get_varint(b, off)?;
+                for _ in 0..run {
+                    total += check_count(c, total)?;
+                    counts.push(c as u32);
+                }
+            }
+        }
+        _ => {
+            return Err(CodecError::Corrupt(format!("unknown counts mode {mode}")));
+        }
+    }
+    Ok(counts)
+}
+
+/// One count's sanity gate: itself and the running total stay under
+/// [`MAX_COUNT`]. Returns the count for accumulation.
+fn check_count(c: u64, total_so_far: u64) -> Result<u64, CodecError> {
+    if c > u64::from(MAX_COUNT) || total_so_far + c > u64::from(MAX_COUNT) {
+        return Err(CodecError::Corrupt(format!(
+            "count {c} exceeds sanity limit"
+        )));
+    }
+    Ok(c)
+}
+
+/// Encode `records` (concatenated `rec`-byte records) under `tag` into
+/// `out` (which already carries the frame prefix). Returns false when
+/// the encoding does not apply (dictionary cardinality above 256).
+fn encode_records(
+    tag: u8,
+    records: &[u8],
+    rec: usize,
+    plan: &[FieldKind],
+    out: &mut BytesMut,
+) -> bool {
+    match tag {
+        TAG_DICT => {
+            let n = records.len() / rec;
+            let mut table: Vec<&[u8]> = Vec::new();
+            let mut map: HashMap<&[u8], u8> = HashMap::new();
+            let mut idx: Vec<u8> = Vec::with_capacity(n);
+            for r in records.chunks_exact(rec) {
+                let i = if let Some(&i) = map.get(r) {
+                    i
+                } else {
+                    if table.len() == 256 {
+                        return false;
+                    }
+                    let i = table.len() as u8;
+                    table.push(r);
+                    map.insert(r, i);
+                    i
+                };
+                idx.push(i);
+            }
+            out.put_u16_le(table.len() as u16);
+            for r in &table {
+                out.put_slice(r);
+            }
+            out.put_slice(&idx);
+            true
+        }
+        TAG_DELTA => {
+            let mut prev = [0u64; MAX_PLAN_FIELDS];
+            for r in records.chunks_exact(rec) {
+                let mut off = 0usize;
+                for (fi, kind) in plan.iter().enumerate() {
+                    match kind {
+                        FieldKind::Byte => {
+                            out.put_u8(r[off]);
+                            off += 1;
+                        }
+                        FieldKind::U32 => {
+                            let v = u64::from(rd_u32(r, off));
+                            put_varint(out, zigzag(v as i64 - prev[fi] as i64));
+                            prev[fi] = v;
+                            off += 4;
+                        }
+                        FieldKind::U64 => {
+                            let v = rd_u64(r, off);
+                            put_varint(out, zigzag((v as i64).wrapping_sub(prev[fi] as i64)));
+                            prev[fi] = v;
+                            off += 8;
+                        }
+                        FieldKind::F64 => {
+                            let v = rd_u64(r, off);
+                            put_varint(out, v ^ prev[fi]);
+                            prev[fi] = v;
+                            off += 8;
+                        }
+                    }
+                }
+                debug_assert_eq!(off, rec, "field plan must cover the record");
+            }
+            true
+        }
+        TAG_RLE => {
+            let n = records.len() / rec;
+            let mut i = 0usize;
+            while i < n {
+                let r = &records[i * rec..(i + 1) * rec];
+                let mut run = 1usize;
+                while i + run < n
+                    && run < MAX_RUN as usize
+                    && &records[(i + run) * rec..(i + run + 1) * rec] == r
+                {
+                    run += 1;
+                }
+                put_varint(out, run as u64);
+                out.put_slice(r);
+                i += run;
+            }
+            true
+        }
+        _ => unreachable!("raw is the baseline, not a candidate encoding"),
+    }
+}
+
+/// Decode exactly `n_records` `rec`-byte records from `b` at `*off`
+/// into `out`, under the encoding `tag` was validated to name. Corrupt
+/// streams error before producing data, and the initial reserve is
+/// clamped, so allocation stays proportional to the bytes the frame
+/// actually carries — a forged count cannot demand memory the stream
+/// never backs.
+#[allow(clippy::too_many_arguments)]
+fn decode_records(
+    id: ColumnId,
+    tag: u8,
+    b: &[u8],
+    off: &mut usize,
+    n_records: usize,
+    rec: usize,
+    plan: &[FieldKind],
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    out.reserve((n_records * rec).min(64 * 1024));
+    match tag {
+        TAG_DICT => {
+            if b.len() - *off < 2 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let n_dict = u16::from_le_bytes([b[*off], b[*off + 1]]) as usize;
+            *off += 2;
+            if n_dict > 256 {
+                return Err(CodecError::Corrupt(format!(
+                    "dictionary of {n_dict} entries exceeds the index range"
+                )));
+            }
+            if b.len() - *off < n_dict * rec {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let table = &b[*off..*off + n_dict * rec];
+            *off += n_dict * rec;
+            if b.len() - *off < n_records {
+                return Err(CodecError::UnexpectedEof);
+            }
+            for i in 0..n_records {
+                let idx = b[*off + i] as usize;
+                if idx >= n_dict {
+                    return Err(CodecError::Corrupt(format!(
+                        "dictionary index {idx} out of range in column '{}'",
+                        id.name()
+                    )));
+                }
+                out.extend_from_slice(&table[idx * rec..(idx + 1) * rec]);
+            }
+            *off += n_records;
+        }
+        TAG_DELTA => {
+            let mut prev = [0u64; MAX_PLAN_FIELDS];
+            for _ in 0..n_records {
+                for (fi, kind) in plan.iter().enumerate() {
+                    match kind {
+                        FieldKind::Byte => {
+                            let Some(&v) = b.get(*off) else {
+                                return Err(CodecError::UnexpectedEof);
+                            };
+                            *off += 1;
+                            out.push(v);
+                        }
+                        FieldKind::U32 => {
+                            let d = get_varint(b, off)?;
+                            let v = (prev[fi] as i64)
+                                .checked_add(unzigzag(d))
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or_else(|| {
+                                    CodecError::Corrupt("u32 delta lands out of range".into())
+                                })?;
+                            prev[fi] = u64::from(v);
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                        FieldKind::U64 => {
+                            let d = get_varint(b, off)?;
+                            let v = prev[fi].wrapping_add(unzigzag(d) as u64);
+                            prev[fi] = v;
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                        FieldKind::F64 => {
+                            let d = get_varint(b, off)?;
+                            let v = prev[fi] ^ d;
+                            prev[fi] = v;
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        TAG_RLE => {
+            let mut produced = 0usize;
+            while produced < n_records {
+                let run = get_varint(b, off)?;
+                if run == 0 || run > MAX_RUN {
+                    return Err(CodecError::Corrupt(format!("rle run {run} out of range")));
+                }
+                let run = run as usize;
+                if run > n_records - produced {
+                    return Err(CodecError::Corrupt(
+                        "rle runs overshoot the record count".into(),
+                    ));
+                }
+                if b.len() - *off < rec {
+                    return Err(CodecError::UnexpectedEof);
+                }
+                let r = &b[*off..*off + rec];
+                *off += rec;
+                for _ in 0..run {
+                    out.extend_from_slice(r);
+                }
+                produced += run;
+            }
+        }
+        _ => {
+            return Err(CodecError::Corrupt(format!(
+                "column '{}' does not support encoding tag {tag}",
+                id.name()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a over one record's bytes, for the dictionary cost probe.
+fn hash_record(r: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in r {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Exact body size the dictionary encoder would emit for `records`,
+/// or `None` when the cardinality exceeds the 256-entry index range —
+/// the probe bails exactly where [`encode_records`] would. Distinct
+/// records are tracked in a small open-addressed table (FNV hash,
+/// linear probing, byte-compare on hit) so the common high-cardinality
+/// columns bail after a few hundred cheap inserts.
+fn dict_probe(records: &[u8], rec: usize) -> Option<usize> {
+    const SLOTS: usize = 1024; // 4x the 256-entry cap keeps probe chains short
+    let n = records.len() / rec;
+    let mut slots = [0u32; SLOTS]; // record index + 1; 0 marks empty
+    let mut distinct = 0usize;
+    for (i, r) in records.chunks_exact(rec).enumerate() {
+        let mut s = (hash_record(r) as usize) & (SLOTS - 1);
+        loop {
+            let j = slots[s] as usize;
+            if j == 0 {
+                if distinct == 256 {
+                    return None;
+                }
+                slots[s] = i as u32 + 1;
+                distinct += 1;
+                break;
+            }
+            if &records[(j - 1) * rec..j * rec] == r {
+                break;
+            }
+            s = (s + 1) & (SLOTS - 1);
+        }
+    }
+    Some(2 + distinct * rec + n)
+}
+
+/// Exact body size the delta encoder would emit for `records`: the
+/// same field walk as [`encode_records`], summing [`varint_len`]
+/// instead of writing.
+fn delta_probe(records: &[u8], rec: usize, plan: &[FieldKind]) -> usize {
+    let mut prev = [0u64; MAX_PLAN_FIELDS];
+    let mut size = 0usize;
+    for r in records.chunks_exact(rec) {
+        let mut off = 0usize;
+        for (fi, kind) in plan.iter().enumerate() {
+            match kind {
+                FieldKind::Byte => {
+                    size += 1;
+                    off += 1;
+                }
+                FieldKind::U32 => {
+                    let v = u64::from(rd_u32(r, off));
+                    size += varint_len(zigzag(v as i64 - prev[fi] as i64));
+                    prev[fi] = v;
+                    off += 4;
+                }
+                FieldKind::U64 => {
+                    let v = rd_u64(r, off);
+                    size += varint_len(zigzag((v as i64).wrapping_sub(prev[fi] as i64)));
+                    prev[fi] = v;
+                    off += 8;
+                }
+                FieldKind::F64 => {
+                    let v = rd_u64(r, off);
+                    size += varint_len(v ^ prev[fi]);
+                    prev[fi] = v;
+                    off += 8;
+                }
+            }
+        }
+    }
+    size
+}
+
+/// Exact body size the RLE encoder would emit for `records`.
+fn rle_probe(records: &[u8], rec: usize) -> usize {
+    let n = records.len() / rec;
+    let mut size = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let r = &records[i * rec..(i + 1) * rec];
+        let mut run = 1usize;
+        while i + run < n
+            && run < MAX_RUN as usize
+            && &records[(i + run) * rec..(i + run + 1) * rec] == r
+        {
+            run += 1;
+        }
+        size += varint_len(run as u64) + rec;
+        i += run;
+    }
+    size
+}
+
+/// Probe all candidate encodings for `records` and return the winning
+/// tag plus its frame size, starting from a raw frame of
+/// `raw_frame_len` bytes. `prefix` is whatever the non-raw frames
+/// carry between the tag and the record stream (the counts block for
+/// variable columns, zero for fixed ones). Candidates are compared in
+/// tag order with strict `<`, so ties resolve exactly as the old
+/// encode-everything probe did: raw first, then the lowest tag.
+fn pick_encoding(
+    records: &[u8],
+    rec: usize,
+    plan: &[FieldKind],
+    prefix: usize,
+    raw_frame_len: usize,
+) -> (u8, usize) {
+    let mut best_tag = TAG_RAW;
+    let mut best = raw_frame_len;
+    if let Some(body) = dict_probe(records, rec) {
+        let cand = 1 + prefix + body;
+        if cand < best {
+            best_tag = TAG_DICT;
+            best = cand;
+        }
+    }
+    let cand = 1 + prefix + delta_probe(records, rec, plan);
+    if cand < best {
+        best_tag = TAG_DELTA;
+        best = cand;
+    }
+    let cand = 1 + prefix + rle_probe(records, rec);
+    if cand < best {
+        best_tag = TAG_RLE;
+        best = cand;
+    }
+    (best_tag, best)
+}
+
+/// Build the raw (tag 0) frame for a column payload.
+fn raw_frame(raw: &[u8]) -> BytesMut {
+    let mut frame = BytesMut::with_capacity(raw.len() + 1);
+    frame.put_u8(TAG_RAW);
+    frame.put_slice(raw);
+    frame
+}
+
+/// Encode one raw column payload into its cheapest v2 frame
+/// (tag-prefixed). The cost probe computes each candidate's exact
+/// output size in one arithmetic pass ([`dict_probe`], [`delta_probe`],
+/// [`rle_probe`]) and only the winner is actually encoded — the sizes
+/// are exact, so the output is byte-identical to encoding every
+/// candidate and keeping the smallest, at a fraction of the cost. Ties
+/// go to the lowest tag (raw first). A pure function of
+/// (column, raw bytes, row count) — so re-encoding the rows a skim
+/// keeps equals encoding the same events from scratch, and skim output
+/// stays canonical.
+fn encode_column(id: ColumnId, raw: &[u8], n_rows: usize) -> BytesMut {
+    match id.layout() {
+        ColumnLayout::Fixed(stride) => {
+            let plan = delta_plan(id).expect("fixed columns carry a field plan");
+            let (tag, size) = pick_encoding(raw, stride, plan, 0, 1 + raw.len());
+            if tag == TAG_RAW {
+                return raw_frame(raw);
+            }
+            let mut frame = BytesMut::with_capacity(size);
+            frame.put_u8(tag);
+            let applied = encode_records(tag, raw, stride, plan, &mut frame);
+            debug_assert!(applied, "the probe only picks applicable encodings");
+            debug_assert_eq!(frame.len(), size, "probe size must match the encoder");
+            frame
+        }
+        ColumnLayout::Var(entry) => {
+            // Scan the raw payload for per-row counts (the payload is
+            // valid by construction here — it was just built from
+            // events). Entries are only copied out for the thin
+            // id-columns that feed the record probes; fat columns go
+            // straight from `raw` into the winning frame.
+            let mut counts: Vec<u32> = Vec::with_capacity(n_rows);
+            let mut off = 0usize;
+            for _ in 0..n_rows {
+                let c = rd_u32(raw, off);
+                counts.push(c);
+                off += 4 + c as usize * entry;
+            }
+            let counts_block = encode_counts(&counts);
+            match delta_plan(id) {
+                None => {
+                    // Fat column: entries verbatim under TAG_DELTA; the
+                    // frame wins exactly when the counts block beats
+                    // the 4 bytes/row of raw prefixes.
+                    let entries_len = raw.len() - 4 * n_rows;
+                    if counts_block.len() + entries_len >= raw.len() {
+                        return raw_frame(raw);
+                    }
+                    let mut frame = BytesMut::with_capacity(1 + counts_block.len() + entries_len);
+                    frame.put_u8(TAG_DELTA);
+                    frame.put_slice(&counts_block);
+                    let mut off = 0usize;
+                    for &c in &counts {
+                        let len = c as usize * entry;
+                        frame.put_slice(&raw[off + 4..off + 4 + len]);
+                        off += 4 + len;
+                    }
+                    frame
+                }
+                Some(plan) => {
+                    let mut entries = BytesMut::with_capacity(raw.len().saturating_sub(4 * n_rows));
+                    let mut off = 0usize;
+                    for &c in &counts {
+                        let len = c as usize * entry;
+                        entries.put_slice(&raw[off + 4..off + 4 + len]);
+                        off += 4 + len;
+                    }
+                    let (tag, size) =
+                        pick_encoding(&entries, entry, plan, counts_block.len(), 1 + raw.len());
+                    if tag == TAG_RAW {
+                        return raw_frame(raw);
+                    }
+                    let mut frame = BytesMut::with_capacity(size);
+                    frame.put_u8(tag);
+                    frame.put_slice(&counts_block);
+                    let applied = encode_records(tag, &entries, entry, plan, &mut frame);
+                    debug_assert!(applied, "the probe only picks applicable encodings");
+                    debug_assert_eq!(frame.len(), size, "probe size must match the encoder");
+                    frame
+                }
+            }
+        }
+    }
+}
+
+/// Decode a non-raw v2 frame into a [`ColumnReader`]. Small-record
+/// columns materialize their raw payload; fat variable columns come
+/// back *packed* — a zero-copy window over the verbatim entries region,
+/// with the counts decoded into `starts` alone.
+fn decode_frame(
+    id: ColumnId,
+    layout: ColumnLayout,
+    tag: u8,
+    frame: &Bytes,
+    n_rows: usize,
+) -> Result<ColumnReader, CodecError> {
+    let b: &[u8] = frame;
+    let mut off = 1usize; // past the encoding tag
+    match layout {
+        ColumnLayout::Fixed(stride) => {
+            let plan = delta_plan(id).expect("fixed columns carry a field plan");
+            let mut records = Vec::new();
+            decode_records(id, tag, b, &mut off, n_rows, stride, plan, &mut records)?;
+            if off != b.len() {
+                return Err(trailing_bytes(id, b.len() - off));
+            }
+            Ok(ColumnReader {
+                id,
+                layout,
+                payload: Bytes::from(records),
+                starts: Vec::new(),
+                packed: false,
+            })
+        }
+        ColumnLayout::Var(entry) => {
+            let counts = decode_counts(b, &mut off, n_rows)?;
+            let total: usize = counts.iter().map(|&c| c as usize).sum();
+            match delta_plan(id) {
+                None => {
+                    if tag != TAG_DELTA {
+                        return Err(CodecError::Corrupt(format!(
+                            "column '{}' does not support encoding tag {tag}",
+                            id.name()
+                        )));
+                    }
+                    if b.len() - off != total * entry {
+                        return Err(CodecError::Corrupt(format!(
+                            "column '{}' entries region is {} bytes for \
+                             {total} entries of {entry}",
+                            id.name(),
+                            b.len() - off
+                        )));
+                    }
+                    let mut starts = Vec::with_capacity(counts.len() + 1);
+                    let mut acc = 0u32;
+                    for &c in &counts {
+                        starts.push(acc);
+                        acc += c * entry as u32; // total·entry < 2³⁰, no overflow
+                    }
+                    starts.push(acc);
+                    Ok(ColumnReader {
+                        id,
+                        layout,
+                        payload: frame.slice(off..),
+                        starts,
+                        packed: true,
+                    })
+                }
+                Some(plan) => {
+                    let mut records = Vec::new();
+                    decode_records(id, tag, b, &mut off, total, entry, plan, &mut records)?;
+                    if off != b.len() {
+                        return Err(trailing_bytes(id, b.len() - off));
+                    }
+                    // Re-interleave the count prefixes into a raw payload.
+                    let mut payload = Vec::with_capacity(records.len() + 4 * counts.len());
+                    let mut starts = Vec::with_capacity(counts.len() + 1);
+                    let mut eoff = 0usize;
+                    for &c in &counts {
+                        starts.push(payload.len() as u32);
+                        payload.extend_from_slice(&c.to_le_bytes());
+                        let len = c as usize * entry;
+                        payload.extend_from_slice(&records[eoff..eoff + len]);
+                        eoff += len;
+                    }
+                    starts.push(payload.len() as u32);
+                    Ok(ColumnReader {
+                        id,
+                        layout,
+                        payload: Bytes::from(payload),
+                        starts,
+                        packed: false,
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn trailing_bytes(id: ColumnId, n: usize) -> CodecError {
+    CodecError::Corrupt(format!(
+        "column '{}' has {n} bytes past its encoded stream",
+        id.name()
+    ))
+}
+
+/// The paired p4/id columns must agree on every row's entry count.
+fn cross_check_counts(
+    readers: &[ColumnReader; N_COLUMNS],
+    n_rows: usize,
+) -> Result<(), CodecError> {
+    for (p4, id) in [
+        (ColumnId::ElectronP4, ColumnId::ElectronId),
+        (ColumnId::MuonP4, ColumnId::MuonId),
+        (ColumnId::JetP4, ColumnId::JetId),
+    ] {
+        let (a, b) = (&readers[p4 as usize], &readers[id as usize]);
+        for row in 0..n_rows {
+            if a.count(row) != b.count(row) {
+                return Err(CodecError::Corrupt(format!(
+                    "columns '{}' and '{}' disagree on the entry \
+                     count at row {row}",
+                    p4.name(),
+                    id.name()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- Worker-pool parallel encode / decode -----------------------------------
+
+/// Decode a columnar file back into AOD events with the ten column
+/// frames verified + decoded on the worker pool, then the row
+/// materialization fanned over row ranges. Column frames are
+/// independent by construction (each is separately digested and
+/// self-contained), so this parallelism cannot change the result: any
+/// thread count returns exactly what [`ColumnarFile::to_rows`] returns
+/// (the 1/2/4-thread byte-equality is proven through the row codec in
+/// tests). `threads <= 1` spawns nothing.
+pub fn decode_columns_parallel(file: &Bytes, threads: usize) -> Result<Vec<AodEvent>, CodecError> {
+    let cf = ColumnarFile::parse(file)?;
+    let opened: Vec<Result<ColumnReader, CodecError>> =
+        crate::par::map_chunks(&ColumnId::ALL, threads, |ids| {
+            ids.iter().map(|&id| cf.column(id)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut readers: [Option<ColumnReader>; N_COLUMNS] = Default::default();
+    for r in opened {
+        let r = r?;
+        let slot = r.id() as usize;
+        readers[slot] = Some(r);
+    }
+    let readers = readers.map(|r| r.expect("all columns opened"));
+    cross_check_counts(&readers, cf.n_rows)?;
+
+    let rows: Vec<u32> = (0..cf.n_rows as u32).collect();
+    let slim = SlimSpec::keep_all();
+    let chunks = crate::par::map_chunks(&rows, threads, |chunk| {
+        chunk
+            .iter()
+            .map(|&row| decode_row(&readers, row as usize, &slim))
+            .collect::<Vec<_>>()
+    });
+    Ok(chunks.into_iter().flatten().collect())
+}
+
+/// Encode AOD events into a columnar file with the ten column builds
+/// and frame encodes fanned over the worker pool. Each worker lays out
+/// and encodes whole columns, so the in-order merge concatenates
+/// exactly the frames the sequential writer produces: byte-identical
+/// to [`ColumnarFile::from_rows`] at any thread count.
+pub fn encode_columnar_parallel(events: &[AodEvent], threads: usize) -> Bytes {
+    let n_rows = u32::try_from(events.len()).unwrap_or_else(|_| {
+        panic!(
+            "event count {} exceeds the u32 DPCF row field",
+            events.len()
+        )
+    });
+    let frames_vec: Vec<BytesMut> = crate::par::map_chunks(&ColumnId::ALL, threads, |ids| {
+        ids.iter()
+            .map(|&id| {
+                let raw = build_raw_column(id, events);
+                encode_column(id, &raw, events.len())
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut frames: [BytesMut; N_COLUMNS] = Default::default();
+    for (i, f) in frames_vec.into_iter().enumerate() {
+        frames[i] = f;
+    }
+    assemble_file(COLUMNAR_VERSION, n_rows, &frames)
+}
+
+/// Lay out one raw column for `events` — the per-column worker of the
+/// parallel encoder, column-for-column identical to the single-pass
+/// [`build_raw_columns`].
+fn build_raw_column(id: ColumnId, events: &[AodEvent]) -> BytesMut {
+    let mut col = BytesMut::new();
+    match id {
+        ColumnId::Header => {
+            for ev in events {
+                col.put_u32_le(ev.header.run.0);
+                col.put_u32_le(ev.header.lumi_block.0);
+                col.put_u64_le(ev.header.event.0);
+            }
+        }
+        ColumnId::ElectronP4 => {
+            for ev in events {
+                col.put_u32_le(ev.electrons.len() as u32);
+                for e in &ev.electrons {
+                    put_p4(&mut col, &e.momentum);
+                }
+            }
+        }
+        ColumnId::ElectronId => {
+            for ev in events {
+                col.put_u32_le(ev.electrons.len() as u32);
+                for e in &ev.electrons {
+                    col.put_i8(e.charge);
+                    col.put_f64_le(e.e_over_p);
+                    col.put_f64_le(e.isolation);
+                }
+            }
+        }
+        ColumnId::MuonP4 => {
+            for ev in events {
+                col.put_u32_le(ev.muons.len() as u32);
+                for m in &ev.muons {
+                    put_p4(&mut col, &m.momentum);
+                }
+            }
+        }
+        ColumnId::MuonId => {
+            for ev in events {
+                col.put_u32_le(ev.muons.len() as u32);
+                for m in &ev.muons {
+                    col.put_i8(m.charge);
+                    col.put_u8(m.n_stations);
+                    col.put_f64_le(m.isolation);
+                }
+            }
+        }
+        ColumnId::Photon => {
+            for ev in events {
+                col.put_u32_le(ev.photons.len() as u32);
+                for p in &ev.photons {
+                    put_p4(&mut col, &p.momentum);
+                    col.put_f64_le(p.isolation);
+                }
+            }
+        }
+        ColumnId::JetP4 => {
+            for ev in events {
+                col.put_u32_le(ev.jets.len() as u32);
+                for j in &ev.jets {
+                    put_p4(&mut col, &j.momentum);
+                }
+            }
+        }
+        ColumnId::JetId => {
+            for ev in events {
+                col.put_u32_le(ev.jets.len() as u32);
+                for j in &ev.jets {
+                    col.put_u32_le(j.n_constituents);
+                    col.put_f64_le(j.em_fraction);
+                }
+            }
+        }
+        ColumnId::Candidate => {
+            for ev in events {
+                col.put_u32_le(ev.candidates.len() as u32);
+                for t in &ev.candidates {
+                    put_p4(&mut col, &t.vertex);
+                    col.put_f64_le(t.flight_xy);
+                    col.put_f64_le(t.pt);
+                    col.put_f64_le(t.eta);
+                    col.put_f64_le(t.mass_pipi);
+                    col.put_f64_le(t.mass_ppi);
+                    col.put_f64_le(t.mass_kpi);
+                    col.put_f64_le(t.proper_time_d0_ns);
+                    col.put_u32_le(t.track_indices.0);
+                    col.put_u32_le(t.track_indices.1);
+                }
+            }
+        }
+        ColumnId::Scalars => {
+            for ev in events {
+                col.put_f64_le(ev.met.mex);
+                col.put_f64_le(ev.met.mey);
+                col.put_u32_le(ev.n_tracks);
+            }
+        }
+    }
+    col
+}
+
+/// A decoded (structurally walked) column. For raw frames `payload` is
+/// a zero-copy window into the file buffer; for encoded v2 frames it is
+/// either the decoded raw payload (small-record columns) or, in
+/// *packed* form, a zero-copy window over the verbatim entries region
+/// with the row counts carried by `starts` alone (the fat
+/// four-momentum columns, whose entries v2 never transforms). `starts`
+/// indexes row extents for variable columns so row access is O(1).
 #[derive(Debug, Clone)]
 pub struct ColumnReader {
     id: ColumnId,
     layout: ColumnLayout,
     payload: Bytes,
     starts: Vec<u32>,
+    /// Variable column whose payload is entries-only (no interleaved
+    /// `count:u32` prefixes); `starts` holds entry-byte offsets.
+    packed: bool,
+}
+
+/// Build a reader over a raw (v1-layout) payload: zero-copy, with the
+/// counting walk for variable columns.
+fn reader_from_raw(
+    id: ColumnId,
+    layout: ColumnLayout,
+    payload: Bytes,
+    n_rows: usize,
+) -> Result<ColumnReader, CodecError> {
+    let starts = match layout {
+        ColumnLayout::Fixed(_) => Vec::new(),
+        ColumnLayout::Var(entry) => walk_var(&payload, entry, n_rows, id)?,
+    };
+    Ok(ColumnReader {
+        id,
+        layout,
+        payload,
+        starts,
+        packed: false,
+    })
+}
+
+/// Walk a raw variable-column payload row by row, validating counts and
+/// extents, and return the per-row byte offsets (`n_rows + 1` entries).
+fn walk_var(b: &[u8], entry: usize, n_rows: usize, id: ColumnId) -> Result<Vec<u32>, CodecError> {
+    // Raw payloads are at least 4 bytes per row (checked at parse), so
+    // `n_rows` is bounded by the bytes actually present and this
+    // preallocation cannot outrun the file.
+    let mut starts = Vec::with_capacity(n_rows + 1);
+    let mut off = 0usize;
+    for _ in 0..n_rows {
+        starts.push(off as u32);
+        if off + 4 > b.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let count = rd_u32(b, off);
+        if count > MAX_COUNT {
+            return Err(CodecError::Corrupt(format!(
+                "count {count} exceeds sanity limit"
+            )));
+        }
+        let row_len = 4 + count as usize * entry;
+        if b.len() - off < row_len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        off += row_len;
+    }
+    if off != b.len() {
+        return Err(CodecError::Corrupt(format!(
+            "column '{}' has {} trailing bytes",
+            id.name(),
+            b.len() - off
+        )));
+    }
+    starts.push(off as u32);
+    Ok(starts)
 }
 
 impl ColumnReader {
@@ -626,8 +1712,9 @@ impl ColumnReader {
             ColumnLayout::Fixed(_) => 1,
             ColumnLayout::Var(entry) => {
                 (self.starts[row + 1] - self.starts[row]) as usize / entry
-                // count prefix: (len - 4) / entry, but 4/entry == 0 only
-                // when entry > 4, which holds for every schema column.
+                // interleaved rows carry a count prefix: (len - 4) /
+                // entry, but 4/entry == 0 since entry > 4 for every
+                // schema column; packed rows divide exactly.
             }
         }
     }
@@ -642,10 +1729,11 @@ impl ColumnReader {
         &self.payload[row * stride..(row + 1) * stride]
     }
 
-    /// The packed entries of `row` (count prefix stripped).
+    /// The packed entries of `row` (count prefix stripped, when present).
     #[inline]
     pub fn entries(&self, row: usize) -> &[u8] {
-        &self.payload[self.starts[row] as usize + 4..self.starts[row + 1] as usize]
+        let skip = if self.packed { 0 } else { 4 };
+        &self.payload[self.starts[row] as usize + skip..self.starts[row + 1] as usize]
     }
 }
 
@@ -705,7 +1793,9 @@ fn decode_row(r: &[ColumnReader; N_COLUMNS], row: usize, slim: &SlimSpec) -> Aod
     let n_jets = if slim.max_jets == 0 {
         0 // the jet columns may not even be open; don't touch them
     } else {
-        r[ColumnId::JetP4 as usize].count(row).min(slim.max_jets as usize)
+        r[ColumnId::JetP4 as usize]
+            .count(row)
+            .min(slim.max_jets as usize)
     };
     if n_jets > 0 {
         let p4 = r[ColumnId::JetP4 as usize].entries(row);
@@ -850,9 +1940,8 @@ fn eval_mask(cache: &mut ColumnCache<'_>, sel: &Selection) -> Result<Vec<bool>, 
             (0..n_rows)
                 .map(|row| {
                     let b = col.entries(row);
-                    (0..col.count(row)).any(|i| {
-                        (rd_f64(b, i * CAND_STRIDE + off) - mass).abs() <= *window
-                    })
+                    (0..col.count(row))
+                        .any(|i| (rd_f64(b, i * CAND_STRIDE + off) - mass).abs() <= *window)
                 })
                 .collect()
         }
@@ -991,32 +2080,55 @@ fn skim_columnar_core(
         runs
     };
 
-    let mut out_cols: [BytesMut; N_COLUMNS] = Default::default();
+    // One raw-column scratch is reused (cleared, capacity kept) across
+    // all ten columns, so the pass holds a single raw column plus the
+    // much smaller encoded frames instead of ten raw columns at once —
+    // that was the columnar skim's allocation peak.
+    let mut raw = BytesMut::new();
+    let mut frames: [BytesMut; N_COLUMNS] = Default::default();
     for (i, id) in ColumnId::ALL.iter().enumerate() {
-        let out = &mut out_cols[i];
+        raw.clear();
         if !keep[i] {
             // Dropped collection: every surviving row becomes count = 0,
             // without ever opening the source column.
-            out.reserve(n_out * 4);
+            raw.reserve(n_out * 4);
             for _ in 0..n_out {
-                out.put_u32_le(0);
+                raw.put_u32_le(0);
             }
+            frames[i] = encode_column(*id, &raw, n_out);
             continue;
         }
         let col = cache.get(*id);
         match id.layout() {
             ColumnLayout::Fixed(stride) => {
-                out.reserve(n_out * stride);
+                raw.reserve(n_out * stride);
                 for &(a, b) in &runs {
-                    out.put_slice(&col.payload[a * stride..b * stride]);
+                    raw.put_slice(&col.payload[a * stride..b * stride]);
                 }
             }
             ColumnLayout::Var(entry) => {
-                let truncate_jets = matches!(id, ColumnId::JetP4 | ColumnId::JetId)
-                    && slim.max_jets != u32::MAX;
-                if truncate_jets {
+                let truncate_jets =
+                    matches!(id, ColumnId::JetP4 | ColumnId::JetId) && slim.max_jets != u32::MAX;
+                if col.packed {
+                    // Packed readers carry no interleaved count
+                    // prefixes, so rows re-interleave one by one (a run
+                    // cannot memcpy across the missing prefixes).
+                    let max = if truncate_jets {
+                        slim.max_jets as usize
+                    } else {
+                        usize::MAX
+                    };
+                    raw.reserve(4 * n_out + (col.starts[cf.n_rows] as usize).min(1 << 20));
+                    for &(a, b) in &runs {
+                        for row in a..b {
+                            let n = col.count(row).min(max);
+                            raw.put_u32_le(n as u32);
+                            raw.put_slice(&col.entries(row)[..n * entry]);
+                        }
+                    }
+                } else if truncate_jets {
                     let max = slim.max_jets as usize;
-                    out.reserve(n_out * (4 + max * entry));
+                    raw.reserve(n_out * (4 + max * entry));
                     for &(a, b) in &runs {
                         // Within a run, stretches of rows already under
                         // the jet cap copy verbatim in one slice; only
@@ -1028,13 +2140,13 @@ fn skim_columnar_core(
                                 while row < b && col.count(row) <= max {
                                     row += 1;
                                 }
-                                out.put_slice(
+                                raw.put_slice(
                                     &col.payload
                                         [col.starts[start] as usize..col.starts[row] as usize],
                                 );
                             } else {
-                                out.put_u32_le(max as u32);
-                                out.put_slice(&col.entries(row)[..max * entry]);
+                                raw.put_u32_le(max as u32);
+                                raw.put_slice(&col.entries(row)[..max * entry]);
                                 row += 1;
                             }
                         }
@@ -1044,15 +2156,14 @@ fn skim_columnar_core(
                         .iter()
                         .map(|&(a, b)| (col.starts[b] - col.starts[a]) as usize)
                         .sum();
-                    out.reserve(total);
+                    raw.reserve(total);
                     for &(a, b) in &runs {
-                        out.put_slice(
-                            &col.payload[col.starts[a] as usize..col.starts[b] as usize],
-                        );
+                        raw.put_slice(&col.payload[col.starts[a] as usize..col.starts[b] as usize]);
                     }
                 }
             }
         }
+        frames[i] = encode_column(*id, &raw, n_out);
     }
 
     if let Some(cb) = on_survivor {
@@ -1070,6 +2181,7 @@ fn skim_columnar_core(
                         layout: ColumnId::ALL[i].layout(),
                         payload: Bytes::new(),
                         starts: Vec::new(),
+                        packed: false,
                     }),
                 };
             }
@@ -1088,7 +2200,7 @@ fn skim_columnar_core(
             .add(N_COLUMNS as u64 - read);
     }
 
-    let out = assemble_file(n_out as u32, &out_cols);
+    let out = assemble_file(COLUMNAR_VERSION, n_out as u32, &frames);
     let report = SkimReport {
         events_in: cf.n_rows as u64,
         events_out: n_out as u64,
@@ -1240,13 +2352,8 @@ mod tests {
         let parsed = ColumnarFile::parse(&file).expect("parses");
         assert_eq!(parsed.n_rows(), 0);
         assert!(parsed.to_rows().expect("decodes").is_empty());
-        let (out, report) = skim_slim_columnar(
-            &file,
-            &Selection::All,
-            &SlimSpec::keep_all(),
-            None,
-        )
-        .expect("skims");
+        let (out, report) =
+            skim_slim_columnar(&file, &Selection::All, &SlimSpec::keep_all(), None).expect("skims");
         assert_eq!(report.events_in, 0);
         assert_eq!(out, file);
     }
@@ -1286,7 +2393,10 @@ mod tests {
     fn verify_passes_on_pristine_and_catches_column_swap() {
         let events = sample_events(9);
         let file = ColumnarFile::from_rows(&events);
-        ColumnarFile::parse(&file).unwrap().verify().expect("pristine verifies");
+        ColumnarFile::parse(&file)
+            .unwrap()
+            .verify()
+            .expect("pristine verifies");
 
         // Swap the e-p4 and mu-p4 frames (equal layout, different data):
         // every per-column structure stays valid, only the table digests
@@ -1418,5 +2528,228 @@ mod tests {
             ColumnarFile::parse(&Bytes::from(bad)),
             Err(CodecError::WrongTier { .. })
         ));
+    }
+
+    /// The encoding tag a parsed file stores for `col` (first frame byte).
+    fn frame_tag(file: &Bytes, parsed: &ColumnarFile, col: ColumnId) -> u8 {
+        file[parsed.cols[col as usize].offset]
+    }
+
+    #[test]
+    fn v1_files_still_parse_decode_and_skim() {
+        let events = sample_events(19);
+        let v1 = ColumnarFile::from_rows_v1(&events);
+        let parsed = ColumnarFile::parse(&v1).expect("v1 parses");
+        assert_eq!(parsed.version(), COLUMNAR_VERSION_V1);
+        assert_eq!(parsed.to_rows().expect("v1 decodes"), events);
+        // A v2 writer re-encoding the same rows carries the new version…
+        let v2 = ColumnarFile::from_rows(&events);
+        assert_eq!(
+            ColumnarFile::parse(&v2).unwrap().version(),
+            COLUMNAR_VERSION
+        );
+        // …and skimming a v1 file yields the canonical v2 output.
+        let sel = Selection::NLeptons { n: 1, pt: 10.0 };
+        let slim = SlimSpec::leptons_only();
+        let (expected, _) = skim_slim(&events, &sel, &slim);
+        let (out, _) = skim_slim_columnar(&v1, &sel, &slim, None).expect("v1 skims");
+        assert_eq!(out, ColumnarFile::from_rows(&expected));
+    }
+
+    #[test]
+    fn v1_truncations_and_flips_are_detected_or_harmless() {
+        let events = sample_events(4);
+        let file = ColumnarFile::from_rows_v1(&events);
+        for len in 0..file.len() {
+            ColumnarFile::parse(&file.slice(0..len))
+                .and_then(|f| f.to_rows().map(|_| ()))
+                .expect_err("v1 truncation must error");
+        }
+        for pos in 0..file.len() {
+            let mut bytes = file.to_vec();
+            bytes[pos] ^= 0x40;
+            match ColumnarFile::parse(&Bytes::from(bytes)).and_then(|f| f.to_rows()) {
+                Err(_) => {}
+                Ok(back) => assert_eq!(back, events, "undetected v1 flip at byte {pos}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cost_probe_picks_the_expected_encodings() {
+        // Constant run/lumi + incrementing event number: the header column
+        // deltas down to ~3 bytes/row. Default (empty) events leave the
+        // scalars column one long run and the fat columns all-zero counts.
+        let runs: Vec<AodEvent> = (0..600)
+            .map(|i| AodEvent::new(EventHeader::new(194_270, 12, 900_000 + i as u64)))
+            .collect();
+        let file = ColumnarFile::from_rows(&runs);
+        let parsed = ColumnarFile::parse(&file).expect("parses");
+        assert_eq!(frame_tag(&file, &parsed, ColumnId::Header), TAG_DELTA);
+        assert_eq!(frame_tag(&file, &parsed, ColumnId::Scalars), TAG_RLE);
+        assert_eq!(frame_tag(&file, &parsed, ColumnId::ElectronP4), TAG_DELTA);
+        // The all-empty fat column compresses to a handful of bytes where
+        // raw spends 4 bytes per row on zero counts.
+        assert!(parsed.cols[ColumnId::ElectronP4 as usize].len < 32);
+        assert_eq!(parsed.to_rows().expect("decodes"), runs);
+
+        // Scalars alternating between two distinct records: dictionary
+        // territory (2 records + 1 index byte/row beats 20 bytes/row raw).
+        let alternating: Vec<AodEvent> = (0..600)
+            .map(|i| {
+                let mut ev = AodEvent::new(EventHeader::new(1, 1, i as u64));
+                ev.met = Met {
+                    mex: if i % 2 == 0 { 17.25 } else { -4.5 },
+                    mey: 3.0,
+                };
+                ev.n_tracks = 7;
+                ev
+            })
+            .collect();
+        let file = ColumnarFile::from_rows(&alternating);
+        let parsed = ColumnarFile::parse(&file).expect("parses");
+        assert_eq!(frame_tag(&file, &parsed, ColumnId::Scalars), TAG_DICT);
+        assert_eq!(parsed.to_rows().expect("decodes"), alternating);
+    }
+
+    #[test]
+    fn mixed_encoding_file_round_trips() {
+        // Heterogeneous events drive different winners per column; the
+        // file must still decode exactly and expose at least two distinct
+        // non-raw encodings.
+        let events = sample_events(300);
+        let file = ColumnarFile::from_rows(&events);
+        let parsed = ColumnarFile::parse(&file).expect("parses");
+        let tags: std::collections::BTreeSet<u8> = ColumnId::ALL
+            .iter()
+            .map(|&id| frame_tag(&file, &parsed, id))
+            .collect();
+        assert!(
+            tags.iter().filter(|&&t| t != TAG_RAW).count() >= 2,
+            "expected a mix of encodings, got tags {tags:?}"
+        );
+        assert_eq!(parsed.to_rows().expect("decodes"), events);
+    }
+
+    #[test]
+    fn each_forced_encoding_round_trips_at_the_record_level() {
+        // 700 scalar records (rec = 20) cycling over 17 distinct values
+        // with runs: exercises dictionary, delta and RLE on one input.
+        let rec = 20; // Scalars stride: mex f64 ++ mey f64 ++ n_tracks u32
+        let plan = delta_plan(ColumnId::Scalars).unwrap();
+        let mut records = Vec::new();
+        for i in 0..700u64 {
+            let v = (i * i / 40) % 17;
+            records.extend_from_slice(&(v as f64 * 1.5).to_le_bytes());
+            records.extend_from_slice(&(-(v as f64)).to_le_bytes());
+            records.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        let n = records.len() / rec;
+        for tag in [TAG_DICT, TAG_DELTA, TAG_RLE] {
+            let mut enc = BytesMut::new();
+            assert!(
+                encode_records(tag, &records, rec, plan, &mut enc),
+                "tag {tag}"
+            );
+            let mut out = Vec::new();
+            let mut off = 0usize;
+            decode_records(
+                ColumnId::Scalars,
+                tag,
+                &enc,
+                &mut off,
+                n,
+                rec,
+                plan,
+                &mut out,
+            )
+            .expect("forced encoding decodes");
+            assert_eq!(off, enc.len(), "tag {tag} must consume its stream exactly");
+            assert_eq!(out, records, "tag {tag} round trip");
+        }
+        // Runs longer than MAX_RUN are split by the encoder and re-joined
+        // by the decoder.
+        let long_run: Vec<u8> = records[..rec].repeat(600);
+        let mut enc = BytesMut::new();
+        assert!(encode_records(TAG_RLE, &long_run, rec, plan, &mut enc));
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        decode_records(
+            ColumnId::Scalars,
+            TAG_RLE,
+            &enc,
+            &mut off,
+            600,
+            rec,
+            plan,
+            &mut out,
+        )
+        .expect("long run decodes");
+        assert_eq!(out, long_run);
+        // A dictionary encoder bails above 256 distinct records.
+        let mut wide = Vec::new();
+        for i in 0..300u32 {
+            wide.extend_from_slice(&(i as f64).to_le_bytes());
+            wide.extend_from_slice(&0f64.to_le_bytes());
+            wide.extend_from_slice(&i.to_le_bytes());
+        }
+        let mut enc = BytesMut::new();
+        assert!(!encode_records(TAG_DICT, &wide, rec, plan, &mut enc));
+    }
+
+    #[test]
+    fn varint_edge_values_round_trip_and_corruption_errors() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v));
+            let mut off = 0usize;
+            assert_eq!(get_varint(&buf, &mut off).unwrap(), v);
+            assert_eq!(off, buf.len());
+        }
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Truncated mid-varint: every prefix with the continuation bit
+        // still set must error, not loop or read past the end.
+        let mut off = 0usize;
+        assert!(get_varint(&[0x80, 0x80], &mut off).is_err());
+        // An 11-byte continuation chain overflows u64.
+        let mut off = 0usize;
+        assert!(get_varint(&[0xFF; 11], &mut off).is_err());
+        // Ten bytes whose last byte pushes past 64 bits also overflow.
+        let mut over = vec![0x80u8; 9];
+        over.push(0x02);
+        let mut off = 0usize;
+        assert!(get_varint(&over, &mut off).is_err());
+    }
+
+    #[test]
+    fn parallel_decode_and_encode_are_byte_identical_at_1_2_4_threads() {
+        let events = sample_events(50);
+        let file = ColumnarFile::from_rows(&events);
+        let sequential = ColumnarFile::parse(&file).unwrap().to_rows().unwrap();
+        let sequential_bytes = AodEvent::encode_events(&sequential);
+        for threads in [1usize, 2, 4] {
+            let rows = decode_columns_parallel(&file, threads).expect("parallel decode");
+            assert_eq!(rows, sequential, "{threads} threads");
+            assert_eq!(
+                AodEvent::encode_events(&rows),
+                sequential_bytes,
+                "{threads}-thread decode must be byte-identical to sequential"
+            );
+            assert_eq!(
+                encode_columnar_parallel(&events, threads),
+                file,
+                "{threads}-thread encode must be byte-identical to sequential"
+            );
+        }
+        // Parallel decode surfaces corruption exactly like sequential.
+        let mut bad = file.to_vec();
+        let pos = file.len() - 3;
+        bad[pos] ^= 0xFF;
+        let bad = Bytes::from(bad);
+        let seq_err = ColumnarFile::parse(&bad).and_then(|f| f.to_rows()).is_err();
+        assert_eq!(decode_columns_parallel(&bad, 4).is_err(), seq_err);
     }
 }

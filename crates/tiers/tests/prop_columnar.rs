@@ -11,7 +11,10 @@ use daspos_hep::{EventHeader, FourVector};
 use daspos_reco::objects::{AodEvent, Electron, Jet, Met, Muon, Photon, TwoProngCandidate};
 use daspos_tiers::codec::Encodable;
 use daspos_tiers::skim::{skim_slim_streaming_with, MassHypothesis, Selection, SlimSpec};
-use daspos_tiers::{skim_slim_columnar, skim_slim_columnar_with, ColumnarFile};
+use daspos_tiers::{
+    decode_columns_parallel, encode_columnar_parallel, skim_slim_columnar, skim_slim_columnar_with,
+    ColumnarFile,
+};
 use proptest::prelude::*;
 
 fn arb_header() -> impl Strategy<Value = EventHeader> {
@@ -224,5 +227,75 @@ proptest! {
             &SlimSpec::leptons_only(),
             None,
         );
+    }
+
+    // Backward compat: a v1 (raw-frames) file written today must decode
+    // to the same events as the v2 encoding of the same rows, and the
+    // v2 file must never be larger than its raw-frame ancestor beyond
+    // the 1-byte-per-column tag overhead.
+    #[test]
+    fn v1_files_decode_identically_to_v2(
+        events in prop::collection::vec(arb_aod(), 0..10)
+    ) {
+        let v1 = ColumnarFile::from_rows_v1(&events);
+        let v2 = ColumnarFile::from_rows(&events);
+        let from_v1 = ColumnarFile::parse(&v1).and_then(|f| f.to_rows())
+            .expect("v1 decodes");
+        let from_v2 = ColumnarFile::parse(&v2).and_then(|f| f.to_rows())
+            .expect("v2 decodes");
+        prop_assert_eq!(&from_v1, &events);
+        prop_assert_eq!(&from_v2, &events);
+        // The cost probe keeps raw as the floor: worst case is raw
+        // frames plus one tag byte for each of the ten columns.
+        prop_assert!(v2.len() <= v1.len() + 10);
+    }
+
+    // Redundancy-biased events drive the per-column cost probe into its
+    // dictionary / RLE / delta arms (tiny value palettes, constant runs,
+    // incrementing headers); whatever mix of encodings wins, the file
+    // must round-trip exactly and re-encode canonically.
+    #[test]
+    fn redundancy_biased_files_round_trip_across_encodings(
+        n in 1usize..200,
+        palette in 1u32..5,
+        base in 0u64..1_000_000
+    ) {
+        let events: Vec<AodEvent> = (0..n).map(|i| {
+            let v = i as u32 % palette;
+            let mut ev = AodEvent::new(EventHeader::new(7, 3, base + i as u64));
+            ev.met = Met { mex: f64::from(v) * 2.5, mey: -1.0 };
+            ev.n_tracks = v;
+            if v == 0 {
+                ev.muons.push(Muon {
+                    momentum: FourVector::new(1.0, 2.0, 3.0, 4.0),
+                    charge: 1,
+                    n_stations: 3,
+                    isolation: 0.0,
+                });
+            }
+            ev
+        }).collect();
+        let file = ColumnarFile::from_rows(&events);
+        let back = ColumnarFile::parse(&file).and_then(|f| f.to_rows())
+            .expect("biased file decodes");
+        prop_assert_eq!(&back, &events);
+        prop_assert_eq!(ColumnarFile::from_rows(&back), file);
+    }
+
+    // The worker-pool column fan-out is pure plumbing: decode and encode
+    // must be byte-identical to the sequential paths at any thread count.
+    #[test]
+    fn parallel_column_paths_match_sequential(
+        events in prop::collection::vec(arb_aod(), 0..10),
+        threads in 1usize..5
+    ) {
+        let file = ColumnarFile::from_rows(&events);
+        let sequential = ColumnarFile::parse(&file).unwrap().to_rows().unwrap();
+        let rows = decode_columns_parallel(&file, threads).expect("parallel decode");
+        prop_assert_eq!(
+            AodEvent::encode_events(&rows),
+            AodEvent::encode_events(&sequential)
+        );
+        prop_assert_eq!(encode_columnar_parallel(&events, threads), file);
     }
 }

@@ -231,10 +231,7 @@ impl Vault {
     /// Run one backend operation under the retry policy. Transient
     /// failures back off exponentially until the attempt or time budget
     /// runs out; every retry bumps `vault.backend.retries`.
-    fn with_retry<T>(
-        &self,
-        f: impl Fn() -> Result<T, StorageError>,
-    ) -> Result<T, StorageError> {
+    fn with_retry<T>(&self, f: impl Fn() -> Result<T, StorageError>) -> Result<T, StorageError> {
         let start = Instant::now();
         let mut attempt = 1u32;
         loop {
@@ -369,25 +366,34 @@ impl Vault {
     /// Classify, count and (optionally) repair one key's copies across
     /// all replicas — the shared per-object body of [`scan`](Vault::scan)
     /// and the single-object entry points.
-    fn scan_key(
-        &self,
-        key: &str,
-        repair: bool,
-        report: &mut ScrubReport,
-        span: &daspos_obs::Span,
-    ) {
+    fn scan_key(&self, key: &str, repair: bool, report: &mut ScrubReport, span: &daspos_obs::Span) {
         let states: Vec<CopyState> = self
             .replicas
             .iter()
             .map(|r| self.classify(r, key))
             .collect();
+        self.judge_and_repair(key, &states, repair, report, span);
+    }
+
+    /// Count one key's classified copies into `report` and (optionally)
+    /// rewrite every non-healthy copy from a verified one — the tail of
+    /// [`scan_key`](Vault::scan_key), split out so interruptible callers
+    /// can classify replicas at their own pace first.
+    fn judge_and_repair(
+        &self,
+        key: &str,
+        states: &[CopyState],
+        repair: bool,
+        report: &mut ScrubReport,
+        span: &daspos_obs::Span,
+    ) {
         let healthy = states.iter().find_map(|s| match s {
             CopyState::Healthy(raw) => Some(raw.clone()),
             _ => None,
         });
         let mut corrupt_here = 0u64;
         let mut missing_here = 0u64;
-        for state in &states {
+        for state in states {
             match state {
                 CopyState::Healthy(_) => report.checked += 1,
                 CopyState::Corrupt(_) => {
@@ -405,9 +411,7 @@ impl Vault {
             Some(raw) if repair => {
                 for (i, state) in states.iter().enumerate() {
                     if !matches!(state, CopyState::Healthy(_))
-                        && self
-                            .with_retry(|| self.replicas[i].put(key, raw))
-                            .is_ok()
+                        && self.with_retry(|| self.replicas[i].put(key, raw)).is_ok()
                     {
                         repaired_here += 1;
                     }
@@ -474,11 +478,59 @@ impl Vault {
         self.scan_one(key, false)
     }
 
+    /// Like [`scrub_object`](Vault::scrub_object), but cooperatively
+    /// abandonable: `keep_going` is consulted before every per-replica
+    /// classification (each one deep-verifies a full copy) and once more
+    /// before any repair writes start. When it turns false the scrub
+    /// returns `Ok(None)` having mutated nothing — the caller retries
+    /// the whole object on a later tick. This bounds how long a
+    /// background scrubber can monopolize the store to one replica
+    /// classification instead of a full `replicas × deep-verify` sweep.
+    pub fn scrub_object_while(
+        &self,
+        key: &str,
+        keep_going: &dyn Fn() -> bool,
+    ) -> Result<Option<ScrubReport>, VaultError> {
+        let mut span = self.obs.tracer.span("scrub-object");
+        span.field("replicas", self.replicas.len());
+        let mut states = Vec::with_capacity(self.replicas.len());
+        for replica in &self.replicas {
+            if !keep_going() {
+                span.field("abandoned", 1usize);
+                span.finish();
+                return Ok(None);
+            }
+            states.push(self.classify(replica, key));
+        }
+        if !keep_going() {
+            // Classified but not yet judged: repairs rewrite full
+            // copies, so give way before starting them too.
+            span.field("abandoned", 1usize);
+            span.finish();
+            return Ok(None);
+        }
+        let mut report = ScrubReport {
+            objects: 1,
+            replicas: self.replicas.len(),
+            ..ScrubReport::default()
+        };
+        self.judge_and_repair(key, &states, true, &mut report, &span);
+        if report.checked == 0 {
+            return Err(VaultError::NotFound(key.to_string()));
+        }
+        self.record_scrub_counters(&report);
+        span.field("corrupt", report.corrupt);
+        span.field("repaired", report.repaired);
+        span.finish();
+        Ok(Some(report))
+    }
+
     fn scan_one(&self, key: &str, repair: bool) -> Result<ScrubReport, VaultError> {
-        let mut span = self
-            .obs
-            .tracer
-            .span(if repair { "scrub-object" } else { "verify-object" });
+        let mut span = self.obs.tracer.span(if repair {
+            "scrub-object"
+        } else {
+            "verify-object"
+        });
         span.field("replicas", self.replicas.len());
         let mut report = ScrubReport {
             objects: 1,
@@ -641,6 +693,47 @@ mod tests {
     }
 
     #[test]
+    fn scrub_object_while_abandons_without_mutating_and_completes_when_idle() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (vault, backends) = three_replica_vault();
+        vault
+            .put("a", ObjectKind::Opaque, &Bytes::from_static(b"aa"))
+            .unwrap();
+        backends[1].put("a", &Bytes::from_static(b"rot")).unwrap();
+
+        // "Traffic arrives" after the first replica classification: the
+        // scrub abandons the object and the damaged copy stays damaged.
+        let calls = AtomicUsize::new(0);
+        let verdict = vault
+            .scrub_object_while("a", &|| calls.fetch_add(1, Ordering::Relaxed) == 0)
+            .unwrap();
+        assert!(verdict.is_none(), "mid-object arrival must abandon");
+        assert_eq!(
+            backends[1].get("a").unwrap(),
+            Bytes::from_static(b"rot"),
+            "an abandoned scrub must not have repaired anything"
+        );
+
+        // An undisturbed pass behaves exactly like scrub_object.
+        let report = vault
+            .scrub_object_while("a", &|| true)
+            .unwrap()
+            .expect("undisturbed scrub completes");
+        assert_eq!((report.objects, report.corrupt, report.repaired), (1, 1, 1));
+        assert_eq!(
+            backends[1].get("a").unwrap(),
+            backends[0].get("a").unwrap(),
+            "repair must restore the healthy envelope byte-identically"
+        );
+
+        assert!(matches!(
+            vault.scrub_object_while("nope", &|| true),
+            Err(VaultError::NotFound(_))
+        ));
+    }
+
+    #[test]
     fn verify_reports_without_touching_replicas() {
         let (vault, backends) = three_replica_vault();
         vault
@@ -665,7 +758,8 @@ mod tests {
             .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
             .unwrap();
         for b in &backends {
-            b.put("obj", &Bytes::from_static(b"all copies rotten")).unwrap();
+            b.put("obj", &Bytes::from_static(b"all copies rotten"))
+                .unwrap();
         }
         let report = vault.scrub().unwrap();
         assert_eq!(report.lost, vec!["obj".to_string()]);
@@ -679,7 +773,11 @@ mod tests {
         // payload), so only the deep verifier can flag it.
         let (vault, _backends) = three_replica_vault();
         vault
-            .put("fake", ObjectKind::SealedTier, &Bytes::from_static(b"not a seal"))
+            .put(
+                "fake",
+                ObjectKind::SealedTier,
+                &Bytes::from_static(b"not a seal"),
+            )
             .unwrap();
         let report = vault.verify().unwrap();
         assert_eq!(report.corrupt, 3, "every copy fails deep verification");
@@ -690,10 +788,7 @@ mod tests {
     fn retry_policy_rides_out_transient_faults_and_counts_retries() {
         let registry = Arc::new(MetricsRegistry::new());
         let inner = Arc::new(MemoryBackend::new());
-        let flaky = Arc::new(FlakyBackend::new(
-            inner,
-            FlakyConfig::transient(42, 0.4),
-        ));
+        let flaky = Arc::new(FlakyBackend::new(inner, FlakyConfig::transient(42, 0.4)));
         let vault = Vault::builder()
             .replica(flaky)
             .policy(RetryPolicy::immediate(8))
@@ -745,6 +840,9 @@ mod tests {
             .into_iter()
             .map(|r| r.path)
             .collect();
-        assert_eq!(paths, vec!["scrub".to_string(), "scrub/object-obj".to_string()]);
+        assert_eq!(
+            paths,
+            vec!["scrub".to_string(), "scrub/object-obj".to_string()]
+        );
     }
 }

@@ -180,14 +180,18 @@ USAGE:
         with retries; prints p50/p99 latencies and throughput, exits 1 on
         any verification failure; --shutdown stops the server afterwards
   daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
-                  [--out <file.json>] [--allow-regression]
+                  [--metrics a,b,…] [--out <file.json>] [--allow-regression]
         time decode / seal-verify / skim (batch, streaming and columnar),
-        the full chain, vault put/get/scrub, and the serve protocol's
-        put/get/mixed p50+p99 latencies over a fixture workflow;
-        writes a JSON report (default BENCH_7.json) and exits 2 if any
-        metric regressed >25% versus the previous BENCH_*.json unless
-        --allow-regression is passed (the bench-alloc counting allocator
-        is on by default, so peak-allocation figures are reported)
+        parallel columnar decode, v1/v2 columnar encode, the full chain,
+        vault put/get/scrub, and the serve protocol's put/get/mixed
+        p50+p99 latencies over a fixture workflow; --metrics runs only
+        metrics whose names contain one of the given substrings (e.g.
+        --metrics columnar skips the vault and serve fixtures); writes a
+        JSON report (default BENCH_8.json) and exits 2 if any metric
+        regressed >25% in time or bytes/event versus the previous
+        BENCH_*.json unless --allow-regression is passed (the bench-alloc
+        counting allocator is on by default, so peak-allocation figures
+        are reported)
   daspos table1
         print the Table 1 outreach feature matrix
   daspos maturity
@@ -213,8 +217,7 @@ fn load_archive(path: &str) -> Result<PreservationArchive, String> {
 }
 
 fn cmd_produce(args: &[String]) -> CliResult {
-    let experiment_name =
-        flag(args, "--experiment").ok_or("produce needs --experiment <name>")?;
+    let experiment_name = flag(args, "--experiment").ok_or("produce needs --experiment <name>")?;
     let experiment = Experiment::all()
         .into_iter()
         .find(|e| e.name() == experiment_name)
@@ -306,8 +309,7 @@ fn write_trace(
 }
 
 fn cmd_trace(args: &[String]) -> CliResult {
-    let experiment_name =
-        flag(args, "--experiment").unwrap_or_else(|| "cms".to_string());
+    let experiment_name = flag(args, "--experiment").unwrap_or_else(|| "cms".to_string());
     let experiment = Experiment::all()
         .into_iter()
         .find(|e| e.name() == experiment_name)
@@ -339,8 +341,8 @@ fn cmd_trace(args: &[String]) -> CliResult {
 
     let collector = std::sync::Arc::new(MemoryCollector::new());
     let registry = std::sync::Arc::new(MetricsRegistry::new());
-    let mut opts = ExecOptions::new()
-        .with_obs(Obs::collecting(collector.clone(), registry.clone()));
+    let mut opts =
+        ExecOptions::new().with_obs(Obs::collecting(collector.clone(), registry.clone()));
     if let Some(threads) = flag(args, "--threads") {
         opts = opts.threads(threads.parse().map_err(|_| "bad --threads")?);
     }
@@ -377,7 +379,10 @@ fn cmd_trace(args: &[String]) -> CliResult {
 fn cmd_inspect(args: &[String]) -> CliResult {
     let path = positional(args).ok_or("inspect needs a file")?;
     let archive = load_archive(&path)?;
-    println!("archive '{}' (container v{})", archive.name, archive.version);
+    println!(
+        "archive '{}' (container v{})",
+        archive.name, archive.version
+    );
     println!("\nsections:");
     for (name, s) in &archive.sections {
         println!(
@@ -540,9 +545,7 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
         )
     });
     let obs = match &trace {
-        Some((collector, registry)) => {
-            Obs::collecting(collector.clone(), registry.clone())
-        }
+        Some((collector, registry)) => Obs::collecting(collector.clone(), registry.clone()),
         None => Obs::disabled(),
     };
     let report = faultlab::run_campaign_for(&cfg, &classes, &obs).map_err(|e| e.to_string())?;
@@ -553,11 +556,7 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
     if report.passed() {
         Ok(())
     } else {
-        Err(format!(
-            "{} invariant violations",
-            report.total_violations()
-        )
-        .into())
+        Err(format!("{} invariant violations", report.total_violations()).into())
     }
 }
 
@@ -588,9 +587,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(name) = flag(args, "--chaos") {
         // Test hook: inject server-side faults so loadgen's deep
         // verification can be proven to catch them.
-        cfg.chaos = Some(Chaos::parse(&name).ok_or_else(|| {
-            CliError::usage(format!("unknown chaos mode '{name}' (flip-get)"))
-        })?);
+        cfg.chaos =
+            Some(Chaos::parse(&name).ok_or_else(|| {
+                CliError::usage(format!("unknown chaos mode '{name}' (flip-get)"))
+            })?);
     }
 
     // The vault behind the service: a directory store when --store is
@@ -618,7 +618,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
 
     let registry = std::sync::Arc::new(MetricsRegistry::new());
     let scrub = cfg.scrub_interval;
-    let service = Arc::new(Service::new(vault, &cfg, Obs::metrics_only(registry.clone())));
+    let service = Arc::new(Service::new(
+        vault,
+        &cfg,
+        Obs::metrics_only(registry.clone()),
+    ));
     let server = Server::start(service.clone(), &addr, scrub)
         .map_err(|e| CliError::Failure(e.to_string()))?;
     println!("serving on {}", server.addr());
@@ -677,7 +681,9 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     }
     if let Some(m) = flag(args, "--mix") {
         cfg.mix = MixWeights::parse(&m).ok_or_else(|| {
-            CliError::usage(format!("bad --mix '{m}' (want put:get:verify:scrub, e.g. 6:6:2:1)"))
+            CliError::usage(format!(
+                "bad --mix '{m}' (want put:get:verify:scrub, e.g. 6:6:2:1)"
+            ))
         })?;
     }
     if let Some(ms) = flag(args, "--timeout-ms") {
@@ -692,8 +698,8 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     let report = loadgen::run(&cfg);
     print!("{}", report.to_text());
     if args.iter().any(|a| a == "--shutdown") {
-        let mut client = ServeClient::connect(&addr, "loadgen")
-            .map_err(|e| format!("shutdown connect: {e}"))?;
+        let mut client =
+            ServeClient::connect(&addr, "loadgen").map_err(|e| format!("shutdown connect: {e}"))?;
         client
             .shutdown_server()
             .map_err(|e| format!("shutdown request: {e}"))?;
@@ -724,7 +730,18 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(s) = flag(args, "--seed") {
         cfg.seed = s.parse().map_err(|_| "bad --seed")?;
     }
-    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    if let Some(m) = flag(args, "--metrics") {
+        cfg.metrics = m
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if cfg.metrics.is_empty() {
+            return Err("bad --metrics: expected comma-separated name substrings".into());
+        }
+    }
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_8.json".to_string());
 
     eprintln!(
         "bench: {} events x {} reps (threads {}, seed {})…",
@@ -750,8 +767,17 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(s) = report.speedup("columnar_skim", "skim_streaming") {
         println!("  columnar skim speedup over streaming: {s:.2}x");
     }
-    let regressions = bench::write_report(&report, std::path::Path::new(&out))
-        .map_err(|e| e.to_string())?;
+    if let Some(s) = report.speedup("columnar_decode_par", "columnar_decode") {
+        println!("  parallel columnar decode speedup:    {s:.2}x");
+    }
+    if let Some(r) = report.bytes_ratio("columnar_encode_v2", "columnar_encode_v1") {
+        println!(
+            "  columnar v2 bytes-on-disk vs v1:     {r:.3}x ({:.1}% saved)",
+            (1.0 - r) * 100.0
+        );
+    }
+    let regressions =
+        bench::write_report(&report, std::path::Path::new(&out)).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     if !regressions.is_empty() {
         for r in &regressions {
@@ -798,12 +824,12 @@ fn open_vault(
     let root = std::path::Path::new(store);
     let mut replicas: Vec<std::path::PathBuf> = Vec::new();
     if root.is_dir() {
-        let entries = std::fs::read_dir(root)
-            .map_err(|e| format!("cannot read store '{store}': {e}"))?;
+        let entries =
+            std::fs::read_dir(root).map_err(|e| format!("cannot read store '{store}': {e}"))?;
         for entry in entries.flatten() {
             let path = entry.path();
-            let is_replica = path.is_dir()
-                && entry.file_name().to_string_lossy().starts_with("replica-");
+            let is_replica =
+                path.is_dir() && entry.file_name().to_string_lossy().starts_with("replica-");
             if is_replica {
                 replicas.push(path);
             }
@@ -824,7 +850,9 @@ fn open_vault(
     for path in &replicas {
         builder = builder.replica(Arc::new(DirBackend::new(path)));
     }
-    builder.build().map_err(|e| CliError::Failure(e.to_string()))
+    builder
+        .build()
+        .map_err(|e| CliError::Failure(e.to_string()))
 }
 
 fn vault_put(args: &[String]) -> CliResult {
@@ -845,9 +873,8 @@ fn vault_put(args: &[String]) -> CliResult {
             .map(|n| n.to_string_lossy().into_owned())
             .ok_or("cannot derive a key from the file name; pass --key")?,
     };
-    let payload = Bytes::from(
-        std::fs::read(&file).map_err(|e| format!("cannot read '{file}': {e}"))?,
-    );
+    let payload =
+        Bytes::from(std::fs::read(&file).map_err(|e| format!("cannot read '{file}': {e}"))?);
     let kind = match flag(args, "--kind") {
         Some(name) => ObjectKind::parse(&name).ok_or_else(|| {
             CliError::usage(format!(
@@ -858,9 +885,7 @@ fn vault_put(args: &[String]) -> CliResult {
         None => ObjectKind::sniff(&payload),
     };
     let vault = open_vault(&store, Some(replicas), Obs::disabled())?;
-    vault
-        .put(&key, kind, &payload)
-        .map_err(|e| e.to_string())?;
+    vault.put(&key, kind, &payload).map_err(|e| e.to_string())?;
     println!(
         "stored '{key}' ({kind}, {} bytes) on {} replicas under {store}",
         payload.len(),
@@ -876,7 +901,10 @@ fn vault_get(args: &[String]) -> CliResult {
     let vault = open_vault(&store, None, Obs::disabled())?;
     let (kind, payload) = vault.get(&key).map_err(|e| e.to_string())?;
     std::fs::write(&out, &payload).map_err(|e| format!("cannot write '{out}': {e}"))?;
-    println!("recovered '{key}' ({kind}, {} bytes) to {out}", payload.len());
+    println!(
+        "recovered '{key}' ({kind}, {} bytes) to {out}",
+        payload.len()
+    );
     Ok(())
 }
 
@@ -918,8 +946,12 @@ fn vault_scan(args: &[String], repair: bool) -> CliResult {
     let store = flag(args, "--store").ok_or("vault scrub/verify needs --store <dir>")?;
     let registry = std::sync::Arc::new(MetricsRegistry::new());
     let vault = open_vault(&store, None, Obs::metrics_only(registry.clone()))?;
-    let report = if repair { vault.scrub() } else { vault.verify() }
-        .map_err(|e| e.to_string())?;
+    let report = if repair {
+        vault.scrub()
+    } else {
+        vault.verify()
+    }
+    .map_err(|e| e.to_string())?;
     println!("{}", report.to_text());
     let snapshot = registry.snapshot();
     println!(

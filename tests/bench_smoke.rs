@@ -11,7 +11,7 @@ use std::process::Command;
 fn assert_well_formed(json: &str) {
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     assert_eq!(json.matches('[').count(), json.matches(']').count());
-    assert!(json.contains("\"schema\": \"daspos-bench/1\""));
+    assert!(json.contains("\"schema\": \"daspos-bench/2\""));
 }
 
 /// Extract `"field": <number>` occurrences following a metric name.
@@ -67,6 +67,9 @@ fn bench_subcommand_writes_positive_metrics() {
         "skim_streaming",
         "columnar_skim",
         "columnar_decode",
+        "columnar_decode_par",
+        "columnar_encode_v1",
+        "columnar_encode_v2",
         "full_chain",
         "vault_put",
         "vault_get",
@@ -84,11 +87,29 @@ fn bench_subcommand_writes_positive_metrics() {
         }
     }
 
-    // The serve metrics are per-operation latency distributions: the
-    // median slot carries p50 and each must also publish a tail (p99)
-    // at least as large. A missing or null p99 means the service bench
-    // silently degraded to a throughput-only number.
-    for metric in ["serve_put", "serve_get", "serve_mixed"] {
+    // Every metric is a latency distribution now, not just the serve
+    // ones: the median slot carries p50 and each must also publish a
+    // tail (p99) at least as large. A missing or null p99 means a
+    // bench path silently degraded to a throughput-only number.
+    for metric in [
+        "decode_batch",
+        "decode_streaming",
+        "seal_verify",
+        "skim_batch",
+        "skim_streaming",
+        "columnar_skim",
+        "columnar_decode",
+        "columnar_decode_par",
+        "columnar_encode_v1",
+        "columnar_encode_v2",
+        "full_chain",
+        "vault_put",
+        "vault_get",
+        "vault_scrub",
+        "serve_put",
+        "serve_get",
+        "serve_mixed",
+    ] {
         let p50 = metric_field(&json, metric, "median_ns_per_event");
         let p99 = metric_field(&json, metric, "p99_ns_per_event");
         assert!(
@@ -97,14 +118,40 @@ fn bench_subcommand_writes_positive_metrics() {
         );
     }
 
+    // The v2 cost-probed encodings must actually shrink the file: the
+    // encode pair publishes bytes/event for the same rows under raw
+    // (v1) and probed (v2) frames, and v2 smaller-than-v1 is the whole
+    // point of the format revision.
+    let v1_bytes = metric_field(&json, "columnar_encode_v1", "bytes_per_event");
+    let v2_bytes = metric_field(&json, "columnar_encode_v2", "bytes_per_event");
+    assert!(
+        v2_bytes < v1_bytes,
+        "v2 frames ({v2_bytes} B/event) must be smaller than v1 ({v1_bytes} B/event)"
+    );
+
+    // The columnar skim decodes through one reused scratch buffer per
+    // file, so its peak allocation must stay in the same band as the
+    // row-streaming skim rather than ballooning with per-column
+    // scratch (BENCH_7 had it 21% above; the scratch reuse brought it
+    // under 15%).
+    let columnar_peak = metric_field(&json, "columnar_skim", "peak_alloc_bytes");
+    let streaming_peak = metric_field(&json, "skim_streaming", "peak_alloc_bytes");
+    assert!(
+        columnar_peak < streaming_peak * 1.15,
+        "columnar_skim peak alloc ({columnar_peak} B) must stay within 15% of \
+         skim_streaming ({streaming_peak} B)"
+    );
+
     // The counting allocator must actually be installed in the CLI
     // build: if every metric reports a null peak, the bench-alloc
     // feature has fallen out of the binary's feature graph again
     // (that's how BENCH_5 went blind).
     assert!(
-        json.contains("\"peak_alloc_bytes\": ") && !json.lines()
-            .filter(|l| l.contains("\"peak_alloc_bytes\""))
-            .all(|l| l.contains("\"peak_alloc_bytes\": null")),
+        json.contains("\"peak_alloc_bytes\": ")
+            && !json
+                .lines()
+                .filter(|l| l.contains("\"peak_alloc_bytes\""))
+                .all(|l| l.contains("\"peak_alloc_bytes\": null")),
         "every peak_alloc_bytes is null — the bench-alloc counting \
          allocator is not wired into the daspos-cli build:\n{json}"
     );

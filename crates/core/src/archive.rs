@@ -440,9 +440,9 @@ impl PreservationArchive {
 /// ```no_run
 /// # use std::sync::Arc;
 /// # use daspos::archive::ContainerVerifier;
-/// # use daspos::vault::{MemoryBackend, Vault};
+/// # use daspos::vault::{MemoryBackend, StorageBackend, Vault};
 /// let vault = Vault::builder()
-///     .replica(Arc::new(MemoryBackend::new()))
+///     .backends(vec![Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>])
 ///     .verifier(Arc::new(ContainerVerifier))
 ///     .build()
 ///     .unwrap();

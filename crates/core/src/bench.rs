@@ -26,7 +26,7 @@ use daspos_reco::objects::AodEvent;
 use daspos_tiers::codec::{self, Encodable, EventReader};
 use daspos_tiers::skim;
 use daspos_tiers::{skim_slim_columnar, ColumnarFile};
-use daspos_vault::{MemoryBackend, ObjectKind, StorageBackend, Vault};
+use daspos_vault::{MemoryBackend, ObjectKind, Redundancy, StorageBackend, Vault};
 
 use crate::error::Error;
 use crate::runner::ExecOptions;
@@ -169,12 +169,13 @@ impl BenchReport {
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}, \"columnar_skim_speedup\": {}, \"columnar_decode_par_speedup\": {}, \"columnar_v2_bytes_ratio\": {}}}\n",
+            "  \"derived\": {{\"decode_streaming_speedup\": {}, \"skim_streaming_speedup\": {}, \"columnar_skim_speedup\": {}, \"columnar_decode_par_speedup\": {}, \"columnar_v2_bytes_ratio\": {}, \"vault_ec_bytes_ratio\": {}}}\n",
             fmt(self.speedup("decode_streaming", "decode_batch")),
             fmt(self.speedup("skim_streaming", "skim_batch")),
             fmt(self.speedup("columnar_skim", "skim_streaming")),
             fmt(self.speedup("columnar_decode_par", "columnar_decode")),
-            fmt(self.bytes_ratio("columnar_encode_v2", "columnar_encode_v1"))
+            fmt(self.bytes_ratio("columnar_encode_v2", "columnar_encode_v1")),
+            fmt(self.bytes_ratio("vault_ec_put", "vault_put"))
         ));
         out.push_str("}\n");
         out
@@ -310,18 +311,30 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
     {
         let backends: Vec<Arc<MemoryBackend>> =
             (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
-        let mut builder = Vault::builder();
-        for b in &backends {
-            builder = builder.replica(b.clone());
-        }
-        let vault = builder.build()?;
+        let vault = Vault::builder()
+            .backends(
+                backends
+                    .iter()
+                    .map(|b| b.clone() as Arc<dyn StorageBackend>)
+                    .collect(),
+            )
+            .build()?;
         // The put always runs (it seeds the store for get and scrub);
         // its metric is recorded only when selected.
-        let put = measure("vault_put", cfg.reps, n, || {
+        let mut put = measure("vault_put", cfg.reps, n, || {
             vault
                 .put("tier-aod.dpef", ObjectKind::SealedTier, &sealed)
                 .expect("vault put succeeds");
         });
+        // Bytes-on-backend across the whole pool — the capacity axis the
+        // erasure configuration is measured against.
+        put.bytes_per_event = Some(
+            backends
+                .iter()
+                .map(|b| b.get("tier-aod.dpef").expect("stored envelope").len())
+                .sum::<usize>() as f64
+                / n.max(1) as f64,
+        );
         if cfg.wants("vault_put") {
             metrics.push(put);
         }
@@ -353,6 +366,69 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         }
     }
 
+    // Erasure-coded vault metrics: the same sealed AOD tier striped 4+2
+    // over six in-memory backends — the same 2-failure tolerance as the
+    // 3-replica vault above at half the bytes-on-backend (the
+    // vault_ec_bytes_ratio derived figure). The rebuild metric deletes
+    // two whole backends' shards before every rep and pays for a full
+    // scrub-driven reconstruction.
+    if ["vault_ec_put", "vault_ec_get", "vault_ec_rebuild"]
+        .iter()
+        .any(|m| cfg.wants(m))
+    {
+        let ec_backends: Vec<Arc<MemoryBackend>> =
+            (0..6).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let ec_vault = Vault::builder()
+            .backends(
+                ec_backends
+                    .iter()
+                    .map(|b| b.clone() as Arc<dyn StorageBackend>)
+                    .collect(),
+            )
+            .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+            .build()?;
+        let mut put = measure("vault_ec_put", cfg.reps, n, || {
+            ec_vault
+                .put("tier-aod.dpef", ObjectKind::SealedTier, &sealed)
+                .expect("erasure vault put succeeds");
+        });
+        put.bytes_per_event = Some(
+            ec_backends
+                .iter()
+                .map(|b| b.get("tier-aod.dpef").expect("stored shard").len())
+                .sum::<usize>() as f64
+                / n.max(1) as f64,
+        );
+        if cfg.wants("vault_ec_put") {
+            metrics.push(put);
+        }
+        if cfg.wants("vault_ec_get") {
+            metrics.push(measure("vault_ec_get", cfg.reps, n, || {
+                let (_, payload) = ec_vault
+                    .get("tier-aod.dpef")
+                    .expect("erasure vault get succeeds");
+                black_box(payload.len());
+            }));
+        }
+        if cfg.wants("vault_ec_rebuild") {
+            metrics.push(measure("vault_ec_rebuild", cfg.reps, n, || {
+                ec_backends[0]
+                    .delete("tier-aod.dpef")
+                    .expect("backend 0 shard deletes");
+                ec_backends[3]
+                    .delete("tier-aod.dpef")
+                    .expect("backend 3 shard deletes");
+                let report = ec_vault.scrub().expect("erasure scrub runs");
+                assert!(
+                    report.clean() && report.rebuilt == 2,
+                    "scrub must rebuild both lost shards: {}",
+                    report.to_text()
+                );
+                black_box(report.rebuilt);
+            }));
+        }
+    }
+
     // Serve metrics: an in-process preservation server on an ephemeral
     // loopback port, driven through the framed protocol client. These
     // are per-op latencies (p50 as the gated median, p99 as the tail),
@@ -366,8 +442,10 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         use daspos_serve::{ServeClient, ServeConfig, Server, Service};
 
         let serve_vault = Vault::builder()
-            .replica(Arc::new(MemoryBackend::new()))
-            .replica(Arc::new(MemoryBackend::new()))
+            .backends(vec![
+                Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>,
+                Arc::new(MemoryBackend::new()),
+            ])
             .build()?;
         let service = Arc::new(Service::new(
             serve_vault,
@@ -727,7 +805,7 @@ mod tests {
             metrics: Vec::new(),
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 17);
+        assert_eq!(report.metrics.len(), 20);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
@@ -756,6 +834,9 @@ mod tests {
             "vault_put",
             "vault_get",
             "vault_scrub",
+            "vault_ec_put",
+            "vault_ec_get",
+            "vault_ec_rebuild",
             "serve_put",
             "serve_get",
             "serve_mixed",
@@ -763,6 +844,7 @@ mod tests {
             "columnar_skim_speedup",
             "columnar_decode_par_speedup",
             "columnar_v2_bytes_ratio",
+            "vault_ec_bytes_ratio",
         ] {
             assert!(json.contains(name), "missing {name} in:\n{json}");
         }
@@ -782,6 +864,15 @@ mod tests {
         assert_eq!(
             report.bytes_ratio("columnar_encode_v2", "columnar_encode_v1"),
             Some(v2 / v1)
+        );
+        // The capacity axis: 4+2 erasure tolerates the same 2 backend
+        // losses as 3 replicas at well under 0.55x the bytes-on-backend.
+        let ec_ratio = report
+            .bytes_ratio("vault_ec_put", "vault_put")
+            .expect("both vault puts carry bytes_per_event");
+        assert!(
+            ec_ratio <= 0.55,
+            "erasure bytes-on-backend ratio {ec_ratio} must be <= 0.55"
         );
         // Balanced braces/brackets — the document is at least well-formed.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -6,8 +6,11 @@
 //! corrupt-file hardening into a systematic tool: a seed-driven mutation
 //! engine over every serialized surface the toolkit ships — sealed DPEF
 //! tier files, `PreservationArchive` containers, conditions-snapshot
-//! text, reference-results text, and single replica copies inside a
-//! preservation vault — and a campaign runner that asserts the invariant
+//! text, reference-results text, single replica copies inside a
+//! preservation vault, and whole stripes of the sharded erasure vault
+//! (dead backends, correlated shard rot, geometry forgeries, losses
+//! beyond the parity budget, scrub/write races) — and a campaign runner
+//! that asserts the invariant
 //!
 //! > **every mutation is either detected (a clean error or a failed
 //! > checksum) or harmless (the decoded content is identical to the
@@ -41,7 +44,8 @@ use daspos_serve::{
     Status as ServeStatus,
 };
 use daspos_vault::{
-    encode_envelope, MemoryBackend, ObjectKind, StorageBackend, Vault, ENVELOPE_OVERHEAD,
+    decode_shard, encode_envelope, encode_shard, MemoryBackend, ObjectKind, Redundancy,
+    StorageBackend, Vault, VaultError, ENVELOPE_OVERHEAD, SHARD_OVERHEAD,
 };
 
 use crate::archive::{sections, ContainerVerifier, PreservationArchive};
@@ -83,11 +87,19 @@ pub enum ArtifactClass {
     /// stored objects must survive either way. Response frames attack
     /// the client-side decoder.
     ServeFrame,
+    /// One stripe of a sharded erasure vault (`DPVS` shards spread 4+2
+    /// over six backends). Scenarios go beyond byte noise: an entire
+    /// backend dies, up to `m` shards rot at once, geometry fields are
+    /// forged under an honestly recomputed digest, more than `m` shards
+    /// vanish (the vault must report the object unrecoverable, never
+    /// fabricate bytes), and a scrub races a write arriving through the
+    /// live service dispatch.
+    VaultShard,
 }
 
 impl ArtifactClass {
     /// Every class, in campaign order.
-    pub fn all() -> [ArtifactClass; 8] {
+    pub fn all() -> [ArtifactClass; 9] {
         [
             ArtifactClass::TierAod,
             ArtifactClass::TierRaw,
@@ -97,6 +109,7 @@ impl ArtifactClass {
             ArtifactClass::VaultReplica,
             ArtifactClass::ColumnarTier,
             ArtifactClass::ServeFrame,
+            ArtifactClass::VaultShard,
         ]
     }
 
@@ -111,6 +124,7 @@ impl ArtifactClass {
             ArtifactClass::VaultReplica => "vault-replica",
             ArtifactClass::ColumnarTier => "columnar-tier",
             ArtifactClass::ServeFrame => "serve-frame",
+            ArtifactClass::VaultShard => "vault-shard",
         }
     }
 
@@ -215,6 +229,76 @@ pub enum MutationKind {
         /// The byte-level mutation applied to the wire frame.
         sub: Box<MutationKind>,
     },
+    /// Run one failure drill against the sharded erasure vault.
+    /// VaultShard class only — applied through the vault and backend
+    /// APIs, not to artifact bytes.
+    VaultShard {
+        /// The vault key attacked.
+        key: String,
+        /// Which drill runs.
+        scenario: ShardScenario,
+    },
+}
+
+/// One failure drill against the sharded erasure vault — the shapes of
+/// damage a multi-site deployment actually sees, as opposed to the
+/// byte-level rot [`MutationKind`] models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardScenario {
+    /// Every object on one backend vanishes — a whole machine dies.
+    KillBackend {
+        /// The dead backend (0-based).
+        backend: usize,
+    },
+    /// Correlated rot: apply `sub` to the attacked key's stored shard on
+    /// each listed backend (at most `m`, so the stripe must recover).
+    CorruptShards {
+        /// The damaged backends (distinct, 0-based).
+        backends: Vec<usize>,
+        /// The byte-level mutation applied to each stored shard.
+        sub: Box<MutationKind>,
+    },
+    /// Delete the attacked key's shard on more than `m` backends. The
+    /// object is gone; the vault must say so with a typed
+    /// `Unrecoverable` — loudly, and without ever fabricating bytes.
+    Overwhelm {
+        /// The erased backends (distinct, 0-based, more than `m`).
+        backends: Vec<usize>,
+    },
+    /// Rewrite one header field of a stored shard and re-seal it with an
+    /// honestly recomputed shard digest — the envelope verifies, so only
+    /// the vault's geometry/index cross-check or generation vote can
+    /// catch it.
+    GeometryForge {
+        /// The backend whose shard is forged.
+        backend: usize,
+        /// Which header field is forged: 0 = `k`, 1 = `m`, 2 = `index`,
+        /// 3 = `object_len`, 4 = `object_digest`.
+        field: u8,
+    },
+    /// Scrub the (damaged) key while a foreground write arrives through
+    /// the live service dispatch mid-scrub.
+    RaceWrite,
+}
+
+impl fmt::Display for ShardScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardScenario::KillBackend { backend } => write!(f, "kill backend {backend}"),
+            ShardScenario::CorruptShards { backends, sub } => {
+                write!(f, "corrupt shards on backends {backends:?} [{sub}]")
+            }
+            ShardScenario::Overwhelm { backends } => {
+                write!(f, "erase shards on backends {backends:?} (beyond m)")
+            }
+            ShardScenario::GeometryForge { backend, field } => {
+                let name = ["k", "m", "index", "object_len", "object_digest"]
+                    [usize::from(*field).min(4)];
+                write!(f, "forge {name} on backend {backend} (digest recomputed)")
+            }
+            ShardScenario::RaceWrite => write!(f, "scrub races a serve-path write"),
+        }
+    }
 }
 
 impl fmt::Display for MutationKind {
@@ -249,6 +333,9 @@ impl fmt::Display for MutationKind {
             MutationKind::ServeFrame { response, sub } => {
                 let side = if *response { "response" } else { "request" };
                 write!(f, "serve {side} frame [{sub}]")
+            }
+            MutationKind::VaultShard { key, scenario } => {
+                write!(f, "vault-shard {key}: {scenario}")
             }
         }
     }
@@ -289,6 +376,9 @@ impl MutationKind {
             }
             MutationKind::ServeFrame { .. } => {
                 unreachable!("ServeFrame is applied to the fixture's frame bytes")
+            }
+            MutationKind::VaultShard { .. } => {
+                unreachable!("VaultShard drills run through the vault and backend APIs")
             }
         }
         v
@@ -475,6 +565,10 @@ pub struct CampaignFixture {
     /// Per-object envelope shapes for the mutation sampler, aligned with
     /// `vault_objects`.
     vault_shapes: Vec<ArtifactShape>,
+    /// Per-object `DPVS` shard-envelope shapes for the shard-drill
+    /// sampler (every shard of one object has the same length), aligned
+    /// with `vault_objects`.
+    vault_shard_shapes: Vec<ArtifactShape>,
     /// Pristine wire frame of one service request — a PUT of the sealed
     /// AOD tier under tenant `cms` — length prefix included.
     pub serve_request: Bytes,
@@ -490,7 +584,7 @@ pub struct CampaignFixture {
     serve_response_shape: ArtifactShape,
     /// Per-class artifact shapes, indexed by `ArtifactClass as usize` —
     /// computed once here instead of once per mutation.
-    shapes: [ArtifactShape; 8],
+    shapes: [ArtifactShape; 9],
     /// Splice template for checksum-preserving results forgeries.
     forge: ForgeTemplate,
 }
@@ -671,6 +765,19 @@ impl CampaignFixture {
             vault_envelopes.push(envelope);
             vault_objects.push((key.to_string(), kind, payload));
         }
+        // Shard-envelope shapes for the erasure drills: header length
+        // plus one k-th of the envelope, boundaries on every DPVS header
+        // field edge (so truncations and length inflations land on the
+        // format's seams).
+        let vault_shard_shapes: Vec<ArtifactShape> = vault_envelopes
+            .iter()
+            .map(|envelope| {
+                let len = SHARD_OVERHEAD + envelope.len().div_ceil(SHARD_K);
+                let mut boundaries = vec![4, 6, 7, 8, 9, 13, 21, 29, SHARD_OVERHEAD];
+                boundaries.retain(|b| *b < len);
+                ArtifactShape { len, boundaries }
+            })
+            .collect();
         // The serve-frame fixtures: one pristine PUT exchange, with the
         // response captured through a real `Service` dispatch so the
         // frame is exactly what the server sends.
@@ -696,6 +803,7 @@ impl CampaignFixture {
             vault_shapes[0].clone(),
             col_shape,
             serve_request_shape,
+            vault_shard_shapes[0].clone(),
         ];
         let forge = ForgeTemplate::build(&archive, &archive_bytes);
         Ok(CampaignFixture {
@@ -714,6 +822,7 @@ impl CampaignFixture {
             vault_objects,
             vault_envelopes,
             vault_shapes,
+            vault_shard_shapes,
             serve_request,
             serve_request_obj,
             serve_response,
@@ -738,6 +847,7 @@ impl CampaignFixture {
             ArtifactClass::VaultReplica => &self.vault_envelopes[0],
             ArtifactClass::ColumnarTier => &self.columnar_aod,
             ArtifactClass::ServeFrame => &self.serve_request,
+            ArtifactClass::VaultShard => &self.vault_envelopes[0],
         }
     }
 
@@ -832,8 +942,10 @@ fn serve_frame_shape(wire: &Bytes) -> ArtifactShape {
 /// A fresh 2-replica in-memory service for frame attacks.
 fn serve_scratch_service() -> Result<Service, Error> {
     let vault = Vault::builder()
-        .replica(Arc::new(MemoryBackend::new()))
-        .replica(Arc::new(MemoryBackend::new()))
+        .backends(vec![
+            Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>,
+            Arc::new(MemoryBackend::new()),
+        ])
         .build()?;
     Ok(Service::new(
         vault,
@@ -873,6 +985,27 @@ pub enum Outcome {
 /// Replica count of the campaign vault.
 pub const VAULT_REPLICAS: usize = 3;
 
+/// Data shards of the shard-drill vault's stripe geometry.
+pub const SHARD_K: usize = 4;
+
+/// Parity shards of the shard-drill vault's stripe geometry — the
+/// stripe survives any `SHARD_M` losses.
+pub const SHARD_M: usize = 2;
+
+/// Backend count of the shard-drill vault: one shard per backend.
+pub const SHARD_BACKENDS: usize = SHARD_K + SHARD_M;
+
+/// Sample `n` distinct values from `0..pool` (a partial Fisher–Yates).
+fn sample_distinct(rng: &mut StdRng, n: usize, pool: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..pool).collect();
+    for i in 0..n.min(pool) {
+        let j = rng.gen_range(i..pool);
+        all.swap(i, j);
+    }
+    all.truncate(n.min(pool));
+    all
+}
+
 /// Plan mutation `(class, index)` of a campaign deterministically.
 pub fn derive_mutation(
     cfg: &CampaignConfig,
@@ -893,6 +1026,40 @@ pub fn derive_mutation(
             replica,
             sub: Box::new(sub),
         }
+    } else if class == ArtifactClass::VaultShard {
+        // Pick a stored object, then a failure drill: whole-backend
+        // death, correlated rot of up to m shards, loss beyond m,
+        // digest-honest geometry forgery, or a scrub/write race.
+        let object = rng.gen_range(0..fixture.vault_objects.len());
+        let key = fixture.vault_objects[object].0.clone();
+        let scenario = match rng.gen_range(0..6u32) {
+            0 => ShardScenario::KillBackend {
+                backend: rng.gen_range(0..SHARD_BACKENDS),
+            },
+            1 | 2 => {
+                let damaged = 1 + rng.gen_range(0..SHARD_M);
+                ShardScenario::CorruptShards {
+                    backends: sample_distinct(&mut rng, damaged, SHARD_BACKENDS),
+                    sub: Box::new(sample_kind(
+                        &mut rng,
+                        &fixture.vault_shard_shapes[object],
+                        None,
+                    )),
+                }
+            }
+            3 => {
+                let erased = SHARD_M + 1 + rng.gen_range(0..2usize);
+                ShardScenario::Overwhelm {
+                    backends: sample_distinct(&mut rng, erased, SHARD_BACKENDS),
+                }
+            }
+            4 => ShardScenario::GeometryForge {
+                backend: rng.gen_range(0..SHARD_BACKENDS),
+                field: rng.gen_range(0..5u32) as u8,
+            },
+            _ => ShardScenario::RaceWrite,
+        };
+        MutationKind::VaultShard { key, scenario }
     } else if class == ArtifactClass::ServeFrame {
         // Pick a side of the exchange, then sample a byte-level attack
         // over that frame's wire bytes.
@@ -1000,6 +1167,9 @@ pub fn mutate_artifact(
             };
             sub.apply(frame)
         }
+        // Shard drills damage live backend state, not artifact bytes —
+        // the checker stages the damage itself.
+        MutationKind::VaultShard { .. } => Vec::new(),
         kind => kind.apply(fixture.artifact(class)),
     }
 }
@@ -1036,6 +1206,14 @@ pub fn check_mutant(
             }
             other => Outcome::Violation(format!(
                 "serve-frame class planned a non-frame mutation: {other}"
+            )),
+        },
+        ArtifactClass::VaultShard => match &mutation.kind {
+            MutationKind::VaultShard { key, scenario } => {
+                check_vault_shard(fixture, key, scenario)
+            }
+            other => Outcome::Violation(format!(
+                "vault-shard class planned a non-shard mutation: {other}"
             )),
         },
     }
@@ -1257,10 +1435,12 @@ fn check_vault_replica(
     let backends: Vec<Arc<MemoryBackend>> = (0..VAULT_REPLICAS)
         .map(|_| Arc::new(MemoryBackend::new()))
         .collect();
-    let mut builder = Vault::builder().verifier(Arc::new(ContainerVerifier));
-    for b in &backends {
-        builder = builder.replica(b.clone());
-    }
+    let builder = Vault::builder().verifier(Arc::new(ContainerVerifier)).backends(
+        backends
+            .iter()
+            .map(|b| b.clone() as Arc<dyn StorageBackend>)
+            .collect(),
+    );
     let vault = match builder.build() {
         Ok(v) => v,
         Err(e) => return Outcome::Violation(format!("campaign vault failed to build: {e}")),
@@ -1307,6 +1487,333 @@ fn check_vault_replica(
     } else {
         Outcome::Detected("scrub:repaired".to_string())
     }
+}
+
+/// A fresh shard-drill vault — `SHARD_K`+`SHARD_M` over
+/// [`SHARD_BACKENDS`] in-memory backends with deep container
+/// verification — holding every fixture object.
+fn shard_drill_vault(
+    fixture: &CampaignFixture,
+) -> Result<(Vault, Vec<Arc<MemoryBackend>>), String> {
+    let backends: Vec<Arc<MemoryBackend>> = (0..SHARD_BACKENDS)
+        .map(|_| Arc::new(MemoryBackend::new()))
+        .collect();
+    let vault = Vault::builder()
+        .verifier(Arc::new(ContainerVerifier))
+        .backends(
+            backends
+                .iter()
+                .map(|b| b.clone() as Arc<dyn StorageBackend>)
+                .collect(),
+        )
+        .redundancy(Redundancy::Erasure {
+            k: SHARD_K,
+            m: SHARD_M,
+        })
+        .build()
+        .map_err(|e| format!("shard vault failed to build: {e}"))?;
+    for (k, kind, payload) in &fixture.vault_objects {
+        vault
+            .put(k, *kind, payload)
+            .map_err(|e| format!("pristine put of {k} failed: {e}"))?;
+    }
+    Ok((vault, backends))
+}
+
+/// Judge one shard drill. Recoverable damage — a dead backend, up to
+/// `m` rotted shards, forged geometry — must be detected by the scrub
+/// AND repaired byte-identically on every backend. Damage beyond `m`
+/// must surface as a typed `Unrecoverable` on `get` and an
+/// `unrecoverable`/`lost` entry in the report; fabricating bytes, or
+/// quietly claiming a clean vault, is a violation.
+fn check_vault_shard(fixture: &CampaignFixture, key: &str, scenario: &ShardScenario) -> Outcome {
+    if matches!(scenario, ShardScenario::RaceWrite) {
+        return check_shard_race(fixture, key);
+    }
+    let (vault, backends) = match shard_drill_vault(fixture) {
+        Ok(v) => v,
+        Err(e) => return Outcome::Violation(e),
+    };
+    // Snapshot every pristine stored shard for byte-identity checks
+    // after repair (backend index -> key order).
+    let mut pristine: Vec<Vec<(String, Bytes)>> = Vec::with_capacity(backends.len());
+    for backend in &backends {
+        let mut shards = Vec::with_capacity(fixture.vault_objects.len());
+        for (k, _, _) in &fixture.vault_objects {
+            match backend.get(k) {
+                Ok(shard) => shards.push((k.clone(), shard)),
+                Err(e) => return Outcome::Violation(format!("pristine shard of {k} unreadable: {e}")),
+            }
+        }
+        pristine.push(shards);
+    }
+
+    // Stage the damage.
+    let mut changed = false;
+    match scenario {
+        ShardScenario::KillBackend { backend } => {
+            for (k, _, _) in &fixture.vault_objects {
+                if let Err(e) = backends[*backend].delete(k) {
+                    return Outcome::Violation(format!("backend kill failed: {e}"));
+                }
+            }
+            changed = true;
+        }
+        ShardScenario::CorruptShards { backends: slots, sub } => {
+            for &b in slots {
+                let raw = match backends[b].get(key) {
+                    Ok(raw) => raw,
+                    Err(e) => return Outcome::Violation(format!("shard unreadable: {e}")),
+                };
+                let mutated = Bytes::from(sub.apply(&raw));
+                if mutated != raw {
+                    changed = true;
+                }
+                if let Err(e) = backends[b].put(key, &mutated) {
+                    return Outcome::Violation(format!("damage injection failed: {e}"));
+                }
+            }
+        }
+        ShardScenario::Overwhelm { backends: slots } => {
+            for &b in slots {
+                if let Err(e) = backends[b].delete(key) {
+                    return Outcome::Violation(format!("shard erasure failed: {e}"));
+                }
+            }
+            changed = true;
+        }
+        ShardScenario::GeometryForge { backend, field } => {
+            let raw = match backends[*backend].get(key) {
+                Ok(raw) => raw,
+                Err(e) => return Outcome::Violation(format!("shard unreadable: {e}")),
+            };
+            let (mut header, shard_payload) = match decode_shard(&raw) {
+                Ok(parts) => parts,
+                Err(e) => {
+                    return Outcome::Violation(format!("pristine shard failed to decode: {e}"))
+                }
+            };
+            match field {
+                0 => header.k ^= 0x3,
+                1 => header.m ^= 0x3,
+                2 => header.index = (header.index + 1) % (SHARD_BACKENDS as u8),
+                3 => header.object_len ^= 0x1,
+                _ => header.object_digest ^= 0x1,
+            }
+            // encode_shard recomputes the shard digest over the forged
+            // header — an honest seal around dishonest geometry.
+            if let Err(e) = backends[*backend].put(key, &encode_shard(&header, &shard_payload)) {
+                return Outcome::Violation(format!("damage injection failed: {e}"));
+            }
+            changed = true;
+        }
+        ShardScenario::RaceWrite => unreachable!("handled above"),
+    }
+
+    let report = match vault.scrub() {
+        Ok(r) => r,
+        Err(e) => return Outcome::Violation(format!("scrub errored: {e}")),
+    };
+
+    if let ShardScenario::Overwhelm { backends: slots } = scenario {
+        // Beyond-m loss: loud, typed, and never fabricated.
+        if report.unrecoverable == 0 || !report.lost.iter().any(|k| k == key) {
+            return Outcome::Violation(format!(
+                "loss beyond m went unreported: {}",
+                report.to_text()
+            ));
+        }
+        match vault.get(key) {
+            Err(VaultError::Unrecoverable { .. }) => {}
+            Ok(_) => {
+                return Outcome::Violation(
+                    "vault fabricated bytes for an unrecoverable object".to_string(),
+                )
+            }
+            Err(e) => {
+                return Outcome::Violation(format!("expected a typed Unrecoverable, got: {e}"))
+            }
+        }
+        // Surviving shards are untouched; erased slots stay erased (a
+        // scrub must not re-materialize shards it cannot verify).
+        for (b, (backend, shards)) in backends.iter().zip(&pristine).enumerate() {
+            for (k, shard) in shards {
+                let stored = backend.get(k);
+                if k == key && slots.contains(&b) {
+                    if stored.is_ok() {
+                        return Outcome::Violation(format!(
+                            "scrub re-materialized an unverifiable shard on backend {b}"
+                        ));
+                    }
+                    continue;
+                }
+                match stored {
+                    Ok(s) if s == *shard => {}
+                    Ok(_) => {
+                        return Outcome::Violation(format!(
+                            "surviving shard of {k} on backend {b} was disturbed"
+                        ))
+                    }
+                    Err(e) => {
+                        return Outcome::Violation(format!(
+                            "surviving shard of {k} on backend {b} unreadable: {e}"
+                        ))
+                    }
+                }
+            }
+        }
+        // Every other object still reconstructs byte-identically.
+        for (k, _, payload) in &fixture.vault_objects {
+            if k == key {
+                continue;
+            }
+            match vault.get(k) {
+                Ok((_, got)) if got == *payload => {}
+                Ok(_) => return Outcome::Violation(format!("{k} reconstructed wrong bytes")),
+                Err(e) => return Outcome::Violation(format!("{k} unreadable: {e}")),
+            }
+        }
+        return Outcome::Detected("scrub:unrecoverable".to_string());
+    }
+
+    // Recoverable drills: the scrub must converge the vault back to
+    // pristine, byte-for-byte, on every backend.
+    if !report.clean() {
+        return Outcome::Violation(format!("scrub left damage behind: {}", report.to_text()));
+    }
+    for (b, (backend, shards)) in backends.iter().zip(&pristine).enumerate() {
+        for (k, shard) in shards {
+            match backend.get(k) {
+                Ok(s) if s == *shard => {}
+                Ok(_) => {
+                    return Outcome::Violation(format!(
+                        "shard of {k} on backend {b} not byte-identical after scrub"
+                    ))
+                }
+                Err(e) => {
+                    return Outcome::Violation(format!(
+                        "shard of {k} on backend {b} unreadable after scrub: {e}"
+                    ))
+                }
+            }
+        }
+    }
+    for (k, _, payload) in &fixture.vault_objects {
+        match vault.get(k) {
+            Ok((_, got)) if got == *payload => {}
+            Ok(_) => return Outcome::Violation(format!("{k} reconstructed wrong bytes")),
+            Err(e) => return Outcome::Violation(format!("{k} unreadable after scrub: {e}")),
+        }
+    }
+    if !changed {
+        // e.g. a region swapped with itself: no shard ever diverged.
+        return Outcome::Harmless;
+    }
+    if report.corrupt + report.missing == 0 {
+        return Outcome::Violation("divergent shard went undetected".to_string());
+    }
+    match scenario {
+        ShardScenario::KillBackend { .. } => {
+            if report.rebuilt < fixture.vault_objects.len() as u64 {
+                return Outcome::Violation(format!(
+                    "a dead backend needs one rebuild per object, got {}: {}",
+                    report.rebuilt,
+                    report.to_text()
+                ));
+            }
+            Outcome::Detected("scrub:rebuilt".to_string())
+        }
+        ShardScenario::CorruptShards { .. } => Outcome::Detected("scrub:rebuilt".to_string()),
+        ShardScenario::GeometryForge { .. } => Outcome::Detected("scrub:geometry".to_string()),
+        ShardScenario::Overwhelm { .. } | ShardScenario::RaceWrite => unreachable!(),
+    }
+}
+
+/// Judge the scrub/write race: seed shard rot, then scrub the damaged
+/// key while a foreground PUT arrives through the live service dispatch
+/// mid-scrub. The scrub must finish clean with a byte-identical repair,
+/// and the raced write must land and read back intact.
+fn check_shard_race(fixture: &CampaignFixture, key: &str) -> Outcome {
+    let (vault, backends) = match shard_drill_vault(fixture) {
+        Ok(v) => v,
+        Err(e) => return Outcome::Violation(e),
+    };
+    let pristine: Vec<Bytes> = match backends.iter().map(|b| b.get(key)).collect() {
+        Ok(p) => p,
+        Err(e) => return Outcome::Violation(format!("pristine shard unreadable: {e}")),
+    };
+    // Rot one shard so the racing scrub has real repair work to do.
+    let mut rotted = pristine[2].to_vec();
+    let mid = rotted.len() / 2;
+    rotted[mid] ^= 0x10;
+    if let Err(e) = backends[2].put(key, &Bytes::from(rotted)) {
+        return Outcome::Violation(format!("damage injection failed: {e}"));
+    }
+
+    let service = Service::new(vault, &ServeConfig::default(), Obs::disabled());
+    let raced_payload = fixture.vault_objects[0].2.clone();
+    let calls = std::cell::Cell::new(0u32);
+    let raced_status = std::cell::Cell::new(None);
+    let scrubbed = service.vault().scrub_object_while(key, &|| {
+        let n = calls.get();
+        calls.set(n + 1);
+        if n == 1 {
+            // Mid-classification: a tenant write lands through the full
+            // service dispatch, against the same vault being scrubbed.
+            let resp = service.handle(&ServeRequest {
+                op: ServeOp::Put,
+                kind: ObjectKind::Opaque,
+                tenant: "cms".to_string(),
+                key: "raced.bin".to_string(),
+                payload: raced_payload.clone(),
+            });
+            raced_status.set(Some(resp.status));
+        }
+        true
+    });
+    let report = match scrubbed {
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            return Outcome::Violation(
+                "scrub abandoned although keep_going never declined".to_string(),
+            )
+        }
+        Err(e) => return Outcome::Violation(format!("racing scrub errored: {e}")),
+    };
+    if !report.clean() {
+        return Outcome::Violation(format!("racing scrub left damage: {}", report.to_text()));
+    }
+    match raced_status.get() {
+        Some(ServeStatus::Ok) => {}
+        other => return Outcome::Violation(format!("raced write rejected: {other:?}")),
+    }
+    for (b, (backend, shard)) in backends.iter().zip(&pristine).enumerate() {
+        match backend.get(key) {
+            Ok(s) if s == *shard => {}
+            Ok(_) => {
+                return Outcome::Violation(format!(
+                    "shard on backend {b} not byte-identical after racing scrub"
+                ))
+            }
+            Err(e) => {
+                return Outcome::Violation(format!("shard on backend {b} unreadable: {e}"))
+            }
+        }
+    }
+    let got = service.handle(&ServeRequest {
+        op: ServeOp::Get,
+        kind: ObjectKind::Opaque,
+        tenant: "cms".to_string(),
+        key: "raced.bin".to_string(),
+        payload: Bytes::new(),
+    });
+    if got.status != ServeStatus::Ok || got.payload != raced_payload {
+        return Outcome::Violation(format!(
+            "raced write did not survive the scrub: {:?} ({})",
+            got.status, got.detail
+        ));
+    }
+    Outcome::Detected("scrub:raced".to_string())
 }
 
 fn container_label(e: &crate::archive::ArchiveError) -> &'static str {
@@ -1651,7 +2158,7 @@ mod tests {
         let cfg = small_config();
         let report = run_campaign(&cfg).expect("campaign runs");
         assert!(report.passed(), "{}", report.to_text());
-        assert_eq!(report.total_mutations(), 12 * 8);
+        assert_eq!(report.total_mutations(), 12 * 9);
         assert_eq!(
             report.total_detected() + report.total_harmless(),
             report.total_mutations()
@@ -1770,6 +2277,25 @@ mod tests {
             "{:?}",
             report.classes[0].detections_by_layer
         );
+    }
+
+    #[test]
+    fn shard_campaign_drills_the_erasure_vault() {
+        let cfg = CampaignConfig {
+            master_seed: 7,
+            mutations_per_class: 24,
+            events: 6,
+        };
+        let report =
+            run_campaign_for(&cfg, &[ArtifactClass::VaultShard], &Obs::disabled()).unwrap();
+        assert!(report.passed(), "{}", report.to_text());
+        assert_eq!(report.classes.len(), 1);
+        assert_eq!(report.classes[0].class, ArtifactClass::VaultShard);
+        // The drill mix really exercised both recovery and the loud
+        // unrecoverable path.
+        let layers = &report.classes[0].detections_by_layer;
+        assert!(layers.contains_key("scrub:rebuilt"), "{layers:?}");
+        assert!(layers.contains_key("scrub:unrecoverable"), "{layers:?}");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod migrate;
 pub mod runner;
 pub mod usecases;
 pub mod validate;
+pub mod vaultops;
 pub mod workflow;
 
 /// The observability layer (spans, collectors, metrics) — re-export of
@@ -90,8 +91,8 @@ pub mod prelude {
         LoadgenConfig, LoadgenReport, ServeClient, ServeConfig, ServeError, Server, Service,
     };
     pub use daspos_vault::{
-        DirBackend, MemoryBackend, ObjectKind, RetryPolicy, ScrubReport, StorageBackend,
-        Vault, VaultError,
+        DirBackend, MemoryBackend, ObjectKind, PlacementPolicy, Redundancy, RetryPolicy,
+        ScrubReport, StorageBackend, Vault, VaultError,
     };
 }
 

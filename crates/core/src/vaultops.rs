@@ -1,0 +1,182 @@
+//! Vault maintenance fanned across the worker pool.
+//!
+//! A scrub is embarrassingly parallel at object granularity: every key
+//! is classified, judged and repaired independently, and
+//! [`ScrubReport::absorb`] folds the per-object reports back together
+//! in any order without changing the totals. This module wires
+//! [`Vault::scrub_object`] into the same chunked worker pool that runs
+//! event production ([`run_ordered`]), so a CLI scrub over a large
+//! store saturates the machine instead of walking backends one key at
+//! a time.
+//!
+//! The fan-out is deterministic in the merged report: chunks are
+//! re-assembled in key order, so the absorbed totals (and the order of
+//! `lost` keys and repair detail lines) are identical to a sequential
+//! pass. Keys deleted between the listing and the scan are tolerated —
+//! a racing [`VaultError::NotFound`] folds in as an empty per-object
+//! report rather than aborting the sweep.
+
+use daspos_vault::{ScrubReport, Vault, VaultError};
+
+use crate::runner::{run_ordered, ExecOptions};
+
+/// Scrub every object in `vault` (with self-healing repair), fanning
+/// per-object work across `opts`' worker pool. The merged report is
+/// identical to a sequential [`Vault::scrub`] in every count.
+pub fn scrub_parallel(vault: &Vault, opts: &ExecOptions) -> Result<ScrubReport, VaultError> {
+    scan_parallel(vault, opts, true)
+}
+
+/// Integrity-check every object in `vault` without repairing anything,
+/// fanned across `opts`' worker pool.
+pub fn verify_parallel(vault: &Vault, opts: &ExecOptions) -> Result<ScrubReport, VaultError> {
+    scan_parallel(vault, opts, false)
+}
+
+fn scan_parallel(
+    vault: &Vault,
+    opts: &ExecOptions,
+    repair: bool,
+) -> Result<ScrubReport, VaultError> {
+    let keys = vault.keys()?;
+    let mut span = opts
+        .obs
+        .tracer
+        .span(if repair { "scrub-parallel" } else { "verify-parallel" });
+    span.field("objects", keys.len());
+    span.field("threads", opts.thread_count());
+
+    let reports = run_ordered(keys.len() as u64, opts, &span, || {
+        |i: u64| -> Result<ScrubReport, VaultError> {
+            let key = &keys[i as usize];
+            let scanned = if repair {
+                vault.scrub_object(key)
+            } else {
+                vault.verify_object(key)
+            };
+            match scanned {
+                Ok(report) => Ok(report),
+                // The key vanished between the listing and this worker's
+                // turn (a racing delete) — nothing left to scrub.
+                Err(VaultError::NotFound(_)) => Ok(ScrubReport::default()),
+                Err(e) => Err(e),
+            }
+        }
+    })?;
+
+    let mut merged = ScrubReport {
+        replicas: vault.replica_count(),
+        ..ScrubReport::default()
+    };
+    for report in reports {
+        merged.absorb(report);
+    }
+    span.field("corrupt", merged.corrupt);
+    span.field("repaired", merged.repaired);
+    span.field("rebuilt", merged.rebuilt);
+    span.finish();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use bytes::Bytes;
+    use daspos_vault::{
+        MemoryBackend, ObjectKind, Redundancy, StorageBackend, Vault,
+    };
+
+    use super::*;
+
+    /// 130 objects → three `run_ordered` chunks, so the threaded path
+    /// genuinely runs when threads > 1.
+    const OBJECTS: usize = 130;
+
+    fn fixture(redundancy: Redundancy, backends: usize) -> (Vault, Vec<Arc<MemoryBackend>>) {
+        let pool: Vec<Arc<MemoryBackend>> =
+            (0..backends).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let vault = Vault::builder()
+            .backends(pool.iter().map(|b| b.clone() as Arc<dyn StorageBackend>).collect())
+            .redundancy(redundancy)
+            .build()
+            .expect("vault builds");
+        for i in 0..OBJECTS {
+            let payload = Bytes::from(vec![i as u8; 40 + i % 64]);
+            vault
+                .put(&format!("obj-{i:03}.bin"), ObjectKind::Opaque, &payload)
+                .expect("stored");
+        }
+        (vault, pool)
+    }
+
+    fn damage(pool: &[Arc<MemoryBackend>]) {
+        // Delete some slots outright and rot others, across many keys.
+        for i in (0..OBJECTS).step_by(7) {
+            pool[i % pool.len()].delete(&format!("obj-{i:03}.bin")).expect("deleted");
+        }
+        for i in (3..OBJECTS).step_by(11) {
+            let key = format!("obj-{i:03}.bin");
+            let backend = &pool[(i + 1) % pool.len()];
+            let mut raw = backend.get(&key).expect("slot present").as_slice().to_vec();
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x40;
+            backend.put(&key, &Bytes::from(raw)).expect("rot lands");
+        }
+    }
+
+    #[test]
+    fn parallel_scrub_matches_sequential_counts_for_replicas_and_erasure() {
+        for (redundancy, backends) in
+            [(Redundancy::Replicas(3), 3), (Redundancy::Erasure { k: 4, m: 2 }, 6)]
+        {
+            let (vault, pool) = fixture(redundancy, backends);
+            damage(&pool);
+            // Audit sequentially first — verify mutates nothing, so the
+            // damage the parallel scrub must repair is still in place.
+            let audit = vault.verify().expect("sequential verify runs");
+            assert!(!audit.clean(), "damage must be visible ({redundancy})");
+
+            let parallel = scrub_parallel(&vault, &ExecOptions::new().threads(4))
+                .expect("parallel scrub runs");
+            assert_eq!(parallel.objects, OBJECTS);
+            assert_eq!(parallel.corrupt, audit.corrupt, "{redundancy}");
+            assert_eq!(parallel.missing, audit.missing, "{redundancy}");
+            assert!(parallel.clean(), "parallel scrub heals everything ({redundancy})");
+
+            // A second sweep finds nothing left to do, at any thread count.
+            for threads in [1usize, 2, 4] {
+                let again = scrub_parallel(&vault, &ExecOptions::new().threads(threads))
+                    .expect("rescrub runs");
+                assert!(again.clean() && again.repaired == 0, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_identical_to_single_threaded_fanout() {
+        let (vault, pool) = fixture(Redundancy::Erasure { k: 2, m: 1 }, 3);
+        damage(&pool);
+        // verify_parallel never mutates, so repeated runs see identical
+        // damage — the whole report (details included) must match.
+        let sequential =
+            verify_parallel(&vault, &ExecOptions::sequential()).expect("sequential fanout");
+        for threads in [2usize, 4] {
+            let threaded = verify_parallel(&vault, &ExecOptions::new().threads(threads))
+                .expect("threaded fanout");
+            assert_eq!(threaded, sequential, "threads={threads} diverged");
+        }
+        assert!(sequential.corrupt + sequential.missing > 0, "damage was audited");
+    }
+
+    #[test]
+    fn fully_deleted_keys_do_not_abort_the_sweep() {
+        let (vault, pool) = fixture(Redundancy::Replicas(2), 2);
+        for backend in &pool {
+            backend.delete("obj-000.bin").expect("deleted");
+        }
+        let report = scrub_parallel(&vault, &ExecOptions::new().threads(2)).expect("scrub runs");
+        assert_eq!(report.objects, OBJECTS - 1);
+        assert!(report.clean());
+    }
+}

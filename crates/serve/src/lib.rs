@@ -24,11 +24,13 @@
 //! use bytes::Bytes;
 //! use daspos_obs::Obs;
 //! use daspos_serve::{client::expect_ok, ServeClient, ServeConfig, Server, Service};
-//! use daspos_vault::{MemoryBackend, ObjectKind, Vault};
+//! use daspos_vault::{MemoryBackend, ObjectKind, StorageBackend, Vault};
 //!
 //! let vault = Vault::builder()
-//!     .replica(Arc::new(MemoryBackend::new()))
-//!     .replica(Arc::new(MemoryBackend::new()))
+//!     .backends(vec![
+//!         Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>,
+//!         Arc::new(MemoryBackend::new()),
+//!     ])
 //!     .build()
 //!     .unwrap();
 //! let service = Arc::new(Service::new(vault, &ServeConfig::default(), Obs::disabled()));
@@ -55,17 +57,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use daspos_obs::Obs;
-use daspos_vault::{MemoryBackend, Vault};
+use daspos_vault::{MemoryBackend, StorageBackend, Vault};
 
 /// End-to-end smoke: an in-process server over a fresh 2-replica
 /// memory vault, a short concurrent loadgen burst, zero tolerated
 /// failures. This is the tier-1 `daspos-cli serve --selftest` body.
 pub fn selftest() -> Result<String, ServeError> {
     let vault = Vault::builder()
-        .replica(Arc::new(MemoryBackend::new()))
-        .replica(Arc::new(MemoryBackend::new()))
+        .backends(vec![
+            Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>,
+            Arc::new(MemoryBackend::new()),
+        ])
         .build()
-        .expect("two replicas were added");
+        .expect("two backends were supplied");
     let service = Arc::new(Service::new(
         vault,
         &ServeConfig::default(),

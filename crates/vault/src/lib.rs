@@ -1,4 +1,4 @@
-//! # daspos-vault — replicated bit preservation with self-healing scrub
+//! # daspos-vault — redundant bit preservation with self-healing scrub
 //!
 //! The DASPOS disaster-recovery rubric (Appendix A of the final report)
 //! reserves its top levels for experiments that keep *redundant copies*,
@@ -11,25 +11,32 @@
 //! - [`StorageBackend`] — the narrowest pluggable blob-store API
 //!   ([`MemoryBackend`], [`DirBackend`], and the fault-injecting
 //!   [`FlakyBackend`] to start);
-//! - [`Vault`] — an N-replica store of `DPVO`-enveloped objects with
-//!   checksum-verified reads that fall back past (and heal) damaged
-//!   copies;
-//! - [`Vault::scrub`] — the recurring integrity pass: walk every
-//!   replica, verify envelope digests plus kind-specific deep checks
+//! - [`Vault`] — a redundant store of `DPVO`-enveloped objects over a
+//!   backend pool, in one of two [`Redundancy`] modes: full
+//!   [`Replicas`](Redundancy::Replicas) on every backend, or
+//!   [`Erasure`](Redundancy::Erasure)-coded `k + m` striping (XOR for
+//!   `m = 1`, in-repo GF(256) Reed–Solomon beyond) where each backend
+//!   holds one digested `DPVS` shard and any `k` survivors reconstruct
+//!   the object byte-identically;
+//! - [`Vault::scrub`] — the recurring integrity pass: walk every copy
+//!   or shard, verify envelope digests plus kind-specific deep checks
 //!   (DPSL seals, container manifests, conditions snapshots), and
-//!   rewrite damaged copies byte-identically from a verified one;
+//!   rewrite damage byte-identically — copied from a verified replica,
+//!   or rebuilt from surviving shards;
 //! - [`RetryPolicy`] — per-operation retry/backoff/timeout for flaky
 //!   media, deterministic enough to fault-campaign.
 //!
 //! ```
 //! use std::sync::Arc;
 //! use bytes::Bytes;
-//! use daspos_vault::{MemoryBackend, ObjectKind, Vault};
+//! use daspos_vault::{MemoryBackend, ObjectKind, Redundancy, StorageBackend, Vault};
 //!
+//! let backends: Vec<Arc<dyn StorageBackend>> = (0..6)
+//!     .map(|_| Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+//!     .collect();
 //! let vault = Vault::builder()
-//!     .replica(Arc::new(MemoryBackend::new()))
-//!     .replica(Arc::new(MemoryBackend::new()))
-//!     .replica(Arc::new(MemoryBackend::new()))
+//!     .backends(backends)
+//!     .redundancy(Redundancy::Erasure { k: 4, m: 2 })
 //!     .build()
 //!     .unwrap();
 //! vault.put("blob", ObjectKind::Opaque, &Bytes::from_static(b"bytes")).unwrap();
@@ -38,12 +45,15 @@
 //! ```
 
 pub mod backend;
+pub mod erasure;
 pub mod flaky;
 pub mod object;
 pub mod policy;
+pub mod shard;
 pub mod vault;
 
 pub use backend::{validate_key, DirBackend, MemoryBackend, StorageBackend, StorageError};
+pub use erasure::{Erasure, ErasureError};
 pub use flaky::{FlakyBackend, FlakyConfig};
 pub use object::{
     decode_envelope, encode_envelope, envelope_digest, ColumnarVerifier, ConditionsVerifier,
@@ -51,4 +61,10 @@ pub use object::{
     ENVELOPE_VERSION,
 };
 pub use policy::RetryPolicy;
-pub use vault::{ScrubReport, Vault, VaultBuilder, VaultError};
+pub use shard::{
+    decode_shard, encode_shard, shard_digest, ShardError, ShardHeader, SHARD_MAGIC,
+    SHARD_OVERHEAD, SHARD_VERSION,
+};
+pub use vault::{
+    PlacementPolicy, Redundancy, ScrubReport, Vault, VaultBuilder, VaultError,
+};

@@ -1,20 +1,34 @@
-//! The replicated preservation vault: quorum reads, scrubbing, repair.
+//! The preservation vault: replicated or erasure-coded storage with
+//! scrubbing, repair, and checksum-verified reads.
 //!
-//! A [`Vault`] stores every object on N [`StorageBackend`] replicas,
-//! wrapped in a checksum-carrying `DPVO` envelope. Reads walk the
-//! replicas in order and return the first copy that passes the envelope
-//! digest and the deep [`Verifier`] for its kind, transparently falling
-//! back past damaged copies (and optionally healing them in passing).
-//! The [`scrub`](Vault::scrub) pass makes that read-time accident a
+//! A [`Vault`] spreads every object across a pool of
+//! [`StorageBackend`]s under a [`Redundancy`] mode chosen at build time:
+//!
+//! - [`Redundancy::Replicas`] — every backend stores a full
+//!   checksum-carrying `DPVO` envelope. Reads walk the backends in
+//!   order and return the first copy that passes the envelope digest
+//!   and the deep [`Verifier`] for its kind, transparently falling back
+//!   past damaged copies (and optionally healing them in passing).
+//! - [`Redundancy::Erasure`] — the `DPVO` envelope is split into `k`
+//!   data + `m` parity shards (XOR for `m = 1`, GF(256) Reed–Solomon
+//!   beyond), each wrapped in a digested `DPVS` shard envelope and
+//!   placed on a distinct backend by the [`PlacementPolicy`]. Reads
+//!   reconstruct from any `k` healthy shards; losing more than `m`
+//!   shards is reported loudly as [`VaultError::Unrecoverable`] — the
+//!   vault never fabricates bytes.
+//!
+//! The [`scrub`](Vault::scrub) pass makes read-time resilience a
 //! recurring, deterministic sweep: it walks the union of keys across
-//! all replicas, classifies every copy as healthy, corrupt, or missing,
-//! and rewrites damaged copies byte-identically from a verified one.
+//! all backends, classifies every copy or shard as healthy, corrupt,
+//! or missing, and rewrites damage byte-identically — from a verified
+//! copy in replica mode, by erasure reconstruction in sharded mode.
 //!
 //! Every backend operation runs under the vault's
 //! [`RetryPolicy`](crate::RetryPolicy); transient failures are retried
 //! with exponential backoff and counted on the `vault.backend.retries`
-//! counter. Scrub progress lands on `vault.scrub.checked|corrupt|repaired`
-//! and, when a tracer is attached, as a span tree under `scrub`.
+//! counter. Scrub progress lands on
+//! `vault.scrub.checked|corrupt|repaired|rebuilt|unrecoverable` and,
+//! when a tracer is attached, as a span tree under `scrub`.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -23,20 +37,26 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use daspos_obs::Obs;
+use daspos_tiers::codec::fnv64;
 
 use crate::backend::{StorageBackend, StorageError};
+use crate::erasure::Erasure;
 use crate::object::{
     decode_envelope, encode_envelope, ColumnarVerifier, ConditionsVerifier, ObjectKind,
     SealedTierVerifier, Verifier,
 };
 use crate::policy::RetryPolicy;
+use crate::shard::{decode_shard, encode_shard, ShardHeader};
 
 /// A vault-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VaultError {
-    /// The builder was asked to build a vault with zero replicas.
+    /// The builder was asked to build a vault with zero backends.
     NoReplicas,
-    /// No replica stores the key.
+    /// The redundancy/backend geometry is inconsistent (replica count
+    /// not matching the backend pool, erasure stripe wider than it).
+    Geometry(String),
+    /// No backend stores the key.
     NotFound(String),
     /// Copies of the object exist, but none passes integrity checks.
     Damaged {
@@ -45,6 +65,16 @@ pub enum VaultError {
         /// What was wrong with the last copy examined.
         reason: String,
     },
+    /// Fewer than `k` healthy shards survive: the object cannot be
+    /// reconstructed, and the vault refuses to guess at the bytes.
+    Unrecoverable {
+        /// The object's key.
+        key: String,
+        /// Healthy shards of the best surviving generation.
+        have: usize,
+        /// Shards a reconstruction needs (= the geometry's `k`).
+        need: usize,
+    },
     /// A storage operation failed permanently (after retries).
     Storage(StorageError),
 }
@@ -52,11 +82,16 @@ pub enum VaultError {
 impl fmt::Display for VaultError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VaultError::NoReplicas => write!(f, "a vault needs at least one replica"),
-            VaultError::NotFound(key) => write!(f, "no replica stores '{key}'"),
+            VaultError::NoReplicas => write!(f, "a vault needs at least one backend"),
+            VaultError::Geometry(reason) => write!(f, "bad vault geometry: {reason}"),
+            VaultError::NotFound(key) => write!(f, "no backend stores '{key}'"),
             VaultError::Damaged { key, reason } => {
                 write!(f, "every copy of '{key}' is damaged: {reason}")
             }
+            VaultError::Unrecoverable { key, have, need } => write!(
+                f,
+                "'{key}' is unrecoverable: only {have} of the {need} shards needed survive"
+            ),
             VaultError::Storage(e) => write!(f, "storage failure: {e}"),
         }
     }
@@ -80,9 +115,72 @@ impl From<StorageError> for VaultError {
     }
 }
 
-/// Builder for a [`Vault`]. Replicas are tried in the order added.
+/// How a vault spreads an object across its backend pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redundancy {
+    /// Every backend stores a full copy; `n` must equal the backend
+    /// count. Tolerates `n - 1` backend losses at `n`× the bytes.
+    Replicas(usize),
+    /// `k` data + `m` parity shards, one per backend. Tolerates `m`
+    /// backend losses at `(k + m) / k`× the bytes.
+    Erasure {
+        /// Data shards per stripe.
+        k: usize,
+        /// Parity shards per stripe.
+        m: usize,
+    },
+}
+
+impl Redundancy {
+    /// Whole-backend losses this mode survives without data loss.
+    pub fn tolerates(&self) -> usize {
+        match self {
+            Redundancy::Replicas(n) => n.saturating_sub(1),
+            Redundancy::Erasure { m, .. } => *m,
+        }
+    }
+
+    /// Bytes stored per object byte (ignoring envelope overhead).
+    pub fn storage_factor(&self) -> f64 {
+        match self {
+            Redundancy::Replicas(n) => *n as f64,
+            Redundancy::Erasure { k, m } => (k + m) as f64 / *k as f64,
+        }
+    }
+}
+
+impl fmt::Display for Redundancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Redundancy::Replicas(n) => write!(f, "{n} replica(s)"),
+            Redundancy::Erasure { k, m } => write!(f, "erasure {k}+{m}"),
+        }
+    }
+}
+
+/// How erasure shards map to backends. Irrelevant under
+/// [`Redundancy::Replicas`] (every backend holds a full copy).
+///
+/// Both policies guarantee the placement invariant: with at least
+/// `k + m` backends, no backend ever holds two shards of one stripe,
+/// so losing one backend costs a stripe at most one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Shard `i` of `key` lands on backend
+    /// `(fnv64(key) + i) mod B` — stripes start on different backends
+    /// per key, spreading parity (and rebuild load) across the pool.
+    #[default]
+    KeyRotation,
+    /// Shard `i` always lands on backend `i` — data shards cluster on
+    /// the first `k` backends. Useful for tests and debugging.
+    Identity,
+}
+
+/// Builder for a [`Vault`].
 pub struct VaultBuilder {
-    replicas: Vec<Arc<dyn StorageBackend>>,
+    backends: Vec<Arc<dyn StorageBackend>>,
+    redundancy: Option<Redundancy>,
+    placement: PlacementPolicy,
     policy: RetryPolicy,
     verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>>,
     heal_on_get: bool,
@@ -96,7 +194,9 @@ impl VaultBuilder {
         verifiers.insert(ObjectKind::ConditionsText, Arc::new(ConditionsVerifier));
         verifiers.insert(ObjectKind::ColumnarAod, Arc::new(ColumnarVerifier));
         VaultBuilder {
-            replicas: Vec::new(),
+            backends: Vec::new(),
+            redundancy: None,
+            placement: PlacementPolicy::default(),
             policy: RetryPolicy::default(),
             verifiers,
             heal_on_get: true,
@@ -104,9 +204,33 @@ impl VaultBuilder {
         }
     }
 
-    /// Add a replica backend (tried in insertion order).
+    /// The backend pool, in placement order.
+    pub fn backends(mut self, backends: Vec<Arc<dyn StorageBackend>>) -> VaultBuilder {
+        self.backends = backends;
+        self
+    }
+
+    /// Choose the redundancy mode. Defaults to
+    /// [`Redundancy::Replicas`] over the whole backend pool.
+    pub fn redundancy(mut self, redundancy: Redundancy) -> VaultBuilder {
+        self.redundancy = Some(redundancy);
+        self
+    }
+
+    /// Choose the shard placement policy (erasure mode only; default
+    /// [`PlacementPolicy::KeyRotation`]).
+    pub fn placement(mut self, placement: PlacementPolicy) -> VaultBuilder {
+        self.placement = placement;
+        self
+    }
+
+    /// Add one replica backend.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `backends(vec![...])` + `redundancy(Redundancy::Replicas(n))`"
+    )]
     pub fn replica(mut self, backend: Arc<dyn StorageBackend>) -> VaultBuilder {
-        self.replicas.push(backend);
+        self.backends.push(backend);
         self
     }
 
@@ -136,14 +260,43 @@ impl VaultBuilder {
         self
     }
 
-    /// Build the vault. Fails with [`VaultError::NoReplicas`] if no
-    /// replica was added.
+    /// Build the vault. Fails with [`VaultError::NoReplicas`] on an
+    /// empty backend pool, [`VaultError::Geometry`] when the redundancy
+    /// mode does not fit it.
     pub fn build(self) -> Result<Vault, VaultError> {
-        if self.replicas.is_empty() {
+        if self.backends.is_empty() {
             return Err(VaultError::NoReplicas);
         }
+        let redundancy = self
+            .redundancy
+            .unwrap_or(Redundancy::Replicas(self.backends.len()));
+        let erasure = match redundancy {
+            Redundancy::Replicas(n) => {
+                if n == 0 || n != self.backends.len() {
+                    return Err(VaultError::Geometry(format!(
+                        "Replicas({n}) needs exactly {n} backend(s), got {}",
+                        self.backends.len()
+                    )));
+                }
+                None
+            }
+            Redundancy::Erasure { k, m } => {
+                let ec = Erasure::new(k, m).map_err(|e| VaultError::Geometry(e.to_string()))?;
+                if ec.total() > self.backends.len() {
+                    return Err(VaultError::Geometry(format!(
+                        "erasure {k}+{m} needs at least {} backends, got {}",
+                        k + m,
+                        self.backends.len()
+                    )));
+                }
+                Some(ec)
+            }
+        };
         Ok(Vault {
-            replicas: self.replicas,
+            backends: self.backends,
+            redundancy,
+            placement: self.placement,
+            erasure,
             policy: self.policy,
             verifiers: self.verifiers,
             heal_on_get: self.heal_on_get,
@@ -152,7 +305,7 @@ impl VaultBuilder {
     }
 }
 
-/// How one replica's copy of an object fared during a scan.
+/// How one backend's copy of an object fared during a replica scan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum CopyState {
     Healthy(Bytes),
@@ -160,40 +313,104 @@ enum CopyState {
     Missing,
 }
 
+/// How one stripe slot fared during an erasure scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardState {
+    Healthy { header: ShardHeader, payload: Bytes },
+    Corrupt(String),
+    Missing,
+}
+
+/// Pick the stripe's winning generation: the `(object_len,
+/// object_digest)` pair backed by the most healthy shards,
+/// deterministically tie-broken. Returns `(len, digest, count)`.
+fn stripe_winner(states: &[ShardState]) -> Option<(u32, u64, usize)> {
+    let mut counts: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+    for s in states {
+        if let ShardState::Healthy { header, .. } = s {
+            *counts
+                .entry((header.object_len, header.object_digest))
+                .or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&((len, digest), n)| (n, len, digest))
+        .map(|((len, digest), n)| (len, digest, n))
+}
+
 /// The outcome of a [`scrub`](Vault::scrub) or [`verify`](Vault::verify)
 /// pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrubReport {
-    /// Distinct keys seen across all replicas.
+    /// Distinct keys seen across all backends.
     pub objects: usize,
-    /// Replica count of the vault.
+    /// Backend count of the vault.
     pub replicas: usize,
-    /// Replica copies examined (present copies, healthy or not).
+    /// Copies or shards examined (present ones, healthy or not).
     pub checked: u64,
-    /// Copies failing the envelope digest or deep verification.
+    /// Copies or shards failing digests, deep verification, geometry
+    /// checks, or stranded in an outvoted write generation.
     pub corrupt: u64,
-    /// Copies absent from a replica while the key exists elsewhere.
+    /// Copies or shards absent from their backend while the key exists
+    /// elsewhere.
     pub missing: u64,
-    /// Damaged or missing copies rewritten from a verified copy.
+    /// Damaged or missing copies/shards rewritten from verified data.
     pub repaired: u64,
-    /// Keys with zero healthy copies — unrecoverable from this vault.
+    /// Repairs that required erasure reconstruction from surviving
+    /// shards (always ≤ `repaired`; zero in replica mode).
+    pub rebuilt: u64,
+    /// Objects with too few healthy shards to reconstruct. These also
+    /// appear in [`lost`](ScrubReport::lost) and make
+    /// [`clean`](ScrubReport::clean) false.
+    pub unrecoverable: u64,
+    /// Keys beyond repair: zero healthy copies, or fewer than `k`
+    /// healthy shards.
     pub lost: Vec<String>,
+    /// Per-stripe repair detail, one line per rebuilt shard or
+    /// unrecoverable object (erasure mode).
+    pub details: Vec<String>,
 }
 
 impl ScrubReport {
     /// True when no unrepaired damage remains: every corrupt or missing
-    /// copy was repaired and nothing is lost.
+    /// copy was repaired and nothing is lost or unrecoverable.
     pub fn clean(&self) -> bool {
-        self.lost.is_empty() && self.corrupt + self.missing == self.repaired
+        self.lost.is_empty()
+            && self.unrecoverable == 0
+            && self.corrupt + self.missing == self.repaired
     }
 
-    /// Human-readable one-paragraph summary.
+    /// Fold another report into this one (summing counts, concatenating
+    /// lost keys and details) — the merge step when per-object scrubs
+    /// are fanned out across a worker pool.
+    pub fn absorb(&mut self, other: ScrubReport) {
+        self.objects += other.objects;
+        self.replicas = self.replicas.max(other.replicas);
+        self.checked += other.checked;
+        self.corrupt += other.corrupt;
+        self.missing += other.missing;
+        self.repaired += other.repaired;
+        self.rebuilt += other.rebuilt;
+        self.unrecoverable += other.unrecoverable;
+        self.lost.extend(other.lost);
+        self.details.extend(other.details);
+    }
+
+    /// Human-readable summary: a one-paragraph tally, then one line per
+    /// shard-level repair event.
     pub fn to_text(&self) -> String {
         let mut s = format!(
-            "scrubbed {} object(s) across {} replica(s): {} copies checked, \
+            "scrubbed {} object(s) across {} backend(s): {} copies checked, \
              {} corrupt, {} missing, {} repaired",
             self.objects, self.replicas, self.checked, self.corrupt, self.missing, self.repaired
         );
+        if self.rebuilt > 0 {
+            s.push_str(&format!(" ({} rebuilt from surviving shards)", self.rebuilt));
+        }
+        if self.unrecoverable > 0 {
+            s.push_str(&format!(", {} unrecoverable", self.unrecoverable));
+        }
         if self.lost.is_empty() {
             s.push_str(if self.clean() {
                 "; vault is clean"
@@ -203,14 +420,23 @@ impl ScrubReport {
         } else {
             s.push_str(&format!("; LOST beyond repair: {}", self.lost.join(", ")));
         }
+        for d in &self.details {
+            s.push('\n');
+            s.push_str("  ");
+            s.push_str(d);
+        }
         s
     }
 }
 
-/// An N-replica preservation store with scrubbing and self-healing
+/// A redundant preservation store with scrubbing and self-healing
 /// repair. Construct via [`Vault::builder`].
 pub struct Vault {
-    replicas: Vec<Arc<dyn StorageBackend>>,
+    backends: Vec<Arc<dyn StorageBackend>>,
+    redundancy: Redundancy,
+    placement: PlacementPolicy,
+    /// Precomputed geometry, `Some` iff `redundancy` is `Erasure`.
+    erasure: Option<Erasure>,
     policy: RetryPolicy,
     verifiers: BTreeMap<ObjectKind, Arc<dyn Verifier>>,
     heal_on_get: bool,
@@ -223,9 +449,30 @@ impl Vault {
         VaultBuilder::new()
     }
 
-    /// Number of replicas.
+    /// Number of backends in the pool.
     pub fn replica_count(&self) -> usize {
-        self.replicas.len()
+        self.backends.len()
+    }
+
+    /// The redundancy mode this vault was built with.
+    pub fn redundancy(&self) -> Redundancy {
+        self.redundancy
+    }
+
+    /// The shard placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// The backend storing shard `i` of `key`'s stripe (erasure mode).
+    fn slot_backend(&self, key: &str, shard: usize) -> usize {
+        let n = self.backends.len();
+        match self.placement {
+            PlacementPolicy::Identity => shard % n,
+            PlacementPolicy::KeyRotation => {
+                ((fnv64(key.as_bytes()) % n as u64) as usize + shard) % n
+            }
+        }
     }
 
     /// Run one backend operation under the retry policy. Transient
@@ -257,18 +504,33 @@ impl Vault {
         }
     }
 
-    /// Store `payload` as `kind` under `key` on every replica.
+    /// Store `payload` as `kind` under `key`: a full envelope on every
+    /// backend in replica mode, one `DPVS` shard per placed backend in
+    /// erasure mode.
     ///
-    /// Replicas that fail permanently are skipped (and the first such
-    /// error returned) *after* all remaining replicas were attempted, so
-    /// one bad replica never blocks the others from receiving the object
+    /// Backends that fail permanently are skipped (and the first such
+    /// error returned) *after* all remaining backends were attempted, so
+    /// one bad backend never blocks the others from receiving the object
     /// — the next scrub re-converges the stragglers.
     pub fn put(&self, key: &str, kind: ObjectKind, payload: &Bytes) -> Result<(), VaultError> {
         let envelope = encode_envelope(kind, payload);
         let mut first_err = None;
-        for replica in &self.replicas {
-            if let Err(e) = self.with_retry(|| replica.put(key, &envelope)) {
-                first_err.get_or_insert(e);
+        match self.erasure {
+            None => {
+                for backend in &self.backends {
+                    if let Err(e) = self.with_retry(|| backend.put(key, &envelope)) {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            Some(_) => {
+                let shards = self.shard_envelopes(&envelope);
+                for (i, shard) in shards.iter().enumerate() {
+                    let backend = &self.backends[self.slot_backend(key, i)];
+                    if let Err(e) = self.with_retry(|| backend.put(key, shard)) {
+                        first_err.get_or_insert(e);
+                    }
+                }
             }
         }
         match first_err {
@@ -285,7 +547,32 @@ impl Vault {
         Ok(kind)
     }
 
-    /// Classify one replica's copy of `key`: decode the envelope, then
+    /// Erasure-encode one `DPVO` envelope into its `k + m` `DPVS` shard
+    /// envelopes. Deterministic: re-encoding the same envelope yields
+    /// byte-identical shards, which is what makes shard-level repair
+    /// byte-identical too.
+    fn shard_envelopes(&self, envelope: &Bytes) -> Vec<Bytes> {
+        let ec = self.erasure.as_ref().expect("erasure mode");
+        let object_digest = fnv64(envelope);
+        ec.encode(envelope)
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| {
+                encode_shard(
+                    &ShardHeader {
+                        index: i as u8,
+                        k: ec.k() as u8,
+                        m: ec.m() as u8,
+                        object_len: envelope.len() as u32,
+                        object_digest,
+                    },
+                    &payload,
+                )
+            })
+            .collect()
+    }
+
+    /// Classify one backend's copy of `key`: decode the envelope, then
     /// deep-verify if a verifier is registered for the kind.
     fn classify(&self, replica: &Arc<dyn StorageBackend>, key: &str) -> CopyState {
         let raw = match self.with_retry(|| replica.get(key)) {
@@ -305,20 +592,99 @@ impl Vault {
         CopyState::Healthy(raw)
     }
 
-    /// Checksum-verified read: return the first healthy copy's kind and
-    /// payload, falling back past damaged replicas. With
-    /// [`heal_on_get`](VaultBuilder::heal_on_get), damaged copies the
-    /// read skipped are rewritten from the healthy one (best-effort).
+    /// Classify stripe slot `i` of `key`: decode the `DPVS` envelope
+    /// and cross-check its geometry against the vault's and its index
+    /// against the slot it was read from — which is what catches
+    /// geometry tampering even when the shard digest was recomputed.
+    fn classify_shard(&self, key: &str, i: usize) -> ShardState {
+        let backend = &self.backends[self.slot_backend(key, i)];
+        let raw = match self.with_retry(|| backend.get(key)) {
+            Ok(raw) => raw,
+            Err(StorageError::NotFound(_)) => return ShardState::Missing,
+            Err(e) => return ShardState::Corrupt(format!("unreadable: {e}")),
+        };
+        let (header, payload) = match decode_shard(&raw) {
+            Ok(parts) => parts,
+            Err(e) => return ShardState::Corrupt(e.to_string()),
+        };
+        let ec = self.erasure.as_ref().expect("erasure mode");
+        if header.k as usize != ec.k() || header.m as usize != ec.m() || header.index as usize != i
+        {
+            return ShardState::Corrupt(format!(
+                "shard geometry mismatch: header claims shard {} of {}+{}, slot expects {} of {}+{}",
+                header.index,
+                header.k,
+                header.m,
+                i,
+                ec.k(),
+                ec.m()
+            ));
+        }
+        ShardState::Healthy { header, payload }
+    }
+
+    /// Reconstruct the winning generation's `DPVO` envelope from its
+    /// healthy shards, then verify it end to end (object digest,
+    /// envelope decode, deep verifier) before anyone trusts the bytes.
+    fn reconstruct(
+        &self,
+        states: &[ShardState],
+        object_len: u32,
+        object_digest: u64,
+    ) -> Result<Bytes, String> {
+        let ec = self.erasure.as_ref().expect("erasure mode");
+        let slots: Vec<Option<&[u8]>> = states
+            .iter()
+            .map(|s| match s {
+                ShardState::Healthy { header, payload }
+                    if header.object_len == object_len
+                        && header.object_digest == object_digest =>
+                {
+                    Some(payload.as_ref())
+                }
+                _ => None,
+            })
+            .collect();
+        let data = ec
+            .decode(&slots, object_len as usize)
+            .map_err(|e| e.to_string())?;
+        let envelope = Bytes::from(data);
+        if fnv64(&envelope) != object_digest {
+            return Err("reconstructed object digest mismatch".to_string());
+        }
+        let (kind, payload) =
+            decode_envelope(&envelope).map_err(|e| format!("reconstructed object: {e}"))?;
+        if let Some(verifier) = self.verifiers.get(&kind) {
+            verifier
+                .verify(&payload)
+                .map_err(|reason| format!("deep verification: {reason}"))?;
+        }
+        Ok(envelope)
+    }
+
+    /// Checksum-verified read. Replica mode returns the first healthy
+    /// copy, falling back past damaged backends; erasure mode
+    /// reconstructs from any `k` healthy shards of the winning
+    /// generation. With [`heal_on_get`](VaultBuilder::heal_on_get),
+    /// damaged copies/shards the read skipped are rewritten
+    /// (best-effort).
     pub fn get(&self, key: &str) -> Result<(ObjectKind, Bytes), VaultError> {
+        match self.erasure {
+            None => self.get_replicated(key),
+            Some(_) => self.get_erasure(key),
+        }
+    }
+
+    fn get_replicated(&self, key: &str) -> Result<(ObjectKind, Bytes), VaultError> {
         let mut damaged: Vec<usize> = Vec::new();
         let mut last_reason: Option<String> = None;
         let mut any_copy = false;
-        for (i, replica) in self.replicas.iter().enumerate() {
+        for (i, replica) in self.backends.iter().enumerate() {
             match self.classify(replica, key) {
                 CopyState::Healthy(raw) => {
                     if self.heal_on_get {
                         for &d in &damaged {
-                            let _ = self.with_retry(|| self.replicas[d].put(key, &raw));
+                            let _ = self.with_retry(|| self.backends[d].put(key, &raw));
                         }
                     }
                     let (kind, payload) =
@@ -343,17 +709,74 @@ impl Vault {
         }
     }
 
-    /// All keys stored on at least one replica, ascending.
+    fn get_erasure(&self, key: &str) -> Result<(ObjectKind, Bytes), VaultError> {
+        let ec = self.erasure.as_ref().expect("erasure mode");
+        let states: Vec<ShardState> = (0..ec.total())
+            .map(|i| self.classify_shard(key, i))
+            .collect();
+        let present = states
+            .iter()
+            .filter(|s| !matches!(s, ShardState::Missing))
+            .count();
+        let Some((object_len, object_digest, have)) = stripe_winner(&states) else {
+            return if present == 0 {
+                Err(VaultError::NotFound(key.to_string()))
+            } else {
+                Err(VaultError::Unrecoverable {
+                    key: key.to_string(),
+                    have: 0,
+                    need: ec.k(),
+                })
+            };
+        };
+        if have < ec.k() {
+            return Err(VaultError::Unrecoverable {
+                key: key.to_string(),
+                have,
+                need: ec.k(),
+            });
+        }
+        let envelope = self
+            .reconstruct(&states, object_len, object_digest)
+            .map_err(|reason| VaultError::Damaged {
+                key: key.to_string(),
+                reason,
+            })?;
+        if self.heal_on_get {
+            // Rewrite corrupt (or outvoted) slots the read fell past —
+            // like replica heal-on-get, absent shards wait for scrub.
+            let shards = self.shard_envelopes(&envelope);
+            for (i, state) in states.iter().enumerate() {
+                let heal = match state {
+                    ShardState::Healthy { header, .. } => {
+                        header.object_len != object_len || header.object_digest != object_digest
+                    }
+                    ShardState::Corrupt(_) => true,
+                    ShardState::Missing => false,
+                };
+                if heal {
+                    let backend = &self.backends[self.slot_backend(key, i)];
+                    let _ = self.with_retry(|| backend.put(key, &shards[i]));
+                }
+            }
+        }
+        let (kind, payload) = decode_envelope(&envelope).expect("reconstruct verified the envelope");
+        Ok((kind, payload))
+    }
+
+    /// All keys stored on at least one backend, ascending.
     pub fn keys(&self) -> Result<Vec<String>, VaultError> {
         let mut keys = BTreeSet::new();
-        for replica in &self.replicas {
-            keys.extend(self.with_retry(|| replica.list(""))?);
+        for backend in &self.backends {
+            keys.extend(self.with_retry(|| backend.list(""))?);
         }
         Ok(keys.into_iter().collect())
     }
 
     /// Integrity sweep with self-healing repair: every damaged or
-    /// missing copy is rewritten byte-identically from a verified one.
+    /// missing copy is rewritten byte-identically — copied from a
+    /// verified backend in replica mode, rebuilt from surviving shards
+    /// in erasure mode.
     pub fn scrub(&self) -> Result<ScrubReport, VaultError> {
         self.scan(true)
     }
@@ -363,22 +786,40 @@ impl Vault {
         self.scan(false)
     }
 
-    /// Classify, count and (optionally) repair one key's copies across
-    /// all replicas — the shared per-object body of [`scan`](Vault::scan)
-    /// and the single-object entry points.
-    fn scan_key(&self, key: &str, repair: bool, report: &mut ScrubReport, span: &daspos_obs::Span) {
-        let states: Vec<CopyState> = self
-            .replicas
-            .iter()
-            .map(|r| self.classify(r, key))
-            .collect();
-        self.judge_and_repair(key, &states, repair, report, span);
+    /// Classify, count and (optionally) repair one key across the pool
+    /// — the shared per-object body of [`scan`](Vault::scan) and the
+    /// single-object entry points. `stripe` is the scan-order index
+    /// used in detail lines.
+    fn scan_key(
+        &self,
+        stripe: usize,
+        key: &str,
+        repair: bool,
+        report: &mut ScrubReport,
+        span: &daspos_obs::Span,
+    ) {
+        match self.erasure {
+            None => {
+                let states: Vec<CopyState> = self
+                    .backends
+                    .iter()
+                    .map(|r| self.classify(r, key))
+                    .collect();
+                self.judge_and_repair(key, &states, repair, report, span);
+            }
+            Some(ref ec) => {
+                let states: Vec<ShardState> = (0..ec.total())
+                    .map(|i| self.classify_shard(key, i))
+                    .collect();
+                self.judge_stripe(stripe, key, &states, repair, report, span);
+            }
+        }
     }
 
     /// Count one key's classified copies into `report` and (optionally)
-    /// rewrite every non-healthy copy from a verified one — the tail of
-    /// [`scan_key`](Vault::scan_key), split out so interruptible callers
-    /// can classify replicas at their own pace first.
+    /// rewrite every non-healthy copy from a verified one — the replica
+    /// tail of [`scan_key`](Vault::scan_key), split out so
+    /// interruptible callers can classify backends at their own pace.
     fn judge_and_repair(
         &self,
         key: &str,
@@ -411,7 +852,7 @@ impl Vault {
             Some(raw) if repair => {
                 for (i, state) in states.iter().enumerate() {
                     if !matches!(state, CopyState::Healthy(_))
-                        && self.with_retry(|| self.replicas[i].put(key, raw)).is_ok()
+                        && self.with_retry(|| self.backends[i].put(key, raw)).is_ok()
                     {
                         repaired_here += 1;
                     }
@@ -431,11 +872,116 @@ impl Vault {
         }
     }
 
+    /// The erasure tail of [`scan_key`](Vault::scan_key): pick the
+    /// stripe's winning generation, count every slot against it, and
+    /// (optionally) rebuild every non-winner slot from a reconstructed
+    /// — and re-verified — object. Fewer than `k` survivors is reported
+    /// loudly as unrecoverable; nothing is ever fabricated.
+    fn judge_stripe(
+        &self,
+        stripe: usize,
+        key: &str,
+        states: &[ShardState],
+        repair: bool,
+        report: &mut ScrubReport,
+        span: &daspos_obs::Span,
+    ) {
+        let ec = self.erasure.as_ref().expect("erasure mode");
+        let k = ec.k();
+        let total = ec.total();
+        let winner = stripe_winner(states);
+        let mut corrupt_here = 0u64;
+        let mut missing_here = 0u64;
+        let mut bad_slots: Vec<usize> = Vec::new();
+        for (i, state) in states.iter().enumerate() {
+            match state {
+                ShardState::Healthy { header, .. } => {
+                    report.checked += 1;
+                    let in_winner = winner
+                        .map(|(len, digest, _)| {
+                            header.object_len == len && header.object_digest == digest
+                        })
+                        .unwrap_or(false);
+                    if !in_winner {
+                        corrupt_here += 1;
+                        bad_slots.push(i);
+                    }
+                }
+                ShardState::Corrupt(_) => {
+                    report.checked += 1;
+                    corrupt_here += 1;
+                    bad_slots.push(i);
+                }
+                ShardState::Missing => {
+                    missing_here += 1;
+                    bad_slots.push(i);
+                }
+            }
+        }
+        report.corrupt += corrupt_here;
+        report.missing += missing_here;
+
+        let mut repaired_here = 0u64;
+        let mut rebuilt_here = 0u64;
+        let have = winner.map(|(_, _, n)| n).unwrap_or(0);
+        let recovered = if have < k {
+            report.unrecoverable += 1;
+            report.lost.push(key.to_string());
+            report.details.push(format!(
+                "stripe {stripe}: '{key}' unrecoverable ({have}/{k} shards survive)"
+            ));
+            false
+        } else {
+            let (object_len, object_digest, _) = winner.expect("have >= k implies a winner");
+            match self.reconstruct(states, object_len, object_digest) {
+                Ok(envelope) => {
+                    if repair && !bad_slots.is_empty() {
+                        let shards = self.shard_envelopes(&envelope);
+                        for &i in &bad_slots {
+                            let backend = &self.backends[self.slot_backend(key, i)];
+                            if self.with_retry(|| backend.put(key, &shards[i])).is_ok() {
+                                repaired_here += 1;
+                                rebuilt_here += 1;
+                                report.details.push(format!(
+                                    "stripe {stripe}: rebuilt shard {i}/{total} on backend {}",
+                                    backend.name()
+                                ));
+                            }
+                        }
+                    }
+                    true
+                }
+                Err(reason) => {
+                    report.unrecoverable += 1;
+                    report.lost.push(key.to_string());
+                    report.details.push(format!(
+                        "stripe {stripe}: '{key}' reconstructs but is damaged: {reason}"
+                    ));
+                    false
+                }
+            }
+        };
+        report.repaired += repaired_here;
+        report.rebuilt += rebuilt_here;
+
+        if span.enabled() {
+            let mut child = span.child_fmt(format_args!("object-{key}"));
+            child.field("corrupt", corrupt_here);
+            child.field("missing", missing_here);
+            child.field("repaired", repaired_here);
+            child.field("rebuilt", rebuilt_here);
+            child.field("recovered", usize::from(recovered));
+            child.finish();
+        }
+    }
+
     fn record_scrub_counters(&self, report: &ScrubReport) {
         if let Some(reg) = self.obs.registry() {
             reg.add("vault.scrub.checked", report.checked);
             reg.add("vault.scrub.corrupt", report.corrupt);
             reg.add("vault.scrub.repaired", report.repaired);
+            reg.add("vault.scrub.rebuilt", report.rebuilt);
+            reg.add("vault.scrub.unrecoverable", report.unrecoverable);
         }
     }
 
@@ -445,16 +991,16 @@ impl Vault {
             .obs
             .tracer
             .span(if repair { "scrub" } else { "verify" });
-        span.field("replicas", self.replicas.len());
+        span.field("replicas", self.backends.len());
         span.field("objects", keys.len());
 
         let mut report = ScrubReport {
             objects: keys.len(),
-            replicas: self.replicas.len(),
+            replicas: self.backends.len(),
             ..ScrubReport::default()
         };
-        for key in &keys {
-            self.scan_key(key, repair, &mut report, &span);
+        for (stripe, key) in keys.iter().enumerate() {
+            self.scan_key(stripe, key, repair, &mut report, &span);
         }
         self.record_scrub_counters(&report);
         span.field("corrupt", report.corrupt);
@@ -467,7 +1013,7 @@ impl Vault {
     /// Scrub (with repair) a single object — the unit of work the
     /// preservation service's background scrubber interleaves between
     /// foreground requests, so one tick never holds the vault for a full
-    /// sweep. Reports [`VaultError::NotFound`] when no replica stores
+    /// sweep. Reports [`VaultError::NotFound`] when no backend stores
     /// the key at all.
     pub fn scrub_object(&self, key: &str) -> Result<ScrubReport, VaultError> {
         self.scan_one(key, true)
@@ -479,42 +1025,63 @@ impl Vault {
     }
 
     /// Like [`scrub_object`](Vault::scrub_object), but cooperatively
-    /// abandonable: `keep_going` is consulted before every per-replica
-    /// classification (each one deep-verifies a full copy) and once more
-    /// before any repair writes start. When it turns false the scrub
-    /// returns `Ok(None)` having mutated nothing — the caller retries
-    /// the whole object on a later tick. This bounds how long a
-    /// background scrubber can monopolize the store to one replica
-    /// classification instead of a full `replicas × deep-verify` sweep.
+    /// abandonable: `keep_going` is consulted before every per-backend
+    /// classification (each one deep-verifies a full copy or shard) and
+    /// once more before any repair writes start. When it turns false the
+    /// scrub returns `Ok(None)` having mutated nothing — the caller
+    /// retries the whole object on a later tick. This bounds how long a
+    /// background scrubber can monopolize the store to one
+    /// classification instead of a full sweep.
     pub fn scrub_object_while(
         &self,
         key: &str,
         keep_going: &dyn Fn() -> bool,
     ) -> Result<Option<ScrubReport>, VaultError> {
         let mut span = self.obs.tracer.span("scrub-object");
-        span.field("replicas", self.replicas.len());
-        let mut states = Vec::with_capacity(self.replicas.len());
-        for replica in &self.replicas {
-            if !keep_going() {
-                span.field("abandoned", 1usize);
-                span.finish();
-                return Ok(None);
-            }
-            states.push(self.classify(replica, key));
-        }
-        if !keep_going() {
-            // Classified but not yet judged: repairs rewrite full
-            // copies, so give way before starting them too.
-            span.field("abandoned", 1usize);
-            span.finish();
-            return Ok(None);
-        }
+        span.field("replicas", self.backends.len());
         let mut report = ScrubReport {
             objects: 1,
-            replicas: self.replicas.len(),
+            replicas: self.backends.len(),
             ..ScrubReport::default()
         };
-        self.judge_and_repair(key, &states, true, &mut report, &span);
+        match self.erasure {
+            None => {
+                let mut states = Vec::with_capacity(self.backends.len());
+                for replica in &self.backends {
+                    if !keep_going() {
+                        span.field("abandoned", 1usize);
+                        span.finish();
+                        return Ok(None);
+                    }
+                    states.push(self.classify(replica, key));
+                }
+                if !keep_going() {
+                    // Classified but not yet judged: repairs rewrite full
+                    // copies, so give way before starting them too.
+                    span.field("abandoned", 1usize);
+                    span.finish();
+                    return Ok(None);
+                }
+                self.judge_and_repair(key, &states, true, &mut report, &span);
+            }
+            Some(ref ec) => {
+                let mut states = Vec::with_capacity(ec.total());
+                for i in 0..ec.total() {
+                    if !keep_going() {
+                        span.field("abandoned", 1usize);
+                        span.finish();
+                        return Ok(None);
+                    }
+                    states.push(self.classify_shard(key, i));
+                }
+                if !keep_going() {
+                    span.field("abandoned", 1usize);
+                    span.finish();
+                    return Ok(None);
+                }
+                self.judge_stripe(0, key, &states, true, &mut report, &span);
+            }
+        }
         if report.checked == 0 {
             return Err(VaultError::NotFound(key.to_string()));
         }
@@ -531,15 +1098,15 @@ impl Vault {
         } else {
             "verify-object"
         });
-        span.field("replicas", self.replicas.len());
+        span.field("replicas", self.backends.len());
         let mut report = ScrubReport {
             objects: 1,
-            replicas: self.replicas.len(),
+            replicas: self.backends.len(),
             ..ScrubReport::default()
         };
-        self.scan_key(key, repair, &mut report, &span);
+        self.scan_key(0, key, repair, &mut report, &span);
         if report.checked == 0 {
-            // Every replica reported the key absent: not damage, absence.
+            // Every backend reported the key absent: not damage, absence.
             return Err(VaultError::NotFound(key.to_string()));
         }
         self.record_scrub_counters(&report);
@@ -558,22 +1125,109 @@ mod tests {
     use daspos_obs::{MemoryCollector, MetricsRegistry};
     use daspos_tiers::codec;
 
+    fn pool(n: usize) -> (Vec<Arc<dyn StorageBackend>>, Vec<Arc<MemoryBackend>>) {
+        let mems: Vec<Arc<MemoryBackend>> =
+            (0..n).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let dyns = mems
+            .iter()
+            .map(|b| b.clone() as Arc<dyn StorageBackend>)
+            .collect();
+        (dyns, mems)
+    }
+
     fn three_replica_vault() -> (Vault, Vec<Arc<MemoryBackend>>) {
-        let backends: Vec<Arc<MemoryBackend>> =
-            (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
-        let mut builder = Vault::builder().policy(RetryPolicy::none());
-        for b in &backends {
-            builder = builder.replica(b.clone() as Arc<dyn StorageBackend>);
-        }
-        (builder.build().unwrap(), backends)
+        let (dyns, mems) = pool(3);
+        let vault = Vault::builder()
+            .policy(RetryPolicy::none())
+            .backends(dyns)
+            .redundancy(Redundancy::Replicas(3))
+            .build()
+            .unwrap();
+        (vault, mems)
+    }
+
+    fn erasure_vault(k: usize, m: usize, n: usize) -> (Vault, Vec<Arc<MemoryBackend>>) {
+        let (dyns, mems) = pool(n);
+        let vault = Vault::builder()
+            .policy(RetryPolicy::none())
+            .backends(dyns)
+            .redundancy(Redundancy::Erasure { k, m })
+            .build()
+            .unwrap();
+        (vault, mems)
     }
 
     #[test]
-    fn build_requires_a_replica() {
+    fn build_requires_a_backend() {
         assert!(matches!(
             Vault::builder().build(),
             Err(VaultError::NoReplicas)
         ));
+    }
+
+    #[test]
+    fn build_validates_the_geometry() {
+        let (dyns, _) = pool(3);
+        assert!(matches!(
+            Vault::builder()
+                .backends(dyns)
+                .redundancy(Redundancy::Replicas(2))
+                .build(),
+            Err(VaultError::Geometry(_))
+        ));
+        let (dyns, _) = pool(3);
+        assert!(matches!(
+            Vault::builder()
+                .backends(dyns)
+                .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+                .build(),
+            Err(VaultError::Geometry(_))
+        ));
+        let (dyns, _) = pool(2);
+        assert!(matches!(
+            Vault::builder()
+                .backends(dyns)
+                .redundancy(Redundancy::Erasure { k: 0, m: 2 })
+                .build(),
+            Err(VaultError::Geometry(_))
+        ));
+        // Defaults: full-pool replication.
+        let (dyns, _) = pool(2);
+        let vault = Vault::builder().backends(dyns).build().unwrap();
+        assert_eq!(vault.redundancy(), Redundancy::Replicas(2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn replica_shim_desugars_to_backends_plus_replicas_byte_identically() {
+        // The deprecated additive builder and the redesigned one must
+        // produce vaults whose stored bytes are identical.
+        let (dyns_a, mems_a) = pool(3);
+        let mut builder = Vault::builder().policy(RetryPolicy::none());
+        for b in dyns_a {
+            builder = builder.replica(b);
+        }
+        let old_style = builder.build().unwrap();
+        assert_eq!(old_style.redundancy(), Redundancy::Replicas(3));
+
+        let (dyns_b, mems_b) = pool(3);
+        let new_style = Vault::builder()
+            .policy(RetryPolicy::none())
+            .backends(dyns_b)
+            .redundancy(Redundancy::Replicas(3))
+            .build()
+            .unwrap();
+
+        let payload = Bytes::from_static(b"same bytes either way");
+        old_style.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        new_style.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        for (a, b) in mems_a.iter().zip(&mems_b) {
+            assert_eq!(a.get("obj").unwrap(), b.get("obj").unwrap());
+        }
+        assert_eq!(
+            old_style.get("obj").unwrap(),
+            new_style.get("obj").unwrap()
+        );
     }
 
     #[test]
@@ -644,6 +1298,7 @@ mod tests {
         assert_eq!(report.corrupt, 1);
         assert_eq!(report.missing, 1);
         assert_eq!(report.repaired, 2);
+        assert_eq!(report.rebuilt, 0, "replica repair copies, never rebuilds");
         assert!(report.clean(), "{}", report.to_text());
         assert_eq!(backends[2].get("tier").unwrap(), pristine);
         assert_eq!(
@@ -790,7 +1445,7 @@ mod tests {
         let inner = Arc::new(MemoryBackend::new());
         let flaky = Arc::new(FlakyBackend::new(inner, FlakyConfig::transient(42, 0.4)));
         let vault = Vault::builder()
-            .replica(flaky)
+            .backends(vec![flaky])
             .policy(RetryPolicy::immediate(8))
             .with_obs(Obs::metrics_only(registry.clone()))
             .build()
@@ -815,15 +1470,13 @@ mod tests {
     fn scrub_emits_spans_and_counters() {
         let collector = Arc::new(MemoryCollector::new());
         let registry = Arc::new(MetricsRegistry::new());
-        let backends: Vec<Arc<MemoryBackend>> =
-            (0..2).map(|_| Arc::new(MemoryBackend::new())).collect();
-        let mut builder = Vault::builder()
+        let (dyns, backends) = pool(2);
+        let vault = Vault::builder()
             .policy(RetryPolicy::none())
-            .with_obs(Obs::collecting(collector.clone(), registry.clone()));
-        for b in &backends {
-            builder = builder.replica(b.clone() as Arc<dyn StorageBackend>);
-        }
-        let vault = builder.build().unwrap();
+            .with_obs(Obs::collecting(collector.clone(), registry.clone()))
+            .backends(dyns)
+            .build()
+            .unwrap();
         vault
             .put("obj", ObjectKind::Opaque, &Bytes::from_static(b"x"))
             .unwrap();
@@ -835,6 +1488,7 @@ mod tests {
         assert_eq!(snapshot.counter("vault.scrub.checked"), 2);
         assert_eq!(snapshot.counter("vault.scrub.corrupt"), 1);
         assert_eq!(snapshot.counter("vault.scrub.repaired"), 1);
+        assert_eq!(snapshot.counter("vault.scrub.rebuilt"), 0);
         let paths: Vec<String> = collector
             .sorted_records()
             .into_iter()
@@ -844,5 +1498,267 @@ mod tests {
             paths,
             vec!["scrub".to_string(), "scrub/object-obj".to_string()]
         );
+    }
+
+    // ---- erasure mode ----
+
+    #[test]
+    fn erasure_put_spreads_one_shard_per_backend_and_get_round_trips() {
+        let (vault, backends) = erasure_vault(4, 2, 6);
+        let payload = Bytes::from((0..5000u32).map(|i| i as u8).collect::<Vec<u8>>());
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let envelope_len = crate::object::ENVELOPE_OVERHEAD + payload.len();
+        for b in &backends {
+            assert_eq!(b.len(), 1, "placement puts exactly one shard per backend");
+            let shard = b.get("obj").unwrap();
+            assert!(
+                shard.len() < envelope_len / 2,
+                "a shard must be a fraction of the object, got {} of {envelope_len}",
+                shard.len()
+            );
+        }
+        let (kind, got) = vault.get("obj").unwrap();
+        assert_eq!(kind, ObjectKind::Opaque);
+        assert_eq!(got, payload);
+        assert!(matches!(vault.get("nope"), Err(VaultError::NotFound(_))));
+    }
+
+    #[test]
+    fn erasure_survives_any_m_whole_backend_losses() {
+        let payload = Bytes::from((0..3000u32).map(|i| (i * 7) as u8).collect::<Vec<u8>>());
+        // Every pair of dead backends out of 6 — the acceptance drill.
+        for dead_a in 0..6 {
+            for dead_b in (dead_a + 1)..6 {
+                let (vault, backends) = erasure_vault(4, 2, 6);
+                vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+                backends[dead_a].delete("obj").unwrap();
+                backends[dead_b].delete("obj").unwrap();
+                let (_, got) = vault.get("obj").unwrap();
+                assert_eq!(got, payload, "dead backends {dead_a},{dead_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn erasure_scrub_rebuilds_lost_shards_byte_identically() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (dyns, backends) = pool(6);
+        let vault = Vault::builder()
+            .policy(RetryPolicy::none())
+            .backends(dyns)
+            .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+            .with_obs(Obs::metrics_only(registry.clone()))
+            .build()
+            .unwrap();
+        let payload = Bytes::from_static(b"stripe me across six backends please");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let pristine: Vec<Bytes> = backends.iter().map(|b| b.get("obj").unwrap()).collect();
+
+        // Lose one whole backend's shard, rot another.
+        backends[0].delete("obj").unwrap();
+        let mut rotten = pristine[3].to_vec();
+        rotten[pristine[3].len() - 1] ^= 0x80;
+        backends[3].put("obj", &Bytes::from(rotten)).unwrap();
+
+        let report = vault.scrub().unwrap();
+        assert_eq!(report.missing, 1);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.repaired, 2);
+        assert_eq!(report.rebuilt, 2);
+        assert!(report.clean(), "{}", report.to_text());
+        assert!(
+            report.to_text().contains("rebuilt shard"),
+            "detail lines name the rebuilt shards: {}",
+            report.to_text()
+        );
+        for (b, orig) in backends.iter().zip(&pristine) {
+            assert_eq!(&b.get("obj").unwrap(), orig, "rebuild is byte-identical");
+        }
+        assert_eq!(registry.snapshot().counter("vault.scrub.rebuilt"), 2);
+    }
+
+    #[test]
+    fn erasure_beyond_m_losses_is_unrecoverable_never_wrong_bytes() {
+        let (vault, backends) = erasure_vault(4, 2, 6);
+        let payload = Bytes::from_static(b"too much damage to survive");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let survivors: Vec<Bytes> = backends[3..].iter().map(|b| b.get("obj").unwrap()).collect();
+        for b in &backends[..3] {
+            b.delete("obj").unwrap();
+        }
+        match vault.get("obj") {
+            Err(VaultError::Unrecoverable { have, need, .. }) => {
+                assert_eq!((have, need), (3, 4));
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        let report = vault.scrub().unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.unrecoverable, 1);
+        assert_eq!(report.lost, vec!["obj".to_string()]);
+        assert!(report.to_text().contains("unrecoverable"), "{}", report.to_text());
+        // The scrub must not have fabricated anything: survivors are
+        // untouched, the dead slots stay empty.
+        for (b, orig) in backends[3..].iter().zip(&survivors) {
+            assert_eq!(&b.get("obj").unwrap(), orig);
+        }
+        for b in &backends[..3] {
+            assert!(matches!(b.get("obj"), Err(StorageError::NotFound(_))));
+        }
+    }
+
+    #[test]
+    fn erasure_geometry_tampering_with_recomputed_digest_is_caught() {
+        use crate::shard::{decode_shard, encode_shard};
+        let (vault, backends) = erasure_vault(4, 2, 6);
+        let payload = Bytes::from_static(b"tamper with my geometry");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let victim = backends[2].get("obj").unwrap();
+        let (mut header, shard_payload) = decode_shard(&victim).unwrap();
+        let pristine = victim.clone();
+        // Re-route the shard to a different stripe position and
+        // recompute the digest so the envelope itself verifies.
+        header.index = (header.index + 1) % 6;
+        backends[2]
+            .put("obj", &encode_shard(&header, &shard_payload))
+            .unwrap();
+
+        let report = vault.scrub().unwrap();
+        assert_eq!(report.corrupt, 1, "forged geometry must classify corrupt");
+        assert_eq!(report.rebuilt, 1);
+        assert!(report.clean(), "{}", report.to_text());
+        assert_eq!(backends[2].get("obj").unwrap(), pristine);
+        let (_, got) = vault.get("obj").unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn erasure_outvotes_a_divergent_write_generation() {
+        // A stale shard from an older object generation (as a racing
+        // write would leave behind) is outvoted and re-converged.
+        let (vault, backends) = erasure_vault(4, 2, 6);
+        let old = Bytes::from_static(b"generation one");
+        let new = Bytes::from_static(b"generation two, the winner");
+        vault.put("obj", ObjectKind::Opaque, &old).unwrap();
+        let stale = backends[1].get("obj").unwrap();
+        vault.put("obj", ObjectKind::Opaque, &new).unwrap();
+        backends[1].put("obj", &stale).unwrap();
+
+        let (_, got) = vault.get("obj").unwrap();
+        assert_eq!(got, new, "five fresh shards outvote one stale shard");
+
+        let report = vault.scrub().unwrap();
+        assert!(report.clean(), "{}", report.to_text());
+        let (_, after) = vault.get("obj").unwrap();
+        assert_eq!(after, new);
+        // All six slots now agree on the winning generation.
+        let digests: BTreeSet<Vec<u8>> = backends
+            .iter()
+            .map(|b| b.get("obj").unwrap().to_vec())
+            .collect();
+        assert_eq!(digests.len(), 6, "six distinct shards, one generation");
+    }
+
+    #[test]
+    fn erasure_heal_on_get_rewrites_corrupt_slots() {
+        let (vault, backends) = erasure_vault(2, 1, 3);
+        let payload = Bytes::from_static(b"heal my shards in passing");
+        vault.put("obj", ObjectKind::Opaque, &payload).unwrap();
+        let pristine: Vec<Bytes> = backends.iter().map(|b| b.get("obj").unwrap()).collect();
+        let mut rotten = pristine[0].to_vec();
+        rotten[0] ^= 0xFF;
+        backends[0].put("obj", &Bytes::from(rotten)).unwrap();
+
+        let (_, got) = vault.get("obj").unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(
+            backends[0].get("obj").unwrap(),
+            pristine[0],
+            "heal-on-get rewrote the corrupt shard byte-identically"
+        );
+    }
+
+    #[test]
+    fn placement_never_doubles_up_within_a_stripe() {
+        for policy in [PlacementPolicy::KeyRotation, PlacementPolicy::Identity] {
+            let (dyns, _) = pool(6);
+            let vault = Vault::builder()
+                .backends(dyns)
+                .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+                .placement(policy)
+                .build()
+                .unwrap();
+            for key in ["a", "tier-aod.dpef", "some-very-long-key-name.dpar"] {
+                let slots: BTreeSet<usize> =
+                    (0..6).map(|i| vault.slot_backend(key, i)).collect();
+                assert_eq!(slots.len(), 6, "{policy:?} {key}");
+            }
+        }
+        // KeyRotation actually rotates: different keys start on
+        // different backends (for at least one pair among a few keys).
+        let (dyns, _) = pool(6);
+        let vault = Vault::builder()
+            .backends(dyns)
+            .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+            .build()
+            .unwrap();
+        let starts: BTreeSet<usize> = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|k| vault.slot_backend(k, 0))
+            .collect();
+        assert!(starts.len() > 1, "rotation must vary the starting backend");
+    }
+
+    #[test]
+    fn erasure_deep_verifier_rejects_semantic_rot_after_reconstruction() {
+        let (vault, _) = erasure_vault(4, 2, 6);
+        vault
+            .put(
+                "fake",
+                ObjectKind::SealedTier,
+                &Bytes::from_static(b"not a seal"),
+            )
+            .unwrap();
+        assert!(matches!(vault.get("fake"), Err(VaultError::Damaged { .. })));
+        let report = vault.scrub().unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.lost, vec!["fake".to_string()]);
+    }
+
+    #[test]
+    fn scrub_report_absorb_merges_counts_and_details() {
+        let mut a = ScrubReport {
+            objects: 1,
+            replicas: 6,
+            checked: 6,
+            corrupt: 1,
+            missing: 0,
+            repaired: 1,
+            rebuilt: 1,
+            unrecoverable: 0,
+            lost: vec![],
+            details: vec!["stripe 0: rebuilt shard 1/6 on backend memory".to_string()],
+        };
+        let b = ScrubReport {
+            objects: 1,
+            replicas: 6,
+            checked: 4,
+            corrupt: 2,
+            missing: 2,
+            repaired: 0,
+            rebuilt: 0,
+            unrecoverable: 1,
+            lost: vec!["gone".to_string()],
+            details: vec!["stripe 1: 'gone' unrecoverable (2/4 shards survive)".to_string()],
+        };
+        a.absorb(b);
+        assert_eq!(a.objects, 2);
+        assert_eq!(a.checked, 10);
+        assert_eq!(a.corrupt, 3);
+        assert_eq!(a.missing, 2);
+        assert_eq!(a.unrecoverable, 1);
+        assert_eq!(a.lost, vec!["gone".to_string()]);
+        assert_eq!(a.details.len(), 2);
+        assert!(!a.clean());
     }
 }

@@ -1,13 +1,14 @@
-//! Disaster recovery drill: preserve an archive into a replicated
+//! Disaster recovery drill: preserve an archive into a redundant
 //! vault, rot one replica on disk, and watch the scrub detect, repair
-//! and revalidate it.
+//! and revalidate it — then repeat the drill in erasure mode, where
+//! two *entire backends* die and the stripe still reconstructs.
 //!
 //! ```text
 //! cargo run --example vault_disaster_recovery
 //! ```
 //!
 //! This is Appendix A's disaster-recovery rubric (Q5F) made executable:
-//! replicas are the written plan (Level 3), the scrub is the
+//! redundancy is the written plan (Level 3), the scrub is the
 //! implementation procedure that makes loss unlikely (Level 4), and
 //! running the drill routinely is the Level 5 habit.
 
@@ -16,6 +17,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use daspos::archive::ContainerVerifier;
 use daspos::prelude::*;
+use daspos::vault::{Redundancy, StorageBackend};
 
 fn main() {
     // 1. Produce something worth preserving: a small CMS Z-boson chain,
@@ -35,11 +37,15 @@ fn main() {
     let root = std::env::temp_dir().join(format!("daspos-vault-drill-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let replicas = 3usize;
-    let mut builder = Vault::builder().verifier(Arc::new(ContainerVerifier));
-    for i in 0..replicas {
-        builder = builder.replica(Arc::new(DirBackend::new(root.join(format!("replica-{i}")))));
-    }
-    let vault = builder.build().expect("vault builds");
+    let backends: Vec<Arc<dyn StorageBackend>> = (0..replicas)
+        .map(|i| Arc::new(DirBackend::new(root.join(format!("replica-{i}")))) as Arc<dyn StorageBackend>)
+        .collect();
+    let vault = Vault::builder()
+        .verifier(Arc::new(ContainerVerifier))
+        .backends(backends)
+        .redundancy(Redundancy::Replicas(replicas))
+        .build()
+        .expect("vault builds");
     vault.put("cms-z-drill.dpar", ObjectKind::Container, &pristine).expect("stored");
     println!("stored on {replicas} replicas under {}", root.display());
 
@@ -72,6 +78,51 @@ fn main() {
     assert!(report.passed(), "{}", report.detail);
     println!("recovered byte-identically; archive revalidates: {}", report.detail);
 
+    // 6. The same drill at multi-site scale: stripe the archive 4+2
+    //    over six backend directories — half the bytes of 3 replicas at
+    //    the same 2-failure tolerance — and kill two whole backends.
+    let shard_backends: Vec<Arc<dyn StorageBackend>> = (0..6)
+        .map(|i| Arc::new(DirBackend::new(root.join(format!("shard-{i}")))) as Arc<dyn StorageBackend>)
+        .collect();
+    let ec_vault = Vault::builder()
+        .verifier(Arc::new(ContainerVerifier))
+        .backends(shard_backends)
+        .redundancy(Redundancy::Erasure { k: 4, m: 2 })
+        .build()
+        .expect("erasure vault builds");
+    ec_vault.put("cms-z-drill.dpar", ObjectKind::Container, &pristine).expect("striped");
+    let replica_bytes: u64 = (0..replicas)
+        .map(|i| dir_bytes(&root.join(format!("replica-{i}"))))
+        .sum();
+    let shard_bytes: u64 = (0..6).map(|i| dir_bytes(&root.join(format!("shard-{i}")))).sum();
+    println!(
+        "striped 4+2 over 6 backends: {shard_bytes} bytes on backends vs {replica_bytes} replicated ({:.2}x)",
+        shard_bytes as f64 / replica_bytes as f64
+    );
+
+    std::fs::remove_dir_all(root.join("shard-1")).expect("backend 1 dies");
+    std::fs::remove_dir_all(root.join("shard-4")).expect("backend 4 dies");
+    println!("killed backends shard-1 and shard-4 outright");
+
+    let (_, restriped) = ec_vault.get("cms-z-drill.dpar").expect("reconstructs from 4 shards");
+    assert_eq!(restriped, pristine, "reconstruction must be byte-identical");
+    let scrub = ec_vault.scrub().expect("erasure scrub runs");
+    println!("scrub: {}", scrub.to_text());
+    assert!(scrub.clean() && scrub.rebuilt == 2, "scrub must rebuild both lost shards");
+
     let _ = std::fs::remove_dir_all(&root);
     println!("\ndrill PASSED — loss was unlikely, and now it is proven");
+}
+
+/// Total bytes of the visible files directly inside `dir`.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
 }

@@ -136,30 +136,40 @@ USAGE:
                   [--trace-out <file.jsonl>]
         run a deterministic fault-injection campaign over every artifact
         class (sealed tiers, columnar tier, archive container, conditions
-        and results text, vault replicas) and assert each mutation is
-        detected or harmless; --classes restricts the campaign to a
-        comma-separated subset (e.g. --classes columnar-tier);
+        and results text, vault replicas, erasure shard stripes) and
+        assert each mutation is detected or harmless; --classes restricts
+        the campaign to a comma-separated subset (e.g. --classes
+        vault-shard);
         --replay re-runs one mutation by its campaign coordinates
   daspos vault    put <file> --store <dir> [--key <name>] [--kind <kind>]
-                  [--replicas N]
-        copy a file into an N-replica preservation vault (default 3
-        replicas under <dir>/replica-K); the kind (opaque, sealed-tier,
-        container, conditions, columnar-aod) is sniffed from the payload
-        unless given
+                  [--replicas N | --erasure k,m]
+        copy a file into a preservation vault: either N full replicas
+        (default 3, under <dir>/replica-K) or k+m erasure-coded shards
+        (--erasure 4,2 stripes each object over 6 <dir>/shard-K backends
+        and survives any 2 of them dying); --replicas and --erasure are
+        mutually exclusive; an existing store keeps its layout; the kind
+        (opaque, sealed-tier, container, conditions, columnar-aod) is
+        sniffed from the payload unless given
   daspos vault    get <key> --store <dir> --out <file>
-        checksum-verified read: returns the first replica copy that
-        passes integrity checks, healing damaged copies in passing
-  daspos vault    scrub --store <dir>
-        walk every replica, verify envelope digests, DPSL seals and
-        container manifests, and repair damaged copies byte-identically
-        from a verified one; exits 1 if damage remains
-  daspos vault    scrub --selftest [--seed N] [--mutations N] [--events N]
-        deterministic disaster drill: inject seeded single-replica
-        corruption into a scratch vault and prove scrub detects and
-        repairs every mutation (exit 1 on any unrepaired corruption)
-  daspos vault    verify --store <dir>
+        checksum-verified read: replicated stores return the first copy
+        that passes integrity checks, erasure stores reconstruct from any
+        k verified shards — healing damaged copies in passing
+  daspos vault    scrub --store <dir> [--threads N]
+        walk every object, verify envelope and shard digests, DPSL seals
+        and container manifests, and repair damaged copies (rebuilding
+        lost shards from the surviving k); --threads fans per-object work
+        across the worker pool; exits 1 if damage remains
+  daspos vault    scrub --selftest [--erasure 4,2] [--seed N]
+                  [--mutations N] [--events N]
+        deterministic disaster drill: inject seeded corruption into a
+        scratch vault and prove scrub detects and repairs every mutation
+        (exit 1 otherwise); --erasure 4,2 drills the sharded vault
+        instead (backend kills, correlated shard corruption, geometry
+        forgeries, scrubs racing writes)
+  daspos vault    verify --store <dir> [--threads N]
         like scrub but read-only: report damage without repairing
-  daspos serve    [--addr <host:port>] [--store <dir>] [--replicas N]
+  daspos serve    [--addr <host:port>] [--store <dir>]
+                  [--replicas N | --erasure k,m]
                   [--max-inflight N] [--scrub-ms N]
         run the multi-tenant preservation service daemon: a framed
         DPRQ/DPRS protocol over one shared vault (a directory store with
@@ -183,11 +193,12 @@ USAGE:
                   [--metrics a,b,…] [--out <file.json>] [--allow-regression]
         time decode / seal-verify / skim (batch, streaming and columnar),
         parallel columnar decode, v1/v2 columnar encode, the full chain,
-        vault put/get/scrub, and the serve protocol's put/get/mixed
+        vault put/get/scrub, erasure put/get/rebuild (4+2 vs 3-replica
+        bytes-on-backend), and the serve protocol's put/get/mixed
         p50+p99 latencies over a fixture workflow; --metrics runs only
         metrics whose names contain one of the given substrings (e.g.
         --metrics columnar skips the vault and serve fixtures); writes a
-        JSON report (default BENCH_8.json) and exits 2 if any metric
+        JSON report (default BENCH_9.json) and exits 2 if any metric
         regressed >25% in time or bytes/event versus the previous
         BENCH_*.json unless --allow-regression is passed (the bench-alloc
         counting allocator is on by default, so peak-allocation figures
@@ -205,6 +216,40 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parse the mutually exclusive redundancy pair `--replicas N` /
+/// `--erasure k,m`. `None` means neither flag was given (the caller
+/// picks its default).
+fn redundancy_flags(args: &[String]) -> Result<Option<Redundancy>, CliError> {
+    let replicas = flag(args, "--replicas");
+    let erasure = flag(args, "--erasure");
+    if replicas.is_some() && erasure.is_some() {
+        return Err(CliError::usage(
+            "--replicas and --erasure are mutually exclusive: a vault is either \
+             fully replicated or striped k+m, not both (try 'daspos help')",
+        ));
+    }
+    if let Some(n) = replicas {
+        let n: usize = n.parse().map_err(|_| "bad --replicas")?;
+        if n == 0 {
+            return Err(CliError::usage("--replicas must be at least 1"));
+        }
+        return Ok(Some(Redundancy::Replicas(n)));
+    }
+    if let Some(spec) = erasure {
+        let bad = || CliError::usage(format!("bad --erasure '{spec}' (want k,m — e.g. 4,2)"));
+        let (k, m) = spec.split_once(',').ok_or_else(bad)?;
+        let k: usize = k.trim().parse().map_err(|_| bad())?;
+        let m: usize = m.trim().parse().map_err(|_| bad())?;
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(CliError::usage(format!(
+                "bad --erasure '{spec}': need k >= 1, m >= 1 and k+m <= 255"
+            )));
+        }
+        return Ok(Some(Redundancy::Erasure { k, m }));
+    }
+    Ok(None)
 }
 
 fn positional(args: &[String]) -> Option<String> {
@@ -594,23 +639,28 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
 
     // The vault behind the service: a directory store when --store is
-    // given (objects survive restarts), else an in-memory replica pair.
+    // given (objects survive restarts), else in-memory backends.
+    // --replicas / --erasure pick the redundancy either way.
+    let requested = redundancy_flags(args)?;
     let vault = match flag(args, "--store") {
         Some(store) => {
-            let replicas: usize = flag(args, "--replicas")
-                .unwrap_or_else(|| "3".to_string())
-                .parse()
-                .map_err(|_| "bad --replicas")?;
-            if replicas == 0 {
-                return Err(CliError::usage("--replicas must be at least 1"));
-            }
-            open_vault(&store, Some(replicas), Obs::disabled())?
+            let create = Some(requested.unwrap_or(Redundancy::Replicas(3)));
+            open_vault(&store, requested, create, Obs::disabled())?
         }
         None => {
             use daspos::vault::{MemoryBackend, Vault};
+            let redundancy = requested.unwrap_or(Redundancy::Replicas(2));
+            let n = match redundancy {
+                Redundancy::Replicas(n) => n,
+                Redundancy::Erasure { k, m } => k + m,
+            };
             Vault::builder()
-                .replica(Arc::new(MemoryBackend::new()))
-                .replica(Arc::new(MemoryBackend::new()))
+                .backends(
+                    (0..n)
+                        .map(|_| Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>)
+                        .collect(),
+                )
+                .redundancy(redundancy)
                 .build()
                 .map_err(|e| e.to_string())?
         }
@@ -741,7 +791,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
             return Err("bad --metrics: expected comma-separated name substrings".into());
         }
     }
-    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_9.json".to_string());
 
     eprintln!(
         "bench: {} events x {} reps (threads {}, seed {})…",
@@ -773,6 +823,12 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if let Some(r) = report.bytes_ratio("columnar_encode_v2", "columnar_encode_v1") {
         println!(
             "  columnar v2 bytes-on-disk vs v1:     {r:.3}x ({:.1}% saved)",
+            (1.0 - r) * 100.0
+        );
+    }
+    if let Some(r) = report.bytes_ratio("vault_ec_put", "vault_put") {
+        println!(
+            "  erasure 4+2 bytes-on-backend vs 3-replica: {r:.3}x ({:.1}% saved)",
             (1.0 - r) * 100.0
         );
     }
@@ -811,46 +867,125 @@ fn cmd_vault(args: &[String]) -> CliResult {
     }
 }
 
-/// Open (or create) the replica set under `store`: one `DirBackend` per
-/// `replica-K` subdirectory. With `create_replicas`, a store with no
-/// replicas yet is initialised with that many.
+/// Parse `vault.meta`: `erasure k=<k> m=<m> backends=<n>`.
+fn parse_vault_meta(text: &str) -> Option<(usize, usize, usize)> {
+    let mut words = text.split_whitespace();
+    if words.next()? != "erasure" {
+        return None;
+    }
+    let (mut k, mut m, mut n) = (None, None, None);
+    for word in words {
+        let (name, value) = word.split_once('=')?;
+        let value: usize = value.parse().ok()?;
+        match name {
+            "k" => k = Some(value),
+            "m" => m = Some(value),
+            "backends" => n = Some(value),
+            _ => return None,
+        }
+    }
+    match (k?, m?, n?) {
+        (k, m, n) if k >= 1 && m >= 1 && n >= k + m => Some((k, m, n)),
+        _ => None,
+    }
+}
+
+/// Open (or create) the vault under `store`.
+///
+/// Two on-disk layouts exist: a replicated store is bare `replica-K`
+/// subdirectories (one full copy each, the original layout); an erasure
+/// store is a `vault.meta` geometry record plus `shard-K` subdirectories
+/// (one `DPVS` shard per stripe each). `requested` is what the user's
+/// flags asked for — opening an existing store with conflicting flags is
+/// a usage error. `create` is the redundancy a fresh store is
+/// initialised with (`None` refuses to create one).
 fn open_vault(
     store: &str,
-    create_replicas: Option<usize>,
+    requested: Option<Redundancy>,
+    create: Option<Redundancy>,
     obs: Obs,
 ) -> Result<daspos::vault::Vault, CliError> {
     use daspos::vault::{DirBackend, Vault};
     use std::sync::Arc;
     let root = std::path::Path::new(store);
-    let mut replicas: Vec<std::path::PathBuf> = Vec::new();
-    if root.is_dir() {
-        let entries =
-            std::fs::read_dir(root).map_err(|e| format!("cannot read store '{store}': {e}"))?;
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let is_replica =
-                path.is_dir() && entry.file_name().to_string_lossy().starts_with("replica-");
-            if is_replica {
-                replicas.push(path);
-            }
-        }
-        replicas.sort();
-    }
-    if replicas.is_empty() {
-        let n = create_replicas.ok_or_else(|| {
+    let meta_path = root.join("vault.meta");
+
+    // What the store already is, if anything.
+    let existing: Option<(Redundancy, Vec<std::path::PathBuf>)> = if meta_path.is_file() {
+        let text = std::fs::read_to_string(&meta_path)
+            .map_err(|e| format!("cannot read '{}': {e}", meta_path.display()))?;
+        let (k, m, n) = parse_vault_meta(&text).ok_or_else(|| {
             CliError::Failure(format!(
-                "'{store}' is not a vault store (no replica-* directories)"
+                "malformed vault.meta in '{store}' (want 'erasure k=K m=M backends=N')"
             ))
         })?;
-        replicas = (0..n).map(|i| root.join(format!("replica-{i}"))).collect();
-    }
-    let mut builder = Vault::builder()
+        let dirs = (0..n).map(|i| root.join(format!("shard-{i}"))).collect();
+        Some((Redundancy::Erasure { k, m }, dirs))
+    } else {
+        let mut replicas: Vec<std::path::PathBuf> = Vec::new();
+        if root.is_dir() {
+            let entries = std::fs::read_dir(root)
+                .map_err(|e| format!("cannot read store '{store}': {e}"))?;
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_replica =
+                    path.is_dir() && entry.file_name().to_string_lossy().starts_with("replica-");
+                if is_replica {
+                    replicas.push(path);
+                }
+            }
+            replicas.sort();
+        }
+        if replicas.is_empty() {
+            None
+        } else {
+            Some((Redundancy::Replicas(replicas.len()), replicas))
+        }
+    };
+
+    let (redundancy, dirs) = match (existing, create) {
+        (Some((layout, dirs)), _) => {
+            if let Some(req) = requested {
+                if req != layout {
+                    return Err(CliError::usage(format!(
+                        "'{store}' is already a {layout} vault — open it with matching \
+                         flags (or none), or pick a fresh --store"
+                    )));
+                }
+            }
+            (layout, dirs)
+        }
+        (None, Some(Redundancy::Replicas(n))) => (
+            Redundancy::Replicas(n),
+            (0..n).map(|i| root.join(format!("replica-{i}"))).collect(),
+        ),
+        (None, Some(Redundancy::Erasure { k, m })) => {
+            let n = k + m;
+            std::fs::create_dir_all(root)
+                .map_err(|e| format!("cannot create store '{store}': {e}"))?;
+            std::fs::write(&meta_path, format!("erasure k={k} m={m} backends={n}\n"))
+                .map_err(|e| format!("cannot write '{}': {e}", meta_path.display()))?;
+            (
+                Redundancy::Erasure { k, m },
+                (0..n).map(|i| root.join(format!("shard-{i}"))).collect(),
+            )
+        }
+        (None, None) => {
+            return Err(CliError::Failure(format!(
+                "'{store}' is not a vault store (no replica-* directories or vault.meta)"
+            )))
+        }
+    };
+
+    Vault::builder()
         .verifier(Arc::new(daspos::archive::ContainerVerifier))
-        .with_obs(obs);
-    for path in &replicas {
-        builder = builder.replica(Arc::new(DirBackend::new(path)));
-    }
-    builder
+        .with_obs(obs)
+        .backends(
+            dirs.iter()
+                .map(|path| Arc::new(DirBackend::new(path)) as Arc<dyn StorageBackend>)
+                .collect(),
+        )
+        .redundancy(redundancy)
         .build()
         .map_err(|e| CliError::Failure(e.to_string()))
 }
@@ -859,13 +994,7 @@ fn vault_put(args: &[String]) -> CliResult {
     use daspos::vault::ObjectKind;
     let file = positional(args).ok_or("vault put needs a file")?;
     let store = flag(args, "--store").ok_or("vault put needs --store <dir>")?;
-    let replicas: usize = flag(args, "--replicas")
-        .unwrap_or_else(|| "3".to_string())
-        .parse()
-        .map_err(|_| "bad --replicas")?;
-    if replicas == 0 {
-        return Err(CliError::usage("--replicas must be at least 1"));
-    }
+    let requested = redundancy_flags(args)?;
     let key = match flag(args, "--key") {
         Some(k) => k,
         None => std::path::Path::new(&file)
@@ -884,13 +1013,21 @@ fn vault_put(args: &[String]) -> CliResult {
         })?,
         None => ObjectKind::sniff(&payload),
     };
-    let vault = open_vault(&store, Some(replicas), Obs::disabled())?;
+    let create = Some(requested.unwrap_or(Redundancy::Replicas(3)));
+    let vault = open_vault(&store, requested, create, Obs::disabled())?;
     vault.put(&key, kind, &payload).map_err(|e| e.to_string())?;
-    println!(
-        "stored '{key}' ({kind}, {} bytes) on {} replicas under {store}",
-        payload.len(),
-        vault.replica_count()
-    );
+    match vault.redundancy() {
+        Redundancy::Replicas(_) => println!(
+            "stored '{key}' ({kind}, {} bytes) on {} replicas under {store}",
+            payload.len(),
+            vault.replica_count()
+        ),
+        Redundancy::Erasure { k, m } => println!(
+            "striped '{key}' ({kind}, {} bytes) as {k}+{m} shards over {} backends under {store}",
+            payload.len(),
+            vault.replica_count()
+        ),
+    }
     Ok(())
 }
 
@@ -898,7 +1035,7 @@ fn vault_get(args: &[String]) -> CliResult {
     let key = positional(args).ok_or("vault get needs a key")?;
     let store = flag(args, "--store").ok_or("vault get needs --store <dir>")?;
     let out = flag(args, "--out").ok_or("vault get needs --out <file>")?;
-    let vault = open_vault(&store, None, Obs::disabled())?;
+    let vault = open_vault(&store, None, None, Obs::disabled())?;
     let (kind, payload) = vault.get(&key).map_err(|e| e.to_string())?;
     std::fs::write(&out, &payload).map_err(|e| format!("cannot write '{out}': {e}"))?;
     println!(
@@ -914,6 +1051,24 @@ fn vault_scan(args: &[String], repair: bool) -> CliResult {
         if !repair {
             return Err(CliError::usage("--selftest only applies to 'vault scrub'"));
         }
+        // --erasure k,m drills the sharded vault (the vault-shard fault
+        // class); with no redundancy flag the drill is the original
+        // single-replica-corruption campaign.
+        let class = match redundancy_flags(args)? {
+            None => ArtifactClass::VaultReplica,
+            Some(Redundancy::Erasure {
+                k: faultlab::SHARD_K,
+                m: faultlab::SHARD_M,
+            }) => ArtifactClass::VaultShard,
+            Some(other) => {
+                return Err(CliError::usage(format!(
+                    "the scrub drill supports --erasure {},{} (the fixture geometry) \
+                     or no redundancy flag, not '{other}'",
+                    faultlab::SHARD_K,
+                    faultlab::SHARD_M
+                )))
+            }
+        };
         let mut cfg = CampaignConfig::default();
         if let Some(seed) = flag(args, "--seed") {
             cfg.master_seed = seed.parse().map_err(|_| "bad --seed")?;
@@ -924,13 +1079,22 @@ fn vault_scan(args: &[String], repair: bool) -> CliResult {
         if let Some(e) = flag(args, "--events") {
             cfg.events = e.parse().map_err(|_| "bad --events")?;
         }
-        eprintln!(
-            "vault scrub drill: {} seeded single-replica mutations (seed {})…",
-            cfg.mutations_per_class, cfg.master_seed
-        );
-        let report =
-            faultlab::run_campaign_for(&cfg, &[ArtifactClass::VaultReplica], &Obs::disabled())
-                .map_err(|e| e.to_string())?;
+        match class {
+            ArtifactClass::VaultShard => eprintln!(
+                "vault scrub drill: {} seeded shard-stripe mutations over a {}+{} \
+                 erasure vault (seed {})…",
+                cfg.mutations_per_class,
+                faultlab::SHARD_K,
+                faultlab::SHARD_M,
+                cfg.master_seed
+            ),
+            _ => eprintln!(
+                "vault scrub drill: {} seeded single-replica mutations (seed {})…",
+                cfg.mutations_per_class, cfg.master_seed
+            ),
+        }
+        let report = faultlab::run_campaign_for(&cfg, &[class], &Obs::disabled())
+            .map_err(|e| e.to_string())?;
         print!("{}", report.to_text());
         return if report.passed() {
             println!("vault scrub drill PASSED — every mutation detected and repaired");
@@ -944,9 +1108,24 @@ fn vault_scan(args: &[String], repair: bool) -> CliResult {
     }
 
     let store = flag(args, "--store").ok_or("vault scrub/verify needs --store <dir>")?;
+    let threads: usize = flag(args, "--threads")
+        .unwrap_or_else(|| "1".to_string())
+        .parse()
+        .map_err(|_| "bad --threads")?;
+    if threads == 0 {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
     let registry = std::sync::Arc::new(MetricsRegistry::new());
-    let vault = open_vault(&store, None, Obs::metrics_only(registry.clone()))?;
-    let report = if repair {
+    let obs = Obs::metrics_only(registry.clone());
+    let vault = open_vault(&store, None, None, obs.clone())?;
+    let report = if threads > 1 {
+        let opts = ExecOptions::new().threads(threads).with_obs(obs);
+        if repair {
+            daspos::vaultops::scrub_parallel(&vault, &opts)
+        } else {
+            daspos::vaultops::verify_parallel(&vault, &opts)
+        }
+    } else if repair {
         vault.scrub()
     } else {
         vault.verify()
@@ -955,10 +1134,13 @@ fn vault_scan(args: &[String], repair: bool) -> CliResult {
     println!("{}", report.to_text());
     let snapshot = registry.snapshot();
     println!(
-        "counters: checked {} corrupt {} repaired {} backend-retries {}",
+        "counters: checked {} corrupt {} repaired {} rebuilt {} unrecoverable {} \
+         backend-retries {}",
         snapshot.counter("vault.scrub.checked"),
         snapshot.counter("vault.scrub.corrupt"),
         snapshot.counter("vault.scrub.repaired"),
+        snapshot.counter("vault.scrub.rebuilt"),
+        snapshot.counter("vault.scrub.unrecoverable"),
         snapshot.counter("vault.backend.retries"),
     );
     if report.clean() {

@@ -74,6 +74,9 @@ fn bench_subcommand_writes_positive_metrics() {
         "vault_put",
         "vault_get",
         "vault_scrub",
+        "vault_ec_put",
+        "vault_ec_get",
+        "vault_ec_rebuild",
         "serve_put",
         "serve_get",
         "serve_mixed",
@@ -106,6 +109,9 @@ fn bench_subcommand_writes_positive_metrics() {
         "vault_put",
         "vault_get",
         "vault_scrub",
+        "vault_ec_put",
+        "vault_ec_get",
+        "vault_ec_rebuild",
         "serve_put",
         "serve_get",
         "serve_mixed",
@@ -127,6 +133,24 @@ fn bench_subcommand_writes_positive_metrics() {
     assert!(
         v2_bytes < v1_bytes,
         "v2 frames ({v2_bytes} B/event) must be smaller than v1 ({v1_bytes} B/event)"
+    );
+
+    // Erasure coding is the capacity story: a 4+2 stripe tolerates two
+    // backend losses, same as 3 full replicas, but stores each object
+    // once striped plus parity instead of three times over. At equal
+    // fault tolerance the erasure vault must land fewer bytes on the
+    // backends than the replicated one — that ratio (~1.5/3 = 0.5 plus
+    // shard-envelope overhead) is the derived `vault_ec_bytes_ratio`.
+    let replica_bytes = metric_field(&json, "vault_put", "bytes_per_event");
+    let erasure_bytes = metric_field(&json, "vault_ec_put", "bytes_per_event");
+    assert!(
+        erasure_bytes < replica_bytes,
+        "4+2 erasure ({erasure_bytes} B/event on backends) must beat 3 replicas \
+         ({replica_bytes} B/event) at equal fault tolerance"
+    );
+    assert!(
+        json.contains("\"vault_ec_bytes_ratio\""),
+        "derived vault_ec_bytes_ratio missing from report"
     );
 
     // The columnar skim decodes through one reused scratch buffer per

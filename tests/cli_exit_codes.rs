@@ -88,6 +88,101 @@ fn integrity_failures_exit_one() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn erasure_store_survives_two_whole_backend_losses() {
+    let dir = scratch("erasure");
+    let payload = dir.join("tier.bin");
+    let bytes: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+    std::fs::write(&payload, &bytes).unwrap();
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+
+    let put = run(&[
+        "vault",
+        "put",
+        payload.to_str().unwrap(),
+        "--store",
+        store_s,
+        "--erasure",
+        "4,2",
+    ]);
+    assert_eq!(code(&put), 0, "{}", String::from_utf8_lossy(&put.stderr));
+    assert!(
+        String::from_utf8_lossy(&put.stdout).contains("4+2 shards over 6 backends"),
+        "put must report the stripe geometry"
+    );
+    assert!(store.join("vault.meta").is_file(), "geometry is persisted");
+
+    // Kill two entire backends — the worst loss a 4+2 stripe tolerates.
+    std::fs::remove_dir_all(store.join("shard-1")).unwrap();
+    std::fs::remove_dir_all(store.join("shard-4")).unwrap();
+
+    // verify reports the damage read-only (exit 1), get still
+    // reconstructs byte-identically, scrub rebuilds the lost shards.
+    assert_eq!(code(&run(&["vault", "verify", "--store", store_s])), 1);
+    let out = dir.join("restored.bin");
+    let get = run(&["vault", "get", "tier.bin", "--store", store_s, "--out", out.to_str().unwrap()]);
+    assert_eq!(code(&get), 0, "{}", String::from_utf8_lossy(&get.stderr));
+    assert_eq!(std::fs::read(&out).unwrap(), bytes, "reconstruction must be byte-identical");
+
+    let scrub = run(&["vault", "scrub", "--store", store_s]);
+    assert_eq!(code(&scrub), 0, "{}", String::from_utf8_lossy(&scrub.stderr));
+    let text = String::from_utf8_lossy(&scrub.stdout);
+    assert!(text.contains("rebuilt"), "scrub reports rebuilt shards: {text}");
+    assert_eq!(code(&run(&["vault", "verify", "--store", store_s])), 0);
+    assert!(store.join("shard-1").is_dir(), "scrub re-materialized the backend");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn redundancy_flag_conflicts_exit_two() {
+    let dir = scratch("conflict");
+    let payload = dir.join("note.txt");
+    std::fs::write(&payload, b"conflicted\n").unwrap();
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    let payload_s = payload.to_str().unwrap();
+
+    // --replicas and --erasure are mutually exclusive, everywhere they
+    // are accepted, and the refusal must name both flags.
+    let out = run(&[
+        "vault", "put", payload_s, "--store", store_s, "--replicas", "3", "--erasure", "4,2",
+    ]);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--replicas") && err.contains("--erasure") && err.contains("mutually exclusive"),
+        "unhelpful stderr: {err}"
+    );
+    assert_eq!(code(&run(&["serve", "--replicas", "2", "--erasure", "2,1"])), 2);
+    assert_eq!(
+        code(&run(&["vault", "scrub", "--selftest", "--replicas", "1", "--erasure", "4,2"])),
+        2
+    );
+
+    // Malformed geometry never touches the store.
+    assert_eq!(
+        code(&run(&["vault", "put", payload_s, "--store", store_s, "--erasure", "nonsense"])),
+        2
+    );
+    assert_eq!(
+        code(&run(&["vault", "put", payload_s, "--store", store_s, "--erasure", "0,2"])),
+        2
+    );
+    assert!(!store.exists(), "a rejected invocation must not create the store");
+
+    // Opening an existing store with the other layout's flags is a
+    // usage error, not silent conversion.
+    assert_eq!(code(&run(&["vault", "put", payload_s, "--store", store_s, "--erasure", "2,1"])), 0);
+    let out = run(&["vault", "put", payload_s, "--store", store_s, "--replicas", "3"]);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("already"), "mismatch must name the existing layout: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Spawn `daspos-cli serve` and wait for its "serving on <addr>" line.
 /// The returned reader must stay alive until the child exits — dropping
 /// it closes the pipe and turns the server's drain summary into a

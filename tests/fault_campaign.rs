@@ -1,5 +1,5 @@
-//! Acceptance test for the faultlab tentpole: a seeded campaign of 800
-//! mutations (100 per artifact class, 8 classes) completes with zero
+//! Acceptance test for the faultlab tentpole: a seeded campaign of 900
+//! mutations (100 per artifact class, 9 classes) completes with zero
 //! panics and zero silent corruption, and the same master seed yields a
 //! bit-identical `CampaignReport`.
 
@@ -14,11 +14,11 @@ fn acceptance_config() -> CampaignConfig {
 }
 
 #[test]
-fn six_hundred_mutations_all_detected_or_harmless() {
+fn nine_hundred_mutations_all_detected_or_harmless() {
     let report = faultlab::run_campaign(&acceptance_config()).expect("campaign runs");
     assert!(report.passed(), "invariant violated:\n{}", report.to_text());
-    assert_eq!(report.classes.len(), 8, "eight artifact classes attacked");
-    assert_eq!(report.total_mutations(), 800);
+    assert_eq!(report.classes.len(), 9, "nine artifact classes attacked");
+    assert_eq!(report.total_mutations(), 900);
     assert_eq!(report.total_violations(), 0);
     assert_eq!(
         report.total_detected() + report.total_harmless(),

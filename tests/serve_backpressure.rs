@@ -84,7 +84,9 @@ fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
 fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
     let latch = Arc::new((Mutex::new(true), Condvar::new()));
     let vault = Vault::builder()
-        .replica(Arc::new(LatchedBackend::new(latch.clone())))
+        .backends(vec![
+            Arc::new(LatchedBackend::new(latch.clone())) as Arc<dyn StorageBackend>,
+        ])
         .build()
         .expect("vault builds");
     let cfg = ServeConfig {
@@ -152,8 +154,7 @@ fn flaky_storage_under_load_loses_nothing() {
         )) as Arc<dyn StorageBackend>
     };
     let vault = Vault::builder()
-        .replica(flaky(11))
-        .replica(flaky(12))
+        .backends(vec![flaky(11), flaky(12)])
         .policy(RetryPolicy::immediate(16))
         .build()
         .expect("vault builds");
@@ -190,7 +191,9 @@ fn flaky_storage_under_load_loses_nothing() {
 fn shutdown_drains_in_flight_work_before_the_listener_exits() {
     let latch = Arc::new((Mutex::new(true), Condvar::new()));
     let vault = Vault::builder()
-        .replica(Arc::new(LatchedBackend::new(latch.clone())))
+        .backends(vec![
+            Arc::new(LatchedBackend::new(latch.clone())) as Arc<dyn StorageBackend>,
+        ])
         .build()
         .expect("vault builds");
     let cfg = ServeConfig {

@@ -58,11 +58,15 @@ fn workload() -> Vec<WorkItem> {
 fn start_server(replicas: usize, scrub: Duration) -> (Server, Arc<Service>, Vec<Arc<MemoryBackend>>) {
     let backends: Vec<Arc<MemoryBackend>> =
         (0..replicas).map(|_| Arc::new(MemoryBackend::new())).collect();
-    let mut builder = Vault::builder();
-    for b in &backends {
-        builder = builder.replica(b.clone() as Arc<dyn StorageBackend>);
-    }
-    let vault = builder.build().expect("vault builds");
+    let vault = Vault::builder()
+        .backends(
+            backends
+                .iter()
+                .map(|b| b.clone() as Arc<dyn StorageBackend>)
+                .collect(),
+        )
+        .build()
+        .expect("vault builds");
     let service = Arc::new(Service::new(vault, &ServeConfig::default(), Obs::disabled()));
     let server = Server::start(service.clone(), "127.0.0.1:0", scrub).expect("server starts");
     (server, service, backends)

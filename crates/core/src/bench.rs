@@ -433,9 +433,15 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
     // loopback port, driven through the framed protocol client. These
     // are per-op latencies (p50 as the gated median, p99 as the tail),
     // not per-event throughput like the metrics above.
-    if ["serve_put", "serve_get", "serve_mixed"]
-        .iter()
-        .any(|m| cfg.wants(m))
+    if [
+        "serve_put",
+        "serve_get",
+        "serve_mixed",
+        "serve_stream_put",
+        "serve_stream_get",
+    ]
+    .iter()
+    .any(|m| cfg.wants(m))
     {
         use daspos_obs::Obs;
         use daspos_serve::{expect_ok, loadgen, LoadgenConfig, OpStats};
@@ -460,7 +466,9 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         // The put pass always runs (it seeds the namespace the get pass
         // reads); its metric is recorded only when selected.
         let put = measure_percentiles("serve_put", cfg.reps, || {
-            let mut client = ServeClient::connect(&addr, "bench").expect("bench client connects");
+            let mut client = ServeClient::builder("bench")
+                .connect(&addr)
+                .expect("bench client connects");
             let lat: Vec<u64> = (0..SERVE_OPS)
                 .map(|i| {
                     let key = format!("bench-{i:03}.bin");
@@ -482,8 +490,9 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
         }
         if cfg.wants("serve_get") {
             metrics.push(measure_percentiles("serve_get", cfg.reps, || {
-                let mut client =
-                    ServeClient::connect(&addr, "bench").expect("bench client connects");
+                let mut client = ServeClient::builder("bench")
+                    .connect(&addr)
+                    .expect("bench client connects");
                 let lat: Vec<u64> = (0..SERVE_OPS)
                     .map(|i| {
                         let key = format!("bench-{i:03}.bin");
@@ -497,6 +506,63 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, Error> {
                 let st = OpStats::from_latencies(lat);
                 (st.p50_ns, st.p99_ns)
             }));
+        }
+        // Streamed multi-frame transfers: a 4 MiB object moved in
+        // 256 KiB chunks (begin → chunks → commit, then begin → chunks
+        // with deep digest verification). Per-stream latency, so the
+        // regression gate guards the whole chunk pipeline.
+        if cfg.wants("serve_stream_put") || cfg.wants("serve_stream_get") {
+            const STREAM_BYTES: usize = 4 * 1024 * 1024;
+            const STREAM_CHUNK: usize = 256 * 1024;
+            const STREAMS: usize = 8;
+            let stream_payload = Bytes::from(vec![0x5Au8; STREAM_BYTES]);
+            let stream_put = measure_percentiles("serve_stream_put", cfg.reps, || {
+                let mut client = ServeClient::builder("bench")
+                    .chunk_bytes(STREAM_CHUNK)
+                    .connect(&addr)
+                    .expect("bench client connects");
+                let lat: Vec<u64> = (0..STREAMS)
+                    .map(|i| {
+                        let key = format!("bench-stream-{i}.bin");
+                        let t = Instant::now();
+                        expect_ok(
+                            client
+                                .put_chunked(&key, ObjectKind::Opaque, &stream_payload)
+                                .expect("stream put sends"),
+                        )
+                        .expect("stream put commits");
+                        t.elapsed().as_nanos() as u64
+                    })
+                    .collect();
+                let st = OpStats::from_latencies(lat);
+                (st.p50_ns, st.p99_ns)
+            });
+            if cfg.wants("serve_stream_put") {
+                metrics.push(stream_put);
+            }
+            if cfg.wants("serve_stream_get") {
+                metrics.push(measure_percentiles("serve_stream_get", cfg.reps, || {
+                    let mut client = ServeClient::builder("bench")
+                        .chunk_bytes(STREAM_CHUNK)
+                        .connect(&addr)
+                        .expect("bench client connects");
+                    let lat: Vec<u64> = (0..STREAMS)
+                        .map(|i| {
+                            let key = format!("bench-stream-{i}.bin");
+                            let t = Instant::now();
+                            let resp = expect_ok(
+                                client.get_streamed_bytes(&key).expect("stream get sends"),
+                            )
+                            .expect("stream get verifies");
+                            assert_eq!(resp.payload.len(), STREAM_BYTES);
+                            black_box(resp.payload.len());
+                            t.elapsed().as_nanos() as u64
+                        })
+                        .collect();
+                    let st = OpStats::from_latencies(lat);
+                    (st.p50_ns, st.p99_ns)
+                }));
+            }
         }
         if cfg.wants("serve_mixed") {
             metrics.push(measure_percentiles("serve_mixed", cfg.reps, || {
@@ -805,7 +871,7 @@ mod tests {
             metrics: Vec::new(),
         };
         let report = run(&cfg).expect("bench runs");
-        assert_eq!(report.metrics.len(), 20);
+        assert_eq!(report.metrics.len(), 22);
         for m in &report.metrics {
             assert_eq!(m.reps_ns.len(), 2, "{}", m.name);
             assert!(m.reps_ns.iter().all(|&n| n > 0), "{}", m.name);
@@ -839,6 +905,8 @@ mod tests {
             "vault_ec_rebuild",
             "serve_put",
             "serve_get",
+            "serve_stream_put",
+            "serve_stream_get",
             "serve_mixed",
             "decode_streaming_speedup",
             "columnar_skim_speedup",

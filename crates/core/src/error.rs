@@ -151,7 +151,10 @@ impl From<VaultError> for Error {
 impl From<daspos_serve::ServeError> for Error {
     fn from(e: daspos_serve::ServeError) -> Error {
         let kind = match &e {
-            daspos_serve::ServeError::Overloaded { .. } => ErrorKind::Overloaded(e.to_string()),
+            daspos_serve::ServeError::Overloaded { .. }
+            | daspos_serve::ServeError::QuotaExceeded { .. } => {
+                ErrorKind::Overloaded(e.to_string())
+            }
             _ => ErrorKind::Msg(e.to_string()),
         };
         Error::new(kind).at(Stage::Serve)

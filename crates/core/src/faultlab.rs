@@ -39,6 +39,7 @@ use rand::{Rng, SeedableRng};
 
 use daspos_obs::Obs;
 use daspos_serve::proto as serve_proto;
+use daspos_serve::stream as serve_stream;
 use daspos_serve::{
     Op as ServeOp, Request as ServeRequest, Response as ServeResponse, ServeConfig, Service,
     Status as ServeStatus,
@@ -229,6 +230,15 @@ pub enum MutationKind {
         /// The byte-level mutation applied to the wire frame.
         sub: Box<MutationKind>,
     },
+    /// Run one streaming-state drill against the live service: a
+    /// protocol-level misuse sequence (chunked PUT left orphaned,
+    /// committed out of order, truncated mid-stream, or spliced across
+    /// tenants) rather than byte noise. ServeFrame class only — applied
+    /// through the service dispatch, not to artifact bytes.
+    ServeStream {
+        /// Which misuse sequence runs.
+        scenario: StreamScenario,
+    },
     /// Run one failure drill against the sharded erasure vault.
     /// VaultShard class only — applied through the vault and backend
     /// APIs, not to artifact bytes.
@@ -238,6 +248,45 @@ pub enum MutationKind {
         /// Which drill runs.
         scenario: ShardScenario,
     },
+}
+
+/// One streaming-state misuse sequence against the chunked PUT/GET
+/// protocol. Every arm must land detected-or-harmless: the service
+/// answers with a typed refusal (or tolerates the abandonment), never
+/// panics, and the tenant's preserved objects stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamScenario {
+    /// A client opens a stream, stages chunks and vanishes without
+    /// commit or abort — staged chunks must stay invisible to reads.
+    OrphanedChunks {
+        /// How many chunks are staged before the client dies.
+        chunks: u32,
+    },
+    /// Commit arrives before the declared chunks were staged.
+    OutOfOrderCommit,
+    /// The stream dies mid-object and the commit declares the full
+    /// (never fully staged) length.
+    MidStreamTruncation,
+    /// Another tenant quotes the victim's stream id and tries to inject
+    /// a chunk into it.
+    CrossTenantSplice,
+}
+
+impl fmt::Display for StreamScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamScenario::OrphanedChunks { chunks } => {
+                write!(f, "orphan a stream after {chunks} staged chunk(s)")
+            }
+            StreamScenario::OutOfOrderCommit => write!(f, "commit before the chunks arrive"),
+            StreamScenario::MidStreamTruncation => {
+                write!(f, "commit a mid-stream-truncated upload at full length")
+            }
+            StreamScenario::CrossTenantSplice => {
+                write!(f, "splice a chunk into another tenant's stream")
+            }
+        }
+    }
 }
 
 /// One failure drill against the sharded erasure vault — the shapes of
@@ -334,6 +383,9 @@ impl fmt::Display for MutationKind {
                 let side = if *response { "response" } else { "request" };
                 write!(f, "serve {side} frame [{sub}]")
             }
+            MutationKind::ServeStream { scenario } => {
+                write!(f, "serve stream: {scenario}")
+            }
             MutationKind::VaultShard { key, scenario } => {
                 write!(f, "vault-shard {key}: {scenario}")
             }
@@ -376,6 +428,9 @@ impl MutationKind {
             }
             MutationKind::ServeFrame { .. } => {
                 unreachable!("ServeFrame is applied to the fixture's frame bytes")
+            }
+            MutationKind::ServeStream { .. } => {
+                unreachable!("ServeStream drills run through the live service dispatch")
             }
             MutationKind::VaultShard { .. } => {
                 unreachable!("VaultShard drills run through the vault and backend APIs")
@@ -1061,17 +1116,30 @@ pub fn derive_mutation(
         };
         MutationKind::VaultShard { key, scenario }
     } else if class == ArtifactClass::ServeFrame {
-        // Pick a side of the exchange, then sample a byte-level attack
-        // over that frame's wire bytes.
-        let response = rng.gen_range(0..2u32) == 1;
-        let shape = if response {
-            &fixture.serve_response_shape
+        // A quarter of the serve budget drills the chunked-streaming
+        // state machine with protocol-level misuse; the rest samples a
+        // byte-level attack over one side of the wire exchange.
+        if rng.gen_range(0..4u32) == 0 {
+            let scenario = match rng.gen_range(0..4u32) {
+                0 => StreamScenario::OrphanedChunks {
+                    chunks: 1 + rng.gen_range(0..3u32),
+                },
+                1 => StreamScenario::OutOfOrderCommit,
+                2 => StreamScenario::MidStreamTruncation,
+                _ => StreamScenario::CrossTenantSplice,
+            };
+            MutationKind::ServeStream { scenario }
         } else {
-            fixture.shape(ArtifactClass::ServeFrame)
-        };
-        MutationKind::ServeFrame {
-            response,
-            sub: Box::new(sample_kind(&mut rng, shape, None)),
+            let response = rng.gen_range(0..2u32) == 1;
+            let shape = if response {
+                &fixture.serve_response_shape
+            } else {
+                fixture.shape(ArtifactClass::ServeFrame)
+            };
+            MutationKind::ServeFrame {
+                response,
+                sub: Box::new(sample_kind(&mut rng, shape, None)),
+            }
         }
     } else if class == ArtifactClass::ColumnarTier && rng.gen_range(0..2u32) == 1 {
         // Half the columnar budget goes to attacks aimed at the v2
@@ -1167,9 +1235,9 @@ pub fn mutate_artifact(
             };
             sub.apply(frame)
         }
-        // Shard drills damage live backend state, not artifact bytes —
-        // the checker stages the damage itself.
-        MutationKind::VaultShard { .. } => Vec::new(),
+        // Shard and stream drills damage live service state, not
+        // artifact bytes — the checker stages the damage itself.
+        MutationKind::VaultShard { .. } | MutationKind::ServeStream { .. } => Vec::new(),
         kind => kind.apply(fixture.artifact(class)),
     }
 }
@@ -1204,6 +1272,7 @@ pub fn check_mutant(
             MutationKind::ServeFrame { response, .. } => {
                 check_serve_frame(fixture, *response, mutated)
             }
+            MutationKind::ServeStream { scenario } => check_serve_stream(fixture, scenario),
             other => Outcome::Violation(format!(
                 "serve-frame class planned a non-frame mutation: {other}"
             )),
@@ -1299,6 +1368,213 @@ fn check_serve_frame(fixture: &CampaignFixture, response: bool, mutated: &Bytes)
         Ok(_) => Outcome::Violation(
             "frame seal accepted a modified request (digest collision)".to_string(),
         ),
+    }
+}
+
+/// Judge one streaming-state misuse drill against a live service. The
+/// contract for every scenario: the service answers with a typed
+/// refusal (or tolerates an abandonment), never panics (the campaign's
+/// catch_unwind turns one into a violation), and the tenant's pristine
+/// object — deposited before the attack, under the attacked key — reads
+/// back byte-identical afterwards.
+fn check_serve_stream(fixture: &CampaignFixture, scenario: &StreamScenario) -> Outcome {
+    const CHUNK: u32 = 1024;
+    let service = match serve_scratch_service() {
+        Ok(s) => s,
+        Err(e) => return Outcome::Violation(format!("scratch service failed to build: {e}")),
+    };
+    let pristine = &fixture.serve_request_obj;
+    if service.handle(pristine).status != ServeStatus::Ok {
+        return Outcome::Violation("pristine deposit failed".to_string());
+    }
+    let tenant = pristine.tenant.as_str();
+    let key = pristine.key.as_str();
+
+    // Open a stream over the attacked key and return its id.
+    let begin = |svc: &Service| -> Result<String, Outcome> {
+        let resp = svc.handle(&ServeRequest {
+            op: ServeOp::PutBegin,
+            kind: pristine.kind,
+            tenant: tenant.to_string(),
+            key: key.to_string(),
+            payload: serve_stream::encode_begin(CHUNK),
+        });
+        if resp.status != ServeStatus::Ok {
+            return Err(Outcome::Violation(format!(
+                "stream open refused on a healthy service: {}",
+                resp.detail
+            )));
+        }
+        Ok(resp.detail)
+    };
+    let chunk = |svc: &Service, who: &str, id: &str, seq: u32, data: &[u8]| -> ServeResponse {
+        svc.handle(&ServeRequest {
+            op: ServeOp::PutChunk,
+            kind: pristine.kind,
+            tenant: who.to_string(),
+            key: id.to_string(),
+            payload: serve_stream::encode_chunk(seq, data),
+        })
+    };
+    let commit = |svc: &Service, id: &str, info: &serve_stream::StreamInfo| -> ServeResponse {
+        svc.handle(&ServeRequest {
+            op: ServeOp::PutCommit,
+            kind: pristine.kind,
+            tenant: tenant.to_string(),
+            key: id.to_string(),
+            payload: serve_stream::encode_commit(info),
+        })
+    };
+    // The pristine object must survive whatever the drill did.
+    let pristine_intact = |svc: &Service| -> Result<(), Outcome> {
+        let stored = svc.handle(&ServeRequest::control(ServeOp::Get, tenant, key));
+        if stored.status != ServeStatus::Ok || stored.payload != pristine.payload {
+            return Err(Outcome::Violation(format!(
+                "tenant state corrupted by a stream drill (get came back {})",
+                stored.status
+            )));
+        }
+        Ok(())
+    };
+
+    let filler = vec![0xA5u8; CHUNK as usize];
+    match scenario {
+        StreamScenario::OrphanedChunks { chunks } => {
+            let id = match begin(&service) {
+                Ok(id) => id,
+                Err(v) => return v,
+            };
+            for seq in 0..*chunks {
+                let resp = chunk(&service, tenant, &id, seq, &filler);
+                if resp.status != ServeStatus::Ok {
+                    return Outcome::Violation(format!(
+                        "staging chunk {seq} refused on a healthy service: {}",
+                        resp.detail
+                    ));
+                }
+            }
+            // The client vanishes. The staged chunks must never become
+            // visible: the committed object is still the pristine one.
+            if let Err(v) = pristine_intact(&service) {
+                return v;
+            }
+            Outcome::Harmless
+        }
+        StreamScenario::OutOfOrderCommit => {
+            let id = match begin(&service) {
+                Ok(id) => id,
+                Err(v) => return v,
+            };
+            let resp = chunk(&service, tenant, &id, 0, &filler);
+            if resp.status != ServeStatus::Ok {
+                return Outcome::Violation(format!("chunk 0 refused: {}", resp.detail));
+            }
+            // Commit declares three chunks while only one was staged.
+            let resp = commit(
+                &service,
+                &id,
+                &serve_stream::StreamInfo {
+                    total_len: u64::from(CHUNK) * 3,
+                    chunk_size: CHUNK,
+                    chunks: 3,
+                    digest: 0,
+                },
+            );
+            if let Err(v) = pristine_intact(&service) {
+                return v;
+            }
+            match resp.status {
+                ServeStatus::BadRequest => Outcome::Detected("stream:commit-order".to_string()),
+                other => Outcome::Violation(format!(
+                    "premature commit answered {other} instead of bad-request"
+                )),
+            }
+        }
+        StreamScenario::MidStreamTruncation => {
+            let id = match begin(&service) {
+                Ok(id) => id,
+                Err(v) => return v,
+            };
+            let resp = chunk(&service, tenant, &id, 0, &filler);
+            if resp.status != ServeStatus::Ok {
+                return Outcome::Violation(format!("chunk 0 refused: {}", resp.detail));
+            }
+            // The upload died after one chunk; the commit still declares
+            // the full, never-staged object length.
+            let resp = commit(
+                &service,
+                &id,
+                &serve_stream::StreamInfo {
+                    total_len: u64::from(CHUNK) * 4,
+                    chunk_size: CHUNK,
+                    chunks: 1,
+                    digest: serve_stream::fnv64_fold(serve_stream::FNV_BASIS, &filler),
+                },
+            );
+            if let Err(v) = pristine_intact(&service) {
+                return v;
+            }
+            match resp.status {
+                ServeStatus::BadRequest => Outcome::Detected("stream:truncation".to_string()),
+                other => Outcome::Violation(format!(
+                    "truncated commit answered {other} instead of bad-request"
+                )),
+            }
+        }
+        StreamScenario::CrossTenantSplice => {
+            let id = match begin(&service) {
+                Ok(id) => id,
+                Err(v) => return v,
+            };
+            let resp = chunk(&service, tenant, &id, 0, &filler);
+            if resp.status != ServeStatus::Ok {
+                return Outcome::Violation(format!("chunk 0 refused: {}", resp.detail));
+            }
+            // Another tenant quotes the victim's stream id.
+            let evil = vec![0x5Cu8; CHUNK as usize];
+            let splice = chunk(&service, "intruder", &id, 1, &evil);
+            if splice.status != ServeStatus::BadRequest {
+                return Outcome::Violation(format!(
+                    "cross-tenant chunk answered {} instead of bad-request",
+                    splice.status
+                ));
+            }
+            // The victim finishes the stream; the committed bytes must
+            // be exactly the victim's, with no spliced-in chunk.
+            let resp = chunk(&service, tenant, &id, 1, &filler);
+            if resp.status != ServeStatus::Ok {
+                return Outcome::Violation(format!(
+                    "owner's stream broken by a refused splice: {}",
+                    resp.detail
+                ));
+            }
+            let mut whole = filler.clone();
+            whole.extend_from_slice(&filler);
+            let resp = commit(
+                &service,
+                &id,
+                &serve_stream::StreamInfo {
+                    total_len: u64::from(CHUNK) * 2,
+                    chunk_size: CHUNK,
+                    chunks: 2,
+                    digest: serve_stream::fnv64_fold(serve_stream::FNV_BASIS, &whole),
+                },
+            );
+            if resp.status != ServeStatus::Ok {
+                return Outcome::Violation(format!(
+                    "owner's commit failed after a refused splice: {}",
+                    resp.detail
+                ));
+            }
+            let stored = service.handle(&ServeRequest::control(ServeOp::Get, tenant, key));
+            if stored.status != ServeStatus::Ok || stored.payload.as_slice() != whole.as_slice() {
+                return Outcome::Violation(
+                    "committed stream does not match the owner's bytes after a splice attempt"
+                        .to_string(),
+                );
+            }
+            Outcome::Detected("stream:cross-tenant".to_string())
+        }
     }
 }
 
@@ -2347,6 +2623,32 @@ mod tests {
             "{:?}",
             report.classes[0].detections_by_layer
         );
+    }
+
+    #[test]
+    fn stream_drills_land_detected_or_harmless() {
+        let cfg = small_config();
+        let fixture = CampaignFixture::build(&cfg).unwrap();
+        for (scenario, want_detected) in [
+            (StreamScenario::OrphanedChunks { chunks: 2 }, false),
+            (StreamScenario::OutOfOrderCommit, true),
+            (StreamScenario::MidStreamTruncation, true),
+            (StreamScenario::CrossTenantSplice, true),
+        ] {
+            let outcome = check_serve_stream(&fixture, &scenario);
+            match (&outcome, want_detected) {
+                (Outcome::Detected(_), true) | (Outcome::Harmless, false) => {}
+                _ => panic!("{scenario}: unexpected outcome {outcome:?}"),
+            }
+        }
+        // The planner really samples stream drills alongside frame noise.
+        let saw = (0..64u32).any(|i| {
+            matches!(
+                derive_mutation(&cfg, &fixture, ArtifactClass::ServeFrame, i).kind,
+                MutationKind::ServeStream { .. }
+            )
+        });
+        assert!(saw, "planner never sampled a stream drill in 64 mutations");
     }
 
     #[test]

@@ -1,5 +1,17 @@
 //! The blocking protocol client used by `loadgen`, the CLI and tests.
+//!
+//! Sessions are configured through [`ServeClient::builder`]: tenant,
+//! per-op timeout, an Overloaded retry policy, and the chunk size used
+//! by streamed transfers. The old `connect`/`connect_with_timeout`
+//! constructors survive as deprecated shims with byte-identical
+//! behavior (one attempt, default chunk size).
+//!
+//! Objects larger than one frame travel through [`ServeClient::put_stream`]
+//! / [`ServeClient::get_stream`]: the client holds one chunk at a time
+//! and folds the whole-object fnv64 digest incrementally, so a 64 MiB
+//! round trip peaks at O(chunk) memory on this side too.
 
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -8,44 +20,126 @@ use daspos_vault::ObjectKind;
 
 use crate::proto::{
     decode_response, encode_request, validate_tenant, Op, Request, Response, Status,
+    MAX_CHUNK_BYTES,
 };
 use crate::server::ServeError;
+use crate::stream::{self, fnv64_fold, FNV_BASIS};
 use crate::wire::{self, ReadFrame};
 
 /// Default per-response wait before a client declares the server hung.
 pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Default chunk size for streamed transfers (4 MiB).
+pub const DEFAULT_CLIENT_CHUNK: usize = crate::proto::DEFAULT_CHUNK_BYTES;
+
+/// How a client reacts to `Overloaded` responses: up to `attempts`
+/// tries total, sleeping `backoff` between them. The default (one
+/// attempt) surfaces backpressure to the caller untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries per op (minimum 1).
+    pub attempts: u32,
+    /// Sleep between tries.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Builder for a [`ServeClient`] session.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    tenant: String,
+    op_timeout: Duration,
+    retry: RetryPolicy,
+    chunk_bytes: usize,
+}
+
+impl ClientBuilder {
+    /// Per-response wait before the client declares the server hung
+    /// (tests drive this down to catch hangs fast).
+    pub fn op_timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Retry `Overloaded` responses instead of surfacing them.
+    pub fn retry(mut self, retry: RetryPolicy) -> ClientBuilder {
+        self.retry = retry;
+        self
+    }
+
+    /// Chunk size for streamed transfers (validated at connect time:
+    /// 1..=[`MAX_CHUNK_BYTES`]).
+    pub fn chunk_bytes(mut self, n: usize) -> ClientBuilder {
+        self.chunk_bytes = n;
+        self
+    }
+
+    /// Validate the session settings and connect.
+    pub fn connect(self, addr: &str) -> Result<ServeClient, ServeError> {
+        validate_tenant(&self.tenant)?;
+        if self.chunk_bytes == 0 || self.chunk_bytes > MAX_CHUNK_BYTES {
+            return Err(ServeError::Config(format!(
+                "stream chunk size must be 1..={MAX_CHUNK_BYTES} bytes, got {}",
+                self.chunk_bytes
+            )));
+        }
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.op_timeout))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        stream
+            .set_write_timeout(Some(self.op_timeout))
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Ok(ServeClient {
+            stream,
+            tenant: self.tenant,
+            retry: self.retry,
+            chunk_bytes: self.chunk_bytes,
+        })
+    }
+}
+
 /// One tenant's connection to a preservation server.
 pub struct ServeClient {
     stream: TcpStream,
     tenant: String,
+    retry: RetryPolicy,
+    chunk_bytes: usize,
 }
 
 impl ServeClient {
-    /// Connect to `addr` as `tenant` with the default op timeout.
-    pub fn connect(addr: &str, tenant: &str) -> Result<ServeClient, ServeError> {
-        ServeClient::connect_with_timeout(addr, tenant, DEFAULT_OP_TIMEOUT)
+    /// Start building a session for `tenant` (validated at connect).
+    pub fn builder(tenant: &str) -> ClientBuilder {
+        ClientBuilder {
+            tenant: tenant.to_string(),
+            op_timeout: DEFAULT_OP_TIMEOUT,
+            retry: RetryPolicy::default(),
+            chunk_bytes: DEFAULT_CLIENT_CHUNK,
+        }
     }
 
-    /// Connect with an explicit op timeout (tests drive this down to
-    /// catch hangs fast).
+    /// Connect to `addr` as `tenant` with the default op timeout.
+    #[deprecated(note = "use ServeClient::builder(tenant).connect(addr)")]
+    pub fn connect(addr: &str, tenant: &str) -> Result<ServeClient, ServeError> {
+        ServeClient::builder(tenant).connect(addr)
+    }
+
+    /// Connect with an explicit op timeout.
+    #[deprecated(note = "use ServeClient::builder(tenant).op_timeout(..).connect(addr)")]
     pub fn connect_with_timeout(
         addr: &str,
         tenant: &str,
         timeout: Duration,
     ) -> Result<ServeClient, ServeError> {
-        validate_tenant(tenant)?;
-        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Io(e.to_string()))?;
-        stream
-            .set_read_timeout(Some(timeout))
-            .map_err(|e| ServeError::Io(e.to_string()))?;
-        stream
-            .set_write_timeout(Some(timeout))
-            .map_err(|e| ServeError::Io(e.to_string()))?;
-        Ok(ServeClient {
-            stream,
-            tenant: tenant.to_string(),
-        })
+        ServeClient::builder(tenant).op_timeout(timeout).connect(addr)
     }
 
     /// The tenant this connection operates as.
@@ -53,9 +147,15 @@ impl ServeClient {
         &self.tenant
     }
 
+    /// The chunk size streamed transfers use on this session.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
     /// Send one request and wait for its response. Transport and
     /// protocol failures are errors; non-OK *statuses* are data (the
     /// caller decides whether `NotFound` or `Overloaded` is exceptional).
+    /// This is the raw primitive — it never retries.
     pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
         wire::write_frame(&mut self.stream, &encode_request(req))?;
         match wire::read_frame(&mut self.stream)? {
@@ -69,6 +169,21 @@ impl ServeClient {
         }
     }
 
+    /// [`request`](ServeClient::request) plus the session's
+    /// [`RetryPolicy`] on `Overloaded` responses.
+    fn request_retrying(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let mut attempt = 1;
+        loop {
+            let resp = self.request(req)?;
+            if resp.status == Status::Overloaded && attempt < self.retry.attempts.max(1) {
+                attempt += 1;
+                std::thread::sleep(self.retry.backoff);
+                continue;
+            }
+            return Ok(resp);
+        }
+    }
+
     /// Store `payload` under this tenant's `key`.
     pub fn put(
         &mut self,
@@ -76,7 +191,7 @@ impl ServeClient {
         kind: ObjectKind,
         payload: &Bytes,
     ) -> Result<Response, ServeError> {
-        self.request(&Request {
+        self.request_retrying(&Request {
             op: Op::Put,
             kind,
             tenant: self.tenant.clone(),
@@ -88,25 +203,25 @@ impl ServeClient {
     /// Fetch the object under this tenant's `key`.
     pub fn get(&mut self, key: &str) -> Result<Response, ServeError> {
         let tenant = self.tenant.clone();
-        self.request(&Request::control(Op::Get, &tenant, key))
+        self.request_retrying(&Request::control(Op::Get, &tenant, key))
     }
 
     /// Integrity-check one object (empty `key`: the whole vault).
     pub fn verify(&mut self, key: &str) -> Result<Response, ServeError> {
         let tenant = self.tenant.clone();
-        self.request(&Request::control(Op::Verify, &tenant, key))
+        self.request_retrying(&Request::control(Op::Verify, &tenant, key))
     }
 
     /// Trigger a repairing scrub of the whole vault.
     pub fn scrub(&mut self) -> Result<Response, ServeError> {
         let tenant = self.tenant.clone();
-        self.request(&Request::control(Op::Scrub, &tenant, ""))
+        self.request_retrying(&Request::control(Op::Scrub, &tenant, ""))
     }
 
     /// Fetch server statistics.
     pub fn stat(&mut self) -> Result<Response, ServeError> {
         let tenant = self.tenant.clone();
-        self.request(&Request::control(Op::Stat, &tenant, ""))
+        self.request_retrying(&Request::control(Op::Stat, &tenant, ""))
     }
 
     /// Ask the server to drain and exit.
@@ -114,14 +229,201 @@ impl ServeClient {
         let tenant = self.tenant.clone();
         self.request(&Request::control(Op::Shutdown, &tenant, ""))
     }
+
+    /// Stream everything `reader` yields to the server under `key`,
+    /// one chunk frame at a time: `PutBegin`, N× `PutChunk`, then a
+    /// `PutCommit` carrying the chunk count, total length and fnv64
+    /// digest folded while reading. Peak memory here is one chunk.
+    ///
+    /// A non-OK response mid-stream aborts the stream (best effort) and
+    /// is returned as data, like every other status.
+    pub fn put_stream(
+        &mut self,
+        key: &str,
+        kind: ObjectKind,
+        reader: &mut dyn Read,
+    ) -> Result<Response, ServeError> {
+        let chunk_bytes = self.chunk_bytes;
+        let begin = self.request_retrying(&Request {
+            op: Op::PutBegin,
+            kind,
+            tenant: self.tenant.clone(),
+            key: key.to_string(),
+            payload: stream::encode_begin(chunk_bytes as u32),
+        })?;
+        if begin.status != Status::Ok {
+            return Ok(begin);
+        }
+        let id: u64 = begin.detail.parse().map_err(|_| {
+            ServeError::Verification(format!(
+                "server answered PutBegin with unparsable stream id {:?}",
+                begin.detail
+            ))
+        })?;
+
+        let mut buf = vec![0u8; chunk_bytes];
+        let mut fold = FNV_BASIS;
+        let mut total_len = 0u64;
+        let mut seq = 0u32;
+        loop {
+            // Fill a whole chunk before framing it; a short fill means
+            // the reader hit EOF.
+            let mut n = 0;
+            while n < buf.len() {
+                match reader.read(&mut buf[n..]) {
+                    Ok(0) => break,
+                    Ok(k) => n += k,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.try_abort(id);
+                        return Err(ServeError::Io(format!("stream source failed: {e}")));
+                    }
+                }
+            }
+            if n == 0 {
+                break;
+            }
+            let resp = self.request_retrying(&Request {
+                op: Op::PutChunk,
+                kind,
+                tenant: self.tenant.clone(),
+                key: id.to_string(),
+                payload: stream::encode_chunk(seq, &buf[..n]),
+            })?;
+            if resp.status != Status::Ok {
+                self.try_abort(id);
+                return Ok(resp);
+            }
+            fold = fnv64_fold(fold, &buf[..n]);
+            total_len += n as u64;
+            seq += 1;
+            if n < buf.len() {
+                break;
+            }
+        }
+        self.request_retrying(&Request {
+            op: Op::PutCommit,
+            kind,
+            tenant: self.tenant.clone(),
+            key: id.to_string(),
+            payload: stream::encode_commit(&stream::StreamInfo {
+                total_len,
+                chunk_size: chunk_bytes as u32,
+                chunks: seq,
+                digest: fold,
+            }),
+        })
+    }
+
+    /// [`put_stream`](ServeClient::put_stream) over an in-memory
+    /// payload — the drop-in replacement for [`put`](ServeClient::put)
+    /// when the object may exceed one frame.
+    pub fn put_chunked(
+        &mut self,
+        key: &str,
+        kind: ObjectKind,
+        payload: &Bytes,
+    ) -> Result<Response, ServeError> {
+        let mut slice: &[u8] = payload;
+        self.put_stream(key, kind, &mut slice)
+    }
+
+    /// Stream the object under `key` into `out`, one chunk frame at a
+    /// time, verifying the whole-object fnv64 digest the server
+    /// declared at `GetBegin`. On success returns that `GetBegin`
+    /// response (detail = object kind, payload = the stream geometry);
+    /// a non-OK status comes back as data with nothing written.
+    pub fn get_stream(
+        &mut self,
+        key: &str,
+        out: &mut dyn Write,
+    ) -> Result<Response, ServeError> {
+        let chunk_bytes = self.chunk_bytes;
+        let tenant = self.tenant.clone();
+        let begin = self.request_retrying(&Request {
+            op: Op::GetBegin,
+            kind: ObjectKind::Opaque,
+            tenant: tenant.clone(),
+            key: key.to_string(),
+            payload: stream::encode_begin(chunk_bytes as u32),
+        })?;
+        if begin.status != Status::Ok {
+            return Ok(begin);
+        }
+        let info = stream::decode_info(&begin.payload)?;
+        let mut fold = FNV_BASIS;
+        let mut written = 0u64;
+        for seq in 0..info.chunks {
+            let resp = self.request_retrying(&Request {
+                op: Op::GetChunk,
+                kind: ObjectKind::Opaque,
+                tenant: tenant.clone(),
+                key: key.to_string(),
+                payload: stream::encode_get_chunk(seq, info.chunk_size),
+            })?;
+            if resp.status != Status::Ok {
+                return Ok(resp);
+            }
+            let (got_seq, data) = stream::decode_chunk(&resp.payload)?;
+            let expected = (info.total_len - written).min(u64::from(info.chunk_size));
+            if got_seq != seq || data.len() as u64 != expected {
+                return Err(ServeError::Verification(format!(
+                    "chunk {seq}: got seq {got_seq}, {} bytes (expected {expected})",
+                    data.len()
+                )));
+            }
+            fold = fnv64_fold(fold, &data);
+            out.write_all(&data)
+                .map_err(|e| ServeError::Io(format!("stream sink failed: {e}")))?;
+            written += data.len() as u64;
+        }
+        if written != info.total_len || fold != info.digest {
+            return Err(ServeError::Verification(format!(
+                "streamed get of {key:?}: {written} bytes folded to {fold:016x}, \
+                 server declared {} bytes / {:016x}",
+                info.total_len, info.digest
+            )));
+        }
+        Ok(begin)
+    }
+
+    /// [`get_stream`](ServeClient::get_stream) buffered into a
+    /// [`Response`] payload — convenient for tests and loadgen, which
+    /// want the bytes for deep verification anyway. (This buffers the
+    /// whole object; real consumers should stream to a sink.)
+    pub fn get_streamed_bytes(&mut self, key: &str) -> Result<Response, ServeError> {
+        let mut buf = Vec::new();
+        let resp = self.get_stream(key, &mut buf)?;
+        if resp.status != Status::Ok {
+            return Ok(resp);
+        }
+        Ok(Response {
+            op: resp.op,
+            status: Status::Ok,
+            detail: resp.detail,
+            payload: Bytes::from(buf),
+        })
+    }
+
+    /// Best-effort stream abort after a mid-stream failure; the server
+    /// sweeps orphans at the next commit to the key anyway.
+    fn try_abort(&mut self, id: u64) {
+        let tenant = self.tenant.clone();
+        let _ = self.request(&Request::control(Op::PutAbort, &tenant, &id.to_string()));
+    }
 }
 
-/// Promote a non-OK status to a typed error (`Overloaded` keeps its own
-/// variant so callers can dispatch a retry on it).
+/// Promote a non-OK status to a typed error (`Overloaded` and
+/// `QuotaExceeded` keep their own variants so callers can dispatch on
+/// backpressure vs. budget).
 pub fn expect_ok(resp: Response) -> Result<Response, ServeError> {
     match resp.status {
         Status::Ok => Ok(resp),
         Status::Overloaded => Err(ServeError::Overloaded {
+            op: resp.op,
+            detail: resp.detail,
+        }),
+        Status::QuotaExceeded => Err(ServeError::QuotaExceeded {
             op: resp.op,
             detail: resp.detail,
         }),

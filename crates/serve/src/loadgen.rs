@@ -111,6 +111,14 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Bytes per PUT payload.
     pub payload_bytes: usize,
+    /// Every Nth PUT becomes a *streamed* large-object PUT of
+    /// [`large_payload_bytes`](LoadgenConfig::large_payload_bytes)
+    /// (0 disables the large-object traffic entirely).
+    pub large_every: usize,
+    /// Bytes per streamed large-object PUT.
+    pub large_payload_bytes: usize,
+    /// Chunk size the clients stream with.
+    pub chunk_bytes: usize,
     /// Op mix weights.
     pub mix: MixWeights,
     /// Per-response client timeout.
@@ -126,6 +134,9 @@ impl Default for LoadgenConfig {
             tenants: 4,
             seed: 2013,
             payload_bytes: 256,
+            large_every: 0,
+            large_payload_bytes: 256 * 1024,
+            chunk_bytes: 64 * 1024,
             mix: MixWeights::default(),
             op_timeout: Duration::from_secs(10),
         }
@@ -182,6 +193,12 @@ pub struct LoadgenReport {
     pub verifies: OpStats,
     /// SCRUB latency summary.
     pub scrubs: OpStats,
+    /// Streamed large-object PUT latency summary (begin→commit, whole
+    /// stream).
+    pub stream_puts: OpStats,
+    /// Streamed large-object GET latency summary (begin→last chunk,
+    /// deep-verified).
+    pub stream_gets: OpStats,
     /// All ops combined.
     pub mixed: OpStats,
     /// `Overloaded` responses absorbed by retry.
@@ -220,8 +237,13 @@ impl LoadgenReport {
             ("get", &self.gets),
             ("verify", &self.verifies),
             ("scrub", &self.scrubs),
+            ("sput", &self.stream_puts),
+            ("sget", &self.stream_gets),
             ("mixed", &self.mixed),
         ] {
+            if st.count == 0 && (name == "sput" || name == "sget") {
+                continue;
+            }
             s.push_str(&format!(
                 "  {name:<6} n={:<6} p50={:>9} ns  p99={:>9} ns\n",
                 st.count, st.p50_ns, st.p99_ns
@@ -239,8 +261,20 @@ impl LoadgenReport {
     }
 }
 
+/// Latency bucket an op lands in (streamed transfers get their own
+/// buckets, separate from the single-frame ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LatClass {
+    Put,
+    Get,
+    Verify,
+    Scrub,
+    StreamPut,
+    StreamGet,
+}
+
 struct ClientOutcome {
-    latencies: Vec<(Op, u64)>,
+    latencies: Vec<(LatClass, u64)>,
     overloaded_retries: u64,
     failures: Vec<String>,
     failure_count: u64,
@@ -279,56 +313,97 @@ fn run_client(cfg: &LoadgenConfig, idx: usize) -> ClientOutcome {
         }
     }
     let tenant = format!("tenant-{:02}", idx % cfg.tenants.max(1));
-    let mut client =
-        match ServeClient::connect_with_timeout(&cfg.addr, &tenant, cfg.op_timeout) {
-            Ok(c) => c,
-            Err(e) => {
-                fail(&mut out, format!("client {idx}: connect: {e}"));
-                return out;
-            }
-        };
+    let mut client = match ServeClient::builder(&tenant)
+        .op_timeout(cfg.op_timeout)
+        .chunk_bytes(cfg.chunk_bytes.max(1))
+        .connect(&cfg.addr)
+    {
+        Ok(c) => c,
+        Err(e) => {
+            fail(&mut out, format!("client {idx}: connect: {e}"));
+            return out;
+        }
+    };
     let mut rng = StdRng::seed_from_u64(mix(cfg.seed ^ mix(idx as u64)));
-    let mut stored: Vec<(String, Bytes)> = Vec::new();
+    // (key, payload, streamed?) — streamed objects are re-fetched with
+    // the chunked GET and deep-verified the same way.
+    let mut stored: Vec<(String, Bytes, bool)> = Vec::new();
+    let mut puts_issued = 0usize;
 
     for n in 0..cfg.ops_per_client {
         let mut op = cfg.mix.pick(&mut rng);
         if stored.is_empty() && matches!(op, Op::Get | Op::Verify) {
             op = Op::Put;
         }
+        let mut class = match op {
+            Op::Get => LatClass::Get,
+            Op::Verify => LatClass::Verify,
+            Op::Scrub => LatClass::Scrub,
+            _ => LatClass::Put,
+        };
         let started = Instant::now();
         let result: Result<(), String> = match op {
             Op::Put => {
+                puts_issued += 1;
+                let large = cfg.large_every > 0 && puts_issued.is_multiple_of(cfg.large_every);
                 let key = format!("c{idx:03}-k{n:04}.bin");
-                let mut payload = vec![0u8; cfg.payload_bytes];
+                let bytes = if large {
+                    cfg.large_payload_bytes
+                } else {
+                    cfg.payload_bytes
+                };
+                let mut payload = vec![0u8; bytes];
                 rng.fill_bytes(&mut payload);
                 let payload = Bytes::from(payload);
-                with_backpressure(&mut client, &mut out.overloaded_retries, |c| {
-                    c.put(&key, ObjectKind::Opaque, &payload)
-                })
-                .and_then(expect_ok)
-                .map(|_| stored.push((key, payload)))
-                .map_err(|e| format!("client {idx} op {n} put: {e}"))
+                if large {
+                    class = LatClass::StreamPut;
+                    with_backpressure(&mut client, &mut out.overloaded_retries, |c| {
+                        c.put_chunked(&key, ObjectKind::Opaque, &payload)
+                    })
+                    .and_then(expect_ok)
+                    .map(|_| stored.push((key, payload, true)))
+                    .map_err(|e| format!("client {idx} op {n} stream-put: {e}"))
+                } else {
+                    with_backpressure(&mut client, &mut out.overloaded_retries, |c| {
+                        c.put(&key, ObjectKind::Opaque, &payload)
+                    })
+                    .and_then(expect_ok)
+                    .map(|_| stored.push((key, payload, false)))
+                    .map_err(|e| format!("client {idx} op {n} put: {e}"))
+                }
             }
             Op::Get => {
-                let (key, expected) = {
+                let (key, expected, streamed) = {
                     let pick = rng.gen_range(0..stored.len());
                     stored[pick].clone()
                 };
-                with_backpressure(&mut client, &mut out.overloaded_retries, |c| c.get(&key))
-                    .and_then(expect_ok)
-                    .and_then(|resp| {
-                        if resp.payload == expected {
-                            Ok(())
-                        } else {
-                            Err(ServeError::Verification(format!(
-                                "GET '{key}' returned {} byte(s) that do not match the \
-                                 {} byte(s) this client PUT",
-                                resp.payload.len(),
-                                expected.len()
-                            )))
-                        }
-                    })
-                    .map_err(|e| format!("client {idx} op {n} get: {e}"))
+                if streamed {
+                    class = LatClass::StreamGet;
+                }
+                with_backpressure(&mut client, &mut out.overloaded_retries, |c| {
+                    if streamed {
+                        c.get_streamed_bytes(&key)
+                    } else {
+                        c.get(&key)
+                    }
+                })
+                .and_then(expect_ok)
+                .and_then(|resp| {
+                    // get_streamed_bytes buffers the reassembled object
+                    // in the payload, so both paths compare the same way.
+                    let got: &[u8] = &resp.payload;
+                    if got == expected.as_slice() {
+                        Ok(())
+                    } else {
+                        Err(ServeError::Verification(format!(
+                            "GET '{key}' returned {} byte(s) that do not match the \
+                             {} byte(s) this client PUT",
+                            got.len(),
+                            expected.len()
+                        )))
+                    }
+                })
+                .map_err(|e| format!("client {idx} op {n} get: {e}"))
             }
             Op::Verify => {
                 let key = {
@@ -347,7 +422,8 @@ fn run_client(cfg: &LoadgenConfig, idx: usize) -> ClientOutcome {
                 .map(|_| ())
                 .map_err(|e| format!("client {idx} op {n} scrub: {e}")),
         };
-        out.latencies.push((op, started.elapsed().as_nanos() as u64));
+        out.latencies
+            .push((class, started.elapsed().as_nanos() as u64));
         if let Err(msg) = result {
             fail(&mut out, msg);
         }
@@ -381,11 +457,13 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
         elapsed_ns,
         ..LoadgenReport::default()
     };
-    let mut per_op: [(Op, Vec<u64>); 4] = [
-        (Op::Put, Vec::new()),
-        (Op::Get, Vec::new()),
-        (Op::Verify, Vec::new()),
-        (Op::Scrub, Vec::new()),
+    let mut per_op: [(LatClass, Vec<u64>); 6] = [
+        (LatClass::Put, Vec::new()),
+        (LatClass::Get, Vec::new()),
+        (LatClass::Verify, Vec::new()),
+        (LatClass::Scrub, Vec::new()),
+        (LatClass::StreamPut, Vec::new()),
+        (LatClass::StreamGet, Vec::new()),
     ];
     let mut all = Vec::new();
     for outcome in outcomes {
@@ -396,19 +474,22 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
                 report.failures.push(f);
             }
         }
-        for (op, ns) in outcome.latencies {
+        for (class, ns) in outcome.latencies {
             all.push(ns);
-            if let Some((_, bucket)) = per_op.iter_mut().find(|(o, _)| *o == op) {
+            if let Some((_, bucket)) = per_op.iter_mut().find(|(c, _)| *c == class) {
                 bucket.push(ns);
             }
         }
     }
     report.ops_total = all.len() as u64;
-    let [(_, puts), (_, gets), (_, verifies), (_, scrubs)] = per_op;
+    let [(_, puts), (_, gets), (_, verifies), (_, scrubs), (_, stream_puts), (_, stream_gets)] =
+        per_op;
     report.puts = OpStats::from_latencies(puts);
     report.gets = OpStats::from_latencies(gets);
     report.verifies = OpStats::from_latencies(verifies);
     report.scrubs = OpStats::from_latencies(scrubs);
+    report.stream_puts = OpStats::from_latencies(stream_puts);
+    report.stream_gets = OpStats::from_latencies(stream_gets);
     report.mixed = OpStats::from_latencies(all);
     report.throughput_ops_per_sec = if elapsed_ns == 0 {
         0.0

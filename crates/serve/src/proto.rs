@@ -48,6 +48,13 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// Longest accepted tenant name.
 pub const MAX_TENANT_LEN: usize = 64;
 
+/// Largest chunk a streamed PUT/GET may carry in one frame: the frame
+/// cap minus generous room for the request envelope and the seal.
+pub const MAX_CHUNK_BYTES: usize = MAX_FRAME_BYTES - 4096;
+
+/// Chunk size streamed transfers use when the caller does not choose.
+pub const DEFAULT_CHUNK_BYTES: usize = 4 * 1024 * 1024;
+
 /// The operations a client can request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -63,11 +70,39 @@ pub enum Op {
     Stat = 5,
     /// Ask the server to drain in-flight work and exit.
     Shutdown = 6,
+    /// Open a streamed multi-frame PUT; the response detail carries the
+    /// server-assigned stream id.
+    PutBegin = 7,
+    /// Append one chunk to an open put-stream (key = stream id).
+    PutChunk = 8,
+    /// Close an open put-stream: the server re-reads every staged chunk,
+    /// folds the object digest and publishes the object atomically.
+    PutCommit = 9,
+    /// Abandon an open put-stream and reclaim its staged chunks.
+    PutAbort = 10,
+    /// Open a streamed GET: the response payload describes the object's
+    /// chunking (total length, chunk size, chunk count, fnv64 digest).
+    GetBegin = 11,
+    /// Fetch one chunk of an object by sequence number.
+    GetChunk = 12,
 }
 
 impl Op {
     /// All ops, in wire order.
-    pub const ALL: [Op; 6] = [Op::Put, Op::Get, Op::Verify, Op::Scrub, Op::Stat, Op::Shutdown];
+    pub const ALL: [Op; 12] = [
+        Op::Put,
+        Op::Get,
+        Op::Verify,
+        Op::Scrub,
+        Op::Stat,
+        Op::Shutdown,
+        Op::PutBegin,
+        Op::PutChunk,
+        Op::PutCommit,
+        Op::PutAbort,
+        Op::GetBegin,
+        Op::GetChunk,
+    ];
 
     /// The wire discriminant.
     pub fn as_u8(self) -> u8 {
@@ -89,6 +124,12 @@ impl Op {
             Op::Scrub => "scrub",
             Op::Stat => "stat",
             Op::Shutdown => "shutdown",
+            Op::PutBegin => "put-begin",
+            Op::PutChunk => "put-chunk",
+            Op::PutCommit => "put-commit",
+            Op::PutAbort => "put-abort",
+            Op::GetBegin => "get-begin",
+            Op::GetChunk => "get-chunk",
         }
     }
 }
@@ -114,17 +155,23 @@ pub enum Status {
     BadRequest = 4,
     /// The server failed internally (storage fault after retries).
     ServerError = 5,
+    /// A per-tenant quota (stored bytes, in-flight ops, or ops/sec)
+    /// rejected the op. Unlike `Overloaded` this names *this* tenant's
+    /// budget: other tenants are unaffected and an immediate retry will
+    /// not help until the budget frees.
+    QuotaExceeded = 6,
 }
 
 impl Status {
     /// All statuses, in wire order.
-    pub const ALL: [Status; 6] = [
+    pub const ALL: [Status; 7] = [
         Status::Ok,
         Status::NotFound,
         Status::Damaged,
         Status::Overloaded,
         Status::BadRequest,
         Status::ServerError,
+        Status::QuotaExceeded,
     ];
 
     /// The wire discriminant.
@@ -146,6 +193,7 @@ impl Status {
             Status::Overloaded => "overloaded",
             Status::BadRequest => "bad-request",
             Status::ServerError => "server-error",
+            Status::QuotaExceeded => "quota-exceeded",
         }
     }
 }
@@ -264,9 +312,12 @@ pub fn validate_tenant(tenant: &str) -> Result<(), ProtoError> {
 
 /// Compose the backend storage key for a tenant's object, validating
 /// both halves (and the composed key against the backend alphabet).
+/// The `..` sequence is reserved: the streaming layer stores an
+/// object's chunk records under `{tenant}.{key}..g<gen>.c<seq>`, so a
+/// client-supplied key may never contain two consecutive dots.
 pub fn storage_key(tenant: &str, key: &str) -> Result<String, ProtoError> {
     validate_tenant(tenant)?;
-    if key.is_empty() {
+    if key.is_empty() || key.contains("..") {
         return Err(ProtoError::BadKey(key.to_string()));
     }
     let composed = format!("{tenant}.{key}");
@@ -616,6 +667,38 @@ mod tests {
         assert!(storage_key("cms", "").is_err());
         assert!(storage_key("cms", "bad/slash").is_err());
         assert!(storage_key("", "k").is_err());
+    }
+
+    #[test]
+    fn double_dot_keys_are_reserved_for_the_streaming_layer() {
+        assert!(storage_key("cms", "a..b").is_err());
+        assert!(storage_key("cms", "a..g1.c0").is_err());
+        assert!(storage_key("cms", "..x").is_err());
+        // A single interior dot stays legal.
+        storage_key("cms", "a.b").unwrap();
+    }
+
+    #[test]
+    fn stream_ops_round_trip_and_carry_distinct_discriminants() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in Op::ALL {
+            assert!(seen.insert(op.as_u8()), "duplicate discriminant for {op}");
+            assert_eq!(Op::from_u8(op.as_u8()), Some(op));
+            let req = Request {
+                op,
+                kind: ObjectKind::Opaque,
+                tenant: "cms".to_string(),
+                key: "42".to_string(),
+                payload: Bytes::from_static(b"\x01\x00\x00\x00chunk"),
+            };
+            let wire = encode_request(&req);
+            let (sealed, _) = split_frame(&wire).unwrap();
+            assert_eq!(decode_request(&sealed).unwrap(), req);
+        }
+        assert_eq!(Op::ALL.len(), 12);
+        assert_eq!(Status::ALL.len(), 7);
+        assert_eq!(Status::from_u8(6), Some(Status::QuotaExceeded));
+        assert_eq!(Status::QuotaExceeded.name(), "quota-exceeded");
     }
 
     #[test]

@@ -47,16 +47,20 @@ pub enum ObjectKind {
     ConditionsText = 3,
     /// A columnar `DPCF` AOD tier file with per-column digests.
     ColumnarAod = 4,
+    /// A `DPSM` stream manifest: the chunk geometry and whole-object
+    /// digest of an object the serve layer stored as chunk records.
+    StreamManifest = 5,
 }
 
 impl ObjectKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [ObjectKind; 5] = [
+    pub const ALL: [ObjectKind; 6] = [
         ObjectKind::Opaque,
         ObjectKind::SealedTier,
         ObjectKind::Container,
         ObjectKind::ConditionsText,
         ObjectKind::ColumnarAod,
+        ObjectKind::StreamManifest,
     ];
 
     /// The wire discriminant.
@@ -72,6 +76,7 @@ impl ObjectKind {
             2 => Some(ObjectKind::Container),
             3 => Some(ObjectKind::ConditionsText),
             4 => Some(ObjectKind::ColumnarAod),
+            5 => Some(ObjectKind::StreamManifest),
             _ => None,
         }
     }
@@ -84,6 +89,7 @@ impl ObjectKind {
             ObjectKind::Container => "container",
             ObjectKind::ConditionsText => "conditions",
             ObjectKind::ColumnarAod => "columnar-aod",
+            ObjectKind::StreamManifest => "stream-manifest",
         }
     }
 
@@ -103,6 +109,8 @@ impl ObjectKind {
             ObjectKind::ConditionsText
         } else if payload.starts_with(daspos_tiers::colnar::COLUMNAR_MAGIC) {
             ObjectKind::ColumnarAod
+        } else if payload.starts_with(b"DPSM") {
+            ObjectKind::StreamManifest
         } else {
             ObjectKind::Opaque
         }

@@ -547,6 +547,31 @@ impl Vault {
         Ok(kind)
     }
 
+    /// Remove `key` from every backend (full copies or stripe shards
+    /// alike). Idempotent: deleting an absent key succeeds, and a
+    /// backend that fails is skipped so the others still reclaim —
+    /// mirroring [`put`](Vault::put)'s one-bad-backend tolerance. The
+    /// serve layer leans on this to sweep superseded stream-chunk
+    /// generations.
+    pub fn delete(&self, key: &str) -> Result<(), VaultError> {
+        let mut first_err = None;
+        for backend in &self.backends {
+            match self.with_retry(|| backend.delete(key)) {
+                Ok(()) | Err(StorageError::NotFound(_)) => {}
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(reg) = self.obs.registry() {
+            reg.add("vault.deletes", 1);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(VaultError::from(e)),
+        }
+    }
+
     /// Erasure-encode one `DPVO` envelope into its `k + m` `DPVS` shard
     /// envelopes. Deterministic: re-encoding the same envelope yields
     /// byte-identical shards, which is what makes shard-level repair

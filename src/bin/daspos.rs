@@ -170,35 +170,50 @@ USAGE:
         like scrub but read-only: report damage without repairing
   daspos serve    [--addr <host:port>] [--store <dir>]
                   [--replicas N | --erasure k,m]
-                  [--max-inflight N] [--scrub-ms N]
+                  [--max-inflight N] [--pool N] [--streams N]
+                  [--scrub-ms N] [--default-quota B:I:O]
+                  [--quota tenant=B:I:O[,tenant=…]]
         run the multi-tenant preservation service daemon: a framed
         DPRQ/DPRS protocol over one shared vault (a directory store with
-        --store, else in-memory), an admission gate that answers
-        'overloaded' past --max-inflight concurrent ops (default 64),
-        and a background scrubber (--scrub-ms cadence, 0 disables) that
-        yields to foreground traffic; prints the bound address, serves
-        until a client sends shutdown, then drains and reports counters
+        --store, else in-memory), served by a fixed worker pool (--pool,
+        default 4) multiplexing every connection, an admission gate that
+        answers 'overloaded' past --max-inflight concurrent ops (default
+        64) or --streams open chunked uploads (default 32), per-tenant
+        quotas (BYTES:INFLIGHT:OPS-per-sec, 0 = unlimited; --default-quota
+        for everyone, --quota for per-tenant overrides) answered with
+        'quota-exceeded', and a background scrubber (--scrub-ms cadence,
+        0 disables) that yields to foreground traffic; objects larger
+        than one 16 MiB frame stream through chunked PUT/GET; prints the
+        bound address, serves until a client sends shutdown, then drains
+        and reports counters
   daspos serve    --selftest
         tier-1 smoke: in-process server + concurrent loadgen burst with
-        byte-identity verification (exit 1 on any failure)
+        byte-identity verification, a 64 MiB streamed round trip under
+        bounded buffering, and a forced per-tenant quota rejection (exit
+        1 on any failure)
   daspos loadgen  --addr <host:port> [--clients N] [--ops N] [--tenants N]
                   [--seed N] [--payload-bytes N] [--mix p:g:v:s]
+                  [--large-every N] [--large-bytes N] [--chunk-bytes N]
                   [--shutdown]
         simulate a community of analysts against a running serve: N
         concurrent clients drive a seeded put/get/verify/scrub mix,
         deep-verifying every GET byte-for-byte and absorbing backpressure
-        with retries; prints p50/p99 latencies and throughput, exits 1 on
-        any verification failure; --shutdown stops the server afterwards
+        with retries; every --large-every'th put streams a --large-bytes
+        object through the chunked protocol (0 disables) and streamed ops
+        report their own sput/sget p50/p99 lines; prints latencies and
+        throughput, exits 1 on any verification failure; --shutdown stops
+        the server afterwards
   daspos bench    [--events N] [--reps N] [--threads N] [--seed N]
                   [--metrics a,b,…] [--out <file.json>] [--allow-regression]
         time decode / seal-verify / skim (batch, streaming and columnar),
         parallel columnar decode, v1/v2 columnar encode, the full chain,
         vault put/get/scrub, erasure put/get/rebuild (4+2 vs 3-replica
-        bytes-on-backend), and the serve protocol's put/get/mixed
-        p50+p99 latencies over a fixture workflow; --metrics runs only
-        metrics whose names contain one of the given substrings (e.g.
-        --metrics columnar skips the vault and serve fixtures); writes a
-        JSON report (default BENCH_9.json) and exits 2 if any metric
+        bytes-on-backend), and the serve protocol's put/get/mixed plus
+        chunked stream_put/stream_get p50+p99 latencies over a fixture
+        workflow; --metrics runs only metrics whose names contain one of
+        the given substrings (e.g. --metrics columnar skips the vault
+        and serve fixtures); writes a
+        JSON report (default BENCH_10.json) and exits 2 if any metric
         regressed >25% in time or bytes/event versus the previous
         BENCH_*.json unless --allow-regression is passed (the bench-alloc
         counting allocator is on by default, so peak-allocation figures
@@ -606,7 +621,7 @@ fn cmd_faultlab(args: &[String]) -> CliResult {
 }
 
 fn cmd_serve(args: &[String]) -> CliResult {
-    use daspos::serve::{Chaos, ServeConfig, Server, Service};
+    use daspos::serve::{Chaos, Quota, ServeConfig, Server, Service};
     use std::sync::Arc;
 
     if args.iter().any(|a| a == "--selftest") {
@@ -618,25 +633,51 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
 
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
-    let mut cfg = ServeConfig::default();
+    let mut builder = ServeConfig::builder();
     if let Some(m) = flag(args, "--max-inflight") {
-        cfg.max_inflight = m.parse().map_err(|_| "bad --max-inflight")?;
-        if cfg.max_inflight == 0 {
-            return Err(CliError::usage("--max-inflight must be at least 1"));
-        }
+        builder = builder.max_inflight(m.parse().map_err(|_| "bad --max-inflight")?);
+    }
+    if let Some(p) = flag(args, "--pool") {
+        builder = builder.pool_size(p.parse().map_err(|_| "bad --pool")?);
+    }
+    if let Some(s) = flag(args, "--streams") {
+        builder = builder.max_streams(s.parse().map_err(|_| "bad --streams")?);
     }
     if let Some(ms) = flag(args, "--scrub-ms") {
         let ms: u64 = ms.parse().map_err(|_| "bad --scrub-ms")?;
-        cfg.scrub_interval = std::time::Duration::from_millis(ms);
+        builder = builder.scrub_interval(std::time::Duration::from_millis(ms));
+    }
+    if let Some(q) = flag(args, "--default-quota") {
+        let quota = Quota::parse(&q).ok_or_else(|| {
+            CliError::usage(format!("bad --default-quota '{q}' (want BYTES:INFLIGHT:OPS)"))
+        })?;
+        builder = builder.default_quota(quota);
+    }
+    if let Some(list) = flag(args, "--quota") {
+        // --quota tenant=BYTES:INFLIGHT:OPS[,tenant=…] — per-tenant
+        // overrides on top of the default quota.
+        for entry in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (tenant, spec) = entry.split_once('=').ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad --quota entry '{entry}' (want tenant=BYTES:INFLIGHT:OPS)"
+                ))
+            })?;
+            let quota = Quota::parse(spec).ok_or_else(|| {
+                CliError::usage(format!(
+                    "bad --quota entry '{entry}' (want tenant=BYTES:INFLIGHT:OPS)"
+                ))
+            })?;
+            builder = builder.quota(tenant, quota);
+        }
     }
     if let Some(name) = flag(args, "--chaos") {
         // Test hook: inject server-side faults so loadgen's deep
         // verification can be proven to catch them.
-        cfg.chaos =
-            Some(Chaos::parse(&name).ok_or_else(|| {
-                CliError::usage(format!("unknown chaos mode '{name}' (flip-get)"))
-            })?);
+        builder = builder.chaos(Chaos::parse(&name).ok_or_else(|| {
+            CliError::usage(format!("unknown chaos mode '{name}' (flip-get)"))
+        })?);
     }
+    let cfg = builder.build().map_err(|e| CliError::usage(e.to_string()))?;
 
     // The vault behind the service: a directory store when --store is
     // given (objects survive restarts), else in-memory backends.
@@ -667,7 +708,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     };
 
     let registry = std::sync::Arc::new(MetricsRegistry::new());
-    let scrub = cfg.scrub_interval;
+    let scrub = cfg.scrub_interval();
     let service = Arc::new(Service::new(
         vault,
         &cfg,
@@ -677,9 +718,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map_err(|e| CliError::Failure(e.to_string()))?;
     println!("serving on {}", server.addr());
     eprintln!(
-        "  max in-flight {}, scrub every {:?}; stop with \
+        "  max in-flight {}, {} worker(s), scrub every {:?}; stop with \
          'daspos loadgen --addr {} --shutdown'",
-        cfg.max_inflight,
+        cfg.max_inflight(),
+        cfg.pool_size(),
         scrub,
         server.addr()
     );
@@ -740,6 +782,23 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         let ms: u64 = ms.parse().map_err(|_| "bad --timeout-ms")?;
         cfg.op_timeout = std::time::Duration::from_millis(ms.max(1));
     }
+    if let Some(n) = flag(args, "--large-every") {
+        // Every n-th PUT streams a large object through the chunked
+        // protocol instead of a single frame (0 disables).
+        cfg.large_every = n.parse().map_err(|_| "bad --large-every")?;
+    }
+    if let Some(b) = flag(args, "--large-bytes") {
+        cfg.large_payload_bytes = b.parse().map_err(|_| "bad --large-bytes")?;
+        if cfg.large_payload_bytes == 0 {
+            return Err(CliError::usage("--large-bytes must be at least 1"));
+        }
+    }
+    if let Some(c) = flag(args, "--chunk-bytes") {
+        cfg.chunk_bytes = c.parse().map_err(|_| "bad --chunk-bytes")?;
+        if cfg.chunk_bytes == 0 {
+            return Err(CliError::usage("--chunk-bytes must be at least 1"));
+        }
+    }
 
     eprintln!(
         "loadgen: {} client(s) x {} op(s) over {} tenant(s) against {addr} (seed {})…",
@@ -748,8 +807,9 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     let report = loadgen::run(&cfg);
     print!("{}", report.to_text());
     if args.iter().any(|a| a == "--shutdown") {
-        let mut client =
-            ServeClient::connect(&addr, "loadgen").map_err(|e| format!("shutdown connect: {e}"))?;
+        let mut client = ServeClient::builder("loadgen")
+            .connect(&addr)
+            .map_err(|e| format!("shutdown connect: {e}"))?;
         client
             .shutdown_server()
             .map_err(|e| format!("shutdown request: {e}"))?;
@@ -791,7 +851,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
             return Err("bad --metrics: expected comma-separated name substrings".into());
         }
     }
-    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| "BENCH_10.json".to_string());
 
     eprintln!(
         "bench: {} events x {} reps (threads {}, seed {})…",

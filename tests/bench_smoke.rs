@@ -79,6 +79,8 @@ fn bench_subcommand_writes_positive_metrics() {
         "vault_ec_rebuild",
         "serve_put",
         "serve_get",
+        "serve_stream_put",
+        "serve_stream_get",
         "serve_mixed",
     ] {
         for field in ["median_ns_per_event", "events_per_sec"] {
@@ -114,6 +116,8 @@ fn bench_subcommand_writes_positive_metrics() {
         "vault_ec_rebuild",
         "serve_put",
         "serve_get",
+        "serve_stream_put",
+        "serve_stream_get",
         "serve_mixed",
     ] {
         let p50 = metric_field(&json, metric, "median_ns_per_event");

@@ -269,6 +269,13 @@ fn serve_and_loadgen_usage_errors_exit_two() {
     assert_eq!(code(&run(&["loadgen", "--addr", "127.0.0.1:1", "--clients", "0"])), 2);
     assert_eq!(code(&run(&["serve", "--max-inflight", "0"])), 2);
     assert_eq!(code(&run(&["serve", "--chaos", "unknown-mode"])), 2);
+    // Invalid worker-pool / quota configurations never bind a socket.
+    assert_eq!(code(&run(&["serve", "--pool", "0"])), 2);
+    assert_eq!(code(&run(&["serve", "--streams", "0"])), 2);
+    assert_eq!(code(&run(&["serve", "--default-quota", "nonsense"])), 2);
+    assert_eq!(code(&run(&["serve", "--quota", "tenant-without-spec"])), 2);
+    assert_eq!(code(&run(&["serve", "--quota", "t=1:2:3:4"])), 2);
+    assert_eq!(code(&run(&["loadgen", "--addr", "127.0.0.1:1", "--chunk-bytes", "0"])), 2);
 }
 
 #[test]

@@ -89,10 +89,7 @@ fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
         ])
         .build()
         .expect("vault builds");
-    let cfg = ServeConfig {
-        max_inflight: 1,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder().max_inflight(1).build().expect("config valid");
     let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
     let server =
         Server::start(service.clone(), "127.0.0.1:0", Duration::ZERO).expect("server starts");
@@ -104,7 +101,7 @@ fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
         let addr = addr.clone();
         let payload = payload.clone();
         std::thread::spawn(move || {
-            let mut a = ServeClient::connect(&addr, "atlas").expect("A connects");
+            let mut a = ServeClient::builder("atlas").connect(&addr).expect("A connects");
             expect_ok(a.put("slow.bin", ObjectKind::Opaque, &payload).expect("A put sends"))
         })
     };
@@ -114,7 +111,7 @@ fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
     );
 
     // Client B is shed — a typed response, not a hang or a dropped op.
-    let mut b = ServeClient::connect(&addr, "cms").expect("B connects");
+    let mut b = ServeClient::builder("cms").connect(&addr).expect("B connects");
     let resp = b.put("shed.bin", ObjectKind::Opaque, &payload).expect("B put sends");
     assert_eq!(resp.status, Status::Overloaded, "detail: {}", resp.detail);
     let typed = expect_ok(resp).expect_err("overloaded promotes to an error");
@@ -133,7 +130,7 @@ fn a_full_service_sheds_load_with_a_typed_overloaded_response() {
         .join()
         .expect("A's thread survives")
         .expect("A's accepted PUT completed after the stall");
-    let mut a2 = ServeClient::connect(&addr, "atlas").expect("reader connects");
+    let mut a2 = ServeClient::builder("atlas").connect(&addr).expect("reader connects");
     let got = expect_ok(a2.get("slow.bin").unwrap()).expect("object preserved");
     assert_eq!(got.payload.as_slice(), payload.as_slice());
 
@@ -158,10 +155,7 @@ fn flaky_storage_under_load_loses_nothing() {
         .policy(RetryPolicy::immediate(16))
         .build()
         .expect("vault builds");
-    let cfg = ServeConfig {
-        max_inflight: 2,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder().max_inflight(2).build().expect("config valid");
     let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
     let server = Server::start(service.clone(), "127.0.0.1:0", Duration::from_millis(5))
         .expect("server starts");
@@ -196,10 +190,7 @@ fn shutdown_drains_in_flight_work_before_the_listener_exits() {
         ])
         .build()
         .expect("vault builds");
-    let cfg = ServeConfig {
-        max_inflight: 4,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder().max_inflight(4).build().expect("config valid");
     let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
     let server =
         Server::start(service.clone(), "127.0.0.1:0", Duration::ZERO).expect("server starts");
@@ -210,7 +201,7 @@ fn shutdown_drains_in_flight_work_before_the_listener_exits() {
         let addr = addr.clone();
         let payload = payload.clone();
         std::thread::spawn(move || {
-            let mut a = ServeClient::connect(&addr, "atlas").expect("A connects");
+            let mut a = ServeClient::builder("atlas").connect(&addr).expect("A connects");
             expect_ok(a.put("draining.bin", ObjectKind::Opaque, &payload).expect("A put sends"))
         })
     };
@@ -220,7 +211,7 @@ fn shutdown_drains_in_flight_work_before_the_listener_exits() {
     );
 
     // Shutdown arrives while A's PUT is still being served…
-    let mut ctl = ServeClient::connect(&addr, "ops").expect("control connects");
+    let mut ctl = ServeClient::builder("ops").connect(&addr).expect("control connects");
     expect_ok(ctl.shutdown_server().expect("shutdown sends")).expect("shutdown acknowledged");
     assert!(service.shutdown_requested());
 
@@ -236,7 +227,7 @@ fn shutdown_drains_in_flight_work_before_the_listener_exits() {
 
     // The listener is gone: new connections are refused.
     let refused = wait_until(Duration::from_secs(5), || {
-        ServeClient::connect(&addr, "late").is_err()
+        ServeClient::builder("late").connect(&addr).is_err()
     });
     assert!(refused, "listener still accepting after drain");
 }

@@ -87,7 +87,7 @@ fn drive(clients: usize, items: &[WorkItem]) -> Vec<(String, String, Vec<u8>)> {
             scope.spawn(move || {
                 for item in mine {
                     let mut client =
-                        ServeClient::connect(&addr, &item.tenant).expect("client connects");
+                        ServeClient::builder(&item.tenant).connect(&addr).expect("client connects");
                     expect_ok(
                         client
                             .put(&item.key, ObjectKind::Opaque, &item.bytes)
@@ -111,7 +111,7 @@ fn drive(clients: usize, items: &[WorkItem]) -> Vec<(String, String, Vec<u8>)> {
 
     let mut state = Vec::new();
     for item in items {
-        let mut client = ServeClient::connect(&addr, &item.tenant).expect("reader connects");
+        let mut client = ServeClient::builder(&item.tenant).connect(&addr).expect("reader connects");
         let got = expect_ok(client.get(&item.key).expect("get sends")).expect("object preserved");
         state.push((item.tenant.clone(), item.key.clone(), got.payload.as_slice().to_vec()));
     }
@@ -143,6 +143,77 @@ fn concurrent_runs_are_byte_identical_to_the_serialized_run() {
 }
 
 #[test]
+fn a_four_thread_pool_serves_32_concurrent_connections_plus_32_idle_ones() {
+    // The worker pool is fixed at 4 threads; 64 connections (32 busy,
+    // 32 held open and idle) must all be served. Idle connections must
+    // not pin workers — if they did, the 32 busy connections could
+    // never make progress past the first 4.
+    let backends: Vec<Arc<MemoryBackend>> = (0..2).map(|_| Arc::new(MemoryBackend::new())).collect();
+    let vault = Vault::builder()
+        .backends(backends.iter().map(|b| b.clone() as Arc<dyn StorageBackend>).collect())
+        .build()
+        .expect("vault builds");
+    let cfg = ServeConfig::builder().pool_size(4).build().expect("config valid");
+    let service = Arc::new(Service::new(vault, &cfg, Obs::disabled()));
+    let server =
+        Server::start(service.clone(), "127.0.0.1:0", Duration::ZERO).expect("server starts");
+    let addr = server.addr().to_string();
+    assert_eq!(service.config().pool_size(), 4);
+
+    // 32 idle connections opened first and held for the whole test.
+    let mut idle: Vec<ServeClient> = (0..32)
+        .map(|i| {
+            ServeClient::builder(&format!("idle-{}", i % 3))
+                .connect(&addr)
+                .expect("idle connection opens")
+        })
+        .collect();
+
+    // 32 busy connections, each its own thread, each a multi-op session.
+    std::thread::scope(|scope| {
+        for c in 0..32u64 {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let tenant = format!("tenant-{}", c % 4);
+                let mut client = ServeClient::builder(&tenant)
+                    .op_timeout(Duration::from_secs(30))
+                    .connect(&addr)
+                    .expect("busy connection opens");
+                for round in 0..4u64 {
+                    let key = format!("conn-{c:02}-round-{round}.bin");
+                    let bytes = payload(c * 1000 + round, 256 + (c as usize * 13) % 1024);
+                    expect_ok(client.put(&key, ObjectKind::Opaque, &bytes).expect("put sends"))
+                        .expect("put accepted");
+                    let got = expect_ok(client.get(&key).expect("get sends")).expect("get ok");
+                    assert_eq!(got.payload.as_slice(), bytes.as_slice(), "{key} mangled");
+                }
+            });
+        }
+    });
+
+    // Every object from every connection survived, read over one more
+    // fresh connection per tenant.
+    for c in 0..32u64 {
+        let tenant = format!("tenant-{}", c % 4);
+        let mut reader = ServeClient::builder(&tenant).connect(&addr).expect("reader connects");
+        for round in 0..4u64 {
+            let key = format!("conn-{c:02}-round-{round}.bin");
+            let bytes = payload(c * 1000 + round, 256 + (c as usize * 13) % 1024);
+            let got = expect_ok(reader.get(&key).expect("get sends")).expect("object preserved");
+            assert_eq!(got.payload.as_slice(), bytes.as_slice());
+        }
+    }
+
+    // The idle connections were never starved out: each still answers.
+    for client in idle.iter_mut() {
+        expect_ok(client.stat().expect("idle connection still wired")).expect("stat ok");
+    }
+
+    service.request_shutdown();
+    server.join();
+}
+
+#[test]
 fn tenants_are_isolated_even_under_identical_keys() {
     let (server, service, _) = start_server(2, Duration::ZERO);
     let addr = server.addr().to_string();
@@ -151,8 +222,8 @@ fn tenants_are_isolated_even_under_identical_keys() {
     let cms_bytes = payload(2, 128);
     assert_ne!(atlas_bytes.as_slice(), cms_bytes.as_slice());
 
-    let mut atlas = ServeClient::connect(&addr, "atlas").expect("connect");
-    let mut cms = ServeClient::connect(&addr, "cms").expect("connect");
+    let mut atlas = ServeClient::builder("atlas").connect(&addr).expect("connect");
+    let mut cms = ServeClient::builder("cms").connect(&addr).expect("connect");
     expect_ok(atlas.put("shared.bin", ObjectKind::Opaque, &atlas_bytes).unwrap()).unwrap();
     expect_ok(cms.put("shared.bin", ObjectKind::Opaque, &cms_bytes).unwrap()).unwrap();
     expect_ok(atlas.put("atlas-only.bin", ObjectKind::Opaque, &atlas_bytes).unwrap()).unwrap();
@@ -164,7 +235,7 @@ fn tenants_are_isolated_even_under_identical_keys() {
     assert_eq!(got.payload.as_slice(), cms_bytes.as_slice());
 
     // A third tenant sees nothing at all.
-    let mut babar = ServeClient::connect(&addr, "babar").expect("connect");
+    let mut babar = ServeClient::builder("babar").connect(&addr).expect("connect");
     let miss = babar.get("atlas-only.bin").expect("get sends");
     assert_eq!(
         miss.status,
@@ -185,7 +256,7 @@ fn background_scrub_repairs_damage_while_traffic_flows() {
     let addr = server.addr().to_string();
 
     let bytes = payload(99, 4096);
-    let mut client = ServeClient::connect(&addr, "atlas").expect("connect");
+    let mut client = ServeClient::builder("atlas").connect(&addr).expect("connect");
     expect_ok(client.put("damaged.bin", ObjectKind::Opaque, &bytes).unwrap()).unwrap();
 
     // Seed real damage in one replica, behind the service's back.

@@ -69,7 +69,7 @@ pub mod arbitrary {
 
     impl Arbitrary for char {
         fn arbitrary_with(rng: &mut TestRng) -> Self {
-            char::from_u32(rng.below(0xD800 as u64) as u32).unwrap_or('a')
+            char::from_u32(rng.below(0xD800u64) as u32).unwrap_or('a')
         }
     }
 
